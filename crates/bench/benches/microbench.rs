@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the core data structures and the
+//! simulator itself (host-side performance; the *simulated* results come
+//! from the `table*`/`fig*` binaries).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rse_core::{Engine, RseConfig};
+use rse_isa::asm::assemble;
+use rse_mem::{Cache, CacheConfig, MemConfig, MemorySystem};
+use rse_modules::ddt::{DependencyMatrix, PageStatusTable, transition};
+use rse_pipeline::{NullCoProcessor, Pipeline, PipelineConfig, StepEvent};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/dl2_access_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::dl2());
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(68); // stride with conflicts
+            black_box(cache.access(addr, addr % 3 == 0));
+        });
+    });
+}
+
+fn bench_ddm(c: &mut Criterion) {
+    c.bench_function("ddt/ddm_log_and_taint_64", |b| {
+        let mut m = DependencyMatrix::new(64);
+        let mut x = 1u32;
+        b.iter(|| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let p = (x >> 8) as usize % 64;
+            let q = (x >> 16) as usize % 64;
+            m.log(p, q);
+            black_box(m.tainted_by(p));
+        });
+    });
+}
+
+fn bench_pst(c: &mut Criterion) {
+    c.bench_function("ddt/pst_transition_stream", |b| {
+        let mut pst = PageStatusTable::new(1024);
+        let mut x = 1u32;
+        b.iter(|| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let page = (x >> 12) % 2048;
+            let thread = ((x >> 4) % 8) as usize;
+            black_box(pst.with_entry(page, |o| transition(o, thread, x & 1 == 0)));
+        });
+    });
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let src = rse_workloads::kmeans::source(&rse_workloads::kmeans::KmeansParams::default());
+    c.bench_function("isa/assemble_kmeans", |b| {
+        b.iter(|| black_box(assemble(&src).unwrap()));
+    });
+}
+
+fn bench_pipeline_throughput(c: &mut Criterion) {
+    let image = assemble(
+        r#"
+        main:   li   r8, 0
+                li   r9, 2000
+        loop:   addi r8, r8, 1
+                andi r10, r8, 7
+                add  r11, r11, r10
+                bne  r8, r9, loop
+                halt
+        "#,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("simulate_8k_instructions", |b| {
+        b.iter(|| {
+            let mut cpu = Pipeline::new(
+                PipelineConfig::default(),
+                MemorySystem::new(MemConfig::baseline()),
+            );
+            cpu.load_image(&image);
+            assert_eq!(cpu.run(&mut NullCoProcessor, 10_000_000), StepEvent::Halted);
+            black_box(cpu.stats().cycles)
+        });
+    });
+    group.bench_function("simulate_8k_instructions_with_engine", |b| {
+        b.iter(|| {
+            let mut cpu = Pipeline::new(
+                PipelineConfig::default(),
+                MemorySystem::new(MemConfig::with_framework()),
+            );
+            cpu.load_image(&image);
+            let mut engine = Engine::new(RseConfig::default());
+            assert_eq!(cpu.run(&mut engine, 10_000_000), StepEvent::Halted);
+            black_box(cpu.stats().cycles)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_ddm,
+    bench_pst,
+    bench_assembler,
+    bench_pipeline_throughput
+);
+criterion_main!(benches);

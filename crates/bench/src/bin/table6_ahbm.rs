@@ -1,0 +1,158 @@
+//! AHBM adaptive-timeout evaluation (extension).
+//!
+//! The paper's §4.4 describes the Adaptive Heartbeat Monitor but omits
+//! the timeout algorithm and its evaluation "due to space limitations".
+//! This experiment fills that gap: entities with different heartbeat
+//! periods and jitter are monitored; we sweep the deviation multiplier
+//! `k` and report detection latency (cycles from true death to the
+//! monitor's verdict) and false positives (verdicts on live entities),
+//! comparing the adaptive timeout against fixed timeouts.
+//!
+//! ```text
+//! cargo run --release -p rse-bench --bin table6_ahbm
+//! ```
+
+use rse_bench::{header, row};
+use rse_modules::ahbm::{Ahbm, AhbmConfig};
+
+struct Entity {
+    id: u16,
+    period: u64,
+    jitter: u64,
+    dies_at: Option<u64>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives the monitor over a scripted population; returns
+/// `(false_positives, mean detection latency over dead entities)`.
+fn evaluate(config: AhbmConfig, entities: &[Entity], horizon: u64, seed: u64) -> (u32, f64) {
+    let mut ahbm = Ahbm::new(config);
+    let mut rng = seed;
+    // Build each entity's beat schedule.
+    let mut beats: Vec<(u64, u16)> = Vec::new();
+    for e in entities {
+        ahbm.register(e.id, 0);
+        let mut t = e.period;
+        while t < horizon {
+            if e.dies_at.is_some_and(|d| t >= d) {
+                break;
+            }
+            let jitter = if e.jitter == 0 { 0 } else { splitmix(&mut rng) % (2 * e.jitter) };
+            beats.push((t + jitter, e.id));
+            t += e.period;
+        }
+    }
+    beats.sort_unstable();
+    // Replay: beats + periodic sampling, recording first death verdicts.
+    let mut verdict_at: Vec<Option<u64>> = vec![None; entities.len()];
+    let mut bi = 0;
+    let mut next_sample = 0;
+    for now in 0..horizon {
+        while bi < beats.len() && beats[bi].0 == now {
+            ahbm.beat(beats[bi].1, now);
+            bi += 1;
+        }
+        if now >= next_sample {
+            // One sampling pass of the Adaptive Timeout Monitor.
+            for (idx, e) in entities.iter().enumerate() {
+                if verdict_at[idx].is_none() && !ahbm.is_alive(e.id) {
+                    verdict_at[idx] = Some(now);
+                }
+            }
+            // Advance the module clock via its public sampling behavior:
+            // `is_alive` reflects the last sample; force one now.
+            next_sample = now + config.sample_interval;
+        }
+        ahbm_tick(&mut ahbm, now);
+        for (idx, e) in entities.iter().enumerate() {
+            if verdict_at[idx].is_none() && !ahbm.is_alive(e.id) {
+                verdict_at[idx] = Some(now);
+            }
+        }
+    }
+    let mut false_positives = 0u32;
+    let mut latencies = Vec::new();
+    for (idx, e) in entities.iter().enumerate() {
+        match (e.dies_at, verdict_at[idx]) {
+            (None, Some(_)) => false_positives += 1,
+            (Some(d), Some(v)) if v >= d => latencies.push((v - d) as f64),
+            (Some(d), Some(v)) => {
+                // Declared dead before actually dying: a false positive.
+                let _ = (d, v);
+                false_positives += 1;
+            }
+            _ => {}
+        }
+    }
+    let mean_latency = if latencies.is_empty() {
+        f64::NAN
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    (false_positives, mean_latency)
+}
+
+/// Drives the monitor's sampling without the RSE plumbing.
+fn ahbm_tick(ahbm: &mut Ahbm, now: u64) {
+    // The module samples on its own interval; emulate the tick cheaply by
+    // reusing the public beat/is_alive API: sampling happens inside
+    // `Module::tick`, which needs a ModuleCtx. For the host-side study we
+    // replicate the sampling condition through the public sample hook.
+    ahbm.host_sample(now);
+}
+
+fn population() -> Vec<Entity> {
+    vec![
+        Entity { id: 1, period: 200, jitter: 20, dies_at: Some(40_000) },
+        Entity { id: 2, period: 1000, jitter: 150, dies_at: Some(60_000) },
+        Entity { id: 3, period: 5000, jitter: 800, dies_at: Some(50_000) },
+        Entity { id: 4, period: 200, jitter: 20, dies_at: None },
+        Entity { id: 5, period: 1000, jitter: 150, dies_at: None },
+        Entity { id: 6, period: 5000, jitter: 800, dies_at: None },
+        Entity { id: 7, period: 300, jitter: 100, dies_at: None },
+        Entity { id: 8, period: 2000, jitter: 600, dies_at: None },
+    ]
+}
+
+fn main() {
+    header("AHBM adaptive-timeout evaluation (paper extension)");
+    let w = [30, 16, 22];
+    println!("{}", row(&["Configuration", "False positives", "Mean detect latency"], &w));
+    for k in [1.0, 2.0, 4.0, 8.0] {
+        let cfg = AhbmConfig { k, sample_interval: 64, min_timeout: 64, ..AhbmConfig::default() };
+        let (fp, lat) = evaluate(cfg, &population(), 100_000, 0xA11CE);
+        println!(
+            "{}",
+            row(&[&format!("adaptive, k={k}"), &fp.to_string(), &format!("{lat:.0} cycles")], &w)
+        );
+    }
+    // Fixed timeouts for comparison: implemented as k=0 with min_timeout
+    // as the fixed value.
+    for fixed in [500u64, 2_000, 10_000, 40_000] {
+        let cfg = AhbmConfig {
+            k: 0.0,
+            alpha: 0.0,
+            beta: 0.0,
+            sample_interval: 64,
+            min_timeout: fixed,
+            initial_timeout: fixed,
+            ..AhbmConfig::default()
+        };
+        let (fp, lat) = evaluate(cfg, &population(), 100_000, 0xA11CE);
+        println!(
+            "{}",
+            row(&[&format!("fixed {fixed} cycles"), &fp.to_string(), &format!("{lat:.0} cycles")], &w)
+        );
+    }
+    println!("\nExpected: small fixed timeouts kill slow-but-live entities (false");
+    println!("positives); large fixed timeouts detect slowly. The adaptive timeout");
+    println!("tracks each entity's own rate, giving low latency without false");
+    println!("positives for moderate k.");
+}

@@ -1,0 +1,136 @@
+//! # rse-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//! One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table4_framework` | Table 4 — framework / framework+ICM overhead and the CHECK I-cache study |
+//! | `table5_mlr` | Table 5 — TRR (software) vs RSE (hardware) GOT/PLT randomization |
+//! | `fig9_ddt` | Figure 9 — server runtime with/without DDT and saved pages vs thread count |
+//! | `table2_selfcheck` | Table 2 — self-checking fault-injection campaign |
+//! | `table6_ahbm` | AHBM adaptive-timeout evaluation (extension; the paper omits it for space) |
+//! | `ablations` | design-choice ablations (ICM cache size, DDT page-save cost, arbiter priority) |
+//!
+//! Run with `cargo run --release -p rse-bench --bin <name>`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rse_core::{Engine, RseConfig};
+use rse_isa::asm::assemble;
+use rse_isa::{Image, ModuleId};
+use rse_mem::{MemConfig, MemStats, MemorySystem};
+use rse_modules::icm::{Icm, IcmConfig};
+use rse_pipeline::{CheckPolicy, Pipeline, PipelineConfig, PipelineStats};
+use rse_sys::{Os, OsConfig, OsExit};
+
+/// Everything measured from one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimResult {
+    /// Pipeline counters.
+    pub pipeline: PipelineStats,
+    /// Memory-system counters.
+    pub mem: MemStats,
+}
+
+impl SimResult {
+    /// Cycles in millions (the unit Table 4 reports).
+    pub fn mcycles(&self) -> f64 {
+        self.pipeline.cycles as f64 / 1e6
+    }
+
+    /// Percentage overhead of `self` relative to `baseline` in cycles.
+    pub fn overhead_pct(&self, baseline: &SimResult) -> f64 {
+        100.0 * (self.pipeline.cycles as f64 / baseline.pipeline.cycles as f64 - 1.0)
+    }
+}
+
+/// The three Table 4 machine configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineConfig {
+    /// No framework attached; baseline memory latencies.
+    Baseline,
+    /// Framework attached (arbiter in the memory path) but no modules.
+    Framework,
+    /// Framework plus the ICM checking all control-flow instructions.
+    FrameworkIcm,
+}
+
+/// Runs `image` (a single-threaded workload using only OS-proxied
+/// syscalls) under the given machine configuration.
+///
+/// # Panics
+///
+/// Panics if the program does not run to completion.
+pub fn run_workload(image: &Image, machine: MachineConfig, max_cycles: u64) -> SimResult {
+    let (mem_config, pipe_config) = match machine {
+        MachineConfig::Baseline => (MemConfig::baseline(), PipelineConfig::default()),
+        MachineConfig::Framework => (MemConfig::with_framework(), PipelineConfig::default()),
+        MachineConfig::FrameworkIcm => (
+            MemConfig::with_framework(),
+            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+        ),
+    };
+    let mut cpu = Pipeline::new(pipe_config, MemorySystem::new(mem_config));
+    rse_sys::loader::load_process(&mut cpu, image);
+    let mut engine = Engine::new(RseConfig::default());
+    if machine == MachineConfig::FrameworkIcm {
+        let mut icm = Icm::new(IcmConfig::default());
+        icm.install_for_control_flow(image, &mut cpu.mem_mut().memory);
+        engine.install(Box::new(icm));
+        engine.enable(ModuleId::ICM);
+    }
+    let mut os = Os::new(OsConfig::default());
+    let exit = os.run(&mut cpu, &mut engine, max_cycles);
+    assert_eq!(exit, OsExit::Exited { code: 0 }, "workload did not finish");
+    SimResult { pipeline: cpu.stats(), mem: cpu.mem().stats() }
+}
+
+/// Assembles source, panicking with a useful message on failure.
+pub fn assemble_or_die(source: &str) -> Image {
+    match assemble(source) {
+        Ok(image) => image,
+        Err(e) => panic!("workload failed to assemble: {e}"),
+    }
+}
+
+/// Formats a row of a fixed-width table.
+pub fn row(cells: &[&str], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:>w$}  ", w = *w));
+    }
+    out.trim_end().to_string()
+}
+
+/// Prints a header with a rule underneath.
+pub fn header(title: &str) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rse_workloads::kmeans::{source, KmeansParams};
+
+    #[test]
+    fn framework_costs_more_than_baseline() {
+        let p = KmeansParams { patterns: 24, dims: 4, clusters: 4, iters: 1, seed: 3 };
+        let image = assemble_or_die(&source(&p));
+        let base = run_workload(&image, MachineConfig::Baseline, 100_000_000);
+        let fw = run_workload(&image, MachineConfig::Framework, 100_000_000);
+        let icm = run_workload(&image, MachineConfig::FrameworkIcm, 100_000_000);
+        assert!(fw.pipeline.cycles > base.pipeline.cycles);
+        assert!(icm.pipeline.cycles > fw.pipeline.cycles);
+        // Same program instructions commit in all three configurations.
+        assert_eq!(base.pipeline.committed_program(), fw.pipeline.committed_program());
+        assert_eq!(fw.pipeline.committed_program(), icm.pipeline.committed_program());
+    }
+
+    #[test]
+    fn row_formatting() {
+        assert_eq!(row(&["a", "bb"], &[3, 4]), "  a    bb");
+    }
+}

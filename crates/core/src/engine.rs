@@ -1,0 +1,629 @@
+//! The engine: module host, input interface, IOQ, MAU and watchdog,
+//! assembled behind the pipeline's [`CoProcessor`] taps.
+
+use crate::config::RseConfig;
+use crate::ioq::{Ioq, IoqEntryKind, IoqFault};
+use crate::mau::Mau;
+use crate::module::{ChkDispatch, Module, ModuleCtx};
+use crate::queues::{ExecuteOutEntry, FetchOutEntry, InputQueues};
+use crate::watchdog::{SafeModeCause, Watchdog};
+use rse_isa::chk::{ops, ChkSpec};
+use rse_isa::{Inst, ModuleId};
+use rse_mem::MemorySystem;
+use rse_pipeline::{
+    CommitGate, CoProcessor, CoprocException, DispatchInfo, ExecuteInfo, RobId,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Counters for the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RseStats {
+    /// CHECK instructions observed at dispatch.
+    pub chk_dispatched: u64,
+    /// Blocking CHECKs routed to modules.
+    pub chk_blocking: u64,
+    /// Non-blocking CHECKs routed to modules.
+    pub chk_non_blocking: u64,
+    /// CHECKs addressed to disabled or absent modules (passed through by
+    /// the enable/disable unit).
+    pub chk_passthrough: u64,
+    /// Module-enable operations committed.
+    pub enables: u64,
+    /// Module-disable operations committed.
+    pub disables: u64,
+    /// Flush verdicts delivered to the pipeline.
+    pub flushes: u64,
+    /// Stall verdicts delivered to the pipeline.
+    pub stalls: u64,
+    /// Gate queries answered in safe (decoupled) mode.
+    pub safe_mode_passes: u64,
+}
+
+struct PendingChk {
+    deliver_at: u64,
+    chk: ChkDispatch,
+}
+
+/// The Reliability and Security Engine.
+///
+/// Implements [`CoProcessor`] so it can be attached to
+/// [`rse_pipeline::Pipeline::run`] directly.
+pub struct Engine {
+    config: RseConfig,
+    ioq: Ioq,
+    queues: InputQueues,
+    mau: Mau,
+    watchdog: Watchdog,
+    slots: Vec<Option<Box<dyn Module>>>,
+    enabled: [bool; ModuleId::SLOTS],
+    pending_chk: VecDeque<PendingChk>,
+    /// Scheduled IOQ writes: (visible_at, rob, error).
+    pending_ioq: Vec<(u64, RobId, bool)>,
+    exceptions: VecDeque<CoprocException>,
+    chk_meta: HashMap<RobId, ChkSpec>,
+    stats: RseStats,
+    /// Cached: is any module slot enabled? When false the engine takes a
+    /// fast path that skips input-queue and IOQ bookkeeping for non-CHECK
+    /// instructions (the latching is architecturally unobservable with no
+    /// module consuming it).
+    any_enabled: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats)
+            .field("safe_mode", &self.watchdog.safe_mode())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with no modules installed. All module slots are
+    /// initially **disabled** ("Initially, all modules are disabled",
+    /// §3.2); enable them with a CHECK instruction or [`Engine::enable`].
+    pub fn new(config: RseConfig) -> Engine {
+        Engine {
+            config,
+            ioq: Ioq::new(config.queue_entries),
+            queues: InputQueues::new(config.queue_entries),
+            mau: Mau::new(),
+            watchdog: Watchdog::new(config.watchdog),
+            slots: (0..ModuleId::SLOTS).map(|_| None).collect(),
+            enabled: [false; ModuleId::SLOTS],
+            pending_chk: VecDeque::new(),
+            pending_ioq: Vec::new(),
+            exceptions: VecDeque::new(),
+            chk_meta: HashMap::new(),
+            stats: RseStats::default(),
+            any_enabled: false,
+        }
+    }
+
+    /// Installs a module into its slot, replacing any previous occupant.
+    /// The slot remains disabled until enabled.
+    pub fn install(&mut self, module: Box<dyn Module>) {
+        let idx = module.id().index();
+        self.slots[idx] = Some(module);
+    }
+
+    /// Whether a module occupies the slot.
+    pub fn module_installed(&self, id: ModuleId) -> bool {
+        self.slots[id.index()].is_some()
+    }
+
+    /// Enables a module slot directly (equivalent to committing an
+    /// `ENABLE` CHECK).
+    pub fn enable(&mut self, id: ModuleId) {
+        self.enabled[id.index()] = true;
+        self.any_enabled = true;
+    }
+
+    /// Disables a module slot directly.
+    pub fn disable(&mut self, id: ModuleId) {
+        self.enabled[id.index()] = false;
+        self.any_enabled = self.enabled.iter().any(|e| *e);
+    }
+
+    /// Whether the slot is enabled.
+    pub fn is_enabled(&self, id: ModuleId) -> bool {
+        self.enabled[id.index()]
+    }
+
+    /// Typed access to an installed module (for system software reading
+    /// module state, e.g. the DDT retrieval path).
+    pub fn module_ref<T: 'static>(&self, id: ModuleId) -> Option<&T> {
+        self.slots[id.index()].as_deref().and_then(|m| m.as_any().downcast_ref())
+    }
+
+    /// Typed mutable access to an installed module.
+    pub fn module_mut<T: 'static>(&mut self, id: ModuleId) -> Option<&mut T> {
+        self.slots[id.index()].as_deref_mut().and_then(|m| m.as_any_mut().downcast_mut())
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> RseStats {
+        self.stats
+    }
+
+    /// The self-checking watchdog.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// The active safe-mode cause, if the engine has decoupled itself.
+    pub fn safe_mode(&self) -> Option<SafeModeCause> {
+        self.watchdog.safe_mode()
+    }
+
+    /// Injects a stuck-at fault on the IOQ output bits (§3.4 evaluation).
+    pub fn inject_ioq_fault(&mut self, fault: Option<IoqFault>) {
+        self.ioq.inject_fault(fault);
+    }
+
+    /// The IOQ (inspection).
+    pub fn ioq(&self) -> &Ioq {
+        &self.ioq
+    }
+
+    /// The MAU (inspection).
+    pub fn mau(&self) -> &Mau {
+        &self.mau
+    }
+
+    /// Runs `f` for each installed+enabled module with a [`ModuleCtx`].
+    fn for_each_module(
+        &mut self,
+        now: u64,
+        mem: &mut MemorySystem,
+        mut f: impl FnMut(&mut dyn Module, &mut ModuleCtx<'_>),
+    ) {
+        for idx in 0..self.slots.len() {
+            if !self.enabled[idx] {
+                continue;
+            }
+            let Some(mut module) = self.slots[idx].take() else { continue };
+            let mut ctx = ModuleCtx {
+                now,
+                mem,
+                mau: &mut self.mau,
+                queues: &self.queues,
+                ioq_writes: &mut self.pending_ioq,
+                exceptions: &mut self.exceptions,
+                broadcast_delay: self.config.ioq_broadcast_delay,
+            };
+            f(module.as_mut(), &mut ctx);
+            self.slots[idx] = Some(module);
+        }
+    }
+
+    /// Runs `f` for one specific module slot (even callbacks like
+    /// `on_chk` only go to the addressed module).
+    fn with_module(
+        &mut self,
+        id: ModuleId,
+        now: u64,
+        mem: &mut MemorySystem,
+        f: impl FnOnce(&mut dyn Module, &mut ModuleCtx<'_>),
+    ) {
+        let idx = id.index();
+        if !self.enabled[idx] {
+            return;
+        }
+        let Some(mut module) = self.slots[idx].take() else { return };
+        let mut ctx = ModuleCtx {
+            now,
+            mem,
+            mau: &mut self.mau,
+            queues: &self.queues,
+            ioq_writes: &mut self.pending_ioq,
+            exceptions: &mut self.exceptions,
+            broadcast_delay: self.config.ioq_broadcast_delay,
+        };
+        f(module.as_mut(), &mut ctx);
+        self.slots[idx] = Some(module);
+    }
+
+    /// Applies enable/disable requests at dispatch (program order); the
+    /// commit-time application in `on_commit` is then idempotent.
+    fn apply_enable_at_dispatch(&mut self, spec: &ChkSpec, wrong_path: bool) {
+        if wrong_path {
+            return;
+        }
+        match spec.op {
+            ops::ENABLE => {
+                self.enabled[spec.module.index()] = true;
+                self.any_enabled = true;
+            }
+            ops::DISABLE => {
+                self.enabled[spec.module.index()] = false;
+                self.any_enabled = self.enabled.iter().any(|e| *e);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether a CHECK is actively routed to a module (installed, enabled,
+    /// and not an enable/disable request handled by the engine itself).
+    fn routed_to_module(&self, spec: &ChkSpec) -> bool {
+        spec.op != ops::ENABLE
+            && spec.op != ops::DISABLE
+            && self.enabled[spec.module.index()]
+            && self.slots[spec.module.index()].is_some()
+    }
+}
+
+impl CoProcessor for Engine {
+    fn on_dispatch(&mut self, now: u64, info: &DispatchInfo, mem: &mut MemorySystem) {
+        if !self.any_enabled {
+            // Fast path: no module consumes the input queues; only CHECK
+            // bookkeeping (enable requests) is architecturally relevant.
+            if let Inst::Chk(spec) = info.inst {
+                self.stats.chk_dispatched += 1;
+                self.stats.chk_passthrough += 1;
+                self.chk_meta.insert(info.rob, spec);
+                self.apply_enable_at_dispatch(&spec, info.wrong_path);
+                if self.any_enabled {
+                    // The slot just turned on; fall through so this and
+                    // subsequent instructions are latched normally.
+                    self.ioq.allocate(now, info.rob, IoqEntryKind::Plain);
+                    self.queues.fetch_out.insert(
+                        info.rob,
+                        FetchOutEntry {
+                            pc: info.pc,
+                            word: info.word,
+                            inst: info.inst,
+                            wrong_path: info.wrong_path,
+                        },
+                    );
+                    self.queues.regfile_data.insert(info.rob, info.operands);
+                }
+            }
+            return;
+        }
+        self.queues.fetch_out.insert(
+            info.rob,
+            FetchOutEntry {
+                pc: info.pc,
+                word: info.word,
+                inst: info.inst,
+                wrong_path: info.wrong_path,
+            },
+        );
+        self.queues.regfile_data.insert(info.rob, info.operands);
+        // Allocate the IOQ entry (Table 1 initial bits).
+        if let Inst::Chk(spec) = info.inst {
+            self.stats.chk_dispatched += 1;
+            self.chk_meta.insert(info.rob, spec);
+            // Enable/disable takes effect at in-order dispatch, so a
+            // CHECK that follows an ENABLE in program order is routed to
+            // the (now live) module. Wrong-path requests are ignored.
+            self.apply_enable_at_dispatch(&spec, info.wrong_path);
+            if self.routed_to_module(&spec) {
+                let kind = if spec.blocking {
+                    self.stats.chk_blocking += 1;
+                    IoqEntryKind::BlockingChk(spec.module)
+                } else {
+                    self.stats.chk_non_blocking += 1;
+                    IoqEntryKind::NonBlockingChk(spec.module)
+                };
+                self.ioq.allocate(now, info.rob, kind);
+                if !spec.blocking {
+                    // Asynchronous mode: checkValid is set right after the
+                    // module scans the Fetch_Out queue (§3.2).
+                    self.pending_ioq.push((now + self.config.fetch_scan_delay, info.rob, false));
+                }
+                self.pending_chk.push_back(PendingChk {
+                    deliver_at: now + self.config.fetch_scan_delay,
+                    chk: ChkDispatch {
+                        rob: info.rob,
+                        pc: info.pc,
+                        spec,
+                        operands: info.operands,
+                        wrong_path: info.wrong_path,
+                    },
+                });
+            } else {
+                // Enable/disable requests and CHECKs to disabled/absent
+                // modules: the enable/disable unit writes constant `10`.
+                self.stats.chk_passthrough += 1;
+                self.ioq.allocate(now, info.rob, IoqEntryKind::Plain);
+            }
+        } else {
+            self.ioq.allocate(now, info.rob, IoqEntryKind::Plain);
+        }
+        // Fan the dispatch out to every enabled module's tap.
+        self.for_each_module(now, mem, |m, ctx| m.on_dispatch(info, ctx));
+    }
+
+    fn on_execute(&mut self, now: u64, info: &ExecuteInfo, mem: &mut MemorySystem) {
+        if !self.any_enabled {
+            return;
+        }
+        self.queues
+            .execute_out
+            .insert(info.rob, ExecuteOutEntry { result: info.result, eff_addr: info.eff_addr });
+        if let Some(loaded) = info.loaded {
+            self.queues.memory_out.insert(info.rob, loaded);
+        }
+        self.for_each_module(now, mem, |m, ctx| m.on_execute(info, ctx));
+    }
+
+    fn on_commit(&mut self, now: u64, rob: RobId, mem: &mut MemorySystem) {
+        // If the CHECK is committing before its scan-delayed delivery
+        // fired (a fast commit), deliver it to its module now: the scan
+        // completes no later than retirement.
+        if let Some(pos) = self.pending_chk.iter().position(|p| p.chk.rob == rob) {
+            let p = self.pending_chk.remove(pos).expect("position valid");
+            let chk = p.chk;
+            self.with_module(chk.spec.module, now, mem, |m, ctx| m.on_chk(&chk, ctx));
+        }
+        // Enable/disable becomes architectural at commit.
+        if !self.chk_meta.is_empty() {
+            if let Some(spec) = self.chk_meta.remove(&rob) {
+                match spec.op {
+                    ops::ENABLE => {
+                        self.enabled[spec.module.index()] = true;
+                        self.any_enabled = true;
+                        self.stats.enables += 1;
+                    }
+                    ops::DISABLE => {
+                        self.enabled[spec.module.index()] = false;
+                        self.any_enabled = self.enabled.iter().any(|e| *e);
+                        self.stats.disables += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !self.any_enabled {
+            self.ioq.free(rob);
+            return;
+        }
+        self.for_each_module(now, mem, |m, ctx| m.on_commit(rob, ctx));
+        self.queues.retire(rob, false);
+        self.ioq.free(rob);
+    }
+
+    fn on_squash(&mut self, now: u64, rob: RobId, mem: &mut MemorySystem) {
+        if !self.any_enabled {
+            if !self.chk_meta.is_empty() {
+                self.chk_meta.remove(&rob);
+            }
+            return;
+        }
+        self.chk_meta.remove(&rob);
+        self.pending_chk.retain(|p| p.chk.rob != rob);
+        self.pending_ioq.retain(|(_, r, _)| *r != rob);
+        self.for_each_module(now, mem, |m, ctx| m.on_squash(rob, ctx));
+        self.queues.retire(rob, true);
+        self.ioq.free(rob);
+    }
+
+    fn commit_gate(&mut self, now: u64, rob: RobId) -> CommitGate {
+        if !self.any_enabled {
+            return CommitGate::Pass;
+        }
+        if self.watchdog.is_decoupled() {
+            // Safe mode: constant `10` — everything commits.
+            self.stats.safe_mode_passes += 1;
+            return CommitGate::Pass;
+        }
+        let gate = self.ioq.gate(rob);
+        match gate {
+            CommitGate::Flush => {
+                self.stats.flushes += 1;
+                self.watchdog.record_flush(now);
+                if self.watchdog.is_decoupled() {
+                    // The burst that just tripped the watchdog: decouple
+                    // immediately rather than honoring the faulty flush.
+                    self.stats.safe_mode_passes += 1;
+                    return CommitGate::Pass;
+                }
+            }
+            CommitGate::Stall => self.stats.stalls += 1,
+            CommitGate::Pass => {
+                // A blocking CHECK passing without a module result is a
+                // stuck-at-1 `checkValid` symptom.
+                if let Some((_, kind, _, _, wrote)) =
+                    self.ioq.watchdog_view().find(|(r, ..)| *r == rob)
+                {
+                    if matches!(kind, IoqEntryKind::BlockingChk(_)) && !wrote {
+                        self.watchdog.record_premature_pass(now);
+                    }
+                }
+            }
+        }
+        gate
+    }
+
+    fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+        if !self.any_enabled {
+            return;
+        }
+        // Deliver CHECKs whose Fetch_Out scan delay has elapsed.
+        while self
+            .pending_chk
+            .front()
+            .is_some_and(|p| p.deliver_at <= now)
+        {
+            let p = self.pending_chk.pop_front().expect("front checked");
+            let chk = p.chk;
+            self.with_module(chk.spec.module, now, mem, |m, ctx| m.on_chk(&chk, ctx));
+        }
+        // The MAU moves data.
+        self.mau.tick(now, mem);
+        // Modules advance their internal pipelines.
+        self.for_each_module(now, mem, |m, ctx| m.tick(ctx));
+        // Apply module results whose broadcast delay has elapsed.
+        let due: Vec<(u64, RobId, bool)> =
+            self.pending_ioq.iter().copied().filter(|(at, ..)| *at <= now).collect();
+        self.pending_ioq.retain(|(at, ..)| *at > now);
+        for (_, rob, error) in due {
+            self.ioq.complete(now, rob, error);
+        }
+        // Self-checking.
+        self.watchdog.tick(now, &self.ioq);
+    }
+
+    fn take_exception(&mut self) -> Option<CoprocException> {
+        self.exceptions.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{CountingModule, ScriptedBehavior, ScriptedModule};
+    use crate::Verdict;
+    use rse_isa::asm::assemble;
+    use rse_mem::{MemConfig, MemorySystem};
+    use rse_pipeline::{Pipeline, PipelineConfig, StepEvent};
+
+    const SLOT9: ModuleId = ModuleId::ICM; // reuse slot 0 for the scripted module
+
+    fn run(engine: &mut Engine, src: &str) -> Pipeline {
+        let image = assemble(src).expect("assembles");
+        let mut cpu =
+            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()));
+        cpu.load_image(&image);
+        let ev = cpu.run(engine, 2_000_000);
+        assert_eq!(ev, StepEvent::Halted, "program did not halt");
+        cpu
+    }
+
+    #[test]
+    fn plain_program_commits_through_engine() {
+        let mut engine = Engine::new(RseConfig::default());
+        let cpu = run(&mut engine, "main: li r8, 7\nli r9, 8\nadd r10, r8, r9\nhalt");
+        assert_eq!(cpu.regs()[10], 15);
+        assert_eq!(engine.stats().flushes, 0);
+    }
+
+    #[test]
+    fn enable_disable_via_check_instruction() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        assert!(!engine.is_enabled(SLOT9));
+        run(&mut engine, "main: chk icm, nblk, 0, 0\nhalt"); // op 0 = ENABLE
+        assert!(engine.is_enabled(SLOT9));
+        assert_eq!(engine.stats().enables, 1);
+        run(&mut engine, "main: chk icm, nblk, 1, 0\nhalt"); // op 1 = DISABLE
+        assert!(!engine.is_enabled(SLOT9));
+    }
+
+    #[test]
+    fn chk_to_disabled_module_passes_through() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        // Module never enabled: the blocking CHECK must not stall forever.
+        let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
+        assert_eq!(cpu.regs()[8], 1);
+        assert_eq!(engine.stats().chk_passthrough, 1);
+        let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
+        assert_eq!(m.chks_seen, 0);
+    }
+
+    #[test]
+    fn blocking_check_stalls_then_passes() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(ScriptedModule::new(
+            SLOT9,
+            ScriptedBehavior::Respond { verdict: Verdict::Pass, latency: 25 },
+        )));
+        engine.enable(SLOT9);
+        let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
+        assert_eq!(cpu.regs()[8], 1);
+        assert!(cpu.stats().commit_stall_cycles > 0, "blocking CHECK should stall commit");
+        assert_eq!(engine.stats().chk_blocking, 1);
+    }
+
+    #[test]
+    fn failing_check_flushes_and_burst_decouples() {
+        // A module that always reports an error: the CHECK flushes and
+        // restarts forever until the watchdog's burst detector decouples
+        // the framework (Table 2 "false alarm" scenario).
+        let mut cfg = RseConfig::default();
+        cfg.watchdog.burst_threshold = 4;
+        let mut engine = Engine::new(cfg);
+        engine.install(Box::new(ScriptedModule::new(
+            SLOT9,
+            ScriptedBehavior::Respond { verdict: Verdict::Fail, latency: 3 },
+        )));
+        engine.enable(SLOT9);
+        let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
+        // The program eventually completes because safe mode lets it.
+        assert_eq!(cpu.regs()[8], 1);
+        assert_eq!(engine.safe_mode(), Some(SafeModeCause::ErrorBurst));
+        assert!(engine.stats().flushes >= 4);
+        // The final flush is converted to a safe-mode pass, so the
+        // pipeline observed one fewer flush than the engine counted.
+        assert!(cpu.stats().check_flushes >= 3);
+    }
+
+    #[test]
+    fn silent_module_times_out_to_safe_mode() {
+        // Table 2 "module does not make progress".
+        let mut cfg = RseConfig::default();
+        cfg.watchdog.timeout = 200;
+        let mut engine = Engine::new(cfg);
+        engine.install(Box::new(ScriptedModule::new(SLOT9, ScriptedBehavior::Silent)));
+        engine.enable(SLOT9);
+        let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
+        assert_eq!(cpu.regs()[8], 1);
+        assert!(matches!(engine.safe_mode(), Some(SafeModeCause::NoProgress { .. })));
+    }
+
+    #[test]
+    fn async_check_does_not_stall() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        engine.enable(SLOT9);
+        let cpu = run(&mut engine, "main: chk icm, nblk, 2, 0\nli r8, 1\nhalt");
+        assert_eq!(cpu.regs()[8], 1);
+        assert_eq!(engine.stats().chk_non_blocking, 1);
+        let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
+        assert_eq!(m.chks_seen, 1);
+    }
+
+    #[test]
+    fn wrong_path_chks_are_squashed_cleanly() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        engine.enable(SLOT9);
+        // The loop branch mispredicts at least once; instructions beyond
+        // it (including the CHK at `after`) are fetched wrong-path and
+        // squashed.
+        let cpu = run(
+            &mut engine,
+            r#"
+            main:   li r8, 0
+                    li r9, 3
+            loop:   addi r8, r8, 1
+                    bne r8, r9, loop
+            after:  chk icm, nblk, 2, 0
+                    halt
+            "#,
+        );
+        assert_eq!(cpu.regs()[8], 3);
+        let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
+        // Exactly one CHK commits even if several were dispatched.
+        assert_eq!(m.chk_commits, 1);
+    }
+
+    #[test]
+    fn operands_reach_module_via_regfile_queue() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        engine.enable(SLOT9);
+        run(
+            &mut engine,
+            "main: li r4, 0x1234\nli r5, 0x5678\nchk icm, nblk, 2, 9\nhalt",
+        );
+        let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
+        assert_eq!(m.last_operands, [0x1234, 0x5678]);
+        assert_eq!(m.last_param, 9);
+    }
+}

@@ -1,0 +1,269 @@
+//! The Instruction Output Queue (IOQ).
+//!
+//! An IOQ entry is allocated for **every** instruction when it is
+//! forwarded to the framework (simultaneously with dispatch, §3.2). The
+//! entry carries two bits whose meaning is Table 1 of the paper:
+//!
+//! | `checkValid` | `check` | Meaning |
+//! |---|---|---|
+//! | 0 | 0 | entry allocated for a CHECK whose execution is incomplete — the pipeline may stall at commit |
+//! | 1 | 0 | non-CHECK instruction, or CHECK that completed without error — commit proceeds |
+//! | 1 | 1 | a module detected an error — the pipeline is flushed |
+//!
+//! The IOQ also records the bookkeeping the self-checking watchdog of
+//! §3.4 monitors: allocation time, the time of the 0→1 `checkValid`
+//! transition, and whether a module (as opposed to a stuck-at fault)
+//! produced the bits.
+
+use rse_isa::ModuleId;
+use rse_pipeline::{CommitGate, RobId};
+use std::collections::HashMap;
+
+/// What kind of instruction an IOQ entry was allocated for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoqEntryKind {
+    /// A non-CHECK instruction: bits initialized to `10` (commit freely).
+    Plain,
+    /// A blocking CHECK handled by a module: bits initialized to `00`.
+    BlockingChk(ModuleId),
+    /// A non-blocking CHECK: the module sets `checkValid` immediately
+    /// after acquiring the instruction, so commit never waits.
+    NonBlockingChk(ModuleId),
+}
+
+/// Injectable stuck-at faults on the IOQ output bits (the §3.4 / Table 2
+/// error scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoqFault {
+    /// `checkValid` stuck at 0: blocking CHECKs stall forever.
+    ValidStuck0,
+    /// `checkValid` stuck at 1: results pass before modules finish.
+    ValidStuck1,
+    /// `check` stuck at 0: errors are never reported (false negative).
+    CheckStuck0,
+    /// `check` stuck at 1: the pipeline is flushed repeatedly.
+    CheckStuck1,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IoqEntry {
+    kind: IoqEntryKind,
+    check_valid: bool,
+    check: bool,
+    allocated_at: u64,
+    valid_set_at: Option<u64>,
+    /// Whether a module actually wrote the result (distinguishes a real
+    /// completion from a stuck-at-1 `checkValid`).
+    module_wrote: bool,
+}
+
+/// The Instruction Output Queue.
+#[derive(Debug, Default)]
+pub struct Ioq {
+    entries: HashMap<RobId, IoqEntry>,
+    capacity: usize,
+    fault: Option<IoqFault>,
+    /// Total entries ever allocated.
+    pub allocated_total: u64,
+    /// Error verdicts recorded (check 0→1 transitions).
+    pub error_verdicts: u64,
+}
+
+impl Ioq {
+    /// Creates an IOQ with `capacity` entries (the ROB size).
+    pub fn new(capacity: usize) -> Ioq {
+        Ioq { capacity, ..Ioq::default() }
+    }
+
+    /// Number of live entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Injects (or clears) a stuck-at fault on the output bits.
+    pub fn inject_fault(&mut self, fault: Option<IoqFault>) {
+        self.fault = fault;
+    }
+
+    /// The currently injected fault, if any.
+    pub fn fault(&self) -> Option<IoqFault> {
+        self.fault
+    }
+
+    /// Allocates an entry for a dispatched instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IOQ would exceed its capacity — the pipeline cannot
+    /// have more in-flight instructions than ROB entries, so this
+    /// indicates a bookkeeping bug.
+    pub fn allocate(&mut self, now: u64, rob: RobId, kind: IoqEntryKind) {
+        assert!(self.entries.len() < self.capacity, "IOQ overflow: more entries than the ROB");
+        let (check_valid, check) = match kind {
+            // Table 1: non-CHECK instructions start at `10`.
+            IoqEntryKind::Plain => (true, false),
+            // CHECK instructions start at `00`.
+            IoqEntryKind::BlockingChk(_) | IoqEntryKind::NonBlockingChk(_) => (false, false),
+        };
+        self.allocated_total += 1;
+        self.entries.insert(
+            rob,
+            IoqEntry {
+                kind,
+                check_valid,
+                check,
+                allocated_at: now,
+                valid_set_at: check_valid.then_some(now),
+                module_wrote: false,
+            },
+        );
+    }
+
+    /// A module (or the enable/disable unit, or the asynchronous-mode
+    /// fast path) writes the result bits for `rob`: `error` selects the
+    /// `check` bit, and `checkValid` is set.
+    pub fn complete(&mut self, now: u64, rob: RobId, error: bool) {
+        if let Some(e) = self.entries.get_mut(&rob) {
+            if !e.check_valid {
+                e.valid_set_at = Some(now);
+            }
+            e.check_valid = true;
+            if error && !e.check {
+                self.error_verdicts += 1;
+            }
+            e.check = error;
+            e.module_wrote = true;
+        }
+    }
+
+    /// Frees the entry for a committed or squashed instruction.
+    pub fn free(&mut self, rob: RobId) {
+        self.entries.remove(&rob);
+    }
+
+    /// Reads the commit gate for `rob`, applying any injected stuck-at
+    /// fault to the observed bits (the fault sits on the output wires to
+    /// the commit unit, exactly as in Table 2).
+    pub fn gate(&self, rob: RobId) -> CommitGate {
+        let Some(e) = self.entries.get(&rob) else {
+            // Untracked instruction (allocated before the engine attached):
+            // behaves like `10`.
+            return CommitGate::Pass;
+        };
+        let mut valid = e.check_valid;
+        let mut check = e.check;
+        match self.fault {
+            Some(IoqFault::ValidStuck0) => valid = false,
+            Some(IoqFault::ValidStuck1) => valid = true,
+            Some(IoqFault::CheckStuck0) => check = false,
+            Some(IoqFault::CheckStuck1) => check = true,
+            None => {}
+        }
+        match (valid, check) {
+            (false, _) => CommitGate::Stall,
+            (true, false) => CommitGate::Pass,
+            (true, true) => CommitGate::Flush,
+        }
+    }
+
+    /// Iterates over entries for the watchdog: `(rob, kind, allocated_at,
+    /// check_valid, module_wrote)`.
+    ///
+    /// The watchdog monitors the same output wires the commit unit reads,
+    /// so an injected stuck-at fault is visible here too — that is
+    /// exactly how §3.4 detects a stuck-at-0 `checkValid` (it looks like
+    /// a module that never makes progress).
+    pub fn watchdog_view(&self) -> impl Iterator<Item = (RobId, IoqEntryKind, u64, bool, bool)> + '_ {
+        let fault = self.fault;
+        self.entries.iter().map(move |(rob, e)| {
+            let valid = match fault {
+                Some(IoqFault::ValidStuck0) => false,
+                Some(IoqFault::ValidStuck1) => true,
+                _ => e.check_valid,
+            };
+            (*rob, e.kind, e.allocated_at, valid, e.module_wrote)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: ModuleId = ModuleId::ICM;
+
+    #[test]
+    fn table1_plain_instruction_commits_freely() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(1), IoqEntryKind::Plain);
+        assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
+    }
+
+    #[test]
+    fn table1_blocking_chk_stalls_until_complete() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(2), IoqEntryKind::BlockingChk(M));
+        assert_eq!(ioq.gate(RobId(2)), CommitGate::Stall);
+        ioq.complete(5, RobId(2), false);
+        assert_eq!(ioq.gate(RobId(2)), CommitGate::Pass);
+    }
+
+    #[test]
+    fn table1_error_flushes() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(3), IoqEntryKind::BlockingChk(M));
+        ioq.complete(4, RobId(3), true);
+        assert_eq!(ioq.gate(RobId(3)), CommitGate::Flush);
+        assert_eq!(ioq.error_verdicts, 1);
+    }
+
+    #[test]
+    fn untracked_instruction_passes() {
+        let ioq = Ioq::new(16);
+        assert_eq!(ioq.gate(RobId(99)), CommitGate::Pass);
+    }
+
+    #[test]
+    fn free_releases_capacity() {
+        let mut ioq = Ioq::new(2);
+        ioq.allocate(0, RobId(1), IoqEntryKind::Plain);
+        ioq.allocate(0, RobId(2), IoqEntryKind::Plain);
+        assert_eq!(ioq.occupancy(), 2);
+        ioq.free(RobId(1));
+        ioq.allocate(1, RobId(3), IoqEntryKind::Plain);
+        assert_eq!(ioq.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "IOQ overflow")]
+    fn overflow_panics() {
+        let mut ioq = Ioq::new(1);
+        ioq.allocate(0, RobId(1), IoqEntryKind::Plain);
+        ioq.allocate(0, RobId(2), IoqEntryKind::Plain);
+    }
+
+    #[test]
+    fn stuck_at_faults_bias_gate() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(1), IoqEntryKind::BlockingChk(M));
+        ioq.complete(1, RobId(1), false);
+        ioq.inject_fault(Some(IoqFault::CheckStuck1));
+        assert_eq!(ioq.gate(RobId(1)), CommitGate::Flush);
+        ioq.inject_fault(Some(IoqFault::ValidStuck0));
+        assert_eq!(ioq.gate(RobId(1)), CommitGate::Stall);
+        ioq.inject_fault(Some(IoqFault::ValidStuck1));
+        assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
+        ioq.inject_fault(None);
+        assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
+    }
+
+    #[test]
+    fn check_stuck0_masks_errors() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(1), IoqEntryKind::BlockingChk(M));
+        ioq.complete(1, RobId(1), true);
+        ioq.inject_fault(Some(IoqFault::CheckStuck0));
+        // The module said "error" but the stuck bit hides it.
+        assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
+    }
+}

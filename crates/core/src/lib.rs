@@ -1,0 +1,67 @@
+//! # rse-core — the Reliability and Security Engine framework
+//!
+//! The primary contribution of *"An Architectural Framework for Providing
+//! Reliability and Security Support"* (DSN 2004): an on-chip engine,
+//! attached to the processor pipeline, that hosts hardware modules
+//! providing application-aware reliability and security services.
+//!
+//! The engine ([`Engine`]) implements the pipeline's
+//! [`CoProcessor`](rse_pipeline::CoProcessor) tap interface and contains:
+//!
+//! * the **input interface** ([`queues`]) — five input queues
+//!   (`Fetch_Out`, `Regfile_Data`, `Execute_Out`, `Memory_Out`,
+//!   `Commit_Out`), each with as many entries as the reorder buffer
+//!   (§3.1),
+//! * the **Instruction Output Queue** ([`ioq`]) — per-instruction
+//!   `check`/`checkValid` bits with exactly the Table 1 semantics, gating
+//!   instruction commit,
+//! * the **Memory Access Unit** ([`mau`]) — a shared port into memory for
+//!   all modules, serviced cyclically, sharing the external bus with the
+//!   pipeline through the arbiter (pipeline priority; §3.2),
+//! * the **module host** ([`module`]) — up to 16 module slots addressed
+//!   by the CHECK instruction's module number, with the enable/disable
+//!   unit of §3.2,
+//! * the **self-checking watchdog** ([`watchdog`]) — §3.4 / Table 2:
+//!   transition monitoring on the IOQ bits plus an error-burst counter;
+//!   on self-detected failure the engine decouples into a safe mode in
+//!   which every instruction commits freely,
+//! * the **hardware cost model** ([`hardware_cost`]) — the paper's
+//!   footnote-4 flip-flop and gate-count estimates, parameterized.
+//!
+//! Modules operate in one of two modes (§3, Figure 2): **synchronous**
+//! (blocking CHECK — the pipeline may not commit the instruction until
+//! the module completes) and **asynchronous** (non-blocking CHECK — the
+//! module lags the pipeline and logs permanent state only when the
+//! instruction commits).
+//!
+//! # Example
+//!
+//! ```
+//! use rse_core::{Engine, RseConfig};
+//! use rse_core::testutil::CountingModule;
+//! use rse_isa::ModuleId;
+//!
+//! let mut engine = Engine::new(RseConfig::default());
+//! engine.install(Box::new(CountingModule::new(ModuleId::new(9))));
+//! assert!(engine.module_installed(ModuleId::new(9)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod engine;
+pub mod hardware_cost;
+pub mod ioq;
+pub mod mau;
+pub mod module;
+pub mod queues;
+pub mod testutil;
+pub mod watchdog;
+
+pub use config::RseConfig;
+pub use engine::{Engine, RseStats};
+pub use ioq::{Ioq, IoqEntryKind, IoqFault};
+pub use mau::{Mau, MauOp, MauRequest};
+pub use module::{ChkDispatch, Module, ModuleCtx, Verdict};
+pub use watchdog::{SafeModeCause, Watchdog, WatchdogConfig};

@@ -1,0 +1,225 @@
+//! The self-checking mechanism of the framework (§3.4, Table 2).
+//!
+//! A watchdog monitors transitions on the `check`/`checkValid` bits of
+//! every IOQ entry:
+//!
+//! * a missing 0→1 `checkValid` transition within the timeout means a
+//!   module is not making progress (or the bit is stuck at 0);
+//! * repeated error indications (`check` 0→1, observed as commit-stage
+//!   flushes) within the timeout window mean a module is raising false
+//!   alarms (or the bit is stuck at 1);
+//! * a blocking-CHECK entry whose `checkValid` reads 1 although no module
+//!   wrote a result indicates `checkValid` stuck at 1.
+//!
+//! On any of these, the framework is **decoupled**: it switches to a safe
+//! mode in which the outputs are forced to `checkValid=1, check=0` so the
+//! pipeline always commits (the multiplexer mechanism of §3.4).
+
+use crate::ioq::{Ioq, IoqEntryKind};
+use rse_pipeline::RobId;
+use std::collections::VecDeque;
+
+/// Watchdog parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Cycles a blocking CHECK may sit without a `checkValid` 0→1
+    /// transition before the module is declared stuck.
+    pub timeout: u64,
+    /// Number of flushes (error indications) within one timeout window
+    /// that declare the module erroneous.
+    pub burst_threshold: usize,
+    /// Number of blocking-CHECK commits that passed without any module
+    /// having written a result before `checkValid` is declared stuck at 1.
+    pub premature_pass_threshold: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig { timeout: 10_000, burst_threshold: 8, premature_pass_threshold: 8 }
+    }
+}
+
+/// Why the framework decoupled itself from the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SafeModeCause {
+    /// A module never completed a blocking CHECK (Table 2: "module does
+    /// not make progress", or `checkValid` stuck at 0).
+    NoProgress {
+        /// The CHECK instruction that timed out.
+        rob: RobId,
+    },
+    /// Error indications arrived in a burst (Table 2: false alarm, or
+    /// `check` stuck at 1).
+    ErrorBurst,
+    /// Blocking CHECKs passed commit without module results (Table 2:
+    /// `checkValid` stuck at 1).
+    PrematurePass,
+}
+
+/// The self-checking watchdog.
+#[derive(Debug)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    safe_mode: Option<SafeModeCause>,
+    flush_times: VecDeque<u64>,
+    premature_passes: usize,
+    /// Total safe-mode entries (0 or 1 per run; kept as a counter for the
+    /// fault-injection campaign's bookkeeping).
+    pub trips: u64,
+}
+
+impl Watchdog {
+    /// Creates a watchdog in coupled (normal) mode.
+    pub fn new(config: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            config,
+            safe_mode: None,
+            flush_times: VecDeque::new(),
+            premature_passes: 0,
+            trips: 0,
+        }
+    }
+
+    /// The active safe-mode cause, if the framework has decoupled.
+    pub fn safe_mode(&self) -> Option<SafeModeCause> {
+        self.safe_mode
+    }
+
+    /// Whether the framework is decoupled.
+    pub fn is_decoupled(&self) -> bool {
+        self.safe_mode.is_some()
+    }
+
+    fn trip(&mut self, cause: SafeModeCause) {
+        if self.safe_mode.is_none() {
+            self.safe_mode = Some(cause);
+            self.trips += 1;
+        }
+    }
+
+    /// Records a commit-stage flush (an error indication reaching the
+    /// pipeline). Trips [`SafeModeCause::ErrorBurst`] if more than the
+    /// configured number land within one timeout window.
+    pub fn record_flush(&mut self, now: u64) {
+        self.flush_times.push_back(now);
+        let window_start = now.saturating_sub(self.config.timeout);
+        while self.flush_times.front().is_some_and(|t| *t < window_start) {
+            self.flush_times.pop_front();
+        }
+        if self.flush_times.len() >= self.config.burst_threshold {
+            self.trip(SafeModeCause::ErrorBurst);
+        }
+    }
+
+    /// Records a blocking CHECK that passed the commit gate although no
+    /// module ever wrote its result (a stuck-at-1 `checkValid` symptom).
+    pub fn record_premature_pass(&mut self, _now: u64) {
+        self.premature_passes += 1;
+        if self.premature_passes >= self.config.premature_pass_threshold {
+            self.trip(SafeModeCause::PrematurePass);
+        }
+    }
+
+    /// One cycle of transition monitoring over the IOQ.
+    pub fn tick(&mut self, now: u64, ioq: &Ioq) {
+        if self.safe_mode.is_some() {
+            return;
+        }
+        for (rob, kind, allocated_at, check_valid, _wrote) in ioq.watchdog_view() {
+            if matches!(kind, IoqEntryKind::BlockingChk(_))
+                && !check_valid
+                && now.saturating_sub(allocated_at) > self.config.timeout
+            {
+                self.trip(SafeModeCause::NoProgress { rob });
+                return;
+            }
+        }
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Watchdog {
+        Watchdog::new(WatchdogConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rse_isa::ModuleId;
+
+    fn cfg() -> WatchdogConfig {
+        WatchdogConfig { timeout: 100, burst_threshold: 3, premature_pass_threshold: 3 }
+    }
+
+    #[test]
+    fn no_progress_trips_after_timeout() {
+        let mut wd = Watchdog::new(cfg());
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(5), IoqEntryKind::BlockingChk(ModuleId::ICM));
+        wd.tick(100, &ioq);
+        assert!(!wd.is_decoupled());
+        wd.tick(101, &ioq);
+        assert_eq!(wd.safe_mode(), Some(SafeModeCause::NoProgress { rob: RobId(5) }));
+    }
+
+    #[test]
+    fn completed_checks_do_not_trip() {
+        let mut wd = Watchdog::new(cfg());
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(5), IoqEntryKind::BlockingChk(ModuleId::ICM));
+        ioq.complete(10, RobId(5), false);
+        wd.tick(500, &ioq);
+        assert!(!wd.is_decoupled());
+    }
+
+    #[test]
+    fn plain_entries_never_time_out() {
+        let mut wd = Watchdog::new(cfg());
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(1), IoqEntryKind::Plain);
+        wd.tick(10_000, &ioq);
+        assert!(!wd.is_decoupled());
+    }
+
+    #[test]
+    fn error_burst_trips() {
+        let mut wd = Watchdog::new(cfg());
+        wd.record_flush(10);
+        wd.record_flush(20);
+        assert!(!wd.is_decoupled());
+        wd.record_flush(30);
+        assert_eq!(wd.safe_mode(), Some(SafeModeCause::ErrorBurst));
+    }
+
+    #[test]
+    fn spread_out_flushes_do_not_trip() {
+        let mut wd = Watchdog::new(cfg());
+        for i in 0..10 {
+            wd.record_flush(i * 1000);
+        }
+        assert!(!wd.is_decoupled());
+    }
+
+    #[test]
+    fn premature_passes_trip() {
+        let mut wd = Watchdog::new(cfg());
+        wd.record_premature_pass(1);
+        wd.record_premature_pass(2);
+        wd.record_premature_pass(3);
+        assert_eq!(wd.safe_mode(), Some(SafeModeCause::PrematurePass));
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let mut wd = Watchdog::new(cfg());
+        for i in 0..5 {
+            wd.record_flush(i);
+        }
+        for i in 0..5 {
+            wd.record_premature_pass(i);
+        }
+        assert_eq!(wd.safe_mode(), Some(SafeModeCause::ErrorBurst));
+        assert_eq!(wd.trips, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Disassembler: turns decoded instructions back into assembler syntax.
+
+use crate::{decode, Inst};
+
+/// Formats a single instruction in the assembler's input syntax.
+pub fn format_inst(inst: &Inst) -> String {
+    use Inst::*;
+    match *inst {
+        Add { rd, rs, rt } => format!("add {rd}, {rs}, {rt}"),
+        Sub { rd, rs, rt } => format!("sub {rd}, {rs}, {rt}"),
+        Mul { rd, rs, rt } => format!("mul {rd}, {rs}, {rt}"),
+        Div { rd, rs, rt } => format!("div {rd}, {rs}, {rt}"),
+        Rem { rd, rs, rt } => format!("rem {rd}, {rs}, {rt}"),
+        And { rd, rs, rt } => format!("and {rd}, {rs}, {rt}"),
+        Or { rd, rs, rt } => format!("or {rd}, {rs}, {rt}"),
+        Xor { rd, rs, rt } => format!("xor {rd}, {rs}, {rt}"),
+        Nor { rd, rs, rt } => format!("nor {rd}, {rs}, {rt}"),
+        Slt { rd, rs, rt } => format!("slt {rd}, {rs}, {rt}"),
+        Sltu { rd, rs, rt } => format!("sltu {rd}, {rs}, {rt}"),
+        Sllv { rd, rt, rs } => format!("sllv {rd}, {rt}, {rs}"),
+        Srlv { rd, rt, rs } => format!("srlv {rd}, {rt}, {rs}"),
+        Srav { rd, rt, rs } => format!("srav {rd}, {rt}, {rs}"),
+        Sll { rd, rt, shamt } => format!("sll {rd}, {rt}, {shamt}"),
+        Srl { rd, rt, shamt } => format!("srl {rd}, {rt}, {shamt}"),
+        Sra { rd, rt, shamt } => format!("sra {rd}, {rt}, {shamt}"),
+        Addi { rt, rs, imm } => format!("addi {rt}, {rs}, {imm}"),
+        Slti { rt, rs, imm } => format!("slti {rt}, {rs}, {imm}"),
+        Andi { rt, rs, imm } => format!("andi {rt}, {rs}, {imm}"),
+        Ori { rt, rs, imm } => format!("ori {rt}, {rs}, {imm}"),
+        Xori { rt, rs, imm } => format!("xori {rt}, {rs}, {imm}"),
+        Lui { rt, imm } => format!("lui {rt}, {imm}"),
+        Lw { rt, base, off } => format!("lw {rt}, {off}({base})"),
+        Lh { rt, base, off } => format!("lh {rt}, {off}({base})"),
+        Lhu { rt, base, off } => format!("lhu {rt}, {off}({base})"),
+        Lb { rt, base, off } => format!("lb {rt}, {off}({base})"),
+        Lbu { rt, base, off } => format!("lbu {rt}, {off}({base})"),
+        Sw { rt, base, off } => format!("sw {rt}, {off}({base})"),
+        Sh { rt, base, off } => format!("sh {rt}, {off}({base})"),
+        Sb { rt, base, off } => format!("sb {rt}, {off}({base})"),
+        Beq { rs, rt, off } => format!("beq {rs}, {rt}, {off}"),
+        Bne { rs, rt, off } => format!("bne {rs}, {rt}, {off}"),
+        Blt { rs, rt, off } => format!("blt {rs}, {rt}, {off}"),
+        Bge { rs, rt, off } => format!("bge {rs}, {rt}, {off}"),
+        J { target } => format!("j {:#x}", target << 2),
+        Jal { target } => format!("jal {:#x}", target << 2),
+        Jr { rs } => format!("jr {rs}"),
+        Jalr { rd, rs } => format!("jalr {rd}, {rs}"),
+        Syscall => "syscall".to_string(),
+        Halt => "halt".to_string(),
+        Nop => "nop".to_string(),
+        Chk(c) => c.to_string(),
+    }
+}
+
+/// Disassembles a sequence of instruction words into annotated lines,
+/// one per word: `address: word  mnemonic`.
+///
+/// Words that fail to decode are rendered as `.word 0x…` so the listing
+/// is always complete.
+pub fn disassemble(words: &[u32], base: u32) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let pc = base + (i as u32) * 4;
+        let text = match decode(w) {
+            Ok(inst) => format_inst(&inst),
+            Err(_) => format!(".word {w:#010x}"),
+        };
+        out.push_str(&format!("{pc:#010x}: {w:08x}  {text}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode, Reg};
+
+    #[test]
+    fn formats_core_instructions() {
+        let i = Inst::Addi { rt: Reg::A0, rs: Reg::ZERO, imm: -5 };
+        assert_eq!(format_inst(&i), "addi r4, r0, -5");
+        let i = Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 8 };
+        assert_eq!(format_inst(&i), "lw r8, 8(r29)");
+    }
+
+    #[test]
+    fn disassembly_includes_addresses_and_bad_words() {
+        let words = vec![encode(&Inst::Nop), 0x7C00_0000];
+        let listing = disassemble(&words, 0x40_0000);
+        assert!(listing.contains("0x00400000: 00000000  nop"));
+        assert!(listing.contains(".word 0x7c000000"));
+    }
+}

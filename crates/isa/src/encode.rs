@@ -1,0 +1,316 @@
+//! Binary instruction encoding and decoding.
+//!
+//! The bit-level format matters in this system: the Instruction Checker
+//! Module compares the raw 32-bit encoding of an in-flight instruction
+//! against a redundant copy, so single- and multi-bit flips in the word
+//! must be observable. The format is MIPS-like:
+//!
+//! ```text
+//! R-type : opcode(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+//! I-type : opcode(6) rs(5) rt(5) imm(16)
+//! J-type : opcode(6) target(26)
+//! CHECK  : opcode(6)=0x3F module(4) blk(1) op(5) param(16)
+//! ```
+
+use crate::chk::{ChkSpec, ModuleId};
+use crate::{Inst, Reg};
+use std::fmt;
+
+// Primary opcodes.
+const OP_RTYPE: u32 = 0x00;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLT: u32 = 0x06;
+const OP_BGE: u32 = 0x07;
+const OP_ADDI: u32 = 0x08;
+const OP_SLTI: u32 = 0x0A;
+const OP_ANDI: u32 = 0x0C;
+const OP_ORI: u32 = 0x0D;
+const OP_XORI: u32 = 0x0E;
+const OP_LUI: u32 = 0x0F;
+const OP_LB: u32 = 0x20;
+const OP_LH: u32 = 0x21;
+const OP_LW: u32 = 0x23;
+const OP_LBU: u32 = 0x24;
+const OP_LHU: u32 = 0x25;
+const OP_SB: u32 = 0x28;
+const OP_SH: u32 = 0x29;
+const OP_SW: u32 = 0x2B;
+const OP_CHK: u32 = 0x3F;
+
+// R-type function codes.
+const F_SLL: u32 = 0x00;
+const F_SRL: u32 = 0x02;
+const F_SRA: u32 = 0x03;
+const F_SLLV: u32 = 0x04;
+const F_SRLV: u32 = 0x06;
+const F_SRAV: u32 = 0x07;
+const F_JR: u32 = 0x08;
+const F_JALR: u32 = 0x09;
+const F_SYSCALL: u32 = 0x0C;
+const F_HALT: u32 = 0x0D;
+const F_MUL: u32 = 0x18;
+const F_DIV: u32 = 0x1A;
+const F_REM: u32 = 0x1B;
+const F_ADD: u32 = 0x20;
+const F_SUB: u32 = 0x22;
+const F_AND: u32 = 0x24;
+const F_OR: u32 = 0x25;
+const F_XOR: u32 = 0x26;
+const F_NOR: u32 = 0x27;
+const F_SLT: u32 = 0x2A;
+const F_SLTU: u32 = 0x2B;
+
+/// Error returned by [`decode`] for malformed instruction words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn r(word: u32, lo: u32) -> Reg {
+    Reg::new(((word >> lo) & 0x1F) as u8)
+}
+
+fn rtype(rs: Reg, rt: Reg, rd: Reg, shamt: u8, funct: u32) -> u32 {
+    (OP_RTYPE << 26)
+        | ((rs.number() as u32) << 21)
+        | ((rt.number() as u32) << 16)
+        | ((rd.number() as u32) << 11)
+        | ((shamt as u32) << 6)
+        | funct
+}
+
+fn itype(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | ((rs.number() as u32) << 21) | ((rt.number() as u32) << 16) | imm as u32
+}
+
+/// Encodes an instruction into its 32-bit binary word.
+///
+/// Every instruction has exactly one encoding, except that `nop` shares
+/// the all-zero word with `sll r0, r0, 0` (as in MIPS).
+pub fn encode(inst: &Inst) -> u32 {
+    use Inst::*;
+    match *inst {
+        Add { rd, rs, rt } => rtype(rs, rt, rd, 0, F_ADD),
+        Sub { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SUB),
+        Mul { rd, rs, rt } => rtype(rs, rt, rd, 0, F_MUL),
+        Div { rd, rs, rt } => rtype(rs, rt, rd, 0, F_DIV),
+        Rem { rd, rs, rt } => rtype(rs, rt, rd, 0, F_REM),
+        And { rd, rs, rt } => rtype(rs, rt, rd, 0, F_AND),
+        Or { rd, rs, rt } => rtype(rs, rt, rd, 0, F_OR),
+        Xor { rd, rs, rt } => rtype(rs, rt, rd, 0, F_XOR),
+        Nor { rd, rs, rt } => rtype(rs, rt, rd, 0, F_NOR),
+        Slt { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SLT),
+        Sltu { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SLTU),
+        Sllv { rd, rt, rs } => rtype(rs, rt, rd, 0, F_SLLV),
+        Srlv { rd, rt, rs } => rtype(rs, rt, rd, 0, F_SRLV),
+        Srav { rd, rt, rs } => rtype(rs, rt, rd, 0, F_SRAV),
+        Sll { rd, rt, shamt } => rtype(Reg::ZERO, rt, rd, shamt & 0x1F, F_SLL),
+        Srl { rd, rt, shamt } => rtype(Reg::ZERO, rt, rd, shamt & 0x1F, F_SRL),
+        Sra { rd, rt, shamt } => rtype(Reg::ZERO, rt, rd, shamt & 0x1F, F_SRA),
+        Jr { rs } => rtype(rs, Reg::ZERO, Reg::ZERO, 0, F_JR),
+        Jalr { rd, rs } => rtype(rs, Reg::ZERO, rd, 0, F_JALR),
+        Syscall => rtype(Reg::ZERO, Reg::ZERO, Reg::ZERO, 0, F_SYSCALL),
+        Halt => rtype(Reg::ZERO, Reg::ZERO, Reg::ZERO, 0, F_HALT),
+        Nop => 0,
+        Addi { rt, rs, imm } => itype(OP_ADDI, rs, rt, imm as u16),
+        Slti { rt, rs, imm } => itype(OP_SLTI, rs, rt, imm as u16),
+        Andi { rt, rs, imm } => itype(OP_ANDI, rs, rt, imm),
+        Ori { rt, rs, imm } => itype(OP_ORI, rs, rt, imm),
+        Xori { rt, rs, imm } => itype(OP_XORI, rs, rt, imm),
+        Lui { rt, imm } => itype(OP_LUI, Reg::ZERO, rt, imm),
+        Lw { rt, base, off } => itype(OP_LW, base, rt, off as u16),
+        Lh { rt, base, off } => itype(OP_LH, base, rt, off as u16),
+        Lhu { rt, base, off } => itype(OP_LHU, base, rt, off as u16),
+        Lb { rt, base, off } => itype(OP_LB, base, rt, off as u16),
+        Lbu { rt, base, off } => itype(OP_LBU, base, rt, off as u16),
+        Sw { rt, base, off } => itype(OP_SW, base, rt, off as u16),
+        Sh { rt, base, off } => itype(OP_SH, base, rt, off as u16),
+        Sb { rt, base, off } => itype(OP_SB, base, rt, off as u16),
+        Beq { rs, rt, off } => itype(OP_BEQ, rs, rt, off as u16),
+        Bne { rs, rt, off } => itype(OP_BNE, rs, rt, off as u16),
+        Blt { rs, rt, off } => itype(OP_BLT, rs, rt, off as u16),
+        Bge { rs, rt, off } => itype(OP_BGE, rs, rt, off as u16),
+        J { target } => (OP_J << 26) | (target & 0x03FF_FFFF),
+        Jal { target } => (OP_JAL << 26) | (target & 0x03FF_FFFF),
+        Chk(c) => {
+            (OP_CHK << 26)
+                | ((c.module.number() as u32) << 22)
+                | ((c.blocking as u32) << 21)
+                | ((c.op as u32) << 16)
+                | c.param as u32
+        }
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or function field is not part of
+/// the ISA — this is exactly the condition a multi-bit fault can induce,
+/// and the pipeline treats it as an illegal-instruction fault.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    use Inst::*;
+    if word == 0 {
+        return Ok(Nop);
+    }
+    let op = word >> 26;
+    let rs = r(word, 21);
+    let rt = r(word, 16);
+    let rd = r(word, 11);
+    let shamt = ((word >> 6) & 0x1F) as u8;
+    let imm = (word & 0xFFFF) as u16;
+    let simm = imm as i16;
+    let inst = match op {
+        OP_RTYPE => match word & 0x3F {
+            F_ADD => Add { rd, rs, rt },
+            F_SUB => Sub { rd, rs, rt },
+            F_MUL => Mul { rd, rs, rt },
+            F_DIV => Div { rd, rs, rt },
+            F_REM => Rem { rd, rs, rt },
+            F_AND => And { rd, rs, rt },
+            F_OR => Or { rd, rs, rt },
+            F_XOR => Xor { rd, rs, rt },
+            F_NOR => Nor { rd, rs, rt },
+            F_SLT => Slt { rd, rs, rt },
+            F_SLTU => Sltu { rd, rs, rt },
+            F_SLLV => Sllv { rd, rt, rs },
+            F_SRLV => Srlv { rd, rt, rs },
+            F_SRAV => Srav { rd, rt, rs },
+            F_SLL => Sll { rd, rt, shamt },
+            F_SRL => Srl { rd, rt, shamt },
+            F_SRA => Sra { rd, rt, shamt },
+            F_JR => Jr { rs },
+            F_JALR => Jalr { rd, rs },
+            F_SYSCALL => Syscall,
+            F_HALT => Halt,
+            _ => return Err(DecodeError { word, reason: "unknown R-type function code" }),
+        },
+        OP_ADDI => Addi { rt, rs, imm: simm },
+        OP_SLTI => Slti { rt, rs, imm: simm },
+        OP_ANDI => Andi { rt, rs, imm },
+        OP_ORI => Ori { rt, rs, imm },
+        OP_XORI => Xori { rt, rs, imm },
+        OP_LUI => Lui { rt, imm },
+        OP_LW => Lw { rt, base: rs, off: simm },
+        OP_LH => Lh { rt, base: rs, off: simm },
+        OP_LHU => Lhu { rt, base: rs, off: simm },
+        OP_LB => Lb { rt, base: rs, off: simm },
+        OP_LBU => Lbu { rt, base: rs, off: simm },
+        OP_SW => Sw { rt, base: rs, off: simm },
+        OP_SH => Sh { rt, base: rs, off: simm },
+        OP_SB => Sb { rt, base: rs, off: simm },
+        OP_BEQ => Beq { rs, rt, off: simm },
+        OP_BNE => Bne { rs, rt, off: simm },
+        OP_BLT => Blt { rs, rt, off: simm },
+        OP_BGE => Bge { rs, rt, off: simm },
+        OP_J => J { target: word & 0x03FF_FFFF },
+        OP_JAL => Jal { target: word & 0x03FF_FFFF },
+        OP_CHK => {
+            let module = ModuleId::new(((word >> 22) & 0xF) as u8);
+            let blocking = (word >> 21) & 1 == 1;
+            let chk_op = ((word >> 16) & 0x1F) as u8;
+            Chk(ChkSpec::new(module, blocking, chk_op, imm))
+        }
+        _ => return Err(DecodeError { word, reason: "unknown opcode" }),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chk::ops;
+    use proptest::prelude::*;
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    fn inst_strategy() -> impl Strategy<Value = Inst> {
+        use Inst::*;
+        let rg = reg_strategy;
+        prop_oneof![
+            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
+            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Sub { rd, rs, rt }),
+            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Mul { rd, rs, rt }),
+            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Div { rd, rs, rt }),
+            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Rem { rd, rs, rt }),
+            (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
+            (rg(), rg(), rg()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
+            // Exclude sll r0, r0, 0, which aliases the nop encoding.
+            ((1u8..32).prop_map(Reg::new), rg(), 0u8..32)
+                .prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
+            (rg(), rg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
+            (rg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
+            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, off)| Lw { rt, base, off }),
+            (rg(), rg(), any::<i16>()).prop_map(|(rt, base, off)| Sb { rt, base, off }),
+            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, off)| Beq { rs, rt, off }),
+            (rg(), rg(), any::<i16>()).prop_map(|(rs, rt, off)| Bge { rs, rt, off }),
+            (0u32..0x0400_0000).prop_map(|target| J { target }),
+            (0u32..0x0400_0000).prop_map(|target| Jal { target }),
+            rg().prop_map(|rs| Jr { rs }),
+            (rg(), rg()).prop_map(|(rd, rs)| Jalr { rd, rs }),
+            Just(Syscall),
+            Just(Halt),
+            Just(Nop),
+            (0u8..16, any::<bool>(), 0u8..32, any::<u16>()).prop_map(|(m, b, op, p)| Chk(
+                ChkSpec::new(ModuleId::new(m), b, op, p)
+            )),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in inst_strategy()) {
+            let word = encode(&inst);
+            prop_assert_eq!(decode(word).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn nop_is_all_zero() {
+        assert_eq!(encode(&Inst::Nop), 0);
+        assert_eq!(decode(0).unwrap(), Inst::Nop);
+    }
+
+    #[test]
+    fn chk_fields_packed_correctly() {
+        let spec = ChkSpec::blocking(ModuleId::ICM, ops::ICM_CHECK_NEXT, 0xBEEF);
+        let word = encode(&Inst::Chk(spec));
+        assert_eq!(word >> 26, 0x3F);
+        assert_eq!((word >> 22) & 0xF, 0); // ICM is module 0
+        assert_eq!((word >> 21) & 1, 1); // blocking
+        assert_eq!((word >> 16) & 0x1F, ops::ICM_CHECK_NEXT as u32);
+        assert_eq!(word & 0xFFFF, 0xBEEF);
+    }
+
+    #[test]
+    fn bit_flip_in_opcode_is_detected() {
+        let word = encode(&Inst::Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 });
+        // Flipping a bit in the function field can make the word undecodable.
+        let corrupted = word ^ 0x0000_0010;
+        assert!(decode(corrupted).is_err() || decode(corrupted).unwrap() != decode(word).unwrap());
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let err = decode(0x7C00_0000).unwrap_err(); // opcode 0x1F unused
+        assert_eq!(err.reason, "unknown opcode");
+        assert!(err.to_string().contains("0x7c000000"));
+    }
+}

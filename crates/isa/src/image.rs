@@ -1,0 +1,272 @@
+//! Executable images and the MLR "special header".
+//!
+//! An [`Image`] is the output of the assembler and the input of the guest
+//! loader: text and data segments plus an [`ExecHeader`] describing the
+//! process layout. The header is the *special header* of Figure 3 of the
+//! paper — the loader assembles it in memory and hands its location to the
+//! Memory Layout Randomization module via a CHECK instruction; the module
+//! then parses it in hardware (register-transfer steps of Figure 3(B)).
+
+use crate::layout;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Magic number identifying a serialized [`ExecHeader`] ("RSE0").
+pub const HEADER_MAGIC: u32 = 0x5253_4530;
+
+/// Size of the serialized header, in 32-bit words (padded; the MLR module
+/// reserves a 4 KB buffer, comfortably larger).
+pub const HEADER_WORDS: usize = 16;
+
+/// The executable header parsed by the MLR module (Figure 3(B)).
+///
+/// All lengths are in bytes; all addresses are virtual addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecHeader {
+    /// Start address of the code (text) segment.
+    pub code_start: u32,
+    /// Length of the code segment.
+    pub code_len: u32,
+    /// Start address of the static data segment.
+    pub data_start: u32,
+    /// Length of the initialized static data segment.
+    pub data_len: u32,
+    /// Length of the uninitialized data (bss) segment.
+    pub bss_len: u32,
+    /// Nominal shared-library base address.
+    pub shared_lib_base: u32,
+    /// Nominal stack segment base (top) address.
+    pub stack_base: u32,
+    /// Nominal heap segment base address.
+    pub heap_base: u32,
+    /// Location of the Global Offset Table, if the image has one (else 0).
+    pub got_location: u32,
+    /// Size of the GOT in bytes.
+    pub got_size: u32,
+    /// Location of the Procedure Linkage Table, if present (else 0).
+    pub plt_location: u32,
+    /// Size of the PLT in bytes.
+    pub plt_size: u32,
+    /// Program entry point.
+    pub entry: u32,
+}
+
+impl ExecHeader {
+    /// Serializes the header into its in-memory word layout.
+    pub fn to_words(&self) -> [u32; HEADER_WORDS] {
+        let mut w = [0u32; HEADER_WORDS];
+        w[0] = HEADER_MAGIC;
+        w[1] = self.code_start;
+        w[2] = self.code_len;
+        w[3] = self.data_start;
+        w[4] = self.data_len;
+        w[5] = self.bss_len;
+        w[6] = self.shared_lib_base;
+        w[7] = self.stack_base;
+        w[8] = self.heap_base;
+        w[9] = self.got_location;
+        w[10] = self.got_size;
+        w[11] = self.plt_location;
+        w[12] = self.plt_size;
+        w[13] = self.entry;
+        w
+    }
+
+    /// Parses a header from its in-memory word layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeaderError`] if the buffer is short or the magic number
+    /// is wrong — this is what the hardware parser would detect.
+    pub fn from_words(words: &[u32]) -> Result<ExecHeader, HeaderError> {
+        if words.len() < HEADER_WORDS {
+            return Err(HeaderError::Truncated { got: words.len() });
+        }
+        if words[0] != HEADER_MAGIC {
+            return Err(HeaderError::BadMagic { got: words[0] });
+        }
+        Ok(ExecHeader {
+            code_start: words[1],
+            code_len: words[2],
+            data_start: words[3],
+            data_len: words[4],
+            bss_len: words[5],
+            shared_lib_base: words[6],
+            stack_base: words[7],
+            heap_base: words[8],
+            got_location: words[9],
+            got_size: words[10],
+            plt_location: words[11],
+            plt_size: words[12],
+            entry: words[13],
+        })
+    }
+}
+
+/// Error parsing an [`ExecHeader`] from memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The buffer held fewer than [`HEADER_WORDS`] words.
+    Truncated {
+        /// Number of words actually available.
+        got: usize,
+    },
+    /// The magic word did not match [`HEADER_MAGIC`].
+    BadMagic {
+        /// The word found where the magic was expected.
+        got: u32,
+    },
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::Truncated { got } => {
+                write!(f, "executable header truncated: {got} words, need {HEADER_WORDS}")
+            }
+            HeaderError::BadMagic { got } => {
+                write!(f, "bad executable header magic {got:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+/// Which segment a symbol or address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// The code segment.
+    Text,
+    /// The initialized data segment.
+    Data,
+}
+
+/// An assembled executable image, ready for the guest loader.
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    /// Base virtual address of the text segment.
+    pub text_base: u32,
+    /// Encoded instruction words, in order, starting at `text_base`.
+    pub text: Vec<u32>,
+    /// Base virtual address of the data segment.
+    pub data_base: u32,
+    /// Initialized data bytes, starting at `data_base`.
+    pub data: Vec<u8>,
+    /// Size of the uninitialized (bss) region following `data`.
+    pub bss_len: u32,
+    /// Entry-point address.
+    pub entry: u32,
+    /// Symbol table: label → virtual address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Image {
+    /// Looks up a label's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Builds the MLR special header for this image using the nominal
+    /// layout, filling GOT/PLT descriptors from the `__got`/`__plt` and
+    /// `__got_end`/`__plt_end` symbols when present.
+    pub fn exec_header(&self) -> ExecHeader {
+        let span = |start: &str, end: &str| -> (u32, u32) {
+            match (self.symbol(start), self.symbol(end)) {
+                (Some(s), Some(e)) if e >= s => (s, e - s),
+                (Some(s), None) => (s, 0),
+                _ => (0, 0),
+            }
+        };
+        let (got_location, got_size) = span("__got", "__got_end");
+        let (plt_location, plt_size) = span("__plt", "__plt_end");
+        ExecHeader {
+            code_start: self.text_base,
+            code_len: (self.text.len() as u32) * crate::INST_BYTES,
+            data_start: self.data_base,
+            data_len: self.data.len() as u32,
+            bss_len: self.bss_len,
+            shared_lib_base: layout::SHLIB_BASE,
+            stack_base: layout::STACK_BASE,
+            heap_base: layout::HEAP_BASE,
+            got_location,
+            got_size,
+            plt_location,
+            plt_size,
+            entry: self.entry,
+        }
+    }
+
+    /// End address (exclusive) of the text segment.
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.text.len() as u32) * crate::INST_BYTES
+    }
+
+    /// End address (exclusive) of the data segment including bss.
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32 + self.bss_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = ExecHeader {
+            code_start: 0x40_0000,
+            code_len: 1024,
+            data_start: 0x1000_0000,
+            data_len: 512,
+            bss_len: 128,
+            shared_lib_base: layout::SHLIB_BASE,
+            stack_base: layout::STACK_BASE,
+            heap_base: layout::HEAP_BASE,
+            got_location: 0x1000_0100,
+            got_size: 64,
+            plt_location: 0x40_0800,
+            plt_size: 96,
+            entry: 0x40_0000,
+        };
+        assert_eq!(ExecHeader::from_words(&h.to_words()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic() {
+        let mut w = ExecHeader::default().to_words();
+        w[0] = 0xDEAD_BEEF;
+        assert_eq!(ExecHeader::from_words(&w), Err(HeaderError::BadMagic { got: 0xDEAD_BEEF }));
+    }
+
+    #[test]
+    fn header_rejects_truncation() {
+        let w = [HEADER_MAGIC; 3];
+        assert!(matches!(ExecHeader::from_words(&w), Err(HeaderError::Truncated { got: 3 })));
+    }
+
+    #[test]
+    fn image_extents() {
+        let img = Image {
+            text_base: 0x40_0000,
+            text: vec![0; 10],
+            data_base: 0x1000_0000,
+            data: vec![0; 100],
+            bss_len: 28,
+            ..Image::default()
+        };
+        assert_eq!(img.text_end(), 0x40_0028);
+        assert_eq!(img.data_end(), 0x1000_0080);
+    }
+
+    #[test]
+    fn exec_header_picks_up_got_plt_symbols() {
+        let mut img = Image { data_base: 0x1000_0000, ..Image::default() };
+        img.symbols.insert("__got".into(), 0x1000_0010);
+        img.symbols.insert("__got_end".into(), 0x1000_0090);
+        let h = img.exec_header();
+        assert_eq!(h.got_location, 0x1000_0010);
+        assert_eq!(h.got_size, 0x80);
+        assert_eq!(h.plt_location, 0); // absent
+    }
+}

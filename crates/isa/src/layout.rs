@@ -1,0 +1,56 @@
+//! Default virtual memory layout of a guest process.
+//!
+//! These are the *nominal* (pre-randomization) bases; the Memory Layout
+//! Randomization module's whole purpose is to move the position-independent
+//! regions (stack, heap, shared libraries) away from them at load time.
+
+/// Base address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Base address of the static data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// Nominal base address of the heap (grows upward). The loader normally
+/// places it just past the data + bss segments; this is the fallback.
+pub const HEAP_BASE: u32 = 0x1800_0000;
+
+/// Nominal base of the shared-library mapping region.
+pub const SHLIB_BASE: u32 = 0x0F00_0000;
+
+/// Nominal top of the stack (grows downward).
+pub const STACK_BASE: u32 = 0x7FFF_F000;
+
+/// Guest page size, in bytes. The DDT tracks dependencies at this
+/// granularity and the SavePage exception checkpoints one such page.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Returns the page id containing `addr` (the `PageID` of Figure 4).
+pub fn page_id(addr: u32) -> u32 {
+    addr / PAGE_SIZE
+}
+
+/// Returns the base address of page `id`.
+pub fn page_base(id: u32) -> u32 {
+    id * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        assert_eq!(page_id(0), 0);
+        assert_eq!(page_id(4095), 0);
+        assert_eq!(page_id(4096), 1);
+        assert_eq!(page_base(page_id(0x1000_0123)), 0x1000_0000);
+    }
+
+    #[test]
+    fn segments_do_not_overlap_nominally() {
+        assert!(TEXT_BASE < SHLIB_BASE);
+        assert!(SHLIB_BASE < DATA_BASE);
+        assert!(DATA_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < STACK_BASE);
+    }
+}

@@ -1,0 +1,72 @@
+//! # rse-isa — instruction set architecture for the RSE simulator
+//!
+//! This crate defines the guest ISA used throughout the reproduction of
+//! *"An Architectural Framework for Providing Reliability and Security
+//! Support"* (DSN 2004): a 32-bit, integer-only, DLX/MIPS-like RISC with a
+//! fixed 4-byte instruction word, extended with the paper's special `CHK`
+//! (CHECK) instruction that invokes hardware modules hosted in the
+//! Reliability and Security Engine (RSE).
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — architectural registers (`r0`…`r31`, `r0` hard-wired zero),
+//! * [`Inst`] — the decoded instruction enum, with [`InstClass`] routing
+//!   information for the superscalar pipeline's functional units,
+//! * [`encode`]/[`decode`] — the binary instruction format (round-trip
+//!   exact; the Instruction Checker Module compares raw encodings, so the
+//!   bit-level format matters),
+//! * [`chk`] — the CHECK instruction fields of §3.3 of the paper (module
+//!   number, blocking/non-blocking, operation, parameter),
+//! * [`asm`] — a two-pass assembler with labels, directives and
+//!   pseudo-instructions, and [`disasm`] — the matching disassembler,
+//! * [`image`] — the executable image format, including the *special
+//!   header* parsed by the Memory Layout Randomization module (Figure 3),
+//! * [`layout`] — the default virtual memory layout of a guest process.
+//!
+//! # Example
+//!
+//! ```
+//! use rse_isa::{asm::assemble, Inst, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble(
+//!     r#"
+//!         .text
+//! main:   addi r4, r0, 41
+//!         addi r4, r4, 1
+//!         halt
+//!     "#,
+//! )?;
+//! assert_eq!(image.text.len(), 3);
+//! assert_eq!(
+//!     rse_isa::decode(image.text[0])?,
+//!     Inst::Addi { rt: Reg::A0, rs: Reg::ZERO, imm: 41 }
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod asm;
+pub mod chk;
+pub mod disasm;
+mod encode;
+pub mod image;
+mod inst;
+pub mod layout;
+mod reg;
+pub mod syscalls;
+
+pub use chk::{ChkSpec, ModuleId};
+pub use encode::{decode, encode, DecodeError};
+pub use image::{ExecHeader, Image, Section};
+pub use inst::{Inst, InstClass};
+pub use reg::{ParseRegError, Reg};
+
+/// Size of one instruction word, in bytes. The ISA is fixed-width.
+pub const INST_BYTES: u32 = 4;
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;

@@ -1,0 +1,225 @@
+//! Architectural registers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An architectural integer register, `r0`–`r31`.
+///
+/// `r0` is hard-wired to zero: writes to it are discarded by the pipeline.
+/// The calling convention mirrors MIPS o32 (see the associated constants).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register (`r0`).
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary (`r1`).
+    pub const AT: Reg = Reg(1);
+    /// First return-value register (`r2`).
+    pub const V0: Reg = Reg(2);
+    /// Second return-value register (`r3`).
+    pub const V1: Reg = Reg(3);
+    /// First argument register (`r4`).
+    pub const A0: Reg = Reg(4);
+    /// Second argument register (`r5`).
+    pub const A1: Reg = Reg(5);
+    /// Third argument register (`r6`).
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register (`r7`).
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries `t0`–`t7` are `r8`–`r15`.
+    pub const T0: Reg = Reg(8);
+    /// Temporary `t1` (`r9`).
+    pub const T1: Reg = Reg(9);
+    /// Temporary `t2` (`r10`).
+    pub const T2: Reg = Reg(10);
+    /// Temporary `t3` (`r11`).
+    pub const T3: Reg = Reg(11);
+    /// Temporary `t4` (`r12`).
+    pub const T4: Reg = Reg(12);
+    /// Temporary `t5` (`r13`).
+    pub const T5: Reg = Reg(13);
+    /// Temporary `t6` (`r14`).
+    pub const T6: Reg = Reg(14);
+    /// Temporary `t7` (`r15`).
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved `s0` (`r16`).
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved `s1` (`r17`).
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved `s2` (`r18`).
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved `s3` (`r19`).
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved `s4` (`r20`).
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved `s5` (`r21`).
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved `s6` (`r22`).
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved `s7` (`r23`).
+    pub const S7: Reg = Reg(23);
+    /// Temporary `t8` (`r24`).
+    pub const T8: Reg = Reg(24);
+    /// Temporary `t9` (`r25`).
+    pub const T9: Reg = Reg(25);
+    /// Kernel-reserved `k0` (`r26`).
+    pub const K0: Reg = Reg(26);
+    /// Kernel-reserved `k1` (`r27`).
+    pub const K1: Reg = Reg(27);
+    /// Global pointer (`r28`).
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer (`r29`).
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer (`r30`).
+    pub const FP: Reg = Reg(30);
+    /// Return address (`r31`).
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` if out of range.
+    pub fn try_new(n: u8) -> Option<Reg> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// The register number, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register number as a raw `u8`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The conventional (ABI) name of the register, e.g. `"sp"` for `r29`.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}({})", self.0, self.abi_name())
+    }
+}
+
+/// Error returned when a register name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `r0`…`r31`, `$0`…`$31`, or an ABI name (`sp`, `a0`, …).
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        let err = || ParseRegError { text: s.to_string() };
+        let (dollar, body) = match s.strip_prefix('$') {
+            Some(b) => (true, b),
+            None => (false, s),
+        };
+        if let Some(num) = body.strip_prefix('r').or_else(|| body.strip_prefix('R')) {
+            if let Ok(n) = num.parse::<u8>() {
+                return Reg::try_new(n).ok_or_else(err);
+            }
+        }
+        // A bare number is only a register when written `$N`; without the
+        // sigil it would be ambiguous with an immediate operand.
+        if dollar {
+            if let Ok(n) = body.parse::<u8>() {
+                return Reg::try_new(n).ok_or_else(err);
+            }
+        }
+        let lower = body.to_ascii_lowercase();
+        Reg::all().find(|r| r.abi_name() == lower).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_names_parse() {
+        assert_eq!("r0".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("r31".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("$29".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("R7".parse::<Reg>().unwrap(), Reg::A3);
+    }
+
+    #[test]
+    fn abi_names_parse() {
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("$t3".parse::<Reg>().unwrap(), Reg::T3);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!(Reg::try_new(32).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_and_abi_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+            assert_eq!(r.abi_name().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn zero_register_identified() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+    }
+}

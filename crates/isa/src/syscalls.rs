@@ -1,0 +1,44 @@
+//! System call numbers shared between guest programs and the guest OS
+//! layer (`rse-sys`).
+//!
+//! Convention: the syscall number is passed in `v0` (`r2`); arguments in
+//! `a0`–`a3` (`r4`–`r7`); the result, if any, is returned in `v0`.
+
+/// Terminate the current thread's process with exit code `a0`.
+pub const EXIT: u32 = 1;
+/// Print the signed integer in `a0` (diagnostic output channel).
+pub const PRINT_INT: u32 = 2;
+/// Print the NUL-terminated string at address `a0`.
+pub const PRINT_STR: u32 = 3;
+/// Grow the heap by `a0` bytes; returns the old break in `v0`.
+pub const SBRK: u32 = 4;
+
+/// Spawn a new thread starting at address `a0` with argument `a1` placed
+/// in the child's `a0`; returns the new thread id in `v0`.
+pub const THREAD_SPAWN: u32 = 16;
+/// Terminate the current thread.
+pub const THREAD_EXIT: u32 = 17;
+/// Yield the processor to the next runnable thread.
+pub const YIELD: u32 = 18;
+/// Return the current thread id in `v0`.
+pub const THREAD_SELF: u32 = 19;
+
+/// Receive the next network request; returns the request descriptor in
+/// `v0`, or `-1` (as `u32::MAX`) when the request source is exhausted.
+/// Blocks the calling thread for the modeled network latency.
+pub const NET_RECV: u32 = 32;
+/// Send a response for request descriptor `a0`; blocks the calling thread
+/// for the modeled I/O latency.
+pub const NET_SEND: u32 = 33;
+/// Block the calling thread for `a0` cycles of simulated I/O wait.
+pub const IO_WAIT: u32 = 34;
+
+/// Acquire guest mutex `a0` (spins via the scheduler until free).
+pub const LOCK: u32 = 48;
+/// Release guest mutex `a0`.
+pub const UNLOCK: u32 = 49;
+
+/// Declare the current thread crashed (models a detected attack turning
+/// into a thread crash, as the MLR produces). With the DDT active the OS
+/// recovers the healthy threads; otherwise the kill-all policy applies.
+pub const CRASH: u32 = 50;

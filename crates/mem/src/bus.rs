@@ -1,0 +1,175 @@
+//! The external bus, DRAM timing, and the pipeline/MAU arbiter.
+//!
+//! §3.2 of the paper: the RSE's Memory Access Unit shares the bus
+//! interface unit with the main processor pipeline; "the requests from the
+//! MAU and the main pipeline are arbitrated upon, giving the main pipeline
+//! the higher priority". §5.2 models the arbiter cost by raising the DRAM
+//! latency for the *first chunk* from 18 to 19 cycles and the inter-chunk
+//! latency from 2 to 3 cycles.
+
+/// Who is requesting the bus. The arbiter gives [`BusPriority::Pipeline`]
+/// precedence over [`BusPriority::Mau`] when both contend in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BusPriority {
+    /// The main processor pipeline (higher priority).
+    Pipeline,
+    /// The RSE Memory Access Unit (lower priority).
+    Mau,
+}
+
+/// Pipelined DRAM timing parameters (§5.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Latency of the first chunk, in cycles.
+    pub first_chunk: u64,
+    /// Latency of each subsequent chunk.
+    pub inter_chunk: u64,
+    /// Memory bus width: bytes delivered per chunk.
+    pub chunk_bytes: u32,
+}
+
+impl DramConfig {
+    /// Baseline latency (no RSE framework): 18-cycle first chunk,
+    /// 2 cycles per subsequent chunk.
+    pub fn baseline() -> DramConfig {
+        DramConfig { first_chunk: 18, inter_chunk: 2, chunk_bytes: 8 }
+    }
+
+    /// Latency with the RSE arbiter in the path: 19-cycle first chunk,
+    /// 3 cycles per subsequent chunk (the paper's §5.2 assumption of a
+    /// 1-cycle arbiter delay).
+    pub fn with_arbiter() -> DramConfig {
+        DramConfig { first_chunk: 19, inter_chunk: 3, chunk_bytes: 8 }
+    }
+
+    /// Cycles to transfer `bytes` bytes over the pipelined memory bus.
+    pub fn transfer_cycles(&self, bytes: u32) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let chunks = bytes.div_ceil(self.chunk_bytes) as u64;
+        self.first_chunk + (chunks - 1) * self.inter_chunk
+    }
+}
+
+/// The shared external bus.
+///
+/// Occupancy is modeled as a single busy-until horizon per requester
+/// class: a request issued at cycle `now` starts no earlier than the bus
+/// is free, and MAU requests additionally wait behind any pipeline
+/// request issued in the same cycle. Counters record how often the MAU
+/// was delayed — the contention the paper's arbiter resolves.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    dram: DramConfig,
+    busy_until: u64,
+    /// Completion time of the most recent pipeline-initiated transfer,
+    /// used to make the MAU yield within a contended cycle.
+    last_pipeline_grant: u64,
+    /// Total transfers per requester.
+    pub pipeline_transfers: u64,
+    /// Total MAU transfers.
+    pub mau_transfers: u64,
+    /// Cycles MAU requests spent waiting for the bus.
+    pub mau_wait_cycles: u64,
+    /// Cycles pipeline requests spent waiting for the bus.
+    pub pipeline_wait_cycles: u64,
+}
+
+impl Bus {
+    /// Creates an idle bus with the given DRAM timing.
+    pub fn new(dram: DramConfig) -> Bus {
+        Bus {
+            dram,
+            busy_until: 0,
+            last_pipeline_grant: 0,
+            pipeline_transfers: 0,
+            mau_transfers: 0,
+            mau_wait_cycles: 0,
+            pipeline_wait_cycles: 0,
+        }
+    }
+
+    /// The DRAM timing in effect.
+    pub fn dram(&self) -> &DramConfig {
+        &self.dram
+    }
+
+    /// Requests a transfer of `bytes` bytes starting at cycle `now`.
+    /// Returns the cycle at which the data is fully delivered.
+    pub fn request(&mut self, now: u64, bytes: u32, who: BusPriority) -> u64 {
+        let mut start = now.max(self.busy_until);
+        if who == BusPriority::Mau {
+            // Pipeline wins a same-cycle conflict: if the pipeline was
+            // granted the bus at or after `now`, the MAU waits for it.
+            start = start.max(self.last_pipeline_grant);
+        }
+        let duration = self.dram.transfer_cycles(bytes);
+        let done = start + duration;
+        self.busy_until = done;
+        match who {
+            BusPriority::Pipeline => {
+                self.pipeline_transfers += 1;
+                self.pipeline_wait_cycles += start - now;
+                self.last_pipeline_grant = done;
+            }
+            BusPriority::Mau => {
+                self.mau_transfers += 1;
+                self.mau_wait_cycles += start - now;
+            }
+        }
+        done
+    }
+
+    /// Whether the bus is free at cycle `now`.
+    pub fn is_free(&self, now: u64) -> bool {
+        now >= self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        // One 32-byte cache line = 4 chunks of 8 bytes.
+        assert_eq!(DramConfig::baseline().transfer_cycles(32), 18 + 3 * 2);
+        assert_eq!(DramConfig::with_arbiter().transfer_cycles(32), 19 + 3 * 3);
+        // A single word still pays the first-chunk latency.
+        assert_eq!(DramConfig::baseline().transfer_cycles(4), 18);
+        assert_eq!(DramConfig::baseline().transfer_cycles(0), 0);
+    }
+
+    #[test]
+    fn bus_serializes_transfers() {
+        let mut bus = Bus::new(DramConfig::baseline());
+        let d1 = bus.request(0, 32, BusPriority::Pipeline);
+        assert_eq!(d1, 24);
+        // Second request at cycle 10 must wait for the first.
+        let d2 = bus.request(10, 32, BusPriority::Pipeline);
+        assert_eq!(d2, 24 + 24);
+        assert_eq!(bus.pipeline_wait_cycles, 14);
+    }
+
+    #[test]
+    fn mau_yields_to_pipeline_same_cycle() {
+        let mut bus = Bus::new(DramConfig::with_arbiter());
+        // Pipeline granted at cycle 5.
+        let p = bus.request(5, 8, BusPriority::Pipeline);
+        assert_eq!(p, 5 + 19);
+        // MAU requesting in the same cycle is pushed behind it.
+        let m = bus.request(5, 8, BusPriority::Mau);
+        assert_eq!(m, p + 19);
+        assert_eq!(bus.mau_wait_cycles, 19);
+        assert_eq!(bus.mau_transfers, 1);
+    }
+
+    #[test]
+    fn bus_frees_after_transfer() {
+        let mut bus = Bus::new(DramConfig::baseline());
+        let done = bus.request(0, 8, BusPriority::Mau);
+        assert!(!bus.is_free(done - 1));
+        assert!(bus.is_free(done));
+    }
+}

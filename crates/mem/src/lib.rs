@@ -1,0 +1,39 @@
+//! # rse-mem — memory subsystem for the RSE simulator
+//!
+//! Implements the memory hierarchy of the simulated processor of
+//! *"An Architectural Framework for Providing Reliability and Security
+//! Support"* (DSN 2004), Figure 1:
+//!
+//! * [`SparseMemory`] — byte-addressable physical memory with page-granular
+//!   allocation, page snapshot/restore (used by the DDT's SavePage
+//!   checkpointing), and fault-injection hooks,
+//! * [`Cache`] — set-associative, LRU, timing-only caches. The paper's
+//!   configuration: L1-I 8 KB direct-mapped, L1-D 8 KB direct-mapped,
+//!   L2-I 64 KB 2-way, L2-D 128 KB 2-way,
+//! * [`Bus`] — the shared external bus with the **arbiter** of §3.2: the
+//!   RSE's Memory Access Unit shares the bus interface unit with the main
+//!   pipeline, pipeline requests have priority, and the arbiter adds one
+//!   cycle to every DRAM access (memory latency 18 + 2/chunk without the
+//!   framework, 19 + 3/chunk with it — §5.2),
+//! * [`MemorySystem`] — ties the above together and exposes the three
+//!   access paths: instruction fetch, pipeline data access, and MAU
+//!   (framework) access. MAU accesses deliberately bypass the caches so
+//!   framework traffic "does not pollute the cache with data that is
+//!   irrelevant to the application" (§3.2).
+//!
+//! All timing methods take the current cycle and return the completion
+//! cycle, so the whole model is deterministic and independent of host
+//! timing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bus;
+mod cache;
+mod sparse;
+mod system;
+
+pub use bus::{Bus, BusPriority, DramConfig};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use sparse::{SparseMemory, PAGE_BYTES};
+pub use system::{AccessKind, MemConfig, MemStats, MemorySystem};

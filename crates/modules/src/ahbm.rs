@@ -1,0 +1,386 @@
+//! The Adaptive Heartbeat Monitor (AHBM) — §4.4 of the paper.
+//!
+//! Hardware support for heartbeating of operating-system and application
+//! processes/threads. The block diagram of Figure 7:
+//!
+//! * `ENTITY_IDX` — a content-addressable memory holding the ids of
+//!   monitored entities,
+//! * `COUNTER_RAM` — per-entity heartbeat counters, incremented by the
+//!   *Increment Counter Value* CHECK instruction,
+//! * `TIMEOUT_MEM` — per-entity dynamic timeout values,
+//! * the *Adaptive Timeout Monitor* — samples the counters at a fixed
+//!   interval and recalculates per-entity timeouts with an adaptive
+//!   algorithm.
+//!
+//! The paper omits the timeout algorithm "due to space limitations"; we
+//! use the classic Jacobson/Karn mean-plus-deviation estimator (the same
+//! family used for TCP RTO): the mean inter-beat interval and its mean
+//! absolute deviation are tracked with exponentially weighted moving
+//! averages, and `timeout = mean + k·dev` (with a floor). An entity whose
+//! counter does not advance for longer than its timeout is declared dead.
+
+use rse_core::{ChkDispatch, Module, ModuleCtx};
+use rse_isa::chk::ops;
+use rse_isa::ModuleId;
+use rse_pipeline::RobId;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// An identifier of a monitored entity (process/thread/OS), as carried in
+/// the CHECK instruction's 16-bit parameter.
+pub type EntityId = u16;
+
+/// AHBM configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AhbmConfig {
+    /// Sampling interval of the Adaptive Timeout Monitor, in cycles.
+    pub sample_interval: u64,
+    /// EWMA gain for the mean inter-beat interval (0 < alpha ≤ 1).
+    pub alpha: f64,
+    /// EWMA gain for the mean absolute deviation.
+    pub beta: f64,
+    /// Deviation multiplier `k` in `timeout = mean + k·dev`.
+    pub k: f64,
+    /// Lower bound on the timeout, in cycles (guards against a timeout
+    /// collapsing to ~0 for perfectly regular heartbeats).
+    pub min_timeout: u64,
+    /// Initial timeout before any interval estimate exists.
+    pub initial_timeout: u64,
+}
+
+impl Default for AhbmConfig {
+    fn default() -> AhbmConfig {
+        AhbmConfig {
+            sample_interval: 256,
+            alpha: 0.125,
+            beta: 0.25,
+            k: 4.0,
+            min_timeout: 512,
+            initial_timeout: 100_000,
+        }
+    }
+}
+
+/// Liveness state of one monitored entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntityState {
+    /// Heartbeat counter (`COUNTER_RAM` value).
+    pub counter: u64,
+    /// Estimated mean inter-beat interval, cycles.
+    pub mean_interval: f64,
+    /// Estimated mean absolute deviation of the interval.
+    pub deviation: f64,
+    /// Current dynamic timeout (`TIMEOUT_MEM` value), cycles.
+    pub timeout: u64,
+    /// Cycle of the last observed counter change.
+    pub last_beat: u64,
+    /// Whether the monitor currently believes the entity is alive.
+    pub alive: bool,
+}
+
+/// AHBM counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AhbmStats {
+    /// Heartbeats applied (committed `AHBM_BEAT` CHECKs).
+    pub beats: u64,
+    /// Entities registered.
+    pub registrations: u64,
+    /// Liveness failures declared.
+    pub failures_declared: u64,
+    /// Sampling passes performed.
+    pub samples: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingOp {
+    Register(EntityId),
+    Beat(EntityId),
+    Deregister(EntityId),
+}
+
+/// The Adaptive Heartbeat Monitor module.
+#[derive(Debug)]
+pub struct Ahbm {
+    config: AhbmConfig,
+    entities: HashMap<EntityId, EntityState>,
+    pending: HashMap<RobId, PendingOp>,
+    failed: Vec<EntityId>,
+    next_sample: u64,
+    stats: AhbmStats,
+}
+
+impl Ahbm {
+    /// Creates an AHBM module.
+    pub fn new(config: AhbmConfig) -> Ahbm {
+        Ahbm {
+            config,
+            entities: HashMap::new(),
+            pending: HashMap::new(),
+            failed: Vec::new(),
+            next_sample: 0,
+            stats: AhbmStats::default(),
+        }
+    }
+
+    /// Module counters.
+    pub fn stats(&self) -> AhbmStats {
+        self.stats
+    }
+
+    /// The state of a monitored entity.
+    pub fn entity(&self, id: EntityId) -> Option<&EntityState> {
+        self.entities.get(&id)
+    }
+
+    /// Whether the monitor believes `id` is alive (unknown entities are
+    /// not alive).
+    pub fn is_alive(&self, id: EntityId) -> bool {
+        self.entities.get(&id).is_some_and(|e| e.alive)
+    }
+
+    /// Entities declared dead since the last call.
+    pub fn take_failed(&mut self) -> Vec<EntityId> {
+        std::mem::take(&mut self.failed)
+    }
+
+    /// Registers an entity directly (OS-side path; equivalent to a
+    /// committed `AHBM_REGISTER` CHECK).
+    pub fn register(&mut self, id: EntityId, now: u64) {
+        self.stats.registrations += 1;
+        self.entities.insert(
+            id,
+            EntityState {
+                counter: 0,
+                mean_interval: 0.0,
+                deviation: 0.0,
+                timeout: self.config.initial_timeout,
+                last_beat: now,
+                alive: true,
+            },
+        );
+    }
+
+    /// Applies one heartbeat for `id` at cycle `now`.
+    pub fn beat(&mut self, id: EntityId, now: u64) {
+        let cfg = self.config;
+        let Some(e) = self.entities.get_mut(&id) else { return };
+        self.stats.beats += 1;
+        e.counter += 1;
+        let measured = (now - e.last_beat) as f64;
+        if e.mean_interval == 0.0 {
+            e.mean_interval = measured;
+            e.deviation = measured / 2.0;
+        } else {
+            let err = measured - e.mean_interval;
+            e.mean_interval += cfg.alpha * err;
+            e.deviation += cfg.beta * (err.abs() - e.deviation);
+        }
+        e.timeout =
+            ((e.mean_interval + cfg.k * e.deviation) as u64).max(cfg.min_timeout);
+        e.last_beat = now;
+        // A heartbeat resurrects a previously-declared-dead entity (e.g.
+        // a stalled thread that resumed).
+        e.alive = true;
+    }
+
+    /// Host-side sampling hook: runs one Adaptive Timeout Monitor pass if
+    /// the sampling interval has elapsed (the same behavior `Module::tick`
+    /// performs inside the engine) — used by host-level evaluations that
+    /// drive the module without a pipeline.
+    pub fn host_sample(&mut self, now: u64) {
+        if now >= self.next_sample {
+            self.sample(now);
+            self.next_sample = now + self.config.sample_interval;
+        }
+    }
+
+    fn sample(&mut self, now: u64) {
+        self.stats.samples += 1;
+        for (id, e) in self.entities.iter_mut() {
+            if e.alive && now.saturating_sub(e.last_beat) > e.timeout {
+                e.alive = false;
+                self.failed.push(*id);
+                self.stats.failures_declared += 1;
+            }
+        }
+    }
+}
+
+impl Module for Ahbm {
+    fn id(&self) -> ModuleId {
+        ModuleId::AHBM
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-heartbeat-monitor"
+    }
+
+    fn on_chk(&mut self, chk: &ChkDispatch, _ctx: &mut ModuleCtx<'_>) {
+        let id = chk.spec.param;
+        let op = match chk.spec.op {
+            ops::AHBM_REGISTER => PendingOp::Register(id),
+            ops::AHBM_BEAT => PendingOp::Beat(id),
+            ops::AHBM_DEREGISTER => PendingOp::Deregister(id),
+            _ => return,
+        };
+        // Asynchronous module: the effect is logged at commit.
+        self.pending.insert(chk.rob, op);
+    }
+
+    fn on_commit(&mut self, rob: RobId, ctx: &mut ModuleCtx<'_>) {
+        let Some(op) = self.pending.remove(&rob) else { return };
+        match op {
+            PendingOp::Register(id) => self.register(id, ctx.now),
+            PendingOp::Beat(id) => self.beat(id, ctx.now),
+            PendingOp::Deregister(id) => {
+                self.entities.remove(&id);
+            }
+        }
+    }
+
+    fn on_squash(&mut self, rob: RobId, _ctx: &mut ModuleCtx<'_>) {
+        self.pending.remove(&rob);
+    }
+
+    fn tick(&mut self, ctx: &mut ModuleCtx<'_>) {
+        if ctx.now >= self.next_sample {
+            self.sample(ctx.now);
+            self.next_sample = ctx.now + self.config.sample_interval;
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AhbmConfig {
+        AhbmConfig {
+            sample_interval: 10,
+            min_timeout: 50,
+            initial_timeout: 1000,
+            ..AhbmConfig::default()
+        }
+    }
+
+    fn drive(ahbm: &mut Ahbm, beats: &[(EntityId, u64)], until: u64) {
+        // Apply beats at their cycles, sampling as the module would.
+        let mut next_sample = 0;
+        let mut bi = 0;
+        for now in 0..until {
+            while bi < beats.len() && beats[bi].1 == now {
+                ahbm.beat(beats[bi].0, now);
+                bi += 1;
+            }
+            if now >= next_sample {
+                ahbm.sample(now);
+                next_sample = now + ahbm.config.sample_interval;
+            }
+        }
+    }
+
+    #[test]
+    fn regular_heartbeats_stay_alive() {
+        let mut a = Ahbm::new(cfg());
+        a.register(1, 0);
+        let beats: Vec<(EntityId, u64)> = (1..50).map(|i| (1, i * 20)).collect();
+        drive(&mut a, &beats, 1000);
+        assert!(a.is_alive(1));
+        assert!(a.take_failed().is_empty());
+        // The adaptive timeout converged near the beat interval.
+        let e = a.entity(1).unwrap();
+        assert!((e.mean_interval - 20.0).abs() < 1.0, "mean={}", e.mean_interval);
+        assert_eq!(e.timeout, 50, "floored at min_timeout");
+    }
+
+    #[test]
+    fn silence_is_detected() {
+        let mut a = Ahbm::new(cfg());
+        a.register(1, 0);
+        // Beats every 20 cycles until cycle 400, then silence.
+        let beats: Vec<(EntityId, u64)> = (1..21).map(|i| (1, i * 20)).collect();
+        drive(&mut a, &beats, 2000);
+        assert!(!a.is_alive(1));
+        assert_eq!(a.take_failed(), vec![1]);
+        assert_eq!(a.stats().failures_declared, 1);
+    }
+
+    #[test]
+    fn adaptive_timeout_tolerates_slow_but_regular_entities() {
+        let mut a = Ahbm::new(AhbmConfig { min_timeout: 10, ..cfg() });
+        a.register(1, 0); // fast: every 20 cycles
+        a.register(2, 0); // slow: every 300 cycles
+        let mut beats: Vec<(EntityId, u64)> = Vec::new();
+        for i in 1..100 {
+            beats.push((1, i * 20));
+        }
+        for i in 1..7 {
+            beats.push((2, i * 300));
+        }
+        beats.sort_by_key(|b| b.1);
+        drive(&mut a, &beats, 2000);
+        // The slow entity's timeout adapted upward, so it is still alive
+        // despite an interval that would kill the fast entity.
+        assert!(a.is_alive(2));
+        assert!(a.entity(2).unwrap().timeout >= 300);
+        assert!(a.entity(1).unwrap().timeout < a.entity(2).unwrap().timeout);
+    }
+
+    #[test]
+    fn faster_detection_for_faster_entities() {
+        let mut a = Ahbm::new(AhbmConfig { min_timeout: 10, ..cfg() });
+        a.register(1, 0);
+        a.register(2, 0);
+        let mut beats: Vec<(EntityId, u64)> = Vec::new();
+        for i in 1..50 {
+            beats.push((1, i * 20)); // dies at 1000
+        }
+        for i in 1..4 {
+            beats.push((2, i * 300)); // dies at 900
+        }
+        beats.sort_by_key(|b| b.1);
+        drive(&mut a, &beats, 5000);
+        assert!(!a.is_alive(1));
+        assert!(!a.is_alive(2));
+        // Detection latency relative to last beat is shorter for the
+        // fast-beating entity (its adaptive timeout is tighter).
+        assert!(a.entity(1).unwrap().timeout < a.entity(2).unwrap().timeout);
+    }
+
+    #[test]
+    fn resurrection_on_new_beat() {
+        let mut a = Ahbm::new(cfg());
+        a.register(1, 0);
+        let beats: Vec<(EntityId, u64)> = (1..11).map(|i| (1, i * 20)).collect();
+        drive(&mut a, &beats, 1500);
+        assert!(!a.is_alive(1));
+        a.beat(1, 1500);
+        assert!(a.is_alive(1));
+    }
+
+    #[test]
+    fn deregistered_entities_are_forgotten() {
+        let mut a = Ahbm::new(cfg());
+        a.register(3, 0);
+        assert!(a.is_alive(3));
+        a.entities.remove(&3);
+        assert!(!a.is_alive(3));
+        assert!(a.entity(3).is_none());
+    }
+
+    #[test]
+    fn beats_for_unregistered_entities_ignored() {
+        let mut a = Ahbm::new(cfg());
+        a.beat(9, 100);
+        assert_eq!(a.stats().beats, 0);
+        assert!(!a.is_alive(9));
+    }
+}

@@ -1,0 +1,204 @@
+//! The Data Dependency Matrix (DDM) — §4.2.1.
+//!
+//! "The DDM is an N×N matrix, where N is the number of threads in the
+//! process. Each entry (x, y) in the matrix is one bit, which when set to
+//! 1 indicates that thread y is data-dependent on thread x. Note that the
+//! dependency relation is transitive but not symmetric."
+
+/// An N×N single-bit dependency matrix, row = producer, column =
+/// consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyMatrix {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl DependencyMatrix {
+    /// Maximum thread count per matrix row word.
+    const WORD_BITS: usize = 64;
+
+    /// Creates a matrix for up to `n` threads.
+    pub fn new(n: usize) -> DependencyMatrix {
+        let words_per_row = n.div_ceil(Self::WORD_BITS);
+        DependencyMatrix { n, rows: vec![0; n * words_per_row.max(1)] }
+    }
+
+    /// Capacity (maximum thread id + 1).
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    fn words_per_row(&self) -> usize {
+        self.n.div_ceil(Self::WORD_BITS).max(1)
+    }
+
+    fn index(&self, producer: usize, consumer: usize) -> (usize, u64) {
+        assert!(producer < self.n && consumer < self.n, "thread id out of range");
+        let wpr = self.words_per_row();
+        (producer * wpr + consumer / Self::WORD_BITS, 1u64 << (consumer % Self::WORD_BITS))
+    }
+
+    /// Logs the dependency `producer → consumer` (consumer read data
+    /// written by producer). Returns `true` if the bit was newly set.
+    pub fn log(&mut self, producer: usize, consumer: usize) -> bool {
+        let (w, bit) = self.index(producer, consumer);
+        let was = self.rows[w] & bit != 0;
+        self.rows[w] |= bit;
+        !was
+    }
+
+    /// Whether `consumer` directly depends on `producer`.
+    pub fn depends(&self, producer: usize, consumer: usize) -> bool {
+        let (w, bit) = self.index(producer, consumer);
+        self.rows[w] & bit != 0
+    }
+
+    /// All threads directly dependent on `producer`.
+    pub fn direct_dependents(&self, producer: usize) -> Vec<usize> {
+        (0..self.n).filter(|c| self.depends(producer, *c)).collect()
+    }
+
+    /// The set of threads that must be terminated when `faulty` crashes:
+    /// `faulty` itself plus every thread transitively dependent on it
+    /// (§4.2.2: "identify and terminate all threads that are
+    /// data-dependent on tf").
+    pub fn tainted_by(&self, faulty: usize) -> Vec<usize> {
+        let mut tainted = vec![false; self.n];
+        let mut stack = vec![faulty];
+        tainted[faulty] = true;
+        while let Some(p) = stack.pop() {
+            for c in 0..self.n {
+                if !tainted[c] && self.depends(p, c) {
+                    tainted[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        (0..self.n).filter(|t| tainted[*t]).collect()
+    }
+
+    /// Clears every dependency involving `thread` (used when a thread id
+    /// is recycled after recovery).
+    pub fn clear_thread(&mut self, thread: usize) {
+        for c in 0..self.n {
+            let (w, bit) = self.index(thread, c);
+            self.rows[w] &= !bit;
+        }
+        for p in 0..self.n {
+            let (w, bit) = self.index(p, thread);
+            self.rows[w] &= !bit;
+        }
+    }
+
+    /// Total number of logged dependency edges.
+    pub fn edge_count(&self) -> usize {
+        let mut count = 0;
+        for p in 0..self.n {
+            for c in 0..self.n {
+                if self.depends(p, c) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Serializes the matrix into bytes (the DDT retrieval interface).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.rows.len() * 8 + 4);
+        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        for w in &self.rows {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn log_and_query() {
+        let mut m = DependencyMatrix::new(8);
+        assert!(m.log(2, 1));
+        assert!(!m.log(2, 1), "second log is idempotent");
+        assert!(m.depends(2, 1));
+        assert!(!m.depends(1, 2), "dependency is not symmetric");
+        assert_eq!(m.edge_count(), 1);
+    }
+
+    #[test]
+    fn figure8_scenario_taint() {
+        // Figure 8: t2 → t1 (t1 read p1 written by t2), t1 → t0, t0 → t1.
+        let mut m = DependencyMatrix::new(5);
+        m.log(2, 1);
+        m.log(1, 0);
+        m.log(0, 1);
+        // t2 crashes: t0 and t1 are transitively dependent; t3, t4 are not.
+        assert_eq!(m.tainted_by(2), vec![0, 1, 2]);
+        assert_eq!(m.tainted_by(3), vec![3]);
+    }
+
+    #[test]
+    fn transitive_chains_and_cycles() {
+        let mut m = DependencyMatrix::new(6);
+        m.log(0, 1);
+        m.log(1, 2);
+        m.log(2, 3);
+        m.log(3, 1); // cycle back
+        assert_eq!(m.tainted_by(0), vec![0, 1, 2, 3]);
+        assert_eq!(m.tainted_by(2), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_thread_removes_both_directions() {
+        let mut m = DependencyMatrix::new(4);
+        m.log(0, 1);
+        m.log(1, 2);
+        m.clear_thread(1);
+        assert!(!m.depends(0, 1));
+        assert!(!m.depends(1, 2));
+        assert_eq!(m.edge_count(), 0);
+    }
+
+    #[test]
+    fn wide_matrices_cross_word_boundaries() {
+        let mut m = DependencyMatrix::new(130);
+        assert!(m.log(0, 129));
+        assert!(m.log(129, 64));
+        assert!(m.depends(0, 129));
+        assert!(m.depends(129, 64));
+        assert_eq!(m.tainted_by(0), vec![0, 64, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut m = DependencyMatrix::new(4);
+        m.log(4, 0);
+    }
+
+    proptest! {
+        /// tainted_by always contains the faulty thread and is closed
+        /// under the dependency relation.
+        #[test]
+        fn taint_is_transitively_closed(
+            edges in proptest::collection::vec((0usize..16, 0usize..16), 0..60),
+            faulty in 0usize..16,
+        ) {
+            let mut m = DependencyMatrix::new(16);
+            for (p, c) in &edges {
+                m.log(*p, *c);
+            }
+            let tainted = m.tainted_by(faulty);
+            prop_assert!(tainted.contains(&faulty));
+            for &p in &tainted {
+                for c in m.direct_dependents(p) {
+                    prop_assert!(tainted.contains(&c), "missing dependent {c} of {p}");
+                }
+            }
+        }
+    }
+}

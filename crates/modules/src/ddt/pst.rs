@@ -1,0 +1,225 @@
+//! The Page Status Table (PST) — §4.2.1.
+//!
+//! "An entry in the PST is the tuple (PageID, write-owner, read-owner)…
+//! Due to memory access locality, only a small number of 'hot' pages need
+//! to be kept in the PST at any given time, and an LRU replacement policy
+//! can be used."
+
+use std::collections::HashMap;
+
+/// A guest thread id as tracked by the DDT.
+pub type ThreadId = usize;
+
+/// Ownership state of one page: the state nodes of Figure 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageOwners {
+    /// The thread that last wrote the page (the producer).
+    pub write_owner: Option<ThreadId>,
+    /// The thread that last read the page (the consumer).
+    pub read_owner: Option<ThreadId>,
+}
+
+/// What the Figure 5 state machine decides for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionActions {
+    /// `log(producer → consumer)`: record the dependency in the DDM.
+    pub log_dependency: Option<(ThreadId, ThreadId)>,
+    /// `SavePage`: checkpoint the page before the write proceeds.
+    pub save_page: bool,
+}
+
+/// Applies one event `(thread, op)` to a page's owner state, returning
+/// the actions of Figure 5. `is_write` selects the `w` edges.
+pub fn transition(owners: &mut PageOwners, thread: ThreadId, is_write: bool) -> TransitionActions {
+    let mut actions = TransitionActions::default();
+    if is_write {
+        // (t, w): a write by a non-write-owner must checkpoint the page
+        // first; the writer becomes both owners.
+        if owners.write_owner.is_some_and(|w| w != thread) {
+            actions.save_page = true;
+        }
+        owners.write_owner = Some(thread);
+        owners.read_owner = Some(thread);
+    } else {
+        // (t, r): a read by a non-read-owner makes `thread` the new
+        // read-owner, and if another thread last wrote the page, logs the
+        // dependency write_owner → thread.
+        if owners.read_owner != Some(thread) {
+            owners.read_owner = Some(thread);
+            if let Some(producer) = owners.write_owner {
+                if producer != thread {
+                    actions.log_dependency = Some((producer, thread));
+                }
+            }
+        }
+    }
+    actions
+}
+
+/// The Page Status Table: an LRU-bounded map `PageID → PageOwners`.
+#[derive(Debug)]
+pub struct PageStatusTable {
+    capacity: usize,
+    entries: HashMap<u32, (PageOwners, u64)>,
+    tick: u64,
+    /// Entries evicted over the run (lost tracking state).
+    pub evictions: u64,
+    /// Lookups performed.
+    pub lookups: u64,
+}
+
+impl PageStatusTable {
+    /// Creates a PST with room for `capacity` hot pages.
+    pub fn new(capacity: usize) -> PageStatusTable {
+        assert!(capacity > 0, "PST capacity must be nonzero");
+        PageStatusTable {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            evictions: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up (or creates) the entry for `page`, updating LRU order,
+    /// and passes it to `f`.
+    pub fn with_entry<R>(&mut self, page: u32, f: impl FnOnce(&mut PageOwners) -> R) -> R {
+        self.tick += 1;
+        self.lookups += 1;
+        if !self.entries.contains_key(&page) && self.entries.len() >= self.capacity {
+            // Evict the LRU page; its ownership state is lost.
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, (_, t))| *t).map(|(p, _)| *p)
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        let entry = self.entries.entry(page).or_default();
+        entry.1 = self.tick;
+        f(&mut entry.0)
+    }
+
+    /// Reads a page's owners without touching LRU order.
+    pub fn peek(&self, page: u32) -> Option<PageOwners> {
+        self.entries.get(&page).map(|(o, _)| *o)
+    }
+
+    /// Iterates over `(page, owners)` pairs (the recovery retrieval
+    /// interface).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, PageOwners)> + '_ {
+        self.entries.iter().map(|(p, (o, _))| (*p, *o))
+    }
+
+    /// Drops every entry (process restart).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Keeps only the entries for which `keep` returns `true` (used by
+    /// the recovery algorithm to drop victim-owned pages).
+    pub fn retain(&mut self, mut keep: impl FnMut(u32, &PageOwners) -> bool) {
+        self.entries.retain(|page, (owners, _)| keep(*page, owners));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(pst: &mut PageStatusTable, page: u32, t: ThreadId, w: bool) -> TransitionActions {
+        pst.with_entry(page, |o| transition(o, t, w))
+    }
+
+    #[test]
+    fn first_writer_claims_ownership_silently() {
+        let mut pst = PageStatusTable::new(8);
+        let a = apply(&mut pst, 1, 0, true);
+        assert!(!a.save_page);
+        assert_eq!(a.log_dependency, None);
+        assert_eq!(pst.peek(1).unwrap().write_owner, Some(0));
+    }
+
+    #[test]
+    fn cross_thread_read_logs_dependency() {
+        let mut pst = PageStatusTable::new(8);
+        apply(&mut pst, 1, 2, true); // t2 writes page 1
+        let a = apply(&mut pst, 1, 1, false); // t1 reads it
+        assert_eq!(a.log_dependency, Some((2, 1)));
+        assert!(!a.save_page);
+        assert_eq!(pst.peek(1).unwrap().read_owner, Some(1));
+    }
+
+    #[test]
+    fn same_thread_read_logs_nothing() {
+        let mut pst = PageStatusTable::new(8);
+        apply(&mut pst, 1, 2, true);
+        let a = apply(&mut pst, 1, 2, false);
+        assert_eq!(a.log_dependency, None);
+    }
+
+    #[test]
+    fn cross_thread_write_saves_page() {
+        let mut pst = PageStatusTable::new(8);
+        apply(&mut pst, 7, 0, true);
+        let a = apply(&mut pst, 7, 1, true);
+        assert!(a.save_page, "non-owner write must checkpoint (Figure 5 SavePage)");
+        let o = pst.peek(7).unwrap();
+        assert_eq!(o.write_owner, Some(1));
+        assert_eq!(o.read_owner, Some(1));
+    }
+
+    #[test]
+    fn same_thread_write_is_free() {
+        let mut pst = PageStatusTable::new(8);
+        apply(&mut pst, 7, 0, true);
+        let a = apply(&mut pst, 7, 0, true);
+        assert!(!a.save_page);
+    }
+
+    #[test]
+    fn figure5_full_walk() {
+        // (t,t) --(s,r)/log(t→s)--> (t,s) --(s,w)/SavePage--> (s,s)
+        let (t, s) = (0, 1);
+        let mut owners = PageOwners::default();
+        assert_eq!(transition(&mut owners, t, true), TransitionActions::default());
+        let a = transition(&mut owners, s, false);
+        assert_eq!(a.log_dependency, Some((t, s)));
+        let a = transition(&mut owners, s, true);
+        assert!(a.save_page);
+        assert_eq!(owners.write_owner, Some(s));
+        assert_eq!(owners.read_owner, Some(s));
+        // (s,s) loops on (s,r)/(s,w) with no action.
+        assert_eq!(transition(&mut owners, s, false), TransitionActions::default());
+        assert_eq!(transition(&mut owners, s, true), TransitionActions::default());
+    }
+
+    #[test]
+    fn lru_eviction_loses_cold_state() {
+        let mut pst = PageStatusTable::new(2);
+        apply(&mut pst, 1, 0, true);
+        apply(&mut pst, 2, 0, true);
+        apply(&mut pst, 1, 0, false); // touch page 1; page 2 is LRU
+        apply(&mut pst, 3, 0, true); // evicts page 2
+        assert!(pst.peek(2).is_none());
+        assert!(pst.peek(1).is_some());
+        assert_eq!(pst.evictions, 1);
+        assert_eq!(pst.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = PageStatusTable::new(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rse-modules — the four hardware modules of the paper
+//!
+//! §4 of *"An Architectural Framework for Providing Reliability and
+//! Security Support"* (DSN 2004) describes four modules embedded in the
+//! RSE framework. Each is implemented here against the
+//! [`rse_core::Module`] interface:
+//!
+//! * [`icm::Icm`] — the **Instruction Checker Module** (§4.3):
+//!   preemptively checks an instruction's binary against a redundant copy
+//!   kept in a contiguous CheckerMemory, through a 256-entry LRU
+//!   `Icm_Cache` with 8-entry batch refill; a 3-stage internal pipeline
+//!   (IDLE → MEMREQ → COMP) following the Figure 6 timeline,
+//! * [`mlr::Mlr`] — the **Memory Layout Randomization** module (§4.1):
+//!   parses the executable's special header, randomizes the
+//!   position-independent region bases with the clock-cycle counter,
+//!   copies the GOT to a random location and rewrites the PLT (4 entries
+//!   at a time, as in Figure 3(B)),
+//! * [`ddt::Ddt`] — the **Data Dependency Tracker** (§4.2): the page
+//!   status table and the N×N data-dependency matrix, driving SavePage
+//!   exceptions so the OS can checkpoint shared pages and recover healthy
+//!   threads after a malicious-thread crash,
+//! * [`ahbm::Ahbm`] — the **Adaptive Heartbeat Monitor** (§4.4): a CAM of
+//!   monitored entities, per-entity counters, and a Jacobson-style
+//!   adaptive-timeout estimator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ahbm;
+pub mod ddt;
+pub mod icm;
+pub mod mlr;
+
+pub use ahbm::{Ahbm, AhbmConfig};
+pub use ddt::{Ddt, DdtConfig, SavedPage, ThreadId, SAVE_PAGE_EXCEPTION};
+pub use icm::{Icm, IcmConfig};
+pub use mlr::{Mlr, MlrConfig, RandomizedBases};

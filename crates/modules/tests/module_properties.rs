@@ -1,0 +1,102 @@
+//! Property-based tests of the module-level invariants.
+
+use proptest::prelude::*;
+use rse_isa::layout::PAGE_SIZE;
+use rse_modules::ddt::{transition, Ddt, DdtConfig, PageOwners};
+use rse_modules::mlr::{Mlr, MlrConfig};
+use std::collections::HashMap;
+
+proptest! {
+    /// The DDT's PST/DDM against a shadow model: replay a random access
+    /// trace through `debug_track_*` and independently through a naive
+    /// map; ownership, dependency edges and SavePage counts must agree.
+    #[test]
+    fn ddt_matches_shadow_model(trace in proptest::collection::vec(
+        (0usize..6, 0u32..8, any::<bool>()), 1..300,
+    )) {
+        let mut ddt = Ddt::new(DdtConfig::default());
+        let mut shadow: HashMap<u32, PageOwners> = HashMap::new();
+        let mut shadow_edges: std::collections::HashSet<(usize, usize)> = Default::default();
+        let mut shadow_saves = 0u64;
+        for (thread, page, is_write) in trace {
+            ddt.set_current_thread(thread);
+            let owners = shadow.entry(page).or_default();
+            let actions = transition(owners, thread, is_write);
+            if let Some(edge) = actions.log_dependency {
+                shadow_edges.insert(edge);
+            }
+            if actions.save_page {
+                shadow_saves += 1;
+            }
+            if is_write {
+                let saved = ddt.debug_track_write(page);
+                prop_assert_eq!(saved, actions.save_page);
+            } else {
+                let dep = ddt.debug_track_read(page);
+                prop_assert_eq!(dep, actions.log_dependency);
+            }
+        }
+        // Ownership states agree page by page.
+        for (page, owners) in &shadow {
+            prop_assert_eq!(ddt.pst().peek(*page), Some(*owners));
+        }
+        // Every shadow edge is in the DDM and vice versa.
+        for &(p, c) in &shadow_edges {
+            prop_assert!(ddt.ddm().depends(p, c));
+        }
+        prop_assert_eq!(ddt.ddm().edge_count(), shadow_edges.len());
+        let _ = shadow_saves;
+    }
+
+    /// SavePage never fires for single-threaded traces, no matter the
+    /// access pattern — the Figure 9 "one thread, zero saved pages" fact
+    /// as a property.
+    #[test]
+    fn single_thread_never_saves(trace in proptest::collection::vec((0u32..16, any::<bool>()), 1..200)) {
+        let mut ddt = Ddt::new(DdtConfig::default());
+        ddt.set_current_thread(3);
+        for (page, is_write) in trace {
+            if is_write {
+                prop_assert!(!ddt.debug_track_write(page));
+            } else {
+                prop_assert!(ddt.debug_track_read(page).is_none());
+            }
+        }
+        prop_assert_eq!(ddt.ddm().edge_count(), 0);
+    }
+
+    /// MLR re-randomized bases are always page-aligned, never equal to
+    /// the previous base, and distinct draws diverge.
+    #[test]
+    fn rerandomized_bases_are_sound(seed in 1u64..u64::MAX, base_page in 0x1000u32..0x40000) {
+        let old_base = base_page * PAGE_SIZE;
+        let mut mlr = Mlr::new(MlrConfig { seed: Some(seed), ..MlrConfig::default() });
+        let a = mlr.pick_rerandomized_base(old_base, 8192, 0);
+        let b = mlr.pick_rerandomized_base(old_base, 8192, 0);
+        prop_assert_eq!(a % PAGE_SIZE, 0);
+        prop_assert_eq!(b % PAGE_SIZE, 0);
+        prop_assert_ne!(a, old_base);
+        prop_assert_ne!(b, old_base);
+        // Two draws from the same stream almost surely differ; equality
+        // would indicate a stuck RNG.
+        prop_assert_ne!(a, b);
+    }
+}
+
+/// The taint set is monotone: adding accesses can only grow it.
+#[test]
+fn taint_is_monotone_under_new_dependencies() {
+    let mut ddt = Ddt::new(DdtConfig::default());
+    ddt.set_current_thread(1);
+    ddt.debug_track_write(10);
+    ddt.set_current_thread(2);
+    ddt.debug_track_read(10); // 1 -> 2
+    let before = ddt.tainted_by(1);
+    ddt.set_current_thread(2);
+    ddt.debug_track_write(11);
+    ddt.set_current_thread(3);
+    ddt.debug_track_read(11); // 2 -> 3
+    let after = ddt.tainted_by(1);
+    assert!(before.iter().all(|t| after.contains(t)), "{before:?} ⊄ {after:?}");
+    assert!(after.contains(&3));
+}

@@ -1,0 +1,152 @@
+//! Functional (architectural) execution of ALU operations.
+
+use rse_isa::Inst;
+
+/// Computes the architectural result of an ALU-class instruction from
+/// its operand values. Returns `None` for instructions that are not pure
+/// ALU operations (memory, control flow, system).
+///
+/// Division and remainder by zero produce 0 rather than trapping — the
+/// guest ISA is defined total so that fault-injection experiments can
+/// never wedge the simulator on an arithmetic trap.
+pub fn exec_alu(inst: &Inst, rs_val: u32, rt_val: u32) -> Option<u32> {
+    use Inst::*;
+    let v = match *inst {
+        Add { .. } => rs_val.wrapping_add(rt_val),
+        Sub { .. } => rs_val.wrapping_sub(rt_val),
+        Mul { .. } => rs_val.wrapping_mul(rt_val),
+        Div { .. } => {
+            if rt_val == 0 {
+                0
+            } else {
+                ((rs_val as i32).wrapping_div(rt_val as i32)) as u32
+            }
+        }
+        Rem { .. } => {
+            if rt_val == 0 {
+                0
+            } else {
+                ((rs_val as i32).wrapping_rem(rt_val as i32)) as u32
+            }
+        }
+        And { .. } => rs_val & rt_val,
+        Or { .. } => rs_val | rt_val,
+        Xor { .. } => rs_val ^ rt_val,
+        Nor { .. } => !(rs_val | rt_val),
+        Slt { .. } => ((rs_val as i32) < (rt_val as i32)) as u32,
+        Sltu { .. } => (rs_val < rt_val) as u32,
+        Sllv { .. } => rt_val.wrapping_shl(rs_val & 0x1F),
+        Srlv { .. } => rt_val.wrapping_shr(rs_val & 0x1F),
+        Srav { .. } => ((rt_val as i32).wrapping_shr(rs_val & 0x1F)) as u32,
+        // Immediate shifts have a single source (`rt`), which arrives as
+        // the first operand slot (see `Inst::sources`).
+        Sll { shamt, .. } => rs_val.wrapping_shl(shamt as u32),
+        Srl { shamt, .. } => rs_val.wrapping_shr(shamt as u32),
+        Sra { shamt, .. } => ((rs_val as i32).wrapping_shr(shamt as u32)) as u32,
+        Addi { imm, .. } => rs_val.wrapping_add(imm as i32 as u32),
+        Slti { imm, .. } => ((rs_val as i32) < (imm as i32)) as u32,
+        Andi { imm, .. } => rs_val & imm as u32,
+        Ori { imm, .. } => rs_val | imm as u32,
+        Xori { imm, .. } => rs_val ^ imm as u32,
+        Lui { imm, .. } => (imm as u32) << 16,
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Evaluates a conditional branch: does it take?
+///
+/// Returns `None` for non-branch instructions.
+pub fn branch_taken(inst: &Inst, rs_val: u32, rt_val: u32) -> Option<bool> {
+    use Inst::*;
+    match *inst {
+        Beq { .. } => Some(rs_val == rt_val),
+        Bne { .. } => Some(rs_val != rt_val),
+        Blt { .. } => Some((rs_val as i32) < (rt_val as i32)),
+        Bge { .. } => Some((rs_val as i32) >= (rt_val as i32)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rse_isa::Reg;
+
+    fn r3() -> (Reg, Reg, Reg) {
+        (Reg::T0, Reg::T1, Reg::T2)
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let (rd, rs, rt) = r3();
+        assert_eq!(exec_alu(&Inst::Add { rd, rs, rt }, u32::MAX, 1), Some(0));
+        assert_eq!(exec_alu(&Inst::Sub { rd, rs, rt }, 0, 1), Some(u32::MAX));
+        assert_eq!(exec_alu(&Inst::Mul { rd, rs, rt }, 0x8000_0000, 2), Some(0));
+    }
+
+    #[test]
+    fn signed_division() {
+        let (rd, rs, rt) = r3();
+        assert_eq!(exec_alu(&Inst::Div { rd, rs, rt }, (-7i32) as u32, 2), Some((-3i32) as u32));
+        assert_eq!(exec_alu(&Inst::Rem { rd, rs, rt }, (-7i32) as u32, 2), Some((-1i32) as u32));
+        // Division by zero is total: result 0.
+        assert_eq!(exec_alu(&Inst::Div { rd, rs, rt }, 5, 0), Some(0));
+        // i32::MIN / -1 must not overflow-panic.
+        assert_eq!(
+            exec_alu(&Inst::Div { rd, rs, rt }, i32::MIN as u32, -1i32 as u32),
+            Some(i32::MIN as u32)
+        );
+    }
+
+    #[test]
+    fn comparisons_are_signed_and_unsigned() {
+        let (rd, rs, rt) = r3();
+        assert_eq!(exec_alu(&Inst::Slt { rd, rs, rt }, -1i32 as u32, 1), Some(1));
+        assert_eq!(exec_alu(&Inst::Sltu { rd, rs, rt }, -1i32 as u32, 1), Some(0));
+    }
+
+    #[test]
+    fn shifts_mask_amounts() {
+        let (rd, _, rt) = r3();
+        // The single-source shift value arrives in the first operand slot.
+        assert_eq!(exec_alu(&Inst::Sll { rd, rt, shamt: 4 }, 1, 0), Some(16));
+        assert_eq!(
+            exec_alu(&Inst::Sra { rd, rt, shamt: 1 }, 0x8000_0000, 0),
+            Some(0xC000_0000)
+        );
+        let (rd, rs, rt) = r3();
+        // Variable shifts use only the low 5 bits of rs.
+        assert_eq!(exec_alu(&Inst::Sllv { rd, rt, rs }, 33, 1), Some(2));
+    }
+
+    #[test]
+    fn immediates_sign_extend_where_specified() {
+        assert_eq!(
+            exec_alu(&Inst::Addi { rt: Reg::T0, rs: Reg::T1, imm: -1 }, 10, 0),
+            Some(9)
+        );
+        // Logical immediates zero-extend.
+        assert_eq!(
+            exec_alu(&Inst::Ori { rt: Reg::T0, rs: Reg::T1, imm: 0xFFFF }, 0, 0),
+            Some(0xFFFF)
+        );
+        assert_eq!(exec_alu(&Inst::Lui { rt: Reg::T0, imm: 0x1234 }, 0, 0), Some(0x1234_0000));
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let (_, rs, rt) = r3();
+        assert_eq!(branch_taken(&Inst::Beq { rs, rt, off: 0 }, 3, 3), Some(true));
+        assert_eq!(branch_taken(&Inst::Bne { rs, rt, off: 0 }, 3, 3), Some(false));
+        assert_eq!(branch_taken(&Inst::Blt { rs, rt, off: 0 }, -1i32 as u32, 0), Some(true));
+        assert_eq!(branch_taken(&Inst::Bge { rs, rt, off: 0 }, 0, 0), Some(true));
+        assert_eq!(branch_taken(&Inst::Nop, 0, 0), None);
+    }
+
+    #[test]
+    fn non_alu_returns_none() {
+        assert_eq!(exec_alu(&Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 0 }, 0, 0), None);
+        assert_eq!(exec_alu(&Inst::Syscall, 0, 0), None);
+    }
+}

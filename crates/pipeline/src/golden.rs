@@ -1,0 +1,198 @@
+//! A golden-model interpreter: executes the guest ISA one instruction at
+//! a time, in order, with no timing model. Used as the reference in
+//! differential tests against the out-of-order pipeline — any
+//! architectural divergence (registers, memory, halt point) is a
+//! speculation/forwarding/recovery bug in the pipeline.
+
+use crate::exec::{branch_taken, exec_alu};
+use rse_isa::{decode, layout, Image, Inst, InstClass, Reg};
+use rse_mem::SparseMemory;
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenEvent {
+    /// A `halt` executed.
+    Halted,
+    /// A `syscall` executed (registers hold the arguments); resume by
+    /// calling [`Golden::resume`].
+    Syscall,
+    /// The instruction budget ran out.
+    OutOfFuel,
+}
+
+/// The golden in-order interpreter.
+#[derive(Debug, Clone)]
+pub struct Golden {
+    /// Architectural registers.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Functional memory.
+    pub mem: SparseMemory,
+    /// Instructions executed.
+    pub executed: u64,
+    halted: bool,
+}
+
+impl Golden {
+    /// Creates an interpreter with `image` loaded, mirroring
+    /// `Pipeline::load_image`'s initial state.
+    pub fn new(image: &Image) -> Golden {
+        let mut mem = SparseMemory::new();
+        for (i, &word) in image.text.iter().enumerate() {
+            mem.write_u32(image.text_base + 4 * i as u32, word);
+        }
+        mem.write_bytes(image.data_base, &image.data);
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.index()] = layout::STACK_BASE - 16;
+        Golden { regs, pc: image.entry, mem, executed: 0, halted: false }
+    }
+
+    /// Whether a `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Resumes after a syscall, optionally redirecting.
+    pub fn resume(&mut self, pc: Option<u32>) {
+        if let Some(pc) = pc {
+            self.pc = pc;
+        }
+    }
+
+    /// Writes a register (e.g. a syscall result), honoring the zero wire.
+    pub fn set_reg(&mut self, reg: Reg, value: u32) {
+        if !reg.is_zero() {
+            self.regs[reg.index()] = value;
+        }
+    }
+
+    fn read(&self, reg: Option<Reg>) -> u32 {
+        reg.map_or(0, |r| self.regs[r.index()])
+    }
+
+    /// Executes until halt, syscall, or `fuel` instructions.
+    pub fn run(&mut self, mut fuel: u64) -> GoldenEvent {
+        if self.halted {
+            return GoldenEvent::Halted;
+        }
+        while fuel > 0 {
+            fuel -= 1;
+            let word = self.mem.read_u32(self.pc);
+            let inst = decode(word).unwrap_or(Inst::Nop);
+            self.executed += 1;
+            let mut next = self.pc.wrapping_add(4);
+            let [s0, s1] = inst.sources();
+            let (rs, rt) = (self.read(s0), self.read(s1));
+            match inst.class() {
+                InstClass::IntAlu | InstClass::MulDiv => {
+                    if let (Some(v), Some(d)) = (exec_alu(&inst, rs, rt), inst.dest()) {
+                        self.regs[d.index()] = v;
+                    }
+                }
+                InstClass::Load => {
+                    let addr = rs.wrapping_add(mem_offset(&inst));
+                    let v = match inst {
+                        Inst::Lw { .. } => self.mem.read_u32(addr),
+                        Inst::Lh { .. } => self.mem.read_u16(addr) as i16 as i32 as u32,
+                        Inst::Lhu { .. } => self.mem.read_u16(addr) as u32,
+                        Inst::Lb { .. } => self.mem.read_u8(addr) as i8 as i32 as u32,
+                        Inst::Lbu { .. } => self.mem.read_u8(addr) as u32,
+                        _ => 0,
+                    };
+                    if let Some(d) = inst.dest() {
+                        self.regs[d.index()] = v;
+                    }
+                }
+                InstClass::Store => {
+                    let addr = rs.wrapping_add(mem_offset(&inst));
+                    match inst {
+                        Inst::Sb { .. } => self.mem.write_u8(addr, rt as u8),
+                        Inst::Sh { .. } => self.mem.write_u16(addr, rt as u16),
+                        _ => self.mem.write_u32(addr, rt),
+                    }
+                }
+                InstClass::Branch => {
+                    if branch_taken(&inst, rs, rt).unwrap_or(false) {
+                        next = inst.direct_target(self.pc).unwrap_or(next);
+                    }
+                }
+                InstClass::Jump => {
+                    match inst {
+                        Inst::J { .. } => next = inst.direct_target(self.pc).expect("direct"),
+                        Inst::Jal { .. } => {
+                            self.regs[Reg::RA.index()] = self.pc.wrapping_add(4);
+                            next = inst.direct_target(self.pc).expect("direct");
+                        }
+                        Inst::Jr { .. } => next = rs,
+                        Inst::Jalr { rd, .. } => {
+                            if !rd.is_zero() {
+                                self.regs[rd.index()] = self.pc.wrapping_add(4);
+                            }
+                            next = rs;
+                        }
+                        _ => {}
+                    }
+                }
+                InstClass::Syscall => {
+                    self.pc = next;
+                    return GoldenEvent::Syscall;
+                }
+                InstClass::Halt => {
+                    self.halted = true;
+                    return GoldenEvent::Halted;
+                }
+                InstClass::Nop | InstClass::Chk => {}
+            }
+            self.pc = next;
+        }
+        GoldenEvent::OutOfFuel
+    }
+}
+
+fn mem_offset(inst: &Inst) -> u32 {
+    use Inst::*;
+    match *inst {
+        Lw { off, .. } | Lh { off, .. } | Lhu { off, .. } | Lb { off, .. } | Lbu { off, .. }
+        | Sw { off, .. } | Sh { off, .. } | Sb { off, .. } => off as i32 as u32,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rse_isa::asm::assemble;
+
+    #[test]
+    fn golden_runs_a_loop() {
+        let image = assemble(
+            "main: li r8, 0\nli r9, 10\nloop: addi r8, r8, 1\nbne r8, r9, loop\nhalt",
+        )
+        .unwrap();
+        let mut g = Golden::new(&image);
+        assert_eq!(g.run(1_000_000), GoldenEvent::Halted);
+        assert_eq!(g.regs[8], 10);
+        assert_eq!(g.executed, 2 + 20 + 1);
+    }
+
+    #[test]
+    fn golden_pauses_at_syscalls() {
+        let image = assemble("main: li r2, 7\nsyscall\nmove r10, r2\nhalt").unwrap();
+        let mut g = Golden::new(&image);
+        assert_eq!(g.run(100), GoldenEvent::Syscall);
+        assert_eq!(g.regs[2], 7);
+        g.set_reg(Reg::V0, 55);
+        g.resume(None);
+        assert_eq!(g.run(100), GoldenEvent::Halted);
+        assert_eq!(g.regs[10], 55);
+    }
+
+    #[test]
+    fn golden_out_of_fuel() {
+        let image = assemble("main: b main").unwrap();
+        let mut g = Golden::new(&image);
+        assert_eq!(g.run(50), GoldenEvent::OutOfFuel);
+        assert_eq!(g.executed, 50);
+    }
+}

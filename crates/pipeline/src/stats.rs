@@ -1,0 +1,84 @@
+//! Pipeline performance counters.
+
+/// Counters accumulated by the pipeline; the Table 4 rows are computed
+/// from these plus the memory-system statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Simulated cycles elapsed.
+    pub cycles: u64,
+    /// Instructions committed, including injected CHECK instructions.
+    pub committed: u64,
+    /// Injected CHECK instructions committed (subset of `committed`).
+    pub committed_injected_chk: u64,
+    /// Instructions fetched (including wrong-path and injected ones).
+    pub fetched: u64,
+    /// Instructions dispatched into the ROB.
+    pub dispatched: u64,
+    /// Instructions squashed (wrong-path recovery or commit-stage flush).
+    pub squashed: u64,
+    /// Conditional branches + jumps committed.
+    pub control_flow_committed: u64,
+    /// Mispredicted control transfers detected.
+    pub mispredicts: u64,
+    /// Cycles the commit stage stalled waiting for a blocking CHECK
+    /// result (the synchronous-mode cost of §3.2).
+    pub commit_stall_cycles: u64,
+    /// Commit-stage flushes demanded by the co-processor (check errors).
+    pub check_flushes: u64,
+    /// CHECK instructions injected at fetch by the runtime policy.
+    pub chk_injected: u64,
+    /// Loads committed.
+    pub loads_committed: u64,
+    /// Stores committed.
+    pub stores_committed: u64,
+    /// System calls committed.
+    pub syscalls: u64,
+}
+
+impl PipelineStats {
+    /// Committed instructions excluding the runtime-injected CHECKs —
+    /// the program's own instruction count (the `#Instructions` columns
+    /// of Table 5 count these).
+    pub fn committed_program(&self) -> u64 {
+        self.committed - self.committed_injected_chk
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate over committed control transfers.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.control_flow_committed == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.control_flow_committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = PipelineStats {
+            cycles: 100,
+            committed: 150,
+            committed_injected_chk: 30,
+            control_flow_committed: 20,
+            mispredicts: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.committed_program(), 120);
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(PipelineStats::default().ipc(), 0.0);
+    }
+}

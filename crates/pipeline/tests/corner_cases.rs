@@ -1,0 +1,211 @@
+//! Corner cases of the pipeline's resource and recovery machinery.
+
+use rse_isa::asm::assemble;
+use rse_mem::{MemConfig, MemorySystem};
+use rse_pipeline::{Golden, GoldenEvent, NullCoProcessor, Pipeline, PipelineConfig, StepEvent};
+
+fn run_src(src: &str, config: PipelineConfig) -> Pipeline {
+    let image = assemble(src).expect("assembles");
+    let mut cpu = Pipeline::new(config, MemorySystem::new(MemConfig::baseline()));
+    cpu.load_image(&image);
+    assert_eq!(cpu.run(&mut NullCoProcessor, 50_000_000), StepEvent::Halted);
+    cpu
+}
+
+fn agree_with_golden(src: &str) {
+    let image = assemble(src).expect("assembles");
+    let mut golden = Golden::new(&image);
+    assert_eq!(golden.run(10_000_000), GoldenEvent::Halted);
+    let cpu = run_src(src, PipelineConfig::default());
+    assert_eq!(cpu.regs()[..], golden.regs[..], "architectural divergence");
+}
+
+/// A dense burst of memory operations saturates the 8-entry LSQ; dispatch
+/// must stall rather than overflow, and results stay exact.
+#[test]
+fn lsq_saturation() {
+    let mut src = String::from("main: la r28, buf\n");
+    for i in 0..32 {
+        src.push_str(&format!("li r8, {i}\nsw r8, {}(r28)\n", 4 * i));
+    }
+    for i in 0..32 {
+        src.push_str(&format!("lw r9, {}(r28)\nadd r10, r10, r9\n", 4 * i));
+    }
+    src.push_str("halt\n.data\nbuf: .space 256\n");
+    agree_with_golden(&src);
+    let cpu = run_src(&src, PipelineConfig::default());
+    assert_eq!(cpu.regs()[10], (0..32).sum::<u32>());
+}
+
+/// Back-to-back divides contend for the single non-pipelined MDU.
+#[test]
+fn divider_contention() {
+    let src = r#"
+        main:   li   r8, 1000
+                li   r9, 7
+                div  r10, r8, r9
+                div  r11, r10, r9
+                div  r12, r11, r9
+                rem  r13, r8, r9
+                mul  r14, r10, r9
+                halt
+    "#;
+    agree_with_golden(src);
+    let cpu = run_src(src, PipelineConfig::default());
+    assert_eq!(cpu.regs()[10], 142);
+    assert_eq!(cpu.regs()[11], 20);
+    assert_eq!(cpu.regs()[12], 2);
+    assert_eq!(cpu.regs()[13], 6);
+    // Three dependent 20-cycle divides cannot finish faster than ~60 cyc.
+    assert!(cpu.stats().cycles > 60);
+}
+
+/// Nested calls deeper than the 8-entry return-address stack: the
+/// predictor mispredicts some returns but architecture stays exact.
+#[test]
+fn deep_recursion_overflows_ras() {
+    let src = r#"
+        main:   li   r4, 12
+                jal  fib
+                move r10, r2
+                halt
+        # naive recursive-style chain: f(n) calls f(n-1) down to 0
+        fib:    addi r29, r29, -8
+                sw   r31, 0(r29)
+                sw   r4, 4(r29)
+                beq  r4, r0, base
+                addi r4, r4, -1
+                jal  fib
+                lw   r4, 4(r29)
+                add  r2, r2, r4
+                b    out
+        base:   li   r2, 0
+        out:    lw   r31, 0(r29)
+                addi r29, r29, 8
+                jr   r31
+    "#;
+    agree_with_golden(src);
+    let cpu = run_src(src, PipelineConfig::default());
+    assert_eq!(cpu.regs()[10], (1..=12).sum::<u32>());
+}
+
+/// An indirect-jump-heavy dispatcher exercises the BTB (targets change
+/// every iteration).
+#[test]
+fn btb_with_rotating_indirect_targets() {
+    let src = r#"
+        main:   li   r16, 30
+        loop:   li   r8, 3
+                rem  r9, r16, r8
+                sll  r9, r9, 2
+                la   r10, jtab
+                add  r10, r10, r9
+                lw   r11, 0(r10)
+                jalr r31, r11
+                addi r16, r16, -1
+                bne  r16, r0, loop
+                halt
+        f0:     addi r20, r20, 1
+                jr   ra
+        f1:     addi r21, r21, 1
+                jr   ra
+        f2:     addi r22, r22, 1
+                jr   ra
+                .data
+        jtab:   .word f0, f1, f2
+    "#;
+    agree_with_golden(src);
+    let cpu = run_src(src, PipelineConfig::default());
+    assert_eq!(cpu.regs()[20] + cpu.regs()[21] + cpu.regs()[22], 30);
+}
+
+/// Store-to-load forwarding across different widths and overlaps.
+#[test]
+fn mixed_width_forwarding() {
+    let src = r#"
+        main:   la   r28, buf
+                li   r8, 0x11223344
+                sw   r8, 0(r28)
+                li   r9, 0xAB
+                sb   r9, 2(r28)
+                li   r10, 0xCDEF
+                sh   r10, 4(r28)
+                lw   r11, 0(r28)
+                lw   r12, 4(r28)
+                lb   r13, 3(r28)
+                lhu  r14, 2(r28)
+                halt
+                .data
+        buf:    .word 0, 0x99999999
+    "#;
+    agree_with_golden(src);
+    let cpu = run_src(src, PipelineConfig::default());
+    assert_eq!(cpu.regs()[11], 0x11AB_3344);
+    assert_eq!(cpu.regs()[12], 0x9999_CDEF);
+    assert_eq!(cpu.regs()[13], 0x11);
+    assert_eq!(cpu.regs()[14], 0x11AB);
+}
+
+/// The same program on narrow (scalar-ish) and wide configurations gives
+/// identical architectural results, and the wide machine is faster.
+#[test]
+fn width_sweep_is_architecturally_neutral() {
+    let src = r#"
+        main:   li   r8, 0
+                li   r9, 300
+        loop:   andi r10, r8, 7
+                add  r11, r11, r10
+                xor  r12, r11, r8
+                addi r8, r8, 1
+                bne  r8, r9, loop
+                halt
+    "#;
+    let narrow = PipelineConfig {
+        fetch_width: 1,
+        dispatch_width: 1,
+        issue_width: 1,
+        commit_width: 1,
+        rob_size: 4,
+        lsq_size: 2,
+        fetch_buffer: 2,
+        int_alus: 1,
+        mem_ports: 1,
+        ..PipelineConfig::default()
+    };
+    let wide = PipelineConfig::default();
+    let a = run_src(src, narrow);
+    let b = run_src(src, wide);
+    assert_eq!(a.regs()[..], b.regs()[..]);
+    assert!(
+        b.stats().cycles < a.stats().cycles,
+        "wide {} should beat narrow {}",
+        b.stats().cycles,
+        a.stats().cycles
+    );
+    assert!(b.stats().ipc() > 1.0, "the wide machine should exceed IPC 1 on this loop");
+}
+
+/// Freeze windows (exception-handler time) delay but never corrupt.
+#[test]
+fn freeze_mid_run_is_transparent() {
+    let src = "main: li r8, 0\nli r9, 50\nloop: addi r8, r8, 1\nbne r8, r9, loop\nhalt";
+    let image = assemble(src).unwrap();
+    let mut cpu =
+        Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+    cpu.load_image(&image);
+    let mut cp = NullCoProcessor;
+    // Single-step and freeze periodically.
+    let mut steps = 0u64;
+    loop {
+        if let Some(ev) = cpu.step(&mut cp) {
+            assert_eq!(ev, StepEvent::Halted);
+            break;
+        }
+        steps += 1;
+        if steps % 17 == 0 {
+            cpu.freeze_for(5);
+        }
+        assert!(steps < 100_000, "wedged");
+    }
+    assert_eq!(cpu.regs()[8], 50);
+}

@@ -1,0 +1,194 @@
+//! The checkpoint store: main-memory page snapshots saved by the OS
+//! SavePage exception handler (§4.2.1–4.2.2).
+//!
+//! Garbage collection follows the paper's §4.2.2 "Garbage collection"
+//! discussion: snapshots older than a time threshold are removed, but
+//! *history information for deleted pages is kept* — if recovery later
+//! needs a deleted page, the whole process must be terminated ("the
+//! recovery algorithm terminates the entire process due to insufficient
+//! information").
+
+use rse_isa::layout::PAGE_SIZE;
+
+/// One stored page snapshot.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Page id (address / page size).
+    pub page: u32,
+    /// Pre-update contents.
+    pub data: Box<[u8; PAGE_SIZE as usize]>,
+    /// Cycle at which the snapshot was taken.
+    pub saved_at: u64,
+    /// The thread whose write triggered the save.
+    pub writer: usize,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Maximum snapshots held before the garbage collector runs.
+    pub capacity: usize,
+    /// Snapshots older than this many cycles may be collected.
+    pub gc_age_threshold: u64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> CheckpointConfig {
+        CheckpointConfig { capacity: 4096, gc_age_threshold: 50_000_000 }
+    }
+}
+
+/// The main-memory checkpoint store managed by the OS.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    config: CheckpointConfig,
+    snapshots: Vec<Checkpoint>,
+    /// Pages whose snapshots were garbage-collected ("history
+    /// information for deleted pages").
+    tombstones: Vec<u32>,
+    /// Total snapshots ever stored.
+    pub stored_total: u64,
+    /// Snapshots dropped by garbage collection.
+    pub collected_total: u64,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new(config: CheckpointConfig) -> CheckpointStore {
+        CheckpointStore { config, ..CheckpointStore::default() }
+    }
+
+    /// Number of live snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the store holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Stores a snapshot; runs garbage collection if over capacity.
+    pub fn store(&mut self, checkpoint: Checkpoint) {
+        self.stored_total += 1;
+        self.snapshots.push(checkpoint);
+        if self.snapshots.len() > self.config.capacity {
+            let now = self.snapshots.last().map(|c| c.saved_at).unwrap_or(0);
+            self.collect(now);
+        }
+    }
+
+    /// Garbage-collects snapshots older than the age threshold, leaving
+    /// tombstones. If none are old enough, the oldest snapshot is
+    /// collected to bound memory.
+    pub fn collect(&mut self, now: u64) {
+        let threshold = now.saturating_sub(self.config.gc_age_threshold);
+        let before = self.snapshots.len();
+        let mut removed: Vec<u32> = Vec::new();
+        self.snapshots.retain(|c| {
+            if c.saved_at < threshold {
+                removed.push(c.page);
+                false
+            } else {
+                true
+            }
+        });
+        if self.snapshots.len() == before && before > self.config.capacity {
+            // Nothing old enough: drop the oldest to bound memory.
+            if let Some(idx) = self
+                .snapshots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.saved_at)
+                .map(|(i, _)| i)
+            {
+                removed.push(self.snapshots[idx].page);
+                self.snapshots.remove(idx);
+            }
+        }
+        self.collected_total += removed.len() as u64;
+        self.tombstones.extend(removed);
+    }
+
+    /// The *earliest* snapshot for `page` — restoring it undoes every
+    /// update since the page was last in a clean (single-owner) state.
+    pub fn earliest_for(&self, page: u32) -> Option<&Checkpoint> {
+        self.snapshots.iter().filter(|c| c.page == page).min_by_key(|c| c.saved_at)
+    }
+
+    /// Whether snapshots of `page` were deleted by garbage collection
+    /// (recovery must then give up on the whole process).
+    pub fn was_collected(&self, page: u32) -> bool {
+        self.tombstones.contains(&page)
+    }
+
+    /// Drops snapshots for `page` (after a successful restore).
+    pub fn forget_page(&mut self, page: u32) {
+        self.snapshots.retain(|c| c.page != page);
+    }
+
+    /// Clears everything (process restart: "periodically restart the
+    /// application and remove all previously saved memory pages").
+    pub fn clear(&mut self) {
+        self.snapshots.clear();
+        self.tombstones.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(page: u32, saved_at: u64, fill: u8) -> Checkpoint {
+        Checkpoint { page, data: Box::new([fill; PAGE_SIZE as usize]), saved_at, writer: 0 }
+    }
+
+    #[test]
+    fn earliest_snapshot_wins() {
+        let mut s = CheckpointStore::new(CheckpointConfig::default());
+        s.store(cp(5, 100, 1));
+        s.store(cp(5, 200, 2));
+        s.store(cp(6, 150, 3));
+        assert_eq!(s.earliest_for(5).unwrap().data[0], 1);
+        assert_eq!(s.earliest_for(6).unwrap().data[0], 3);
+        assert!(s.earliest_for(7).is_none());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn gc_leaves_tombstones() {
+        let mut s = CheckpointStore::new(CheckpointConfig {
+            capacity: 2,
+            gc_age_threshold: 50,
+        });
+        s.store(cp(1, 0, 1));
+        s.store(cp(2, 10, 2));
+        s.store(cp(3, 100, 3)); // over capacity → GC with now=100
+        assert!(s.was_collected(1), "page 1 aged out");
+        assert!(s.earliest_for(1).is_none());
+        assert!(!s.was_collected(3));
+    }
+
+    #[test]
+    fn gc_drops_oldest_when_nothing_aged() {
+        let mut s = CheckpointStore::new(CheckpointConfig {
+            capacity: 2,
+            gc_age_threshold: 1_000_000,
+        });
+        s.store(cp(1, 0, 1));
+        s.store(cp(2, 10, 2));
+        s.store(cp(3, 20, 3));
+        assert_eq!(s.len(), 2);
+        assert!(s.was_collected(1));
+    }
+
+    #[test]
+    fn forget_page_removes_all_its_snapshots() {
+        let mut s = CheckpointStore::new(CheckpointConfig::default());
+        s.store(cp(5, 100, 1));
+        s.store(cp(5, 200, 2));
+        s.forget_page(5);
+        assert!(s.earliest_for(5).is_none());
+        assert!(!s.was_collected(5), "forgetting is not collection");
+    }
+}

@@ -1,0 +1,202 @@
+//! The recovery algorithm of §4.2.2.
+//!
+//! "To minimize application-wide impact of the faulty thread tf, we
+//! identify (using information stored in DDM) and terminate all threads
+//! that are data-dependent on tf. The memory updates due to tf and its
+//! dependent threads are undone so that they do not impact the future
+//! execution of the healthy threads in the process."
+//!
+//! System software performs the recovery using the information the DDT
+//! collected (the PST and DDM) and the checkpoints stored by the SavePage
+//! exception handler. For each page currently write-owned by a victim
+//! thread, the **earliest** stored snapshot is restored — that is the
+//! page's last single-owner (clean) state. If any needed snapshot was
+//! garbage-collected, the whole process must be terminated ("due to
+//! insufficient information").
+
+use crate::checkpoint::CheckpointStore;
+use rse_isa::layout::page_base;
+use rse_mem::MemorySystem;
+use rse_modules::ddt::{Ddt, ThreadId};
+
+/// Result of a recovery attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Threads terminated: the faulty thread plus its transitive
+    /// dependents.
+    pub terminated: Vec<ThreadId>,
+    /// Pages restored from checkpoints.
+    pub pages_restored: Vec<u32>,
+    /// Pages written by victims for which no pre-image exists (pages the
+    /// victims created from scratch; left in place — no healthy thread
+    /// ever consumed them, or it would itself be a victim).
+    pub pages_unrestorable: Vec<u32>,
+    /// Whether the whole process must die (a needed checkpoint was
+    /// garbage-collected).
+    pub whole_process: bool,
+}
+
+/// Recovers from the crash of `faulty`: computes the victim set from the
+/// DDM, undoes victim page updates from the checkpoint store, and clears
+/// the victims' DDT state.
+pub fn recover(
+    faulty: ThreadId,
+    ddt: &mut Ddt,
+    checkpoints: &mut CheckpointStore,
+    mem: &mut MemorySystem,
+) -> RecoveryOutcome {
+    let terminated = ddt.tainted_by(faulty);
+    // Pages whose current write-owner is a victim: their contents include
+    // victim updates and must be rolled back.
+    let victim_pages: Vec<u32> = ddt
+        .pst()
+        .iter()
+        .filter(|(_, owners)| owners.write_owner.is_some_and(|w| terminated.contains(&w)))
+        .map(|(page, _)| page)
+        .collect();
+    let mut pages_restored = Vec::new();
+    let mut pages_unrestorable = Vec::new();
+    for page in victim_pages {
+        if let Some(cp) = checkpoints.earliest_for(page) {
+            mem.memory.restore_page(page_base(page), &cp.data);
+            checkpoints.forget_page(page);
+            pages_restored.push(page);
+        } else if checkpoints.was_collected(page) {
+            // §4.2.2 garbage collection: "When any of the deleted pages is
+            // needed for recovery, the recovery algorithm terminates the
+            // entire process due to insufficient information."
+            return RecoveryOutcome {
+                terminated,
+                pages_restored,
+                pages_unrestorable,
+                whole_process: true,
+            };
+        } else {
+            pages_unrestorable.push(page);
+        }
+    }
+    for &victim in &terminated {
+        ddt.forget_thread(victim);
+    }
+    ddt.purge_victim_pages(&terminated);
+    RecoveryOutcome { terminated, pages_restored, pages_unrestorable, whole_process: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{Checkpoint, CheckpointConfig};
+    use rse_isa::layout::PAGE_SIZE;
+    use rse_mem::MemConfig;
+    use rse_modules::ddt::DdtConfig;
+
+    fn page_data(fill: u8) -> Box<[u8; PAGE_SIZE as usize]> {
+        Box::new([fill; PAGE_SIZE as usize])
+    }
+
+    /// Builds the Figure 8 scenario directly on the module structures:
+    /// t2 wrote p1 (read by t1), t1 wrote p2 (read by t0), t0 wrote p3
+    /// (read by t1). t2 crashes.
+    fn figure8() -> (Ddt, CheckpointStore, MemorySystem) {
+        let mut ddt = Ddt::new(DdtConfig::default());
+        let mut mem = MemorySystem::new(MemConfig::baseline());
+        let mut store = CheckpointStore::new(CheckpointConfig::default());
+        let (p1, p2, p3) = (0x100, 0x101, 0x102);
+        // Current page contents reflect victim writes.
+        for (p, fill) in [(p1, 0xA2u8), (p2, 0xA1), (p3, 0xA0)] {
+            mem.memory.write_bytes(page_base(p), &[fill; 64]);
+        }
+        // Ownership: t2 owns p1, t1 owns p2, t0 owns p3.
+        ddt.set_current_thread(2);
+        ddt.debug_track_write(p1);
+        ddt.set_current_thread(1);
+        ddt.debug_track_read(p1); // logs t2 -> t1
+        ddt.debug_track_write(p2);
+        ddt.set_current_thread(0);
+        ddt.debug_track_read(p2); // logs t1 -> t0
+        ddt.debug_track_write(p3);
+        ddt.set_current_thread(1);
+        ddt.debug_track_read(p3); // logs t0 -> t1
+        // Pre-images for the three pages.
+        for (p, fill) in [(p1, 1u8), (p2, 2), (p3, 3)] {
+            store.store(Checkpoint { page: p, data: page_data(fill), saved_at: 10, writer: 0 });
+        }
+        (ddt, store, mem)
+    }
+
+    #[test]
+    fn figure8_recovery_terminates_t0_t1_t2_and_restores_pages() {
+        let (mut ddt, mut store, mut mem) = figure8();
+        let outcome = recover(2, &mut ddt, &mut store, &mut mem);
+        assert!(!outcome.whole_process);
+        assert_eq!(outcome.terminated, vec![0, 1, 2]);
+        let mut restored = outcome.pages_restored.clone();
+        restored.sort_unstable();
+        assert_eq!(restored, vec![0x100, 0x101, 0x102]);
+        // Memory rolled back to the pre-images.
+        assert_eq!(mem.memory.read_u8(page_base(0x100)), 1);
+        assert_eq!(mem.memory.read_u8(page_base(0x101)), 2);
+        assert_eq!(mem.memory.read_u8(page_base(0x102)), 3);
+        // Victim dependencies are gone.
+        assert!(ddt.tainted_by(2).len() == 1);
+    }
+
+    #[test]
+    fn unrelated_threads_survive() {
+        let (mut ddt, mut store, mut mem) = figure8();
+        // t3 owns its own page with its own checkpoint.
+        ddt.set_current_thread(3);
+        ddt.debug_track_write(0x200);
+        mem.memory.write_bytes(page_base(0x200), &[0x33; 16]);
+        let outcome = recover(2, &mut ddt, &mut store, &mut mem);
+        assert!(!outcome.terminated.contains(&3));
+        // t3's page untouched.
+        assert_eq!(mem.memory.read_u8(page_base(0x200)), 0x33);
+    }
+
+    #[test]
+    fn earliest_snapshot_restores_clean_state() {
+        let mut ddt = Ddt::new(DdtConfig::default());
+        let mut mem = MemorySystem::new(MemConfig::baseline());
+        let mut store = CheckpointStore::new(CheckpointConfig::default());
+        let p = 0x50;
+        ddt.set_current_thread(7);
+        ddt.debug_track_write(p);
+        // Two snapshots exist; the earlier one is the clean state.
+        store.store(Checkpoint { page: p, data: page_data(0xC1), saved_at: 5, writer: 7 });
+        store.store(Checkpoint { page: p, data: page_data(0xC2), saved_at: 9, writer: 7 });
+        let outcome = recover(7, &mut ddt, &mut store, &mut mem);
+        assert_eq!(outcome.pages_restored, vec![p]);
+        assert_eq!(mem.memory.read_u8(page_base(p)), 0xC1);
+    }
+
+    #[test]
+    fn collected_checkpoint_forces_whole_process_termination() {
+        let mut ddt = Ddt::new(DdtConfig::default());
+        let mut mem = MemorySystem::new(MemConfig::baseline());
+        // Tiny store: force garbage collection of the needed page.
+        let mut store =
+            CheckpointStore::new(CheckpointConfig { capacity: 1, gc_age_threshold: 1 });
+        let p = 0x60;
+        ddt.set_current_thread(1);
+        ddt.debug_track_write(p);
+        store.store(Checkpoint { page: p, data: page_data(1), saved_at: 0, writer: 1 });
+        store.store(Checkpoint { page: 0x61, data: page_data(2), saved_at: 100, writer: 1 });
+        assert!(store.was_collected(p));
+        let outcome = recover(1, &mut ddt, &mut store, &mut mem);
+        assert!(outcome.whole_process);
+    }
+
+    #[test]
+    fn unrestorable_fresh_pages_are_reported_not_fatal() {
+        let mut ddt = Ddt::new(DdtConfig::default());
+        let mut mem = MemorySystem::new(MemConfig::baseline());
+        let mut store = CheckpointStore::new(CheckpointConfig::default());
+        let p = 0x70;
+        ddt.set_current_thread(4);
+        ddt.debug_track_write(p); // first writer: no snapshot exists
+        let outcome = recover(4, &mut ddt, &mut store, &mut mem);
+        assert!(!outcome.whole_process);
+        assert_eq!(outcome.pages_unrestorable, vec![p]);
+    }
+}

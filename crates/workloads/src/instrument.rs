@@ -1,0 +1,137 @@
+//! Static binary instrumentation for the cache-overhead experiment
+//! (§5.1 of the paper).
+//!
+//! Runtime CHECK embedding (the pipeline's fetch-time injection) does not
+//! perturb the I-cache, so the paper measures the cache effect of CHECK
+//! instructions separately by rewriting the code segment, placing a NOP
+//! (standing in for a CHECK) before every checked instruction and
+//! running the *baseline* simulator. We reproduce both variants at the
+//! assembly level, where the assembler re-resolves all branch targets.
+
+/// What to insert before each control-flow instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticInsert {
+    /// A real CHECK instruction (`chk icm, blk, 2, 0`).
+    Chk,
+    /// A NOP (the paper's measurement stand-in; identical fetch
+    /// footprint, no module interaction).
+    Nop,
+}
+
+const CONTROL_FLOW_MNEMONICS: &[&str] = &[
+    "beq", "bne", "blt", "bge", "ble", "bgt", "beqz", "bnez", "b", "j", "jal", "jr", "jalr",
+    "ret",
+];
+
+fn is_control_flow_line(line: &str) -> bool {
+    // Strip comment and any leading labels.
+    let mut body = line.split(['#', ';']).next().unwrap_or("").trim();
+    while let Some(colon) = body.find(':') {
+        let (head, tail) = body.split_at(colon);
+        if head.trim().contains(char::is_whitespace) {
+            break;
+        }
+        body = tail[1..].trim_start();
+    }
+    let Some(mnemonic) = body.split_whitespace().next() else { return false };
+    CONTROL_FLOW_MNEMONICS.contains(&mnemonic.to_ascii_lowercase().as_str())
+}
+
+/// Inserts the chosen instruction before every control-flow instruction
+/// in `source`. Labels remain attached to the inserted instruction so
+/// that branches *to* a checked instruction reach its CHECK first,
+/// exactly as a static binary rewriter would arrange.
+pub fn instrument_control_flow(source: &str, what: StaticInsert) -> String {
+    let inserted = match what {
+        StaticInsert::Chk => "chk icm, blk, 2, 0",
+        StaticInsert::Nop => "nop",
+    };
+    let mut out = String::with_capacity(source.len() * 2);
+    for line in source.lines() {
+        if is_control_flow_line(line) {
+            // Move any leading label onto the inserted instruction.
+            let mut body = line.split(['#', ';']).next().unwrap_or("").trim_start();
+            let mut labels = String::new();
+            while let Some(colon) = body.find(':') {
+                let (head, tail) = body.split_at(colon);
+                if head.trim().contains(char::is_whitespace) {
+                    break;
+                }
+                labels.push_str(head.trim());
+                labels.push_str(": ");
+                body = tail[1..].trim_start();
+            }
+            out.push_str(&format!("{labels}{inserted}\n"));
+            out.push_str(&format!("        {body}\n"));
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Counts control-flow instruction lines (for sanity checks and
+/// experiment reporting).
+pub fn count_control_flow(source: &str) -> usize {
+    source.lines().filter(|l| is_control_flow_line(l)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rse_isa::asm::assemble;
+
+    const SRC: &str = r#"
+        main:   li   r8, 0
+                li   r9, 10
+        loop:   addi r8, r8, 1
+                bne  r8, r9, loop
+                halt
+    "#;
+
+    #[test]
+    fn inserts_before_branches_only() {
+        let out = instrument_control_flow(SRC, StaticInsert::Nop);
+        assert_eq!(count_control_flow(SRC), 1);
+        let base = assemble(SRC).unwrap();
+        let inst = assemble(&out).unwrap();
+        assert_eq!(inst.text.len(), base.text.len() + 1);
+    }
+
+    #[test]
+    fn branch_targets_still_resolve_and_program_is_equivalent() {
+        use rse_mem::{MemConfig, MemorySystem};
+        use rse_pipeline::{NullCoProcessor, Pipeline, PipelineConfig, StepEvent};
+        for what in [StaticInsert::Nop, StaticInsert::Chk] {
+            let out = instrument_control_flow(SRC, what);
+            let image = assemble(&out).unwrap();
+            let mut cpu = Pipeline::new(
+                PipelineConfig::default(),
+                MemorySystem::new(MemConfig::baseline()),
+            );
+            cpu.load_image(&image);
+            // Without an engine, CHKs behave as NOPs (gate passes).
+            assert_eq!(cpu.run(&mut NullCoProcessor, 1_000_000), StepEvent::Halted);
+            assert_eq!(cpu.regs()[8], 10);
+        }
+    }
+
+    #[test]
+    fn labels_move_to_the_inserted_instruction() {
+        let src = "x: beq r0, r0, x\n";
+        let out = instrument_control_flow(src, StaticInsert::Nop);
+        let image = assemble(&out).unwrap();
+        // The label now addresses the NOP, one word before the beq.
+        assert_eq!(image.symbol("x").unwrap(), image.text_base);
+        assert_eq!(image.text.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_data_untouched() {
+        let src = "# b not-a-branch\nmain: halt\n.data\nw: .word 5 # jr inside comment\n";
+        let out = instrument_control_flow(src, StaticInsert::Nop);
+        assert_eq!(count_control_flow(&out), 0);
+        assert!(assemble(&out).is_ok());
+    }
+}

@@ -1,0 +1,65 @@
+//! # rse-workloads — evaluation workloads as guest programs
+//!
+//! The paper evaluates the RSE with SPEC2000 `vpr` (placement and
+//! routing), a k-means clustering application, and a multithreaded
+//! network server. This crate generates kernel-faithful guest-assembly
+//! equivalents, parameterized so the benchmark harness can sweep sizes:
+//!
+//! * [`place`] — a simulated-annealing placement kernel (the *vpr
+//!   Placement* phase): random cell swaps on a grid, net wirelength
+//!   cost, temperature-scheduled uphill acceptance,
+//! * [`route`] — a BFS maze-routing kernel (the *vpr Route* phase):
+//!   wavefront expansion over a grid with obstacles, path backtrace
+//!   marking used cells,
+//! * [`kmeans`] — integer k-means clustering (patterns × dims × clusters
+//!   × iterations; the ISA is integer-only, see `DESIGN.md`),
+//! * [`mlr_bench`] — the Table 5 microbenchmarks: the pure-software TRR
+//!   GOT-copy + PLT-rewrite loop and the RSE CHECK-instruction version,
+//! * [`server`] — the multithreaded network server of the Figure 9 DDT
+//!   experiment: a worker-thread pool serving requests against a mix of
+//!   private and shared pages.
+//!
+//! Every generator returns assembler source; a host-side **reference
+//! implementation** of the same integer algorithm accompanies each
+//! kernel so tests can verify the simulated result exactly.
+//!
+//! [`instrument`] provides the *static* CHECK/NOP insertion pass used by
+//! the Table 4 cache-overhead experiment (the paper's "rewrite the code
+//! segment inserting NOP instructions wherever a CHECK instruction has
+//! to be placed").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod instrument;
+pub mod kmeans;
+pub mod mlr_bench;
+pub mod place;
+pub mod route;
+pub mod server;
+
+/// A deterministic host-side generator for workload data (splitmix64).
+#[derive(Debug, Clone)]
+pub struct DataRng(pub u64);
+
+impl DataRng {
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % bound as u64) as u32
+    }
+}
+
+/// The 32-bit LCG used *inside* guest kernels (and mirrored by the host
+/// references): `s = s*1664525 + 1013904223`.
+pub fn lcg_step(s: u32) -> u32 {
+    s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223)
+}

@@ -1,0 +1,162 @@
+//! End-to-end properties of the whole stack: workload correctness under
+//! every machine configuration, determinism, and the monotonicity
+//! relations the Table 4 experiment depends on.
+
+use rse::core::{Engine, RseConfig};
+use rse::isa::asm::assemble;
+use rse::isa::ModuleId;
+use rse::mem::{MemConfig, MemorySystem};
+use rse::modules::icm::{Icm, IcmConfig};
+use rse::pipeline::{CheckPolicy, Pipeline, PipelineConfig};
+use rse::sys::{Os, OsConfig, OsExit};
+use rse::workloads::{instrument, kmeans, place, route};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Config {
+    Baseline,
+    Framework,
+    FrameworkIcm,
+}
+
+fn run(image: &rse::isa::Image, config: Config) -> (Vec<i32>, u64) {
+    let (mem, pipe) = match config {
+        Config::Baseline => (MemConfig::baseline(), PipelineConfig::default()),
+        Config::Framework => (MemConfig::with_framework(), PipelineConfig::default()),
+        Config::FrameworkIcm => (
+            MemConfig::with_framework(),
+            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+        ),
+    };
+    let mut cpu = Pipeline::new(pipe, MemorySystem::new(mem));
+    rse::sys::loader::load_process(&mut cpu, image);
+    let mut engine = Engine::new(RseConfig::default());
+    if config == Config::FrameworkIcm {
+        let mut icm = Icm::new(IcmConfig::default());
+        icm.install_for_control_flow(image, &mut cpu.mem_mut().memory);
+        engine.install(Box::new(icm));
+        engine.enable(ModuleId::ICM);
+    }
+    let mut os = Os::new(OsConfig::default());
+    let exit = os.run(&mut cpu, &mut engine, 1_000_000_000);
+    assert_eq!(exit, OsExit::Exited { code: 0 });
+    (os.output, cpu.stats().cycles)
+}
+
+/// Every machine configuration computes the same architectural results
+/// (the framework is *detection*, never a change of semantics), and the
+/// results match the host-side reference implementations.
+#[test]
+fn all_configurations_agree_with_references() {
+    let kp = kmeans::KmeansParams { patterns: 40, dims: 4, clusters: 4, iters: 2, seed: 5 };
+    let rp = route::RouteParams { width: 10, nets: 5, block_pct: 10, seed: 9 };
+    let pp = place::PlaceParams {
+        cells: 16,
+        nets_per_block: 8,
+        blocks: 2,
+        grid: 8,
+        iters: 40,
+        ..place::PlaceParams::default()
+    };
+    let (kc, _) = kmeans::reference(&kp);
+    let (rr, rw) = route::reference(&rp);
+    let pc = place::reference(&pp);
+    for (name, src, expected) in [
+        ("kmeans", kmeans::source(&kp), vec![kc as i32]),
+        ("route", route::source(&rp), vec![rr as i32, rw as i32]),
+        ("place", place::source(&pp), vec![pc as i32]),
+    ] {
+        let image = assemble(&src).unwrap();
+        for config in [Config::Baseline, Config::Framework, Config::FrameworkIcm] {
+            let (out, _) = run(&image, config);
+            assert_eq!(out, expected, "{name} result must be configuration-independent");
+        }
+    }
+}
+
+/// Cycle counts are strictly ordered: baseline ≤ framework ≤ framework+ICM
+/// (the Table 4 relation), and simulation is bit-deterministic.
+#[test]
+fn configuration_cost_ordering_and_determinism() {
+    let kp = kmeans::KmeansParams { patterns: 60, dims: 8, clusters: 4, iters: 2, seed: 5 };
+    let image = assemble(&kmeans::source(&kp)).unwrap();
+    let (_, base1) = run(&image, Config::Baseline);
+    let (_, base2) = run(&image, Config::Baseline);
+    assert_eq!(base1, base2, "simulation must be deterministic");
+    let (_, fw) = run(&image, Config::Framework);
+    let (_, icm) = run(&image, Config::FrameworkIcm);
+    assert!(base1 <= fw, "baseline {base1} vs framework {fw}");
+    assert!(fw < icm, "framework {fw} vs framework+ICM {icm}");
+}
+
+/// The static CHECK/NOP instrumentation preserves program semantics and
+/// costs cycles (the cache study of §5.1).
+#[test]
+fn static_instrumentation_preserves_results_and_costs_cycles() {
+    let rp = route::RouteParams { width: 16, nets: 8, block_pct: 10, seed: 2 };
+    let src = route::source(&rp);
+    let (rr, rw) = route::reference(&rp);
+    let plain = assemble(&src).unwrap();
+    for what in [instrument::StaticInsert::Nop, instrument::StaticInsert::Chk] {
+        let instrumented =
+            assemble(&instrument::instrument_control_flow(&src, what)).unwrap();
+        let (out_p, cyc_p) = run(&plain, Config::Baseline);
+        let (out_i, cyc_i) = run(&instrumented, Config::Baseline);
+        assert_eq!(out_p, vec![rr as i32, rw as i32]);
+        assert_eq!(out_i, out_p, "instrumentation must not change results");
+        assert!(cyc_i > cyc_p, "fetching the inserted words costs cycles");
+    }
+}
+
+/// ICM protection under randomized fault injection: a single-bit flip in
+/// a fetched *checked* (control-flow) instruction is detected (mismatch →
+/// flush → clean refetch) and the program produces the right answer. A
+/// flip in an unchecked instruction may corrupt data silently or even
+/// hang the program — the uncontrolled failures the paper's preemptive
+/// checking argument is about — so those trials only need to terminate
+/// within the cycle budget or time out without wedging the simulator.
+#[test]
+fn icm_fault_injection_campaign() {
+    let src = r#"
+        main:   li   r8, 0
+                li   r9, 40
+        loop:   addi r8, r8, 1
+                bne  r8, r9, loop
+                halt
+    "#;
+    let image = assemble(src).unwrap();
+    let mut detected = 0;
+    for trial in 0..24u64 {
+        let index = 3 + (trial % 6) * 2; // odd indices land on the checked bne
+        let bit = 1u32 << ((trial * 7) % 26);
+        let mut cpu = Pipeline::new(
+            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+            MemorySystem::new(MemConfig::with_framework()),
+        );
+        cpu.load_image(&image);
+        let mut icm = Icm::new(IcmConfig::default());
+        icm.install_for_control_flow(&image, &mut cpu.mem_mut().memory);
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(icm));
+        engine.enable(ModuleId::ICM);
+        cpu.set_fetch_fault(Some(rse::pipeline::FetchFault { index, xor_mask: bit }));
+        let ev = cpu.run(&mut engine, 2_000_000);
+        let icm: &Icm = engine.module_ref(ModuleId::ICM).unwrap();
+        if icm.stats().mismatches > 0 {
+            detected += 1;
+            assert_eq!(ev, rse::pipeline::StepEvent::Halted, "trial {trial} not recovered");
+            assert_eq!(cpu.regs()[8], 40, "detected faults must be fully recovered");
+        } else {
+            // Undetected (unchecked instruction hit): silent corruption or
+            // a hang are both possible — the failure modes the ICM exists
+            // to preempt.
+            assert!(
+                matches!(
+                    ev,
+                    rse::pipeline::StepEvent::Halted | rse::pipeline::StepEvent::Timeout
+                ),
+                "trial {trial}: {ev:?}"
+            );
+        }
+    }
+    assert!(detected >= 4, "the campaign must exercise the detection path ({detected})");
+}

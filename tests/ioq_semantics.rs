@@ -1,0 +1,114 @@
+//! Table 1 of the paper — the diagnostic role of the `checkValid` and
+//! `check` fields of the Instruction Output Queue — verified through the
+//! public engine interface and with property-based sequences.
+
+use proptest::prelude::*;
+use rse::core::ioq::{Ioq, IoqEntryKind};
+use rse::core::testutil::{ScriptedBehavior, ScriptedModule};
+use rse::core::{Engine, RseConfig, Verdict};
+use rse::isa::asm::assemble;
+use rse::isa::ModuleId;
+use rse::mem::{MemConfig, MemorySystem};
+use rse::pipeline::{CommitGate, Pipeline, PipelineConfig, RobId, StepEvent};
+
+#[test]
+fn table1_row1_free_then_allocated_chk_stalls() {
+    let mut ioq = Ioq::new(16);
+    // Row 1: a free entry imposes nothing.
+    assert_eq!(ioq.gate(RobId(0)), CommitGate::Pass);
+    // Row 2 (`00`): allocated CHECK, incomplete — the pipeline may stall.
+    ioq.allocate(0, RobId(0), IoqEntryKind::BlockingChk(ModuleId::ICM));
+    assert_eq!(ioq.gate(RobId(0)), CommitGate::Stall);
+}
+
+#[test]
+fn table1_row3_non_check_is_10() {
+    let mut ioq = Ioq::new(16);
+    ioq.allocate(0, RobId(1), IoqEntryKind::Plain);
+    assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
+}
+
+#[test]
+fn table1_row4_completed_check_without_error_commits() {
+    let mut ioq = Ioq::new(16);
+    ioq.allocate(0, RobId(2), IoqEntryKind::BlockingChk(ModuleId::ICM));
+    ioq.complete(3, RobId(2), false);
+    assert_eq!(ioq.gate(RobId(2)), CommitGate::Pass);
+}
+
+#[test]
+fn table1_row5_error_flushes() {
+    let mut ioq = Ioq::new(16);
+    ioq.allocate(0, RobId(3), IoqEntryKind::BlockingChk(ModuleId::ICM));
+    ioq.complete(3, RobId(3), true);
+    assert_eq!(ioq.gate(RobId(3)), CommitGate::Flush);
+}
+
+/// The whole stack honors Table 1: under a passing module, a blocking
+/// CHECK's stall window equals the module latency (within scan and
+/// broadcast delays), never more.
+#[test]
+fn stall_window_bounded_by_module_latency() {
+    for latency in [1u64, 10, 50] {
+        let image = assemble("main: chk icm, blk, 2, 0\nhalt").unwrap();
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::with_framework()),
+        );
+        cpu.load_image(&image);
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(ScriptedModule::new(
+            ModuleId::ICM,
+            ScriptedBehavior::Respond { verdict: Verdict::Pass, latency },
+        )));
+        engine.enable(ModuleId::ICM);
+        assert_eq!(cpu.run(&mut engine, 100_000), StepEvent::Halted);
+        let stalls = cpu.stats().commit_stall_cycles;
+        assert!(stalls <= latency + 4, "latency {latency}: stalled {stalls}");
+    }
+}
+
+proptest! {
+    /// Arbitrary allocate/complete/free sequences keep the IOQ's gate
+    /// consistent with the Table 1 truth table at every step.
+    #[test]
+    fn ioq_gate_matches_truth_table(ops in proptest::collection::vec((0u64..8, 0u8..3, any::<bool>()), 1..60)) {
+        let mut ioq = Ioq::new(16);
+        // Shadow model: rob -> (is_chk, valid, check)
+        let mut shadow: std::collections::HashMap<u64, (bool, bool, bool)> = Default::default();
+        for (rob, op, flag) in ops {
+            match op {
+                0 => {
+                    if shadow.len() < 16 && !shadow.contains_key(&rob) {
+                        let kind = if flag {
+                            IoqEntryKind::BlockingChk(ModuleId::ICM)
+                        } else {
+                            IoqEntryKind::Plain
+                        };
+                        ioq.allocate(0, RobId(rob), kind);
+                        shadow.insert(rob, (flag, !flag, false));
+                    }
+                }
+                1 => {
+                    ioq.complete(1, RobId(rob), flag);
+                    if let Some(e) = shadow.get_mut(&rob) {
+                        e.1 = true;
+                        e.2 = flag;
+                    }
+                }
+                _ => {
+                    ioq.free(RobId(rob));
+                    shadow.remove(&rob);
+                }
+            }
+            for (&rob, &(_, valid, check)) in &shadow {
+                let expected = match (valid, check) {
+                    (false, _) => CommitGate::Stall,
+                    (true, false) => CommitGate::Pass,
+                    (true, true) => CommitGate::Flush,
+                };
+                prop_assert_eq!(ioq.gate(RobId(rob)), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Table 2 of the paper as integration tests: every framework error
+//! scenario, injected while a checked workload runs, must either be
+//! harmless (the false negative) or be detected by the §3.4 self-checking
+//! watchdog, which decouples the framework so the application completes
+//! with correct architectural results.
+
+use rse::core::testutil::{ScriptedBehavior, ScriptedModule};
+use rse::core::{Engine, IoqFault, RseConfig, SafeModeCause, Verdict};
+use rse::isa::asm::assemble;
+use rse::isa::ModuleId;
+use rse::mem::{MemConfig, MemorySystem};
+use rse::pipeline::{CheckPolicy, Pipeline, PipelineConfig, StepEvent};
+
+const SRC: &str = r#"
+    main:   li   r8, 0
+            li   r9, 150
+    loop:   addi r8, r8, 1
+            bne  r8, r9, loop
+            halt
+"#;
+
+fn run(behavior: ScriptedBehavior, fault: Option<IoqFault>) -> (Pipeline, Engine) {
+    let image = assemble(SRC).unwrap();
+    let mut cpu = Pipeline::new(
+        PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+        MemorySystem::new(MemConfig::with_framework()),
+    );
+    cpu.load_image(&image);
+    let mut config = RseConfig::default();
+    config.watchdog.timeout = 1_000;
+    config.watchdog.burst_threshold = 5;
+    config.watchdog.premature_pass_threshold = 5;
+    let mut engine = Engine::new(config);
+    engine.install(Box::new(ScriptedModule::new(ModuleId::ICM, behavior)));
+    engine.enable(ModuleId::ICM);
+    engine.inject_ioq_fault(fault);
+    let ev = cpu.run(&mut engine, 5_000_000);
+    assert_eq!(ev, StepEvent::Halted, "application must complete");
+    assert_eq!(cpu.regs()[8], 150, "architectural result must be correct");
+    (cpu, engine)
+}
+
+fn healthy() -> ScriptedBehavior {
+    ScriptedBehavior::Respond { verdict: Verdict::Pass, latency: 2 }
+}
+
+#[test]
+fn healthy_module_no_safe_mode() {
+    let (_, engine) = run(healthy(), None);
+    assert_eq!(engine.safe_mode(), None);
+}
+
+#[test]
+fn module_without_progress_trips_watchdog() {
+    let (_, engine) = run(ScriptedBehavior::Silent, None);
+    assert!(matches!(engine.safe_mode(), Some(SafeModeCause::NoProgress { .. })));
+}
+
+#[test]
+fn false_alarm_module_trips_burst_detector() {
+    let (cpu, engine) = run(
+        ScriptedBehavior::Respond { verdict: Verdict::Fail, latency: 2 },
+        None,
+    );
+    assert_eq!(engine.safe_mode(), Some(SafeModeCause::ErrorBurst));
+    assert!(cpu.stats().check_flushes >= 4, "flush-loop before decoupling");
+}
+
+#[test]
+fn false_negative_is_undetectable_but_harmless() {
+    // Table 2: "the application proceeds with execution and effectively
+    // is not receiving any protection".
+    let (_, engine) = run(healthy(), Some(IoqFault::CheckStuck0));
+    assert_eq!(engine.safe_mode(), None);
+}
+
+#[test]
+fn checkvalid_stuck_at_0_detected_as_no_progress() {
+    let (_, engine) = run(healthy(), Some(IoqFault::ValidStuck0));
+    assert!(matches!(engine.safe_mode(), Some(SafeModeCause::NoProgress { .. })));
+}
+
+#[test]
+fn checkvalid_stuck_at_1_detected_as_premature_pass() {
+    let (_, engine) = run(healthy(), Some(IoqFault::ValidStuck1));
+    assert_eq!(engine.safe_mode(), Some(SafeModeCause::PrematurePass));
+}
+
+#[test]
+fn check_stuck_at_1_detected_as_burst() {
+    let (_, engine) = run(healthy(), Some(IoqFault::CheckStuck1));
+    assert_eq!(engine.safe_mode(), Some(SafeModeCause::ErrorBurst));
+}
+
+#[test]
+fn safe_mode_costs_no_extra_cycles_once_decoupled() {
+    // After decoupling, the framework's constant `10` output lets the
+    // pipeline run at full speed: a silent module's run must not be
+    // dramatically slower than the healthy run past the detection point.
+    let (healthy_cpu, _) = run(healthy(), None);
+    let (silent_cpu, engine) = run(ScriptedBehavior::Silent, None);
+    assert!(engine.safe_mode().is_some());
+    // The silent run pays roughly the watchdog timeout once, not per CHECK.
+    assert!(
+        silent_cpu.stats().cycles < healthy_cpu.stats().cycles + 3_000,
+        "silent: {} healthy: {}",
+        silent_cpu.stats().cycles,
+        healthy_cpu.stats().cycles
+    );
+}
