@@ -1,15 +1,16 @@
-//! Criterion micro-benchmarks of the core data structures and the
-//! simulator itself (host-side performance; the *simulated* results come
-//! from the `table*`/`fig*` binaries).
+//! Micro-benchmarks of the core data structures and the simulator
+//! itself (host-side performance; the *simulated* results come from the
+//! `table*`/`fig*` binaries). Runs on the in-repo `rse_support::bench`
+//! timer — median/p95 per benchmark, JSON lines via `RSE_BENCH_JSON`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rse_core::{Engine, RseConfig};
 use rse_isa::asm::assemble;
 use rse_mem::{Cache, CacheConfig, MemConfig, MemorySystem};
-use rse_modules::ddt::{DependencyMatrix, PageStatusTable, transition};
+use rse_modules::ddt::{transition, DependencyMatrix, PageStatusTable};
 use rse_pipeline::{NullCoProcessor, Pipeline, PipelineConfig, StepEvent};
+use rse_support::bench::{black_box, Harness};
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(c: &mut Harness) {
     c.bench_function("cache/dl2_access_stream", |b| {
         let mut cache = Cache::new(CacheConfig::dl2());
         let mut addr = 0u32;
@@ -20,7 +21,7 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-fn bench_ddm(c: &mut Criterion) {
+fn bench_ddm(c: &mut Harness) {
     c.bench_function("ddt/ddm_log_and_taint_64", |b| {
         let mut m = DependencyMatrix::new(64);
         let mut x = 1u32;
@@ -34,7 +35,7 @@ fn bench_ddm(c: &mut Criterion) {
     });
 }
 
-fn bench_pst(c: &mut Criterion) {
+fn bench_pst(c: &mut Harness) {
     c.bench_function("ddt/pst_transition_stream", |b| {
         let mut pst = PageStatusTable::new(1024);
         let mut x = 1u32;
@@ -47,14 +48,14 @@ fn bench_pst(c: &mut Criterion) {
     });
 }
 
-fn bench_assembler(c: &mut Criterion) {
+fn bench_assembler(c: &mut Harness) {
     let src = rse_workloads::kmeans::source(&rse_workloads::kmeans::KmeansParams::default());
     c.bench_function("isa/assemble_kmeans", |b| {
         b.iter(|| black_box(assemble(&src).unwrap()));
     });
 }
 
-fn bench_pipeline_throughput(c: &mut Criterion) {
+fn bench_pipeline_throughput(c: &mut Harness) {
     let image = assemble(
         r#"
         main:   li   r8, 0
@@ -95,12 +96,12 @@ fn bench_pipeline_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_ddm,
-    bench_pst,
-    bench_assembler,
-    bench_pipeline_throughput
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_cache(&mut h);
+    bench_ddm(&mut h);
+    bench_pst(&mut h);
+    bench_assembler(&mut h);
+    bench_pipeline_throughput(&mut h);
+    h.finish();
+}

@@ -33,7 +33,9 @@ fn branch_chain(sites: usize, laps: u32) -> String {
     for i in 0..sites {
         src.push_str(&format!("c{i}:   b    c{}\n", i + 1));
     }
-    src.push_str(&format!("c{sites}: addi s0, s0, -1\n        bne  s0, r0, lap\n        halt\n"));
+    src.push_str(&format!(
+        "c{sites}: addi s0, s0, -1\n        bne  s0, r0, lap\n        halt\n"
+    ));
     src
 }
 
@@ -41,14 +43,23 @@ fn icm_cache_sweep() {
     header("Ablation 1: ICM cache size (400 distinct checked branches)");
     let image = assemble_or_die(&branch_chain(400, 120));
     let w = [14, 12, 12, 12, 14];
-    println!("{}", row(&["Icm entries", "Cycles", "Hits", "Misses", "Hit rate"], &w));
+    println!(
+        "{}",
+        row(&["Icm entries", "Cycles", "Hits", "Misses", "Hit rate"], &w)
+    );
     for entries in [16usize, 64, 256, 1024] {
         let mut cpu = Pipeline::new(
-            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+            PipelineConfig {
+                check_policy: CheckPolicy::ControlFlow,
+                ..PipelineConfig::default()
+            },
             MemorySystem::new(MemConfig::with_framework()),
         );
         rse_sys::loader::load_process(&mut cpu, &image);
-        let mut icm = Icm::new(IcmConfig { cache_entries: entries, ..IcmConfig::default() });
+        let mut icm = Icm::new(IcmConfig {
+            cache_entries: entries,
+            ..IcmConfig::default()
+        });
         icm.install_for_control_flow(&image, &mut cpu.mem_mut().memory);
         let mut engine = Engine::new(RseConfig::default());
         engine.install(Box::new(icm));
@@ -97,14 +108,20 @@ fn mlr_parallelism_sweep() {
         })));
         engine.enable(ModuleId::MLR);
         assert_eq!(cpu.run(&mut engine, 100_000_000), StepEvent::Halted);
-        println!("{}", row(&[&adders.to_string(), &cpu.stats().cycles.to_string()], &w));
+        println!(
+            "{}",
+            row(&[&adders.to_string(), &cpu.stats().cycles.to_string()], &w)
+        );
     }
     println!("(diminishing returns: the MAU transfers dominate once rewrite is parallel)");
 }
 
 fn ddt_save_cost_sweep() {
     header("Ablation 3: DDT page-save cost (server, 6 threads, 60 requests)");
-    let image = assemble_or_die(&server_source(&ServerParams { threads: 6, ..Default::default() }));
+    let image = assemble_or_die(&server_source(&ServerParams {
+        threads: 6,
+        ..Default::default()
+    }));
     let w = [18, 12, 12];
     println!("{}", row(&["Save cost (cyc)", "Cycles", "Pages"], &w));
     for cost in [500u64, 1500, 3000, 6000, 12000] {
@@ -128,7 +145,14 @@ fn ddt_save_cost_sweep() {
         let pages = os.stats().pages_checkpointed;
         println!(
             "{}",
-            row(&[&cost.to_string(), &cpu.stats().cycles.to_string(), &pages.to_string()], &w)
+            row(
+                &[
+                    &cost.to_string(),
+                    &cpu.stats().cycles.to_string(),
+                    &pages.to_string()
+                ],
+                &w
+            )
         );
     }
 }
@@ -157,7 +181,10 @@ fn ddt_lag_model() {
     "#;
     let image = assemble_or_die(src);
     let w = [16, 14, 14];
-    println!("{}", row(&["Lag modeled", "Deps logged", "Deps missed"], &w));
+    println!(
+        "{}",
+        row(&["Lag modeled", "Deps logged", "Deps missed"], &w)
+    );
     for lag in [false, true] {
         let mut cpu = Pipeline::new(
             PipelineConfig::default(),
@@ -165,7 +192,10 @@ fn ddt_lag_model() {
         );
         rse_sys::loader::load_process(&mut cpu, &image);
         let mut engine = Engine::new(RseConfig::default());
-        let ddt = Ddt::new(DdtConfig { model_log_lag: lag, ..DdtConfig::default() });
+        let ddt = Ddt::new(DdtConfig {
+            model_log_lag: lag,
+            ..DdtConfig::default()
+        });
         engine.install(Box::new(ddt));
         engine.enable(ModuleId::DDT);
         let mut os = Os::new(OsConfig::default());
@@ -227,7 +257,10 @@ fn rerand_interval_sweep() {
     let seg = image.symbol("seg").unwrap();
     let ptrtab = image.symbol("ptrtab").unwrap();
     let w = [18, 12, 10, 12];
-    println!("{}", row(&["Interval (cyc)", "Cycles", "Moves", "Overhead"], &w));
+    println!(
+        "{}",
+        row(&["Interval (cyc)", "Cycles", "Moves", "Overhead"], &w)
+    );
     let mut baseline_cycles = 0u64;
     for interval in [0u64, 200_000, 50_000, 10_000] {
         let mut cpu = Pipeline::new(
@@ -236,17 +269,24 @@ fn rerand_interval_sweep() {
         );
         rse_sys::loader::load_process(&mut cpu, &image);
         let mut engine = Engine::new(RseConfig::default());
-        let mut mlr = Mlr::new(MlrConfig { seed: Some(17), ..MlrConfig::default() });
+        let mut mlr = Mlr::new(MlrConfig {
+            seed: Some(17),
+            ..MlrConfig::default()
+        });
         let mut os = Os::new(OsConfig::default());
-        let mut plan = RerandPlan { interval, ptr_table: ptrtab, base: seg, len: 8192 };
+        let mut plan = RerandPlan {
+            interval,
+            ptr_table: ptrtab,
+            base: seg,
+            len: 8192,
+        };
         let mut next_due = interval;
         let mut moves = 0u64;
         let exit = loop {
             match cpu.run(&mut engine, 500_000_000) {
                 rse_pipeline::StepEvent::Syscall => {
                     if interval != 0
-                        && maybe_rerandomize(&mut cpu, &mut mlr, &mut plan, &mut next_due)
-                            .is_some()
+                        && maybe_rerandomize(&mut cpu, &mut mlr, &mut plan, &mut next_due).is_some()
                     {
                         moves += 1;
                     }
@@ -259,7 +299,11 @@ fn rerand_interval_sweep() {
             }
         };
         assert_eq!(exit, OsExit::Exited { code: 0 });
-        assert_eq!(os.output, vec![2000], "semantics must survive every interval");
+        assert_eq!(
+            os.output,
+            vec![2000],
+            "semantics must survive every interval"
+        );
         let cycles = cpu.stats().cycles;
         if interval == 0 {
             baseline_cycles = cycles;
@@ -269,7 +313,11 @@ fn rerand_interval_sweep() {
             "{}",
             row(
                 &[
-                    &(if interval == 0 { "off".to_string() } else { interval.to_string() }),
+                    &(if interval == 0 {
+                        "off".to_string()
+                    } else {
+                        interval.to_string()
+                    }),
                     &cycles.to_string(),
                     &moves.to_string(),
                     &format!("{overhead:.1}%"),

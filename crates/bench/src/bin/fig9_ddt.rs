@@ -19,10 +19,15 @@ use rse_workloads::server::{source, ServerParams};
 const REQUESTS: u64 = 100;
 
 fn run(threads: u32, with_ddt: bool) -> (u64, u64) {
-    let p = ServerParams { threads, ..ServerParams::default() };
+    let p = ServerParams {
+        threads,
+        ..ServerParams::default()
+    };
     let image = assemble_or_die(&source(&p));
-    let mut cpu =
-        Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()));
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::with_framework()),
+    );
     rse_sys::loader::load_process(&mut cpu, &image);
     let mut engine = Engine::new(RseConfig::default());
     if with_ddt {
@@ -31,12 +36,18 @@ fn run(threads: u32, with_ddt: bool) -> (u64, u64) {
         engine.install(Box::new(ddt));
         engine.enable(ModuleId::DDT);
     }
-    let mut os = Os::new(OsConfig { num_requests: REQUESTS, ..OsConfig::default() });
+    let mut os = Os::new(OsConfig {
+        num_requests: REQUESTS,
+        ..OsConfig::default()
+    });
     let exit = os.run(&mut cpu, &mut engine, 5_000_000_000);
     assert_eq!(exit, OsExit::Exited { code: 0 }, "server did not finish");
     assert_eq!(os.stats().responses_sent, REQUESTS);
     let saved = if with_ddt {
-        engine.module_ref::<Ddt>(ModuleId::DDT).map(|d| d.stats().pages_saved).unwrap_or(0)
+        engine
+            .module_ref::<Ddt>(ModuleId::DDT)
+            .map(|d| d.stats().pages_saved)
+            .unwrap_or(0)
     } else {
         0
     };
@@ -50,7 +61,16 @@ fn main() {
     let w = [8, 16, 16, 10, 12];
     println!(
         "{}",
-        row(&["Threads", "Runtime w/o DDT", "Runtime w/ DDT", "Overhead", "Saved pages"], &w)
+        row(
+            &[
+                "Threads",
+                "Runtime w/o DDT",
+                "Runtime w/ DDT",
+                "Overhead",
+                "Saved pages"
+            ],
+            &w
+        )
     );
     let mut series = Vec::new();
     for threads in 1..=10u32 {
@@ -87,7 +107,10 @@ fn main() {
         100.0 * (t1.2 as f64 / t1.1 as f64 - 1.0),
         100.0 * (t10.2 as f64 / t10.1 as f64 - 1.0)
     );
-    println!("  saved pages grow with thread count: {} -> {} -> {}", t1.3, t4.3, t10.3);
+    println!(
+        "  saved pages grow with thread count: {} -> {} -> {}",
+        t1.3, t4.3, t10.3
+    );
     println!("\nPaper reference (Figure 9): runtime 25.2M -> ~22.2M cycles flattening at");
     println!("4+ threads; DDT overhead climbing to 7-8%; saved pages rising toward ~700.");
 }

@@ -75,18 +75,23 @@ fn parse_args() -> Options {
             "--disasm" => opts.show_disasm = true,
             "--stats" => opts.show_stats = true,
             "--requests" => {
-                opts.requests = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--max-cycles" => {
-                opts.max_cycles =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.max_cycles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--fault" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 let (idx, mask) = spec.split_once(':').unwrap_or_else(|| usage());
                 let index = idx.parse().unwrap_or_else(|_| usage());
-                let xor_mask =
-                    u32::from_str_radix(mask.trim_start_matches("0x"), 16).unwrap_or_else(|_| usage());
+                let xor_mask = u32::from_str_radix(mask.trim_start_matches("0x"), 16)
+                    .unwrap_or_else(|_| usage());
                 opts.fault = Some(FetchFault { index, xor_mask });
             }
             "--help" | "-h" => usage(),
@@ -122,7 +127,11 @@ fn main() -> ExitCode {
 
     let any_module = opts.icm || opts.mlr || opts.ddt || opts.ahbm;
     let with_framework = opts.framework || any_module || opts.check_control_flow;
-    let mem = if with_framework { MemConfig::with_framework() } else { MemConfig::baseline() };
+    let mem = if with_framework {
+        MemConfig::with_framework()
+    } else {
+        MemConfig::baseline()
+    };
     let mut pipe = PipelineConfig::default();
     if opts.check_control_flow {
         pipe.check_policy = CheckPolicy::ControlFlow;
@@ -156,7 +165,10 @@ fn main() -> ExitCode {
         engine.enable(ModuleId::AHBM);
     }
 
-    let mut os = Os::new(OsConfig { num_requests: opts.requests, ..OsConfig::default() });
+    let mut os = Os::new(OsConfig {
+        num_requests: opts.requests,
+        ..OsConfig::default()
+    });
     let exit = os.run(&mut cpu, &mut engine, opts.max_cycles);
 
     for line in &os.strings {

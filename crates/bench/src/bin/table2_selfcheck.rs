@@ -37,7 +37,10 @@ struct Outcome {
 fn run_scenario(behavior: ScriptedBehavior, fault: Option<IoqFault>) -> Outcome {
     let image = assemble_or_die(SRC);
     let mut cpu = Pipeline::new(
-        PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+        PipelineConfig {
+            check_policy: CheckPolicy::ControlFlow,
+            ..PipelineConfig::default()
+        },
         MemorySystem::new(MemConfig::with_framework()),
     );
     cpu.load_image(&image);
@@ -60,25 +63,53 @@ fn run_scenario(behavior: ScriptedBehavior, fault: Option<IoqFault>) -> Outcome 
 
 fn main() {
     header("Table 2: RSE self-checking fault-injection campaign (measured)");
-    let healthy = ScriptedBehavior::Respond { verdict: Verdict::Pass, latency: 2 };
+    let healthy = ScriptedBehavior::Respond {
+        verdict: Verdict::Pass,
+        latency: 2,
+    };
     let scenarios: [(&str, ScriptedBehavior, Option<IoqFault>); 7] = [
         ("healthy module (control)", healthy, None),
-        ("module does not make progress", ScriptedBehavior::Silent, None),
+        (
+            "module does not make progress",
+            ScriptedBehavior::Silent,
+            None,
+        ),
         (
             "false alarm (always declares error)",
-            ScriptedBehavior::Respond { verdict: Verdict::Fail, latency: 2 },
+            ScriptedBehavior::Respond {
+                verdict: Verdict::Fail,
+                latency: 2,
+            },
             None,
         ),
         // A false negative is indistinguishable from a healthy module at
         // the framework level (Table 2: "effectively not receiving any
         // protection"); included for completeness.
-        ("false negative (always passes)", healthy, Some(IoqFault::CheckStuck0)),
-        ("checkValid stuck-at-0", healthy, Some(IoqFault::ValidStuck0)),
-        ("checkValid stuck-at-1", healthy, Some(IoqFault::ValidStuck1)),
+        (
+            "false negative (always passes)",
+            healthy,
+            Some(IoqFault::CheckStuck0),
+        ),
+        (
+            "checkValid stuck-at-0",
+            healthy,
+            Some(IoqFault::ValidStuck0),
+        ),
+        (
+            "checkValid stuck-at-1",
+            healthy,
+            Some(IoqFault::ValidStuck1),
+        ),
         ("check stuck-at-1", healthy, Some(IoqFault::CheckStuck1)),
     ];
     let w = [38, 10, 10, 26, 10];
-    println!("{}", row(&["Scenario", "Completed", "Correct", "Safe mode", "Cycles"], &w));
+    println!(
+        "{}",
+        row(
+            &["Scenario", "Completed", "Correct", "Safe mode", "Cycles"],
+            &w
+        )
+    );
     for (name, behavior, fault) in scenarios {
         let o = run_scenario(behavior, fault);
         println!(

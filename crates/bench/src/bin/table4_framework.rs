@@ -27,14 +27,18 @@ fn benches() -> Vec<Bench> {
     let place_src = place::source(&place::PlaceParams::table4());
     let route_src = route::source(&route::RouteParams::table4());
     let kmeans_src = kmeans::source(&kmeans::KmeansParams::table4());
-    [("VPR-Place", place_src), ("VPR-Route", route_src), ("kMeans", kmeans_src)]
-        .into_iter()
-        .map(|(name, src)| Bench {
-            name,
-            plain: assemble_or_die(&src),
-            instrumented: assemble_or_die(&instrument_control_flow(&src, StaticInsert::Nop)),
-        })
-        .collect()
+    [
+        ("VPR-Place", place_src),
+        ("VPR-Route", route_src),
+        ("kMeans", kmeans_src),
+    ]
+    .into_iter()
+    .map(|(name, src)| Bench {
+        name,
+        plain: assemble_or_die(&src),
+        instrumented: assemble_or_die(&instrument_control_flow(&src, StaticInsert::Nop)),
+    })
+    .collect()
 }
 
 fn main() {
@@ -77,11 +81,17 @@ fn main() {
     );
     push(
         "Framework % overhead",
-        results.iter().map(|r| fmt_pct(r.1.overhead_pct(&r.0))).collect(),
+        results
+            .iter()
+            .map(|r| fmt_pct(r.1.overhead_pct(&r.0)))
+            .collect(),
     );
     push(
         "Framework + ICM % overhead",
-        results.iter().map(|r| fmt_pct(r.2.overhead_pct(&r.0))).collect(),
+        results
+            .iter()
+            .map(|r| fmt_pct(r.2.overhead_pct(&r.0)))
+            .collect(),
     );
     push(
         "Cycles (M): static CHECKs, baseline sim",
@@ -89,39 +99,66 @@ fn main() {
     );
     push(
         "Static-CHECK cache cost (cycles)",
-        results.iter().map(|r| fmt_pct(r.4.overhead_pct(&r.3))).collect(),
+        results
+            .iter()
+            .map(|r| fmt_pct(r.4.overhead_pct(&r.3)))
+            .collect(),
     );
     push(
         "#il1 accesses (M): baseline",
-        results.iter().map(|r| fmt_m(r.3.mem.il1.accesses as f64 / 1e6)).collect(),
+        results
+            .iter()
+            .map(|r| fmt_m(r.3.mem.il1.accesses as f64 / 1e6))
+            .collect(),
     );
     push(
         "#il1 accesses (M): with CHECKs",
-        results.iter().map(|r| fmt_m(r.4.mem.il1.accesses as f64 / 1e6)).collect(),
+        results
+            .iter()
+            .map(|r| fmt_m(r.4.mem.il1.accesses as f64 / 1e6))
+            .collect(),
     );
     push(
         "il1 miss rate: baseline",
-        results.iter().map(|r| fmt_pct(r.3.mem.il1.miss_rate_pct())).collect(),
+        results
+            .iter()
+            .map(|r| fmt_pct(r.3.mem.il1.miss_rate_pct()))
+            .collect(),
     );
     push(
         "il1 miss rate: with CHECKs",
-        results.iter().map(|r| fmt_pct(r.4.mem.il1.miss_rate_pct())).collect(),
+        results
+            .iter()
+            .map(|r| fmt_pct(r.4.mem.il1.miss_rate_pct()))
+            .collect(),
     );
     push(
         "#il2 accesses (M): baseline",
-        results.iter().map(|r| fmt_m(r.3.mem.il2.accesses as f64 / 1e6)).collect(),
+        results
+            .iter()
+            .map(|r| fmt_m(r.3.mem.il2.accesses as f64 / 1e6))
+            .collect(),
     );
     push(
         "#il2 accesses (M): with CHECKs",
-        results.iter().map(|r| fmt_m(r.4.mem.il2.accesses as f64 / 1e6)).collect(),
+        results
+            .iter()
+            .map(|r| fmt_m(r.4.mem.il2.accesses as f64 / 1e6))
+            .collect(),
     );
     push(
         "il2 miss rate: baseline",
-        results.iter().map(|r| fmt_pct(r.3.mem.il2.miss_rate_pct())).collect(),
+        results
+            .iter()
+            .map(|r| fmt_pct(r.3.mem.il2.miss_rate_pct()))
+            .collect(),
     );
     push(
         "il2 miss rate: with CHECKs",
-        results.iter().map(|r| fmt_pct(r.4.mem.il2.miss_rate_pct())).collect(),
+        results
+            .iter()
+            .map(|r| fmt_pct(r.4.mem.il2.miss_rate_pct()))
+            .collect(),
     );
     for (label, vals) in &rows {
         let mut cells: Vec<&str> = vec![label.as_str()];

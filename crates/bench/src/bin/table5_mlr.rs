@@ -18,12 +18,18 @@ use rse_workloads::mlr_bench::{rse_source, trr_source, verify_relocation, MlrBen
 
 fn run_trr(p: &MlrBenchParams) -> (u64, u64) {
     let image = assemble_or_die(&trr_source(p));
-    let mut cpu =
-        Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()));
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::with_framework()),
+    );
     cpu.load_image(&image);
     let mut engine = Engine::new(RseConfig::default());
     assert_eq!(cpu.run(&mut engine, 100_000_000), StepEvent::Halted);
-    assert_eq!(verify_relocation(cpu.mem(), &image, p), (true, true), "TRR relocation wrong");
+    assert_eq!(
+        verify_relocation(cpu.mem(), &image, p),
+        (true, true),
+        "TRR relocation wrong"
+    );
     (cpu.stats().cycles, cpu.stats().committed_program())
 }
 
@@ -41,7 +47,11 @@ fn run_rse(p: &MlrBenchParams) -> (u64, u64) {
     engine.install(Box::new(Mlr::new(MlrConfig::default())));
     engine.enable(ModuleId::MLR);
     assert_eq!(cpu.run(&mut engine, 100_000_000), StepEvent::Halted);
-    assert_eq!(verify_relocation(cpu.mem(), &image, p), (true, true), "RSE relocation wrong");
+    assert_eq!(
+        verify_relocation(cpu.mem(), &image, p),
+        (true, true),
+        "RSE relocation wrong"
+    );
     (cpu.stats().cycles, cpu.stats().committed_program())
 }
 
@@ -87,7 +97,10 @@ fn pi_penalty() -> u64 {
         );
         cpu.load_image(&image);
         let mut engine = Engine::new(RseConfig::default());
-        engine.install(Box::new(Mlr::new(MlrConfig { seed: Some(7), ..MlrConfig::default() })));
+        engine.install(Box::new(Mlr::new(MlrConfig {
+            seed: Some(7),
+            ..MlrConfig::default()
+        })));
         engine.enable(ModuleId::MLR);
         assert_eq!(cpu.run(&mut engine, 1_000_000), StepEvent::Halted);
         cpu.stats().cycles
@@ -101,7 +114,15 @@ fn main() {
     println!(
         "{}",
         row(
-            &["GOT entries", "TRR #cyc", "RSE #cyc", "improv", "TRR #inst", "RSE #inst", "improv"],
+            &[
+                "GOT entries",
+                "TRR #cyc",
+                "RSE #cyc",
+                "improv",
+                "TRR #inst",
+                "RSE #inst",
+                "improv"
+            ],
             &w
         )
     );
@@ -126,8 +147,10 @@ fn main() {
             )
         );
     }
-    println!("\nPosition-independent randomization penalty: {} cycles (paper: 56, fixed)",
-        pi_penalty());
+    println!(
+        "\nPosition-independent randomization penalty: {} cycles (paper: 56, fixed)",
+        pi_penalty()
+    );
     println!("\nPaper reference (Table 5): cycle improvement 18-30% growing with GOT size;");
     println!("TRR instruction count grows ~9.6k -> 32k while RSE stays flat ~6.1-6.3k");
     println!("(instruction improvement 34% -> 81%).");

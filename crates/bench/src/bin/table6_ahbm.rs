@@ -14,20 +14,13 @@
 
 use rse_bench::{header, row};
 use rse_modules::ahbm::{Ahbm, AhbmConfig};
+use rse_support::rng::splitmix64;
 
 struct Entity {
     id: u16,
     period: u64,
     jitter: u64,
     dies_at: Option<u64>,
-}
-
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Drives the monitor over a scripted population; returns
@@ -44,7 +37,11 @@ fn evaluate(config: AhbmConfig, entities: &[Entity], horizon: u64, seed: u64) ->
             if e.dies_at.is_some_and(|d| t >= d) {
                 break;
             }
-            let jitter = if e.jitter == 0 { 0 } else { splitmix(&mut rng) % (2 * e.jitter) };
+            let jitter = if e.jitter == 0 {
+                0
+            } else {
+                splitmix64(&mut rng) % (2 * e.jitter)
+            };
             beats.push((t + jitter, e.id));
             t += e.period;
         }
@@ -110,27 +107,85 @@ fn ahbm_tick(ahbm: &mut Ahbm, now: u64) {
 
 fn population() -> Vec<Entity> {
     vec![
-        Entity { id: 1, period: 200, jitter: 20, dies_at: Some(40_000) },
-        Entity { id: 2, period: 1000, jitter: 150, dies_at: Some(60_000) },
-        Entity { id: 3, period: 5000, jitter: 800, dies_at: Some(50_000) },
-        Entity { id: 4, period: 200, jitter: 20, dies_at: None },
-        Entity { id: 5, period: 1000, jitter: 150, dies_at: None },
-        Entity { id: 6, period: 5000, jitter: 800, dies_at: None },
-        Entity { id: 7, period: 300, jitter: 100, dies_at: None },
-        Entity { id: 8, period: 2000, jitter: 600, dies_at: None },
+        Entity {
+            id: 1,
+            period: 200,
+            jitter: 20,
+            dies_at: Some(40_000),
+        },
+        Entity {
+            id: 2,
+            period: 1000,
+            jitter: 150,
+            dies_at: Some(60_000),
+        },
+        Entity {
+            id: 3,
+            period: 5000,
+            jitter: 800,
+            dies_at: Some(50_000),
+        },
+        Entity {
+            id: 4,
+            period: 200,
+            jitter: 20,
+            dies_at: None,
+        },
+        Entity {
+            id: 5,
+            period: 1000,
+            jitter: 150,
+            dies_at: None,
+        },
+        Entity {
+            id: 6,
+            period: 5000,
+            jitter: 800,
+            dies_at: None,
+        },
+        Entity {
+            id: 7,
+            period: 300,
+            jitter: 100,
+            dies_at: None,
+        },
+        Entity {
+            id: 8,
+            period: 2000,
+            jitter: 600,
+            dies_at: None,
+        },
     ]
 }
 
 fn main() {
     header("AHBM adaptive-timeout evaluation (paper extension)");
     let w = [30, 16, 22];
-    println!("{}", row(&["Configuration", "False positives", "Mean detect latency"], &w));
+    println!(
+        "{}",
+        row(
+            &["Configuration", "False positives", "Mean detect latency"],
+            &w
+        )
+    );
     for k in [1.0, 2.0, 4.0, 8.0] {
-        let cfg = AhbmConfig { k, sample_interval: 64, min_timeout: 64, ..AhbmConfig::default() };
+        let cfg = AhbmConfig {
+            k,
+            sample_interval: 64,
+            min_timeout: 64,
+            ..AhbmConfig::default()
+        };
         let (fp, lat) = evaluate(cfg, &population(), 100_000, 0xA11CE);
         println!(
             "{}",
-            row(&[&format!("adaptive, k={k}"), &fp.to_string(), &format!("{lat:.0} cycles")], &w)
+            row(
+                &[
+                    &format!("adaptive, k={k}"),
+                    &fp.to_string(),
+                    &format!("{lat:.0} cycles")
+                ],
+                &w
+            )
         );
     }
     // Fixed timeouts for comparison: implemented as k=0 with min_timeout
@@ -148,7 +203,14 @@ fn main() {
         let (fp, lat) = evaluate(cfg, &population(), 100_000, 0xA11CE);
         println!(
             "{}",
-            row(&[&format!("fixed {fixed} cycles"), &fp.to_string(), &format!("{lat:.0} cycles")], &w)
+            row(
+                &[
+                    &format!("fixed {fixed} cycles"),
+                    &fp.to_string(),
+                    &format!("{lat:.0} cycles")
+                ],
+                &w
+            )
         );
     }
     println!("\nExpected: small fixed timeouts kill slow-but-live entities (false");

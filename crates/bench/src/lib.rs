@@ -69,7 +69,10 @@ pub fn run_workload(image: &Image, machine: MachineConfig, max_cycles: u64) -> S
         MachineConfig::Framework => (MemConfig::with_framework(), PipelineConfig::default()),
         MachineConfig::FrameworkIcm => (
             MemConfig::with_framework(),
-            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+            PipelineConfig {
+                check_policy: CheckPolicy::ControlFlow,
+                ..PipelineConfig::default()
+            },
         ),
     };
     let mut cpu = Pipeline::new(pipe_config, MemorySystem::new(mem_config));
@@ -84,7 +87,10 @@ pub fn run_workload(image: &Image, machine: MachineConfig, max_cycles: u64) -> S
     let mut os = Os::new(OsConfig::default());
     let exit = os.run(&mut cpu, &mut engine, max_cycles);
     assert_eq!(exit, OsExit::Exited { code: 0 }, "workload did not finish");
-    SimResult { pipeline: cpu.stats(), mem: cpu.mem().stats() }
+    SimResult {
+        pipeline: cpu.stats(),
+        mem: cpu.mem().stats(),
+    }
 }
 
 /// Assembles source, panicking with a useful message on failure.
@@ -117,7 +123,13 @@ mod tests {
 
     #[test]
     fn framework_costs_more_than_baseline() {
-        let p = KmeansParams { patterns: 24, dims: 4, clusters: 4, iters: 1, seed: 3 };
+        let p = KmeansParams {
+            patterns: 24,
+            dims: 4,
+            clusters: 4,
+            iters: 1,
+            seed: 3,
+        };
         let image = assemble_or_die(&source(&p));
         let base = run_workload(&image, MachineConfig::Baseline, 100_000_000);
         let fw = run_workload(&image, MachineConfig::Framework, 100_000_000);
@@ -125,8 +137,14 @@ mod tests {
         assert!(fw.pipeline.cycles > base.pipeline.cycles);
         assert!(icm.pipeline.cycles > fw.pipeline.cycles);
         // Same program instructions commit in all three configurations.
-        assert_eq!(base.pipeline.committed_program(), fw.pipeline.committed_program());
-        assert_eq!(fw.pipeline.committed_program(), icm.pipeline.committed_program());
+        assert_eq!(
+            base.pipeline.committed_program(),
+            fw.pipeline.committed_program()
+        );
+        assert_eq!(
+            fw.pipeline.committed_program(),
+            icm.pipeline.committed_program()
+        );
     }
 
     #[test]

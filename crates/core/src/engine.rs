@@ -10,9 +10,7 @@ use crate::watchdog::{SafeModeCause, Watchdog};
 use rse_isa::chk::{ops, ChkSpec};
 use rse_isa::{Inst, ModuleId};
 use rse_mem::MemorySystem;
-use rse_pipeline::{
-    CommitGate, CoProcessor, CoprocException, DispatchInfo, ExecuteInfo, RobId,
-};
+use rse_pipeline::{CoProcessor, CommitGate, CoprocException, DispatchInfo, ExecuteInfo, RobId};
 use std::collections::{HashMap, VecDeque};
 
 /// Counters for the engine.
@@ -135,12 +133,16 @@ impl Engine {
     /// Typed access to an installed module (for system software reading
     /// module state, e.g. the DDT retrieval path).
     pub fn module_ref<T: 'static>(&self, id: ModuleId) -> Option<&T> {
-        self.slots[id.index()].as_deref().and_then(|m| m.as_any().downcast_ref())
+        self.slots[id.index()]
+            .as_deref()
+            .and_then(|m| m.as_any().downcast_ref())
     }
 
     /// Typed mutable access to an installed module.
     pub fn module_mut<T: 'static>(&mut self, id: ModuleId) -> Option<&mut T> {
-        self.slots[id.index()].as_deref_mut().and_then(|m| m.as_any_mut().downcast_mut())
+        self.slots[id.index()]
+            .as_deref_mut()
+            .and_then(|m| m.as_any_mut().downcast_mut())
     }
 
     /// Engine counters.
@@ -184,7 +186,9 @@ impl Engine {
             if !self.enabled[idx] {
                 continue;
             }
-            let Some(mut module) = self.slots[idx].take() else { continue };
+            let Some(mut module) = self.slots[idx].take() else {
+                continue;
+            };
             let mut ctx = ModuleCtx {
                 now,
                 mem,
@@ -212,7 +216,9 @@ impl Engine {
         if !self.enabled[idx] {
             return;
         }
-        let Some(mut module) = self.slots[idx].take() else { return };
+        let Some(mut module) = self.slots[idx].take() else {
+            return;
+        };
         let mut ctx = ModuleCtx {
             now,
             mem,
@@ -313,7 +319,8 @@ impl CoProcessor for Engine {
                 if !spec.blocking {
                     // Asynchronous mode: checkValid is set right after the
                     // module scans the Fetch_Out queue (§3.2).
-                    self.pending_ioq.push((now + self.config.fetch_scan_delay, info.rob, false));
+                    self.pending_ioq
+                        .push((now + self.config.fetch_scan_delay, info.rob, false));
                 }
                 self.pending_chk.push_back(PendingChk {
                     deliver_at: now + self.config.fetch_scan_delay,
@@ -342,9 +349,13 @@ impl CoProcessor for Engine {
         if !self.any_enabled {
             return;
         }
-        self.queues
-            .execute_out
-            .insert(info.rob, ExecuteOutEntry { result: info.result, eff_addr: info.eff_addr });
+        self.queues.execute_out.insert(
+            info.rob,
+            ExecuteOutEntry {
+                result: info.result,
+                eff_addr: info.eff_addr,
+            },
+        );
         if let Some(loaded) = info.loaded {
             self.queues.memory_out.insert(info.rob, loaded);
         }
@@ -458,8 +469,12 @@ impl CoProcessor for Engine {
         // Modules advance their internal pipelines.
         self.for_each_module(now, mem, |m, ctx| m.tick(ctx));
         // Apply module results whose broadcast delay has elapsed.
-        let due: Vec<(u64, RobId, bool)> =
-            self.pending_ioq.iter().copied().filter(|(at, ..)| *at <= now).collect();
+        let due: Vec<(u64, RobId, bool)> = self
+            .pending_ioq
+            .iter()
+            .copied()
+            .filter(|(at, ..)| *at <= now)
+            .collect();
         self.pending_ioq.retain(|(at, ..)| *at > now);
         for (_, rob, error) in due {
             self.ioq.complete(now, rob, error);
@@ -486,8 +501,10 @@ mod tests {
 
     fn run(engine: &mut Engine, src: &str) -> Pipeline {
         let image = assemble(src).expect("assembles");
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::with_framework()),
+        );
         cpu.load_image(&image);
         let ev = cpu.run(engine, 2_000_000);
         assert_eq!(ev, StepEvent::Halted, "program did not halt");
@@ -497,7 +514,10 @@ mod tests {
     #[test]
     fn plain_program_commits_through_engine() {
         let mut engine = Engine::new(RseConfig::default());
-        let cpu = run(&mut engine, "main: li r8, 7\nli r9, 8\nadd r10, r8, r9\nhalt");
+        let cpu = run(
+            &mut engine,
+            "main: li r8, 7\nli r9, 8\nadd r10, r8, r9\nhalt",
+        );
         assert_eq!(cpu.regs()[10], 15);
         assert_eq!(engine.stats().flushes, 0);
     }
@@ -531,12 +551,18 @@ mod tests {
         let mut engine = Engine::new(RseConfig::default());
         engine.install(Box::new(ScriptedModule::new(
             SLOT9,
-            ScriptedBehavior::Respond { verdict: Verdict::Pass, latency: 25 },
+            ScriptedBehavior::Respond {
+                verdict: Verdict::Pass,
+                latency: 25,
+            },
         )));
         engine.enable(SLOT9);
         let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
         assert_eq!(cpu.regs()[8], 1);
-        assert!(cpu.stats().commit_stall_cycles > 0, "blocking CHECK should stall commit");
+        assert!(
+            cpu.stats().commit_stall_cycles > 0,
+            "blocking CHECK should stall commit"
+        );
         assert_eq!(engine.stats().chk_blocking, 1);
     }
 
@@ -550,7 +576,10 @@ mod tests {
         let mut engine = Engine::new(cfg);
         engine.install(Box::new(ScriptedModule::new(
             SLOT9,
-            ScriptedBehavior::Respond { verdict: Verdict::Fail, latency: 3 },
+            ScriptedBehavior::Respond {
+                verdict: Verdict::Fail,
+                latency: 3,
+            },
         )));
         engine.enable(SLOT9);
         let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
@@ -569,11 +598,17 @@ mod tests {
         let mut cfg = RseConfig::default();
         cfg.watchdog.timeout = 200;
         let mut engine = Engine::new(cfg);
-        engine.install(Box::new(ScriptedModule::new(SLOT9, ScriptedBehavior::Silent)));
+        engine.install(Box::new(ScriptedModule::new(
+            SLOT9,
+            ScriptedBehavior::Silent,
+        )));
         engine.enable(SLOT9);
         let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
         assert_eq!(cpu.regs()[8], 1);
-        assert!(matches!(engine.safe_mode(), Some(SafeModeCause::NoProgress { .. })));
+        assert!(matches!(
+            engine.safe_mode(),
+            Some(SafeModeCause::NoProgress { .. })
+        ));
     }
 
     #[test]

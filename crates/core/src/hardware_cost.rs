@@ -48,7 +48,10 @@ pub fn input_interface_cost(config: &RseConfig) -> HardwareCost {
     let flip_flops = INPUT_QUEUES as u64 * entries * bits;
     let per_bit_gates = (2 * mux_gates(4) + 2 * mux_gates(2) + mux_gates(3)) as u64;
     let mux_gate_count = per_bit_gates * bits * entries;
-    HardwareCost { flip_flops, mux_gate_count }
+    HardwareCost {
+        flip_flops,
+        mux_gate_count,
+    }
 }
 
 #[cfg(test)]

@@ -72,7 +72,10 @@ pub struct Ioq {
 impl Ioq {
     /// Creates an IOQ with `capacity` entries (the ROB size).
     pub fn new(capacity: usize) -> Ioq {
-        Ioq { capacity, ..Ioq::default() }
+        Ioq {
+            capacity,
+            ..Ioq::default()
+        }
     }
 
     /// Number of live entries.
@@ -98,7 +101,10 @@ impl Ioq {
     /// have more in-flight instructions than ROB entries, so this
     /// indicates a bookkeeping bug.
     pub fn allocate(&mut self, now: u64, rob: RobId, kind: IoqEntryKind) {
-        assert!(self.entries.len() < self.capacity, "IOQ overflow: more entries than the ROB");
+        assert!(
+            self.entries.len() < self.capacity,
+            "IOQ overflow: more entries than the ROB"
+        );
         let (check_valid, check) = match kind {
             // Table 1: non-CHECK instructions start at `10`.
             IoqEntryKind::Plain => (true, false),
@@ -173,7 +179,9 @@ impl Ioq {
     /// so an injected stuck-at fault is visible here too — that is
     /// exactly how §3.4 detects a stuck-at-0 `checkValid` (it looks like
     /// a module that never makes progress).
-    pub fn watchdog_view(&self) -> impl Iterator<Item = (RobId, IoqEntryKind, u64, bool, bool)> + '_ {
+    pub fn watchdog_view(
+        &self,
+    ) -> impl Iterator<Item = (RobId, IoqEntryKind, u64, bool, bool)> + '_ {
         let fault = self.fault;
         self.entries.iter().map(move |(rob, e)| {
             let valid = match fault {

@@ -103,7 +103,12 @@ impl Mau {
         if let Some(fl) = &self.in_flight {
             if now >= fl.done_at {
                 let fl = self.in_flight.take().expect("checked above");
-                let MauRequest { module, addr, op, tag } = fl.request;
+                let MauRequest {
+                    module,
+                    addr,
+                    op,
+                    tag,
+                } = fl.request;
                 let data = match op {
                     MauOp::Load { bytes } => {
                         let mut buf = vec![0u8; bytes as usize];
@@ -134,7 +139,10 @@ impl Mau {
                     MauOp::Store { data } => data.len() as u32,
                 };
                 let done_at = mem.mau_access(now, bytes);
-                self.in_flight = Some(InFlight { request: req, done_at });
+                self.in_flight = Some(InFlight {
+                    request: req,
+                    done_at,
+                });
             }
         }
     }
@@ -176,7 +184,10 @@ mod tests {
             assert!(now < 1000, "MAU never completed");
         };
         assert_eq!(comp.tag, 7);
-        assert_eq!(u32::from_le_bytes(comp.data.try_into().unwrap()), 0xDEAD_BEEF);
+        assert_eq!(
+            u32::from_le_bytes(comp.data.try_into().unwrap()),
+            0xDEAD_BEEF
+        );
         // 4 bytes = one chunk at 19 cycles with the arbiter config.
         assert!(comp.finished_at >= 19);
     }
@@ -188,7 +199,9 @@ mod tests {
         mau.submit(MauRequest {
             module: ModuleId::MLR,
             addr: 0x2000,
-            op: MauOp::Store { data: vec![1, 2, 3, 4] },
+            op: MauOp::Store {
+                data: vec![1, 2, 3, 4],
+            },
             tag: 0,
         });
         mau.tick(0, &mut mem);
@@ -230,8 +243,18 @@ mod tests {
     fn completions_routed_per_module() {
         let mut mem = mem();
         let mut mau = Mau::new();
-        mau.submit(MauRequest { module: ModuleId::ICM, addr: 0, op: MauOp::Load { bytes: 4 }, tag: 1 });
-        mau.submit(MauRequest { module: ModuleId::DDT, addr: 4, op: MauOp::Load { bytes: 4 }, tag: 2 });
+        mau.submit(MauRequest {
+            module: ModuleId::ICM,
+            addr: 0,
+            op: MauOp::Load { bytes: 4 },
+            tag: 1,
+        });
+        mau.submit(MauRequest {
+            module: ModuleId::DDT,
+            addr: 4,
+            op: MauOp::Load { bytes: 4 },
+            tag: 2,
+        });
         for now in 0..200 {
             mau.tick(now, &mut mem);
         }

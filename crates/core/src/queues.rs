@@ -50,7 +50,13 @@ pub struct InputQueue<T> {
 impl<T> InputQueue<T> {
     /// Creates a queue with `capacity` entries.
     pub fn new(name: &'static str, capacity: usize) -> InputQueue<T> {
-        InputQueue { name, entries: HashMap::new(), capacity, writes: 0, high_water: 0 }
+        InputQueue {
+            name,
+            entries: HashMap::new(),
+            capacity,
+            writes: 0,
+            high_water: 0,
+        }
     }
 
     /// The queue's name (for diagnostics).
@@ -152,7 +158,12 @@ mod tests {
     use rse_isa::Inst;
 
     fn fe(pc: u32) -> FetchOutEntry {
-        FetchOutEntry { pc, word: 0, inst: Inst::Nop, wrong_path: false }
+        FetchOutEntry {
+            pc,
+            word: 0,
+            inst: Inst::Nop,
+            wrong_path: false,
+        }
     }
 
     #[test]
@@ -191,7 +202,13 @@ mod tests {
         let mut qs = InputQueues::new(16);
         qs.fetch_out.insert(RobId(7), fe(0x40));
         qs.regfile_data.insert(RobId(7), [1, 2]);
-        qs.execute_out.insert(RobId(7), ExecuteOutEntry { result: 9, eff_addr: None });
+        qs.execute_out.insert(
+            RobId(7),
+            ExecuteOutEntry {
+                result: 9,
+                eff_addr: None,
+            },
+        );
         qs.memory_out.insert(RobId(7), 42);
         qs.retire(RobId(7), false);
         assert!(qs.fetch_out.is_empty());
@@ -204,8 +221,20 @@ mod tests {
     #[test]
     fn reinsert_same_rob_is_update_not_overflow() {
         let mut q = InputQueue::new("Execute_Out", 1);
-        q.insert(RobId(1), ExecuteOutEntry { result: 1, eff_addr: None });
-        q.insert(RobId(1), ExecuteOutEntry { result: 2, eff_addr: None });
+        q.insert(
+            RobId(1),
+            ExecuteOutEntry {
+                result: 1,
+                eff_addr: None,
+            },
+        );
+        q.insert(
+            RobId(1),
+            ExecuteOutEntry {
+                result: 2,
+                eff_addr: None,
+            },
+        );
         assert_eq!(q.get(RobId(1)).unwrap().result, 2);
     }
 }

@@ -133,7 +133,12 @@ pub struct ScriptedModule {
 impl ScriptedModule {
     /// Creates a scripted module in the given slot.
     pub fn new(id: ModuleId, behavior: ScriptedBehavior) -> ScriptedModule {
-        ScriptedModule { id, behavior, pending: Vec::new(), chks_seen: 0 }
+        ScriptedModule {
+            id,
+            behavior,
+            pending: Vec::new(),
+            chks_seen: 0,
+        }
     }
 }
 
@@ -164,10 +169,16 @@ impl Module for ScriptedModule {
     }
 
     fn tick(&mut self, ctx: &mut ModuleCtx<'_>) {
-        let ScriptedBehavior::Respond { verdict, .. } = self.behavior else { return };
+        let ScriptedBehavior::Respond { verdict, .. } = self.behavior else {
+            return;
+        };
         let now = ctx.now;
-        let due: Vec<RobId> =
-            self.pending.iter().filter(|(at, _)| *at <= now).map(|(_, r)| *r).collect();
+        let due: Vec<RobId> = self
+            .pending
+            .iter()
+            .filter(|(at, _)| *at <= now)
+            .map(|(_, r)| *r)
+            .collect();
         self.pending.retain(|(at, _)| *at > now);
         for rob in due {
             ctx.complete_check(rob, verdict);

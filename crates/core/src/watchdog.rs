@@ -35,7 +35,11 @@ pub struct WatchdogConfig {
 
 impl Default for WatchdogConfig {
     fn default() -> WatchdogConfig {
-        WatchdogConfig { timeout: 10_000, burst_threshold: 8, premature_pass_threshold: 8 }
+        WatchdogConfig {
+            timeout: 10_000,
+            burst_threshold: 8,
+            premature_pass_threshold: 8,
+        }
     }
 }
 
@@ -149,7 +153,11 @@ mod tests {
     use rse_isa::ModuleId;
 
     fn cfg() -> WatchdogConfig {
-        WatchdogConfig { timeout: 100, burst_threshold: 3, premature_pass_threshold: 3 }
+        WatchdogConfig {
+            timeout: 100,
+            burst_threshold: 3,
+            premature_pass_threshold: 3,
+        }
     }
 
     #[test]
@@ -160,7 +168,10 @@ mod tests {
         wd.tick(100, &ioq);
         assert!(!wd.is_decoupled());
         wd.tick(101, &ioq);
-        assert_eq!(wd.safe_mode(), Some(SafeModeCause::NoProgress { rob: RobId(5) }));
+        assert_eq!(
+            wd.safe_mode(),
+            Some(SafeModeCause::NoProgress { rob: RobId(5) })
+        );
     }
 
     #[test]

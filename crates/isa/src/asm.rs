@@ -88,7 +88,11 @@ enum Item {
     Space(u32),
     Align(u32),
     Asciiz(String),
-    Inst { mnemonic: String, operands: Vec<Operand>, line: usize },
+    Inst {
+        mnemonic: String,
+        operands: Vec<Operand>,
+        line: usize,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,7 +102,10 @@ enum Operand {
     /// A symbol reference with an additive offset: `label+8`.
     Sym(String, i64),
     /// Memory operand `off(base)`.
-    Mem { off: Box<Operand>, base: Reg },
+    Mem {
+        off: Box<Operand>,
+        base: Reg,
+    },
     /// A bare word (module names, `blk`/`nblk`).
     Word(String),
 }
@@ -109,7 +116,10 @@ struct Line {
 }
 
 fn err(line: usize, msg: impl Into<String>) -> AsmError {
-    AsmError { line, msg: msg.into() }
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn parse(source: &str) -> Result<Vec<Line>, AsmError> {
@@ -157,11 +167,15 @@ fn parse_statement(text: &str, no: usize) -> Result<Item, AsmError> {
             "byte" => Ok(Item::Byte(parse_operands(args, no)?)),
             "space" => {
                 let n = parse_int(args.trim()).ok_or_else(|| err(no, "bad .space size"))?;
-                u32::try_from(n).map(Item::Space).map_err(|_| err(no, "negative .space size"))
+                u32::try_from(n)
+                    .map(Item::Space)
+                    .map_err(|_| err(no, "negative .space size"))
             }
             "align" => {
                 let n = parse_int(args.trim()).ok_or_else(|| err(no, "bad .align argument"))?;
-                u32::try_from(n).map(Item::Align).map_err(|_| err(no, "negative .align"))
+                u32::try_from(n)
+                    .map(Item::Align)
+                    .map_err(|_| err(no, "negative .align"))
             }
             "asciiz" => {
                 let s = args.trim();
@@ -177,7 +191,11 @@ fn parse_statement(text: &str, no: usize) -> Result<Item, AsmError> {
     }
     let (mnemonic, args) = split_mnemonic(text);
     let operands = parse_operands(args, no)?;
-    Ok(Item::Inst { mnemonic, operands, line: no })
+    Ok(Item::Inst {
+        mnemonic,
+        operands,
+        line: no,
+    })
 }
 
 fn split_mnemonic(text: &str) -> (String, &str) {
@@ -192,7 +210,9 @@ fn parse_operands(args: &str, no: usize) -> Result<Vec<Operand>, AsmError> {
     if args.is_empty() {
         return Ok(Vec::new());
     }
-    args.split(',').map(|tok| parse_operand(tok.trim(), no)).collect()
+    args.split(',')
+        .map(|tok| parse_operand(tok.trim(), no))
+        .collect()
 }
 
 fn parse_operand(tok: &str, no: usize) -> Result<Operand, AsmError> {
@@ -212,7 +232,10 @@ fn parse_operand(tok: &str, no: usize) -> Result<Operand, AsmError> {
             } else {
                 parse_operand(off_text, no)?
             };
-            return Ok(Operand::Mem { off: Box::new(off), base });
+            return Ok(Operand::Mem {
+                off: Box::new(off),
+                base,
+            });
         }
     }
     if let Ok(r) = tok.parse::<Reg>() {
@@ -325,7 +348,11 @@ fn layout_pass(
                 Item::Align(n) if *n > 0 => *pc = align_to(*pc, *n),
                 Item::Align(_) => {}
                 Item::Asciiz(s) => *pc += s.len() as u32 + 1,
-                Item::Inst { mnemonic, operands, line: no } => {
+                Item::Inst {
+                    mnemonic,
+                    operands,
+                    line: no,
+                } => {
                     if section != SectionKind::Text {
                         return Err(err(*no, "instruction outside .text section"));
                     }
@@ -409,7 +436,12 @@ fn emit_pass(
     text_base: u32,
     data_base: u32,
 ) -> Result<Image, AsmError> {
-    let mut e = Emitter { symbols, text: Vec::new(), text_base, data: Vec::new() };
+    let mut e = Emitter {
+        symbols,
+        text: Vec::new(),
+        text_base,
+        data: Vec::new(),
+    };
     let mut section = SectionKind::Text;
     for line in lines {
         for item in &line.items {
@@ -440,28 +472,30 @@ fn emit_pass(
                     }
                 }
                 Item::Space(n) => e.data.extend(std::iter::repeat(0).take(*n as usize)),
-                Item::Align(n) if *n > 0 => {
-                    match section {
-                        SectionKind::Data => {
-                            let target = align_to(data_base + e.data.len() as u32, *n);
-                            while data_base + (e.data.len() as u32) < target {
-                                e.data.push(0);
-                            }
-                        }
-                        SectionKind::Text => {
-                            let target = align_to(e.text_pc(), *n);
-                            while e.text_pc() < target {
-                                e.push(Inst::Nop);
-                            }
+                Item::Align(n) if *n > 0 => match section {
+                    SectionKind::Data => {
+                        let target = align_to(data_base + e.data.len() as u32, *n);
+                        while data_base + (e.data.len() as u32) < target {
+                            e.data.push(0);
                         }
                     }
-                }
+                    SectionKind::Text => {
+                        let target = align_to(e.text_pc(), *n);
+                        while e.text_pc() < target {
+                            e.push(Inst::Nop);
+                        }
+                    }
+                },
                 Item::Align(_) => {}
                 Item::Asciiz(s) => {
                     e.data.extend_from_slice(s.as_bytes());
                     e.data.push(0);
                 }
-                Item::Inst { mnemonic, operands, line: no } => {
+                Item::Inst {
+                    mnemonic,
+                    operands,
+                    line: no,
+                } => {
                     emit_inst(&mut e, mnemonic, operands, *no)?;
                 }
             }
@@ -488,7 +522,11 @@ fn emit_inst(
     use Inst::*;
     let rrr = |e: &Emitter<'_>| -> Result<(Reg, Reg, Reg), AsmError> {
         let _ = e;
-        Ok((expect_reg(ops.first(), no)?, expect_reg(ops.get(1), no)?, expect_reg(ops.get(2), no)?))
+        Ok((
+            expect_reg(ops.first(), no)?,
+            expect_reg(ops.get(1), no)?,
+            expect_reg(ops.get(2), no)?,
+        ))
     };
     let branch_off = |e: &Emitter<'_>, op: &Operand| -> Result<i16, AsmError> {
         match op {
@@ -531,7 +569,10 @@ fn emit_inst(
         "sll" | "srl" | "sra" => {
             let rd = expect_reg(ops.first(), no)?;
             let rt = expect_reg(ops.get(1), no)?;
-            let sh = e.resolve(ops.get(2).ok_or_else(|| err(no, "missing shift amount"))?, no)?;
+            let sh = e.resolve(
+                ops.get(2).ok_or_else(|| err(no, "missing shift amount"))?,
+                no,
+            )?;
             if !(0..32).contains(&sh) {
                 return Err(err(no, format!("shift amount {sh} out of range")));
             }
@@ -547,7 +588,11 @@ fn emit_inst(
             let rs = expect_reg(ops.get(1), no)?;
             let v = e.resolve(ops.get(2).ok_or_else(|| err(no, "missing immediate"))?, no)?;
             let imm = to_i16(v, no, "immediate")?;
-            e.push(if mnemonic == "addi" { Addi { rt, rs, imm } } else { Slti { rt, rs, imm } });
+            e.push(if mnemonic == "addi" {
+                Addi { rt, rs, imm }
+            } else {
+                Slti { rt, rs, imm }
+            });
         }
         "andi" | "ori" | "xori" => {
             let rt = expect_reg(ops.first(), no)?;
@@ -563,7 +608,10 @@ fn emit_inst(
         "lui" => {
             let rt = expect_reg(ops.first(), no)?;
             let v = e.resolve(ops.get(1).ok_or_else(|| err(no, "missing immediate"))?, no)?;
-            e.push(Lui { rt, imm: to_u16(v, no, "immediate")? });
+            e.push(Lui {
+                rt,
+                imm: to_u16(v, no, "immediate")?,
+            });
         }
         "lw" | "lh" | "lhu" | "lb" | "lbu" | "sw" | "sh" | "sb" => {
             let rt = expect_reg(ops.first(), no)?;
@@ -587,7 +635,10 @@ fn emit_inst(
         "beq" | "bne" | "blt" | "bge" => {
             let rs = expect_reg(ops.first(), no)?;
             let rt = expect_reg(ops.get(1), no)?;
-            let off = branch_off(e, ops.get(2).ok_or_else(|| err(no, "missing branch target"))?)?;
+            let off = branch_off(
+                e,
+                ops.get(2).ok_or_else(|| err(no, "missing branch target"))?,
+            )?;
             e.push(match mnemonic {
                 "beq" => Beq { rs, rt, off },
                 "bne" => Bne { rs, rt, off },
@@ -599,36 +650,75 @@ fn emit_inst(
             // ble rs, rt, L == bge rt, rs, L ; bgt rs, rt, L == blt rt, rs, L
             let rs = expect_reg(ops.first(), no)?;
             let rt = expect_reg(ops.get(1), no)?;
-            let off = branch_off(e, ops.get(2).ok_or_else(|| err(no, "missing branch target"))?)?;
+            let off = branch_off(
+                e,
+                ops.get(2).ok_or_else(|| err(no, "missing branch target"))?,
+            )?;
             e.push(if mnemonic == "ble" {
-                Bge { rs: rt, rt: rs, off }
+                Bge {
+                    rs: rt,
+                    rt: rs,
+                    off,
+                }
             } else {
-                Blt { rs: rt, rt: rs, off }
+                Blt {
+                    rs: rt,
+                    rt: rs,
+                    off,
+                }
             });
         }
         "beqz" | "bnez" => {
             let rs = expect_reg(ops.first(), no)?;
-            let off = branch_off(e, ops.get(1).ok_or_else(|| err(no, "missing branch target"))?)?;
+            let off = branch_off(
+                e,
+                ops.get(1).ok_or_else(|| err(no, "missing branch target"))?,
+            )?;
             e.push(if mnemonic == "beqz" {
-                Beq { rs, rt: Reg::ZERO, off }
+                Beq {
+                    rs,
+                    rt: Reg::ZERO,
+                    off,
+                }
             } else {
-                Bne { rs, rt: Reg::ZERO, off }
+                Bne {
+                    rs,
+                    rt: Reg::ZERO,
+                    off,
+                }
             });
         }
         "b" => {
-            let off = branch_off(e, ops.first().ok_or_else(|| err(no, "missing branch target"))?)?;
-            e.push(Beq { rs: Reg::ZERO, rt: Reg::ZERO, off });
+            let off = branch_off(
+                e,
+                ops.first()
+                    .ok_or_else(|| err(no, "missing branch target"))?,
+            )?;
+            e.push(Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                off,
+            });
         }
         "j" | "jal" => {
-            let target = e.resolve(ops.first().ok_or_else(|| err(no, "missing jump target"))?, no)?;
+            let target = e.resolve(
+                ops.first().ok_or_else(|| err(no, "missing jump target"))?,
+                no,
+            )?;
             let addr = target as u32;
             if addr % 4 != 0 {
                 return Err(err(no, "jump target not word-aligned"));
             }
             let field = (addr >> 2) & 0x03FF_FFFF;
-            e.push(if mnemonic == "j" { J { target: field } } else { Jal { target: field } });
+            e.push(if mnemonic == "j" {
+                J { target: field }
+            } else {
+                Jal { target: field }
+            });
         }
-        "jr" => e.push(Jr { rs: expect_reg(ops.first(), no)? }),
+        "jr" => e.push(Jr {
+            rs: expect_reg(ops.first(), no)?,
+        }),
         "ret" => e.push(Jr { rs: Reg::RA }),
         "jalr" => {
             let rd = expect_reg(ops.first(), no)?;
@@ -641,40 +731,71 @@ fn emit_inst(
         "move" => {
             let rd = expect_reg(ops.first(), no)?;
             let rs = expect_reg(ops.get(1), no)?;
-            e.push(Add { rd, rs, rt: Reg::ZERO });
+            e.push(Add {
+                rd,
+                rs,
+                rt: Reg::ZERO,
+            });
         }
         "neg" => {
             let rd = expect_reg(ops.first(), no)?;
             let rs = expect_reg(ops.get(1), no)?;
-            e.push(Sub { rd, rs: Reg::ZERO, rt: rs });
+            e.push(Sub {
+                rd,
+                rs: Reg::ZERO,
+                rt: rs,
+            });
         }
         "not" => {
             let rd = expect_reg(ops.first(), no)?;
             let rs = expect_reg(ops.get(1), no)?;
-            e.push(Nor { rd, rs, rt: Reg::ZERO });
+            e.push(Nor {
+                rd,
+                rs,
+                rt: Reg::ZERO,
+            });
         }
         "li" => {
             let rt = expect_reg(ops.first(), no)?;
             let v = e.resolve(ops.get(1).ok_or_else(|| err(no, "missing immediate"))?, no)?;
             let fits_i16 = matches!(ops.get(1), Some(Operand::Imm(x)) if i16::try_from(*x).is_ok());
             if fits_i16 {
-                e.push(Addi { rt, rs: Reg::ZERO, imm: v as i16 });
+                e.push(Addi {
+                    rt,
+                    rs: Reg::ZERO,
+                    imm: v as i16,
+                });
             } else {
                 let v = v as u32;
-                e.push(Lui { rt, imm: (v >> 16) as u16 });
-                e.push(Ori { rt, rs: rt, imm: (v & 0xFFFF) as u16 });
+                e.push(Lui {
+                    rt,
+                    imm: (v >> 16) as u16,
+                });
+                e.push(Ori {
+                    rt,
+                    rs: rt,
+                    imm: (v & 0xFFFF) as u16,
+                });
             }
         }
         "la" => {
             let rt = expect_reg(ops.first(), no)?;
             let v = e.resolve(ops.get(1).ok_or_else(|| err(no, "missing address"))?, no)? as u32;
-            e.push(Lui { rt, imm: (v >> 16) as u16 });
-            e.push(Ori { rt, rs: rt, imm: (v & 0xFFFF) as u16 });
+            e.push(Lui {
+                rt,
+                imm: (v >> 16) as u16,
+            });
+            e.push(Ori {
+                rt,
+                rs: rt,
+                imm: (v & 0xFFFF) as u16,
+            });
         }
         "chk" => {
             let module = match ops.first() {
-                Some(Operand::Word(w)) => ModuleId::parse(w)
-                    .ok_or_else(|| err(no, format!("unknown module `{w}`")))?,
+                Some(Operand::Word(w)) => {
+                    ModuleId::parse(w).ok_or_else(|| err(no, format!("unknown module `{w}`")))?
+                }
                 Some(Operand::Imm(v)) => u8::try_from(*v)
                     .ok()
                     .and_then(ModuleId::try_new)
@@ -723,7 +844,14 @@ mod tests {
         assert_eq!(img.entry, img.text_base);
         // bne is the third instruction; its target is the second.
         let bne = decode(img.text[2]).unwrap();
-        assert_eq!(bne, Inst::Bne { rs: Reg::A0, rt: Reg::ZERO, off: -2 });
+        assert_eq!(
+            bne,
+            Inst::Bne {
+                rs: Reg::A0,
+                rt: Reg::ZERO,
+                off: -2
+            }
+        );
     }
 
     #[test]
@@ -733,22 +861,49 @@ mod tests {
                 nop
         end:    halt
         "#);
-        assert_eq!(decode(img.text[0]).unwrap(), Inst::Beq { rs: Reg::ZERO, rt: Reg::ZERO, off: 1 });
+        assert_eq!(
+            decode(img.text[0]).unwrap(),
+            Inst::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                off: 1
+            }
+        );
     }
 
     #[test]
     fn li_small_is_one_instruction() {
         let img = asm("main: li r4, 42\nhalt");
         assert_eq!(img.text.len(), 2);
-        assert_eq!(decode(img.text[0]).unwrap(), Inst::Addi { rt: Reg::A0, rs: Reg::ZERO, imm: 42 });
+        assert_eq!(
+            decode(img.text[0]).unwrap(),
+            Inst::Addi {
+                rt: Reg::A0,
+                rs: Reg::ZERO,
+                imm: 42
+            }
+        );
     }
 
     #[test]
     fn li_large_is_lui_ori() {
         let img = asm("main: li r4, 0x12345678\nhalt");
         assert_eq!(img.text.len(), 3);
-        assert_eq!(decode(img.text[0]).unwrap(), Inst::Lui { rt: Reg::A0, imm: 0x1234 });
-        assert_eq!(decode(img.text[1]).unwrap(), Inst::Ori { rt: Reg::A0, rs: Reg::A0, imm: 0x5678 });
+        assert_eq!(
+            decode(img.text[0]).unwrap(),
+            Inst::Lui {
+                rt: Reg::A0,
+                imm: 0x1234
+            }
+        );
+        assert_eq!(
+            decode(img.text[1]).unwrap(),
+            Inst::Ori {
+                rt: Reg::A0,
+                rs: Reg::A0,
+                imm: 0x5678
+            }
+        );
     }
 
     #[test]
@@ -761,7 +916,13 @@ mod tests {
         "#);
         let addr = img.symbol("buf").unwrap();
         assert_eq!(addr, img.data_base);
-        assert_eq!(decode(img.text[0]).unwrap(), Inst::Lui { rt: Reg::A1, imm: (addr >> 16) as u16 });
+        assert_eq!(
+            decode(img.text[0]).unwrap(),
+            Inst::Lui {
+                rt: Reg::A1,
+                imm: (addr >> 16) as u16
+            }
+        );
     }
 
     #[test]
@@ -792,7 +953,11 @@ mod tests {
         );
         assert_eq!(
             decode(img.text[1]).unwrap(),
-            Inst::Chk(ChkSpec::non_blocking(ModuleId::DDT, chk_ops::DDT_SET_THREAD, 7))
+            Inst::Chk(ChkSpec::non_blocking(
+                ModuleId::DDT,
+                chk_ops::DDT_SET_THREAD,
+                7
+            ))
         );
     }
 
@@ -805,11 +970,14 @@ mod tests {
         tbl:    .word 1, 2, 3
         "#);
         let addr = img.symbol("tbl").unwrap() + 8;
-        assert_eq!(decode(img.text[1]).unwrap(), Inst::Ori {
-            rt: Reg::A0,
-            rs: Reg::A0,
-            imm: (addr & 0xFFFF) as u16
-        });
+        assert_eq!(
+            decode(img.text[1]).unwrap(),
+            Inst::Ori {
+                rt: Reg::A0,
+                rs: Reg::A0,
+                imm: (addr & 0xFFFF) as u16
+            }
+        );
     }
 
     #[test]
@@ -852,8 +1020,22 @@ mod tests {
     #[test]
     fn memory_operands_parse() {
         let img = asm("main: lw r8, 12(r29)\nsw r8, (r29)\nhalt");
-        assert_eq!(decode(img.text[0]).unwrap(), Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 12 });
-        assert_eq!(decode(img.text[1]).unwrap(), Inst::Sw { rt: Reg::T0, base: Reg::SP, off: 0 });
+        assert_eq!(
+            decode(img.text[0]).unwrap(),
+            Inst::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                off: 12
+            }
+        );
+        assert_eq!(
+            decode(img.text[1]).unwrap(),
+            Inst::Sw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                off: 0
+            }
+        );
     }
 
     #[test]

@@ -164,7 +164,12 @@ impl ChkSpec {
     /// Panics if `op` does not fit in 5 bits.
     pub fn new(module: ModuleId, blocking: bool, op: u8, param: u16) -> ChkSpec {
         assert!(op < 32, "CHECK op {op} does not fit the 5-bit field");
-        ChkSpec { module, blocking, op, param }
+        ChkSpec {
+            module,
+            blocking,
+            op,
+            param,
+        }
     }
 
     /// Convenience constructor for a blocking (synchronous) CHECK.
@@ -207,7 +212,13 @@ mod tests {
 
     #[test]
     fn module_mnemonics_roundtrip() {
-        for m in [ModuleId::ICM, ModuleId::MLR, ModuleId::DDT, ModuleId::AHBM, ModuleId::new(9)] {
+        for m in [
+            ModuleId::ICM,
+            ModuleId::MLR,
+            ModuleId::DDT,
+            ModuleId::AHBM,
+            ModuleId::new(9),
+        ] {
             assert_eq!(ModuleId::parse(&m.mnemonic()), Some(m));
         }
         assert_eq!(ModuleId::parse("7"), Some(ModuleId::new(7)));

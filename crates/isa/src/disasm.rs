@@ -77,9 +77,17 @@ mod tests {
 
     #[test]
     fn formats_core_instructions() {
-        let i = Inst::Addi { rt: Reg::A0, rs: Reg::ZERO, imm: -5 };
+        let i = Inst::Addi {
+            rt: Reg::A0,
+            rs: Reg::ZERO,
+            imm: -5,
+        };
         assert_eq!(format_inst(&i), "addi r4, r0, -5");
-        let i = Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 8 };
+        let i = Inst::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            off: 8,
+        };
         assert_eq!(format_inst(&i), "lw r8, 8(r29)");
     }
 

@@ -198,7 +198,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             F_JALR => Jalr { rd, rs },
             F_SYSCALL => Syscall,
             F_HALT => Halt,
-            _ => return Err(DecodeError { word, reason: "unknown R-type function code" }),
+            _ => {
+                return Err(DecodeError {
+                    word,
+                    reason: "unknown R-type function code",
+                })
+            }
         },
         OP_ADDI => Addi { rt, rs, imm: simm },
         OP_SLTI => Slti { rt, rs, imm: simm },
@@ -206,27 +211,68 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
         OP_ORI => Ori { rt, rs, imm },
         OP_XORI => Xori { rt, rs, imm },
         OP_LUI => Lui { rt, imm },
-        OP_LW => Lw { rt, base: rs, off: simm },
-        OP_LH => Lh { rt, base: rs, off: simm },
-        OP_LHU => Lhu { rt, base: rs, off: simm },
-        OP_LB => Lb { rt, base: rs, off: simm },
-        OP_LBU => Lbu { rt, base: rs, off: simm },
-        OP_SW => Sw { rt, base: rs, off: simm },
-        OP_SH => Sh { rt, base: rs, off: simm },
-        OP_SB => Sb { rt, base: rs, off: simm },
+        OP_LW => Lw {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        OP_LH => Lh {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        OP_LHU => Lhu {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        OP_LB => Lb {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        OP_LBU => Lbu {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        OP_SW => Sw {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        OP_SH => Sh {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        OP_SB => Sb {
+            rt,
+            base: rs,
+            off: simm,
+        },
         OP_BEQ => Beq { rs, rt, off: simm },
         OP_BNE => Bne { rs, rt, off: simm },
         OP_BLT => Blt { rs, rt, off: simm },
         OP_BGE => Bge { rs, rt, off: simm },
-        OP_J => J { target: word & 0x03FF_FFFF },
-        OP_JAL => Jal { target: word & 0x03FF_FFFF },
+        OP_J => J {
+            target: word & 0x03FF_FFFF,
+        },
+        OP_JAL => Jal {
+            target: word & 0x03FF_FFFF,
+        },
         OP_CHK => {
             let module = ModuleId::new(((word >> 22) & 0xF) as u8);
             let blocking = (word >> 21) & 1 == 1;
             let chk_op = ((word >> 16) & 0x1F) as u8;
             Chk(ChkSpec::new(module, blocking, chk_op, imm))
         }
-        _ => return Err(DecodeError { word, reason: "unknown opcode" }),
+        _ => {
+            return Err(DecodeError {
+                word,
+                reason: "unknown opcode",
+            })
+        }
     };
     Ok(inst)
 }
@@ -235,7 +281,7 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
 mod tests {
     use super::*;
     use crate::chk::ops;
-    use proptest::prelude::*;
+    use rse_support::prelude::*;
 
     fn reg_strategy() -> impl Strategy<Value = Reg> {
         (0u8..32).prop_map(Reg::new)
@@ -253,8 +299,11 @@ mod tests {
             (rg(), rg(), rg()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
             (rg(), rg(), rg()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
             // Exclude sll r0, r0, 0, which aliases the nop encoding.
-            ((1u8..32).prop_map(Reg::new), rg(), 0u8..32)
-                .prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
+            ((1u8..32).prop_map(Reg::new), rg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sll {
+                rd,
+                rt,
+                shamt
+            }),
             (rg(), rg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
             (rg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
             (rg(), rg(), any::<i16>()).prop_map(|(rt, base, off)| Lw { rt, base, off }),
@@ -268,9 +317,8 @@ mod tests {
             Just(Syscall),
             Just(Halt),
             Just(Nop),
-            (0u8..16, any::<bool>(), 0u8..32, any::<u16>()).prop_map(|(m, b, op, p)| Chk(
-                ChkSpec::new(ModuleId::new(m), b, op, p)
-            )),
+            (0u8..16, any::<bool>(), 0u8..32, any::<u16>())
+                .prop_map(|(m, b, op, p)| Chk(ChkSpec::new(ModuleId::new(m), b, op, p))),
         ]
     }
 
@@ -301,7 +349,11 @@ mod tests {
 
     #[test]
     fn bit_flip_in_opcode_is_detected() {
-        let word = encode(&Inst::Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 });
+        let word = encode(&Inst::Add {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        });
         // Flipping a bit in the function field can make the word undecodable.
         let corrupted = word ^ 0x0000_0010;
         assert!(decode(corrupted).is_err() || decode(corrupted).unwrap() != decode(word).unwrap());

@@ -122,7 +122,10 @@ impl fmt::Display for HeaderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HeaderError::Truncated { got } => {
-                write!(f, "executable header truncated: {got} words, need {HEADER_WORDS}")
+                write!(
+                    f,
+                    "executable header truncated: {got} words, need {HEADER_WORDS}"
+                )
             }
             HeaderError::BadMagic { got } => {
                 write!(f, "bad executable header magic {got:#010x}")
@@ -236,13 +239,19 @@ mod tests {
     fn header_rejects_bad_magic() {
         let mut w = ExecHeader::default().to_words();
         w[0] = 0xDEAD_BEEF;
-        assert_eq!(ExecHeader::from_words(&w), Err(HeaderError::BadMagic { got: 0xDEAD_BEEF }));
+        assert_eq!(
+            ExecHeader::from_words(&w),
+            Err(HeaderError::BadMagic { got: 0xDEAD_BEEF })
+        );
     }
 
     #[test]
     fn header_rejects_truncation() {
         let w = [HEADER_MAGIC; 3];
-        assert!(matches!(ExecHeader::from_words(&w), Err(HeaderError::Truncated { got: 3 })));
+        assert!(matches!(
+            ExecHeader::from_words(&w),
+            Err(HeaderError::Truncated { got: 3 })
+        ));
     }
 
     #[test]
@@ -261,7 +270,10 @@ mod tests {
 
     #[test]
     fn exec_header_picks_up_got_plt_symbols() {
-        let mut img = Image { data_base: 0x1000_0000, ..Image::default() };
+        let mut img = Image {
+            data_base: 0x1000_0000,
+            ..Image::default()
+        };
         img.symbols.insert("__got".into(), 0x1000_0010);
         img.symbols.insert("__got_end".into(), 0x1000_0090);
         let h = img.exec_header();

@@ -54,49 +54,197 @@ impl InstClass {
 #[allow(missing_docs)] // field meanings are uniform and documented above
 pub enum Inst {
     // --- R-type ALU -----------------------------------------------------
-    Add { rd: Reg, rs: Reg, rt: Reg },
-    Sub { rd: Reg, rs: Reg, rt: Reg },
-    Mul { rd: Reg, rs: Reg, rt: Reg },
-    Div { rd: Reg, rs: Reg, rt: Reg },
-    Rem { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
-    Nor { rd: Reg, rs: Reg, rt: Reg },
-    Slt { rd: Reg, rs: Reg, rt: Reg },
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
-    Sllv { rd: Reg, rt: Reg, rs: Reg },
-    Srlv { rd: Reg, rt: Reg, rs: Reg },
-    Srav { rd: Reg, rt: Reg, rs: Reg },
-    Sll { rd: Reg, rt: Reg, shamt: u8 },
-    Srl { rd: Reg, rt: Reg, shamt: u8 },
-    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    Add {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Mul {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Div {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Rem {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
     // --- I-type ALU -----------------------------------------------------
-    Addi { rt: Reg, rs: Reg, imm: i16 },
-    Slti { rt: Reg, rs: Reg, imm: i16 },
-    Andi { rt: Reg, rs: Reg, imm: u16 },
-    Ori { rt: Reg, rs: Reg, imm: u16 },
-    Xori { rt: Reg, rs: Reg, imm: u16 },
-    Lui { rt: Reg, imm: u16 },
+    Addi {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Lui {
+        rt: Reg,
+        imm: u16,
+    },
     // --- Memory ---------------------------------------------------------
-    Lw { rt: Reg, base: Reg, off: i16 },
-    Lh { rt: Reg, base: Reg, off: i16 },
-    Lhu { rt: Reg, base: Reg, off: i16 },
-    Lb { rt: Reg, base: Reg, off: i16 },
-    Lbu { rt: Reg, base: Reg, off: i16 },
-    Sw { rt: Reg, base: Reg, off: i16 },
-    Sh { rt: Reg, base: Reg, off: i16 },
-    Sb { rt: Reg, base: Reg, off: i16 },
+    Lw {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
+    Lh {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
+    Lhu {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
+    Lb {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
+    Lbu {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
+    Sw {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
+    Sh {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
+    Sb {
+        rt: Reg,
+        base: Reg,
+        off: i16,
+    },
     // --- Control flow ---------------------------------------------------
-    Beq { rs: Reg, rt: Reg, off: i16 },
-    Bne { rs: Reg, rt: Reg, off: i16 },
-    Blt { rs: Reg, rt: Reg, off: i16 },
-    Bge { rs: Reg, rt: Reg, off: i16 },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        off: i16,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        off: i16,
+    },
+    Blt {
+        rs: Reg,
+        rt: Reg,
+        off: i16,
+    },
+    Bge {
+        rs: Reg,
+        rt: Reg,
+        off: i16,
+    },
     /// Jump to `(pc + 4).top4 | target << 2`; `target` is a 26-bit word index.
-    J { target: u32 },
-    Jal { target: u32 },
-    Jr { rs: Reg },
-    Jalr { rd: Reg, rs: Reg },
+    J {
+        target: u32,
+    },
+    Jal {
+        target: u32,
+    },
+    Jr {
+        rs: Reg,
+    },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
     // --- System ---------------------------------------------------------
     Syscall,
     Halt,
@@ -110,10 +258,26 @@ impl Inst {
     pub fn class(&self) -> InstClass {
         use Inst::*;
         match self {
-            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Nor { .. }
-            | Slt { .. } | Sltu { .. } | Sllv { .. } | Srlv { .. } | Srav { .. } | Sll { .. }
-            | Srl { .. } | Sra { .. } | Addi { .. } | Slti { .. } | Andi { .. } | Ori { .. }
-            | Xori { .. } | Lui { .. } => InstClass::IntAlu,
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Nor { .. }
+            | Slt { .. }
+            | Sltu { .. }
+            | Sllv { .. }
+            | Srlv { .. }
+            | Srav { .. }
+            | Sll { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Addi { .. }
+            | Slti { .. }
+            | Andi { .. }
+            | Ori { .. }
+            | Xori { .. }
+            | Lui { .. } => InstClass::IntAlu,
             Mul { .. } | Div { .. } | Rem { .. } => InstClass::MulDiv,
             Lw { .. } | Lh { .. } | Lhu { .. } | Lb { .. } | Lbu { .. } => InstClass::Load,
             Sw { .. } | Sh { .. } | Sb { .. } => InstClass::Store,
@@ -132,13 +296,35 @@ impl Inst {
     pub fn dest(&self) -> Option<Reg> {
         use Inst::*;
         let d = match *self {
-            Add { rd, .. } | Sub { rd, .. } | Mul { rd, .. } | Div { rd, .. } | Rem { rd, .. }
-            | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. } | Slt { rd, .. }
-            | Sltu { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. } | Srav { rd, .. }
-            | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Jalr { rd, .. } => Some(rd),
-            Addi { rt, .. } | Slti { rt, .. } | Andi { rt, .. } | Ori { rt, .. }
-            | Xori { rt, .. } | Lui { rt, .. } | Lw { rt, .. } | Lh { rt, .. } | Lhu { rt, .. }
-            | Lb { rt, .. } | Lbu { rt, .. } => Some(rt),
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Rem { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Jalr { rd, .. } => Some(rd),
+            Addi { rt, .. }
+            | Slti { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Lui { rt, .. }
+            | Lw { rt, .. }
+            | Lh { rt, .. }
+            | Lhu { rt, .. }
+            | Lb { rt, .. }
+            | Lbu { rt, .. } => Some(rt),
             Jal { .. } => Some(Reg::RA),
             _ => None,
         };
@@ -149,16 +335,36 @@ impl Inst {
     pub fn sources(&self) -> [Option<Reg>; 2] {
         use Inst::*;
         match *self {
-            Add { rs, rt, .. } | Sub { rs, rt, .. } | Mul { rs, rt, .. } | Div { rs, rt, .. }
-            | Rem { rs, rt, .. } | And { rs, rt, .. } | Or { rs, rt, .. } | Xor { rs, rt, .. }
-            | Nor { rs, rt, .. } | Slt { rs, rt, .. } | Sltu { rs, rt, .. }
-            | Sllv { rs, rt, .. } | Srlv { rs, rt, .. } | Srav { rs, rt, .. }
-            | Beq { rs, rt, .. } | Bne { rs, rt, .. } | Blt { rs, rt, .. }
+            Add { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Div { rs, rt, .. }
+            | Rem { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Sllv { rs, rt, .. }
+            | Srlv { rs, rt, .. }
+            | Srav { rs, rt, .. }
+            | Beq { rs, rt, .. }
+            | Bne { rs, rt, .. }
+            | Blt { rs, rt, .. }
             | Bge { rs, rt, .. } => [Some(rs), Some(rt)],
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => [Some(rt), None],
-            Addi { rs, .. } | Slti { rs, .. } | Andi { rs, .. } | Ori { rs, .. }
-            | Xori { rs, .. } | Jr { rs } | Jalr { rs, .. } => [Some(rs), None],
-            Lw { base, .. } | Lh { base, .. } | Lhu { base, .. } | Lb { base, .. }
+            Addi { rs, .. }
+            | Slti { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. }
+            | Jr { rs }
+            | Jalr { rs, .. } => [Some(rs), None],
+            Lw { base, .. }
+            | Lh { base, .. }
+            | Lhu { base, .. }
+            | Lb { base, .. }
             | Lbu { base, .. } => [Some(base), None],
             Sw { rt, base, .. } | Sh { rt, base, .. } | Sb { rt, base, .. } => {
                 [Some(base), Some(rt)]
@@ -203,22 +409,46 @@ mod tests {
 
     #[test]
     fn classes_route_correctly() {
-        let add = Inst::Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+        let add = Inst::Add {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        };
         assert_eq!(add.class(), InstClass::IntAlu);
-        let mul = Inst::Mul { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 };
+        let mul = Inst::Mul {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        };
         assert_eq!(mul.class(), InstClass::MulDiv);
-        let lw = Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 4 };
+        let lw = Inst::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            off: 4,
+        };
         assert_eq!(lw.class(), InstClass::Load);
         assert!(lw.class().is_mem());
-        let beq = Inst::Beq { rs: Reg::T0, rt: Reg::ZERO, off: -2 };
+        let beq = Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::ZERO,
+            off: -2,
+        };
         assert!(beq.is_control_flow());
     }
 
     #[test]
     fn dest_of_zero_writes_is_none() {
-        let i = Inst::Addi { rt: Reg::ZERO, rs: Reg::T0, imm: 1 };
+        let i = Inst::Addi {
+            rt: Reg::ZERO,
+            rs: Reg::T0,
+            imm: 1,
+        };
         assert_eq!(i.dest(), None);
-        let i = Inst::Addi { rt: Reg::T1, rs: Reg::T0, imm: 1 };
+        let i = Inst::Addi {
+            rt: Reg::T1,
+            rs: Reg::T0,
+            imm: 1,
+        };
         assert_eq!(i.dest(), Some(Reg::T1));
     }
 
@@ -229,7 +459,11 @@ mod tests {
 
     #[test]
     fn store_sources_include_data_register() {
-        let sw = Inst::Sw { rt: Reg::T3, base: Reg::SP, off: 0 };
+        let sw = Inst::Sw {
+            rt: Reg::T3,
+            base: Reg::SP,
+            off: 0,
+        };
         assert_eq!(sw.sources(), [Some(Reg::SP), Some(Reg::T3)]);
         assert_eq!(sw.dest(), None);
     }
@@ -237,10 +471,18 @@ mod tests {
     #[test]
     fn branch_target_arithmetic() {
         // beq taken at pc=0x1000 with off=+3 lands at 0x1000 + 4 + 12.
-        let b = Inst::Beq { rs: Reg::T0, rt: Reg::T1, off: 3 };
+        let b = Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            off: 3,
+        };
         assert_eq!(b.direct_target(0x1000), Some(0x1010));
         // Negative offsets jump backwards.
-        let b = Inst::Bne { rs: Reg::T0, rt: Reg::T1, off: -1 };
+        let b = Inst::Bne {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            off: -1,
+        };
         assert_eq!(b.direct_target(0x1000), Some(0x1000));
         // J targets replace the low 28 bits.
         let j = Inst::J { target: 0x40 };

@@ -153,7 +153,9 @@ impl FromStr for Reg {
 
     /// Parses `r0`…`r31`, `$0`…`$31`, or an ABI name (`sp`, `a0`, …).
     fn from_str(s: &str) -> Result<Reg, ParseRegError> {
-        let err = || ParseRegError { text: s.to_string() };
+        let err = || ParseRegError {
+            text: s.to_string(),
+        };
         let (dollar, body) = match s.strip_prefix('$') {
             Some(b) => (true, b),
             None => (false, s),

@@ -1,0 +1,127 @@
+//! Exhaustive CHECK-instruction round-trips (§3.3): the full
+//! module# × BLK/NBLK × operation field product survives
+//! encode → decode, and the `chk` assembler syntax survives
+//! asm → disasm → asm for every field combination.
+
+use rse_isa::asm::assemble;
+use rse_isa::chk::ChkSpec;
+use rse_isa::{decode, disasm, encode, Inst, ModuleId};
+
+/// A small but boundary-heavy parameter sweep used alongside the full
+/// module/blk/op product (the full 16-bit × product space is 67M
+/// combinations; the param field is packed independently, which
+/// `param_field_is_independent` verifies exhaustively).
+const PARAMS: [u16; 9] = [0, 1, 2, 0x00FF, 0x0100, 0x7FFF, 0x8000, 0xFFFE, 0xFFFF];
+
+/// encode → decode over the full module#/BLK-NBLK/operation product.
+#[test]
+fn encode_decode_full_field_product() {
+    for module in 0..16u8 {
+        for blocking in [false, true] {
+            for op in 0..32u8 {
+                for param in PARAMS {
+                    let spec = ChkSpec::new(ModuleId::new(module), blocking, op, param);
+                    let inst = Inst::Chk(spec);
+                    let word = encode(&inst);
+                    // Field packing: opcode(6) | module(4) | blk(1) | op(5) | param(16).
+                    assert_eq!(word >> 26, 0x3F, "CHK opcode");
+                    assert_eq!((word >> 22) & 0xF, module as u32);
+                    assert_eq!((word >> 21) & 1, blocking as u32);
+                    assert_eq!((word >> 16) & 0x1F, op as u32);
+                    assert_eq!(word & 0xFFFF, param as u32);
+                    let back = decode(word).unwrap_or_else(|e| {
+                        panic!("chk m{module} blk={blocking} op={op} param={param}: {e}")
+                    });
+                    assert_eq!(back, inst);
+                }
+            }
+        }
+    }
+}
+
+/// asm → disasm → asm over the same product: the rendered `chk` syntax
+/// re-assembles to the identical word for every field combination.
+#[test]
+fn asm_disasm_roundtrip_full_field_product() {
+    for module in 0..16u8 {
+        for blocking in [false, true] {
+            for op in 0..32u8 {
+                for param in PARAMS {
+                    let spec = ChkSpec::new(ModuleId::new(module), blocking, op, param);
+                    let inst = Inst::Chk(spec);
+                    let word = encode(&inst);
+                    let text = disasm::format_inst(&inst);
+                    let image = assemble(&format!("main: {text}\n"))
+                        .unwrap_or_else(|e| panic!("`{text}` does not re-assemble: {e}"));
+                    assert_eq!(image.text.len(), 1, "`{text}` expanded unexpectedly");
+                    assert_eq!(
+                        image.text[0], word,
+                        "`{text}`: {:#010x} != {word:#010x}",
+                        image.text[0]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The 16-bit parameter field packs independently of the other fields:
+/// exhaustive over all 65 536 values (for a representative corner of
+/// each remaining field), including decode and disassembly round-trips.
+#[test]
+fn param_field_is_independent() {
+    for (module, blocking, op) in [(0u8, true, 2u8), (15, false, 31)] {
+        for param in 0..=u16::MAX {
+            let spec = ChkSpec::new(ModuleId::new(module), blocking, op, param);
+            let inst = Inst::Chk(spec);
+            let word = encode(&inst);
+            assert_eq!(word & 0xFFFF, param as u32);
+            assert_eq!(decode(word).unwrap(), inst);
+        }
+    }
+}
+
+/// Every accepted spelling of the module operand (mnemonic, `mN`, bare
+/// number) assembles to the same word.
+#[test]
+fn module_operand_spellings_agree() {
+    let canon = |src: &str| assemble(src).expect(src).text[0];
+    assert_eq!(
+        canon("main: chk icm, blk, 2, 7\n"),
+        canon("main: chk m0, blk, 2, 7\n")
+    );
+    assert_eq!(
+        canon("main: chk icm, blk, 2, 7\n"),
+        canon("main: chk 0, blk, 2, 7\n")
+    );
+    assert_eq!(
+        canon("main: chk ahbm, nblk, 3, 1\n"),
+        canon("main: chk m3, nblk, 3, 1\n")
+    );
+    // Non-well-known slots render as mN and parse back.
+    for module in 4..16u8 {
+        let spec = ChkSpec::new(ModuleId::new(module), true, 0, 0);
+        let text = disasm::format_inst(&Inst::Chk(spec));
+        assert!(
+            text.contains(&format!("m{module}")),
+            "unexpected rendering: {text}"
+        );
+        assert_eq!(canon(&format!("main: {text}\n")), encode(&Inst::Chk(spec)));
+    }
+}
+
+/// Malformed `chk` operands are rejected with diagnostics, not
+/// mis-assembled.
+#[test]
+fn malformed_chk_rejected() {
+    for bad in [
+        "main: chk\n",
+        "main: chk icm\n",
+        "main: chk icm, maybe, 2, 0\n",
+        "main: chk m16, blk, 2, 0\n",
+        "main: chk icm, blk, 32, 0\n",
+        "main: chk icm, blk, 2, 65536\n",
+    ] {
+        assert!(assemble(bad).is_err(), "accepted malformed source: {bad:?}");
+    }
+}

@@ -3,10 +3,10 @@
 //! instruction, and the assembler's listing of a whole random program
 //! must re-assemble to identical words.
 
-use proptest::prelude::*;
 use rse_isa::asm::assemble;
 use rse_isa::chk::ChkSpec;
 use rse_isa::{decode, disasm, encode, Inst, ModuleId, Reg};
+use rse_support::prelude::*;
 
 fn reg() -> impl Strategy<Value = Reg> {
     (0u8..32).prop_map(Reg::new)
@@ -32,8 +32,11 @@ fn inst() -> impl Strategy<Value = Inst> {
         (reg(), reg(), reg()).prop_map(|(rd, rt, rs)| Sllv { rd, rt, rs }),
         (reg(), reg(), reg()).prop_map(|(rd, rt, rs)| Srlv { rd, rt, rs }),
         (reg(), reg(), reg()).prop_map(|(rd, rt, rs)| Srav { rd, rt, rs }),
-        ((1u8..32).prop_map(Reg::new), reg(), 0u8..32)
-            .prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
+        ((1u8..32).prop_map(Reg::new), reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sll {
+            rd,
+            rt,
+            shamt
+        }),
         (reg(), reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }),
         (reg(), reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }),
         (reg(), reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
@@ -59,9 +62,8 @@ fn inst() -> impl Strategy<Value = Inst> {
         Just(Syscall),
         Just(Halt),
         Just(Nop),
-        (0u8..16, any::<bool>(), 0u8..32, any::<u16>()).prop_map(|(m, b, op, p)| Chk(
-            ChkSpec::new(ModuleId::new(m), b, op, p)
-        )),
+        (0u8..16, any::<bool>(), 0u8..32, any::<u16>())
+            .prop_map(|(m, b, op, p)| Chk(ChkSpec::new(ModuleId::new(m), b, op, p))),
     ]
 }
 
@@ -84,7 +86,7 @@ proptest! {
 
     /// Whole random programs survive a disassemble→reassemble loop.
     #[test]
-    fn program_listing_roundtrips(instrs in proptest::collection::vec(inst(), 1..80)) {
+    fn program_listing_roundtrips(instrs in rse_support::collection::vec(inst(), 1..80)) {
         let words: Vec<u32> = instrs.iter().map(encode).collect();
         let mut src = String::from("main:\n");
         for i in &instrs {

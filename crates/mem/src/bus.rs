@@ -32,14 +32,22 @@ impl DramConfig {
     /// Baseline latency (no RSE framework): 18-cycle first chunk,
     /// 2 cycles per subsequent chunk.
     pub fn baseline() -> DramConfig {
-        DramConfig { first_chunk: 18, inter_chunk: 2, chunk_bytes: 8 }
+        DramConfig {
+            first_chunk: 18,
+            inter_chunk: 2,
+            chunk_bytes: 8,
+        }
     }
 
     /// Latency with the RSE arbiter in the path: 19-cycle first chunk,
     /// 3 cycles per subsequent chunk (the paper's §5.2 assumption of a
     /// 1-cycle arbiter delay).
     pub fn with_arbiter() -> DramConfig {
-        DramConfig { first_chunk: 19, inter_chunk: 3, chunk_bytes: 8 }
+        DramConfig {
+            first_chunk: 19,
+            inter_chunk: 3,
+            chunk_bytes: 8,
+        }
     }
 
     /// Cycles to transfer `bytes` bytes over the pipelined memory bus.

@@ -25,22 +25,42 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's L1 instruction cache: 8 KB, direct-mapped (Figure 1).
     pub fn il1() -> CacheConfig {
-        CacheConfig { sets: 256, ways: 1, line_bytes: 32, hit_latency: 1 }
+        CacheConfig {
+            sets: 256,
+            ways: 1,
+            line_bytes: 32,
+            hit_latency: 1,
+        }
     }
 
     /// The paper's L1 data cache: 8 KB, direct-mapped.
     pub fn dl1() -> CacheConfig {
-        CacheConfig { sets: 256, ways: 1, line_bytes: 32, hit_latency: 1 }
+        CacheConfig {
+            sets: 256,
+            ways: 1,
+            line_bytes: 32,
+            hit_latency: 1,
+        }
     }
 
     /// The paper's L2 instruction cache: 64 KB, 2-way.
     pub fn il2() -> CacheConfig {
-        CacheConfig { sets: 1024, ways: 2, line_bytes: 32, hit_latency: 6 }
+        CacheConfig {
+            sets: 1024,
+            ways: 2,
+            line_bytes: 32,
+            hit_latency: 6,
+        }
     }
 
     /// The paper's L2 data cache: 128 KB, 2-way.
     pub fn dl2() -> CacheConfig {
-        CacheConfig { sets: 2048, ways: 2, line_bytes: 32, hit_latency: 6 }
+        CacheConfig {
+            sets: 2048,
+            ways: 2,
+            line_bytes: 32,
+            hit_latency: 6,
+        }
     }
 
     /// Total capacity in bytes.
@@ -76,7 +96,13 @@ impl CacheStats {
 
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} accesses, {} misses ({:.2}%)", self.accesses, self.misses, self.miss_rate_pct())
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%)",
+            self.accesses,
+            self.misses,
+            self.miss_rate_pct()
+        )
     }
 }
 
@@ -116,7 +142,10 @@ impl Cache {
     /// `ways` is zero.
     pub fn new(config: CacheConfig) -> Cache {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways > 0, "ways must be nonzero");
         Cache {
             config,
@@ -163,7 +192,10 @@ impl Cache {
         if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = self.tick;
             line.dirty |= is_write;
-            return Probe { hit: true, evicted_dirty: false };
+            return Probe {
+                hit: true,
+                evicted_dirty: false,
+            };
         }
         self.stats.misses += 1;
         // Choose victim: an invalid way if any, else the LRU way.
@@ -172,8 +204,16 @@ impl Cache {
             .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
             .expect("ways > 0");
         let evicted_dirty = victim.valid && victim.dirty;
-        *victim = Line { valid: true, tag, dirty: is_write, lru: self.tick };
-        Probe { hit: false, evicted_dirty }
+        *victim = Line {
+            valid: true,
+            tag,
+            dirty: is_write,
+            lru: self.tick,
+        };
+        Probe {
+            hit: false,
+            evicted_dirty,
+        }
     }
 
     /// Probes without side effects: would `addr` hit right now?
@@ -197,7 +237,7 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rse_support::prelude::*;
 
     #[test]
     fn paper_geometries() {
@@ -221,7 +261,12 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflict() {
-        let c1 = CacheConfig { sets: 4, ways: 1, line_bytes: 16, hit_latency: 1 };
+        let c1 = CacheConfig {
+            sets: 4,
+            ways: 1,
+            line_bytes: 16,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(c1);
         // Two addresses 4*16 = 64 bytes apart map to the same set.
         assert!(!c.access(0, false).hit);
@@ -231,7 +276,12 @@ mod tests {
 
     #[test]
     fn lru_keeps_recent_in_two_way() {
-        let cfg = CacheConfig { sets: 1, ways: 2, line_bytes: 16, hit_latency: 1 };
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(cfg);
         c.access(0, false); // A
         c.access(16, false); // B
@@ -244,7 +294,12 @@ mod tests {
 
     #[test]
     fn dirty_eviction_reported() {
-        let cfg = CacheConfig { sets: 1, ways: 1, line_bytes: 16, hit_latency: 1 };
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 1,
+            line_bytes: 16,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(cfg);
         c.access(0, true); // dirty
         let p = c.access(16, false);
@@ -265,7 +320,10 @@ mod tests {
 
     #[test]
     fn miss_rate_formats() {
-        let s = CacheStats { accesses: 200, misses: 3 };
+        let s = CacheStats {
+            accesses: 200,
+            misses: 3,
+        };
         assert!((s.miss_rate_pct() - 1.5).abs() < 1e-9);
         assert_eq!(CacheStats::default().miss_rate_pct(), 0.0);
     }
@@ -274,7 +332,7 @@ mod tests {
         /// A cache with W ways per set retains any W distinct lines of a
         /// set that were the most recently touched (true LRU invariant).
         #[test]
-        fn repeated_access_always_hits_after_fill(addrs in proptest::collection::vec(0u32..0x10_0000, 1..200)) {
+        fn repeated_access_always_hits_after_fill(addrs in rse_support::collection::vec(0u32..0x10_0000, 1..200)) {
             let mut c = Cache::new(CacheConfig::dl2());
             for &a in &addrs {
                 c.access(a, false);

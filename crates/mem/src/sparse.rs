@@ -25,11 +25,16 @@ impl SparseMemory {
     }
 
     fn page_of(addr: u32) -> (u32, usize) {
-        (addr / PAGE_BYTES as u32, (addr % PAGE_BYTES as u32) as usize)
+        (
+            addr / PAGE_BYTES as u32,
+            (addr % PAGE_BYTES as u32) as usize,
+        )
     }
 
     fn page_mut(&mut self, id: u32) -> &mut [u8; PAGE_BYTES] {
-        self.pages.entry(id).or_insert_with(|| Box::new([0; PAGE_BYTES]))
+        self.pages
+            .entry(id)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES]))
     }
 
     /// Reads one byte.
@@ -119,7 +124,7 @@ impl SparseMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rse_support::prelude::*;
 
     #[test]
     fn unmapped_reads_zero() {
@@ -171,7 +176,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn u16_u32_roundtrip(addr in 0u32..0x100_0000, v16: u16, v32: u32) {
+        fn u16_u32_roundtrip(addr in 0u32..0x100_0000, v16 in any::<u16>(), v32 in any::<u32>()) {
             let mut m = SparseMemory::new();
             m.write_u16(addr, v16);
             prop_assert_eq!(m.read_u16(addr), v16);

@@ -45,7 +45,10 @@ impl MemConfig {
     /// The configuration with the RSE framework attached: identical caches
     /// but the memory arbiter in the DRAM path (18/2 → 19/3 cycles, §5.2).
     pub fn with_framework() -> MemConfig {
-        MemConfig { dram: DramConfig::with_arbiter(), ..MemConfig::baseline() }
+        MemConfig {
+            dram: DramConfig::with_arbiter(),
+            ..MemConfig::baseline()
+        }
     }
 }
 
@@ -126,7 +129,9 @@ impl MemorySystem {
         if p2.hit {
             return now + l1_lat + l2_lat;
         }
-        let done = self.bus.request(now + l1_lat + l2_lat, line_bytes, BusPriority::Pipeline);
+        let done = self
+            .bus
+            .request(now + l1_lat + l2_lat, line_bytes, BusPriority::Pipeline);
         if p2.evicted_dirty {
             // Buffered write-back: occupies the bus after the demand fill.
             self.bus.request(done, line_bytes, BusPriority::Pipeline);
@@ -249,7 +254,12 @@ mod tests {
     #[test]
     fn dirty_writeback_occupies_bus() {
         // 1-set caches to force evictions.
-        let tiny = CacheConfig { sets: 1, ways: 1, line_bytes: 32, hit_latency: 1 };
+        let tiny = CacheConfig {
+            sets: 1,
+            ways: 1,
+            line_bytes: 32,
+            hit_latency: 1,
+        };
         let cfg = MemConfig {
             il1: tiny,
             dl1: tiny,
@@ -260,7 +270,7 @@ mod tests {
         let mut m = MemorySystem::new(cfg);
         m.access(0, 0x0, AccessKind::Store); // dirty in dl1+dl2
         let t_fill = m.access(1000, 0x100, AccessKind::Load); // evicts dirty line
-        // A subsequent MAU request must wait behind the write-back.
+                                                              // A subsequent MAU request must wait behind the write-back.
         let t_mau = m.mau_access(t_fill, 8);
         assert!(t_mau > t_fill + 18);
     }

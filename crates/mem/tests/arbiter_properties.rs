@@ -2,15 +2,15 @@
 //! serialization, and conservation of transfer time under arbitrary
 //! interleavings of pipeline and MAU requests.
 
-use proptest::prelude::*;
 use rse_mem::{Bus, BusPriority, DramConfig};
+use rse_support::prelude::*;
 
 proptest! {
     /// No transfer ever overlaps another: the completion times of a
     /// request sequence are strictly increasing, and each transfer takes
     /// at least its intrinsic duration.
     #[test]
-    fn transfers_serialize(reqs in proptest::collection::vec((0u64..1000, 1u32..128, any::<bool>()), 1..60)) {
+    fn transfers_serialize(reqs in rse_support::collection::vec((0u64..1000, 1u32..128, any::<bool>()), 1..60)) {
         let dram = DramConfig::with_arbiter();
         let mut bus = Bus::new(dram);
         let mut reqs = reqs;
@@ -43,7 +43,7 @@ proptest! {
     /// Total bus-busy time equals the sum of individual transfer times —
     /// arbitration delays requests but never inflates transfers.
     #[test]
-    fn no_time_is_created_or_destroyed(byte_list in proptest::collection::vec(1u32..64, 1..40)) {
+    fn no_time_is_created_or_destroyed(byte_list in rse_support::collection::vec(1u32..64, 1..40)) {
         let dram = DramConfig::baseline();
         let mut bus = Bus::new(dram);
         let total: u64 = byte_list.iter().map(|b| dram.transfer_cycles(*b)).sum();

@@ -1,0 +1,127 @@
+//! Cache-statistics accounting for the paper's hierarchy (the counters
+//! Table 4's CHECK I-cache study depends on): scripted access patterns
+//! with exactly predictable access/miss/miss-rate numbers for
+//! L1-I, L1-D, L2-I and L2-D.
+
+use rse_mem::{AccessKind, CacheConfig, MemConfig, MemorySystem};
+
+const LINE: u32 = 32;
+
+/// A cold instruction-fetch sweep misses once per line in both I-cache
+/// levels; a second sweep hits entirely in L1-I and never reaches L2-I.
+#[test]
+fn icache_sweep_accounting() {
+    let mut m = MemorySystem::new(MemConfig::baseline());
+    let lines = 32u32;
+    // 8 sequential fetches per 32-byte line.
+    for sweep in 0..2 {
+        for addr in (0..lines * LINE).step_by(4) {
+            m.access(1000 * sweep as u64, addr, AccessKind::InstFetch);
+        }
+        let s = m.stats();
+        let fetches = (sweep + 1) * (lines * LINE / 4) as u64;
+        assert_eq!(s.il1.accesses, fetches, "sweep {sweep}: L1-I accesses");
+        assert_eq!(
+            s.il1.misses, lines as u64,
+            "sweep {sweep}: L1-I misses once per line"
+        );
+        // L2-I sees exactly the L1-I misses; all of them cold-miss.
+        assert_eq!(s.il2.accesses, lines as u64, "sweep {sweep}: L2-I accesses");
+        assert_eq!(s.il2.misses, lines as u64, "sweep {sweep}: L2-I misses");
+        // The data side is untouched by instruction fetches.
+        assert_eq!(s.dl1.accesses, 0);
+        assert_eq!(s.dl2.accesses, 0);
+    }
+    let s = m.stats();
+    // 512 fetches, 32 misses: 6.25% L1-I miss rate, to the digit.
+    assert_eq!(s.il1.hits(), 512 - 32);
+    assert!((s.il1.miss_rate_pct() - 6.25).abs() < 1e-9);
+    assert!((s.il2.miss_rate_pct() - 100.0).abs() < 1e-9);
+}
+
+/// Loads and stores share the D-cache path: stores to freshly loaded
+/// lines hit in L1-D, and L2-D sees only the L1-D misses.
+#[test]
+fn dcache_load_store_accounting() {
+    let mut m = MemorySystem::new(MemConfig::baseline());
+    let lines = 16u32;
+    for i in 0..lines {
+        m.access(0, 0x4000 + i * LINE, AccessKind::Load);
+    }
+    for i in 0..lines {
+        m.access(100, 0x4000 + i * LINE + 8, AccessKind::Store);
+    }
+    let s = m.stats();
+    assert_eq!(s.dl1.accesses, 2 * lines as u64);
+    assert_eq!(
+        s.dl1.misses, lines as u64,
+        "stores hit lines the loads filled"
+    );
+    assert_eq!(s.dl1.hits(), lines as u64);
+    assert!((s.dl1.miss_rate_pct() - 50.0).abs() < 1e-9);
+    assert_eq!(s.dl2.accesses, lines as u64);
+    assert_eq!(s.dl2.misses, lines as u64);
+    // Instruction side untouched by data traffic.
+    assert_eq!(s.il1.accesses, 0);
+    assert_eq!(s.il2.accesses, 0);
+}
+
+/// Two addresses 8 KB apart conflict in the direct-mapped L1-D but
+/// coexist in the 2-way L2-D: after the cold pass, every L1-D miss is
+/// an L2-D hit — the level-2 backstop the paper's geometry provides.
+#[test]
+fn l1_conflict_is_absorbed_by_l2() {
+    let mut m = MemorySystem::new(MemConfig::baseline());
+    let a = 0x0000u32;
+    let b = a + 8 * 1024; // same L1-D set (8 KB direct-mapped), different L2-D set or way
+    let rounds = 50u64;
+    for _ in 0..rounds {
+        m.access(0, a, AccessKind::Load);
+        m.access(0, b, AccessKind::Load);
+    }
+    let s = m.stats();
+    assert_eq!(s.dl1.accesses, 2 * rounds);
+    assert_eq!(
+        s.dl1.misses,
+        2 * rounds,
+        "ping-pong always misses direct-mapped L1-D"
+    );
+    assert_eq!(s.dl2.accesses, 2 * rounds, "every L1-D miss reaches L2-D");
+    assert_eq!(s.dl2.misses, 2, "only the two cold misses reach the bus");
+    assert!((s.dl2.miss_rate_pct() - 100.0 * 2.0 / (2 * rounds) as f64).abs() < 1e-9);
+}
+
+/// The same scripted pattern produces identical counters on the
+/// framework configuration — attaching the RSE arbiter changes
+/// latencies, never hit/miss accounting.
+#[test]
+fn framework_config_preserves_cache_accounting() {
+    let mut base = MemorySystem::new(MemConfig::baseline());
+    let mut fw = MemorySystem::new(MemConfig::with_framework());
+    let mut addr = 0x1000u32;
+    for i in 0..500u64 {
+        addr = addr.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % 0x2_0000;
+        let kind = match i % 3 {
+            0 => AccessKind::InstFetch,
+            1 => AccessKind::Load,
+            _ => AccessKind::Store,
+        };
+        base.access(i, addr, kind);
+        fw.access(i, addr, kind);
+    }
+    let (s1, s2) = (base.stats(), fw.stats());
+    assert_eq!(s1.il1, s2.il1);
+    assert_eq!(s1.il2, s2.il2);
+    assert_eq!(s1.dl1, s2.dl1);
+    assert_eq!(s1.dl2, s2.dl2);
+}
+
+/// Pin the paper's geometries end to end: capacities and the
+/// derived set counts used by the scripted patterns above.
+#[test]
+fn paper_geometry_pinned() {
+    assert_eq!(CacheConfig::il1().capacity(), 8 * 1024);
+    assert_eq!(CacheConfig::dl1().capacity(), 8 * 1024);
+    assert_eq!(CacheConfig::il2().capacity(), 64 * 1024);
+    assert_eq!(CacheConfig::dl2().capacity(), 128 * 1024);
+}

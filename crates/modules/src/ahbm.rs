@@ -163,7 +163,9 @@ impl Ahbm {
     /// Applies one heartbeat for `id` at cycle `now`.
     pub fn beat(&mut self, id: EntityId, now: u64) {
         let cfg = self.config;
-        let Some(e) = self.entities.get_mut(&id) else { return };
+        let Some(e) = self.entities.get_mut(&id) else {
+            return;
+        };
         self.stats.beats += 1;
         e.counter += 1;
         let measured = (now - e.last_beat) as f64;
@@ -175,8 +177,7 @@ impl Ahbm {
             e.mean_interval += cfg.alpha * err;
             e.deviation += cfg.beta * (err.abs() - e.deviation);
         }
-        e.timeout =
-            ((e.mean_interval + cfg.k * e.deviation) as u64).max(cfg.min_timeout);
+        e.timeout = ((e.mean_interval + cfg.k * e.deviation) as u64).max(cfg.min_timeout);
         e.last_beat = now;
         // A heartbeat resurrects a previously-declared-dead entity (e.g.
         // a stalled thread that resumed).
@@ -228,7 +229,9 @@ impl Module for Ahbm {
     }
 
     fn on_commit(&mut self, rob: RobId, ctx: &mut ModuleCtx<'_>) {
-        let Some(op) = self.pending.remove(&rob) else { return };
+        let Some(op) = self.pending.remove(&rob) else {
+            return;
+        };
         match op {
             PendingOp::Register(id) => self.register(id, ctx.now),
             PendingOp::Beat(id) => self.beat(id, ctx.now),
@@ -297,7 +300,11 @@ mod tests {
         assert!(a.take_failed().is_empty());
         // The adaptive timeout converged near the beat interval.
         let e = a.entity(1).unwrap();
-        assert!((e.mean_interval - 20.0).abs() < 1.0, "mean={}", e.mean_interval);
+        assert!(
+            (e.mean_interval - 20.0).abs() < 1.0,
+            "mean={}",
+            e.mean_interval
+        );
         assert_eq!(e.timeout, 50, "floored at min_timeout");
     }
 
@@ -315,7 +322,10 @@ mod tests {
 
     #[test]
     fn adaptive_timeout_tolerates_slow_but_regular_entities() {
-        let mut a = Ahbm::new(AhbmConfig { min_timeout: 10, ..cfg() });
+        let mut a = Ahbm::new(AhbmConfig {
+            min_timeout: 10,
+            ..cfg()
+        });
         a.register(1, 0); // fast: every 20 cycles
         a.register(2, 0); // slow: every 300 cycles
         let mut beats: Vec<(EntityId, u64)> = Vec::new();
@@ -336,7 +346,10 @@ mod tests {
 
     #[test]
     fn faster_detection_for_faster_entities() {
-        let mut a = Ahbm::new(AhbmConfig { min_timeout: 10, ..cfg() });
+        let mut a = Ahbm::new(AhbmConfig {
+            min_timeout: 10,
+            ..cfg()
+        });
         a.register(1, 0);
         a.register(2, 0);
         let mut beats: Vec<(EntityId, u64)> = Vec::new();

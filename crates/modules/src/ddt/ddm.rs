@@ -20,7 +20,10 @@ impl DependencyMatrix {
     /// Creates a matrix for up to `n` threads.
     pub fn new(n: usize) -> DependencyMatrix {
         let words_per_row = n.div_ceil(Self::WORD_BITS);
-        DependencyMatrix { n, rows: vec![0; n * words_per_row.max(1)] }
+        DependencyMatrix {
+            n,
+            rows: vec![0; n * words_per_row.max(1)],
+        }
     }
 
     /// Capacity (maximum thread id + 1).
@@ -33,9 +36,15 @@ impl DependencyMatrix {
     }
 
     fn index(&self, producer: usize, consumer: usize) -> (usize, u64) {
-        assert!(producer < self.n && consumer < self.n, "thread id out of range");
+        assert!(
+            producer < self.n && consumer < self.n,
+            "thread id out of range"
+        );
         let wpr = self.words_per_row();
-        (producer * wpr + consumer / Self::WORD_BITS, 1u64 << (consumer % Self::WORD_BITS))
+        (
+            producer * wpr + consumer / Self::WORD_BITS,
+            1u64 << (consumer % Self::WORD_BITS),
+        )
     }
 
     /// Logs the dependency `producer → consumer` (consumer read data
@@ -117,7 +126,7 @@ impl DependencyMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rse_support::prelude::*;
 
     #[test]
     fn log_and_query() {
@@ -185,7 +194,7 @@ mod tests {
         /// under the dependency relation.
         #[test]
         fn taint_is_transitively_closed(
-            edges in proptest::collection::vec((0usize..16, 0usize..16), 0..60),
+            edges in rse_support::collection::vec((0usize..16, 0usize..16), 0..60),
             faulty in 0usize..16,
         ) {
             let mut m = DependencyMatrix::new(16);

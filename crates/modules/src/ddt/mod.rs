@@ -51,7 +51,11 @@ pub struct DdtConfig {
 
 impl Default for DdtConfig {
     fn default() -> DdtConfig {
-        DdtConfig { max_threads: 64, pst_capacity: 4096, model_log_lag: false }
+        DdtConfig {
+            max_threads: 64,
+            pst_capacity: 4096,
+            model_log_lag: false,
+        }
     }
 }
 
@@ -154,7 +158,10 @@ impl Ddt {
     /// `DDT_SET_THREAD` CHECK, used when switching outside instruction
     /// flow).
     pub fn set_current_thread(&mut self, thread: ThreadId) {
-        assert!(thread < self.config.max_threads, "thread id exceeds DDM capacity");
+        assert!(
+            thread < self.config.max_threads,
+            "thread id exceeds DDM capacity"
+        );
         self.current_thread = Some(thread);
     }
 
@@ -218,8 +225,10 @@ impl Module for Ddt {
         match chk.spec.op {
             ops::DDT_SET_THREAD => {
                 // Becomes effective at commit (asynchronous logging).
-                self.pending_chk
-                    .insert(chk.rob, PendingChkAction::SetThread(chk.spec.param as ThreadId));
+                self.pending_chk.insert(
+                    chk.rob,
+                    PendingChkAction::SetThread(chk.spec.param as ThreadId),
+                );
             }
             ops::DDT_QUERY_SIZE => {
                 // Writes [pst entries, ddm bytes] to the buffer at a0.
@@ -241,7 +250,9 @@ impl Module for Ddt {
                 ctx.mau_submit(MauRequest {
                     module: ModuleId::DDT,
                     addr: chk.operands[0],
-                    op: MauOp::Store { data: self.ddm.to_bytes() },
+                    op: MauOp::Store {
+                        data: self.ddm.to_bytes(),
+                    },
                     tag: chk.rob.0,
                 });
                 self.retrieval_in_flight = Some(chk.rob);
@@ -260,13 +271,21 @@ impl Module for Ddt {
         // attributed to a thread at commit time, when the preceding
         // DDT_SET_THREAD (if any) has architecturally taken effect.
         let Some(addr) = info.eff_addr else { return };
-        let Some(entry) = ctx.queues.fetch_out.get(info.rob) else { return };
+        let Some(entry) = ctx.queues.fetch_out.get(info.rob) else {
+            return;
+        };
         let is_store = match entry.inst.class() {
             InstClass::Load => false,
             InstClass::Store => true,
             _ => return,
         };
-        self.pending_mem.insert(info.rob, PendingAccess { page: page_id(addr), is_store });
+        self.pending_mem.insert(
+            info.rob,
+            PendingAccess {
+                page: page_id(addr),
+                is_store,
+            },
+        );
     }
 
     fn on_commit(&mut self, rob: RobId, ctx: &mut ModuleCtx<'_>) {
@@ -279,16 +298,21 @@ impl Module for Ddt {
                 }
             }
         }
-        let Some(acc) = self.pending_mem.remove(&rob) else { return };
-        let Some(thread) = self.current_thread else { return };
+        let Some(acc) = self.pending_mem.remove(&rob) else {
+            return;
+        };
+        let Some(thread) = self.current_thread else {
+            return;
+        };
         if acc.is_store {
             self.stats.stores_tracked += 1;
         } else {
             self.stats.loads_tracked += 1;
         }
         let prev = self.pst.peek(acc.page);
-        let actions =
-            self.pst.with_entry(acc.page, |owners| transition(owners, thread, acc.is_store));
+        let actions = self
+            .pst
+            .with_entry(acc.page, |owners| transition(owners, thread, acc.is_store));
         if let Some((producer, consumer)) = actions.log_dependency {
             let lag_loss = self.config.model_log_lag && self.last_log_cycle == Some(ctx.now);
             if lag_loss {
@@ -432,15 +456,22 @@ mod tests {
         // In the snapshot, word 0 holds t1's 0xAA but word 1 is still 0
         // (captured before t2's store committed).
         let w0 = u32::from_le_bytes(
-            saved[0].data[shared_off as usize..shared_off as usize + 4].try_into().unwrap(),
+            saved[0].data[shared_off as usize..shared_off as usize + 4]
+                .try_into()
+                .unwrap(),
         );
         let w1 = u32::from_le_bytes(
-            saved[0].data[shared_off as usize + 4..shared_off as usize + 8].try_into().unwrap(),
+            saved[0].data[shared_off as usize + 4..shared_off as usize + 8]
+                .try_into()
+                .unwrap(),
         );
         assert_eq!(w0, 0xAA);
         assert_eq!(w1, 0);
         // Memory itself has both stores.
-        assert_eq!(cpu.mem().memory.read_u32(rse_isa::layout::DATA_BASE + 4), 0xAA);
+        assert_eq!(
+            cpu.mem().memory.read_u32(rse_isa::layout::DATA_BASE + 4),
+            0xAA
+        );
     }
 
     #[test]
@@ -516,6 +547,9 @@ mod tests {
         let image = assemble(src).unwrap();
         let outbuf = image.symbol("outbuf").unwrap();
         // First word of the serialized DDM is N (max_threads).
-        assert_eq!(cpu.mem().memory.read_u32(outbuf), DdtConfig::default().max_threads as u32);
+        assert_eq!(
+            cpu.mem().memory.read_u32(outbuf),
+            DdtConfig::default().max_threads as u32
+        );
     }
 }

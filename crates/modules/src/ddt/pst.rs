@@ -98,8 +98,11 @@ impl PageStatusTable {
         self.lookups += 1;
         if !self.entries.contains_key(&page) && self.entries.len() >= self.capacity {
             // Evict the LRU page; its ownership state is lost.
-            if let Some(victim) =
-                self.entries.iter().min_by_key(|(_, (_, t))| *t).map(|(p, _)| *p)
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(p, _)| *p)
             {
                 self.entries.remove(&victim);
                 self.evictions += 1;
@@ -173,7 +176,10 @@ mod tests {
         let mut pst = PageStatusTable::new(8);
         apply(&mut pst, 7, 0, true);
         let a = apply(&mut pst, 7, 1, true);
-        assert!(a.save_page, "non-owner write must checkpoint (Figure 5 SavePage)");
+        assert!(
+            a.save_page,
+            "non-owner write must checkpoint (Figure 5 SavePage)"
+        );
         let o = pst.peek(7).unwrap();
         assert_eq!(o.write_owner, Some(1));
         assert_eq!(o.read_owner, Some(1));
@@ -192,7 +198,10 @@ mod tests {
         // (t,t) --(s,r)/log(t→s)--> (t,s) --(s,w)/SavePage--> (s,s)
         let (t, s) = (0, 1);
         let mut owners = PageOwners::default();
-        assert_eq!(transition(&mut owners, t, true), TransitionActions::default());
+        assert_eq!(
+            transition(&mut owners, t, true),
+            TransitionActions::default()
+        );
         let a = transition(&mut owners, s, false);
         assert_eq!(a.log_dependency, Some((t, s)));
         let a = transition(&mut owners, s, true);
@@ -200,8 +209,14 @@ mod tests {
         assert_eq!(owners.write_owner, Some(s));
         assert_eq!(owners.read_owner, Some(s));
         // (s,s) loops on (s,r)/(s,w) with no action.
-        assert_eq!(transition(&mut owners, s, false), TransitionActions::default());
-        assert_eq!(transition(&mut owners, s, true), TransitionActions::default());
+        assert_eq!(
+            transition(&mut owners, s, false),
+            TransitionActions::default()
+        );
+        assert_eq!(
+            transition(&mut owners, s, true),
+            TransitionActions::default()
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ struct LruStack {
 
 impl LruStack {
     fn new(capacity: usize) -> LruStack {
-        LruStack { capacity, entries: Vec::with_capacity(capacity) }
+        LruStack {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     fn lookup(&mut self, pc: u32) -> Option<u32> {
@@ -180,10 +183,15 @@ impl Icm {
         mem: &mut SparseMemory,
         mut checked: impl FnMut(&rse_isa::Inst) -> bool,
     ) {
-        let mut layout = CheckerLayout { base: self.config.checker_base, ..Default::default() };
+        let mut layout = CheckerLayout {
+            base: self.config.checker_base,
+            ..Default::default()
+        };
         for (i, &word) in image.text.iter().enumerate() {
             let pc = image.text_base + 4 * i as u32;
-            let Ok(inst) = rse_isa::decode(word) else { continue };
+            let Ok(inst) = rse_isa::decode(word) else {
+                continue;
+            };
             if checked(&inst) {
                 let idx = layout.pc_of_index.len() as u32;
                 layout.index_of_pc.insert(pc, idx);
@@ -221,7 +229,10 @@ impl Icm {
         let latency = self.config.compare_latency;
         let p = &mut self.pending[idx];
         let error = word != p.pipeline_word;
-        p.stage = Stage::Comp { done_at: now + latency, error };
+        p.stage = Stage::Comp {
+            done_at: now + latency,
+            error,
+        };
     }
 }
 
@@ -250,7 +261,8 @@ impl Module for Icm {
     }
 
     fn on_squash(&mut self, rob: RobId, _ctx: &mut ModuleCtx<'_>) {
-        self.pending.retain(|p| p.chk_rob != rob && p.inst_rob != rob);
+        self.pending
+            .retain(|p| p.chk_rob != rob && p.inst_rob != rob);
     }
 
     fn tick(&mut self, ctx: &mut ModuleCtx<'_>) {
@@ -268,7 +280,9 @@ impl Module for Icm {
                 continue;
             }
             let inst_rob = self.pending[i].inst_rob;
-            let Some(entry) = ctx.queues.fetch_out.get(inst_rob) else { continue };
+            let Some(entry) = ctx.queues.fetch_out.get(inst_rob) else {
+                continue;
+            };
             let (pc, word) = (entry.pc, entry.word);
             self.pending[i].pc = pc;
             self.pending[i].pipeline_word = word;
@@ -367,7 +381,10 @@ mod tests {
     fn icm_pipeline(src: &str) -> (Pipeline, Engine) {
         let image = assemble(src).expect("assembles");
         let mut cpu = Pipeline::new(
-            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+            PipelineConfig {
+                check_policy: CheckPolicy::ControlFlow,
+                ..PipelineConfig::default()
+            },
             MemorySystem::new(MemConfig::with_framework()),
         );
         cpu.load_image(&image);
@@ -405,7 +422,10 @@ mod tests {
         // hence checked). The redundant copy in CheckerMemory is clean, so
         // the ICM flags a mismatch, the pipeline flushes and refetches the
         // clean word, and the program still computes the right answer.
-        cpu.set_fetch_fault(Some(FetchFault { index: 3, xor_mask: 0x0000_0040 }));
+        cpu.set_fetch_fault(Some(FetchFault {
+            index: 3,
+            xor_mask: 0x0000_0040,
+        }));
         assert_eq!(cpu.run(&mut engine, 2_000_000), StepEvent::Halted);
         assert_eq!(cpu.regs()[8], 20, "architectural result must be preserved");
         let icm: &Icm = engine.module_ref(ModuleId::ICM).unwrap();
@@ -454,7 +474,10 @@ mod tests {
         // (t+5): ~3-4 cycles of potential stall per check. Amortized, the
         // commit stalls must stay within ~6 cycles per completed check.
         let per_check = cpu.stats().commit_stall_cycles as f64 / s.checks_completed as f64;
-        assert!(per_check <= 6.0, "hit-path stall too large: {per_check:.2} cycles/check");
+        assert!(
+            per_check <= 6.0,
+            "hit-path stall too large: {per_check:.2} cycles/check"
+        );
         // And the check result always arrived before the watchdog window.
         assert!(engine.safe_mode().is_none());
     }
@@ -490,7 +513,10 @@ mod tests {
                 MemorySystem::new(MemConfig::with_framework()),
             );
             cpu.load_image(&image);
-            let mut icm = Icm::new(IcmConfig { cache_entries, ..IcmConfig::default() });
+            let mut icm = Icm::new(IcmConfig {
+                cache_entries,
+                ..IcmConfig::default()
+            });
             icm.install_for_control_flow(&image, &mut cpu.mem_mut().memory);
             let mut engine = Engine::new(RseConfig::default());
             engine.install(Box::new(icm));

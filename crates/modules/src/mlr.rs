@@ -30,6 +30,7 @@ use rse_isa::image::{ExecHeader, HEADER_WORDS};
 use rse_isa::layout::PAGE_SIZE;
 use rse_isa::ModuleId;
 use rse_pipeline::RobId;
+use rse_support::rng::splitmix64;
 use std::any::Any;
 
 /// MLR configuration.
@@ -139,14 +140,6 @@ pub struct Mlr {
     stats: MlrStats,
     rng: u64,
     rng_seeded: bool,
-}
-
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl Mlr {
@@ -268,28 +261,43 @@ impl Module for Mlr {
                 ctx.mau_submit(MauRequest {
                     module: ModuleId::MLR,
                     addr: self.hdr_location,
-                    op: MauOp::Load { bytes: (HEADER_WORDS as u32) * 4 },
+                    op: MauOp::Load {
+                        bytes: (HEADER_WORDS as u32) * 4,
+                    },
                     tag: chk.rob.0,
                 });
-                self.current = Some(Op::PiRand { rob: chk.rob, stage: PiStage::LoadHeader });
+                self.current = Some(Op::PiRand {
+                    rob: chk.rob,
+                    stage: PiStage::LoadHeader,
+                });
             }
             ops::MLR_COPY_GOT => {
                 ctx.mau_submit(MauRequest {
                     module: ModuleId::MLR,
                     addr: self.got_old,
-                    op: MauOp::Load { bytes: self.got_size },
+                    op: MauOp::Load {
+                        bytes: self.got_size,
+                    },
                     tag: chk.rob.0,
                 });
-                self.current = Some(Op::CopyGot { rob: chk.rob, loaded: false });
+                self.current = Some(Op::CopyGot {
+                    rob: chk.rob,
+                    loaded: false,
+                });
             }
             ops::MLR_WRITE_PLT => {
                 ctx.mau_submit(MauRequest {
                     module: ModuleId::MLR,
                     addr: self.plt_location,
-                    op: MauOp::Load { bytes: self.plt_size },
+                    op: MauOp::Load {
+                        bytes: self.plt_size,
+                    },
                     tag: chk.rob.0,
                 });
-                self.current = Some(Op::WritePlt { rob: chk.rob, stage: PltStage::Load });
+                self.current = Some(Op::WritePlt {
+                    rob: chk.rob,
+                    stage: PltStage::Load,
+                });
             }
             _ => {
                 // Unknown operation: fail the check so software notices.
@@ -313,7 +321,9 @@ impl Module for Mlr {
     fn tick(&mut self, ctx: &mut ModuleCtx<'_>) {
         let now = ctx.now;
         let completion = ctx.mau.take_completion(ModuleId::MLR);
-        let Some(op) = self.current.take() else { return };
+        let Some(op) = self.current.take() else {
+            return;
+        };
         match op {
             Op::PiRand { rob, stage } => match stage {
                 PiStage::LoadHeader => {
@@ -339,12 +349,18 @@ impl Module for Mlr {
                             }
                         }
                     } else {
-                        self.current = Some(Op::PiRand { rob, stage: PiStage::LoadHeader });
+                        self.current = Some(Op::PiRand {
+                            rob,
+                            stage: PiStage::LoadHeader,
+                        });
                     }
                 }
                 PiStage::Compute { until } => {
                     if now < until {
-                        self.current = Some(Op::PiRand { rob, stage: PiStage::Compute { until } });
+                        self.current = Some(Op::PiRand {
+                            rob,
+                            stage: PiStage::Compute { until },
+                        });
                         return;
                     }
                     let h = self.header.expect("header parsed");
@@ -364,14 +380,20 @@ impl Module for Mlr {
                         op: MauOp::Store { data },
                         tag: rob.0,
                     });
-                    self.current = Some(Op::PiRand { rob, stage: PiStage::StoreResults });
+                    self.current = Some(Op::PiRand {
+                        rob,
+                        stage: PiStage::StoreResults,
+                    });
                 }
                 PiStage::StoreResults => {
                     if completion.is_some() {
                         self.stats.pi_randomizations += 1;
                         ctx.complete_check(rob, Verdict::Pass);
                     } else {
-                        self.current = Some(Op::PiRand { rob, stage: PiStage::StoreResults });
+                        self.current = Some(Op::PiRand {
+                            rob,
+                            stage: PiStage::StoreResults,
+                        });
                     }
                 }
             },
@@ -384,7 +406,9 @@ impl Module for Mlr {
                         ctx.mau_submit(MauRequest {
                             module: ModuleId::MLR,
                             addr: self.got_new,
-                            op: MauOp::Store { data: self.got_buffer.clone() },
+                            op: MauOp::Store {
+                                data: self.got_buffer.clone(),
+                            },
                             tag: rob.0,
                         });
                         self.current = Some(Op::CopyGot { rob, loaded: true });
@@ -401,33 +425,52 @@ impl Module for Mlr {
                     if let Some(comp) = completion {
                         self.plt_buffer = comp.data;
                         let entries = self.rewrite_plt_buffer();
-                        let cycles =
-                            entries.div_ceil(self.config.plt_rewrite_parallelism as u64).max(1);
-                        self.current =
-                            Some(Op::WritePlt { rob, stage: PltStage::Rewrite { until: now + cycles } });
+                        let cycles = entries
+                            .div_ceil(self.config.plt_rewrite_parallelism as u64)
+                            .max(1);
+                        self.current = Some(Op::WritePlt {
+                            rob,
+                            stage: PltStage::Rewrite {
+                                until: now + cycles,
+                            },
+                        });
                     } else {
-                        self.current = Some(Op::WritePlt { rob, stage: PltStage::Load });
+                        self.current = Some(Op::WritePlt {
+                            rob,
+                            stage: PltStage::Load,
+                        });
                     }
                 }
                 PltStage::Rewrite { until } => {
                     if now < until {
-                        self.current = Some(Op::WritePlt { rob, stage: PltStage::Rewrite { until } });
+                        self.current = Some(Op::WritePlt {
+                            rob,
+                            stage: PltStage::Rewrite { until },
+                        });
                         return;
                     }
                     ctx.mau_submit(MauRequest {
                         module: ModuleId::MLR,
                         addr: self.plt_location,
-                        op: MauOp::Store { data: self.plt_buffer.clone() },
+                        op: MauOp::Store {
+                            data: self.plt_buffer.clone(),
+                        },
                         tag: rob.0,
                     });
-                    self.current = Some(Op::WritePlt { rob, stage: PltStage::Store });
+                    self.current = Some(Op::WritePlt {
+                        rob,
+                        stage: PltStage::Store,
+                    });
                 }
                 PltStage::Store => {
                     if completion.is_some() {
                         self.stats.plt_rewrites += 1;
                         ctx.complete_check(rob, Verdict::Pass);
                     } else {
-                        self.current = Some(Op::WritePlt { rob, stage: PltStage::Store });
+                        self.current = Some(Op::WritePlt {
+                            rob,
+                            stage: PltStage::Store,
+                        });
                     }
                 }
             },
@@ -461,7 +504,10 @@ mod tests {
 
     fn engine_with_mlr(seed: Option<u64>) -> Engine {
         let mut engine = Engine::new(RseConfig::default());
-        engine.install(Box::new(Mlr::new(MlrConfig { seed, ..MlrConfig::default() })));
+        engine.install(Box::new(Mlr::new(MlrConfig {
+            seed,
+            ..MlrConfig::default()
+        })));
         engine.enable(ModuleId::MLR);
         engine
     }
@@ -514,7 +560,10 @@ mod tests {
         assert_ne!(stack, layout::STACK_BASE);
         assert_ne!(heap, layout::HEAP_BASE);
         // Offsets are page-aligned and displace in the right direction.
-        assert_eq!(shlib % layout::PAGE_SIZE, layout::SHLIB_BASE % layout::PAGE_SIZE);
+        assert_eq!(
+            shlib % layout::PAGE_SIZE,
+            layout::SHLIB_BASE % layout::PAGE_SIZE
+        );
         assert!(shlib > layout::SHLIB_BASE);
         assert!(stack < layout::STACK_BASE);
         assert!(heap > layout::HEAP_BASE);
@@ -590,7 +639,11 @@ mod tests {
         assert_eq!(mlr.stats().got_copies, 1);
         assert_eq!(mlr.stats().plt_rewrites, 1);
         assert_eq!(mlr.stats().plt_entries_rewritten, 2);
-        assert_eq!(mem.memory.read_u32(got_old + 12), 0x7777_8888, "old GOT intact");
+        assert_eq!(
+            mem.memory.read_u32(got_old + 12),
+            0x7777_8888,
+            "old GOT intact"
+        );
     }
 
     #[test]

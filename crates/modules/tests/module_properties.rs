@@ -1,9 +1,9 @@
 //! Property-based tests of the module-level invariants.
 
-use proptest::prelude::*;
 use rse_isa::layout::PAGE_SIZE;
 use rse_modules::ddt::{transition, Ddt, DdtConfig, PageOwners};
 use rse_modules::mlr::{Mlr, MlrConfig};
+use rse_support::prelude::*;
 use std::collections::HashMap;
 
 proptest! {
@@ -11,7 +11,7 @@ proptest! {
     /// trace through `debug_track_*` and independently through a naive
     /// map; ownership, dependency edges and SavePage counts must agree.
     #[test]
-    fn ddt_matches_shadow_model(trace in proptest::collection::vec(
+    fn ddt_matches_shadow_model(trace in rse_support::collection::vec(
         (0usize..6, 0u32..8, any::<bool>()), 1..300,
     )) {
         let mut ddt = Ddt::new(DdtConfig::default());
@@ -52,7 +52,7 @@ proptest! {
     /// access pattern — the Figure 9 "one thread, zero saved pages" fact
     /// as a property.
     #[test]
-    fn single_thread_never_saves(trace in proptest::collection::vec((0u32..16, any::<bool>()), 1..200)) {
+    fn single_thread_never_saves(trace in rse_support::collection::vec((0u32..16, any::<bool>()), 1..200)) {
         let mut ddt = Ddt::new(DdtConfig::default());
         ddt.set_current_thread(3);
         for (page, is_write) in trace {
@@ -97,6 +97,9 @@ fn taint_is_monotone_under_new_dependencies() {
     ddt.set_current_thread(3);
     ddt.debug_track_read(11); // 2 -> 3
     let after = ddt.tainted_by(1);
-    assert!(before.iter().all(|t| after.contains(t)), "{before:?} ⊄ {after:?}");
+    assert!(
+        before.iter().all(|t| after.contains(t)),
+        "{before:?} ⊄ {after:?}"
+    );
     assert!(after.contains(&3));
 }

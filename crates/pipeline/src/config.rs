@@ -121,7 +121,10 @@ impl PipelineConfig {
     /// The paper configuration with runtime ICM CHECKs on all
     /// control-flow instructions ("Framework + ICM" row of Table 4).
     pub fn with_control_flow_checks() -> PipelineConfig {
-        PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() }
+        PipelineConfig {
+            check_policy: CheckPolicy::ControlFlow,
+            ..PipelineConfig::default()
+        }
     }
 }
 
@@ -143,19 +146,43 @@ mod tests {
     #[test]
     fn control_flow_policy_selects_branches() {
         let p = CheckPolicy::ControlFlow;
-        assert!(p.wants_check(&Inst::Beq { rs: Reg::T0, rt: Reg::T1, off: 1 }));
+        assert!(p.wants_check(&Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            off: 1
+        }));
         assert!(p.wants_check(&Inst::Jal { target: 4 }));
         assert!(p.wants_check(&Inst::Jr { rs: Reg::RA }));
-        assert!(!p.wants_check(&Inst::Add { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 }));
-        assert!(!p.wants_check(&Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 0 }));
+        assert!(!p.wants_check(&Inst::Add {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2
+        }));
+        assert!(!p.wants_check(&Inst::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            off: 0
+        }));
     }
 
     #[test]
     fn memory_policy_selects_loads_stores() {
         let p = CheckPolicy::Memory;
-        assert!(p.wants_check(&Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 0 }));
-        assert!(p.wants_check(&Inst::Sb { rt: Reg::T0, base: Reg::SP, off: 0 }));
-        assert!(!p.wants_check(&Inst::Beq { rs: Reg::T0, rt: Reg::T1, off: 1 }));
+        assert!(p.wants_check(&Inst::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            off: 0
+        }));
+        assert!(p.wants_check(&Inst::Sb {
+            rt: Reg::T0,
+            base: Reg::SP,
+            off: 0
+        }));
+        assert!(!p.wants_check(&Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            off: 1
+        }));
     }
 
     #[test]

@@ -88,8 +88,14 @@ mod tests {
     #[test]
     fn signed_division() {
         let (rd, rs, rt) = r3();
-        assert_eq!(exec_alu(&Inst::Div { rd, rs, rt }, (-7i32) as u32, 2), Some((-3i32) as u32));
-        assert_eq!(exec_alu(&Inst::Rem { rd, rs, rt }, (-7i32) as u32, 2), Some((-1i32) as u32));
+        assert_eq!(
+            exec_alu(&Inst::Div { rd, rs, rt }, (-7i32) as u32, 2),
+            Some((-3i32) as u32)
+        );
+        assert_eq!(
+            exec_alu(&Inst::Rem { rd, rs, rt }, (-7i32) as u32, 2),
+            Some((-1i32) as u32)
+        );
         // Division by zero is total: result 0.
         assert_eq!(exec_alu(&Inst::Div { rd, rs, rt }, 5, 0), Some(0));
         // i32::MIN / -1 must not overflow-panic.
@@ -102,8 +108,14 @@ mod tests {
     #[test]
     fn comparisons_are_signed_and_unsigned() {
         let (rd, rs, rt) = r3();
-        assert_eq!(exec_alu(&Inst::Slt { rd, rs, rt }, -1i32 as u32, 1), Some(1));
-        assert_eq!(exec_alu(&Inst::Sltu { rd, rs, rt }, -1i32 as u32, 1), Some(0));
+        assert_eq!(
+            exec_alu(&Inst::Slt { rd, rs, rt }, -1i32 as u32, 1),
+            Some(1)
+        );
+        assert_eq!(
+            exec_alu(&Inst::Sltu { rd, rs, rt }, -1i32 as u32, 1),
+            Some(0)
+        );
     }
 
     #[test]
@@ -123,30 +135,79 @@ mod tests {
     #[test]
     fn immediates_sign_extend_where_specified() {
         assert_eq!(
-            exec_alu(&Inst::Addi { rt: Reg::T0, rs: Reg::T1, imm: -1 }, 10, 0),
+            exec_alu(
+                &Inst::Addi {
+                    rt: Reg::T0,
+                    rs: Reg::T1,
+                    imm: -1
+                },
+                10,
+                0
+            ),
             Some(9)
         );
         // Logical immediates zero-extend.
         assert_eq!(
-            exec_alu(&Inst::Ori { rt: Reg::T0, rs: Reg::T1, imm: 0xFFFF }, 0, 0),
+            exec_alu(
+                &Inst::Ori {
+                    rt: Reg::T0,
+                    rs: Reg::T1,
+                    imm: 0xFFFF
+                },
+                0,
+                0
+            ),
             Some(0xFFFF)
         );
-        assert_eq!(exec_alu(&Inst::Lui { rt: Reg::T0, imm: 0x1234 }, 0, 0), Some(0x1234_0000));
+        assert_eq!(
+            exec_alu(
+                &Inst::Lui {
+                    rt: Reg::T0,
+                    imm: 0x1234
+                },
+                0,
+                0
+            ),
+            Some(0x1234_0000)
+        );
     }
 
     #[test]
     fn branch_conditions() {
         let (_, rs, rt) = r3();
-        assert_eq!(branch_taken(&Inst::Beq { rs, rt, off: 0 }, 3, 3), Some(true));
-        assert_eq!(branch_taken(&Inst::Bne { rs, rt, off: 0 }, 3, 3), Some(false));
-        assert_eq!(branch_taken(&Inst::Blt { rs, rt, off: 0 }, -1i32 as u32, 0), Some(true));
-        assert_eq!(branch_taken(&Inst::Bge { rs, rt, off: 0 }, 0, 0), Some(true));
+        assert_eq!(
+            branch_taken(&Inst::Beq { rs, rt, off: 0 }, 3, 3),
+            Some(true)
+        );
+        assert_eq!(
+            branch_taken(&Inst::Bne { rs, rt, off: 0 }, 3, 3),
+            Some(false)
+        );
+        assert_eq!(
+            branch_taken(&Inst::Blt { rs, rt, off: 0 }, -1i32 as u32, 0),
+            Some(true)
+        );
+        assert_eq!(
+            branch_taken(&Inst::Bge { rs, rt, off: 0 }, 0, 0),
+            Some(true)
+        );
         assert_eq!(branch_taken(&Inst::Nop, 0, 0), None);
     }
 
     #[test]
     fn non_alu_returns_none() {
-        assert_eq!(exec_alu(&Inst::Lw { rt: Reg::T0, base: Reg::SP, off: 0 }, 0, 0), None);
+        assert_eq!(
+            exec_alu(
+                &Inst::Lw {
+                    rt: Reg::T0,
+                    base: Reg::SP,
+                    off: 0
+                },
+                0,
+                0
+            ),
+            None
+        );
         assert_eq!(exec_alu(&Inst::Syscall, 0, 0), None);
     }
 }

@@ -45,7 +45,13 @@ impl Golden {
         mem.write_bytes(image.data_base, &image.data);
         let mut regs = [0u32; 32];
         regs[Reg::SP.index()] = layout::STACK_BASE - 16;
-        Golden { regs, pc: image.entry, mem, executed: 0, halted: false }
+        Golden {
+            regs,
+            pc: image.entry,
+            mem,
+            executed: 0,
+            halted: false,
+        }
     }
 
     /// Whether a `halt` has executed.
@@ -117,23 +123,21 @@ impl Golden {
                         next = inst.direct_target(self.pc).unwrap_or(next);
                     }
                 }
-                InstClass::Jump => {
-                    match inst {
-                        Inst::J { .. } => next = inst.direct_target(self.pc).expect("direct"),
-                        Inst::Jal { .. } => {
-                            self.regs[Reg::RA.index()] = self.pc.wrapping_add(4);
-                            next = inst.direct_target(self.pc).expect("direct");
-                        }
-                        Inst::Jr { .. } => next = rs,
-                        Inst::Jalr { rd, .. } => {
-                            if !rd.is_zero() {
-                                self.regs[rd.index()] = self.pc.wrapping_add(4);
-                            }
-                            next = rs;
-                        }
-                        _ => {}
+                InstClass::Jump => match inst {
+                    Inst::J { .. } => next = inst.direct_target(self.pc).expect("direct"),
+                    Inst::Jal { .. } => {
+                        self.regs[Reg::RA.index()] = self.pc.wrapping_add(4);
+                        next = inst.direct_target(self.pc).expect("direct");
                     }
-                }
+                    Inst::Jr { .. } => next = rs,
+                    Inst::Jalr { rd, .. } => {
+                        if !rd.is_zero() {
+                            self.regs[rd.index()] = self.pc.wrapping_add(4);
+                        }
+                        next = rs;
+                    }
+                    _ => {}
+                },
                 InstClass::Syscall => {
                     self.pc = next;
                     return GoldenEvent::Syscall;
@@ -153,8 +157,14 @@ impl Golden {
 fn mem_offset(inst: &Inst) -> u32 {
     use Inst::*;
     match *inst {
-        Lw { off, .. } | Lh { off, .. } | Lhu { off, .. } | Lb { off, .. } | Lbu { off, .. }
-        | Sw { off, .. } | Sh { off, .. } | Sb { off, .. } => off as i32 as u32,
+        Lw { off, .. }
+        | Lh { off, .. }
+        | Lhu { off, .. }
+        | Lb { off, .. }
+        | Lbu { off, .. }
+        | Sw { off, .. }
+        | Sh { off, .. }
+        | Sb { off, .. } => off as i32 as u32,
         _ => 0,
     }
 }
@@ -166,10 +176,9 @@ mod tests {
 
     #[test]
     fn golden_runs_a_loop() {
-        let image = assemble(
-            "main: li r8, 0\nli r9, 10\nloop: addi r8, r8, 1\nbne r8, r9, loop\nhalt",
-        )
-        .unwrap();
+        let image =
+            assemble("main: li r8, 0\nli r9, 10\nloop: addi r8, r8, 1\nbne r8, r9, loop\nhalt")
+                .unwrap();
         let mut g = Golden::new(&image);
         assert_eq!(g.run(1_000_000), GoldenEvent::Halted);
         assert_eq!(g.regs[8], 10);

@@ -52,7 +52,7 @@ mod stats;
 
 pub use config::{CheckPolicy, PipelineConfig};
 pub use coproc::{
-    CoProcessor, CoprocException, CommitGate, DispatchInfo, ExecuteInfo, NullCoProcessor, RobId,
+    CoProcessor, CommitGate, CoprocException, DispatchInfo, ExecuteInfo, NullCoProcessor, RobId,
 };
 pub use exec::exec_alu;
 pub use golden::{Golden, GoldenEvent};

@@ -17,7 +17,7 @@
 //! restore the speculative file exactly.
 
 use crate::config::PipelineConfig;
-use crate::coproc::{CommitGate, CoProcessor, DispatchInfo, ExecuteInfo, RobId};
+use crate::coproc::{CoProcessor, CommitGate, DispatchInfo, ExecuteInfo, RobId};
 use crate::exec::{branch_taken, exec_alu};
 use crate::predictor::Predictor;
 use crate::stats::PipelineStats;
@@ -36,7 +36,10 @@ pub struct CpuContext {
 
 impl Default for CpuContext {
     fn default() -> CpuContext {
-        CpuContext { regs: [0; 32], pc: layout::TEXT_BASE }
+        CpuContext {
+            regs: [0; 32],
+            pc: layout::TEXT_BASE,
+        }
     }
 }
 
@@ -178,7 +181,9 @@ impl Pipeline {
     /// stack pointer to the top of the (nominal) stack.
     pub fn load_image(&mut self, image: &Image) {
         for (i, &word) in image.text.iter().enumerate() {
-            self.mem.memory.write_u32(image.text_base + 4 * i as u32, word);
+            self.mem
+                .memory
+                .write_u32(image.text_base + 4 * i as u32, word);
         }
         self.mem.memory.write_bytes(image.data_base, &image.data);
         self.mem.invalidate_caches();
@@ -242,7 +247,10 @@ impl Pipeline {
             State::WaitSyscall { resume_pc } => resume_pc,
             _ => self.fetch_pc,
         };
-        CpuContext { regs: self.arch_regs, pc }
+        CpuContext {
+            regs: self.arch_regs,
+            pc,
+        }
     }
 
     /// Installs an execution context (guest OS context switch).
@@ -324,7 +332,9 @@ impl Pipeline {
 
     fn commit_stage(&mut self, cp: &mut dyn CoProcessor) -> Option<StepEvent> {
         for _ in 0..self.config.commit_width {
-            let Some(head) = self.rob.front() else { return None };
+            let Some(head) = self.rob.front() else {
+                return None;
+            };
             if head.state != EntryState::Done {
                 return None;
             }
@@ -395,7 +405,9 @@ impl Pipeline {
                 // Serialization guaranteed nothing younger dispatched;
                 // discard whatever fetch ran ahead with.
                 self.flush_all(cp);
-                self.state = State::WaitSyscall { resume_pc: entry.pc.wrapping_add(4) };
+                self.state = State::WaitSyscall {
+                    resume_pc: entry.pc.wrapping_add(4),
+                };
                 self.stats.syscalls += 1;
                 Some(StepEvent::Syscall)
             }
@@ -595,7 +607,9 @@ impl Pipeline {
             if self.serialize || self.rob.len() >= self.config.rob_size {
                 break;
             }
-            let Some(front) = self.fetch_queue.front() else { break };
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
             if front.inst.class().is_mem() && self.lsq_count() >= self.config.lsq_size {
                 break;
             }
@@ -702,13 +716,18 @@ impl Pipeline {
                     Inst::Sh { .. } => 2,
                     _ => 4,
                 };
-                entry.store = Some(StoreData { addr, width, value: rt_val });
+                entry.store = Some(StoreData {
+                    addr,
+                    width,
+                    value: rt_val,
+                });
             }
             InstClass::Branch => {
                 let taken = branch_taken(&inst, rs_val, rt_val).unwrap_or(false);
                 entry.taken = taken;
                 entry.actual_next = if taken {
-                    inst.direct_target(entry.pc).unwrap_or(entry.pc.wrapping_add(4))
+                    inst.direct_target(entry.pc)
+                        .unwrap_or(entry.pc.wrapping_add(4))
                 } else {
                     entry.pc.wrapping_add(4)
                 };
@@ -748,8 +767,7 @@ impl Pipeline {
         const LINE_BYTES: u32 = 32;
         let mut fetched = 0usize;
         let mut line_this_cycle: Option<u32> = None;
-        while fetched < self.config.fetch_width
-            && self.fetch_queue.len() < self.config.fetch_buffer
+        while fetched < self.config.fetch_width && self.fetch_queue.len() < self.config.fetch_buffer
         {
             let pc = self.fetch_pc;
             let line = pc / LINE_BYTES;
@@ -786,7 +804,9 @@ impl Pipeline {
             // The fault is consumed only when the word is actually pushed
             // into the fetch queue (a CHECK-injection pass over the same
             // word must not eat it).
-            let corrupting = self.fetch_fault.is_some_and(|f| f.index == self.fetch_count);
+            let corrupting = self
+                .fetch_fault
+                .is_some_and(|f| f.index == self.fetch_count);
             if corrupting {
                 word ^= self.fetch_fault.expect("checked").xor_mask;
             }
@@ -816,7 +836,13 @@ impl Pipeline {
             }
             self.fetch_count += 1;
             let pred_next = self.pred.predict_next(pc, &inst);
-            self.fetch_queue.push_back(FetchedInst { pc, word, inst, pred_next, injected: false });
+            self.fetch_queue.push_back(FetchedInst {
+                pc,
+                word,
+                inst,
+                pred_next,
+                injected: false,
+            });
             self.stats.fetched += 1;
             fetched += 1;
             self.fetch_pc = pred_next;
@@ -831,8 +857,14 @@ impl Pipeline {
 fn load_store_offset(inst: &Inst) -> u32 {
     use Inst::*;
     match *inst {
-        Lw { off, .. } | Lh { off, .. } | Lhu { off, .. } | Lb { off, .. } | Lbu { off, .. }
-        | Sw { off, .. } | Sh { off, .. } | Sb { off, .. } => off as i32 as u32,
+        Lw { off, .. }
+        | Lh { off, .. }
+        | Lhu { off, .. }
+        | Lb { off, .. }
+        | Lbu { off, .. }
+        | Sw { off, .. }
+        | Sh { off, .. }
+        | Sb { off, .. } => off as i32 as u32,
         _ => 0,
     }
 }
@@ -846,8 +878,10 @@ mod tests {
 
     fn run_program(src: &str) -> Pipeline {
         let image = assemble(src).expect("assembles");
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         cpu.load_image(&image);
         let ev = cpu.run(&mut NullCoProcessor, 1_000_000);
         assert_eq!(ev, StepEvent::Halted, "program did not halt");
@@ -991,8 +1025,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         cpu.load_image(&image);
         let ev = cpu.run(&mut NullCoProcessor, 100_000);
         assert_eq!(ev, StepEvent::Syscall);
@@ -1007,8 +1043,10 @@ mod tests {
     #[test]
     fn context_switch_roundtrip() {
         let image = assemble("main: syscall\nhalt").unwrap();
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         cpu.load_image(&image);
         assert_eq!(cpu.run(&mut NullCoProcessor, 10_000), StepEvent::Syscall);
         let saved = cpu.context();
@@ -1031,12 +1069,17 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         cpu.load_image(&image);
         // Corrupt the add (3rd fetched word) into an undecodable word:
         // it executes as a NOP, so r10 stays 0.
-        cpu.set_fetch_fault(Some(FetchFault { index: 2, xor_mask: 0x7C00_0000 }));
+        cpu.set_fetch_fault(Some(FetchFault {
+            index: 2,
+            xor_mask: 0x7C00_0000,
+        }));
         assert_eq!(cpu.run(&mut NullCoProcessor, 100_000), StepEvent::Halted);
         assert_eq!(cpu.regs()[10], 0);
         assert_eq!(cpu.regs()[8], 1);
@@ -1054,8 +1097,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut base =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut base = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         base.load_image(&image);
         base.run(&mut NullCoProcessor, 1_000_000);
         let mut checked = Pipeline::new(
@@ -1064,7 +1109,10 @@ mod tests {
         );
         checked.load_image(&image);
         checked.run(&mut NullCoProcessor, 1_000_000);
-        assert_eq!(base.stats().committed_program(), checked.stats().committed_program());
+        assert_eq!(
+            base.stats().committed_program(),
+            checked.stats().committed_program()
+        );
         assert!(checked.stats().committed_injected_chk >= 10);
         assert_eq!(base.regs()[8], checked.regs()[8]);
     }
@@ -1078,8 +1126,10 @@ mod tests {
         }
         src.push_str("halt\n");
         let image = assemble(&src).unwrap();
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         cpu.load_image(&image);
         let mut cp = NullCoProcessor;
         loop {
@@ -1110,8 +1160,10 @@ mod tests {
     #[test]
     fn freeze_delays_progress() {
         let image = assemble("main: li r8, 1\nhalt").unwrap();
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         cpu.load_image(&image);
         cpu.freeze_for(500);
         assert_eq!(cpu.run(&mut NullCoProcessor, 100_000), StepEvent::Halted);

@@ -16,7 +16,11 @@ pub struct PredictorConfig {
 
 impl Default for PredictorConfig {
     fn default() -> PredictorConfig {
-        PredictorConfig { bimodal_entries: 2048, btb_entries: 512, ras_depth: 8 }
+        PredictorConfig {
+            bimodal_entries: 2048,
+            btb_entries: 512,
+            ras_depth: 8,
+        }
     }
 }
 
@@ -90,9 +94,11 @@ impl Predictor {
                     self.push_ras(fall_through);
                     self.btb_lookup(pc).unwrap_or(fall_through)
                 }
-                Inst::Jr { rs } if rs == rse_isa::Reg::RA => {
-                    self.ras.pop().or_else(|| self.btb_lookup(pc)).unwrap_or(fall_through)
-                }
+                Inst::Jr { rs } if rs == rse_isa::Reg::RA => self
+                    .ras
+                    .pop()
+                    .or_else(|| self.btb_lookup(pc))
+                    .unwrap_or(fall_through),
                 Inst::Jr { .. } => self.btb_lookup(pc).unwrap_or(fall_through),
                 _ => fall_through,
             },
@@ -148,7 +154,11 @@ mod tests {
     fn bimodal_learns_taken_loop() {
         let mut p = Predictor::default();
         let pc = 0x40_0010;
-        let b = Inst::Bne { rs: Reg::T0, rt: Reg::ZERO, off: -4 };
+        let b = Inst::Bne {
+            rs: Reg::T0,
+            rt: Reg::ZERO,
+            off: -4,
+        };
         let target = b.direct_target(pc).unwrap();
         // Initially weakly-not-taken → predicts fall-through.
         assert_eq!(p.predict_next(pc, &b), pc + 4);
@@ -164,15 +174,22 @@ mod tests {
     #[test]
     fn direct_jumps_always_predicted() {
         let mut p = Predictor::default();
-        let j = Inst::J { target: 0x1000 >> 2 };
-        assert_eq!(p.predict_next(0x40_0000, &j), j.direct_target(0x40_0000).unwrap());
+        let j = Inst::J {
+            target: 0x1000 >> 2,
+        };
+        assert_eq!(
+            p.predict_next(0x40_0000, &j),
+            j.direct_target(0x40_0000).unwrap()
+        );
     }
 
     #[test]
     fn ras_predicts_returns() {
         let mut p = Predictor::default();
         let call_pc = 0x40_0100;
-        let jal = Inst::Jal { target: 0x2000 >> 2 };
+        let jal = Inst::Jal {
+            target: 0x2000 >> 2,
+        };
         p.predict_next(call_pc, &jal); // pushes return address
         let ret = Inst::Jr { rs: Reg::RA };
         assert_eq!(p.predict_next(0x40_2000, &ret), call_pc + 4);
@@ -191,9 +208,17 @@ mod tests {
 
     #[test]
     fn ras_depth_bounded() {
-        let mut p = Predictor::new(PredictorConfig { ras_depth: 2, ..Default::default() });
+        let mut p = Predictor::new(PredictorConfig {
+            ras_depth: 2,
+            ..Default::default()
+        });
         for i in 0..5u32 {
-            p.predict_next(0x100 + 8 * i, &Inst::Jal { target: 0x4000 >> 2 });
+            p.predict_next(
+                0x100 + 8 * i,
+                &Inst::Jal {
+                    target: 0x4000 >> 2,
+                },
+            );
         }
         assert_eq!(p.ras.len(), 2);
     }

@@ -182,7 +182,10 @@ fn width_sweep_is_architecturally_neutral() {
         b.stats().cycles,
         a.stats().cycles
     );
-    assert!(b.stats().ipc() > 1.0, "the wide machine should exceed IPC 1 on this loop");
+    assert!(
+        b.stats().ipc() > 1.0,
+        "the wide machine should exceed IPC 1 on this loop"
+    );
 }
 
 /// Freeze windows (exception-handler time) delay but never corrupt.
@@ -190,8 +193,10 @@ fn width_sweep_is_architecturally_neutral() {
 fn freeze_mid_run_is_transparent() {
     let src = "main: li r8, 0\nli r9, 50\nloop: addi r8, r8, 1\nbne r8, r9, loop\nhalt";
     let image = assemble(src).unwrap();
-    let mut cpu =
-        Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::baseline()),
+    );
     cpu.load_image(&image);
     let mut cp = NullCoProcessor;
     // Single-step and freeze periodically.

@@ -1,0 +1,263 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Two generators cover every randomness need of the workspace:
+//!
+//! * [`SplitMix64`] — a tiny, fast, full-period 64-bit generator. Used
+//!   as the *seeder* for [`Xoshiro256StarStar`] and directly wherever a
+//!   simple deterministic stream suffices (workload data generation,
+//!   the MLR's randomized-offset draw, jitter in the AHBM evaluation).
+//! * [`Xoshiro256StarStar`] — xoshiro256\*\*, a 256-bit-state generator
+//!   with excellent statistical quality; the core generator behind the
+//!   property-testing harness in [`crate::pt`].
+//!
+//! Both are pure integer state machines: identical seeds produce
+//! identical streams on every host, which is the foundation of the
+//! repository's hermetic-reproduction policy (see `DESIGN.md`).
+
+use std::ops::Range;
+
+/// The SplitMix64 additive constant (golden-ratio based).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64: `state += gamma; output = mix(state)`.
+///
+/// The output function is Stafford's "mix13" finalizer. This generator
+/// is equidistributed over its full 2^64 period and is the standard
+/// choice for expanding a 64-bit seed into larger state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose *state* starts at `seed` (the first
+    /// output mixes `seed + GOLDEN_GAMMA`).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The raw internal state (useful for embedding the generator in a
+    /// struct that persists a plain `u64`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Advances a raw SplitMix64 state by one step and returns the output.
+///
+/// Free-function form for call sites that store the state as a bare
+/// `u64` field.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// xoshiro256\*\* 1.0 by Blackman & Vigna: 256-bit state, period
+/// 2^256 − 1, output scrambled with the `**` multiplier pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the 256-bit state from a 64-bit seed via SplitMix64, per
+    /// the generator authors' recommendation. The all-zero state (which
+    /// would be a fixed point) cannot arise from this expansion.
+    pub fn from_seed(seed: u64) -> Xoshiro256StarStar {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Integer types that can be drawn uniformly from a half-open range.
+pub trait RangeSample: Copy {
+    /// Maps one 64-bit draw into `range` (modulo reduction — uniform
+    /// enough for simulation/test purposes, and monotone in the draw,
+    /// which the shrinker in [`crate::pt`] relies on).
+    fn sample(draw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(draw: u64, range: Range<$t>) -> $t {
+                let lo = range.start as i128;
+                let hi = range.end as i128;
+                assert!(hi > lo, "gen_range: empty range");
+                let width = (hi - lo) as u128;
+                (lo + (draw as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The generator interface used across the workspace — the
+/// `gen_range`/`fill_bytes`/`shuffle` surface previously supplied by
+/// the external `rand` crate, as default methods over [`next_u64`].
+///
+/// [`next_u64`]: Rng::next_u64
+pub trait Rng {
+    /// The next 64 raw bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 raw bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// A fair coin flip.
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fills `dest` with raw stream bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` if empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First three outputs from state 0 (widely published vector).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn splitmix_free_function_matches_struct() {
+        let mut state = 0xDEAD_BEEFu64;
+        let mut sm = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..16 {
+            assert_eq!(splitmix64(&mut state), sm.next_u64());
+        }
+        assert_eq!(state, sm.state());
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed_and_repeat_by_seed() {
+        let mut a = Xoshiro256StarStar::from_seed(1);
+        let mut b = Xoshiro256StarStar::from_seed(2);
+        let mut a2 = Xoshiro256StarStar::from_seed(1);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let xs2: Vec<u64> = (0..32).map(|_| a2.next_u64()).collect();
+        assert_ne!(xs, ys);
+        assert_eq!(xs, xs2);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = Xoshiro256StarStar::from_seed(42);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..10);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+        // Signed ranges.
+        for _ in 0..100 {
+            let v = rng.gen_range(-5i16..5);
+            assert!((-5..5).contains(&v));
+        }
+        // Full-width range does not overflow.
+        let _ = rng.gen_range(1u64..u64::MAX);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the identity (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = SplitMix64::new(9);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert!(rng.choose(&[1, 2, 3]).is_some());
+    }
+}

@@ -34,7 +34,10 @@ pub struct CheckpointConfig {
 
 impl Default for CheckpointConfig {
     fn default() -> CheckpointConfig {
-        CheckpointConfig { capacity: 4096, gc_age_threshold: 50_000_000 }
+        CheckpointConfig {
+            capacity: 4096,
+            gc_age_threshold: 50_000_000,
+        }
     }
 }
 
@@ -55,7 +58,10 @@ pub struct CheckpointStore {
 impl CheckpointStore {
     /// Creates an empty store.
     pub fn new(config: CheckpointConfig) -> CheckpointStore {
-        CheckpointStore { config, ..CheckpointStore::default() }
+        CheckpointStore {
+            config,
+            ..CheckpointStore::default()
+        }
     }
 
     /// Number of live snapshots.
@@ -113,7 +119,10 @@ impl CheckpointStore {
     /// The *earliest* snapshot for `page` — restoring it undoes every
     /// update since the page was last in a clean (single-owner) state.
     pub fn earliest_for(&self, page: u32) -> Option<&Checkpoint> {
-        self.snapshots.iter().filter(|c| c.page == page).min_by_key(|c| c.saved_at)
+        self.snapshots
+            .iter()
+            .filter(|c| c.page == page)
+            .min_by_key(|c| c.saved_at)
     }
 
     /// Whether snapshots of `page` were deleted by garbage collection
@@ -140,7 +149,12 @@ mod tests {
     use super::*;
 
     fn cp(page: u32, saved_at: u64, fill: u8) -> Checkpoint {
-        Checkpoint { page, data: Box::new([fill; PAGE_SIZE as usize]), saved_at, writer: 0 }
+        Checkpoint {
+            page,
+            data: Box::new([fill; PAGE_SIZE as usize]),
+            saved_at,
+            writer: 0,
+        }
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod os;
 pub mod recovery;
 pub mod rerand;
 
-pub use checkpoint::{CheckpointStore, CheckpointConfig};
+pub use checkpoint::{CheckpointConfig, CheckpointStore};
 pub use os::{Os, OsConfig, OsExit, ThreadState};
 pub use recovery::{recover, RecoveryOutcome};

@@ -69,10 +69,15 @@ mod tests {
     #[test]
     fn header_lands_in_guest_memory() {
         let image = assemble("main: halt\n.data\nx: .word 7\n").unwrap();
-        let mut cpu =
-            Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::baseline()));
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
         let header = load_process(&mut cpu, &image);
-        assert_eq!(cpu.mem().memory.read_u32(HEADER_ADDR), rse_isa::image::HEADER_MAGIC);
+        assert_eq!(
+            cpu.mem().memory.read_u32(HEADER_ADDR),
+            rse_isa::image::HEADER_MAGIC
+        );
         let mut words = [0u32; HEADER_WORDS];
         for (i, w) in words.iter_mut().enumerate() {
             *w = cpu.mem().memory.read_u32(HEADER_ADDR + 4 * i as u32);

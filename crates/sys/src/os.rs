@@ -151,7 +151,10 @@ impl Os {
     pub fn new(config: OsConfig) -> Os {
         Os {
             config,
-            threads: vec![Thread { ctx: CpuContext::default(), state: ThreadState::Running }],
+            threads: vec![Thread {
+                ctx: CpuContext::default(),
+                state: ThreadState::Running,
+            }],
             current: 0,
             locks: HashMap::new(),
             checkpoints: CheckpointStore::new(config.checkpoints),
@@ -337,7 +340,8 @@ impl Os {
             syscalls::UNLOCK => {
                 if let Some(lock) = self.locks.get_mut(&a0) {
                     if lock.holder == Some(self.current) {
-                        if let Some(next) = (!lock.waiters.is_empty()).then(|| lock.waiters.remove(0))
+                        if let Some(next) =
+                            (!lock.waiters.is_empty()).then(|| lock.waiters.remove(0))
                         {
                             lock.holder = Some(next);
                             self.threads[next].state = ThreadState::Ready;
@@ -368,15 +372,17 @@ impl Os {
     fn handle_crash(&mut self, cpu: &mut Pipeline, engine: &mut Engine) -> Option<OsExit> {
         let faulty = self.current;
         self.threads[faulty].state = ThreadState::Crashed;
-        let ddt_active = engine.is_enabled(ModuleId::DDT)
-            && engine.module_ref::<Ddt>(ModuleId::DDT).is_some();
+        let ddt_active =
+            engine.is_enabled(ModuleId::DDT) && engine.module_ref::<Ddt>(ModuleId::DDT).is_some();
         if !ddt_active {
             return Some(OsExit::ProcessKilled {
                 reason: format!("thread {faulty} crashed; no DDT — kill-all policy"),
             });
         }
         let outcome = {
-            let ddt = engine.module_mut::<Ddt>(ModuleId::DDT).expect("checked above");
+            let ddt = engine
+                .module_mut::<Ddt>(ModuleId::DDT)
+                .expect("checked above");
             recovery::recover(faulty, ddt, &mut self.checkpoints, cpu.mem_mut())
         };
         self.stats.recoveries += 1;
@@ -489,7 +495,9 @@ impl Os {
                     return Some(if all_done {
                         OsExit::AllThreadsDone
                     } else {
-                        OsExit::ProcessKilled { reason: "deadlock: all threads waiting".into() }
+                        OsExit::ProcessKilled {
+                            reason: "deadlock: all threads waiting".into(),
+                        }
                     });
                 }
             }
@@ -549,7 +557,10 @@ mod tests {
         msg:    .asciiz "hello rse"
         "#;
         let (mut cpu, mut engine, mut os) = setup(src, OsConfig::default());
-        assert_eq!(os.run(&mut cpu, &mut engine, 1_000_000), OsExit::Exited { code: 0 });
+        assert_eq!(
+            os.run(&mut cpu, &mut engine, 1_000_000),
+            OsExit::Exited { code: 0 }
+        );
         assert_eq!(os.strings, vec!["hello rse".to_string()]);
     }
 
@@ -662,7 +673,11 @@ mod tests {
         let (mut cpu, mut engine, mut os) = setup(src, OsConfig::default());
         let exit = os.run(&mut cpu, &mut engine, 10_000_000);
         assert_eq!(exit, OsExit::Exited { code: 0 });
-        assert!(cpu.stats().cycles < 35_000, "I/O waits should overlap: {}", cpu.stats().cycles);
+        assert!(
+            cpu.stats().cycles < 35_000,
+            "I/O waits should overlap: {}",
+            cpu.stats().cycles
+        );
     }
 
     #[test]
@@ -683,7 +698,10 @@ mod tests {
                 syscall
                 halt
         "#;
-        let cfg = OsConfig { num_requests: 7, ..OsConfig::default() };
+        let cfg = OsConfig {
+            num_requests: 7,
+            ..OsConfig::default()
+        };
         let (mut cpu, mut engine, mut os) = setup(src, cfg);
         let exit = os.run(&mut cpu, &mut engine, 10_000_000);
         assert_eq!(exit, OsExit::Exited { code: 0 });
@@ -725,7 +743,10 @@ mod tests {
         w:      li   r2, 17
                 syscall
         "#;
-        let cfg = OsConfig { max_threads: 8, ..OsConfig::default() };
+        let cfg = OsConfig {
+            max_threads: 8,
+            ..OsConfig::default()
+        };
         let (mut cpu, mut engine, mut os) = setup(src, cfg);
         let exit = os.run(&mut cpu, &mut engine, 50_000_000);
         assert_eq!(exit, OsExit::Exited { code: 0 });
@@ -743,7 +764,10 @@ mod tests {
                 halt
         "#;
         let (mut cpu, mut engine, mut os) = setup(src, OsConfig::default());
-        assert_eq!(os.run(&mut cpu, &mut engine, 1_000_000), OsExit::Exited { code: 0 });
+        assert_eq!(
+            os.run(&mut cpu, &mut engine, 1_000_000),
+            OsExit::Exited { code: 0 }
+        );
         assert_eq!(cpu.regs()[10], u32::MAX);
     }
 
@@ -763,7 +787,10 @@ mod tests {
                 halt
         "#;
         let (mut cpu, mut engine, mut os) = setup(src, OsConfig::default());
-        assert_eq!(os.run(&mut cpu, &mut engine, 1_000_000), OsExit::Exited { code: 0 });
+        assert_eq!(
+            os.run(&mut cpu, &mut engine, 1_000_000),
+            OsExit::Exited { code: 0 }
+        );
         assert_eq!(cpu.regs()[8], 1);
     }
 

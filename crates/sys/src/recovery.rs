@@ -79,7 +79,12 @@ pub fn recover(
         ddt.forget_thread(victim);
     }
     ddt.purge_victim_pages(&terminated);
-    RecoveryOutcome { terminated, pages_restored, pages_unrestorable, whole_process: false }
+    RecoveryOutcome {
+        terminated,
+        pages_restored,
+        pages_unrestorable,
+        whole_process: false,
+    }
 }
 
 #[cfg(test)]
@@ -117,9 +122,14 @@ mod tests {
         ddt.debug_track_write(p3);
         ddt.set_current_thread(1);
         ddt.debug_track_read(p3); // logs t0 -> t1
-        // Pre-images for the three pages.
+                                  // Pre-images for the three pages.
         for (p, fill) in [(p1, 1u8), (p2, 2), (p3, 3)] {
-            store.store(Checkpoint { page: p, data: page_data(fill), saved_at: 10, writer: 0 });
+            store.store(Checkpoint {
+                page: p,
+                data: page_data(fill),
+                saved_at: 10,
+                writer: 0,
+            });
         }
         (ddt, store, mem)
     }
@@ -163,8 +173,18 @@ mod tests {
         ddt.set_current_thread(7);
         ddt.debug_track_write(p);
         // Two snapshots exist; the earlier one is the clean state.
-        store.store(Checkpoint { page: p, data: page_data(0xC1), saved_at: 5, writer: 7 });
-        store.store(Checkpoint { page: p, data: page_data(0xC2), saved_at: 9, writer: 7 });
+        store.store(Checkpoint {
+            page: p,
+            data: page_data(0xC1),
+            saved_at: 5,
+            writer: 7,
+        });
+        store.store(Checkpoint {
+            page: p,
+            data: page_data(0xC2),
+            saved_at: 9,
+            writer: 7,
+        });
         let outcome = recover(7, &mut ddt, &mut store, &mut mem);
         assert_eq!(outcome.pages_restored, vec![p]);
         assert_eq!(mem.memory.read_u8(page_base(p)), 0xC1);
@@ -175,13 +195,25 @@ mod tests {
         let mut ddt = Ddt::new(DdtConfig::default());
         let mut mem = MemorySystem::new(MemConfig::baseline());
         // Tiny store: force garbage collection of the needed page.
-        let mut store =
-            CheckpointStore::new(CheckpointConfig { capacity: 1, gc_age_threshold: 1 });
+        let mut store = CheckpointStore::new(CheckpointConfig {
+            capacity: 1,
+            gc_age_threshold: 1,
+        });
         let p = 0x60;
         ddt.set_current_thread(1);
         ddt.debug_track_write(p);
-        store.store(Checkpoint { page: p, data: page_data(1), saved_at: 0, writer: 1 });
-        store.store(Checkpoint { page: 0x61, data: page_data(2), saved_at: 100, writer: 1 });
+        store.store(Checkpoint {
+            page: p,
+            data: page_data(1),
+            saved_at: 0,
+            writer: 1,
+        });
+        store.store(Checkpoint {
+            page: 0x61,
+            data: page_data(2),
+            saved_at: 100,
+            writer: 1,
+        });
         assert!(store.was_collected(p));
         let outcome = recover(1, &mut ddt, &mut store, &mut mem);
         assert!(outcome.whole_process);

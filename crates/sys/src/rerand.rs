@@ -79,7 +79,9 @@ pub fn rerandomize_segment(
     cpu.mem().memory.read_bytes(old_base, &mut bytes);
     cpu.mem_mut().memory.write_bytes(new_base, &bytes);
     // Scrub the old location so stale copies are not a leak.
-    cpu.mem_mut().memory.write_bytes(old_base, &vec![0u8; len as usize]);
+    cpu.mem_mut()
+        .memory
+        .write_bytes(old_base, &vec![0u8; len as usize]);
     // Redirect the registered pointers.
     let count = cpu.mem().memory.read_u32(ptr_table);
     let mut rewritten = 0;
@@ -93,7 +95,9 @@ pub fn rerandomize_segment(
         };
         let value = cpu.mem().memory.read_u32(slot);
         if value >= old_base && value < old_base.wrapping_add(len) {
-            cpu.mem_mut().memory.write_u32(slot, value.wrapping_add(delta));
+            cpu.mem_mut()
+                .memory
+                .write_u32(slot, value.wrapping_add(delta));
             rewritten += 1;
         }
     }
@@ -102,7 +106,12 @@ pub fn rerandomize_segment(
     let dram = DramConfig::with_arbiter();
     let cycles_charged = 2 * dram.transfer_cycles(len) + 4 * count as u64;
     cpu.freeze_for(cycles_charged);
-    RerandOutcome { old_base, new_base, pointers_rewritten: rewritten, cycles_charged }
+    RerandOutcome {
+        old_base,
+        new_base,
+        pointers_rewritten: rewritten,
+        cycles_charged,
+    }
 }
 
 /// Convenience for plans: fires if due, updating the plan's base.
@@ -171,12 +180,20 @@ mod tests {
             MemorySystem::new(MemConfig::with_framework()),
         );
         crate::loader::load_process(&mut cpu, &image);
-        let mut mlr = Mlr::new(MlrConfig { seed: Some(99), ..MlrConfig::default() });
+        let mut mlr = Mlr::new(MlrConfig {
+            seed: Some(99),
+            ..MlrConfig::default()
+        });
         let mut os = crate::Os::new(crate::OsConfig::default());
         let mut engine = rse_core::Engine::new(rse_core::RseConfig::default());
         // Drive manually: re-randomize at every other syscall pause.
         let mut bases = vec![seg];
-        let mut plan = RerandPlan { interval: 0, ptr_table: ptrtab, base: seg, len: 8192 };
+        let mut plan = RerandPlan {
+            interval: 0,
+            ptr_table: ptrtab,
+            base: seg,
+            len: 8192,
+        };
         let mut rounds = 0;
         let exit = loop {
             match cpu.run(&mut engine, 10_000_000) {
@@ -203,7 +220,12 @@ mod tests {
             }
         };
         assert_eq!(exit, crate::OsExit::Exited { code: 0 });
-        assert_eq!(os.output, vec![106], "datum survived {} moves", bases.len() - 1);
+        assert_eq!(
+            os.output,
+            vec![106],
+            "datum survived {} moves",
+            bases.len() - 1
+        );
         assert!(bases.len() >= 3, "the segment moved repeatedly");
         // The datum lives at the final base; the original page is scrubbed.
         assert_eq!(cpu.mem().memory.read_u32(plan.base), 106);
@@ -232,7 +254,10 @@ mod tests {
         // Point the registered slot somewhere outside the segment.
         let ptr_slot = image.symbol("ptr").unwrap();
         cpu.mem_mut().memory.write_u32(ptr_slot, 0x4444_0000);
-        let mut mlr = Mlr::new(MlrConfig { seed: Some(5), ..MlrConfig::default() });
+        let mut mlr = Mlr::new(MlrConfig {
+            seed: Some(5),
+            ..MlrConfig::default()
+        });
         let out = rerandomize_segment(&mut cpu, &mut mlr, ptrtab, seg, 8192);
         assert_eq!(out.pointers_rewritten, 0);
         assert_eq!(cpu.mem().memory.read_u32(ptr_slot), 0x4444_0000);

@@ -19,8 +19,7 @@ pub enum StaticInsert {
 }
 
 const CONTROL_FLOW_MNEMONICS: &[&str] = &[
-    "beq", "bne", "blt", "bge", "ble", "bgt", "beqz", "bnez", "b", "j", "jal", "jr", "jalr",
-    "ret",
+    "beq", "bne", "blt", "bge", "ble", "bgt", "beqz", "bnez", "b", "j", "jal", "jr", "jalr", "ret",
 ];
 
 fn is_control_flow_line(line: &str) -> bool {
@@ -33,7 +32,9 @@ fn is_control_flow_line(line: &str) -> bool {
         }
         body = tail[1..].trim_start();
     }
-    let Some(mnemonic) = body.split_whitespace().next() else { return false };
+    let Some(mnemonic) = body.split_whitespace().next() else {
+        return false;
+    };
     CONTROL_FLOW_MNEMONICS.contains(&mnemonic.to_ascii_lowercase().as_str())
 }
 

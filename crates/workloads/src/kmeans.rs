@@ -29,7 +29,13 @@ impl Default for KmeansParams {
     fn default() -> KmeansParams {
         // The paper's configuration ("The original source code contains 3
         // iterations, 200 patterns, and 16 clusters").
-        KmeansParams { patterns: 200, dims: 8, clusters: 16, iters: 3, seed: 0xBEE5 }
+        KmeansParams {
+            patterns: 200,
+            dims: 8,
+            clusters: 16,
+            iters: 3,
+            seed: 0xBEE5,
+        }
     }
 }
 
@@ -39,7 +45,13 @@ impl KmeansParams {
     /// patterns from memory — the data-side traffic that makes the
     /// framework's memory arbiter visible.
     pub fn table4() -> KmeansParams {
-        KmeansParams { patterns: 8000, dims: 16, clusters: 4, iters: 3, seed: 0xBEE5 }
+        KmeansParams {
+            patterns: 8000,
+            dims: 16,
+            clusters: 4,
+            iters: 3,
+            seed: 0xBEE5,
+        }
     }
 }
 
@@ -276,7 +288,13 @@ mod tests {
 
     #[test]
     fn small_kmeans_matches_host_reference() {
-        let p = KmeansParams { patterns: 24, dims: 4, clusters: 4, iters: 2, seed: 7 };
+        let p = KmeansParams {
+            patterns: 24,
+            dims: 4,
+            clusters: 4,
+            iters: 2,
+            seed: 7,
+        };
         let (out, _) = run(&p);
         let (c00, _) = reference(&p);
         assert_eq!(out, vec![c00 as i32]);
@@ -292,15 +310,25 @@ mod tests {
         let image = assemble(&source(&p)).unwrap();
         let base = image.symbol("assign").unwrap();
         for (i, &a) in assign.iter().enumerate() {
-            assert_eq!(cpu.mem().memory.read_u32(base + 4 * i as u32), a, "pattern {i}");
+            assert_eq!(
+                cpu.mem().memory.read_u32(base + 4 * i as u32),
+                a,
+                "pattern {i}"
+            );
         }
         assert!(cpu.stats().cycles > 100_000, "non-trivial workload");
     }
 
     #[test]
     fn different_seeds_change_results() {
-        let a = reference(&KmeansParams { seed: 1, ..KmeansParams::default() });
-        let b = reference(&KmeansParams { seed: 2, ..KmeansParams::default() });
+        let a = reference(&KmeansParams {
+            seed: 1,
+            ..KmeansParams::default()
+        });
+        let b = reference(&KmeansParams {
+            seed: 2,
+            ..KmeansParams::default()
+        });
         assert_ne!(a.1, b.1);
     }
 }

@@ -38,23 +38,27 @@ pub mod place;
 pub mod route;
 pub mod server;
 
-/// A deterministic host-side generator for workload data (splitmix64).
+/// A deterministic host-side generator for workload data: a thin
+/// wrapper holding a raw [`rse_support::rng::SplitMix64`] state (the
+/// single PRNG family used across the workspace; see `DESIGN.md`).
 #[derive(Debug, Clone)]
 pub struct DataRng(pub u64);
 
 impl DataRng {
     /// Next 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        rse_support::rng::splitmix64(&mut self.0)
     }
 
     /// Uniform value in `0..bound`.
     pub fn below(&mut self, bound: u32) -> u32 {
         (self.next_u64() % bound as u64) as u32
+    }
+}
+
+impl rse_support::rng::Rng for DataRng {
+    fn next_u64(&mut self) -> u64 {
+        DataRng::next_u64(self)
     }
 }
 

@@ -131,9 +131,8 @@ pub fn verify_relocation(
     let got_new = image.symbol("got_new").expect("got_new symbol");
     let plt = image.symbol("plt").expect("plt symbol");
     let n = p.got_entries;
-    let got_ok = (0..n).all(|i| {
-        mem.memory.read_u32(got_new + 4 * i) == mem.memory.read_u32(got_old + 4 * i)
-    });
+    let got_ok = (0..n)
+        .all(|i| mem.memory.read_u32(got_new + 4 * i) == mem.memory.read_u32(got_old + 4 * i));
     let plt_ok = (0..n).all(|i| mem.memory.read_u32(plt + 8 * i + 4) == got_new + 4 * i);
     (got_ok, plt_ok)
 }
@@ -203,7 +202,10 @@ mod tests {
             "TRR instructions must grow with the table"
         );
         // Hardware version executes the same handful of instructions.
-        assert_eq!(rse_s.stats().committed_program(), rse_l.stats().committed_program());
+        assert_eq!(
+            rse_s.stats().committed_program(),
+            rse_l.stats().committed_program()
+        );
         // And is faster at every size.
         assert!(rse_s.stats().cycles < trr_s.stats().cycles);
         assert!(rse_l.stats().cycles < trr_l.stats().cycles);

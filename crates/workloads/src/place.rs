@@ -109,7 +109,9 @@ fn full_cost(d: &PlaceData) -> u32 {
 
 fn block_cost(d: &PlaceData, p: &PlaceParams, block: usize) -> u32 {
     let start = block * p.nets_per_block;
-    (start..start + p.nets_per_block).map(|n| net_len(d, n)).sum()
+    (start..start + p.nets_per_block)
+        .map(|n| net_len(d, n))
+        .sum()
 }
 
 /// Host-side reference of the exact guest algorithm; returns the final
@@ -193,7 +195,10 @@ fn emit_block(out: &mut String, d: &PlaceData, p: &PlaceParams, block: usize) {
 /// Generates the guest assembly. The program prints the final full
 /// wirelength.
 pub fn source(p: &PlaceParams) -> String {
-    assert!(p.cells * 4 <= 0x7FFF, "cell offsets must fit 16-bit immediates");
+    assert!(
+        p.cells * 4 <= 0x7FFF,
+        "cell offsets must fit 16-bit immediates"
+    );
     let d = generate(p);
     let data = [
         words("posx", &d.pos_x),
@@ -376,7 +381,10 @@ mod tests {
 
     #[test]
     fn annealing_improves_cost() {
-        let p = PlaceParams { iters: 600, ..PlaceParams::default() };
+        let p = PlaceParams {
+            iters: 600,
+            ..PlaceParams::default()
+        };
         let initial = full_cost(&generate(&p));
         let final_cost = reference(&p);
         assert!(
@@ -391,6 +399,10 @@ mod tests {
         let image = assemble(&source(&p)).expect("table4 place assembles");
         // Instruction footprint must exceed the 64 KB L2 I-cache to
         // produce the instruction-side memory traffic of vpr.
-        assert!(image.text.len() * 4 > 64 * 1024, "{} bytes", image.text.len() * 4);
+        assert!(
+            image.text.len() * 4 > 64 * 1024,
+            "{} bytes",
+            image.text.len() * 4
+        );
     }
 }

@@ -23,7 +23,12 @@ pub struct RouteParams {
 
 impl Default for RouteParams {
     fn default() -> RouteParams {
-        RouteParams { width: 24, nets: 12, block_pct: 15, seed: 0x707E }
+        RouteParams {
+            width: 24,
+            nets: 12,
+            block_pct: 15,
+            seed: 0x707E,
+        }
     }
 }
 
@@ -31,7 +36,12 @@ impl RouteParams {
     /// The Table 4 configuration: grid+distance+queue arrays ≈ 300 KB,
     /// streamed per net, exceeding the L2 D-cache.
     pub fn table4() -> RouteParams {
-        RouteParams { width: 160, nets: 20, block_pct: 12, seed: 0x707E }
+        RouteParams {
+            width: 160,
+            nets: 20,
+            block_pct: 12,
+            seed: 0x707E,
+        }
     }
 }
 
@@ -51,8 +61,9 @@ pub struct RouteData {
 pub fn generate(p: &RouteParams) -> RouteData {
     let mut rng = DataRng(p.seed);
     let cells = (p.width * p.width) as usize;
-    let mut grid: Vec<u32> =
-        (0..cells).map(|_| u32::from(rng.below(100) < p.block_pct)).collect();
+    let mut grid: Vec<u32> = (0..cells)
+        .map(|_| u32::from(rng.below(100) < p.block_pct))
+        .collect();
     let mut srcs = Vec::with_capacity(p.nets);
     let mut snks = Vec::with_capacity(p.nets);
     for _ in 0..p.nets {
@@ -169,7 +180,12 @@ pub fn source(p: &RouteParams) -> String {
     let d = generate(p);
     let w = p.width;
     let cells = w * w;
-    let data = [words("grid", &d.grid), words("srcs", &d.srcs), words("snks", &d.snks)].concat();
+    let data = [
+        words("grid", &d.grid),
+        words("srcs", &d.srcs),
+        words("snks", &d.snks),
+    ]
+    .concat();
     format!(
         r#"
 # BFS maze router: {w}x{w} grid, {nets} nets
@@ -370,7 +386,12 @@ mod tests {
 
     #[test]
     fn small_route_matches_host_reference() {
-        let p = RouteParams { width: 8, nets: 4, block_pct: 10, seed: 3 };
+        let p = RouteParams {
+            width: 8,
+            nets: 4,
+            block_pct: 10,
+            seed: 3,
+        };
         let (routed, wl) = reference(&p);
         assert_eq!(run(&p), vec![routed as i32, wl as i32]);
         assert!(routed > 0);
@@ -388,7 +409,12 @@ mod tests {
     #[test]
     fn congestion_blocks_later_nets() {
         // With many nets on a small grid, earlier paths block later nets.
-        let p = RouteParams { width: 8, nets: 24, block_pct: 10, seed: 11 };
+        let p = RouteParams {
+            width: 8,
+            nets: 24,
+            block_pct: 10,
+            seed: 11,
+        };
         let (routed, _) = reference(&p);
         assert!(routed < 24, "contention should defeat some nets");
     }

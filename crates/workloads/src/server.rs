@@ -29,7 +29,12 @@ pub struct ServerParams {
 
 impl Default for ServerParams {
     fn default() -> ServerParams {
-        ServerParams { threads: 4, work: 1200, shared_every: 8, slots: 32 }
+        ServerParams {
+            threads: 4,
+            work: 1200,
+            shared_every: 8,
+            slots: 32,
+        }
     }
 }
 
@@ -39,7 +44,10 @@ pub const MAX_THREADS: u32 = 16;
 
 /// Generates the guest assembly for the server.
 pub fn source(p: &ServerParams) -> String {
-    assert!(p.threads >= 1 && p.threads <= MAX_THREADS, "1..=16 threads supported");
+    assert!(
+        p.threads >= 1 && p.threads <= MAX_THREADS,
+        "1..=16 threads supported"
+    );
     let slot_stride = 512u32; // 8 slots per 4 KB page
     format!(
         r#"
@@ -188,7 +196,10 @@ mod tests {
             engine.install(Box::new(ddt));
             engine.enable(ModuleId::DDT);
         }
-        let mut os = Os::new(OsConfig { num_requests: requests, ..OsConfig::default() });
+        let mut os = Os::new(OsConfig {
+            num_requests: requests,
+            ..OsConfig::default()
+        });
         let exit = os.run(&mut cpu, &mut engine, 1_000_000_000);
         assert_eq!(exit, OsExit::Exited { code: 0 }, "server did not finish");
         (cpu, engine, os)
@@ -196,7 +207,10 @@ mod tests {
 
     #[test]
     fn serves_all_requests() {
-        let p = ServerParams { threads: 3, ..ServerParams::default() };
+        let p = ServerParams {
+            threads: 3,
+            ..ServerParams::default()
+        };
         let (_, _, os) = run(&p, 20, false);
         assert_eq!(os.output, vec![20]);
         assert_eq!(os.stats().requests_delivered, 20);
@@ -206,8 +220,14 @@ mod tests {
 
     #[test]
     fn more_threads_overlap_io() {
-        let p1 = ServerParams { threads: 1, ..ServerParams::default() };
-        let p4 = ServerParams { threads: 4, ..ServerParams::default() };
+        let p1 = ServerParams {
+            threads: 1,
+            ..ServerParams::default()
+        };
+        let p4 = ServerParams {
+            threads: 4,
+            ..ServerParams::default()
+        };
         let (c1, _, _) = run(&p1, 24, false);
         let (c4, _, _) = run(&p4, 24, false);
         assert!(
@@ -220,10 +240,16 @@ mod tests {
 
     #[test]
     fn ddt_tracks_sharing_and_saves_pages() {
-        let p = ServerParams { threads: 4, ..ServerParams::default() };
+        let p = ServerParams {
+            threads: 4,
+            ..ServerParams::default()
+        };
         let (_, mut engine, os) = run(&p, 32, true);
         let ddt: &mut Ddt = engine.module_mut(ModuleId::DDT).unwrap();
-        assert!(ddt.stats().pages_saved > 0, "cross-thread writes must checkpoint");
+        assert!(
+            ddt.stats().pages_saved > 0,
+            "cross-thread writes must checkpoint"
+        );
         assert!(ddt.stats().dependencies_logged > 0);
         assert_eq!(os.stats().pages_checkpointed, ddt.stats().pages_saved);
         assert!(!os.checkpoints.is_empty());
@@ -231,7 +257,10 @@ mod tests {
 
     #[test]
     fn single_thread_never_saves_pages() {
-        let p = ServerParams { threads: 1, ..ServerParams::default() };
+        let p = ServerParams {
+            threads: 1,
+            ..ServerParams::default()
+        };
         let (_, engine, _) = run(&p, 16, true);
         let ddt: &Ddt = engine.module_ref(ModuleId::DDT).unwrap();
         assert_eq!(ddt.stats().pages_saved, 0, "one writer owns everything");

@@ -94,7 +94,10 @@ fn main() {
     let (outcome, base) = run(true);
     println!("with MLR:    stack base {base:#010x} (randomized at load)");
     println!("             victim's call dispatched to ... {outcome}  (1 = legitimate)");
-    assert_eq!(outcome, 1, "the randomized layout defeats the hard-coded address");
+    assert_eq!(
+        outcome, 1,
+        "the randomized layout defeats the hard-coded address"
+    );
     assert_ne!(base, layout::STACK_BASE);
 
     println!("\nThe attacker's write landed on unmapped scratch space instead of the");

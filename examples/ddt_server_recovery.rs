@@ -128,8 +128,10 @@ const SRC: &str = r#"
 
 fn run(with_ddt: bool) -> (OsExit, Vec<i32>, Option<(Vec<usize>, Vec<u32>)>, Os) {
     let image = assemble(SRC).expect("assembles");
-    let mut cpu =
-        Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()));
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::with_framework()),
+    );
     rse::sys::loader::load_process(&mut cpu, &image);
     let mut engine = Engine::new(RseConfig::default());
     if with_ddt {
@@ -160,7 +162,10 @@ fn main() {
     let (terminated, restored) = recovery.expect("a recovery happened");
     println!("threads terminated by recovery: {terminated:?} (attacker=3, consumer=2)");
     println!("pages rolled back: {}", restored.len());
-    println!("shared[0] after rollback: {} (42 = the pre-attack value)", output[0]);
+    println!(
+        "shared[0] after rollback: {} (42 = the pre-attack value)",
+        output[0]
+    );
     println!("healthy worker completed units: {}", output[1]);
     assert_eq!(exit, OsExit::Exited { code: 0 });
     assert_eq!(terminated, vec![2, 3]);

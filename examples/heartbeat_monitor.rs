@@ -71,8 +71,10 @@ const SRC: &str = r#"
 
 fn main() {
     let image = assemble(SRC).expect("assembles");
-    let mut cpu =
-        Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()));
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::with_framework()),
+    );
     rse::sys::loader::load_process(&mut cpu, &image);
     let mut engine = Engine::new(RseConfig::default());
     engine.install(Box::new(Ahbm::new(AhbmConfig {
@@ -88,10 +90,14 @@ fn main() {
     let ahbm: &mut Ahbm = engine.module_mut(ModuleId::AHBM).expect("AHBM installed");
     let steady = *ahbm.entity(1).expect("registered");
     let wedged = *ahbm.entity(2).expect("registered");
-    println!("entity 1 (steady): alive={} beats={} adaptive timeout={} cycles",
-        steady.alive, steady.counter, steady.timeout);
-    println!("entity 2 (wedged): alive={} beats={} adaptive timeout={} cycles",
-        wedged.alive, wedged.counter, wedged.timeout);
+    println!(
+        "entity 1 (steady): alive={} beats={} adaptive timeout={} cycles",
+        steady.alive, steady.counter, steady.timeout
+    );
+    println!(
+        "entity 2 (wedged): alive={} beats={} adaptive timeout={} cycles",
+        wedged.alive, wedged.counter, wedged.timeout
+    );
     println!("failures declared: {:?}", ahbm.take_failed());
     assert!(steady.alive, "the steady worker must stay alive");
     assert!(!wedged.alive, "the wedged worker must be declared dead");

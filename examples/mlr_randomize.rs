@@ -59,16 +59,22 @@ fn load_once(run: u32) -> (u32, u32, u32) {
 }
 
 fn main() {
-    println!("nominal layout: shlib={:#010x} stack={:#010x} heap={:#010x}",
+    println!(
+        "nominal layout: shlib={:#010x} stack={:#010x} heap={:#010x}",
         rse::isa::layout::SHLIB_BASE,
         rse::isa::layout::STACK_BASE,
-        rse::isa::layout::HEAP_BASE);
+        rse::isa::layout::HEAP_BASE
+    );
     let first = load_once(1);
     let second = load_once(2);
-    println!("load #1:        shlib={:#010x} stack={:#010x} heap={:#010x}",
-        first.0, first.1, first.2);
-    println!("load #2:        shlib={:#010x} stack={:#010x} heap={:#010x}",
-        second.0, second.1, second.2);
+    println!(
+        "load #1:        shlib={:#010x} stack={:#010x} heap={:#010x}",
+        first.0, first.1, first.2
+    );
+    println!(
+        "load #2:        shlib={:#010x} stack={:#010x} heap={:#010x}",
+        second.0, second.1, second.2
+    );
     assert_ne!(first, second, "two loads must not share a layout");
     assert_ne!(first.1, rse::isa::layout::STACK_BASE);
     println!("\nAn attacker that hard-codes addresses from one run (e.g. a stack");

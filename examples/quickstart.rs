@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    runtime CHECK insertion on every control-flow instruction, and
     //    the RSE-attached memory configuration (arbiter in the DRAM path).
     let mut cpu = Pipeline::new(
-        PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+        PipelineConfig {
+            check_policy: CheckPolicy::ControlFlow,
+            ..PipelineConfig::default()
+        },
         MemorySystem::new(MemConfig::with_framework()),
     );
     cpu.load_image(&image);
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Corrupt the branch in flight: flip a bit of the 6th fetched
     //    word (the bne) as it leaves the I-cache.
-    cpu.set_fetch_fault(Some(FetchFault { index: 5, xor_mask: 0x0000_0020 }));
+    cpu.set_fetch_fault(Some(FetchFault {
+        index: 5,
+        xor_mask: 0x0000_0020,
+    }));
 
     // 5. Run. The ICM compares the corrupted word against its redundant
     //    copy, reports a mismatch, and the pipeline flushes and refetches
@@ -63,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mismatches detected = {}", icm.stats().mismatches);
     println!("pipeline flushes    = {}", cpu.stats().check_flushes);
     assert_eq!(cpu.regs()[9], 5050);
-    assert!(icm.stats().mismatches >= 1, "the injected fault must be detected");
+    assert!(
+        icm.stats().mismatches >= 1,
+        "the injected fault must be detected"
+    );
     Ok(())
 }

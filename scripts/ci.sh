@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the RSE workspace.
+#
+# Everything here must pass with zero network access: the workspace has
+# no external crate dependencies (see DESIGN.md, "Hermetic dependency
+# policy"), so --offline is load-bearing, not an optimisation.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo build --benches --offline"
+cargo build --benches --offline --workspace
+
+echo "== cargo test -q --offline (workspace)"
+cargo test -q --offline --workspace
+
+echo "CI OK"

@@ -1,0 +1,29 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sb r10, 192(r28)
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        mul r11, r18, r15
+        li   r26, 7
+L1:
+        add r17, r16, r26
+        add r19, r13, r26
+        xor r12, r11, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        srl r15, r15, 30
+        li   r26, 2
+L2:
+        sub r15, r16, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        sb r17, 24(r28)
+        addi r8, r12, -16015
+        sra r19, r12, 23
+        halt
+        .data
+        .align 4
+scratch: .space 256

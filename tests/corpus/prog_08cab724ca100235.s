@@ -1,0 +1,34 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        xor r13, r10, r15
+        lw r14, 36(r28)
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        li   r26, 4
+L2:
+        sub r9, r14, r26
+        add r10, r16, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        halt
+        .data
+        .align 4
+scratch: .space 256

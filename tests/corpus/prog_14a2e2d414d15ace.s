@@ -1,0 +1,93 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        ori r16, r15, 14251
+        li   r26, 1
+L0:
+        xor r14, r9, r26
+        add r18, r13, r26
+        add r17, r18, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        sh r13, 152(r28)
+        xor r8, r19, r17
+        lh r9, 80(r28)
+        li   r26, 1
+L1:
+        add r14, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        andi r27, r14, 1
+        bne  r27, r0, L2
+        addi r9, r9, 77
+L2:
+        lb r11, 8(r28)
+        andi r27, r18, 1
+        bne  r27, r0, L3
+        addi r8, r8, 77
+L3:
+        andi r8, r10, 56410
+        andi r27, r13, 1
+        bne  r27, r0, L4
+        addi r8, r8, 77
+L4:
+        andi r27, r8, 1
+        bne  r27, r0, L5
+        addi r11, r11, 77
+L5:
+        addi r10, r17, 8053
+        sw r9, 216(r28)
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        sw r10, 40(r28)
+        jal  F7
+        b    L7
+F7: addi r20, r20, 3
+        jr   ra
+L7:
+        ori r13, r11, 12288
+        jal  F8
+        b    L8
+F8: addi r20, r20, 3
+        jr   ra
+L8:
+        nor r13, r14, r11
+        sh r8, 84(r28)
+        andi r27, r15, 1
+        bne  r27, r0, L9
+        addi r9, r9, 77
+L9:
+        add r19, r18, r11
+        srl r10, r19, 20
+        li   r26, 1
+L10:
+        xor r10, r15, r26
+        add r19, r11, r26
+        sub r14, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L10
+        jal  F11
+        b    L11
+F11: addi r20, r20, 3
+        jr   ra
+L11:
+        ori r16, r16, 8344
+        or r11, r16, r18
+        jal  F12
+        b    L12
+F12: addi r20, r20, 3
+        jr   ra
+L12:
+        lh r9, 64(r28)
+        lw r14, 20(r28)
+        lb r10, 84(r28)
+        xori r12, r18, 4759
+        sra r9, r13, 15
+        sra r9, r14, 13
+        lh r15, 192(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,75 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        srl r15, r18, 16
+        lbu r17, 188(r28)
+        sb r19, 248(r28)
+        andi r27, r17, 1
+        bne  r27, r0, L0
+        addi r15, r15, 77
+L0:
+        li   r26, 7
+L1:
+        sub r15, r13, r26
+        xor r9, r12, r26
+        xor r14, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        lw r14, 36(r28)
+        li   r26, 6
+L2:
+        sub r10, r16, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        sll r10, r19, 26
+        add r9, r13, r19
+        andi r27, r14, 1
+        bne  r27, r0, L3
+        addi r16, r16, 77
+L3:
+        sh r12, 40(r28)
+        andi r27, r11, 1
+        bne  r27, r0, L4
+        addi r11, r11, 77
+L4:
+        nor r16, r17, r10
+        li   r26, 9
+L5:
+        xor r8, r14, r26
+        addi r26, r26, -1
+        bne  r26, r0, L5
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        addi r15, r17, -3494
+        jal  F7
+        b    L7
+F7: addi r20, r20, 3
+        jr   ra
+L7:
+        andi r27, r9, 1
+        bne  r27, r0, L8
+        addi r17, r17, 77
+L8:
+        xor r10, r15, r14
+        li   r26, 6
+L9:
+        add r17, r19, r26
+        sub r17, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L9
+        andi r27, r14, 1
+        bne  r27, r0, L10
+        addi r19, r19, 77
+L10:
+        li   r26, 9
+L11:
+        xor r16, r16, r26
+        sub r10, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L11
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,83 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        li   r26, 1
+L0:
+        xor r10, r10, r26
+        xor r14, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        andi r9, r19, 38110
+        sb r10, 12(r28)
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        lh r16, 192(r28)
+        addi r14, r19, -29574
+        lw r11, 4(r28)
+        slt r12, r13, r19
+        jal  F2
+        b    L2
+F2: addi r20, r20, 3
+        jr   ra
+L2:
+        sll r8, r14, 17
+        andi r27, r13, 1
+        bne  r27, r0, L3
+        addi r9, r9, 77
+L3:
+        andi r27, r16, 1
+        bne  r27, r0, L4
+        addi r16, r16, 77
+L4:
+        add r19, r14, r8
+        andi r27, r18, 1
+        bne  r27, r0, L5
+        addi r9, r9, 77
+L5:
+        sw r14, 20(r28)
+        sb r13, 144(r28)
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        jal  F7
+        b    L7
+F7: addi r20, r20, 3
+        jr   ra
+L7:
+        li   r26, 8
+L8:
+        xor r8, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L8
+        sra r12, r9, 31
+        and r16, r17, r13
+        xori r10, r15, 24347
+        slt r14, r9, r16
+        slt r11, r9, r10
+        li   r26, 4
+L9:
+        add r11, r18, r26
+        sub r10, r18, r26
+        add r19, r12, r26
+        addi r26, r26, -1
+        bne  r26, r0, L9
+        sll r12, r15, 8
+        lb r10, 132(r28)
+        nor r15, r15, r14
+        sw r14, 48(r28)
+        sw r10, 148(r28)
+        xori r9, r15, 57722
+        sra r14, r17, 5
+        li   r26, 9
+L10:
+        add r15, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L10
+        halt
+        .data
+        .align 4
+scratch: .space 256

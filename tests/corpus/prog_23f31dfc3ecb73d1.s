@@ -1,0 +1,101 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sra r19, r12, 19
+        sb r10, 188(r28)
+        li   r26, 3
+L0:
+        xor r14, r16, r26
+        xor r17, r17, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        srl r8, r12, 25
+        or r19, r19, r18
+        add r8, r12, r8
+        lbu r11, 8(r28)
+        xor r10, r17, r13
+        andi r27, r16, 1
+        bne  r27, r0, L1
+        addi r17, r17, 77
+L1:
+        xori r13, r18, 34040
+        andi r27, r8, 1
+        bne  r27, r0, L2
+        addi r9, r9, 77
+L2:
+        sw r12, 28(r28)
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        sb r14, 40(r28)
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        andi r27, r18, 1
+        bne  r27, r0, L5
+        addi r12, r12, 77
+L5:
+        andi r27, r15, 1
+        bne  r27, r0, L6
+        addi r9, r9, 77
+L6:
+        srl r13, r17, 27
+        andi r27, r12, 1
+        bne  r27, r0, L7
+        addi r15, r15, 77
+L7:
+        lb r18, 180(r28)
+        andi r27, r9, 1
+        bne  r27, r0, L8
+        addi r11, r11, 77
+L8:
+        slt r13, r16, r18
+        lh r13, 144(r28)
+        jal  F9
+        b    L9
+F9: addi r20, r20, 3
+        jr   ra
+L9:
+        slti r10, r15, -21910
+        sb r12, 108(r28)
+        jal  F10
+        b    L10
+F10: addi r20, r20, 3
+        jr   ra
+L10:
+        lhu r14, 200(r28)
+        slti r8, r13, -28295
+        jal  F11
+        b    L11
+F11: addi r20, r20, 3
+        jr   ra
+L11:
+        lb r14, 148(r28)
+        sh r12, 72(r28)
+        li   r26, 3
+L12:
+        sub r19, r12, r26
+        addi r26, r26, -1
+        bne  r26, r0, L12
+        li   r26, 6
+L13:
+        xor r11, r10, r26
+        add r9, r10, r26
+        xor r13, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L13
+        li   r26, 4
+L14:
+        xor r15, r14, r26
+        add r11, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L14
+        sll r14, r9, 25
+        xor r11, r15, r14
+        halt
+        .data
+        .align 4
+scratch: .space 256

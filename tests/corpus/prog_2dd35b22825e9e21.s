@@ -1,0 +1,24 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        li   r26, 2
+L0:
+        xor r16, r16, r26
+        xor r12, r10, r26
+        add r16, r17, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        andi r27, r10, 1
+        bne  r27, r0, L1
+        addi r16, r16, 77
+L1:
+        jal  F2
+        b    L2
+F2: addi r20, r20, 3
+        jr   ra
+L2:
+        sra r15, r19, 30
+        slti r15, r17, 8809
+        halt
+        .data
+        .align 4
+scratch: .space 256

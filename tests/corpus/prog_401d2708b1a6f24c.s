@@ -1,0 +1,42 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        or r12, r11, r9
+        sw r14, 228(r28)
+        sh r14, 172(r28)
+        andi r27, r15, 1
+        bne  r27, r0, L0
+        addi r13, r13, 77
+L0:
+        sb r8, 248(r28)
+        andi r27, r18, 1
+        bne  r27, r0, L1
+        addi r17, r17, 77
+L1:
+        ori r12, r16, 14883
+        li   r26, 3
+L2:
+        sub r18, r12, r26
+        add r19, r11, r26
+        add r16, r11, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        li   r26, 8
+L3:
+        xor r16, r13, r26
+        sub r8, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L3
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        slti r12, r13, -25069
+        ori r18, r18, 22721
+        lbu r11, 44(r28)
+        sw r8, 216(r28)
+        sll r8, r10, 23
+        halt
+        .data
+        .align 4
+scratch: .space 256

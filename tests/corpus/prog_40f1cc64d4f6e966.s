@@ -1,0 +1,74 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sra r11, r17, 25
+        li   r26, 9
+L0:
+        sub r8, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        lw r13, 60(r28)
+        sra r14, r14, 19
+        sb r18, 0(r28)
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        srl r8, r12, 4
+        sub r17, r13, r8
+        li   r26, 1
+L2:
+        sub r17, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        slt r15, r18, r18
+        li   r26, 4
+L3:
+        xor r8, r8, r26
+        addi r26, r26, -1
+        bne  r26, r0, L3
+        sll r18, r10, 31
+        andi r27, r17, 1
+        bne  r27, r0, L4
+        addi r18, r18, 77
+L4:
+        lh r12, 52(r28)
+        li   r26, 8
+L5:
+        xor r13, r14, r26
+        xor r12, r13, r26
+        add r17, r16, r26
+        addi r26, r26, -1
+        bne  r26, r0, L5
+        sh r16, 208(r28)
+        slti r8, r18, 30443
+        li   r26, 8
+L6:
+        sub r8, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L6
+        sw r11, 64(r28)
+        andi r27, r13, 1
+        bne  r27, r0, L7
+        addi r17, r17, 77
+L7:
+        sw r9, 4(r28)
+        andi r27, r9, 1
+        bne  r27, r0, L8
+        addi r11, r11, 77
+L8:
+        jal  F9
+        b    L9
+F9: addi r20, r20, 3
+        jr   ra
+L9:
+        ori r12, r10, 46747
+        andi r27, r12, 1
+        bne  r27, r0, L10
+        addi r10, r10, 77
+L10:
+        sb r10, 240(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,46 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sub r8, r13, r8
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        li   r26, 5
+L1:
+        xor r14, r19, r26
+        add r9, r16, r26
+        xor r9, r8, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        andi r18, r17, 17164
+        sll r9, r12, 1
+        andi r27, r8, 1
+        bne  r27, r0, L2
+        addi r11, r11, 77
+L2:
+        lhu r10, 248(r28)
+        srl r17, r12, 25
+        addi r11, r14, -28427
+        mul r19, r12, r17
+        xori r15, r14, 30337
+        lw r18, 80(r28)
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        xori r14, r19, 18709
+        slti r17, r18, -25051
+        srl r15, r12, 6
+        sw r13, 140(r28)
+        ori r15, r14, 53556
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        halt
+        .data
+        .align 4
+scratch: .space 256

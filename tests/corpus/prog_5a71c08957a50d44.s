@@ -1,0 +1,88 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        srl r15, r14, 17
+        andi r27, r9, 1
+        bne  r27, r0, L1
+        addi r15, r15, 77
+L1:
+        andi r27, r14, 1
+        bne  r27, r0, L2
+        addi r10, r10, 77
+L2:
+        xori r18, r13, 7957
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        addi r8, r13, -25852
+        andi r10, r13, 23510
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        slt r15, r15, r9
+        andi r27, r10, 1
+        bne  r27, r0, L5
+        addi r9, r9, 77
+L5:
+        andi r27, r9, 1
+        bne  r27, r0, L6
+        addi r14, r14, 77
+L6:
+        sh r13, 144(r28)
+        lbu r19, 168(r28)
+        sh r19, 32(r28)
+        srl r13, r13, 16
+        sra r17, r9, 31
+        sra r18, r19, 30
+        sw r19, 172(r28)
+        li   r26, 8
+L7:
+        add r11, r18, r26
+        add r18, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L7
+        li   r26, 8
+L8:
+        xor r10, r17, r26
+        add r16, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L8
+        li   r26, 4
+L9:
+        xor r8, r12, r26
+        xor r18, r9, r26
+        addi r26, r26, -1
+        bne  r26, r0, L9
+        sw r10, 0(r28)
+        andi r27, r10, 1
+        bne  r27, r0, L10
+        addi r8, r8, 77
+L10:
+        li   r26, 6
+L11:
+        sub r17, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L11
+        lh r16, 224(r28)
+        jal  F12
+        b    L12
+F12: addi r20, r20, 3
+        jr   ra
+L12:
+        lb r18, 204(r28)
+        lh r8, 72(r28)
+        ori r18, r12, 40345
+        sra r17, r8, 13
+        sh r12, 0(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

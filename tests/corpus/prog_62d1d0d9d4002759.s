@@ -1,0 +1,43 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        and r18, r19, r19
+        sll r15, r15, 20
+        lhu r14, 192(r28)
+        slt r12, r13, r19
+        and r11, r8, r8
+        li   r26, 6
+L0:
+        add r11, r10, r26
+        add r14, r8, r26
+        sub r15, r14, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        sb r12, 124(r28)
+        andi r27, r11, 1
+        bne  r27, r0, L1
+        addi r8, r8, 77
+L1:
+        jal  F2
+        b    L2
+F2: addi r20, r20, 3
+        jr   ra
+L2:
+        xor r16, r11, r17
+        li   r26, 8
+L3:
+        sub r19, r11, r26
+        add r9, r8, r26
+        add r15, r8, r26
+        addi r26, r26, -1
+        bne  r26, r0, L3
+        andi r18, r12, 34374
+        slti r9, r16, -14122
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,77 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sw r19, 156(r28)
+        srl r15, r17, 31
+        sh r9, 248(r28)
+        lbu r13, 88(r28)
+        andi r27, r15, 1
+        bne  r27, r0, L0
+        addi r9, r9, 77
+L0:
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        li   r26, 6
+L2:
+        add r18, r11, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        slti r14, r16, 7387
+        nor r10, r18, r14
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        lbu r14, 248(r28)
+        sw r13, 4(r28)
+        lbu r11, 232(r28)
+        andi r27, r9, 1
+        bne  r27, r0, L4
+        addi r17, r17, 77
+L4:
+        sw r12, 188(r28)
+        jal  F5
+        b    L5
+F5: addi r20, r20, 3
+        jr   ra
+L5:
+        sra r9, r14, 5
+        xori r12, r10, 37006
+        andi r27, r13, 1
+        bne  r27, r0, L6
+        addi r8, r8, 77
+L6:
+        lh r16, 76(r28)
+        andi r27, r19, 1
+        bne  r27, r0, L7
+        addi r16, r16, 77
+L7:
+        sb r19, 192(r28)
+        mul r13, r10, r18
+        li   r26, 7
+L8:
+        add r10, r15, r26
+        sub r9, r12, r26
+        addi r26, r26, -1
+        bne  r26, r0, L8
+        andi r18, r10, 29517
+        slti r13, r12, 20178
+        andi r12, r13, 60062
+        li   r26, 6
+L9:
+        sub r19, r17, r26
+        add r16, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L9
+        sb r16, 96(r28)
+        xori r17, r18, 44967
+        lhu r12, 76(r28)
+        sra r14, r14, 29
+        sw r17, 4(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,83 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sll r12, r15, 21
+        li   r26, 1
+L0:
+        xor r12, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        or r17, r13, r17
+        andi r27, r13, 1
+        bne  r27, r0, L1
+        addi r10, r10, 77
+L1:
+        nor r9, r11, r15
+        lh r13, 228(r28)
+        sub r11, r11, r18
+        andi r27, r10, 1
+        bne  r27, r0, L2
+        addi r11, r11, 77
+L2:
+        andi r27, r14, 1
+        bne  r27, r0, L3
+        addi r14, r14, 77
+L3:
+        xor r14, r18, r14
+        lh r14, 156(r28)
+        nor r19, r13, r15
+        lbu r19, 8(r28)
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        sll r10, r12, 10
+        andi r15, r14, 35632
+        lhu r9, 188(r28)
+        andi r27, r16, 1
+        bne  r27, r0, L5
+        addi r8, r8, 77
+L5:
+        addi r17, r10, 26711
+        slti r19, r16, -24600
+        andi r27, r15, 1
+        bne  r27, r0, L6
+        addi r15, r15, 77
+L6:
+        sll r16, r11, 21
+        li   r26, 5
+L7:
+        add r8, r9, r26
+        sub r13, r8, r26
+        xor r9, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L7
+        andi r27, r8, 1
+        bne  r27, r0, L8
+        addi r19, r19, 77
+L8:
+        jal  F9
+        b    L9
+F9: addi r20, r20, 3
+        jr   ra
+L9:
+        srl r17, r8, 18
+        lb r19, 80(r28)
+        li   r26, 6
+L10:
+        xor r18, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L10
+        jal  F11
+        b    L11
+F11: addi r20, r20, 3
+        jr   ra
+L11:
+        nor r15, r19, r10
+        srl r9, r16, 6
+        lh r13, 24(r28)
+        sll r13, r19, 0
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,90 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        andi r27, r17, 1
+        bne  r27, r0, L0
+        addi r9, r9, 77
+L0:
+        sub r19, r15, r10
+        sh r8, 108(r28)
+        sw r10, 20(r28)
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        sll r14, r11, 20
+        li   r26, 9
+L2:
+        add r19, r15, r26
+        sub r16, r15, r26
+        xor r11, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        srl r17, r13, 25
+        sll r17, r13, 7
+        li   r26, 5
+L3:
+        xor r11, r10, r26
+        sub r19, r17, r26
+        xor r13, r16, r26
+        addi r26, r26, -1
+        bne  r26, r0, L3
+        sra r9, r9, 2
+        li   r26, 7
+L4:
+        sub r13, r17, r26
+        sub r9, r9, r26
+        addi r26, r26, -1
+        bne  r26, r0, L4
+        addi r11, r15, 3419
+        or r10, r15, r13
+        lb r10, 0(r28)
+        andi r27, r18, 1
+        bne  r27, r0, L5
+        addi r19, r19, 77
+L5:
+        or r12, r12, r19
+        lbu r17, 116(r28)
+        lw r16, 96(r28)
+        sb r10, 140(r28)
+        sb r8, 236(r28)
+        li   r26, 8
+L6:
+        sub r16, r10, r26
+        sub r18, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L6
+        andi r27, r8, 1
+        bne  r27, r0, L7
+        addi r9, r9, 77
+L7:
+        andi r27, r10, 1
+        bne  r27, r0, L8
+        addi r9, r9, 77
+L8:
+        andi r27, r14, 1
+        bne  r27, r0, L9
+        addi r17, r17, 77
+L9:
+        andi r27, r19, 1
+        bne  r27, r0, L10
+        addi r9, r9, 77
+L10:
+        sll r15, r8, 9
+        jal  F11
+        b    L11
+F11: addi r20, r20, 3
+        jr   ra
+L11:
+        sw r12, 104(r28)
+        jal  F12
+        b    L12
+F12: addi r20, r20, 3
+        jr   ra
+L12:
+        lbu r9, 176(r28)
+        sw r10, 156(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,61 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        andi r27, r8, 1
+        bne  r27, r0, L0
+        addi r19, r19, 77
+L0:
+        li   r26, 7
+L1:
+        xor r15, r11, r26
+        add r15, r9, r26
+        sub r18, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        li   r26, 4
+L2:
+        sub r9, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        li   r26, 1
+L3:
+        sub r9, r13, r26
+        add r15, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L3
+        slt r17, r8, r16
+        slti r14, r17, -30802
+        li   r26, 2
+L4:
+        xor r10, r17, r26
+        sub r8, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L4
+        addi r11, r8, 19316
+        xor r14, r8, r9
+        li   r26, 7
+L5:
+        xor r16, r17, r26
+        xor r12, r18, r26
+        addi r26, r26, -1
+        bne  r26, r0, L5
+        lw r18, 128(r28)
+        srl r14, r11, 30
+        li   r26, 4
+L6:
+        add r15, r15, r26
+        xor r12, r18, r26
+        addi r26, r26, -1
+        bne  r26, r0, L6
+        lb r17, 120(r28)
+        srl r15, r15, 3
+        lbu r11, 0(r28)
+        slti r17, r19, 20192
+        jal  F7
+        b    L7
+F7: addi r20, r20, 3
+        jr   ra
+L7:
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,71 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        and r18, r14, r17
+        andi r9, r8, 48015
+        sw r19, 88(r28)
+        and r9, r17, r11
+        lh r8, 228(r28)
+        sh r13, 104(r28)
+        sw r10, 192(r28)
+        sb r8, 208(r28)
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        sra r9, r16, 20
+        srl r12, r10, 23
+        andi r27, r11, 1
+        bne  r27, r0, L1
+        addi r8, r8, 77
+L1:
+        sw r19, 216(r28)
+        lh r16, 40(r28)
+        andi r27, r11, 1
+        bne  r27, r0, L2
+        addi r13, r13, 77
+L2:
+        sh r17, 144(r28)
+        sb r12, 12(r28)
+        andi r16, r12, 64109
+        lhu r8, 176(r28)
+        sw r18, 60(r28)
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        sw r15, 240(r28)
+        lbu r10, 176(r28)
+        li   r26, 5
+L5:
+        add r18, r11, r26
+        sub r11, r16, r26
+        addi r26, r26, -1
+        bne  r26, r0, L5
+        lbu r17, 12(r28)
+        sra r11, r13, 1
+        lw r14, 236(r28)
+        lb r11, 100(r28)
+        lh r9, 44(r28)
+        addi r14, r16, -26636
+        lbu r13, 28(r28)
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        sub r11, r19, r16
+        andi r27, r9, 1
+        bne  r27, r0, L7
+        addi r12, r12, 77
+L7:
+        halt
+        .data
+        .align 4
+scratch: .space 256

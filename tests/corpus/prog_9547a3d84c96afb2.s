@@ -1,0 +1,68 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        srl r19, r17, 19
+        lbu r11, 188(r28)
+        ori r18, r13, 48539
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        sb r10, 96(r28)
+        li   r26, 1
+L1:
+        sub r15, r13, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        addi r17, r12, 18059
+        sb r10, 248(r28)
+        srl r8, r16, 22
+        and r18, r11, r13
+        li   r26, 6
+L2:
+        sub r14, r19, r26
+        sub r14, r15, r26
+        sub r8, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        sra r15, r13, 10
+        lw r12, 148(r28)
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        sra r11, r18, 21
+        lbu r18, 240(r28)
+        mul r12, r10, r18
+        mul r12, r16, r14
+        srl r9, r9, 10
+        mul r15, r11, r19
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        jal  F5
+        b    L5
+F5: addi r20, r20, 3
+        jr   ra
+L5:
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        lhu r16, 192(r28)
+        sh r11, 16(r28)
+        ori r11, r18, 55950
+        addi r14, r13, 10303
+        sw r14, 228(r28)
+        sh r8, 156(r28)
+        sh r19, 144(r28)
+        sb r18, 212(r28)
+        sll r16, r12, 13
+        halt
+        .data
+        .align 4
+scratch: .space 256

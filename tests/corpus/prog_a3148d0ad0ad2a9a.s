@@ -1,0 +1,88 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        andi r27, r13, 1
+        bne  r27, r0, L0
+        addi r15, r15, 77
+L0:
+        nor r11, r9, r10
+        li   r26, 6
+L1:
+        sub r16, r14, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        li   r26, 7
+L2:
+        xor r11, r12, r26
+        add r11, r15, r26
+        add r15, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        ori r19, r14, 58908
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        lb r10, 112(r28)
+        lh r15, 72(r28)
+        lb r19, 132(r28)
+        li   r26, 9
+L4:
+        sub r16, r15, r26
+        xor r19, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L4
+        sub r13, r12, r18
+        lw r17, 92(r28)
+        sub r15, r16, r9
+        li   r26, 7
+L5:
+        xor r16, r18, r26
+        xor r9, r14, r26
+        addi r26, r26, -1
+        bne  r26, r0, L5
+        lb r8, 236(r28)
+        lbu r13, 228(r28)
+        andi r27, r16, 1
+        bne  r27, r0, L6
+        addi r18, r18, 77
+L6:
+        li   r26, 4
+L7:
+        xor r19, r8, r26
+        add r12, r10, r26
+        sub r15, r18, r26
+        addi r26, r26, -1
+        bne  r26, r0, L7
+        lbu r11, 152(r28)
+        sb r11, 204(r28)
+        sll r8, r11, 11
+        xor r12, r13, r10
+        andi r27, r10, 1
+        bne  r27, r0, L8
+        addi r12, r12, 77
+L8:
+        andi r27, r10, 1
+        bne  r27, r0, L9
+        addi r18, r18, 77
+L9:
+        li   r26, 9
+L10:
+        add r18, r19, r26
+        xor r18, r18, r26
+        add r17, r18, r26
+        addi r26, r26, -1
+        bne  r26, r0, L10
+        lb r17, 88(r28)
+        addi r16, r16, -17115
+        sh r10, 248(r28)
+        srl r9, r13, 27
+        li   r26, 5
+L11:
+        xor r8, r11, r26
+        addi r26, r26, -1
+        bne  r26, r0, L11
+        halt
+        .data
+        .align 4
+scratch: .space 256

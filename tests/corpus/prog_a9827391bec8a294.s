@@ -1,0 +1,72 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        ori r11, r16, 60158
+        sb r12, 148(r28)
+        li   r26, 8
+L0:
+        sub r8, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        mul r19, r12, r17
+        or r15, r17, r18
+        jal  F2
+        b    L2
+F2: addi r20, r20, 3
+        jr   ra
+L2:
+        sb r9, 104(r28)
+        sb r19, 76(r28)
+        sb r18, 220(r28)
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        lh r12, 180(r28)
+        li   r26, 8
+L4:
+        sub r16, r9, r26
+        sub r17, r8, r26
+        addi r26, r26, -1
+        bne  r26, r0, L4
+        sra r10, r17, 7
+        sll r15, r16, 15
+        sw r8, 28(r28)
+        lbu r16, 188(r28)
+        li   r26, 7
+L5:
+        add r16, r8, r26
+        add r15, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L5
+        andi r27, r19, 1
+        bne  r27, r0, L6
+        addi r12, r12, 77
+L6:
+        lb r9, 236(r28)
+        li   r26, 9
+L7:
+        add r17, r8, r26
+        sub r8, r13, r26
+        add r19, r9, r26
+        addi r26, r26, -1
+        bne  r26, r0, L7
+        lw r13, 208(r28)
+        or r11, r17, r18
+        li   r26, 3
+L8:
+        xor r9, r16, r26
+        add r10, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L8
+        srl r17, r10, 13
+        lw r18, 224(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

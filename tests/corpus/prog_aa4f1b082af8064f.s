@@ -1,0 +1,18 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        lh r14, 236(r28)
+        sra r16, r9, 26
+        andi r27, r13, 1
+        bne  r27, r0, L0
+        addi r10, r10, 77
+L0:
+        sh r10, 84(r28)
+        andi r27, r19, 1
+        bne  r27, r0, L1
+        addi r11, r11, 77
+L1:
+        lhu r15, 192(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,73 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        slti r17, r17, 16918
+        xor r10, r19, r11
+        andi r27, r16, 1
+        bne  r27, r0, L0
+        addi r16, r16, 77
+L0:
+        andi r16, r14, 62529
+        andi r14, r14, 10750
+        lhu r14, 160(r28)
+        li   r26, 6
+L1:
+        add r17, r19, r26
+        xor r17, r15, r26
+        xor r19, r16, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        andi r27, r18, 1
+        bne  r27, r0, L2
+        addi r14, r14, 77
+L2:
+        sb r10, 152(r28)
+        li   r26, 5
+L3:
+        add r11, r11, r26
+        add r15, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L3
+        sub r14, r19, r9
+        andi r27, r18, 1
+        bne  r27, r0, L4
+        addi r14, r14, 77
+L4:
+        sh r9, 212(r28)
+        sb r19, 92(r28)
+        jal  F5
+        b    L5
+F5: addi r20, r20, 3
+        jr   ra
+L5:
+        sra r19, r8, 2
+        andi r27, r12, 1
+        bne  r27, r0, L6
+        addi r19, r19, 77
+L6:
+        sb r17, 228(r28)
+        li   r26, 4
+L7:
+        add r19, r9, r26
+        sub r17, r11, r26
+        xor r18, r9, r26
+        addi r26, r26, -1
+        bne  r26, r0, L7
+        li   r26, 4
+L8:
+        xor r13, r18, r26
+        xor r18, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L8
+        li   r26, 2
+L9:
+        xor r12, r13, r26
+        xor r18, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L9
+        mul r18, r9, r18
+        lhu r8, 40(r28)
+        sra r11, r11, 11
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,91 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sra r8, r19, 21
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        xori r17, r19, 36729
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        lhu r8, 224(r28)
+        slti r17, r11, 10209
+        sh r9, 204(r28)
+        andi r10, r17, 19566
+        add r14, r14, r13
+        lbu r12, 12(r28)
+        andi r27, r18, 1
+        bne  r27, r0, L2
+        addi r8, r8, 77
+L2:
+        li   r26, 4
+L3:
+        add r13, r15, r26
+        xor r9, r11, r26
+        add r19, r12, r26
+        addi r26, r26, -1
+        bne  r26, r0, L3
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        sll r18, r13, 14
+        xor r14, r19, r15
+        jal  F5
+        b    L5
+F5: addi r20, r20, 3
+        jr   ra
+L5:
+        srl r9, r9, 13
+        li   r26, 9
+L6:
+        add r19, r8, r26
+        add r10, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L6
+        sll r11, r13, 18
+        lbu r10, 4(r28)
+        slti r9, r17, -15764
+        sh r16, 20(r28)
+        jal  F7
+        b    L7
+F7: addi r20, r20, 3
+        jr   ra
+L7:
+        sll r18, r13, 19
+        jal  F8
+        b    L8
+F8: addi r20, r20, 3
+        jr   ra
+L8:
+        andi r16, r9, 44948
+        xori r13, r19, 62987
+        lbu r13, 164(r28)
+        slt r15, r15, r17
+        ori r18, r12, 6451
+        sub r10, r17, r13
+        ori r14, r18, 37528
+        li   r26, 2
+L9:
+        sub r11, r13, r26
+        sub r9, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L9
+        lbu r14, 116(r28)
+        nor r8, r16, r17
+        srl r10, r17, 15
+        andi r27, r11, 1
+        bne  r27, r0, L10
+        addi r8, r8, 77
+L10:
+        sra r10, r17, 31
+        sb r10, 236(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,21 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        xori r10, r11, 2801
+        sw r17, 124(r28)
+        sra r16, r17, 18
+        srl r17, r11, 11
+        andi r19, r13, 30069
+        andi r27, r17, 1
+        bne  r27, r0, L0
+        addi r15, r15, 77
+L0:
+        xor r13, r13, r19
+        lw r16, 116(r28)
+        sh r14, 204(r28)
+        sh r17, 16(r28)
+        sll r9, r19, 17
+        sll r11, r9, 0
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,13 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        mul r18, r14, r12
+        sra r13, r10, 20
+        sw r15, 100(r28)
+        andi r27, r19, 1
+        bne  r27, r0, L0
+        addi r19, r19, 77
+L0:
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,67 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sll r11, r10, 2
+        li   r26, 7
+L0:
+        add r12, r8, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        xori r9, r17, 24795
+        sra r17, r8, 26
+        sh r11, 0(r28)
+        andi r27, r14, 1
+        bne  r27, r0, L1
+        addi r19, r19, 77
+L1:
+        andi r27, r9, 1
+        bne  r27, r0, L2
+        addi r16, r16, 77
+L2:
+        xori r14, r9, 32198
+        slt r11, r13, r17
+        jal  F3
+        b    L3
+F3: addi r20, r20, 3
+        jr   ra
+L3:
+        lhu r13, 160(r28)
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        srl r11, r11, 30
+        srl r19, r19, 22
+        andi r27, r15, 1
+        bne  r27, r0, L5
+        addi r8, r8, 77
+L5:
+        addi r18, r8, 24690
+        lb r11, 100(r28)
+        li   r26, 8
+L6:
+        add r11, r14, r26
+        addi r26, r26, -1
+        bne  r26, r0, L6
+        andi r27, r14, 1
+        bne  r27, r0, L7
+        addi r17, r17, 77
+L7:
+        li   r26, 6
+L8:
+        sub r15, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L8
+        andi r27, r8, 1
+        bne  r27, r0, L9
+        addi r19, r19, 77
+L9:
+        jal  F10
+        b    L10
+F10: addi r20, r20, 3
+        jr   ra
+L10:
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -1,0 +1,31 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sll r13, r13, 29
+        xori r14, r12, 40386
+        sub r19, r14, r16
+        sb r10, 20(r28)
+        srl r18, r12, 8
+        xori r19, r13, 22083
+        sra r18, r16, 15
+        andi r27, r18, 1
+        bne  r27, r0, L0
+        addi r8, r8, 77
+L0:
+        li   r26, 7
+L1:
+        add r14, r11, r26
+        add r8, r13, r26
+        add r15, r19, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        slt r17, r9, r13
+        lb r13, 16(r28)
+        li   r26, 9
+L2:
+        xor r14, r8, r26
+        addi r26, r26, -1
+        bne  r26, r0, L2
+        halt
+        .data
+        .align 4
+scratch: .space 256

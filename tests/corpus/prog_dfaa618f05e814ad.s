@@ -1,0 +1,24 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        sw r14, 132(r28)
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        sra r16, r18, 27
+        jal  F2
+        b    L2
+F2: addi r20, r20, 3
+        jr   ra
+L2:
+        addi r13, r9, 20630
+        halt
+        .data
+        .align 4
+scratch: .space 256

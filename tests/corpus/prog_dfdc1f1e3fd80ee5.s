@@ -1,0 +1,30 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        andi r27, r13, 1
+        bne  r27, r0, L0
+        addi r19, r19, 77
+L0:
+        andi r27, r16, 1
+        bne  r27, r0, L1
+        addi r16, r16, 77
+L1:
+        andi r27, r8, 1
+        bne  r27, r0, L2
+        addi r18, r18, 77
+L2:
+        lh r9, 164(r28)
+        sb r13, 104(r28)
+        slti r17, r14, 17764
+        andi r27, r12, 1
+        bne  r27, r0, L3
+        addi r17, r17, 77
+L3:
+        lbu r8, 208(r28)
+        sra r16, r17, 23
+        ori r8, r13, 63462
+        srl r18, r8, 2
+        or r19, r18, r16
+        halt
+        .data
+        .align 4
+scratch: .space 256

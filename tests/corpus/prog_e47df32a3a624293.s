@@ -1,0 +1,74 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        lb r19, 156(r28)
+        xori r18, r16, 44446
+        andi r27, r17, 1
+        bne  r27, r0, L0
+        addi r16, r16, 77
+L0:
+        mul r15, r19, r8
+        sub r13, r8, r12
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        add r10, r10, r16
+        andi r27, r17, 1
+        bne  r27, r0, L2
+        addi r19, r19, 77
+L2:
+        andi r27, r12, 1
+        bne  r27, r0, L3
+        addi r10, r10, 77
+L3:
+        lbu r17, 236(r28)
+        li   r26, 4
+L4:
+        sub r12, r8, r26
+        sub r12, r19, r26
+        sub r15, r15, r26
+        addi r26, r26, -1
+        bne  r26, r0, L4
+        jal  F5
+        b    L5
+F5: addi r20, r20, 3
+        jr   ra
+L5:
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        sub r15, r12, r9
+        xor r18, r15, r11
+        sub r12, r15, r15
+        jal  F7
+        b    L7
+F7: addi r20, r20, 3
+        jr   ra
+L7:
+        lw r15, 136(r28)
+        sb r9, 200(r28)
+        jal  F8
+        b    L8
+F8: addi r20, r20, 3
+        jr   ra
+L8:
+        sb r13, 160(r28)
+        sw r15, 200(r28)
+        jal  F9
+        b    L9
+F9: addi r20, r20, 3
+        jr   ra
+L9:
+        andi r27, r19, 1
+        bne  r27, r0, L10
+        addi r9, r9, 77
+L10:
+        sh r8, 32(r28)
+        sh r12, 196(r28)
+        halt
+        .data
+        .align 4
+scratch: .space 256

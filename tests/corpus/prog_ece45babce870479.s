@@ -1,0 +1,90 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sh r15, 100(r28)
+        li   r26, 2
+L0:
+        add r18, r19, r26
+        add r17, r13, r26
+        sub r14, r10, r26
+        addi r26, r26, -1
+        bne  r26, r0, L0
+        sh r10, 8(r28)
+        jal  F1
+        b    L1
+F1: addi r20, r20, 3
+        jr   ra
+L1:
+        addi r16, r11, 17848
+        sw r16, 220(r28)
+        sb r17, 80(r28)
+        slti r9, r18, 19615
+        lbu r10, 160(r28)
+        sll r18, r9, 27
+        lbu r16, 184(r28)
+        sb r17, 4(r28)
+        lbu r18, 148(r28)
+        sll r9, r10, 9
+        jal  F2
+        b    L2
+F2: addi r20, r20, 3
+        jr   ra
+L2:
+        srl r17, r16, 10
+        andi r27, r19, 1
+        bne  r27, r0, L3
+        addi r8, r8, 77
+L3:
+        sw r18, 180(r28)
+        lhu r8, 108(r28)
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        sub r15, r10, r8
+        and r12, r13, r12
+        andi r9, r17, 13284
+        srl r14, r12, 1
+        andi r27, r19, 1
+        bne  r27, r0, L5
+        addi r9, r9, 77
+L5:
+        sb r9, 16(r28)
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        andi r27, r15, 1
+        bne  r27, r0, L7
+        addi r8, r8, 77
+L7:
+        lh r12, 144(r28)
+        sra r13, r8, 15
+        jal  F8
+        b    L8
+F8: addi r20, r20, 3
+        jr   ra
+L8:
+        jal  F9
+        b    L9
+F9: addi r20, r20, 3
+        jr   ra
+L9:
+        andi r27, r9, 1
+        bne  r27, r0, L10
+        addi r14, r14, 77
+L10:
+        jal  F11
+        b    L11
+F11: addi r20, r20, 3
+        jr   ra
+L11:
+        andi r27, r19, 1
+        bne  r27, r0, L12
+        addi r18, r18, 77
+L12:
+        halt
+        .data
+        .align 4
+scratch: .space 256

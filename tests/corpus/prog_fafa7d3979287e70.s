@@ -1,0 +1,56 @@
+main:   la   r28, scratch
+        li   r29, 0x7FFEF000
+        sll r8, r10, 11
+        jal  F0
+        b    L0
+F0: addi r20, r20, 3
+        jr   ra
+L0:
+        li   r26, 4
+L1:
+        add r15, r17, r26
+        addi r26, r26, -1
+        bne  r26, r0, L1
+        sll r12, r11, 22
+        sw r12, 136(r28)
+        xor r10, r19, r16
+        nor r16, r16, r14
+        sw r19, 12(r28)
+        andi r27, r15, 1
+        bne  r27, r0, L2
+        addi r12, r12, 77
+L2:
+        xori r9, r15, 33183
+        lbu r15, 236(r28)
+        andi r27, r14, 1
+        bne  r27, r0, L3
+        addi r16, r16, 77
+L3:
+        lb r12, 100(r28)
+        srl r16, r11, 6
+        lh r15, 96(r28)
+        jal  F4
+        b    L4
+F4: addi r20, r20, 3
+        jr   ra
+L4:
+        sh r13, 72(r28)
+        andi r27, r18, 1
+        bne  r27, r0, L5
+        addi r17, r17, 77
+L5:
+        srl r10, r18, 27
+        slt r17, r8, r9
+        addi r9, r8, 27887
+        jal  F6
+        b    L6
+F6: addi r20, r20, 3
+        jr   ra
+L6:
+        ori r13, r15, 289
+        sll r19, r15, 20
+        ori r15, r12, 6999
+        halt
+        .data
+        .align 4
+scratch: .space 256

@@ -143,8 +143,10 @@ const SRC: &str = r#"
 
 fn run_figure8() -> (OsExit, Os, Pipeline, Engine) {
     let image = assemble(SRC).expect("assembles");
-    let mut cpu =
-        Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()));
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::with_framework()),
+    );
     rse::sys::loader::load_process(&mut cpu, &image);
     let mut engine = Engine::new(RseConfig::default());
     let mut ddt = Ddt::new(DdtConfig::default());
@@ -162,7 +164,11 @@ fn figure8_recovery_kills_t0_t1_t2_and_spares_t3_t4() {
     // All tainted threads died; the healthy workers ran to completion.
     assert_eq!(exit, OsExit::AllThreadsDone);
     let recovery = os.last_recovery.as_ref().expect("a recovery happened");
-    assert_eq!(recovery.terminated, vec![0, 1, 2], "exactly t0, t1, t2 are tainted");
+    assert_eq!(
+        recovery.terminated,
+        vec![0, 1, 2],
+        "exactly t0, t1, t2 are tainted"
+    );
     assert!(!recovery.whole_process);
     assert_eq!(os.thread_state(0), Some(ThreadState::Crashed));
     assert_eq!(os.thread_state(1), Some(ThreadState::Crashed));
@@ -194,7 +200,11 @@ fn figure8_savepage_rolls_back_the_clobbered_page() {
     // captured 7 and recovery restored it.
     let image = assemble(SRC).unwrap();
     let px = image.symbol("px").unwrap();
-    assert_eq!(cpu.mem().memory.read_u32(px), 7, "px must be rolled back to t1's value");
+    assert_eq!(
+        cpu.mem().memory.read_u32(px),
+        7,
+        "px must be rolled back to t1's value"
+    );
     assert!(os.stats().pages_checkpointed >= 1);
     let recovery = os.last_recovery.as_ref().unwrap();
     assert!(recovery.pages_restored.contains(&(px / 4096)));

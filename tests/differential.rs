@@ -3,182 +3,37 @@
 //! and without the RSE attached). Architectural state — every register,
 //! the scratch memory region, the halt point — must agree exactly. Any
 //! divergence is a speculation, forwarding, or recovery bug.
+//!
+//! On failure the harness shrinks the program and prints an
+//! `RSE_PT_SEED` that replays the identical run; the fixed-seed corpus
+//! in `tests/corpus/` (see `golden_corpus.rs`) pins known-good programs
+//! so regressions reproduce without this randomized harness.
 
-use proptest::prelude::*;
-use rse::core::{Engine, RseConfig};
+mod common;
+
+use common::{emit, op_strategy, run_golden, run_pipeline};
 use rse::isa::asm::assemble;
-use rse::mem::{MemConfig, MemorySystem};
-use rse::pipeline::{
-    CheckPolicy, Golden, GoldenEvent, NullCoProcessor, Pipeline, PipelineConfig, StepEvent,
-};
-
-/// Operations the program generator can emit. Loads/stores stay within a
-/// 256-byte scratch buffer; loops are bounded by construction.
-#[derive(Debug, Clone)]
-enum Op {
-    Alu { kind: u8, rd: u8, rs: u8, rt: u8 },
-    AluImm { kind: u8, rd: u8, rs: u8, imm: i16 },
-    Shift { kind: u8, rd: u8, rs: u8, sh: u8 },
-    Load { width: u8, rd: u8, off: u8 },
-    Store { width: u8, rs: u8, off: u8 },
-    /// A bounded countdown loop wrapping a body of simple ALU ops.
-    Loop { count: u8, body: Vec<(u8, u8, u8)> },
-    /// A data-dependent branch skipping one instruction.
-    SkipIfEven { rs: u8, rd: u8 },
-    Call,
-}
-
-/// Registers usable by generated code: t0–t7 and s0–s3 (r8..r15, r16..r19).
-fn reg(n: u8) -> String {
-    format!("r{}", 8 + (n % 12))
-}
-
-fn emit(ops: &[Op]) -> String {
-    let mut src = String::from(
-        "main:   la   r28, scratch\n        li   r29, 0x7FFEF000\n",
-    );
-    let mut label = 0usize;
-    for op in ops {
-        match op {
-            Op::Alu { kind, rd, rs, rt } => {
-                let m = ["add", "sub", "and", "or", "xor", "nor", "slt", "mul"]
-                    [(*kind % 8) as usize];
-                src.push_str(&format!(
-                    "        {m} {}, {}, {}\n",
-                    reg(*rd),
-                    reg(*rs),
-                    reg(*rt)
-                ));
-            }
-            Op::AluImm { kind, rd, rs, imm } => {
-                let m = ["addi", "andi", "ori", "xori", "slti"][(*kind % 5) as usize];
-                let imm = if m == "addi" || m == "slti" {
-                    *imm as i32
-                } else {
-                    (*imm as u16) as i32
-                };
-                src.push_str(&format!("        {m} {}, {}, {imm}\n", reg(*rd), reg(*rs)));
-            }
-            Op::Shift { kind, rd, rs, sh } => {
-                let m = ["sll", "srl", "sra"][(*kind % 3) as usize];
-                src.push_str(&format!(
-                    "        {m} {}, {}, {}\n",
-                    reg(*rd),
-                    reg(*rs),
-                    sh % 32
-                ));
-            }
-            Op::Load { width, rd, off } => {
-                let m = ["lw", "lh", "lb", "lbu", "lhu"][(*width % 5) as usize];
-                let off = (off % 63) * 4;
-                src.push_str(&format!("        {m} {}, {off}(r28)\n", reg(*rd)));
-            }
-            Op::Store { width, rs, off } => {
-                let m = ["sw", "sh", "sb"][(*width % 3) as usize];
-                let off = (off % 63) * 4;
-                src.push_str(&format!("        {m} {}, {off}(r28)\n", reg(*rs)));
-            }
-            Op::Loop { count, body } => {
-                let count = 1 + count % 9;
-                src.push_str(&format!("        li   r26, {count}\nL{label}:\n"));
-                for (kind, rd, rs) in body {
-                    let m = ["add", "xor", "sub"][(*kind % 3) as usize];
-                    src.push_str(&format!(
-                        "        {m} {}, {}, r26\n",
-                        reg(*rd),
-                        reg(*rs)
-                    ));
-                }
-                src.push_str(&format!(
-                    "        addi r26, r26, -1\n        bne  r26, r0, L{label}\n"
-                ));
-                label += 1;
-            }
-            Op::SkipIfEven { rs, rd } => {
-                src.push_str(&format!(
-                    "        andi r27, {}, 1\n        bne  r27, r0, L{label}\n        addi {}, {}, 77\nL{label}:\n",
-                    reg(*rs),
-                    reg(*rd),
-                    reg(*rd),
-                ));
-                label += 1;
-            }
-            Op::Call => {
-                src.push_str(&format!(
-                    "        jal  F{label}\n        b    L{label}\nF{label}: addi r20, r20, 3\n        jr   ra\nL{label}:\n"
-                ));
-                label += 1;
-            }
-        }
-    }
-    src.push_str("        halt\n        .data\n        .align 4\nscratch: .space 256\n");
-    src
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(kind, rd, rs, rt)| Op::Alu { kind, rd, rs, rt }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>())
-            .prop_map(|(kind, rd, rs, imm)| Op::AluImm { kind, rd, rs, imm }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(kind, rd, rs, sh)| Op::Shift { kind, rd, rs, sh }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(width, rd, off)| Op::Load { width, rd, off }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(width, rs, off)| Op::Store { width, rs, off }),
-        (any::<u8>(), proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4))
-            .prop_map(|(count, body)| Op::Loop { count, body }),
-        (any::<u8>(), any::<u8>()).prop_map(|(rs, rd)| Op::SkipIfEven { rs, rd }),
-        Just(Op::Call),
-    ]
-}
-
-fn run_pipeline(image: &rse::isa::Image, with_engine: bool) -> ([u32; 32], Vec<u8>, u32) {
-    let (mem, pipe) = if with_engine {
-        (
-            MemConfig::with_framework(),
-            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
-        )
-    } else {
-        (MemConfig::baseline(), PipelineConfig::default())
-    };
-    let mut cpu = Pipeline::new(pipe, MemorySystem::new(mem));
-    cpu.load_image(image);
-    let ev = if with_engine {
-        let mut engine = Engine::new(RseConfig::default());
-        cpu.run(&mut engine, 50_000_000)
-    } else {
-        cpu.run(&mut NullCoProcessor, 50_000_000)
-    };
-    assert_eq!(ev, StepEvent::Halted, "pipeline must halt");
-    let scratch_base = image.symbol("scratch").unwrap();
-    let mut scratch = vec![0u8; 256];
-    cpu.mem().memory.read_bytes(scratch_base, &mut scratch);
-    (*cpu.regs(), scratch, scratch_base)
-}
+use rse_support::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
     #[test]
-    fn pipeline_matches_golden_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+    fn pipeline_matches_golden_model(ops in rse_support::collection::vec(op_strategy(), 1..40)) {
         let src = emit(&ops);
         let image = assemble(&src).expect("generated program assembles");
         // Golden reference.
-        let mut golden = Golden::new(&image);
-        prop_assert_eq!(golden.run(5_000_000), GoldenEvent::Halted);
+        let (gold_regs, gold_scratch, base) = run_golden(&image);
         // Out-of-order pipeline, bare and with the RSE + runtime CHECKs.
         for with_engine in [false, true] {
-            let (regs, scratch, base) = run_pipeline(&image, with_engine);
+            let (regs, scratch, pbase) = run_pipeline(&image, with_engine);
+            prop_assert_eq!(base, pbase);
             prop_assert_eq!(
                 &regs[..],
-                &golden.regs[..],
+                &gold_regs[..],
                 "register divergence (engine={}):\n{}",
                 with_engine,
                 src
             );
-            let mut gold_scratch = vec![0u8; 256];
-            golden.mem.read_bytes(base, &mut gold_scratch);
             prop_assert_eq!(
                 scratch,
                 gold_scratch,

@@ -24,7 +24,10 @@ fn run(image: &rse::isa::Image, config: Config) -> (Vec<i32>, u64) {
         Config::Framework => (MemConfig::with_framework(), PipelineConfig::default()),
         Config::FrameworkIcm => (
             MemConfig::with_framework(),
-            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+            PipelineConfig {
+                check_policy: CheckPolicy::ControlFlow,
+                ..PipelineConfig::default()
+            },
         ),
     };
     let mut cpu = Pipeline::new(pipe, MemorySystem::new(mem));
@@ -47,8 +50,19 @@ fn run(image: &rse::isa::Image, config: Config) -> (Vec<i32>, u64) {
 /// results match the host-side reference implementations.
 #[test]
 fn all_configurations_agree_with_references() {
-    let kp = kmeans::KmeansParams { patterns: 40, dims: 4, clusters: 4, iters: 2, seed: 5 };
-    let rp = route::RouteParams { width: 10, nets: 5, block_pct: 10, seed: 9 };
+    let kp = kmeans::KmeansParams {
+        patterns: 40,
+        dims: 4,
+        clusters: 4,
+        iters: 2,
+        seed: 5,
+    };
+    let rp = route::RouteParams {
+        width: 10,
+        nets: 5,
+        block_pct: 10,
+        seed: 9,
+    };
     let pp = place::PlaceParams {
         cells: 16,
         nets_per_block: 8,
@@ -68,7 +82,10 @@ fn all_configurations_agree_with_references() {
         let image = assemble(&src).unwrap();
         for config in [Config::Baseline, Config::Framework, Config::FrameworkIcm] {
             let (out, _) = run(&image, config);
-            assert_eq!(out, expected, "{name} result must be configuration-independent");
+            assert_eq!(
+                out, expected,
+                "{name} result must be configuration-independent"
+            );
         }
     }
 }
@@ -77,7 +94,13 @@ fn all_configurations_agree_with_references() {
 /// (the Table 4 relation), and simulation is bit-deterministic.
 #[test]
 fn configuration_cost_ordering_and_determinism() {
-    let kp = kmeans::KmeansParams { patterns: 60, dims: 8, clusters: 4, iters: 2, seed: 5 };
+    let kp = kmeans::KmeansParams {
+        patterns: 60,
+        dims: 8,
+        clusters: 4,
+        iters: 2,
+        seed: 5,
+    };
     let image = assemble(&kmeans::source(&kp)).unwrap();
     let (_, base1) = run(&image, Config::Baseline);
     let (_, base2) = run(&image, Config::Baseline);
@@ -92,13 +115,17 @@ fn configuration_cost_ordering_and_determinism() {
 /// costs cycles (the cache study of §5.1).
 #[test]
 fn static_instrumentation_preserves_results_and_costs_cycles() {
-    let rp = route::RouteParams { width: 16, nets: 8, block_pct: 10, seed: 2 };
+    let rp = route::RouteParams {
+        width: 16,
+        nets: 8,
+        block_pct: 10,
+        seed: 2,
+    };
     let src = route::source(&rp);
     let (rr, rw) = route::reference(&rp);
     let plain = assemble(&src).unwrap();
     for what in [instrument::StaticInsert::Nop, instrument::StaticInsert::Chk] {
-        let instrumented =
-            assemble(&instrument::instrument_control_flow(&src, what)).unwrap();
+        let instrumented = assemble(&instrument::instrument_control_flow(&src, what)).unwrap();
         let (out_p, cyc_p) = run(&plain, Config::Baseline);
         let (out_i, cyc_i) = run(&instrumented, Config::Baseline);
         assert_eq!(out_p, vec![rr as i32, rw as i32]);
@@ -129,7 +156,10 @@ fn icm_fault_injection_campaign() {
         let index = 3 + (trial % 6) * 2; // odd indices land on the checked bne
         let bit = 1u32 << ((trial * 7) % 26);
         let mut cpu = Pipeline::new(
-            PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+            PipelineConfig {
+                check_policy: CheckPolicy::ControlFlow,
+                ..PipelineConfig::default()
+            },
             MemorySystem::new(MemConfig::with_framework()),
         );
         cpu.load_image(&image);
@@ -138,12 +168,19 @@ fn icm_fault_injection_campaign() {
         let mut engine = Engine::new(RseConfig::default());
         engine.install(Box::new(icm));
         engine.enable(ModuleId::ICM);
-        cpu.set_fetch_fault(Some(rse::pipeline::FetchFault { index, xor_mask: bit }));
+        cpu.set_fetch_fault(Some(rse::pipeline::FetchFault {
+            index,
+            xor_mask: bit,
+        }));
         let ev = cpu.run(&mut engine, 2_000_000);
         let icm: &Icm = engine.module_ref(ModuleId::ICM).unwrap();
         if icm.stats().mismatches > 0 {
             detected += 1;
-            assert_eq!(ev, rse::pipeline::StepEvent::Halted, "trial {trial} not recovered");
+            assert_eq!(
+                ev,
+                rse::pipeline::StepEvent::Halted,
+                "trial {trial} not recovered"
+            );
             assert_eq!(cpu.regs()[8], 40, "detected faults must be fully recovered");
         } else {
             // Undetected (unchecked instruction hit): silent corruption or
@@ -158,5 +195,8 @@ fn icm_fault_injection_campaign() {
             );
         }
     }
-    assert!(detected >= 4, "the campaign must exercise the detection path ({detected})");
+    assert!(
+        detected >= 4,
+        "the campaign must exercise the detection path ({detected})"
+    );
 }

@@ -2,7 +2,6 @@
 //! `check` fields of the Instruction Output Queue — verified through the
 //! public engine interface and with property-based sequences.
 
-use proptest::prelude::*;
 use rse::core::ioq::{Ioq, IoqEntryKind};
 use rse::core::testutil::{ScriptedBehavior, ScriptedModule};
 use rse::core::{Engine, RseConfig, Verdict};
@@ -10,6 +9,7 @@ use rse::isa::asm::assemble;
 use rse::isa::ModuleId;
 use rse::mem::{MemConfig, MemorySystem};
 use rse::pipeline::{CommitGate, Pipeline, PipelineConfig, RobId, StepEvent};
+use rse_support::prelude::*;
 
 #[test]
 fn table1_row1_free_then_allocated_chk_stalls() {
@@ -59,7 +59,10 @@ fn stall_window_bounded_by_module_latency() {
         let mut engine = Engine::new(RseConfig::default());
         engine.install(Box::new(ScriptedModule::new(
             ModuleId::ICM,
-            ScriptedBehavior::Respond { verdict: Verdict::Pass, latency },
+            ScriptedBehavior::Respond {
+                verdict: Verdict::Pass,
+                latency,
+            },
         )));
         engine.enable(ModuleId::ICM);
         assert_eq!(cpu.run(&mut engine, 100_000), StepEvent::Halted);
@@ -72,7 +75,7 @@ proptest! {
     /// Arbitrary allocate/complete/free sequences keep the IOQ's gate
     /// consistent with the Table 1 truth table at every step.
     #[test]
-    fn ioq_gate_matches_truth_table(ops in proptest::collection::vec((0u64..8, 0u8..3, any::<bool>()), 1..60)) {
+    fn ioq_gate_matches_truth_table(ops in rse_support::collection::vec((0u64..8, 0u8..3, any::<bool>()), 1..60)) {
         let mut ioq = Ioq::new(16);
         // Shadow model: rob -> (is_chk, valid, check)
         let mut shadow: std::collections::HashMap<u64, (bool, bool, bool)> = Default::default();

@@ -22,7 +22,10 @@ const SRC: &str = r#"
 fn run(behavior: ScriptedBehavior, fault: Option<IoqFault>) -> (Pipeline, Engine) {
     let image = assemble(SRC).unwrap();
     let mut cpu = Pipeline::new(
-        PipelineConfig { check_policy: CheckPolicy::ControlFlow, ..PipelineConfig::default() },
+        PipelineConfig {
+            check_policy: CheckPolicy::ControlFlow,
+            ..PipelineConfig::default()
+        },
         MemorySystem::new(MemConfig::with_framework()),
     );
     cpu.load_image(&image);
@@ -41,7 +44,10 @@ fn run(behavior: ScriptedBehavior, fault: Option<IoqFault>) -> (Pipeline, Engine
 }
 
 fn healthy() -> ScriptedBehavior {
-    ScriptedBehavior::Respond { verdict: Verdict::Pass, latency: 2 }
+    ScriptedBehavior::Respond {
+        verdict: Verdict::Pass,
+        latency: 2,
+    }
 }
 
 #[test]
@@ -53,17 +59,26 @@ fn healthy_module_no_safe_mode() {
 #[test]
 fn module_without_progress_trips_watchdog() {
     let (_, engine) = run(ScriptedBehavior::Silent, None);
-    assert!(matches!(engine.safe_mode(), Some(SafeModeCause::NoProgress { .. })));
+    assert!(matches!(
+        engine.safe_mode(),
+        Some(SafeModeCause::NoProgress { .. })
+    ));
 }
 
 #[test]
 fn false_alarm_module_trips_burst_detector() {
     let (cpu, engine) = run(
-        ScriptedBehavior::Respond { verdict: Verdict::Fail, latency: 2 },
+        ScriptedBehavior::Respond {
+            verdict: Verdict::Fail,
+            latency: 2,
+        },
         None,
     );
     assert_eq!(engine.safe_mode(), Some(SafeModeCause::ErrorBurst));
-    assert!(cpu.stats().check_flushes >= 4, "flush-loop before decoupling");
+    assert!(
+        cpu.stats().check_flushes >= 4,
+        "flush-loop before decoupling"
+    );
 }
 
 #[test]
@@ -77,7 +92,10 @@ fn false_negative_is_undetectable_but_harmless() {
 #[test]
 fn checkvalid_stuck_at_0_detected_as_no_progress() {
     let (_, engine) = run(healthy(), Some(IoqFault::ValidStuck0));
-    assert!(matches!(engine.safe_mode(), Some(SafeModeCause::NoProgress { .. })));
+    assert!(matches!(
+        engine.safe_mode(),
+        Some(SafeModeCause::NoProgress { .. })
+    ));
 }
 
 #[test]

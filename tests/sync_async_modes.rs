@@ -17,7 +17,10 @@ use rse::mem::{MemConfig, MemorySystem};
 use rse::pipeline::{Pipeline, PipelineConfig, StepEvent};
 
 fn machine() -> Pipeline {
-    Pipeline::new(PipelineConfig::default(), MemorySystem::new(MemConfig::with_framework()))
+    Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::with_framework()),
+    )
 }
 
 #[test]
@@ -31,7 +34,10 @@ fn synchronous_check_stalls_commit_for_the_module_latency() {
         let mut engine = Engine::new(RseConfig::default());
         engine.install(Box::new(ScriptedModule::new(
             ModuleId::ICM,
-            ScriptedBehavior::Respond { verdict: Verdict::Pass, latency },
+            ScriptedBehavior::Respond {
+                verdict: Verdict::Pass,
+                latency,
+            },
         )));
         engine.enable(ModuleId::ICM);
         assert_eq!(cpu.run(&mut engine, 1_000_000), StepEvent::Halted);
@@ -39,7 +45,10 @@ fn synchronous_check_stalls_commit_for_the_module_latency() {
     };
     let (fast_cycles, _) = run(1);
     let (slow_cycles, slow_stalls) = run(200);
-    assert!(slow_cycles > fast_cycles + 150, "{slow_cycles} vs {fast_cycles}");
+    assert!(
+        slow_cycles > fast_cycles + 150,
+        "{slow_cycles} vs {fast_cycles}"
+    );
     assert!(slow_stalls >= 150);
 }
 
@@ -66,11 +75,19 @@ fn synchronous_error_flushes_and_restarts_at_the_check() {
         }
         fn tick(&mut self, ctx: &mut rse::core::ModuleCtx<'_>) {
             let now = ctx.now;
-            let due: Vec<_> =
-                self.pending.iter().filter(|(at, _)| *at <= now).map(|(_, r)| *r).collect();
+            let due: Vec<_> = self
+                .pending
+                .iter()
+                .filter(|(at, _)| *at <= now)
+                .map(|(_, r)| *r)
+                .collect();
             self.pending.retain(|(at, _)| *at > now);
             for rob in due {
-                let verdict = if self.failed { Verdict::Pass } else { Verdict::Fail };
+                let verdict = if self.failed {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail
+                };
                 self.failed = true;
                 ctx.complete_check(rob, verdict);
             }
@@ -82,14 +99,14 @@ fn synchronous_error_flushes_and_restarts_at_the_check() {
             self
         }
     }
-    let image = assemble(
-        "main: li r8, 5\nchk icm, blk, 2, 0\naddi r8, r8, 1\nhalt",
-    )
-    .unwrap();
+    let image = assemble("main: li r8, 5\nchk icm, blk, 2, 0\naddi r8, r8, 1\nhalt").unwrap();
     let mut cpu = machine();
     cpu.load_image(&image);
     let mut engine = Engine::new(RseConfig::default());
-    engine.install(Box::new(FailOnce { failed: false, pending: Vec::new() }));
+    engine.install(Box::new(FailOnce {
+        failed: false,
+        pending: Vec::new(),
+    }));
     engine.enable(ModuleId::ICM);
     assert_eq!(cpu.run(&mut engine, 1_000_000), StepEvent::Halted);
     // The addi after the CHECK executed exactly once despite the flush.
@@ -105,11 +122,17 @@ fn asynchronous_check_never_stalls_commit() {
     cpu.load_image(&image);
     let mut engine = Engine::new(RseConfig::default());
     // Even a silent module cannot stall an asynchronous CHECK.
-    engine.install(Box::new(ScriptedModule::new(ModuleId::ICM, ScriptedBehavior::Silent)));
+    engine.install(Box::new(ScriptedModule::new(
+        ModuleId::ICM,
+        ScriptedBehavior::Silent,
+    )));
     engine.enable(ModuleId::ICM);
     assert_eq!(cpu.run(&mut engine, 100_000), StepEvent::Halted);
     assert_eq!(cpu.regs()[8], 1);
-    assert!(engine.safe_mode().is_none(), "async CHECKs never trip the progress watchdog");
+    assert!(
+        engine.safe_mode().is_none(),
+        "async CHECKs never trip the progress watchdog"
+    );
 }
 
 #[test]
@@ -145,10 +168,7 @@ fn asynchronous_module_logs_only_committed_state() {
 fn disabled_module_makes_checks_transparent() {
     // §3.2 enable/disable unit: with the module disabled, its CHECKs
     // behave like `10` entries and the module sees nothing.
-    let image = assemble(
-        "main: chk icm, blk, 2, 0\nchk icm, nblk, 2, 0\nli r8, 3\nhalt",
-    )
-    .unwrap();
+    let image = assemble("main: chk icm, blk, 2, 0\nchk icm, nblk, 2, 0\nli r8, 3\nhalt").unwrap();
     let mut cpu = machine();
     cpu.load_image(&image);
     let mut engine = Engine::new(RseConfig::default());
