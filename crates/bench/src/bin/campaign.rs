@@ -1,0 +1,152 @@
+//! Deterministic soft-error fault-injection campaign runner.
+//!
+//! Drives the `rse-inject` campaign engine over the workload corpus,
+//! writes one JSON record per run (JSON lines), and prints the
+//! detection-coverage table on stderr. The whole campaign is a pure
+//! function of the base seed: running the same invocation twice yields
+//! byte-identical JSONL output.
+//!
+//! ```text
+//! cargo run --release -p rse-bench --bin campaign -- --smoke
+//! cargo run --release -p rse-bench --bin campaign -- --control --runs 4
+//! cargo run --release -p rse-bench --bin campaign -- --seed 7 --runs 16
+//! cargo run --release -p rse-bench --bin campaign -- --smoke --out smoke.jsonl
+//! ```
+//!
+//! Modes (mutually exclusive; default is the full campaign):
+//!
+//! * `--smoke` — the fixed 64-run CI spec (`CampaignSpec::smoke`),
+//! * `--control` — zero-fault control runs of every workload; every
+//!   outcome must be `masked`,
+//! * *default* — every applicable (workload, fault-model) pair with
+//!   `--runs` runs each.
+//!
+//! Flags: `--seed <u64>` base seed (default 0xD5B), `--runs <n>` runs
+//! per cell for `--control`/full (default 8), `--out <path>` write the
+//! JSONL there instead of stdout, `--no-table` suppress the coverage
+//! table.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use rse_inject::{coverage_table, run_campaign, to_jsonl, CampaignSpec, Histogram};
+
+/// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
+const DEFAULT_SEED: u64 = 0xD5B;
+
+enum Mode {
+    Smoke,
+    Control,
+    Full,
+}
+
+struct Args {
+    mode: Mode,
+    seed: u64,
+    runs: u32,
+    out: Option<String>,
+    table: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--smoke | --control] [--seed N] [--runs N] [--out FILE] [--no-table]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: Mode::Full,
+        seed: DEFAULT_SEED,
+        runs: 8,
+        out: None,
+        table: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.mode = Mode::Smoke,
+            "--control" => args.mode = Mode::Control,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--runs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.runs = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--no-table" => args.table = false,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let spec = match args.mode {
+        Mode::Smoke => CampaignSpec::smoke(args.seed),
+        Mode::Control => CampaignSpec::control(args.seed, args.runs),
+        Mode::Full => CampaignSpec::full(args.seed, args.runs),
+    };
+    eprintln!(
+        "campaign: {} cells, {} runs, base seed {:#x}",
+        spec.cells.len(),
+        spec.total_runs(),
+        spec.base_seed
+    );
+
+    let records = run_campaign(&spec);
+    let jsonl = to_jsonl(&records);
+
+    match &args.out {
+        Some(path) => {
+            let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("campaign: cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            f.write_all(jsonl.as_bytes()).expect("write JSONL");
+            eprintln!("campaign: wrote {} records to {path}", records.len());
+        }
+        None => {
+            print!("{jsonl}");
+        }
+    }
+
+    if args.table {
+        eprintln!();
+        eprint!("{}", coverage_table(&records));
+        let hist = Histogram::from_records(&records);
+        eprintln!();
+        eprintln!(
+            "outcomes: {} total, {} detected",
+            hist.total(),
+            hist.detected()
+        );
+        for (tag, n) in hist.iter() {
+            eprintln!("  {tag:<24} {n}");
+        }
+    }
+
+    // Control campaigns are a self-check: anything but 100% masked is a
+    // harness bug, so fail loudly (CI runs this).
+    if matches!(args.mode, Mode::Control) {
+        let masked = records
+            .iter()
+            .filter(|r| r.outcome.tag() == "masked")
+            .count();
+        if masked != records.len() {
+            eprintln!(
+                "campaign: control FAILED: {}/{} masked",
+                masked,
+                records.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("campaign: control OK: {masked}/{} masked", records.len());
+    }
+    ExitCode::SUCCESS
+}

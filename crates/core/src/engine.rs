@@ -35,6 +35,45 @@ pub struct RseStats {
     pub stalls: u64,
     /// Gate queries answered in safe (decoupled) mode.
     pub safe_mode_passes: u64,
+    /// Correct-path CHECKs actually routed to a live module (the index
+    /// space [`ChkFault`] addresses).
+    pub chk_routed: u64,
+    /// Injected [`ChkFault`]s that fired.
+    pub chk_faults_applied: u64,
+}
+
+/// A transient fault on the CHECK-dispatch path between the pipeline and
+/// a module — the framework-side soft errors of the §3.4 evaluation
+/// beyond stuck-at IOQ bits. The `index` counts correct-path CHECKs
+/// routed to live modules (see [`RseStats::chk_routed`]); the fault is
+/// one-shot and consumed when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChkFault {
+    /// The `index`-th routed CHECK is lost in transit: the module never
+    /// sees it. For a blocking CHECK the IOQ entry stays at `00`, so the
+    /// watchdog's no-progress timeout eventually decouples the
+    /// framework; for a non-blocking CHECK the check is silently skipped
+    /// (protection lost, application unaffected).
+    Drop {
+        /// Which routed CHECK to drop.
+        index: u64,
+    },
+    /// The `index`-th routed CHECK arrives with its first wide operand
+    /// (`a0`) XORed by `xor_mask` — the module checks the wrong datum.
+    Garble {
+        /// Which routed CHECK to garble.
+        index: u64,
+        /// Bits to flip in operand 0.
+        xor_mask: u32,
+    },
+}
+
+impl ChkFault {
+    fn index(&self) -> u64 {
+        match *self {
+            ChkFault::Drop { index } | ChkFault::Garble { index, .. } => index,
+        }
+    }
 }
 
 struct PendingChk {
@@ -59,6 +98,7 @@ pub struct Engine {
     pending_ioq: Vec<(u64, RobId, bool)>,
     exceptions: VecDeque<CoprocException>,
     chk_meta: HashMap<RobId, ChkSpec>,
+    chk_fault: Option<ChkFault>,
     stats: RseStats,
     /// Cached: is any module slot enabled? When false the engine takes a
     /// fast path that skips input-queue and IOQ bookkeeping for non-CHECK
@@ -95,6 +135,7 @@ impl Engine {
             pending_ioq: Vec::new(),
             exceptions: VecDeque::new(),
             chk_meta: HashMap::new(),
+            chk_fault: None,
             stats: RseStats::default(),
             any_enabled: false,
         }
@@ -163,6 +204,18 @@ impl Engine {
     /// Injects a stuck-at fault on the IOQ output bits (§3.4 evaluation).
     pub fn inject_ioq_fault(&mut self, fault: Option<IoqFault>) {
         self.ioq.inject_fault(fault);
+    }
+
+    /// Arms a one-shot fault on the CHECK-dispatch path (dropped or
+    /// garbled delivery to a module).
+    pub fn inject_chk_fault(&mut self, fault: Option<ChkFault>) {
+        self.chk_fault = fault;
+    }
+
+    /// Polls the watchdog's cycle-budget hang detector (one-shot; see
+    /// [`Watchdog::poll_hang`]).
+    pub fn poll_hang(&mut self, now: u64) -> bool {
+        self.watchdog.poll_hang(now)
     }
 
     /// The IOQ (inspection).
@@ -316,22 +369,44 @@ impl CoProcessor for Engine {
                     IoqEntryKind::NonBlockingChk(spec.module)
                 };
                 self.ioq.allocate(now, info.rob, kind);
+                // Apply any armed CHECK-dispatch fault (correct-path
+                // routed CHECKs only; the fault is one-shot).
+                let mut operands = info.operands;
+                let mut dropped = false;
+                if !info.wrong_path {
+                    if let Some(fault) = self.chk_fault {
+                        if fault.index() == self.stats.chk_routed {
+                            match fault {
+                                ChkFault::Drop { .. } => dropped = true,
+                                ChkFault::Garble { xor_mask, .. } => operands[0] ^= xor_mask,
+                            }
+                            self.chk_fault = None;
+                            self.stats.chk_faults_applied += 1;
+                        }
+                    }
+                    self.stats.chk_routed += 1;
+                }
                 if !spec.blocking {
                     // Asynchronous mode: checkValid is set right after the
-                    // module scans the Fetch_Out queue (§3.2).
+                    // module scans the Fetch_Out queue (§3.2). A dropped
+                    // non-blocking CHECK still completes the handshake —
+                    // the loss is between the scan and the module, so the
+                    // check is silently skipped without stalling commit.
                     self.pending_ioq
                         .push((now + self.config.fetch_scan_delay, info.rob, false));
                 }
-                self.pending_chk.push_back(PendingChk {
-                    deliver_at: now + self.config.fetch_scan_delay,
-                    chk: ChkDispatch {
-                        rob: info.rob,
-                        pc: info.pc,
-                        spec,
-                        operands: info.operands,
-                        wrong_path: info.wrong_path,
-                    },
-                });
+                if !dropped {
+                    self.pending_chk.push_back(PendingChk {
+                        deliver_at: now + self.config.fetch_scan_delay,
+                        chk: ChkDispatch {
+                            rob: info.rob,
+                            pc: info.pc,
+                            spec,
+                            operands,
+                            wrong_path: info.wrong_path,
+                        },
+                    });
+                }
             } else {
                 // Enable/disable requests and CHECKs to disabled/absent
                 // modules: the enable/disable unit writes constant `10`.
@@ -646,6 +721,75 @@ mod tests {
         let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
         // Exactly one CHK commits even if several were dispatched.
         assert_eq!(m.chk_commits, 1);
+    }
+
+    #[test]
+    fn dropped_nonblocking_chk_never_reaches_module() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        engine.enable(SLOT9);
+        engine.inject_chk_fault(Some(ChkFault::Drop { index: 0 }));
+        let cpu = run(&mut engine, "main: chk icm, nblk, 2, 0\nli r8, 1\nhalt");
+        // The application is unaffected; the module simply never saw it.
+        assert_eq!(cpu.regs()[8], 1);
+        assert_eq!(engine.stats().chk_faults_applied, 1);
+        let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
+        assert_eq!(m.chks_seen, 0);
+        assert_eq!(engine.safe_mode(), None);
+    }
+
+    #[test]
+    fn dropped_blocking_chk_trips_no_progress_watchdog() {
+        let mut cfg = RseConfig::default();
+        cfg.watchdog.timeout = 200;
+        let mut engine = Engine::new(cfg);
+        engine.install(Box::new(ScriptedModule::new(
+            SLOT9,
+            ScriptedBehavior::Respond {
+                verdict: Verdict::Pass,
+                latency: 2,
+            },
+        )));
+        engine.enable(SLOT9);
+        engine.inject_chk_fault(Some(ChkFault::Drop { index: 0 }));
+        let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
+        // The lost blocking CHECK looks exactly like a module that makes
+        // no progress; §3.4 decouples the framework and the app finishes.
+        assert_eq!(cpu.regs()[8], 1);
+        assert!(matches!(
+            engine.safe_mode(),
+            Some(SafeModeCause::NoProgress { .. })
+        ));
+    }
+
+    #[test]
+    fn garbled_chk_delivers_flipped_operand() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        engine.enable(SLOT9);
+        engine.inject_chk_fault(Some(ChkFault::Garble {
+            index: 0,
+            xor_mask: 0xFFFF_0000,
+        }));
+        run(
+            &mut engine,
+            "main: li r4, 0x1234\nli r5, 0x5678\nchk icm, nblk, 2, 9\nhalt",
+        );
+        let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
+        assert_eq!(m.last_operands, [0xFFFF_1234, 0x5678]);
+        assert_eq!(engine.stats().chk_faults_applied, 1);
+    }
+
+    #[test]
+    fn chk_fault_index_past_end_never_fires() {
+        let mut engine = Engine::new(RseConfig::default());
+        engine.install(Box::new(CountingModule::new(SLOT9)));
+        engine.enable(SLOT9);
+        engine.inject_chk_fault(Some(ChkFault::Drop { index: 99 }));
+        run(&mut engine, "main: chk icm, nblk, 2, 0\nhalt");
+        assert_eq!(engine.stats().chk_faults_applied, 0);
+        let m: &CountingModule = engine.module_ref(SLOT9).unwrap();
+        assert_eq!(m.chks_seen, 1);
     }
 
     #[test]

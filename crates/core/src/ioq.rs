@@ -45,6 +45,31 @@ pub enum IoqFault {
     CheckStuck1,
 }
 
+impl std::fmt::Display for IoqFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoqFault::ValidStuck0 => {
+                write!(f, "checkValid stuck at 0 (blocking CHECKs stall forever)")
+            }
+            IoqFault::ValidStuck1 => {
+                write!(
+                    f,
+                    "checkValid stuck at 1 (results pass before modules finish)"
+                )
+            }
+            IoqFault::CheckStuck0 => {
+                write!(
+                    f,
+                    "check stuck at 0 (errors never reported: false negative)"
+                )
+            }
+            IoqFault::CheckStuck1 => {
+                write!(f, "check stuck at 1 (pipeline flushed repeatedly)")
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct IoqEntry {
     kind: IoqEntryKind,
@@ -263,6 +288,17 @@ mod tests {
         assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
         ioq.inject_fault(None);
         assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
+    }
+
+    #[test]
+    fn fault_display_is_human_readable() {
+        assert_eq!(
+            IoqFault::ValidStuck0.to_string(),
+            "checkValid stuck at 0 (blocking CHECKs stall forever)"
+        );
+        assert!(IoqFault::CheckStuck1.to_string().contains("flushed"));
+        assert!(IoqFault::CheckStuck0.to_string().contains("false negative"));
+        assert!(IoqFault::ValidStuck1.to_string().contains("stuck at 1"));
     }
 
     #[test]

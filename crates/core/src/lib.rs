@@ -60,7 +60,7 @@ pub mod testutil;
 pub mod watchdog;
 
 pub use config::RseConfig;
-pub use engine::{Engine, RseStats};
+pub use engine::{ChkFault, Engine, RseStats};
 pub use ioq::{Ioq, IoqEntryKind, IoqFault};
 pub use mau::{Mau, MauOp, MauRequest};
 pub use module::{ChkDispatch, Module, ModuleCtx, Verdict};

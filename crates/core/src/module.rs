@@ -25,6 +25,15 @@ pub enum Verdict {
     Fail,
 }
 
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "pass (check=0: commit proceeds)"),
+            Verdict::Fail => write!(f, "fail (check=1: pipeline flush)"),
+        }
+    }
+}
+
 /// A CHECK instruction delivered to its module after the Fetch_Out scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChkDispatch {
@@ -131,4 +140,15 @@ pub trait Module: Any {
 
     /// Mutable upcast.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display_is_human_readable() {
+        assert_eq!(Verdict::Pass.to_string(), "pass (check=0: commit proceeds)");
+        assert_eq!(Verdict::Fail.to_string(), "fail (check=1: pipeline flush)");
+    }
 }

@@ -31,6 +31,11 @@ pub struct WatchdogConfig {
     /// Number of blocking-CHECK commits that passed without any module
     /// having written a result before `checkValid` is declared stuck at 1.
     pub premature_pass_threshold: usize,
+    /// Cycle budget for the guest run: once the cycle counter reaches
+    /// this value the watchdog's hang detector fires (exactly once; see
+    /// [`Watchdog::poll_hang`]). `u64::MAX` disables the detector —
+    /// the default, since only fault-injection campaigns budget runs.
+    pub cycle_budget: u64,
 }
 
 impl Default for WatchdogConfig {
@@ -39,6 +44,7 @@ impl Default for WatchdogConfig {
             timeout: 10_000,
             burst_threshold: 8,
             premature_pass_threshold: 8,
+            cycle_budget: u64::MAX,
         }
     }
 }
@@ -60,6 +66,28 @@ pub enum SafeModeCause {
     PrematurePass,
 }
 
+impl std::fmt::Display for SafeModeCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafeModeCause::NoProgress { rob } => write!(
+                f,
+                "no progress on blocking CHECK (ROB #{}): module stuck or checkValid stuck at 0",
+                rob.0
+            ),
+            SafeModeCause::ErrorBurst => {
+                write!(
+                    f,
+                    "error-indication burst: false alarms or check stuck at 1"
+                )
+            }
+            SafeModeCause::PrematurePass => write!(
+                f,
+                "blocking CHECKs passed without module results: checkValid stuck at 1"
+            ),
+        }
+    }
+}
+
 /// The self-checking watchdog.
 #[derive(Debug)]
 pub struct Watchdog {
@@ -67,9 +95,13 @@ pub struct Watchdog {
     safe_mode: Option<SafeModeCause>,
     flush_times: VecDeque<u64>,
     premature_passes: usize,
+    hang_fired: bool,
     /// Total safe-mode entries (0 or 1 per run; kept as a counter for the
     /// fault-injection campaign's bookkeeping).
     pub trips: u64,
+    /// Total hang-detector firings (0 or 1 per run — see
+    /// [`Watchdog::poll_hang`]'s one-shot guarantee).
+    pub hangs: u64,
 }
 
 impl Watchdog {
@@ -80,7 +112,9 @@ impl Watchdog {
             safe_mode: None,
             flush_times: VecDeque::new(),
             premature_passes: 0,
+            hang_fired: false,
             trips: 0,
+            hangs: 0,
         }
     }
 
@@ -124,6 +158,27 @@ impl Watchdog {
         }
     }
 
+    /// Polls the cycle-budget hang detector. Returns `true` **exactly
+    /// once** — on the first poll at or past the configured
+    /// `cycle_budget` — and `false` forever after. The one-shot latch
+    /// means a hung guest (e.g. an infinite loop created by an injected
+    /// fault) is classified as `Hang` once per run, not re-reported on
+    /// every subsequent step; campaigns can therefore never wedge and
+    /// never double-count a hang.
+    pub fn poll_hang(&mut self, now: u64) -> bool {
+        if self.hang_fired || now < self.config.cycle_budget {
+            return false;
+        }
+        self.hang_fired = true;
+        self.hangs += 1;
+        true
+    }
+
+    /// Whether the hang detector has already fired for this run.
+    pub fn hang_fired(&self) -> bool {
+        self.hang_fired
+    }
+
     /// One cycle of transition monitoring over the IOQ.
     pub fn tick(&mut self, now: u64, ioq: &Ioq) {
         if self.safe_mode.is_some() {
@@ -157,6 +212,7 @@ mod tests {
             timeout: 100,
             burst_threshold: 3,
             premature_pass_threshold: 3,
+            ..WatchdogConfig::default()
         }
     }
 
@@ -219,6 +275,45 @@ mod tests {
         wd.record_premature_pass(2);
         wd.record_premature_pass(3);
         assert_eq!(wd.safe_mode(), Some(SafeModeCause::PrematurePass));
+    }
+
+    #[test]
+    fn hang_detector_fires_exactly_once() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            cycle_budget: 1_000,
+            ..cfg()
+        });
+        assert!(!wd.poll_hang(0));
+        assert!(!wd.poll_hang(999));
+        assert!(!wd.hang_fired());
+        // First poll at/past the budget fires...
+        assert!(wd.poll_hang(1_000));
+        assert!(wd.hang_fired());
+        // ...and every subsequent poll is silent (one-shot), even though
+        // the budget stays exceeded: a hung guest is classified once.
+        for t in 1_001..1_100 {
+            assert!(!wd.poll_hang(t));
+        }
+        assert_eq!(wd.hangs, 1);
+    }
+
+    #[test]
+    fn hang_detector_disabled_by_default() {
+        let mut wd = Watchdog::default();
+        assert!(!wd.poll_hang(u64::MAX - 1));
+        assert_eq!(wd.hangs, 0);
+    }
+
+    #[test]
+    fn safe_mode_causes_render_human_readably() {
+        assert_eq!(
+            SafeModeCause::NoProgress { rob: RobId(7) }.to_string(),
+            "no progress on blocking CHECK (ROB #7): module stuck or checkValid stuck at 0"
+        );
+        assert!(SafeModeCause::ErrorBurst.to_string().contains("burst"));
+        assert!(SafeModeCause::PrematurePass
+            .to_string()
+            .contains("checkValid stuck at 1"));
     }
 
     #[test]

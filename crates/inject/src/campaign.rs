@@ -1,0 +1,607 @@
+//! The campaign runner: golden reference execution, faulty runs,
+//! outcome classification, and the checkpoint-recovery path.
+//!
+//! Per run the engine:
+//!
+//! 1. executes (or reuses) the **golden reference** for the workload and
+//!    derives the [`RunProfile`] the sampler scales to,
+//! 2. builds a fresh harness, **checkpoints every mapped page** into a
+//!    [`CheckpointStore`] (the system-software shadow of the OS SavePage
+//!    store), arms the sampled faults, and runs under a cycle budget,
+//! 3. classifies the end state against the golden result — `Masked`,
+//!    `SDC`, `DetectedByModule`, `WatchdogTimeout`, `CrashTrap`, `Hang`,
+//! 4. when a detection fired but the architectural result diverged,
+//!    exercises the **recovery path**: roll memory back from the
+//!    checkpoint store, reset the context to the process entry, and
+//!    re-execute; a re-run that reaches the golden digest is recorded as
+//!    `recovered:checkpoint-rollback`, anything else as a safe-mode halt
+//!    with the recorded cause.
+//!
+//! The DDT workload delegates recovery to the guest OS (§4.2.2): the
+//! crash of the auditing worker triggers the dependency-directed
+//! rollback, and the record is judged by the main thread's final report.
+
+use crate::fault::{FaultModel, FaultPlan, RunProfile};
+use crate::outcome::{Outcome, RecoveryStatus, RunRecord};
+use crate::snapshot::{fnv_str, Fnv};
+use crate::workload::{by_name, corpus, Harness, Workload};
+use rse_core::{Engine, RseConfig, WatchdogConfig};
+use rse_isa::asm::assemble;
+use rse_isa::layout::{page_base, STACK_BASE};
+use rse_isa::{Image, ModuleId, Reg};
+use rse_mem::{MemConfig, MemorySystem, SparseMemory};
+use rse_modules::ddt::{Ddt, DdtConfig};
+use rse_modules::icm::{Icm, IcmConfig};
+use rse_pipeline::{CheckPolicy, CpuContext, Pipeline, PipelineConfig, StepEvent};
+use rse_support::rng::splitmix64;
+use rse_sys::checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore};
+use rse_sys::{loader, Os, OsConfig, OsExit};
+use std::collections::BTreeMap;
+
+/// Cycle budget for golden reference runs.
+const REF_BUDGET: u64 = 50_000_000;
+
+/// What the DDT workload's main thread prints after a successful
+/// DDT-driven rollback (see the workload source).
+const DDT_RECOVERED_OUTPUT: &[i32] = &[1];
+
+/// Golden-run state a campaign cell classifies against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefState {
+    /// Sampler profile measured on the fault-free run.
+    pub profile: RunProfile,
+    /// Golden result digest (registers + result buffer; bare/ICM
+    /// harnesses only).
+    pub digest: u64,
+    /// Golden guest output (DDT/OS harness only).
+    pub output: Vec<i32>,
+}
+
+/// Derives the per-run seed from the campaign base seed, the workload
+/// name, the fault model, and the run index. Pure and stable: the JSONL
+/// `seed` field plus [`FaultPlan::sample`] replays the exact fault.
+pub fn derive_seed(base_seed: u64, workload: &str, model: FaultModel, run: u32) -> u64 {
+    let mut s = base_seed ^ fnv_str(workload);
+    splitmix64(&mut s);
+    s ^= model.index().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s);
+    s ^= u64::from(run);
+    splitmix64(&mut s)
+}
+
+struct Built {
+    cpu: Pipeline,
+    engine: Engine,
+}
+
+fn build(w: &Workload, image: &Image, cycle_budget: u64) -> Built {
+    let rse_cfg = RseConfig {
+        watchdog: WatchdogConfig {
+            cycle_budget,
+            ..WatchdogConfig::default()
+        },
+        ..RseConfig::default()
+    };
+    match w.harness {
+        Harness::Bare => {
+            let mut cpu = Pipeline::new(
+                PipelineConfig::default(),
+                MemorySystem::new(MemConfig::with_framework()),
+            );
+            cpu.load_image(image);
+            Built {
+                cpu,
+                engine: Engine::new(rse_cfg),
+            }
+        }
+        Harness::Icm => {
+            let mut cpu = Pipeline::new(
+                PipelineConfig {
+                    check_policy: CheckPolicy::ControlFlow,
+                    ..PipelineConfig::default()
+                },
+                MemorySystem::new(MemConfig::with_framework()),
+            );
+            cpu.load_image(image);
+            let mut icm = Icm::new(IcmConfig::default());
+            icm.install_for_control_flow(image, &mut cpu.mem_mut().memory);
+            let mut engine = Engine::new(rse_cfg);
+            engine.install(Box::new(icm));
+            engine.enable(ModuleId::ICM);
+            Built { cpu, engine }
+        }
+        Harness::DdtOs => {
+            let mut cpu = Pipeline::new(
+                PipelineConfig::default(),
+                MemorySystem::new(MemConfig::with_framework()),
+            );
+            loader::load_process(&mut cpu, image);
+            let mut ddt = Ddt::new(DdtConfig::default());
+            ddt.set_current_thread(0);
+            let mut engine = Engine::new(rse_cfg);
+            engine.install(Box::new(ddt));
+            engine.enable(ModuleId::DDT);
+            Built { cpu, engine }
+        }
+    }
+}
+
+/// How a bare/ICM drive loop ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RawEnd {
+    Halted,
+    Crash(&'static str),
+    TimedOut,
+}
+
+fn drive(cpu: &mut Pipeline, engine: &mut Engine, deadline: u64) -> RawEnd {
+    loop {
+        let remaining = deadline.saturating_sub(cpu.now());
+        if remaining == 0 {
+            return RawEnd::TimedOut;
+        }
+        match cpu.run(engine, remaining) {
+            StepEvent::Halted => return RawEnd::Halted,
+            StepEvent::Timeout => return RawEnd::TimedOut,
+            StepEvent::Syscall => return RawEnd::Crash("unexpected syscall trap"),
+            StepEvent::Exception(_) => return RawEnd::Crash("unexpected coprocessor exception"),
+        }
+    }
+}
+
+/// Digest of the workload-declared result set: the named registers plus
+/// the result buffer bytes.
+fn result_digest(w: &Workload, cpu: &Pipeline, image: &Image) -> u64 {
+    let mut h = Fnv::new();
+    for &r in w.result_regs {
+        h.write_u32(cpu.regs()[r]);
+    }
+    if let Some((sym, len)) = w.result_buf {
+        let addr = image.symbol(sym).expect("result_buf symbol exists");
+        for i in 0..len {
+            h.write_bytes(&[cpu.mem().memory.read_u8(addr + i)]);
+        }
+    }
+    h.finish()
+}
+
+fn sampler_profile(w: &Workload, image: &Image, cpu: &Pipeline, engine: &Engine) -> RunProfile {
+    let data_range = w.data_fault_buf.map(|(sym, len)| {
+        let addr = image.symbol(sym).expect("data_fault_buf symbol exists");
+        (addr, addr + len)
+    });
+    RunProfile {
+        cycles: cpu.stats().cycles,
+        fetched: cpu.stats().fetched,
+        chk_routed: engine.stats().chk_routed,
+        text_range: (image.text_base, image.text_end()),
+        data_range,
+    }
+}
+
+/// Executes the golden reference run for a workload.
+///
+/// # Panics
+///
+/// Panics if the fault-free workload does not complete cleanly — that is
+/// a corpus bug, not a campaign outcome.
+pub fn reference(w: &Workload) -> RefState {
+    let image = assemble(w.source).expect("corpus workload assembles");
+    let mut b = build(w, &image, u64::MAX);
+    match w.harness {
+        Harness::Bare | Harness::Icm => {
+            let end = drive(&mut b.cpu, &mut b.engine, REF_BUDGET);
+            assert_eq!(end, RawEnd::Halted, "golden run of {} must halt", w.name);
+            assert!(
+                b.engine.safe_mode().is_none(),
+                "golden run of {} tripped the watchdog",
+                w.name
+            );
+            RefState {
+                profile: sampler_profile(w, &image, &b.cpu, &b.engine),
+                digest: result_digest(w, &b.cpu, &image),
+                output: Vec::new(),
+            }
+        }
+        Harness::DdtOs => {
+            let mut os = Os::new(OsConfig::default());
+            let exit = os.run(&mut b.cpu, &mut b.engine, REF_BUDGET);
+            assert_eq!(
+                exit,
+                OsExit::Exited { code: 0 },
+                "golden run of {} must exit cleanly",
+                w.name
+            );
+            assert_eq!(
+                os.stats().recoveries,
+                0,
+                "golden run of {} must not need recovery",
+                w.name
+            );
+            RefState {
+                profile: sampler_profile(w, &image, &b.cpu, &b.engine),
+                digest: 0,
+                output: os.output.clone(),
+            }
+        }
+    }
+}
+
+/// System-software pre-run checkpoint: every mapped page snapshotted
+/// into a [`CheckpointStore`], in sorted-page order.
+struct PreRunCheckpoints {
+    store: CheckpointStore,
+    pages: Vec<u32>,
+}
+
+fn capture_checkpoints(mem: &SparseMemory) -> PreRunCheckpoints {
+    let pages = mem.mapped_page_ids_sorted();
+    let mut store = CheckpointStore::new(CheckpointConfig::default());
+    for &page in &pages {
+        store.store(Checkpoint {
+            page,
+            data: mem.snapshot_page(page_base(page)),
+            saved_at: 0,
+            writer: 0,
+        });
+    }
+    PreRunCheckpoints { store, pages }
+}
+
+/// Rolls the process back to its pre-run checkpoints and re-executes.
+/// Returns the re-executed result digest, or the failure cause.
+fn rollback_and_rerun(
+    w: &Workload,
+    image: &Image,
+    pre: &PreRunCheckpoints,
+    budget: u64,
+) -> Result<u64, String> {
+    let mut b = build(w, image, budget);
+    // Memory is repopulated *strictly from the checkpoint store*: a
+    // missing page means recovery has insufficient information, exactly
+    // the §4.2.2 whole-process-termination case.
+    for &page in &pre.pages {
+        let cp = pre
+            .store
+            .earliest_for(page)
+            .ok_or_else(|| format!("missing checkpoint for page {page:#x}"))?;
+        b.cpu
+            .mem_mut()
+            .memory
+            .restore_page(page_base(page), &cp.data);
+    }
+    b.cpu.mem_mut().invalidate_caches();
+    let mut regs = [0u32; 32];
+    regs[Reg::SP.index()] = STACK_BASE - 16;
+    b.cpu.set_context(&CpuContext {
+        regs,
+        pc: image.entry,
+    });
+    match drive(&mut b.cpu, &mut b.engine, budget) {
+        RawEnd::Halted => Ok(result_digest(w, &b.cpu, image)),
+        RawEnd::TimedOut => Err("re-execution after rollback did not complete".into()),
+        RawEnd::Crash(why) => Err(format!("re-execution after rollback crashed: {why}")),
+    }
+}
+
+fn fault_budget(r: &RefState) -> u64 {
+    r.profile.cycles.saturating_mul(4) + 200_000
+}
+
+/// Executes one fault-injection run and classifies it.
+pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefState) -> RunRecord {
+    let image = assemble(w.source).expect("corpus workload assembles");
+    let plan = FaultPlan::sample(model, seed, &r.profile);
+    let budget = fault_budget(r);
+    let (outcome, recovery, cycles) = match w.harness {
+        Harness::Bare | Harness::Icm => {
+            let mut b = build(w, &image, budget);
+            let pre = capture_checkpoints(&b.cpu.mem().memory);
+            plan.arm(&mut b.cpu, &mut b.engine);
+            let end = drive(&mut b.cpu, &mut b.engine, budget);
+            if end == RawEnd::TimedOut {
+                // Latch the watchdog's one-shot hang detector.
+                b.engine.poll_hang(b.cpu.now());
+            }
+            let detected = b
+                .engine
+                .module_ref::<Icm>(ModuleId::ICM)
+                .is_some_and(|icm| icm.stats().mismatches > 0);
+            let digest = result_digest(w, &b.cpu, &image);
+            let outcome = if detected {
+                Outcome::DetectedByModule(ModuleId::ICM)
+            } else if b.engine.safe_mode().is_some() {
+                Outcome::WatchdogTimeout
+            } else {
+                match end {
+                    RawEnd::TimedOut => Outcome::Hang,
+                    RawEnd::Crash(_) => Outcome::CrashTrap,
+                    RawEnd::Halted => {
+                        if digest == r.digest {
+                            Outcome::Masked
+                        } else {
+                            Outcome::Sdc
+                        }
+                    }
+                }
+            };
+            let recovery = match outcome {
+                Outcome::Masked | Outcome::Sdc => RecoveryStatus::NotNeeded,
+                _ if end == RawEnd::Halted && digest == r.digest => RecoveryStatus::Succeeded {
+                    mechanism: if detected {
+                        "flush-refetch"
+                    } else {
+                        "safe-mode-decouple"
+                    },
+                },
+                _ => match rollback_and_rerun(w, &image, &pre, budget) {
+                    Ok(d) if d == r.digest => RecoveryStatus::Succeeded {
+                        mechanism: "checkpoint-rollback",
+                    },
+                    Ok(_) => RecoveryStatus::FailedSafeHalt {
+                        cause: "re-executed state diverged from golden".into(),
+                    },
+                    Err(cause) => RecoveryStatus::FailedSafeHalt { cause },
+                },
+            };
+            (outcome, recovery, b.cpu.now())
+        }
+        Harness::DdtOs => {
+            let mut b = build(w, &image, budget);
+            plan.arm(&mut b.cpu, &mut b.engine);
+            let mut os = Os::new(OsConfig::default());
+            let exit = os.run(&mut b.cpu, &mut b.engine, budget);
+            if exit == OsExit::Timeout {
+                b.engine.poll_hang(b.cpu.now());
+            }
+            let detected = os.stats().recoveries > 0;
+            let outcome = if detected {
+                Outcome::DetectedByModule(ModuleId::DDT)
+            } else if b.engine.safe_mode().is_some() {
+                Outcome::WatchdogTimeout
+            } else {
+                match &exit {
+                    OsExit::Timeout => Outcome::Hang,
+                    OsExit::ProcessKilled { .. } => Outcome::CrashTrap,
+                    OsExit::Exited { code: 0 } if os.output == r.output => Outcome::Masked,
+                    _ => Outcome::Sdc,
+                }
+            };
+            let recovery = if detected {
+                if exit == (OsExit::Exited { code: 0 }) && os.output == DDT_RECOVERED_OUTPUT {
+                    RecoveryStatus::Succeeded {
+                        mechanism: "ddt-checkpoint-rollback",
+                    }
+                } else {
+                    RecoveryStatus::FailedSafeHalt {
+                        cause: format!(
+                            "post-recovery run diverged (output {:?}, exit {:?})",
+                            os.output, exit
+                        ),
+                    }
+                }
+            } else {
+                RecoveryStatus::NotNeeded
+            };
+            (outcome, recovery, b.cpu.now())
+        }
+    };
+    RunRecord {
+        workload: w.name,
+        model: model.name(),
+        run,
+        seed,
+        outcome,
+        recovery,
+        cycles,
+        faults: plan.describe(),
+    }
+}
+
+/// Convenience: reference + single run for a named workload. Returns
+/// `None` for an unknown workload name.
+pub fn run_one_by_name(name: &str, model: FaultModel, seed: u64) -> Option<RunRecord> {
+    let w = by_name(name)?;
+    let r = reference(w);
+    Some(run_one(w, model, 0, seed, &r))
+}
+
+/// One campaign cell: `runs` injections of `model` into `workload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignCell {
+    /// Workload name (must resolve via [`by_name`]).
+    pub workload: &'static str,
+    /// Fault model.
+    pub model: FaultModel,
+    /// Number of runs.
+    pub runs: u32,
+}
+
+/// A full campaign specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Base seed every per-run seed is derived from.
+    pub base_seed: u64,
+    /// The cells, executed in order.
+    pub cells: Vec<CampaignCell>,
+}
+
+impl CampaignSpec {
+    /// The pinned 64-run CI smoke campaign: every fault model exercised
+    /// across the corpus.
+    pub fn smoke(base_seed: u64) -> CampaignSpec {
+        let cell = |workload, model, runs| CampaignCell {
+            workload,
+            model,
+            runs,
+        };
+        CampaignSpec {
+            base_seed,
+            cells: vec![
+                cell("alu_loop", FaultModel::RegSingle, 8),
+                cell("alu_loop", FaultModel::MemData, 8),
+                cell("mem_checksum", FaultModel::RegDouble, 8),
+                cell("mem_checksum", FaultModel::MemData, 8),
+                cell("icm_loop", FaultModel::FetchWord, 8),
+                cell("icm_loop", FaultModel::MemText, 8),
+                cell("icm_loop", FaultModel::ChkDrop, 4),
+                cell("icm_loop", FaultModel::ChkGarble, 4),
+                cell("ddt_recover", FaultModel::MemData, 8),
+            ],
+        }
+    }
+
+    /// The zero-fault control campaign: every workload under the
+    /// `control` model. All runs must classify as `masked`.
+    pub fn control(base_seed: u64, runs: u32) -> CampaignSpec {
+        CampaignSpec {
+            base_seed,
+            cells: corpus()
+                .iter()
+                .map(|w| CampaignCell {
+                    workload: w.name,
+                    model: FaultModel::Control,
+                    runs,
+                })
+                .collect(),
+        }
+    }
+
+    /// The full cross product: every applicable (workload, model) pair,
+    /// `runs` injections each.
+    pub fn full(base_seed: u64, runs: u32) -> CampaignSpec {
+        let mut cells = Vec::new();
+        for w in corpus() {
+            for model in FaultModel::ALL {
+                if model.applicable(w) {
+                    cells.push(CampaignCell {
+                        workload: w.name,
+                        model,
+                        runs,
+                    });
+                }
+            }
+        }
+        CampaignSpec { base_seed, cells }
+    }
+
+    /// Total runs in the spec.
+    pub fn total_runs(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.runs)).sum()
+    }
+}
+
+/// Executes a campaign: golden references are computed once per
+/// workload, then every cell's runs execute in order.
+///
+/// # Panics
+///
+/// Panics if a cell names an unknown workload or an inapplicable fault
+/// model — specs are validated eagerly so a bad campaign never half-runs.
+pub fn run_campaign(spec: &CampaignSpec) -> Vec<RunRecord> {
+    for cell in &spec.cells {
+        let w = by_name(cell.workload)
+            .unwrap_or_else(|| panic!("unknown workload {:?}", cell.workload));
+        assert!(
+            cell.model.applicable(w),
+            "model {} is not applicable to workload {}",
+            cell.model,
+            w.name
+        );
+    }
+    let mut refs: BTreeMap<&str, RefState> = BTreeMap::new();
+    let mut records = Vec::with_capacity(spec.total_runs() as usize);
+    for cell in &spec.cells {
+        let w = by_name(cell.workload).expect("validated above");
+        let r = refs.entry(w.name).or_insert_with(|| reference(w));
+        for run in 0..cell.runs {
+            let seed = derive_seed(spec.base_seed, w.name, cell.model, run);
+            records.push(run_one(w, cell.model, run, seed, r));
+        }
+    }
+    records
+}
+
+/// Serializes records as JSON lines (one record per line, trailing
+/// newline).
+pub fn to_jsonl(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_well_spread() {
+        let a = derive_seed(1, "alu_loop", FaultModel::RegSingle, 0);
+        assert_eq!(a, derive_seed(1, "alu_loop", FaultModel::RegSingle, 0));
+        assert_ne!(a, derive_seed(2, "alu_loop", FaultModel::RegSingle, 0));
+        assert_ne!(a, derive_seed(1, "mem_checksum", FaultModel::RegSingle, 0));
+        assert_ne!(a, derive_seed(1, "alu_loop", FaultModel::RegDouble, 0));
+        assert_ne!(a, derive_seed(1, "alu_loop", FaultModel::RegSingle, 1));
+    }
+
+    #[test]
+    fn smoke_spec_is_64_runs() {
+        assert_eq!(CampaignSpec::smoke(0).total_runs(), 64);
+    }
+
+    #[test]
+    fn full_spec_skips_inapplicable_models() {
+        let spec = CampaignSpec::full(0, 1);
+        assert!(spec
+            .cells
+            .iter()
+            .all(|c| c.model.applicable(by_name(c.workload).unwrap())));
+        // icm_loop has no data buffer; bare workloads have no CHECKs.
+        assert!(!spec
+            .cells
+            .iter()
+            .any(|c| c.workload == "icm_loop" && c.model == FaultModel::MemData));
+        assert!(!spec
+            .cells
+            .iter()
+            .any(|c| c.workload == "alu_loop" && c.model == FaultModel::ChkDrop));
+    }
+
+    #[test]
+    #[should_panic(expected = "not applicable")]
+    fn bad_spec_is_rejected_eagerly() {
+        run_campaign(&CampaignSpec {
+            base_seed: 0,
+            cells: vec![CampaignCell {
+                workload: "alu_loop",
+                model: FaultModel::ChkDrop,
+                runs: 1,
+            }],
+        });
+    }
+
+    #[test]
+    fn control_runs_are_all_masked() {
+        let records = run_campaign(&CampaignSpec::control(7, 2));
+        assert_eq!(records.len(), 8);
+        for r in &records {
+            assert_eq!(r.outcome, Outcome::Masked, "{}", r.to_json());
+            assert_eq!(r.recovery, RecoveryStatus::NotNeeded);
+            assert_eq!(r.faults, "none");
+        }
+    }
+
+    #[test]
+    fn references_are_reproducible() {
+        for w in corpus() {
+            let a = reference(w);
+            let b = reference(w);
+            assert_eq!(a, b, "reference for {} is nondeterministic", w.name);
+            assert!(a.profile.cycles > 0);
+            assert!(a.profile.fetched > 0);
+        }
+    }
+}

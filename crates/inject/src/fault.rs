@@ -1,0 +1,382 @@
+//! Fault models and the deterministic injection-point sampler.
+//!
+//! A campaign run is parameterized by a [`FaultModel`] and a single `u64`
+//! seed. [`FaultPlan::sample`] expands the seed — via the in-repo
+//! `splitmix64` chain — into concrete injection coordinates (*cycle*,
+//! *location*, *bit mask*) scaled to the workload's golden-run
+//! [`RunProfile`]. The expansion is a pure function, so any run of any
+//! campaign can be replayed exactly from its recorded seed.
+
+use crate::workload::{Harness, Workload};
+use rse_core::{ChkFault, Engine};
+use rse_pipeline::{FetchFault, Pipeline, SoftFault};
+use rse_support::rng::splitmix64;
+
+/// The soft-error fault models of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModel {
+    /// No fault at all — the control group. Every run must classify as
+    /// `Masked`; anything else is a campaign-engine bug.
+    Control,
+    /// Single bit flip in one architectural register.
+    RegSingle,
+    /// Double bit flip in one architectural register (same word, two
+    /// distinct bits — the multi-bit upset the paper's parity-per-word
+    /// schemes miss).
+    RegDouble,
+    /// Single bit flip in the workload's data buffer.
+    MemData,
+    /// Single bit flip in the text segment — persistent, because fetch
+    /// re-reads memory: the ICM's redundant-copy target.
+    MemText,
+    /// One fetched instruction word corrupted in transit (I-cache →
+    /// pipeline), a 1–2 bit transient.
+    FetchWord,
+    /// One CHECK dispatch dropped between the Fetch_Out scan and the
+    /// module — the framework-side delivery fault of §3.4.
+    ChkDrop,
+    /// One CHECK dispatch delivered with a corrupted wide operand.
+    ChkGarble,
+}
+
+impl FaultModel {
+    /// Every model, in stable order (the order is part of the seed
+    /// derivation and must never change).
+    pub const ALL: [FaultModel; 8] = [
+        FaultModel::Control,
+        FaultModel::RegSingle,
+        FaultModel::RegDouble,
+        FaultModel::MemData,
+        FaultModel::MemText,
+        FaultModel::FetchWord,
+        FaultModel::ChkDrop,
+        FaultModel::ChkGarble,
+    ];
+
+    /// Stable model name (JSONL field, CLI argument).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModel::Control => "control",
+            FaultModel::RegSingle => "reg-single",
+            FaultModel::RegDouble => "reg-double",
+            FaultModel::MemData => "mem-data",
+            FaultModel::MemText => "mem-text",
+            FaultModel::FetchWord => "fetch-word",
+            FaultModel::ChkDrop => "chk-drop",
+            FaultModel::ChkGarble => "chk-garble",
+        }
+    }
+
+    /// Parses a model name (the inverse of [`FaultModel::name`]).
+    pub fn from_name(name: &str) -> Option<FaultModel> {
+        FaultModel::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// Position in [`FaultModel::ALL`] (seed-derivation index).
+    pub fn index(self) -> u64 {
+        FaultModel::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("model present in ALL") as u64
+    }
+
+    /// Whether this model can target the given workload. `MemData` needs
+    /// a declared data buffer; the CHECK-path models need a harness that
+    /// dispatches CHECK instructions.
+    pub fn applicable(self, workload: &Workload) -> bool {
+        match self {
+            FaultModel::MemData => workload.data_fault_buf.is_some(),
+            FaultModel::ChkDrop | FaultModel::ChkGarble => workload.harness == Harness::Icm,
+            _ => true,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Golden-run measurements the sampler scales injection points to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Cycles of the fault-free reference run.
+    pub cycles: u64,
+    /// Instruction words fetched during the reference run.
+    pub fetched: u64,
+    /// Correct-path CHECKs routed to modules during the reference run.
+    pub chk_routed: u64,
+    /// `[start, end)` of the text segment.
+    pub text_range: (u32, u32),
+    /// `[start, end)` of the declared data-fault buffer, if any.
+    pub data_range: Option<(u32, u32)>,
+}
+
+/// One concrete scheduled fault, ready to arm on the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedFault {
+    /// A register or memory bit flip at a scheduled cycle.
+    Soft(SoftFault),
+    /// A fetched-word corruption.
+    Fetch(FetchFault),
+    /// A CHECK-dispatch delivery fault.
+    Chk(ChkFault),
+}
+
+/// The fully expanded injection plan for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The faults to arm (empty for the control model).
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// Deterministically expands `seed` into concrete injection
+    /// coordinates for `model`, scaled to `profile`. Pure: same inputs →
+    /// same plan, forever.
+    pub fn sample(model: FaultModel, seed: u64, profile: &RunProfile) -> FaultPlan {
+        let mut s = seed;
+        let mut next = move || splitmix64(&mut s);
+        let cycle = |r: u64| 1 + r % profile.cycles.max(1);
+        let faults = match model {
+            FaultModel::Control => Vec::new(),
+            FaultModel::RegSingle => {
+                let at_cycle = cycle(next());
+                let reg = 1 + (next() % 31) as u8;
+                let xor_mask = 1u32 << (next() % 32);
+                vec![PlannedFault::Soft(SoftFault::Reg {
+                    at_cycle,
+                    reg,
+                    xor_mask,
+                })]
+            }
+            FaultModel::RegDouble => {
+                let at_cycle = cycle(next());
+                let reg = 1 + (next() % 31) as u8;
+                let b1 = (next() % 32) as u32;
+                let b2 = (b1 + 1 + (next() % 31) as u32) % 32;
+                let xor_mask = (1u32 << b1) | (1u32 << b2);
+                vec![PlannedFault::Soft(SoftFault::Reg {
+                    at_cycle,
+                    reg,
+                    xor_mask,
+                })]
+            }
+            FaultModel::MemData | FaultModel::MemText => {
+                let (lo, hi) = match model {
+                    FaultModel::MemData => profile
+                        .data_range
+                        .expect("MemData requires a data range (gated by applicable())"),
+                    _ => profile.text_range,
+                };
+                let words = (u64::from(hi.saturating_sub(lo)) / 4).max(1);
+                let at_cycle = cycle(next());
+                let addr = lo + 4 * (next() % words) as u32;
+                let xor_mask = 1u32 << (next() % 32);
+                vec![PlannedFault::Soft(SoftFault::Mem {
+                    at_cycle,
+                    addr,
+                    xor_mask,
+                })]
+            }
+            FaultModel::FetchWord => {
+                let index = next() % profile.fetched.max(1);
+                let b1 = (next() % 32) as u32;
+                let mut xor_mask = 1u32 << b1;
+                if next() % 2 == 1 {
+                    xor_mask |= 1u32 << ((b1 + 1 + (next() % 31) as u32) % 32);
+                }
+                vec![PlannedFault::Fetch(FetchFault { index, xor_mask })]
+            }
+            FaultModel::ChkDrop => {
+                if profile.chk_routed == 0 {
+                    Vec::new()
+                } else {
+                    let index = next() % profile.chk_routed;
+                    vec![PlannedFault::Chk(ChkFault::Drop { index })]
+                }
+            }
+            FaultModel::ChkGarble => {
+                if profile.chk_routed == 0 {
+                    Vec::new()
+                } else {
+                    let index = next() % profile.chk_routed;
+                    let xor_mask = 1u32 << (next() % 32);
+                    vec![PlannedFault::Chk(ChkFault::Garble { index, xor_mask })]
+                }
+            }
+        };
+        FaultPlan { faults }
+    }
+
+    /// Arms every planned fault on the harness.
+    pub fn arm(&self, cpu: &mut Pipeline, engine: &mut Engine) {
+        for fault in &self.faults {
+            match *fault {
+                PlannedFault::Soft(sf) => cpu.schedule_fault(sf),
+                PlannedFault::Fetch(ff) => cpu.set_fetch_fault(Some(ff)),
+                PlannedFault::Chk(cf) => engine.inject_chk_fault(Some(cf)),
+            }
+        }
+    }
+
+    /// Compact human/JSONL description of the plan, e.g.
+    /// `reg[9]^=0x00100000@c1234`.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return "none".into();
+        }
+        let parts: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| match *f {
+                PlannedFault::Soft(SoftFault::Reg {
+                    at_cycle,
+                    reg,
+                    xor_mask,
+                }) => format!("reg[{reg}]^={xor_mask:#010x}@c{at_cycle}"),
+                PlannedFault::Soft(SoftFault::Mem {
+                    at_cycle,
+                    addr,
+                    xor_mask,
+                }) => format!("mem[{addr:#010x}]^={xor_mask:#010x}@c{at_cycle}"),
+                PlannedFault::Fetch(FetchFault { index, xor_mask }) => {
+                    format!("fetch[{index}]^={xor_mask:#010x}")
+                }
+                PlannedFault::Chk(ChkFault::Drop { index }) => format!("chk-drop[{index}]"),
+                PlannedFault::Chk(ChkFault::Garble { index, xor_mask }) => {
+                    format!("chk-garble[{index}]^={xor_mask:#010x}")
+                }
+            })
+            .collect();
+        parts.join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> RunProfile {
+        RunProfile {
+            cycles: 10_000,
+            fetched: 2_500,
+            chk_routed: 120,
+            text_range: (0x0040_0000, 0x0040_0100),
+            data_range: Some((0x1000_0000, 0x1000_0080)),
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for model in FaultModel::ALL {
+            let a = FaultPlan::sample(model, 0xDEAD_BEEF, &profile());
+            let b = FaultPlan::sample(model, 0xDEAD_BEEF, &profile());
+            assert_eq!(a, b, "{model} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_points() {
+        let plans: Vec<FaultPlan> = (0..16)
+            .map(|s| FaultPlan::sample(FaultModel::RegSingle, s, &profile()))
+            .collect();
+        let distinct = plans
+            .iter()
+            .filter(|p| plans.iter().filter(|q| q == p).count() == 1)
+            .count();
+        assert!(distinct >= 12, "seed expansion barely varies: {distinct}");
+    }
+
+    #[test]
+    fn control_is_empty_and_others_are_not() {
+        assert!(FaultPlan::sample(FaultModel::Control, 7, &profile())
+            .faults
+            .is_empty());
+        for model in FaultModel::ALL.into_iter().skip(1) {
+            assert_eq!(
+                FaultPlan::sample(model, 7, &profile()).faults.len(),
+                1,
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_respect_ranges() {
+        for seed in 0..64 {
+            let p = FaultPlan::sample(FaultModel::MemData, seed, &profile());
+            let PlannedFault::Soft(SoftFault::Mem { addr, at_cycle, .. }) = p.faults[0] else {
+                panic!("wrong fault kind");
+            };
+            assert!((0x1000_0000..0x1000_0080).contains(&addr));
+            assert_eq!(addr % 4, 0);
+            assert!(at_cycle >= 1 && at_cycle <= 10_000);
+
+            let p = FaultPlan::sample(FaultModel::MemText, seed, &profile());
+            let PlannedFault::Soft(SoftFault::Mem { addr, .. }) = p.faults[0] else {
+                panic!("wrong fault kind");
+            };
+            assert!((0x0040_0000..0x0040_0100).contains(&addr));
+
+            let p = FaultPlan::sample(FaultModel::RegSingle, seed, &profile());
+            let PlannedFault::Soft(SoftFault::Reg { reg, xor_mask, .. }) = p.faults[0] else {
+                panic!("wrong fault kind");
+            };
+            assert!((1..32).contains(&reg), "r0 must never be sampled");
+            assert_eq!(xor_mask.count_ones(), 1);
+
+            let p = FaultPlan::sample(FaultModel::RegDouble, seed, &profile());
+            let PlannedFault::Soft(SoftFault::Reg { xor_mask, .. }) = p.faults[0] else {
+                panic!("wrong fault kind");
+            };
+            assert_eq!(xor_mask.count_ones(), 2, "double flip must be 2 bits");
+
+            let p = FaultPlan::sample(FaultModel::FetchWord, seed, &profile());
+            let PlannedFault::Fetch(FetchFault { index, xor_mask }) = p.faults[0] else {
+                panic!("wrong fault kind");
+            };
+            assert!(index < 2_500);
+            assert!((1..=2).contains(&xor_mask.count_ones()));
+
+            let p = FaultPlan::sample(FaultModel::ChkDrop, seed, &profile());
+            let PlannedFault::Chk(ChkFault::Drop { index }) = p.faults[0] else {
+                panic!("wrong fault kind");
+            };
+            assert!(index < 120);
+        }
+    }
+
+    #[test]
+    fn chk_models_degrade_gracefully_without_chks() {
+        let p = RunProfile {
+            chk_routed: 0,
+            ..profile()
+        };
+        assert!(FaultPlan::sample(FaultModel::ChkDrop, 3, &p)
+            .faults
+            .is_empty());
+        assert!(FaultPlan::sample(FaultModel::ChkGarble, 3, &p)
+            .faults
+            .is_empty());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for model in FaultModel::ALL {
+            assert_eq!(FaultModel::from_name(model.name()), Some(model));
+            assert_eq!(FaultModel::ALL[model.index() as usize], model);
+        }
+        assert_eq!(FaultModel::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn describe_is_compact() {
+        let plan = FaultPlan::sample(FaultModel::RegSingle, 1, &profile());
+        let d = plan.describe();
+        assert!(d.starts_with("reg["), "{d}");
+        assert!(d.contains("@c"), "{d}");
+        assert_eq!(FaultPlan::default().describe(), "none");
+    }
+}

@@ -1,0 +1,62 @@
+//! # rse-inject — deterministic soft-error fault-injection campaigns
+//!
+//! The evaluation methodology of *"An Architectural Framework for
+//! Providing Reliability and Security Support"* (DSN 2004) rests on
+//! fault-injection campaigns: transient soft errors are injected into a
+//! running guest, and each run is classified by where the error surfaced
+//! — masked, silent data corruption, detected by an RSE module, caught by
+//! the self-checking watchdog, crashed, or hung. This crate is the
+//! campaign engine.
+//!
+//! Pieces:
+//!
+//! * [`fault`] — the fault models (register single/double bit flips,
+//!   memory bit flips in text and data, instruction-word corruption at
+//!   fetch, dropped/garbled CHECK dispatches) and the deterministic
+//!   injection-point sampler: one `u64` seed fully determines *when*,
+//!   *where*, and *which bits*, replayable forever,
+//! * [`workload`] — a small corpus of guest programs, one per harness
+//!   flavor (bare pipeline, ICM-protected, DDT + guest OS),
+//! * [`snapshot`] — whole-machine architectural snapshots with a stable
+//!   digest, used for golden-run comparison and rollback verification,
+//! * [`outcome`] — the outcome taxonomy ([`Outcome`]), the recovery
+//!   verdict ([`RecoveryStatus`]), JSON-lines records and the
+//!   detection-coverage histogram,
+//! * [`campaign`] — the runner: golden reference execution, faulty run,
+//!   classification against the golden state, and the recovery path
+//!   (checkpoint rollback + re-execution when a detection fired but the
+//!   architectural state diverged).
+//!
+//! Everything is deterministic: same spec + same base seed → byte-for-byte
+//! identical JSONL, on any host. The only randomness source is the
+//! in-repo `rse_support::rng::splitmix64`.
+//!
+//! # Example
+//!
+//! ```
+//! use rse_inject::{run_one_by_name, FaultModel};
+//!
+//! // Replay a single run of the campaign: seed → fault → outcome.
+//! let record = run_one_by_name("alu_loop", FaultModel::Control, 42).unwrap();
+//! assert_eq!(record.outcome.tag(), "masked"); // no fault injected
+//! let again = run_one_by_name("alu_loop", FaultModel::Control, 42).unwrap();
+//! assert_eq!(record.to_json(), again.to_json());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod fault;
+pub mod outcome;
+pub mod snapshot;
+pub mod workload;
+
+pub use campaign::{
+    derive_seed, run_campaign, run_one, run_one_by_name, to_jsonl, CampaignCell, CampaignSpec,
+    RefState,
+};
+pub use fault::{FaultModel, FaultPlan, PlannedFault, RunProfile};
+pub use outcome::{coverage_table, Histogram, Outcome, RecoveryStatus, RunRecord};
+pub use snapshot::ArchSnapshot;
+pub use workload::{by_name, corpus, Harness, Workload};

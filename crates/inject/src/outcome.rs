@@ -1,0 +1,393 @@
+//! Outcome taxonomy, recovery verdicts, JSON-lines records, and the
+//! detection-coverage histogram.
+//!
+//! The taxonomy is the standard DSN-campaign classification, refined with
+//! the framework's own detectors: a run is *detected* when an RSE module
+//! flagged the error (and the record then also says whether the recovery
+//! path restored a correct final state), *watchdog-timeout* when the
+//! §3.4 self-checking mechanism decoupled the framework, *crash-trap*
+//! when the guest died through a generic trap, *hang* when the
+//! cycle-budget detector fired, *SDC* when the run completed with a wrong
+//! result, and *masked* when the fault had no architectural effect.
+
+use rse_isa::ModuleId;
+use std::collections::BTreeMap;
+
+/// Short stable tag for a module (used inside outcome tags).
+fn module_tag(id: ModuleId) -> String {
+    if id == ModuleId::ICM {
+        "ICM".into()
+    } else if id == ModuleId::MLR {
+        "MLR".into()
+    } else if id == ModuleId::DDT {
+        "DDT".into()
+    } else if id == ModuleId::AHBM {
+        "AHBM".into()
+    } else {
+        format!("M{}", id.number())
+    }
+}
+
+/// How one fault-injection run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The run completed with the golden architectural result.
+    Masked,
+    /// Silent data corruption: completed, but the result differs from
+    /// the golden run and nothing detected it.
+    Sdc,
+    /// An RSE module detected the error (ICM mismatch, DDT-mediated
+    /// crash recovery, ...).
+    DetectedByModule(ModuleId),
+    /// The §3.4 self-checking watchdog decoupled the framework.
+    WatchdogTimeout,
+    /// The guest died through a generic trap (unexpected syscall /
+    /// exception / process kill), not through an RSE detector.
+    CrashTrap,
+    /// The cycle-budget hang detector fired.
+    Hang,
+}
+
+impl Outcome {
+    /// Stable machine-readable tag (JSONL field, histogram key).
+    pub fn tag(&self) -> String {
+        match self {
+            Outcome::Masked => "masked".into(),
+            Outcome::Sdc => "sdc".into(),
+            Outcome::DetectedByModule(id) => format!("detected:{}", module_tag(*id)),
+            Outcome::WatchdogTimeout => "watchdog-timeout".into(),
+            Outcome::CrashTrap => "crash-trap".into(),
+            Outcome::Hang => "hang".into(),
+        }
+    }
+
+    /// Whether an RSE module detected the fault.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, Outcome::DetectedByModule(_))
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+/// Whether (and how) the run's error was repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryStatus {
+    /// Nothing to recover: the fault was masked, or it produced SDC
+    /// (undetected — by definition unrecoverable).
+    NotNeeded,
+    /// Recovery completed and re-execution reached the golden state.
+    Succeeded {
+        /// Which mechanism repaired the run: `flush-refetch` (the ICM's
+        /// inline pipeline flush), `safe-mode-decouple` (the watchdog's
+        /// fail-safe), `checkpoint-rollback` (system software restoring
+        /// the checkpoint store and re-executing), or
+        /// `ddt-checkpoint-rollback` (the OS recovery algorithm of
+        /// §4.2.2).
+        mechanism: &'static str,
+    },
+    /// Recovery was attempted but could not restore a correct state;
+    /// the framework halts in safe mode with the recorded cause.
+    FailedSafeHalt {
+        /// Why recovery failed.
+        cause: String,
+    },
+}
+
+impl RecoveryStatus {
+    /// Stable machine-readable tag.
+    pub fn tag(&self) -> String {
+        match self {
+            RecoveryStatus::NotNeeded => "not-needed".into(),
+            RecoveryStatus::Succeeded { mechanism } => format!("recovered:{mechanism}"),
+            RecoveryStatus::FailedSafeHalt { .. } => "failed-safe-halt".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+/// One campaign run, fully described — a line of the JSONL report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Fault-model name.
+    pub model: &'static str,
+    /// Run index within its campaign cell.
+    pub run: u32,
+    /// The replay seed (expands to the exact fault via
+    /// [`crate::FaultPlan::sample`]).
+    pub seed: u64,
+    /// Outcome classification.
+    pub outcome: Outcome,
+    /// Recovery verdict.
+    pub recovery: RecoveryStatus,
+    /// Cycles the faulty run consumed.
+    pub cycles: u64,
+    /// Compact description of the injected fault(s).
+    pub faults: String,
+}
+
+/// Minimal JSON string escaper (the only non-trivial characters our
+/// fields can contain are quotes and backslashes, but control characters
+/// are handled for safety).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RunRecord {
+    /// Serializes the record as one minified JSON object (integers and
+    /// strings only — bit-stable across hosts, suitable for golden
+    /// diffing).
+    pub fn to_json(&self) -> String {
+        let recovery_detail = match &self.recovery {
+            RecoveryStatus::FailedSafeHalt { cause } => {
+                format!(",\"recovery_cause\":\"{}\"", json_escape(cause))
+            }
+            _ => String::new(),
+        };
+        format!(
+            "{{\"workload\":\"{}\",\"model\":\"{}\",\"run\":{},\"seed\":{},\
+             \"outcome\":\"{}\",\"recovery\":\"{}\"{},\"cycles\":{},\"faults\":\"{}\"}}",
+            json_escape(self.workload),
+            json_escape(self.model),
+            self.run,
+            self.seed,
+            self.outcome.tag(),
+            self.recovery.tag(),
+            recovery_detail,
+            self.cycles,
+            json_escape(&self.faults),
+        )
+    }
+}
+
+/// Outcome histogram keyed by stable tags (BTreeMap ⇒ deterministic
+/// iteration order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram over a record slice.
+    pub fn from_records(records: &[RunRecord]) -> Histogram {
+        let mut h = Histogram::default();
+        for r in records {
+            h.add(&r.outcome);
+        }
+        h
+    }
+
+    /// Adds one outcome.
+    pub fn add(&mut self, outcome: &Outcome) {
+        *self.counts.entry(outcome.tag()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count for a tag.
+    pub fn count(&self, tag: &str) -> u64 {
+        self.counts.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Total runs.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Runs detected by any RSE module.
+    pub fn detected(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("detected:"))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// `(tag, count)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Renders the detection-coverage table: one row per (workload, model)
+/// cell with its outcome mix and the count of successful recoveries.
+pub fn coverage_table(records: &[RunRecord]) -> String {
+    let mut cells: BTreeMap<(&str, &str), (Histogram, u64)> = BTreeMap::new();
+    for r in records {
+        let entry = cells.entry((r.workload, r.model)).or_default();
+        entry.0.add(&r.outcome);
+        if matches!(r.recovery, RecoveryStatus::Succeeded { .. }) {
+            entry.1 += 1;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<11} {:>5} {:>7} {:>9} {:>9} {:>6} {:>5} {:>5} {:>10}\n",
+        "workload",
+        "model",
+        "runs",
+        "masked",
+        "sdc",
+        "detected",
+        "wdog",
+        "crash",
+        "hang",
+        "recovered"
+    ));
+    for ((workload, model), (h, recovered)) in &cells {
+        out.push_str(&format!(
+            "{:<14} {:<11} {:>5} {:>7} {:>9} {:>9} {:>6} {:>5} {:>5} {:>10}\n",
+            workload,
+            model,
+            h.total(),
+            h.count("masked"),
+            h.count("sdc"),
+            h.detected(),
+            h.count("watchdog-timeout"),
+            h.count("crash-trap"),
+            h.count("hang"),
+            recovered,
+        ));
+    }
+    let all = Histogram::from_records(records);
+    let recovered_total: u64 = cells.values().map(|(_, r)| *r).sum();
+    out.push_str(&format!(
+        "{:<14} {:<11} {:>5} {:>7} {:>9} {:>9} {:>6} {:>5} {:>5} {:>10}\n",
+        "TOTAL",
+        "",
+        all.total(),
+        all.count("masked"),
+        all.count("sdc"),
+        all.detected(),
+        all.count("watchdog-timeout"),
+        all.count("crash-trap"),
+        all.count("hang"),
+        recovered_total,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(outcome: Outcome, recovery: RecoveryStatus) -> RunRecord {
+        RunRecord {
+            workload: "alu_loop",
+            model: "reg-single",
+            run: 0,
+            seed: 99,
+            outcome,
+            recovery,
+            cycles: 1234,
+            faults: "reg[9]^=0x00000400@c12".into(),
+        }
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(Outcome::Masked.tag(), "masked");
+        assert_eq!(Outcome::Sdc.tag(), "sdc");
+        assert_eq!(
+            Outcome::DetectedByModule(ModuleId::ICM).tag(),
+            "detected:ICM"
+        );
+        assert_eq!(
+            Outcome::DetectedByModule(ModuleId::DDT).tag(),
+            "detected:DDT"
+        );
+        assert_eq!(
+            Outcome::DetectedByModule(ModuleId::new(9)).tag(),
+            "detected:M9"
+        );
+        assert_eq!(Outcome::WatchdogTimeout.tag(), "watchdog-timeout");
+        assert_eq!(Outcome::CrashTrap.tag(), "crash-trap");
+        assert_eq!(Outcome::Hang.tag(), "hang");
+        assert_eq!(RecoveryStatus::NotNeeded.tag(), "not-needed");
+        assert_eq!(
+            RecoveryStatus::Succeeded {
+                mechanism: "checkpoint-rollback"
+            }
+            .tag(),
+            "recovered:checkpoint-rollback"
+        );
+        assert_eq!(
+            RecoveryStatus::FailedSafeHalt { cause: "x".into() }.tag(),
+            "failed-safe-halt"
+        );
+    }
+
+    #[test]
+    fn json_is_minified_and_escaped() {
+        let mut r = record(Outcome::Masked, RecoveryStatus::NotNeeded);
+        r.faults = "a\"b\\c".into();
+        let j = r.to_json();
+        assert!(j.starts_with("{\"workload\":\"alu_loop\""), "{j}");
+        assert!(j.contains("\"faults\":\"a\\\"b\\\\c\""), "{j}");
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn failed_recovery_records_its_cause() {
+        let r = record(
+            Outcome::DetectedByModule(ModuleId::ICM),
+            RecoveryStatus::FailedSafeHalt {
+                cause: "missing checkpoint".into(),
+            },
+        );
+        assert!(r
+            .to_json()
+            .contains("\"recovery_cause\":\"missing checkpoint\""));
+    }
+
+    #[test]
+    fn histogram_counts_and_detects() {
+        let records = vec![
+            record(Outcome::Masked, RecoveryStatus::NotNeeded),
+            record(Outcome::Masked, RecoveryStatus::NotNeeded),
+            record(
+                Outcome::DetectedByModule(ModuleId::ICM),
+                RecoveryStatus::Succeeded {
+                    mechanism: "flush-refetch",
+                },
+            ),
+            record(Outcome::Sdc, RecoveryStatus::NotNeeded),
+        ];
+        let h = Histogram::from_records(&records);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count("masked"), 2);
+        assert_eq!(h.count("sdc"), 1);
+        assert_eq!(h.detected(), 1);
+        let table = coverage_table(&records);
+        assert!(table.contains("alu_loop"), "{table}");
+        assert!(table.contains("TOTAL"), "{table}");
+    }
+
+    #[test]
+    fn display_matches_tag() {
+        assert_eq!(Outcome::Hang.to_string(), "hang");
+        assert_eq!(RecoveryStatus::NotNeeded.to_string(), "not-needed");
+    }
+}

@@ -119,6 +119,31 @@ impl SparseMemory {
         let v = self.read_u8(addr);
         self.write_u8(addr, v ^ (1 << (bit & 7)));
     }
+
+    /// XORs the little-endian 32-bit word at `addr` with `xor_mask` — the
+    /// word-granular soft-error primitive used by the fault-injection
+    /// campaign engine (multi-bit upsets in a memory word).
+    pub fn flip_word(&mut self, addr: u32, xor_mask: u32) {
+        let v = self.read_u32(addr);
+        self.write_u32(addr, v ^ xor_mask);
+    }
+
+    /// Page ids of all currently mapped pages, sorted ascending. The
+    /// backing store is a hash map whose iteration order is
+    /// nondeterministic; campaign tooling and snapshot digests must only
+    /// ever walk pages through this accessor so that replaying a seed
+    /// yields byte-identical output.
+    pub fn mapped_page_ids_sorted(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.pages.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Raw bytes of the mapped page `id` (as returned by
+    /// [`SparseMemory::mapped_page_ids_sorted`]), or `None` if unmapped.
+    pub fn page_bytes(&self, id: u32) -> Option<&[u8; PAGE_BYTES]> {
+        self.pages.get(&id).map(|p| p.as_ref())
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +187,28 @@ mod tests {
         assert_eq!(m.read_u8(0x42), 0b1010_1011);
         m.flip_bit(0x42, 0);
         assert_eq!(m.read_u8(0x42), 0b1010_1010);
+    }
+
+    #[test]
+    fn flip_word_is_involutive_and_multi_bit() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0x2000, 0x1234_5678);
+        m.flip_word(0x2000, 0x8000_0001);
+        assert_eq!(m.read_u32(0x2000), 0x9234_5679);
+        m.flip_word(0x2000, 0x8000_0001);
+        assert_eq!(m.read_u32(0x2000), 0x1234_5678);
+    }
+
+    #[test]
+    fn mapped_page_ids_are_sorted() {
+        let mut m = SparseMemory::new();
+        for &addr in &[0x9000u32, 0x1000, 0x5000, 0x3000] {
+            m.write_u8(addr, 1);
+        }
+        let ids = m.mapped_page_ids_sorted();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+        assert!(m.page_bytes(1).is_some());
+        assert!(m.page_bytes(2).is_none());
     }
 
     #[test]

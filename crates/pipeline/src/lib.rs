@@ -56,6 +56,6 @@ pub use coproc::{
 };
 pub use exec::exec_alu;
 pub use golden::{Golden, GoldenEvent};
-pub use machine::{CpuContext, FetchFault, Pipeline, StepEvent};
+pub use machine::{CpuContext, FetchFault, Pipeline, SoftFault, StepEvent};
 pub use predictor::{Predictor, PredictorConfig};
 pub use stats::PipelineStats;

@@ -55,6 +55,49 @@ pub struct FetchFault {
     pub xor_mask: u32,
 }
 
+/// A scheduled transient soft error, applied once when the pipeline's
+/// cycle counter reaches `at_cycle`. These model the classic
+/// fault-injection campaign targets: single/double bit flips in the
+/// architectural register file and bit flips in physical memory (text or
+/// data). Faults are armed with [`Pipeline::schedule_fault`] and drain in
+/// scheduling order; each fires exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoftFault {
+    /// XOR `xor_mask` into architectural register `reg` at `at_cycle`.
+    /// Flipping `r0` is architecturally masked by construction (the
+    /// register reads as zero), so the engine still counts the injection
+    /// but the value never changes.
+    Reg {
+        /// Cycle at which the flip lands.
+        at_cycle: u64,
+        /// Register index (0–31).
+        reg: u8,
+        /// Bits to flip.
+        xor_mask: u32,
+    },
+    /// XOR `xor_mask` into the 32-bit memory word at `addr` at
+    /// `at_cycle`. Because instruction fetch re-reads memory each time,
+    /// a flip in the text segment is a *persistent* fault every
+    /// subsequent fetch observes — exactly the case the ICM's redundant
+    /// copy is designed to catch.
+    Mem {
+        /// Cycle at which the flip lands.
+        at_cycle: u64,
+        /// Byte address of the (unaligned-tolerant) word.
+        addr: u32,
+        /// Bits to flip.
+        xor_mask: u32,
+    },
+}
+
+impl SoftFault {
+    fn at_cycle(&self) -> u64 {
+        match *self {
+            SoftFault::Reg { at_cycle, .. } | SoftFault::Mem { at_cycle, .. } => at_cycle,
+        }
+    }
+}
+
 /// Why `Pipeline::run` returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepEvent {
@@ -143,6 +186,7 @@ pub struct Pipeline {
     stats: PipelineStats,
     fetch_fault: Option<FetchFault>,
     fetch_count: u64,
+    soft_faults: Vec<SoftFault>,
     mul_busy_until: u64,
 }
 
@@ -172,6 +216,7 @@ impl Pipeline {
             stats: PipelineStats::default(),
             fetch_fault: None,
             fetch_count: 0,
+            soft_faults: Vec::new(),
             mul_busy_until: 0,
         }
     }
@@ -231,6 +276,46 @@ impl Pipeline {
     /// Arms a one-shot transient fetch fault.
     pub fn set_fetch_fault(&mut self, fault: Option<FetchFault>) {
         self.fetch_fault = fault;
+    }
+
+    /// Schedules a one-shot [`SoftFault`]. Faults whose `at_cycle` is in
+    /// the past fire on the next step; multiple faults may be armed at
+    /// once (the double-bit-flip model schedules two).
+    pub fn schedule_fault(&mut self, fault: SoftFault) {
+        self.soft_faults.push(fault);
+    }
+
+    /// Applies every armed soft fault whose time has come. Runs at the
+    /// top of each cycle, before any stage reads state.
+    fn apply_soft_faults(&mut self) {
+        if self.soft_faults.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut i = 0;
+        while i < self.soft_faults.len() {
+            if self.soft_faults[i].at_cycle() > now {
+                i += 1;
+                continue;
+            }
+            match self.soft_faults.remove(i) {
+                SoftFault::Reg { reg, xor_mask, .. } => {
+                    let r = (reg & 31) as usize;
+                    if r != 0 {
+                        // Hit both the speculative and the architectural
+                        // file: a physical register-file upset is visible
+                        // to readers and survives any later flush.
+                        self.regs[r] ^= xor_mask;
+                        self.arch_regs[r] ^= xor_mask;
+                    }
+                    self.stats.soft_faults_applied += 1;
+                }
+                SoftFault::Mem { addr, xor_mask, .. } => {
+                    self.mem.memory.flip_word(addr, xor_mask);
+                    self.stats.soft_faults_applied += 1;
+                }
+            }
+        }
     }
 
     /// Freezes fetch/dispatch/issue/commit for `cycles` cycles (used by
@@ -305,6 +390,7 @@ impl Pipeline {
             // the same cycle; re-deliver it now.
             return Some(StepEvent::Syscall);
         }
+        self.apply_soft_faults();
         let frozen = self.now < self.freeze_until;
         let mut event = None;
         if !frozen && self.state == State::Running {
@@ -1083,6 +1169,88 @@ mod tests {
         assert_eq!(cpu.run(&mut NullCoProcessor, 100_000), StepEvent::Halted);
         assert_eq!(cpu.regs()[10], 0);
         assert_eq!(cpu.regs()[8], 1);
+    }
+
+    #[test]
+    fn scheduled_reg_fault_flips_architectural_state() {
+        // A countdown loop long enough that cycle 200 lands mid-loop; the
+        // accumulator (r10) is flipped and the corruption persists to the
+        // final state (an SDC in campaign terms).
+        let image = assemble(
+            r#"
+            main:   li   r8, 200
+                    li   r10, 0
+            loop:   addi r10, r10, 1
+                    addi r8, r8, -1
+                    bne  r8, r0, loop
+                    halt
+            "#,
+        )
+        .unwrap();
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
+        cpu.load_image(&image);
+        cpu.schedule_fault(SoftFault::Reg {
+            at_cycle: 200,
+            reg: 10,
+            xor_mask: 1 << 20,
+        });
+        assert_eq!(cpu.run(&mut NullCoProcessor, 1_000_000), StepEvent::Halted);
+        assert_eq!(cpu.stats().soft_faults_applied, 1);
+        assert_eq!(cpu.regs()[10], 200 | (1 << 20));
+    }
+
+    #[test]
+    fn scheduled_r0_fault_is_masked() {
+        let image = assemble("main: li r8, 7\nhalt").unwrap();
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
+        cpu.load_image(&image);
+        cpu.schedule_fault(SoftFault::Reg {
+            at_cycle: 0,
+            reg: 0,
+            xor_mask: 0xFFFF_FFFF,
+        });
+        assert_eq!(cpu.run(&mut NullCoProcessor, 100_000), StepEvent::Halted);
+        assert_eq!(cpu.stats().soft_faults_applied, 1);
+        assert_eq!(cpu.regs()[0], 0);
+        assert_eq!(cpu.regs()[8], 7);
+    }
+
+    #[test]
+    fn scheduled_mem_fault_corrupts_data_word() {
+        // The load at the end of the loop re-reads the word after the
+        // cycle-300 flip has landed in memory.
+        let image = assemble(
+            r#"
+            main:   la   r9, buf
+                    li   r8, 400
+            loop:   addi r8, r8, -1
+                    bne  r8, r0, loop
+                    lw   r10, 0(r9)
+                    halt
+                    .data
+            buf:    .word 0x0F0F0F0F
+            "#,
+        )
+        .unwrap();
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
+        cpu.load_image(&image);
+        let buf = image.symbol("buf").unwrap();
+        cpu.schedule_fault(SoftFault::Mem {
+            at_cycle: 300,
+            addr: buf,
+            xor_mask: 0x8000_0000,
+        });
+        assert_eq!(cpu.run(&mut NullCoProcessor, 1_000_000), StepEvent::Halted);
+        assert_eq!(cpu.regs()[10], 0x8F0F_0F0F);
     }
 
     #[test]

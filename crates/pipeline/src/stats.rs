@@ -33,6 +33,8 @@ pub struct PipelineStats {
     pub stores_committed: u64,
     /// System calls committed.
     pub syscalls: u64,
+    /// Scheduled soft faults ([`crate::SoftFault`]) actually applied.
+    pub soft_faults_applied: u64,
 }
 
 impl PipelineStats {

@@ -21,4 +21,26 @@ cargo build --benches --offline --workspace
 echo "== cargo test -q --offline (workspace)"
 cargo test -q --offline --workspace
 
+echo "== fault-injection smoke campaign (64 runs, fixed seed)"
+# The campaign is a pure function of the seed: two invocations must be
+# byte-identical, and both must match the pinned golden histogram. A
+# diff here means an intentional behavior change — regenerate with:
+#   cargo run --release --offline -p rse-bench --bin campaign -- \
+#     --smoke --no-table --out tests/golden/campaign_smoke.jsonl
+SMOKE_A="$(mktemp)"; SMOKE_B="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B"' EXIT
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --smoke --no-table --out "$SMOKE_A" 2>/dev/null
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --smoke --no-table --out "$SMOKE_B" 2>/dev/null
+cmp "$SMOKE_A" "$SMOKE_B" \
+  || { echo "FAIL: smoke campaign is nondeterministic"; exit 1; }
+diff -u tests/golden/campaign_smoke.jsonl "$SMOKE_A" \
+  || { echo "FAIL: smoke campaign diverges from pinned golden"; exit 1; }
+echo "smoke campaign: deterministic and matches golden (64 runs)"
+
+echo "== fault-injection control campaign (zero faults => 100% masked)"
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --control --runs 2 --no-table >/dev/null
+
 echo "CI OK"
