@@ -16,7 +16,7 @@ fn bench_cache(c: &mut Harness) {
         let mut addr = 0u32;
         b.iter(|| {
             addr = addr.wrapping_add(68); // stride with conflicts
-            black_box(cache.access(addr, addr % 3 == 0));
+            black_box(cache.access(addr, addr.is_multiple_of(3)));
         });
     });
 }

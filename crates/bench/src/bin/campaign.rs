@@ -17,7 +17,12 @@
 //!
 //! * `--smoke` — the fixed 64-run CI spec (`CampaignSpec::smoke`),
 //! * `--control` — zero-fault control runs of every workload; every
-//!   outcome must be `masked`,
+//!   outcome must be `masked` (and every recovery `not-needed`) or the
+//!   binary exits non-zero,
+//! * `--quarantine` — the module-targeted degraded-mode matrix
+//!   (`CampaignSpec::quarantine`): stuck `checkValid` lines, module
+//!   state corruption, and MAU response drops against the module-bearing
+//!   workloads,
 //! * *default* — every applicable (workload, fault-model) pair with
 //!   `--runs` runs each.
 //!
@@ -37,6 +42,7 @@ const DEFAULT_SEED: u64 = 0xD5B;
 enum Mode {
     Smoke,
     Control,
+    Quarantine,
     Full,
 }
 
@@ -50,7 +56,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign [--smoke | --control] [--seed N] [--runs N] [--out FILE] [--no-table]"
+        "usage: campaign [--smoke | --control | --quarantine] [--seed N] [--runs N] \
+         [--out FILE] [--no-table]"
     );
     std::process::exit(2);
 }
@@ -68,6 +75,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--smoke" => args.mode = Mode::Smoke,
             "--control" => args.mode = Mode::Control,
+            "--quarantine" => args.mode = Mode::Quarantine,
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 args.seed = v.parse().unwrap_or_else(|_| usage());
@@ -90,6 +98,7 @@ fn main() -> ExitCode {
     let spec = match args.mode {
         Mode::Smoke => CampaignSpec::smoke(args.seed),
         Mode::Control => CampaignSpec::control(args.seed, args.runs),
+        Mode::Quarantine => CampaignSpec::quarantine(args.seed, args.runs),
         Mode::Full => CampaignSpec::full(args.seed, args.runs),
     };
     eprintln!(
@@ -122,31 +131,37 @@ fn main() -> ExitCode {
         let hist = Histogram::from_records(&records);
         eprintln!();
         eprintln!(
-            "outcomes: {} total, {} detected",
+            "outcomes: {} total, {} detected, {} confined",
             hist.total(),
-            hist.detected()
+            hist.detected(),
+            hist.confined()
         );
         for (tag, n) in hist.iter() {
             eprintln!("  {tag:<24} {n}");
         }
     }
 
-    // Control campaigns are a self-check: anything but 100% masked is a
+    // Control campaigns are a self-check: anything but 100% masked
+    // (with no recovery machinery engaged and no fault armed) is a
     // harness bug, so fail loudly (CI runs this).
     if matches!(args.mode, Mode::Control) {
-        let masked = records
+        let clean = records
             .iter()
-            .filter(|r| r.outcome.tag() == "masked")
+            .filter(|r| {
+                r.outcome.tag() == "masked"
+                    && r.recovery.tag() == "not-needed"
+                    && r.faults == "none"
+            })
             .count();
-        if masked != records.len() {
+        if clean != records.len() {
             eprintln!(
                 "campaign: control FAILED: {}/{} masked",
-                masked,
+                clean,
                 records.len()
             );
             return ExitCode::FAILURE;
         }
-        eprintln!("campaign: control OK: {masked}/{} masked", records.len());
+        eprintln!("campaign: control OK: {clean}/{} masked", records.len());
     }
     ExitCode::SUCCESS
 }

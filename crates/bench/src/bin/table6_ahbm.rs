@@ -198,7 +198,6 @@ fn main() {
             sample_interval: 64,
             min_timeout: fixed,
             initial_timeout: fixed,
-            ..AhbmConfig::default()
         };
         let (fp, lat) = evaluate(cfg, &population(), 100_000, 0xA11CE);
         println!(

@@ -2,16 +2,48 @@
 //! assembled behind the pipeline's [`CoProcessor`] taps.
 
 use crate::config::RseConfig;
+use crate::health::HealthState;
 use crate::ioq::{Ioq, IoqEntryKind, IoqFault};
 use crate::mau::Mau;
-use crate::module::{ChkDispatch, Module, ModuleCtx};
+use crate::module::{ChkDispatch, Module, ModuleCtx, Verdict};
 use crate::queues::{ExecuteOutEntry, FetchOutEntry, InputQueues};
 use crate::watchdog::{SafeModeCause, Watchdog};
 use rse_isa::chk::{ops, ChkSpec};
 use rse_isa::{Inst, ModuleId};
 use rse_mem::MemorySystem;
 use rse_pipeline::{CoProcessor, CommitGate, CoprocException, DispatchInfo, ExecuteInfo, RobId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Base of the synthetic ROB-id range used for quarantine self-test
+/// probes (one sentinel id per module slot). Guest instructions are
+/// numbered from 0 and a run never reaches this range, so probe results
+/// flowing through the module→IOQ broadcast path can be told apart from
+/// real check results.
+pub const PROBE_ROB_BASE: u64 = u64::MAX - ModuleId::SLOTS as u64;
+
+/// The sentinel ROB id of a module's self-test probe.
+pub fn probe_rob(id: ModuleId) -> RobId {
+    RobId(PROBE_ROB_BASE + id.index() as u64)
+}
+
+fn probe_slot(rob: RobId) -> Option<usize> {
+    (rob.0 >= PROBE_ROB_BASE).then(|| (rob.0 - PROBE_ROB_BASE) as usize)
+}
+
+/// The owning module of a CHECK entry kind.
+fn kind_module(kind: IoqEntryKind) -> Option<ModuleId> {
+    match kind {
+        IoqEntryKind::Plain => None,
+        IoqEntryKind::BlockingChk(m) | IoqEntryKind::NonBlockingChk(m) => Some(m),
+    }
+}
+
+/// An in-flight quarantine self-test probe.
+#[derive(Debug, Clone, Copy)]
+struct ProbeFlight {
+    issued_at: u64,
+    response: Option<Verdict>,
+}
 
 /// Counters for the engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +72,24 @@ pub struct RseStats {
     pub chk_routed: u64,
     /// Injected [`ChkFault`]s that fired.
     pub chk_faults_applied: u64,
+    /// CHECKs committed as NOPs by the per-module output multiplexer
+    /// (their module was quarantined or disabled) — the coverage cost of
+    /// containment.
+    pub chk_nop_committed: u64,
+    /// Quarantine entries across all modules.
+    pub quarantines: u64,
+    /// Successful probed re-enables across all modules.
+    pub reenables: u64,
+    /// Self-test probes launched.
+    pub probes_launched: u64,
+    /// Self-test probes that succeeded.
+    pub probes_succeeded: u64,
+    /// Self-test probes that failed (wrong verdict or probe timeout).
+    pub probes_failed: u64,
+    /// Installed modules whose health machine reached `Disabled`.
+    pub modules_disabled: u64,
+    /// Injected module-state corruptions that actually flipped state.
+    pub module_corruptions_applied: u64,
 }
 
 /// A transient fault on the CHECK-dispatch path between the pipeline and
@@ -99,6 +149,14 @@ pub struct Engine {
     exceptions: VecDeque<CoprocException>,
     chk_meta: HashMap<RobId, ChkSpec>,
     chk_fault: Option<ChkFault>,
+    /// ROB ids whose CHECK was force-NOP'd by the per-module output
+    /// multiplexer (module quarantined/disabled at dispatch or while the
+    /// entry was in flight).
+    nop_chks: HashSet<RobId>,
+    /// In-flight quarantine self-test probes, one slot per module.
+    probes: [Option<ProbeFlight>; ModuleId::SLOTS],
+    /// Scheduled module-state corruptions: (module, at_cycle, seed).
+    module_corruptions: Vec<(ModuleId, u64, u64)>,
     stats: RseStats,
     /// Cached: is any module slot enabled? When false the engine takes a
     /// fast path that skips input-queue and IOQ bookkeeping for non-CHECK
@@ -136,15 +194,21 @@ impl Engine {
             exceptions: VecDeque::new(),
             chk_meta: HashMap::new(),
             chk_fault: None,
+            nop_chks: HashSet::new(),
+            probes: [None; ModuleId::SLOTS],
+            module_corruptions: Vec::new(),
             stats: RseStats::default(),
             any_enabled: false,
         }
     }
 
     /// Installs a module into its slot, replacing any previous occupant.
-    /// The slot remains disabled until enabled.
+    /// The slot remains disabled until enabled. Installation registers
+    /// the slot with the watchdog's containment accounting (the
+    /// denominator of the ≥-half-disabled escalation rule).
     pub fn install(&mut self, module: Box<dyn Module>) {
         let idx = module.id().index();
+        self.watchdog.note_installed(module.id());
         self.slots[idx] = Some(module);
     }
 
@@ -186,9 +250,20 @@ impl Engine {
             .and_then(|m| m.as_any_mut().downcast_mut())
     }
 
-    /// Engine counters.
+    /// Engine counters, with the watchdog's per-module containment
+    /// bookkeeping folded in.
     pub fn stats(&self) -> RseStats {
-        self.stats
+        let mut s = self.stats;
+        for i in 0..ModuleId::SLOTS {
+            let h = self.watchdog.module_health(ModuleId::new(i as u8));
+            s.quarantines += h.quarantines;
+            s.reenables += h.reenables;
+            s.probes_launched += h.probes_launched;
+            if h.state() == HealthState::Disabled {
+                s.modules_disabled += 1;
+            }
+        }
+        s
     }
 
     /// The self-checking watchdog.
@@ -201,15 +276,38 @@ impl Engine {
         self.watchdog.safe_mode()
     }
 
+    /// The containment state of a module slot.
+    pub fn module_health(&self, id: ModuleId) -> HealthState {
+        self.watchdog.module_state(id)
+    }
+
     /// Injects a stuck-at fault on the IOQ output bits (§3.4 evaluation).
     pub fn inject_ioq_fault(&mut self, fault: Option<IoqFault>) {
         self.ioq.inject_fault(fault);
+    }
+
+    /// Injects a stuck-at fault confined to one module's IOQ output bits
+    /// (the module-targeted Table 2 scenarios).
+    pub fn inject_module_ioq_fault(&mut self, fault: Option<(ModuleId, IoqFault)>) {
+        self.ioq.inject_module_fault(fault);
     }
 
     /// Arms a one-shot fault on the CHECK-dispatch path (dropped or
     /// garbled delivery to a module).
     pub fn inject_chk_fault(&mut self, fault: Option<ChkFault>) {
         self.chk_fault = fault;
+    }
+
+    /// Schedules a deterministic corruption of a module's internal state
+    /// at (or after) the given cycle (see [`Module::corrupt_state`]).
+    pub fn schedule_module_corruption(&mut self, module: ModuleId, at_cycle: u64, seed: u64) {
+        self.module_corruptions.push((module, at_cycle, seed));
+    }
+
+    /// Arms a one-shot MAU completion drop targeting a module (see
+    /// [`Mau::inject_drop`]).
+    pub fn inject_mau_drop(&mut self, fault: Option<(ModuleId, u64)>) {
+        self.mau.inject_drop(fault);
     }
 
     /// Polls the watchdog's cycle-budget hang detector (one-shot; see
@@ -229,14 +327,28 @@ impl Engine {
     }
 
     /// Runs `f` for each installed+enabled module with a [`ModuleCtx`].
+    /// With `skip_down`, modules decoupled by the per-module multiplexer
+    /// (quarantined/disabled) are left out — used for the dispatch and
+    /// execute input taps, which the mux disconnects; commit/squash
+    /// bookkeeping and clock ticks still reach a quarantined module so
+    /// it can drop stale state and answer self-test probes.
     fn for_each_module(
         &mut self,
         now: u64,
         mem: &mut MemorySystem,
+        skip_down: bool,
         mut f: impl FnMut(&mut dyn Module, &mut ModuleCtx<'_>),
     ) {
         for idx in 0..self.slots.len() {
             if !self.enabled[idx] {
+                continue;
+            }
+            if skip_down
+                && self
+                    .watchdog
+                    .module_state(ModuleId::new(idx as u8))
+                    .is_down()
+            {
                 continue;
             }
             let Some(mut module) = self.slots[idx].take() else {
@@ -312,6 +424,90 @@ impl Engine {
             && self.enabled[spec.module.index()]
             && self.slots[spec.module.index()].is_some()
     }
+
+    /// Resolves in-flight self-test probes. The watchdog reads the probe
+    /// result off the same IOQ output wires as everything else, so a
+    /// stuck-at fault (global or module-targeted) biases the observation:
+    /// a stuck `checkValid=0` makes the probe look unanswered (timeout
+    /// failure), a stuck `checkValid=1` makes it look answered with no
+    /// module write (premature — failure), a stuck `check=1` reads as an
+    /// error verdict, and a stuck `check=0` masks even a failing
+    /// self-test (the probe cannot see past it).
+    fn resolve_probes(&mut self, now: u64) {
+        let probe_timeout = self.config.watchdog.health.probe_timeout;
+        for slot in 0..ModuleId::SLOTS {
+            let Some(flight) = self.probes[slot] else {
+                continue;
+            };
+            let id = ModuleId::new(slot as u8);
+            let timed_out = now.saturating_sub(flight.issued_at) > probe_timeout;
+            let verdict: Option<bool> = match self.ioq.effective_fault_for(id) {
+                Some(IoqFault::ValidStuck0) => timed_out.then_some(false),
+                Some(IoqFault::ValidStuck1) => Some(false),
+                Some(IoqFault::CheckStuck1) => match flight.response {
+                    Some(_) => Some(false),
+                    None => timed_out.then_some(false),
+                },
+                Some(IoqFault::CheckStuck0) => match flight.response {
+                    Some(_) => Some(true),
+                    None => timed_out.then_some(false),
+                },
+                None => match flight.response {
+                    Some(v) => Some(v == Verdict::Pass),
+                    None => timed_out.then_some(false),
+                },
+            };
+            match verdict {
+                Some(true) => {
+                    self.probes[slot] = None;
+                    self.stats.probes_succeeded += 1;
+                    self.watchdog.probe_succeeded(id, now);
+                    // Stale CHECKs allocated before/while the module was
+                    // down were never delivered; force-NOP them so the
+                    // healed module is not immediately re-charged with
+                    // their (inevitable) timeouts.
+                    for rob in self.ioq.incomplete_for(id) {
+                        self.nop_chks.insert(rob);
+                    }
+                }
+                Some(false) => {
+                    self.probes[slot] = None;
+                    self.stats.probes_failed += 1;
+                    self.watchdog.probe_failed(id, now);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Launches due self-test probes into quarantined modules: a
+    /// synthetic blocking CHECK with the common `SELFTEST` op, delivered
+    /// through the ordinary module interface.
+    fn launch_probes(&mut self, now: u64, mem: &mut MemorySystem) {
+        for slot in 0..ModuleId::SLOTS {
+            let id = ModuleId::new(slot as u8);
+            if self.probes[slot].is_some()
+                || !self.enabled[slot]
+                || self.slots[slot].is_none()
+                || !self.watchdog.probe_due(id, now)
+            {
+                continue;
+            }
+            self.watchdog.probe_launched(id);
+            self.probes[slot] = Some(ProbeFlight {
+                issued_at: now,
+                response: None,
+            });
+            let chk = ChkDispatch {
+                rob: probe_rob(id),
+                pc: 0,
+                spec: ChkSpec::new(id, true, ops::SELFTEST, 0),
+                operands: [0, 0],
+                wrong_path: false,
+            };
+            self.with_module(id, now, mem, |m, ctx| m.on_chk(&chk, ctx));
+        }
+    }
 }
 
 impl CoProcessor for Engine {
@@ -360,7 +556,9 @@ impl CoProcessor for Engine {
             // CHECK that follows an ENABLE in program order is routed to
             // the (now live) module. Wrong-path requests are ignored.
             self.apply_enable_at_dispatch(&spec, info.wrong_path);
-            if self.routed_to_module(&spec) {
+            let routed = self.routed_to_module(&spec);
+            let muxed = routed && self.watchdog.module_down(spec.module);
+            if routed && !muxed {
                 let kind = if spec.blocking {
                     self.stats.chk_blocking += 1;
                     IoqEntryKind::BlockingChk(spec.module)
@@ -407,6 +605,12 @@ impl CoProcessor for Engine {
                         },
                     });
                 }
+            } else if muxed {
+                // The module is quarantined/disabled by the containment
+                // multiplexer: the CHECK commits as a NOP (constant `10`)
+                // and the module never sees it.
+                self.nop_chks.insert(info.rob);
+                self.ioq.allocate(now, info.rob, IoqEntryKind::Plain);
             } else {
                 // Enable/disable requests and CHECKs to disabled/absent
                 // modules: the enable/disable unit writes constant `10`.
@@ -416,8 +620,9 @@ impl CoProcessor for Engine {
         } else {
             self.ioq.allocate(now, info.rob, IoqEntryKind::Plain);
         }
-        // Fan the dispatch out to every enabled module's tap.
-        self.for_each_module(now, mem, |m, ctx| m.on_dispatch(info, ctx));
+        // Fan the dispatch out to every enabled module's tap (the mux
+        // disconnects quarantined modules from the input queues).
+        self.for_each_module(now, mem, true, |m, ctx| m.on_dispatch(info, ctx));
     }
 
     fn on_execute(&mut self, now: u64, info: &ExecuteInfo, mem: &mut MemorySystem) {
@@ -434,17 +639,20 @@ impl CoProcessor for Engine {
         if let Some(loaded) = info.loaded {
             self.queues.memory_out.insert(info.rob, loaded);
         }
-        self.for_each_module(now, mem, |m, ctx| m.on_execute(info, ctx));
+        self.for_each_module(now, mem, true, |m, ctx| m.on_execute(info, ctx));
     }
 
     fn on_commit(&mut self, now: u64, rob: RobId, mem: &mut MemorySystem) {
         // If the CHECK is committing before its scan-delayed delivery
         // fired (a fast commit), deliver it to its module now: the scan
-        // completes no later than retirement.
+        // completes no later than retirement. Quarantined modules are
+        // disconnected from the scan — the CHECK is simply lost.
         if let Some(pos) = self.pending_chk.iter().position(|p| p.chk.rob == rob) {
             let p = self.pending_chk.remove(pos).expect("position valid");
             let chk = p.chk;
-            self.with_module(chk.spec.module, now, mem, |m, ctx| m.on_chk(&chk, ctx));
+            if !self.watchdog.module_down(chk.spec.module) {
+                self.with_module(chk.spec.module, now, mem, |m, ctx| m.on_chk(&chk, ctx));
+            }
         }
         // Enable/disable becomes architectural at commit.
         if !self.chk_meta.is_empty() {
@@ -464,11 +672,27 @@ impl CoProcessor for Engine {
                 }
             }
         }
+        // Containment bookkeeping: count mux-forced NOP commits, and let
+        // the watchdog reset a module's symptom windows on a clean,
+        // module-written passing commit.
+        if self.nop_chks.remove(&rob) {
+            self.stats.chk_nop_committed += 1;
+        } else if let Some((kind, wrote, check)) = self.ioq.entry_state(rob) {
+            if let Some(m) = kind_module(kind) {
+                if self.watchdog.module_down(m) {
+                    // The module went down while this CHECK was in
+                    // flight; the gate converted it to a NOP.
+                    self.stats.chk_nop_committed += 1;
+                } else if wrote && !check {
+                    self.watchdog.record_clean_commit(now, m);
+                }
+            }
+        }
         if !self.any_enabled {
             self.ioq.free(rob);
             return;
         }
-        self.for_each_module(now, mem, |m, ctx| m.on_commit(rob, ctx));
+        self.for_each_module(now, mem, false, |m, ctx| m.on_commit(rob, ctx));
         self.queues.retire(rob, false);
         self.ioq.free(rob);
     }
@@ -481,9 +705,10 @@ impl CoProcessor for Engine {
             return;
         }
         self.chk_meta.remove(&rob);
+        self.nop_chks.remove(&rob);
         self.pending_chk.retain(|p| p.chk.rob != rob);
         self.pending_ioq.retain(|(_, r, _)| *r != rob);
-        self.for_each_module(now, mem, |m, ctx| m.on_squash(rob, ctx));
+        self.for_each_module(now, mem, false, |m, ctx| m.on_squash(rob, ctx));
         self.queues.retire(rob, true);
         self.ioq.free(rob);
     }
@@ -493,34 +718,61 @@ impl CoProcessor for Engine {
             return CommitGate::Pass;
         }
         if self.watchdog.is_decoupled() {
-            // Safe mode: constant `10` — everything commits.
+            // Global safe mode: constant `10` — everything commits.
             self.stats.safe_mode_passes += 1;
             return CommitGate::Pass;
+        }
+        // Per-module output multiplexer (§3.4): a CHECK owned by a
+        // quarantined/disabled module is forced to `10` and commits as a
+        // NOP, whatever its real bits say.
+        if self.nop_chks.contains(&rob) {
+            return CommitGate::PassNop;
+        }
+        let src = self.ioq.entry_kind(rob).and_then(kind_module);
+        if let Some(m) = src {
+            if self.watchdog.module_down(m) {
+                self.nop_chks.insert(rob);
+                return CommitGate::PassNop;
+            }
         }
         let gate = self.ioq.gate(rob);
         match gate {
             CommitGate::Flush => {
                 self.stats.flushes += 1;
-                self.watchdog.record_flush(now);
+                self.watchdog.record_flush(now, src);
                 if self.watchdog.is_decoupled() {
-                    // The burst that just tripped the watchdog: decouple
-                    // immediately rather than honoring the faulty flush.
+                    // An unattributed burst just tripped global safe
+                    // mode: decouple immediately rather than honoring
+                    // the faulty flush.
                     self.stats.safe_mode_passes += 1;
                     return CommitGate::Pass;
+                }
+                if let Some(m) = src {
+                    if self.watchdog.module_down(m) {
+                        // The burst quarantined the module: the mux now
+                        // forces its output to `10`.
+                        self.nop_chks.insert(rob);
+                        return CommitGate::PassNop;
+                    }
                 }
             }
             CommitGate::Stall => self.stats.stalls += 1,
             CommitGate::Pass => {
                 // A blocking CHECK passing without a module result is a
                 // stuck-at-1 `checkValid` symptom.
-                if let Some((_, kind, _, _, wrote)) =
-                    self.ioq.watchdog_view().find(|(r, ..)| *r == rob)
-                {
+                if let Some((kind, wrote, _)) = self.ioq.entry_state(rob) {
                     if matches!(kind, IoqEntryKind::BlockingChk(_)) && !wrote {
-                        self.watchdog.record_premature_pass(now);
+                        self.watchdog.record_premature_pass(now, src);
+                        if let Some(m) = src {
+                            if self.watchdog.module_down(m) {
+                                self.nop_chks.insert(rob);
+                                return CommitGate::PassNop;
+                            }
+                        }
                     }
                 }
             }
+            CommitGate::PassNop => unreachable!("IOQ never emits PassNop"),
         }
         gate
     }
@@ -529,7 +781,26 @@ impl CoProcessor for Engine {
         if !self.any_enabled {
             return;
         }
-        // Deliver CHECKs whose Fetch_Out scan delay has elapsed.
+        // Apply scheduled module-state corruptions (fault injection).
+        if !self.module_corruptions.is_empty() {
+            let due: Vec<(ModuleId, u64, u64)> = self
+                .module_corruptions
+                .iter()
+                .copied()
+                .filter(|(_, at, _)| *at <= now)
+                .collect();
+            self.module_corruptions.retain(|(_, at, _)| *at > now);
+            for (id, _, seed) in due {
+                if let Some(module) = self.slots[id.index()].as_deref_mut() {
+                    if module.corrupt_state(seed) {
+                        self.stats.module_corruptions_applied += 1;
+                    }
+                }
+            }
+        }
+        // Deliver CHECKs whose Fetch_Out scan delay has elapsed. A
+        // quarantined module is disconnected from the scan: its CHECKs
+        // are dropped here and their IOQ entries NOP at commit.
         while self
             .pending_chk
             .front()
@@ -537,13 +808,18 @@ impl CoProcessor for Engine {
         {
             let p = self.pending_chk.pop_front().expect("front checked");
             let chk = p.chk;
-            self.with_module(chk.spec.module, now, mem, |m, ctx| m.on_chk(&chk, ctx));
+            if !self.watchdog.module_down(chk.spec.module) {
+                self.with_module(chk.spec.module, now, mem, |m, ctx| m.on_chk(&chk, ctx));
+            }
         }
         // The MAU moves data.
         self.mau.tick(now, mem);
-        // Modules advance their internal pipelines.
-        self.for_each_module(now, mem, |m, ctx| m.tick(ctx));
-        // Apply module results whose broadcast delay has elapsed.
+        // Modules advance their internal pipelines (including
+        // quarantined ones, so self-test probes get answered).
+        self.for_each_module(now, mem, false, |m, ctx| m.tick(ctx));
+        // Apply module results whose broadcast delay has elapsed. Writes
+        // to the probe sentinel ROB range are self-test responses and are
+        // routed to the probe bookkeeping instead of the IOQ.
         let due: Vec<(u64, RobId, bool)> = self
             .pending_ioq
             .iter()
@@ -552,10 +828,21 @@ impl CoProcessor for Engine {
             .collect();
         self.pending_ioq.retain(|(at, ..)| *at > now);
         for (_, rob, error) in due {
-            self.ioq.complete(now, rob, error);
+            if let Some(slot) = probe_slot(rob) {
+                if let Some(flight) = self.probes.get_mut(slot).and_then(|f| f.as_mut()) {
+                    flight.response = Some(if error { Verdict::Fail } else { Verdict::Pass });
+                }
+            } else {
+                self.ioq.complete(now, rob, error);
+            }
         }
-        // Self-checking.
+        // Self-checking: per-module timeout attribution and quiet decay.
         self.watchdog.tick(now, &self.ioq);
+        // Probe lifecycle (suppressed entirely in global safe mode).
+        if !self.watchdog.is_decoupled() {
+            self.resolve_probes(now);
+            self.launch_probes(now, mem);
+        }
     }
 
     fn take_exception(&mut self) -> Option<CoprocException> {
@@ -566,6 +853,7 @@ impl CoProcessor for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::AnomalyKind;
     use crate::testutil::{CountingModule, ScriptedBehavior, ScriptedModule};
     use crate::Verdict;
     use rse_isa::asm::assemble;
@@ -642,10 +930,11 @@ mod tests {
     }
 
     #[test]
-    fn failing_check_flushes_and_burst_decouples() {
+    fn failing_check_flushes_and_burst_quarantines_module() {
         // A module that always reports an error: the CHECK flushes and
-        // restarts forever until the watchdog's burst detector decouples
-        // the framework (Table 2 "false alarm" scenario).
+        // restarts until the watchdog's per-module burst accounting
+        // quarantines the module (Table 2 "false alarm" scenario). The
+        // framework as a whole stays coupled.
         let mut cfg = RseConfig::default();
         cfg.watchdog.burst_threshold = 4;
         let mut engine = Engine::new(cfg);
@@ -658,18 +947,27 @@ mod tests {
         )));
         engine.enable(SLOT9);
         let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
-        // The program eventually completes because safe mode lets it.
+        // The program completes because the mux NOPs the faulty module's
+        // CHECK; global safe mode is never entered.
         assert_eq!(cpu.regs()[8], 1);
-        assert_eq!(engine.safe_mode(), Some(SafeModeCause::ErrorBurst));
+        assert_eq!(engine.safe_mode(), None);
+        assert!(engine.module_health(SLOT9).is_down());
+        assert_eq!(
+            engine.watchdog().module_health(SLOT9).last_cause(),
+            Some(crate::health::AnomalyKind::ErrorBurst)
+        );
         assert!(engine.stats().flushes >= 4);
-        // The final flush is converted to a safe-mode pass, so the
-        // pipeline observed one fewer flush than the engine counted.
+        assert!(engine.stats().quarantines >= 1);
+        assert!(engine.stats().chk_nop_committed >= 1);
+        assert!(cpu.stats().nop_commits >= 1);
         assert!(cpu.stats().check_flushes >= 3);
     }
 
     #[test]
-    fn silent_module_times_out_to_safe_mode() {
-        // Table 2 "module does not make progress".
+    fn silent_module_times_out_to_quarantine() {
+        // Table 2 "module does not make progress": the timeout anomalies
+        // are attributed to the silent module, which is quarantined; the
+        // framework stays coupled.
         let mut cfg = RseConfig::default();
         cfg.watchdog.timeout = 200;
         let mut engine = Engine::new(cfg);
@@ -680,10 +978,13 @@ mod tests {
         engine.enable(SLOT9);
         let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
         assert_eq!(cpu.regs()[8], 1);
-        assert!(matches!(
-            engine.safe_mode(),
-            Some(SafeModeCause::NoProgress { .. })
-        ));
+        assert_eq!(engine.safe_mode(), None);
+        assert!(engine.module_health(SLOT9).is_down());
+        assert_eq!(
+            engine.watchdog().module_health(SLOT9).last_cause(),
+            Some(crate::health::AnomalyKind::Timeout)
+        );
+        assert!(engine.stats().chk_nop_committed >= 1);
     }
 
     #[test]
@@ -739,7 +1040,7 @@ mod tests {
     }
 
     #[test]
-    fn dropped_blocking_chk_trips_no_progress_watchdog() {
+    fn dropped_blocking_chk_quarantines_module() {
         let mut cfg = RseConfig::default();
         cfg.watchdog.timeout = 200;
         let mut engine = Engine::new(cfg);
@@ -754,12 +1055,18 @@ mod tests {
         engine.inject_chk_fault(Some(ChkFault::Drop { index: 0 }));
         let cpu = run(&mut engine, "main: chk icm, blk, 2, 0\nli r8, 1\nhalt");
         // The lost blocking CHECK looks exactly like a module that makes
-        // no progress; §3.4 decouples the framework and the app finishes.
+        // no progress. The re-arming timeout charges the owning module
+        // until it is quarantined; the stuck CHECK then commits as a NOP
+        // through the §3.4 multiplexer and the app finishes — without a
+        // global decoupling.
         assert_eq!(cpu.regs()[8], 1);
-        assert!(matches!(
-            engine.safe_mode(),
-            Some(SafeModeCause::NoProgress { .. })
-        ));
+        assert_eq!(engine.safe_mode(), None);
+        assert!(engine.module_health(SLOT9).is_down());
+        assert_eq!(
+            engine.watchdog().module_health(SLOT9).last_cause(),
+            Some(AnomalyKind::Timeout)
+        );
+        assert!(engine.stats().chk_nop_committed >= 1);
     }
 
     #[test]

@@ -76,8 +76,10 @@ mod tests {
 
     #[test]
     fn scales_with_rob_size() {
-        let mut big = RseConfig::default();
-        big.queue_entries = 32;
+        let big = RseConfig {
+            queue_entries: 32,
+            ..RseConfig::default()
+        };
         let cost = input_interface_cost(&big);
         assert_eq!(cost.flip_flops, 5120);
         assert_eq!(cost.mux_gate_count, 25_600);

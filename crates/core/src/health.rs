@@ -1,0 +1,462 @@
+//! Per-module fault containment: the health state machine of the §3.4
+//! self-checking mechanism, refined from a single global switch to one
+//! containment unit per module slot.
+//!
+//! The paper argues the RSE must never become a single point of failure:
+//! a faulty module should be disabled while the pipeline — and the
+//! *other* modules — keep running. Each installed module therefore owns a
+//! four-state machine:
+//!
+//! ```text
+//!          anomaly          anomaly (threshold)        k failed probes
+//! Healthy ────────▶ Suspect ────────────────▶ Quarantined ────────▶ Disabled
+//!    ▲                 │                           │
+//!    │   quiet window  │                           │ successful probe
+//!    ◀─────────────────┘                           │
+//!    ◀─────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Healthy** — the module drives its IOQ bits normally.
+//! * **Suspect** — an anomaly (timeout, error burst, premature pass) was
+//!   attributed to the module; it keeps running, but the watchdog is on
+//!   alert. A quiet window ([`HealthConfig::suspect_decay`] cycles
+//!   without further anomalies) returns it to `Healthy`.
+//! * **Quarantined** — the §3.4 output multiplexer forces the module's
+//!   IOQ bits to `10`: its CHECKs commit as NOPs and the module is
+//!   decoupled from the dispatch/execute input taps. The watchdog
+//!   launches self-test probes with exponential backoff: probe *n* fires
+//!   `base << n` cycles after the previous probe resolved
+//!   ([`HealthConfig::probe_base`]).
+//! * **Disabled** — `k` ([`HealthConfig::max_probe_attempts`])
+//!   consecutive probes failed; the slot is permanently down. `Disabled`
+//!   is absorbing: no event leaves it. Global safe mode remains only as
+//!   the escalation of last resort, taken when at least half of the
+//!   installed modules are `Disabled`.
+
+/// Health of one module slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Operating normally.
+    Healthy,
+    /// An anomaly was attributed to the module; under observation.
+    Suspect,
+    /// Decoupled by the per-module multiplexer; probed for re-enable.
+    Quarantined,
+    /// Permanently decoupled after `k` failed probes. Absorbing.
+    Disabled,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Disabled => "disabled",
+        })
+    }
+}
+
+impl HealthState {
+    /// Whether the module is decoupled from the pipeline (its CHECKs are
+    /// committed as NOPs by the output multiplexer).
+    pub fn is_down(self) -> bool {
+        matches!(self, HealthState::Quarantined | HealthState::Disabled)
+    }
+}
+
+/// Why an anomaly was attributed to a module (the Table 2 symptom that
+/// the watchdog observed on the module's IOQ output bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// A blocking CHECK of the module made no progress within the
+    /// watchdog timeout (module stuck, or `checkValid` stuck at 0).
+    Timeout,
+    /// Error indications arrived in a burst (false alarms, or `check`
+    /// stuck at 1).
+    ErrorBurst,
+    /// Blocking CHECKs passed commit without module results
+    /// (`checkValid` stuck at 1).
+    PrematurePass,
+}
+
+impl std::fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AnomalyKind::Timeout => "timeout",
+            AnomalyKind::ErrorBurst => "error-burst",
+            AnomalyKind::PrematurePass => "premature-pass",
+        })
+    }
+}
+
+/// An input to the health state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// A watchdog anomaly attributed to the module.
+    Anomaly(AnomalyKind),
+    /// A quarantine self-test probe resolved successfully.
+    ProbeSuccess,
+    /// A quarantine self-test probe failed (wrong verdict or timeout).
+    ProbeFailure,
+    /// Time passed with no anomaly (drives the `Suspect → Healthy`
+    /// decay); delivered by the watchdog's periodic tick.
+    Quiet,
+}
+
+/// Containment parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Anomalies (within one suspect episode) that escalate `Healthy` to
+    /// `Quarantined`; the first anomaly always moves to `Suspect`, so a
+    /// threshold of 2 quarantines on the second anomaly.
+    pub quarantine_threshold: u32,
+    /// Base backoff: probe *n* (0-indexed) fires `probe_base << n`
+    /// cycles after the quarantine entry / previous probe failure.
+    pub probe_base: u64,
+    /// Cycles a launched probe may sit without an observable
+    /// `checkValid` 0→1 transition before it is declared failed.
+    pub probe_timeout: u64,
+    /// `k`: consecutive failed probes that move `Quarantined` to
+    /// `Disabled` permanently.
+    pub max_probe_attempts: u32,
+    /// Quiet cycles after the last anomaly that return `Suspect` to
+    /// `Healthy`.
+    pub suspect_decay: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            quarantine_threshold: 2,
+            probe_base: 5_000,
+            probe_timeout: 2_500,
+            max_probe_attempts: 3,
+            suspect_decay: 20_000,
+        }
+    }
+}
+
+/// The per-module health state machine plus its probe/backoff
+/// bookkeeping. Pure: transitions happen only through
+/// [`ModuleHealth::apply`], so the legal-edge set is a checkable
+/// property (see `crates/core/tests/health_properties.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleHealth {
+    state: HealthState,
+    /// Anomalies in the current suspect episode.
+    anomalies: u32,
+    /// Cycle of the most recent anomaly.
+    last_anomaly_at: Option<u64>,
+    /// The most recent anomaly cause (carried into the global
+    /// escalation, and into outcome classification).
+    last_cause: Option<AnomalyKind>,
+    /// Failed probes in the current quarantine episode.
+    probe_attempts: u32,
+    /// When the next self-test probe may launch (set while Quarantined).
+    next_probe_at: Option<u64>,
+    /// Total quarantine entries over the run.
+    pub quarantines: u64,
+    /// Total successful probed re-enables over the run.
+    pub reenables: u64,
+    /// Total probes launched (the watchdog marks launches so the backoff
+    /// clock restarts from the probe's resolution, not its launch).
+    pub probes_launched: u64,
+}
+
+impl Default for ModuleHealth {
+    fn default() -> ModuleHealth {
+        ModuleHealth::new()
+    }
+}
+
+impl ModuleHealth {
+    /// A fresh, healthy slot.
+    pub fn new() -> ModuleHealth {
+        ModuleHealth {
+            state: HealthState::Healthy,
+            anomalies: 0,
+            last_anomaly_at: None,
+            last_cause: None,
+            probe_attempts: 0,
+            next_probe_at: None,
+            quarantines: 0,
+            reenables: 0,
+            probes_launched: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The most recent anomaly cause attributed to the module.
+    pub fn last_cause(&self) -> Option<AnomalyKind> {
+        self.last_cause
+    }
+
+    /// Failed probes in the current quarantine episode.
+    pub fn probe_attempts(&self) -> u32 {
+        self.probe_attempts
+    }
+
+    /// Cycle at which the next self-test probe may launch, if the module
+    /// is quarantined.
+    pub fn next_probe_at(&self) -> Option<u64> {
+        self.next_probe_at
+    }
+
+    /// Whether a probe may launch now.
+    pub fn probe_due(&self, now: u64) -> bool {
+        self.state == HealthState::Quarantined && self.next_probe_at.is_some_and(|at| now >= at)
+    }
+
+    /// Marks a probe as launched (clears the due flag until the probe
+    /// resolves via [`HealthEvent::ProbeSuccess`] /
+    /// [`HealthEvent::ProbeFailure`]).
+    pub fn note_probe_launched(&mut self) {
+        self.next_probe_at = None;
+        self.probes_launched += 1;
+    }
+
+    /// Applies one event at cycle `now` and returns the `(from, to)`
+    /// state pair. Every reachable edge of the machine goes through
+    /// here.
+    pub fn apply(
+        &mut self,
+        config: &HealthConfig,
+        now: u64,
+        event: HealthEvent,
+    ) -> (HealthState, HealthState) {
+        let from = self.state;
+        match (self.state, event) {
+            // Disabled is absorbing.
+            (HealthState::Disabled, _) => {}
+            (_, HealthEvent::Anomaly(kind)) => {
+                self.last_cause = Some(kind);
+                self.last_anomaly_at = Some(now);
+                match self.state {
+                    HealthState::Healthy => {
+                        self.anomalies = 1;
+                        self.state = if config.quarantine_threshold <= 1 {
+                            self.enter_quarantine(config, now);
+                            HealthState::Quarantined
+                        } else {
+                            HealthState::Suspect
+                        };
+                    }
+                    HealthState::Suspect => {
+                        self.anomalies += 1;
+                        if self.anomalies >= config.quarantine_threshold {
+                            self.enter_quarantine(config, now);
+                            self.state = HealthState::Quarantined;
+                        }
+                    }
+                    // Anomalies while quarantined cannot occur on the
+                    // muxed output wires, but a racing report is simply
+                    // recorded without a transition.
+                    HealthState::Quarantined | HealthState::Disabled => {}
+                }
+            }
+            (HealthState::Quarantined, HealthEvent::ProbeSuccess) => {
+                self.state = HealthState::Healthy;
+                self.anomalies = 0;
+                self.probe_attempts = 0;
+                self.next_probe_at = None;
+                self.reenables += 1;
+            }
+            (HealthState::Quarantined, HealthEvent::ProbeFailure) => {
+                self.probe_attempts += 1;
+                if self.probe_attempts >= config.max_probe_attempts {
+                    self.state = HealthState::Disabled;
+                    self.next_probe_at = None;
+                } else {
+                    // Exponential backoff: base << attempts.
+                    self.next_probe_at =
+                        Some(now + (config.probe_base << self.probe_attempts.min(32)));
+                }
+            }
+            (HealthState::Suspect, HealthEvent::Quiet)
+                if self
+                    .last_anomaly_at
+                    .is_none_or(|at| now.saturating_sub(at) >= config.suspect_decay) =>
+            {
+                self.state = HealthState::Healthy;
+                self.anomalies = 0;
+            }
+            // Probe results outside quarantine and quiet ticks elsewhere
+            // are no-ops.
+            _ => {}
+        }
+        (from, self.state)
+    }
+
+    fn enter_quarantine(&mut self, config: &HealthConfig, now: u64) {
+        self.quarantines += 1;
+        self.probe_attempts = 0;
+        // First probe after the base backoff (base << 0).
+        self.next_probe_at = Some(now + config.probe_base);
+    }
+}
+
+/// Whether `(from, to)` is a legal edge of the health state machine
+/// (including self-loops). Exported so the property-test suite and the
+/// watchdog's debug assertions share one definition.
+pub fn legal_edge(from: HealthState, to: HealthState) -> bool {
+    use HealthState::*;
+    matches!(
+        (from, to),
+        (Healthy, Healthy)
+            | (Healthy, Suspect)
+            | (Healthy, Quarantined) // threshold == 1
+            | (Suspect, Suspect)
+            | (Suspect, Healthy)
+            | (Suspect, Quarantined)
+            | (Quarantined, Quarantined)
+            | (Quarantined, Healthy)
+            | (Quarantined, Disabled)
+            | (Disabled, Disabled)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            quarantine_threshold: 2,
+            probe_base: 100,
+            probe_timeout: 50,
+            max_probe_attempts: 3,
+            suspect_decay: 1_000,
+            // (No other fields today, but stay future-proof.)
+        }
+    }
+
+    #[test]
+    fn anomaly_path_reaches_quarantine() {
+        let mut h = ModuleHealth::new();
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.apply(&cfg(), 10, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        assert_eq!(h.state(), HealthState::Suspect);
+        h.apply(&cfg(), 20, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        assert_eq!(h.state(), HealthState::Quarantined);
+        assert_eq!(h.quarantines, 1);
+        assert_eq!(h.last_cause(), Some(AnomalyKind::Timeout));
+        // First probe is due after the base backoff.
+        assert!(!h.probe_due(119));
+        assert!(h.probe_due(120));
+    }
+
+    #[test]
+    fn probe_success_reenables() {
+        let mut h = ModuleHealth::new();
+        h.apply(&cfg(), 0, HealthEvent::Anomaly(AnomalyKind::ErrorBurst));
+        h.apply(&cfg(), 1, HealthEvent::Anomaly(AnomalyKind::ErrorBurst));
+        h.note_probe_launched();
+        h.apply(&cfg(), 150, HealthEvent::ProbeSuccess);
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.reenables, 1);
+        assert_eq!(h.probe_attempts(), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_k_failures_disable() {
+        let mut h = ModuleHealth::new();
+        h.apply(&cfg(), 0, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        h.apply(&cfg(), 0, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        assert_eq!(h.next_probe_at(), Some(100)); // base << 0
+        h.note_probe_launched();
+        h.apply(&cfg(), 150, HealthEvent::ProbeFailure);
+        assert_eq!(h.next_probe_at(), Some(150 + 200)); // base << 1
+        h.note_probe_launched();
+        h.apply(&cfg(), 400, HealthEvent::ProbeFailure);
+        assert_eq!(h.next_probe_at(), Some(400 + 400)); // base << 2
+        h.note_probe_launched();
+        h.apply(&cfg(), 900, HealthEvent::ProbeFailure);
+        assert_eq!(h.state(), HealthState::Disabled);
+        assert_eq!(h.next_probe_at(), None);
+    }
+
+    #[test]
+    fn disabled_is_absorbing() {
+        let mut h = ModuleHealth::new();
+        for _ in 0..2 {
+            h.apply(&cfg(), 0, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        }
+        for _ in 0..3 {
+            h.apply(&cfg(), 0, HealthEvent::ProbeFailure);
+        }
+        assert_eq!(h.state(), HealthState::Disabled);
+        for ev in [
+            HealthEvent::Anomaly(AnomalyKind::ErrorBurst),
+            HealthEvent::ProbeSuccess,
+            HealthEvent::ProbeFailure,
+            HealthEvent::Quiet,
+        ] {
+            let (from, to) = h.apply(&cfg(), 99, ev);
+            assert_eq!((from, to), (HealthState::Disabled, HealthState::Disabled));
+        }
+    }
+
+    #[test]
+    fn suspect_decays_after_quiet_window() {
+        let mut h = ModuleHealth::new();
+        h.apply(
+            &cfg(),
+            100,
+            HealthEvent::Anomaly(AnomalyKind::PrematurePass),
+        );
+        assert_eq!(h.state(), HealthState::Suspect);
+        h.apply(&cfg(), 500, HealthEvent::Quiet);
+        assert_eq!(h.state(), HealthState::Suspect, "window not elapsed yet");
+        h.apply(&cfg(), 1_100, HealthEvent::Quiet);
+        assert_eq!(h.state(), HealthState::Healthy);
+        // The episode counter reset: quarantine needs a fresh pair.
+        h.apply(&cfg(), 1_200, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        assert_eq!(h.state(), HealthState::Suspect);
+    }
+
+    #[test]
+    fn threshold_one_quarantines_immediately() {
+        let cfg = HealthConfig {
+            quarantine_threshold: 1,
+            ..cfg()
+        };
+        let mut h = ModuleHealth::new();
+        h.apply(&cfg, 0, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        assert_eq!(h.state(), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn states_render_human_readably() {
+        assert_eq!(HealthState::Quarantined.to_string(), "quarantined");
+        assert_eq!(AnomalyKind::PrematurePass.to_string(), "premature-pass");
+        assert!(HealthState::Disabled.is_down());
+        assert!(!HealthState::Suspect.is_down());
+    }
+
+    #[test]
+    fn legal_edges_are_closed_over_random_events() {
+        // Cheap in-module sanity; the full property test drives this via
+        // the rse-support harness.
+        let mut h = ModuleHealth::new();
+        let mut s: u64 = 0x1234;
+        for i in 0..10_000u64 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let ev = match s >> 60 {
+                0..=5 => HealthEvent::Anomaly(AnomalyKind::Timeout),
+                6..=9 => HealthEvent::Anomaly(AnomalyKind::ErrorBurst),
+                10..=11 => HealthEvent::ProbeSuccess,
+                12..=13 => HealthEvent::ProbeFailure,
+                _ => HealthEvent::Quiet,
+            };
+            let (from, to) = h.apply(&cfg(), i * 7, ev);
+            assert!(legal_edge(from, to), "illegal edge {from} -> {to}");
+        }
+    }
+}

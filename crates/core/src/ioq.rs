@@ -88,10 +88,22 @@ pub struct Ioq {
     entries: HashMap<RobId, IoqEntry>,
     capacity: usize,
     fault: Option<IoqFault>,
+    /// A stuck-at fault confined to the output bits of one module's
+    /// CHECK entries (the module-targeted campaign fault models); other
+    /// modules' entries and plain entries are unaffected.
+    module_fault: Option<(ModuleId, IoqFault)>,
     /// Total entries ever allocated.
     pub allocated_total: u64,
     /// Error verdicts recorded (check 0→1 transitions).
     pub error_verdicts: u64,
+}
+
+/// The module a CHECK entry belongs to, if the entry is a CHECK.
+fn entry_module(kind: IoqEntryKind) -> Option<ModuleId> {
+    match kind {
+        IoqEntryKind::Plain => None,
+        IoqEntryKind::BlockingChk(m) | IoqEntryKind::NonBlockingChk(m) => Some(m),
+    }
 }
 
 impl Ioq {
@@ -116,6 +128,34 @@ impl Ioq {
     /// The currently injected fault, if any.
     pub fn fault(&self) -> Option<IoqFault> {
         self.fault
+    }
+
+    /// Injects (or clears) a stuck-at fault confined to one module's
+    /// CHECK entries.
+    pub fn inject_module_fault(&mut self, fault: Option<(ModuleId, IoqFault)>) {
+        self.module_fault = fault;
+    }
+
+    /// The currently injected module-targeted fault, if any.
+    pub fn module_fault(&self) -> Option<(ModuleId, IoqFault)> {
+        self.module_fault
+    }
+
+    /// The fault observable on the output wires of `module`'s CHECK
+    /// entries — used by the engine's self-test probe evaluation, which
+    /// reads the same wires as the commit unit.
+    pub fn effective_fault_for(&self, module: ModuleId) -> Option<IoqFault> {
+        self.effective_fault(IoqEntryKind::BlockingChk(module))
+    }
+
+    /// The fault observable on the output bits of an entry of `kind`:
+    /// the global fault if present, else the module-targeted fault when
+    /// the entry belongs to the targeted module.
+    fn effective_fault(&self, kind: IoqEntryKind) -> Option<IoqFault> {
+        self.fault.or_else(|| {
+            self.module_fault
+                .and_then(|(m, f)| (entry_module(kind) == Some(m)).then_some(f))
+        })
     }
 
     /// Allocates an entry for a dispatched instruction.
@@ -183,7 +223,7 @@ impl Ioq {
         };
         let mut valid = e.check_valid;
         let mut check = e.check;
-        match self.fault {
+        match self.effective_fault(e.kind) {
             Some(IoqFault::ValidStuck0) => valid = false,
             Some(IoqFault::ValidStuck1) => valid = true,
             Some(IoqFault::CheckStuck0) => check = false,
@@ -207,15 +247,43 @@ impl Ioq {
     pub fn watchdog_view(
         &self,
     ) -> impl Iterator<Item = (RobId, IoqEntryKind, u64, bool, bool)> + '_ {
-        let fault = self.fault;
         self.entries.iter().map(move |(rob, e)| {
-            let valid = match fault {
+            let valid = match self.effective_fault(e.kind) {
                 Some(IoqFault::ValidStuck0) => false,
                 Some(IoqFault::ValidStuck1) => true,
                 _ => e.check_valid,
             };
             (*rob, e.kind, e.allocated_at, valid, e.module_wrote)
         })
+    }
+
+    /// The kind of a live entry.
+    pub fn entry_kind(&self, rob: RobId) -> Option<IoqEntryKind> {
+        self.entries.get(&rob).map(|e| e.kind)
+    }
+
+    /// Raw `(kind, module_wrote, check)` of a live entry — the
+    /// *unfaulted* bits, for the engine's commit-time bookkeeping (clean
+    /// commits, NOP-mux accounting).
+    pub fn entry_state(&self, rob: RobId) -> Option<(IoqEntryKind, bool, bool)> {
+        self.entries
+            .get(&rob)
+            .map(|e| (e.kind, e.module_wrote, e.check))
+    }
+
+    /// Live CHECK entries of `module` whose result was never written by
+    /// the module. When a module heals out of quarantine these stale
+    /// entries would stall commit forever (their CHECKs were dropped
+    /// while decoupled), so the engine force-NOPs them.
+    pub fn incomplete_for(&self, module: ModuleId) -> Vec<RobId> {
+        let mut robs: Vec<RobId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| entry_module(e.kind) == Some(module) && !e.module_wrote)
+            .map(|(rob, _)| *rob)
+            .collect();
+        robs.sort_unstable();
+        robs
     }
 }
 
@@ -299,6 +367,57 @@ mod tests {
         assert!(IoqFault::CheckStuck1.to_string().contains("flushed"));
         assert!(IoqFault::CheckStuck0.to_string().contains("false negative"));
         assert!(IoqFault::ValidStuck1.to_string().contains("stuck at 1"));
+    }
+
+    #[test]
+    fn module_fault_is_confined_to_that_module() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(1), IoqEntryKind::Plain);
+        ioq.allocate(0, RobId(2), IoqEntryKind::BlockingChk(ModuleId::ICM));
+        ioq.allocate(0, RobId(3), IoqEntryKind::BlockingChk(ModuleId::MLR));
+        ioq.complete(1, RobId(2), false);
+        ioq.complete(1, RobId(3), false);
+        ioq.inject_module_fault(Some((ModuleId::ICM, IoqFault::ValidStuck0)));
+        // Only the ICM entry observes the stuck bit.
+        assert_eq!(ioq.gate(RobId(1)), CommitGate::Pass);
+        assert_eq!(ioq.gate(RobId(2)), CommitGate::Stall);
+        assert_eq!(ioq.gate(RobId(3)), CommitGate::Pass);
+        let stuck: Vec<_> = ioq
+            .watchdog_view()
+            .filter(|(_, _, _, valid, _)| !*valid)
+            .map(|(rob, ..)| rob)
+            .collect();
+        assert_eq!(stuck, vec![RobId(2)]);
+        ioq.inject_module_fault(None);
+        assert_eq!(ioq.gate(RobId(2)), CommitGate::Pass);
+    }
+
+    #[test]
+    fn global_fault_takes_precedence_over_module_fault() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(2), IoqEntryKind::BlockingChk(M));
+        ioq.complete(1, RobId(2), false);
+        ioq.inject_module_fault(Some((M, IoqFault::ValidStuck0)));
+        ioq.inject_fault(Some(IoqFault::CheckStuck1));
+        assert_eq!(ioq.gate(RobId(2)), CommitGate::Flush);
+    }
+
+    #[test]
+    fn entry_state_and_incomplete_for_report_raw_bits() {
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(1), IoqEntryKind::BlockingChk(M));
+        ioq.allocate(0, RobId(2), IoqEntryKind::NonBlockingChk(M));
+        ioq.allocate(0, RobId(3), IoqEntryKind::BlockingChk(ModuleId::MLR));
+        ioq.allocate(0, RobId(4), IoqEntryKind::Plain);
+        ioq.complete(1, RobId(2), true);
+        assert_eq!(ioq.incomplete_for(M), vec![RobId(1)]);
+        assert_eq!(ioq.incomplete_for(ModuleId::MLR), vec![RobId(3)]);
+        assert_eq!(
+            ioq.entry_state(RobId(2)),
+            Some((IoqEntryKind::NonBlockingChk(M), true, true))
+        );
+        assert_eq!(ioq.entry_kind(RobId(4)), Some(IoqEntryKind::Plain));
+        assert_eq!(ioq.entry_kind(RobId(99)), None);
     }
 
     #[test]

@@ -22,9 +22,15 @@
 //!   by the CHECK instruction's module number, with the enable/disable
 //!   unit of §3.2,
 //! * the **self-checking watchdog** ([`watchdog`]) — §3.4 / Table 2:
-//!   transition monitoring on the IOQ bits plus an error-burst counter;
-//!   on self-detected failure the engine decouples into a safe mode in
-//!   which every instruction commits freely,
+//!   transition monitoring on the IOQ bits plus an error-burst counter,
+//!   with every anomaly attributed to the owning module,
+//! * the **per-module containment machinery** ([`health`]) — each module
+//!   slot owns a `Healthy → Suspect → Quarantined → Disabled` state
+//!   machine; a quarantined module's CHECKs commit as NOPs through the
+//!   §3.4 output multiplexer while the other modules keep running, and
+//!   self-test probes with exponential backoff attempt re-enable. Global
+//!   safe mode (every instruction commits freely) remains as the
+//!   escalation of last resort,
 //! * the **hardware cost model** ([`hardware_cost`]) — the paper's
 //!   footnote-4 flip-flop and gate-count estimates, parameterized.
 //!
@@ -52,6 +58,7 @@
 mod config;
 mod engine;
 pub mod hardware_cost;
+pub mod health;
 pub mod ioq;
 pub mod mau;
 pub mod module;
@@ -60,7 +67,8 @@ pub mod testutil;
 pub mod watchdog;
 
 pub use config::RseConfig;
-pub use engine::{ChkFault, Engine, RseStats};
+pub use engine::{probe_rob, ChkFault, Engine, RseStats, PROBE_ROB_BASE};
+pub use health::{AnomalyKind, HealthConfig, HealthEvent, HealthState, ModuleHealth};
 pub use ioq::{Ioq, IoqEntryKind, IoqFault};
 pub use mau::{Mau, MauOp, MauRequest};
 pub use module::{ChkDispatch, Module, ModuleCtx, Verdict};

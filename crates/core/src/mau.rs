@@ -72,12 +72,22 @@ pub struct Mau {
     queue: VecDeque<MauRequest>,
     in_flight: Option<InFlight>,
     completions: VecDeque<MauCompletion>,
+    /// One-shot injected fault: drop (never deliver) the `index`-th
+    /// completion destined for the targeted module — the campaign's
+    /// "MAU response drop" model. The transfer itself still happens on
+    /// the bus; only the response back to the module is lost.
+    drop_fault: Option<(ModuleId, u64)>,
+    /// Completions finished per module slot (the index space the drop
+    /// fault addresses).
+    finished_per_module: [u64; ModuleId::SLOTS],
     /// Requests accepted.
     pub requests: u64,
     /// Transfers finished.
     pub completed: u64,
     /// Total bytes moved.
     pub bytes_moved: u64,
+    /// Injected completion drops that fired.
+    pub drops: u64,
 }
 
 impl Mau {
@@ -95,6 +105,18 @@ impl Mau {
     /// Number of queued (not yet started) requests.
     pub fn pending(&self) -> usize {
         self.queue.len() + usize::from(self.in_flight.is_some())
+    }
+
+    /// Arms (or clears) a one-shot completion drop: the `index`-th
+    /// completion finished for `module` is silently discarded.
+    pub fn inject_drop(&mut self, fault: Option<(ModuleId, u64)>) {
+        self.drop_fault = fault;
+    }
+
+    /// Completions finished for `module` so far (including dropped
+    /// ones) — the index space [`Mau::inject_drop`] addresses.
+    pub fn finished_for(&self, module: ModuleId) -> u64 {
+        self.finished_per_module[module.index()]
     }
 
     /// Advances the MAU by one cycle: starts the next transfer if the
@@ -123,13 +145,22 @@ impl Mau {
                 };
                 self.bytes_moved += data.len() as u64;
                 self.completed += 1;
-                self.completions.push_back(MauCompletion {
-                    module,
-                    tag,
-                    addr,
-                    data,
-                    finished_at: now,
-                });
+                let nth = self.finished_per_module[module.index()];
+                self.finished_per_module[module.index()] += 1;
+                if self.drop_fault == Some((module, nth)) {
+                    // The response back to the module is lost in transit:
+                    // the module's buffer fill never arrives.
+                    self.drop_fault = None;
+                    self.drops += 1;
+                } else {
+                    self.completions.push_back(MauCompletion {
+                        module,
+                        tag,
+                        addr,
+                        data,
+                        finished_at: now,
+                    });
+                }
             }
         }
         if self.in_flight.is_none() {
@@ -237,6 +268,51 @@ mod tests {
         assert_eq!(tags, vec![0, 1, 2]);
         assert_eq!(mau.pending(), 0);
         assert_eq!(mau.completed, 3);
+    }
+
+    #[test]
+    fn injected_drop_discards_exactly_one_completion() {
+        let mut mem = mem();
+        let mut mau = Mau::new();
+        for i in 0..3u64 {
+            mau.submit(MauRequest {
+                module: ModuleId::ICM,
+                addr: 0x3000 + 8 * i as u32,
+                op: MauOp::Load { bytes: 8 },
+                tag: i,
+            });
+        }
+        mau.inject_drop(Some((ModuleId::ICM, 1)));
+        let mut tags = Vec::new();
+        for now in 0..300 {
+            mau.tick(now, &mut mem);
+            while let Some(c) = mau.take_completion(ModuleId::ICM) {
+                tags.push(c.tag);
+            }
+        }
+        // The middle completion vanished; the transfer still counted.
+        assert_eq!(tags, vec![0, 2]);
+        assert_eq!(mau.completed, 3);
+        assert_eq!(mau.drops, 1);
+        assert_eq!(mau.finished_for(ModuleId::ICM), 3);
+    }
+
+    #[test]
+    fn drop_targeting_other_module_never_fires() {
+        let mut mem = mem();
+        let mut mau = Mau::new();
+        mau.inject_drop(Some((ModuleId::DDT, 0)));
+        mau.submit(MauRequest {
+            module: ModuleId::ICM,
+            addr: 0,
+            op: MauOp::Load { bytes: 4 },
+            tag: 9,
+        });
+        for now in 0..200 {
+            mau.tick(now, &mut mem);
+        }
+        assert_eq!(mau.take_completion(ModuleId::ICM).unwrap().tag, 9);
+        assert_eq!(mau.drops, 0);
     }
 
     #[test]

@@ -133,6 +133,25 @@ pub trait Module: Any {
         let _ = ctx;
     }
 
+    /// The §3.4 self-test, exercised by the quarantine re-enable probe
+    /// (a synthetic blocking CHECK with op [`rse_isa::chk::ops::SELFTEST`]).
+    /// A module should verify whatever internal invariants it can check
+    /// cheaply (e.g. a state digest) and report `Fail` when its state is
+    /// corrupt. The default claims health unconditionally — appropriate
+    /// for stateless modules, where a transient output-wire fault heals
+    /// on its own.
+    fn self_test(&mut self) -> Verdict {
+        Verdict::Pass
+    }
+
+    /// Deterministically corrupts the module's internal state (the
+    /// campaign's module-state fault model). Returns `true` if any state
+    /// was actually flipped; the default has no state to corrupt.
+    fn corrupt_state(&mut self, seed: u64) -> bool {
+        let _ = seed;
+        false
+    }
+
     /// Upcast for state retrieval by system software (the paper's "size
     /// query and retrieval check instruction" is complemented here by
     /// direct inspection for the recovery code path).

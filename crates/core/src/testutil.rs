@@ -116,6 +116,25 @@ pub enum ScriptedBehavior {
     },
     /// Never respond: the "module does not make progress" scenario.
     Silent,
+    /// Fail the first `n` blocking CHECKs delivered, pass afterwards — a
+    /// module detecting exactly `n` planted errors (each failed CHECK is
+    /// re-fetched after the flush and then passes).
+    FailFirstN {
+        /// Number of deliveries to fail.
+        n: u64,
+        /// Response latency in cycles.
+        latency: u64,
+    },
+    /// Ignore blocking CHECKs (including self-test probes) until cycle
+    /// `until`, then respond `Pass` with the given latency: a transient
+    /// stuck module that recovers on its own — the probed re-enable
+    /// scenario.
+    SilentUntil {
+        /// First cycle at which the module answers again.
+        until: u64,
+        /// Response latency once recovered.
+        latency: u64,
+    },
 }
 
 /// A module whose responses are scripted, for fault-injection and
@@ -124,10 +143,12 @@ pub enum ScriptedBehavior {
 pub struct ScriptedModule {
     id: ModuleId,
     behavior: ScriptedBehavior,
-    /// Pending responses: (due cycle, rob).
-    pending: Vec<(u64, RobId)>,
+    /// Pending responses: (due cycle, rob, verdict).
+    pending: Vec<(u64, RobId, Verdict)>,
     /// CHECKs acquired.
     pub chks_seen: u64,
+    /// Blocking CHECKs delivered (the `FailFirstN` budget counter).
+    pub blocking_deliveries: u64,
 }
 
 impl ScriptedModule {
@@ -138,7 +159,13 @@ impl ScriptedModule {
             behavior,
             pending: Vec::new(),
             chks_seen: 0,
+            blocking_deliveries: 0,
         }
+    }
+
+    /// The current behavior (fault injection may have changed it).
+    pub fn behavior(&self) -> ScriptedBehavior {
+        self.behavior
     }
 }
 
@@ -156,33 +183,52 @@ impl Module for ScriptedModule {
         if !chk.spec.blocking {
             return;
         }
+        self.blocking_deliveries += 1;
         match self.behavior {
-            ScriptedBehavior::Respond { latency, .. } => {
-                self.pending.push((ctx.now + latency, chk.rob));
+            ScriptedBehavior::Respond { verdict, latency } => {
+                self.pending.push((ctx.now + latency, chk.rob, verdict));
             }
             ScriptedBehavior::Silent => {}
+            ScriptedBehavior::FailFirstN { n, latency } => {
+                let verdict = if self.blocking_deliveries <= n {
+                    Verdict::Fail
+                } else {
+                    Verdict::Pass
+                };
+                self.pending.push((ctx.now + latency, chk.rob, verdict));
+            }
+            ScriptedBehavior::SilentUntil { until, latency } => {
+                if ctx.now >= until {
+                    self.pending
+                        .push((ctx.now + latency, chk.rob, Verdict::Pass));
+                }
+            }
         }
     }
 
     fn on_squash(&mut self, rob: RobId, _ctx: &mut ModuleCtx<'_>) {
-        self.pending.retain(|(_, r)| *r != rob);
+        self.pending.retain(|(_, r, _)| *r != rob);
     }
 
     fn tick(&mut self, ctx: &mut ModuleCtx<'_>) {
-        let ScriptedBehavior::Respond { verdict, .. } = self.behavior else {
-            return;
-        };
         let now = ctx.now;
-        let due: Vec<RobId> = self
+        let due: Vec<(RobId, Verdict)> = self
             .pending
             .iter()
-            .filter(|(at, _)| *at <= now)
-            .map(|(_, r)| *r)
+            .filter(|(at, ..)| *at <= now)
+            .map(|(_, r, v)| (*r, *v))
             .collect();
-        self.pending.retain(|(at, _)| *at > now);
-        for rob in due {
+        self.pending.retain(|(at, ..)| *at > now);
+        for (rob, verdict) in due {
             ctx.complete_check(rob, verdict);
         }
+    }
+
+    fn corrupt_state(&mut self, _seed: u64) -> bool {
+        // The scripted stand-in for state corruption: the module goes
+        // mute (its "state machine" is wedged).
+        self.behavior = ScriptedBehavior::Silent;
+        true
     }
 
     fn as_any(&self) -> &dyn Any {

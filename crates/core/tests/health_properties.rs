@@ -1,0 +1,113 @@
+//! Property tests of the per-module health state machine: under any
+//! event sequence and any containment configuration, the machine only
+//! moves along the legal §3.4 edges and `Disabled` is absorbing.
+
+use rse_core::health::legal_edge;
+use rse_core::{AnomalyKind, HealthConfig, HealthEvent, HealthState, ModuleHealth};
+use rse_support::prelude::*;
+
+/// Decodes one `(selector, dt)` pair of the generated trace into a
+/// health event. The selectors are weighted toward anomalies so traces
+/// actually reach `Quarantined`/`Disabled` instead of idling.
+fn decode(selector: u8) -> HealthEvent {
+    match selector {
+        0 => HealthEvent::Anomaly(AnomalyKind::Timeout),
+        1 => HealthEvent::Anomaly(AnomalyKind::ErrorBurst),
+        2 => HealthEvent::Anomaly(AnomalyKind::PrematurePass),
+        3 => HealthEvent::ProbeSuccess,
+        4 => HealthEvent::ProbeFailure,
+        _ => HealthEvent::Quiet,
+    }
+}
+
+proptest! {
+    /// Every transition the machine takes is a legal edge of the
+    /// `Healthy → Suspect → Quarantined → Disabled` diagram (including
+    /// the healing back-edges), and once `Disabled` is reached no event
+    /// whatsoever leaves it.
+    #[test]
+    fn health_machine_moves_only_along_legal_edges(
+        trace in rse_support::collection::vec((0u8..6, 1u64..500), 1..400),
+        quarantine_threshold in 1u32..5,
+        max_probe_attempts in 1u32..5,
+        suspect_decay in 1u64..2_000,
+    ) {
+        let config = HealthConfig {
+            quarantine_threshold,
+            probe_base: 16,
+            probe_timeout: 8,
+            max_probe_attempts,
+            suspect_decay,
+        };
+        let mut h = ModuleHealth::new();
+        let mut now = 0u64;
+        let mut disabled_seen = false;
+        for (selector, dt) in trace {
+            now += dt;
+            let (from, to) = h.apply(&config, now, decode(selector));
+            prop_assert!(
+                legal_edge(from, to),
+                "illegal edge {:?} -> {:?} on {:?}", from, to, decode(selector)
+            );
+            prop_assert_eq!(to, h.state());
+            if disabled_seen {
+                prop_assert_eq!(to, HealthState::Disabled, "Disabled must be absorbing");
+            }
+            if to == HealthState::Disabled {
+                disabled_seen = true;
+            }
+        }
+    }
+
+    /// The disable limit is exact: from `Quarantined`, `k` consecutive
+    /// probe failures (with `k = max_probe_attempts`) reach `Disabled`,
+    /// and no earlier; a probe success instead restores `Healthy` and
+    /// resets the attempt counter.
+    #[test]
+    fn probe_accounting_is_exact(
+        quarantine_threshold in 1u32..4,
+        k in 1u32..6,
+        heal_instead in any::<bool>(),
+    ) {
+        let config = HealthConfig {
+            quarantine_threshold,
+            probe_base: 16,
+            probe_timeout: 8,
+            max_probe_attempts: k,
+            suspect_decay: 1_000,
+        };
+        let mut h = ModuleHealth::new();
+        let mut now = 0u64;
+        for _ in 0..quarantine_threshold {
+            now += 1;
+            h.apply(&config, now, HealthEvent::Anomaly(AnomalyKind::Timeout));
+        }
+        prop_assert_eq!(h.state(), HealthState::Quarantined);
+
+        if heal_instead {
+            // Fail k-1 probes (one short of the limit), then succeed.
+            for _ in 0..k - 1 {
+                now += 1;
+                h.apply(&config, now, HealthEvent::ProbeFailure);
+                prop_assert_eq!(h.state(), HealthState::Quarantined);
+            }
+            now += 1;
+            h.apply(&config, now, HealthEvent::ProbeSuccess);
+            prop_assert_eq!(h.state(), HealthState::Healthy);
+            prop_assert_eq!(h.probe_attempts(), 0);
+        } else {
+            for i in 0..k {
+                prop_assert_eq!(h.state(), HealthState::Quarantined, "failed early at {}", i);
+                now += 1;
+                h.apply(&config, now, HealthEvent::ProbeFailure);
+            }
+            prop_assert_eq!(h.state(), HealthState::Disabled);
+            // Absorbing under every event kind.
+            for selector in 0u8..6 {
+                now += 1;
+                h.apply(&config, now, decode(selector));
+                prop_assert_eq!(h.state(), HealthState::Disabled);
+            }
+        }
+    }
+}

@@ -30,8 +30,10 @@ use rse_isa::asm::assemble;
 use rse_isa::layout::{page_base, STACK_BASE};
 use rse_isa::{Image, ModuleId, Reg};
 use rse_mem::{MemConfig, MemorySystem, SparseMemory};
+use rse_modules::ahbm::{Ahbm, AhbmConfig};
 use rse_modules::ddt::{Ddt, DdtConfig};
 use rse_modules::icm::{Icm, IcmConfig};
+use rse_modules::mlr::{Mlr, MlrConfig};
 use rse_pipeline::{CheckPolicy, CpuContext, Pipeline, PipelineConfig, StepEvent};
 use rse_support::rng::splitmix64;
 use rse_sys::checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore};
@@ -108,6 +110,7 @@ fn build(w: &Workload, image: &Image, cycle_budget: u64) -> Built {
             let mut engine = Engine::new(rse_cfg);
             engine.install(Box::new(icm));
             engine.enable(ModuleId::ICM);
+            install_bystanders(&mut engine);
             Built { cpu, engine }
         }
         Harness::DdtOs => {
@@ -121,9 +124,22 @@ fn build(w: &Workload, image: &Image, cycle_budget: u64) -> Built {
             let mut engine = Engine::new(rse_cfg);
             engine.install(Box::new(ddt));
             engine.enable(ModuleId::DDT);
+            install_bystanders(&mut engine);
             Built { cpu, engine }
         }
     }
+}
+
+/// Installs the MLR and AHBM alongside the harness's primary module so
+/// every non-bare harness carries three modules. With three installed
+/// slots, one quarantined-or-disabled module stays below the
+/// half-installed escalation threshold — the campaign then observes
+/// genuine per-module containment instead of an immediate global trip.
+fn install_bystanders(engine: &mut Engine) {
+    engine.install(Box::new(Mlr::new(MlrConfig::default())));
+    engine.enable(ModuleId::MLR);
+    engine.install(Box::new(Ahbm::new(AhbmConfig::default())));
+    engine.enable(ModuleId::AHBM);
 }
 
 /// How a bare/ICM drive loop ended.
@@ -135,17 +151,15 @@ enum RawEnd {
 }
 
 fn drive(cpu: &mut Pipeline, engine: &mut Engine, deadline: u64) -> RawEnd {
-    loop {
-        let remaining = deadline.saturating_sub(cpu.now());
-        if remaining == 0 {
-            return RawEnd::TimedOut;
-        }
-        match cpu.run(engine, remaining) {
-            StepEvent::Halted => return RawEnd::Halted,
-            StepEvent::Timeout => return RawEnd::TimedOut,
-            StepEvent::Syscall => return RawEnd::Crash("unexpected syscall trap"),
-            StepEvent::Exception(_) => return RawEnd::Crash("unexpected coprocessor exception"),
-        }
+    let remaining = deadline.saturating_sub(cpu.now());
+    if remaining == 0 {
+        return RawEnd::TimedOut;
+    }
+    match cpu.run(engine, remaining) {
+        StepEvent::Halted => RawEnd::Halted,
+        StepEvent::Timeout => RawEnd::TimedOut,
+        StepEvent::Syscall => RawEnd::Crash("unexpected syscall trap"),
+        StepEvent::Exception(_) => RawEnd::Crash("unexpected coprocessor exception"),
     }
 }
 
@@ -170,12 +184,16 @@ fn sampler_profile(w: &Workload, image: &Image, cpu: &Pipeline, engine: &Engine)
         let addr = image.symbol(sym).expect("data_fault_buf symbol exists");
         (addr, addr + len)
     });
+    let target_module = w.harness.target_module();
+    let mau_completions = target_module.map_or(0, |m| engine.mau().finished_for(m));
     RunProfile {
         cycles: cpu.stats().cycles,
         fetched: cpu.stats().fetched,
         chk_routed: engine.stats().chk_routed,
         text_range: (image.text_base, image.text_end()),
         data_range,
+        target_module,
+        mau_completions,
     }
 }
 
@@ -308,10 +326,18 @@ pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefStat
                 .module_ref::<Icm>(ModuleId::ICM)
                 .is_some_and(|icm| icm.stats().mismatches > 0);
             let digest = result_digest(w, &b.cpu, &image);
-            let outcome = if detected {
+            let down_target = w
+                .harness
+                .target_module()
+                .filter(|&m| b.engine.module_health(m).is_down());
+            let outcome = if let Some(m) = down_target {
+                Outcome::Degraded(m)
+            } else if detected {
                 Outcome::DetectedByModule(ModuleId::ICM)
             } else if b.engine.safe_mode().is_some() {
                 Outcome::WatchdogTimeout
+            } else if b.engine.stats().quarantines > 0 {
+                Outcome::Contained
             } else {
                 match end {
                     RawEnd::TimedOut => Outcome::Hang,
@@ -327,6 +353,16 @@ pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefStat
             };
             let recovery = match outcome {
                 Outcome::Masked | Outcome::Sdc => RecoveryStatus::NotNeeded,
+                Outcome::Degraded(_) if end == RawEnd::Halted && digest == r.digest => {
+                    RecoveryStatus::Succeeded {
+                        mechanism: "quarantine-nop-mux",
+                    }
+                }
+                Outcome::Contained if end == RawEnd::Halted && digest == r.digest => {
+                    RecoveryStatus::Succeeded {
+                        mechanism: "probe-re-enable",
+                    }
+                }
                 _ if end == RawEnd::Halted && digest == r.digest => RecoveryStatus::Succeeded {
                     mechanism: if detected {
                         "flush-refetch"
@@ -355,10 +391,18 @@ pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefStat
                 b.engine.poll_hang(b.cpu.now());
             }
             let detected = os.stats().recoveries > 0;
-            let outcome = if detected {
+            let down_target = w
+                .harness
+                .target_module()
+                .filter(|&m| b.engine.module_health(m).is_down());
+            let outcome = if let Some(m) = down_target {
+                Outcome::Degraded(m)
+            } else if detected {
                 Outcome::DetectedByModule(ModuleId::DDT)
             } else if b.engine.safe_mode().is_some() {
                 Outcome::WatchdogTimeout
+            } else if b.engine.stats().quarantines > 0 {
+                Outcome::Contained
             } else {
                 match &exit {
                     OsExit::Timeout => Outcome::Hang,
@@ -367,21 +411,35 @@ pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefStat
                     _ => Outcome::Sdc,
                 }
             };
-            let recovery = if detected {
-                if exit == (OsExit::Exited { code: 0 }) && os.output == DDT_RECOVERED_OUTPUT {
-                    RecoveryStatus::Succeeded {
-                        mechanism: "ddt-checkpoint-rollback",
-                    }
-                } else {
-                    RecoveryStatus::FailedSafeHalt {
-                        cause: format!(
-                            "post-recovery run diverged (output {:?}, exit {:?})",
-                            os.output, exit
-                        ),
+            let run_ok = exit == (OsExit::Exited { code: 0 }) && os.output == r.output;
+            let recovery = match outcome {
+                Outcome::Degraded(_) if run_ok => RecoveryStatus::Succeeded {
+                    mechanism: "quarantine-nop-mux",
+                },
+                Outcome::Contained if run_ok => RecoveryStatus::Succeeded {
+                    mechanism: "probe-re-enable",
+                },
+                Outcome::Degraded(_) | Outcome::Contained => RecoveryStatus::FailedSafeHalt {
+                    cause: format!(
+                        "degraded-mode run diverged (output {:?}, exit {:?})",
+                        os.output, exit
+                    ),
+                },
+                Outcome::DetectedByModule(_) => {
+                    if exit == (OsExit::Exited { code: 0 }) && os.output == DDT_RECOVERED_OUTPUT {
+                        RecoveryStatus::Succeeded {
+                            mechanism: "ddt-checkpoint-rollback",
+                        }
+                    } else {
+                        RecoveryStatus::FailedSafeHalt {
+                            cause: format!(
+                                "post-recovery run diverged (output {:?}, exit {:?})",
+                                os.output, exit
+                            ),
+                        }
                     }
                 }
-            } else {
-                RecoveryStatus::NotNeeded
+                _ => RecoveryStatus::NotNeeded,
             };
             (outcome, recovery, b.cpu.now())
         }
@@ -465,6 +523,35 @@ impl CampaignSpec {
                 })
                 .collect(),
         }
+    }
+
+    /// The quarantine matrix: every module-targeted fault model against
+    /// the two module-bearing workloads. This is the degraded-mode
+    /// coverage campaign — it measures how often a faulted module is
+    /// contained (quarantine → NOP mux → guest completes) or healed
+    /// (backoff probe re-enables it) instead of decoupling the whole
+    /// framework.
+    pub fn quarantine(base_seed: u64, runs: u32) -> CampaignSpec {
+        const MODULE_MODELS: [FaultModel; 4] = [
+            FaultModel::ModValidStuck0,
+            FaultModel::ModValidStuck1,
+            FaultModel::ModStateCorrupt,
+            FaultModel::MauDrop,
+        ];
+        let mut cells = Vec::new();
+        for name in ["icm_loop", "ddt_recover"] {
+            let w = by_name(name).expect("corpus workload");
+            for model in MODULE_MODELS {
+                if model.applicable(w) {
+                    cells.push(CampaignCell {
+                        workload: w.name,
+                        model,
+                        runs,
+                    });
+                }
+            }
+        }
+        CampaignSpec { base_seed, cells }
     }
 
     /// The full cross product: every applicable (workload, model) pair,
@@ -592,6 +679,35 @@ mod tests {
             assert_eq!(r.recovery, RecoveryStatus::NotNeeded);
             assert_eq!(r.faults, "none");
         }
+    }
+
+    #[test]
+    fn quarantine_spec_covers_module_models() {
+        let spec = CampaignSpec::quarantine(0, 2);
+        assert_eq!(spec.cells.len(), 7, "{:?}", spec.cells);
+        assert_eq!(spec.total_runs(), 14);
+        assert!(spec
+            .cells
+            .iter()
+            .all(|c| c.model.applicable(by_name(c.workload).unwrap())));
+        // MauDrop needs the ICM harness's MAU traffic.
+        assert!(!spec
+            .cells
+            .iter()
+            .any(|c| c.workload == "ddt_recover" && c.model == FaultModel::MauDrop));
+    }
+
+    #[test]
+    fn stuck_valid_line_is_confined_to_the_module() {
+        let w = by_name("icm_loop").unwrap();
+        let r = reference(w);
+        let seed = derive_seed(3, w.name, FaultModel::ModValidStuck0, 0);
+        let rec = run_one(w, FaultModel::ModValidStuck0, 0, seed, &r);
+        assert!(
+            rec.outcome.is_confined(),
+            "expected containment, got {}",
+            rec.to_json()
+        );
     }
 
     #[test]

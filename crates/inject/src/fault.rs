@@ -8,7 +8,8 @@
 //! campaign can be replayed exactly from its recorded seed.
 
 use crate::workload::{Harness, Workload};
-use rse_core::{ChkFault, Engine};
+use rse_core::{ChkFault, Engine, IoqFault};
+use rse_isa::ModuleId;
 use rse_pipeline::{FetchFault, Pipeline, SoftFault};
 use rse_support::rng::splitmix64;
 
@@ -37,12 +38,27 @@ pub enum FaultModel {
     ChkDrop,
     /// One CHECK dispatch delivered with a corrupted wide operand.
     ChkGarble,
+    /// The target module's `checkValid` line stuck at 0: its blocking
+    /// CHECKs never complete, so the per-module watchdog attributes the
+    /// stall and quarantines exactly that module (§3.4 containment).
+    ModValidStuck0,
+    /// The target module's `checkValid` line stuck at 1: premature
+    /// passes on its blocking CHECKs, caught by the premature-pass
+    /// detector and again contained to the one module.
+    ModValidStuck1,
+    /// Internal-state corruption inside the target module (seal or
+    /// shadow-register upset). The module misbehaves until a SELFTEST
+    /// probe fails; containment plus probed re-enable govern recovery.
+    ModStateCorrupt,
+    /// One MAU response destined for the target module dropped in
+    /// transit — the memory-access-unit delivery fault.
+    MauDrop,
 }
 
 impl FaultModel {
     /// Every model, in stable order (the order is part of the seed
     /// derivation and must never change).
-    pub const ALL: [FaultModel; 8] = [
+    pub const ALL: [FaultModel; 12] = [
         FaultModel::Control,
         FaultModel::RegSingle,
         FaultModel::RegDouble,
@@ -51,6 +67,10 @@ impl FaultModel {
         FaultModel::FetchWord,
         FaultModel::ChkDrop,
         FaultModel::ChkGarble,
+        FaultModel::ModValidStuck0,
+        FaultModel::ModValidStuck1,
+        FaultModel::ModStateCorrupt,
+        FaultModel::MauDrop,
     ];
 
     /// Stable model name (JSONL field, CLI argument).
@@ -64,6 +84,10 @@ impl FaultModel {
             FaultModel::FetchWord => "fetch-word",
             FaultModel::ChkDrop => "chk-drop",
             FaultModel::ChkGarble => "chk-garble",
+            FaultModel::ModValidStuck0 => "mod-valid-stuck0",
+            FaultModel::ModValidStuck1 => "mod-valid-stuck1",
+            FaultModel::ModStateCorrupt => "mod-state",
+            FaultModel::MauDrop => "mau-drop",
         }
     }
 
@@ -87,6 +111,10 @@ impl FaultModel {
         match self {
             FaultModel::MemData => workload.data_fault_buf.is_some(),
             FaultModel::ChkDrop | FaultModel::ChkGarble => workload.harness == Harness::Icm,
+            FaultModel::ModValidStuck0
+            | FaultModel::ModValidStuck1
+            | FaultModel::ModStateCorrupt => workload.harness != Harness::Bare,
+            FaultModel::MauDrop => workload.harness == Harness::Icm,
             _ => true,
         }
     }
@@ -111,6 +139,12 @@ pub struct RunProfile {
     pub text_range: (u32, u32),
     /// `[start, end)` of the declared data-fault buffer, if any.
     pub data_range: Option<(u32, u32)>,
+    /// The harness's primary module — the target of the module-directed
+    /// fault models (`None` for bare workloads).
+    pub target_module: Option<ModuleId>,
+    /// MAU requests completed for the target module during the reference
+    /// run (the `MauDrop` sampling space).
+    pub mau_completions: u64,
 }
 
 /// One concrete scheduled fault, ready to arm on the harness.
@@ -122,6 +156,29 @@ pub enum PlannedFault {
     Fetch(FetchFault),
     /// A CHECK-dispatch delivery fault.
     Chk(ChkFault),
+    /// A stuck IOQ status line scoped to one module.
+    ModuleIoq {
+        /// The faulted module.
+        module: ModuleId,
+        /// Which line is stuck, and at which level.
+        fault: IoqFault,
+    },
+    /// A scheduled internal-state corruption inside one module.
+    ModuleCorrupt {
+        /// The faulted module.
+        module: ModuleId,
+        /// Cycle at which the corruption lands.
+        at_cycle: u64,
+        /// Seed steering which internal word/bit is upset.
+        seed: u64,
+    },
+    /// One MAU response for `module` dropped (the `index`-th completion).
+    MauDrop {
+        /// The module whose response is dropped.
+        module: ModuleId,
+        /// Zero-based index into the module's MAU completion stream.
+        index: u64,
+    },
 }
 
 /// The fully expanded injection plan for one run.
@@ -206,6 +263,45 @@ impl FaultPlan {
                     vec![PlannedFault::Chk(ChkFault::Garble { index, xor_mask })]
                 }
             }
+            FaultModel::ModValidStuck0 | FaultModel::ModValidStuck1 => {
+                match profile.target_module {
+                    None => Vec::new(),
+                    Some(module) => {
+                        let fault = if model == FaultModel::ModValidStuck0 {
+                            IoqFault::ValidStuck0
+                        } else {
+                            IoqFault::ValidStuck1
+                        };
+                        // Burn one draw so sibling models diverge even
+                        // though the stuck-at point itself is static.
+                        let _ = next();
+                        vec![PlannedFault::ModuleIoq { module, fault }]
+                    }
+                }
+            }
+            FaultModel::ModStateCorrupt => match profile.target_module {
+                None => Vec::new(),
+                Some(module) => {
+                    let at_cycle = cycle(next());
+                    let seed = next();
+                    vec![PlannedFault::ModuleCorrupt {
+                        module,
+                        at_cycle,
+                        seed,
+                    }]
+                }
+            },
+            FaultModel::MauDrop => match profile.target_module {
+                None => Vec::new(),
+                Some(module) => {
+                    if profile.mau_completions == 0 {
+                        Vec::new()
+                    } else {
+                        let index = next() % profile.mau_completions;
+                        vec![PlannedFault::MauDrop { module, index }]
+                    }
+                }
+            },
         };
         FaultPlan { faults }
     }
@@ -217,6 +313,17 @@ impl FaultPlan {
                 PlannedFault::Soft(sf) => cpu.schedule_fault(sf),
                 PlannedFault::Fetch(ff) => cpu.set_fetch_fault(Some(ff)),
                 PlannedFault::Chk(cf) => engine.inject_chk_fault(Some(cf)),
+                PlannedFault::ModuleIoq { module, fault } => {
+                    engine.inject_module_ioq_fault(Some((module, fault)));
+                }
+                PlannedFault::ModuleCorrupt {
+                    module,
+                    at_cycle,
+                    seed,
+                } => engine.schedule_module_corruption(module, at_cycle, seed),
+                PlannedFault::MauDrop { module, index } => {
+                    engine.inject_mau_drop(Some((module, index)));
+                }
             }
         }
     }
@@ -248,6 +355,30 @@ impl FaultPlan {
                 PlannedFault::Chk(ChkFault::Garble { index, xor_mask }) => {
                     format!("chk-garble[{index}]^={xor_mask:#010x}")
                 }
+                PlannedFault::ModuleIoq { module, fault } => {
+                    let line = match fault {
+                        IoqFault::ValidStuck0 => "valid-stuck0",
+                        IoqFault::ValidStuck1 => "valid-stuck1",
+                        IoqFault::CheckStuck0 => "check-stuck0",
+                        IoqFault::CheckStuck1 => "check-stuck1",
+                    };
+                    format!(
+                        "ioq[{}]={line}",
+                        crate::outcome::module_tag(module).to_lowercase()
+                    )
+                }
+                PlannedFault::ModuleCorrupt {
+                    module,
+                    at_cycle,
+                    seed,
+                } => format!(
+                    "corrupt[{}]@c{at_cycle}#{seed:#018x}",
+                    crate::outcome::module_tag(module).to_lowercase()
+                ),
+                PlannedFault::MauDrop { module, index } => format!(
+                    "mau-drop[{}][{index}]",
+                    crate::outcome::module_tag(module).to_lowercase()
+                ),
             })
             .collect();
         parts.join("; ")
@@ -265,6 +396,8 @@ mod tests {
             chk_routed: 120,
             text_range: (0x0040_0000, 0x0040_0100),
             data_range: Some((0x1000_0000, 0x1000_0080)),
+            target_module: Some(ModuleId::ICM),
+            mau_completions: 40,
         }
     }
 
@@ -312,7 +445,7 @@ mod tests {
             };
             assert!((0x1000_0000..0x1000_0080).contains(&addr));
             assert_eq!(addr % 4, 0);
-            assert!(at_cycle >= 1 && at_cycle <= 10_000);
+            assert!((1..=10_000).contains(&at_cycle));
 
             let p = FaultPlan::sample(FaultModel::MemText, seed, &profile());
             let PlannedFault::Soft(SoftFault::Mem { addr, .. }) = p.faults[0] else {
@@ -360,6 +493,72 @@ mod tests {
         assert!(FaultPlan::sample(FaultModel::ChkGarble, 3, &p)
             .faults
             .is_empty());
+    }
+
+    #[test]
+    fn module_models_degrade_gracefully_without_target() {
+        let p = RunProfile {
+            target_module: None,
+            ..profile()
+        };
+        for model in [
+            FaultModel::ModValidStuck0,
+            FaultModel::ModValidStuck1,
+            FaultModel::ModStateCorrupt,
+            FaultModel::MauDrop,
+        ] {
+            assert!(
+                FaultPlan::sample(model, 3, &p).faults.is_empty(),
+                "{model} sampled a fault without a target module"
+            );
+        }
+        let p = RunProfile {
+            mau_completions: 0,
+            ..profile()
+        };
+        assert!(FaultPlan::sample(FaultModel::MauDrop, 3, &p)
+            .faults
+            .is_empty());
+    }
+
+    #[test]
+    fn module_models_sample_and_describe() {
+        let p = FaultPlan::sample(FaultModel::ModValidStuck0, 11, &profile());
+        assert_eq!(
+            p.faults,
+            vec![PlannedFault::ModuleIoq {
+                module: ModuleId::ICM,
+                fault: IoqFault::ValidStuck0,
+            }]
+        );
+        assert_eq!(p.describe(), "ioq[icm]=valid-stuck0");
+
+        let p = FaultPlan::sample(FaultModel::ModStateCorrupt, 11, &profile());
+        let PlannedFault::ModuleCorrupt {
+            module, at_cycle, ..
+        } = p.faults[0]
+        else {
+            panic!("wrong fault kind");
+        };
+        assert_eq!(module, ModuleId::ICM);
+        assert!((1..=10_000).contains(&at_cycle));
+        assert!(
+            p.describe().starts_with("corrupt[icm]@c"),
+            "{}",
+            p.describe()
+        );
+
+        let p = FaultPlan::sample(FaultModel::MauDrop, 11, &profile());
+        let PlannedFault::MauDrop { module, index } = p.faults[0] else {
+            panic!("wrong fault kind");
+        };
+        assert_eq!(module, ModuleId::ICM);
+        assert!(index < 40);
+        assert!(
+            p.describe().starts_with("mau-drop[icm]["),
+            "{}",
+            p.describe()
+        );
     }
 
     #[test]

@@ -13,8 +13,9 @@
 use rse_isa::ModuleId;
 use std::collections::BTreeMap;
 
-/// Short stable tag for a module (used inside outcome tags).
-fn module_tag(id: ModuleId) -> String {
+/// Short stable tag for a module (used inside outcome tags and fault
+/// descriptions).
+pub(crate) fn module_tag(id: ModuleId) -> String {
     if id == ModuleId::ICM {
         "ICM".into()
     } else if id == ModuleId::MLR {
@@ -41,6 +42,15 @@ pub enum Outcome {
     DetectedByModule(ModuleId),
     /// The §3.4 self-checking watchdog decoupled the framework.
     WatchdogTimeout,
+    /// The per-module health machine took the named module down
+    /// (Quarantined or Disabled) and it stayed down through the end of
+    /// the run: the guest ran to completion in degraded mode with that
+    /// module's CHECKs muxed to committed NOPs.
+    Degraded(ModuleId),
+    /// A module was quarantined mid-run but a backoff probe re-enabled
+    /// it before the end: the fault was contained and healed without
+    /// ever decoupling the framework.
+    Contained,
     /// The guest died through a generic trap (unexpected syscall /
     /// exception / process kill), not through an RSE detector.
     CrashTrap,
@@ -56,6 +66,8 @@ impl Outcome {
             Outcome::Sdc => "sdc".into(),
             Outcome::DetectedByModule(id) => format!("detected:{}", module_tag(*id)),
             Outcome::WatchdogTimeout => "watchdog-timeout".into(),
+            Outcome::Degraded(id) => format!("degraded:{}", module_tag(*id)),
+            Outcome::Contained => "contained".into(),
             Outcome::CrashTrap => "crash-trap".into(),
             Outcome::Hang => "hang".into(),
         }
@@ -64,6 +76,12 @@ impl Outcome {
     /// Whether an RSE module detected the fault.
     pub fn is_detected(&self) -> bool {
         matches!(self, Outcome::DetectedByModule(_))
+    }
+
+    /// Whether the per-module health machine confined the fault
+    /// (degraded-mode completion or probe-healed containment).
+    pub fn is_confined(&self) -> bool {
+        matches!(self, Outcome::Degraded(_) | Outcome::Contained)
     }
 }
 
@@ -225,6 +243,16 @@ impl Histogram {
             .sum()
     }
 
+    /// Runs confined by the per-module health machine (every
+    /// `degraded:*` plus `contained`).
+    pub fn confined(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("degraded:") || *k == "contained")
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
     /// `(tag, count)` pairs in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
         self.counts.iter().map(|(k, v)| (k.as_str(), *v))
@@ -244,7 +272,7 @@ pub fn coverage_table(records: &[RunRecord]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:<11} {:>5} {:>7} {:>9} {:>9} {:>6} {:>5} {:>5} {:>10}\n",
+        "{:<14} {:<16} {:>5} {:>7} {:>5} {:>9} {:>5} {:>9} {:>5} {:>5} {:>10}\n",
         "workload",
         "model",
         "runs",
@@ -252,13 +280,14 @@ pub fn coverage_table(records: &[RunRecord]) -> String {
         "sdc",
         "detected",
         "wdog",
+        "confined",
         "crash",
         "hang",
         "recovered"
     ));
     for ((workload, model), (h, recovered)) in &cells {
         out.push_str(&format!(
-            "{:<14} {:<11} {:>5} {:>7} {:>9} {:>9} {:>6} {:>5} {:>5} {:>10}\n",
+            "{:<14} {:<16} {:>5} {:>7} {:>5} {:>9} {:>5} {:>9} {:>5} {:>5} {:>10}\n",
             workload,
             model,
             h.total(),
@@ -266,6 +295,7 @@ pub fn coverage_table(records: &[RunRecord]) -> String {
             h.count("sdc"),
             h.detected(),
             h.count("watchdog-timeout"),
+            h.confined(),
             h.count("crash-trap"),
             h.count("hang"),
             recovered,
@@ -274,7 +304,7 @@ pub fn coverage_table(records: &[RunRecord]) -> String {
     let all = Histogram::from_records(records);
     let recovered_total: u64 = cells.values().map(|(_, r)| *r).sum();
     out.push_str(&format!(
-        "{:<14} {:<11} {:>5} {:>7} {:>9} {:>9} {:>6} {:>5} {:>5} {:>10}\n",
+        "{:<14} {:<16} {:>5} {:>7} {:>5} {:>9} {:>5} {:>9} {:>5} {:>5} {:>10}\n",
         "TOTAL",
         "",
         all.total(),
@@ -282,6 +312,7 @@ pub fn coverage_table(records: &[RunRecord]) -> String {
         all.count("sdc"),
         all.detected(),
         all.count("watchdog-timeout"),
+        all.confined(),
         all.count("crash-trap"),
         all.count("hang"),
         recovered_total,
@@ -323,6 +354,12 @@ mod tests {
             "detected:M9"
         );
         assert_eq!(Outcome::WatchdogTimeout.tag(), "watchdog-timeout");
+        assert_eq!(Outcome::Degraded(ModuleId::ICM).tag(), "degraded:ICM");
+        assert_eq!(Outcome::Degraded(ModuleId::AHBM).tag(), "degraded:AHBM");
+        assert_eq!(Outcome::Contained.tag(), "contained");
+        assert!(Outcome::Degraded(ModuleId::MLR).is_confined());
+        assert!(Outcome::Contained.is_confined());
+        assert!(!Outcome::WatchdogTimeout.is_confined());
         assert_eq!(Outcome::CrashTrap.tag(), "crash-trap");
         assert_eq!(Outcome::Hang.tag(), "hang");
         assert_eq!(RecoveryStatus::NotNeeded.tag(), "not-needed");
@@ -374,15 +411,29 @@ mod tests {
                 },
             ),
             record(Outcome::Sdc, RecoveryStatus::NotNeeded),
+            record(
+                Outcome::Degraded(ModuleId::ICM),
+                RecoveryStatus::Succeeded {
+                    mechanism: "quarantine-nop-mux",
+                },
+            ),
+            record(
+                Outcome::Contained,
+                RecoveryStatus::Succeeded {
+                    mechanism: "probe-re-enable",
+                },
+            ),
         ];
         let h = Histogram::from_records(&records);
-        assert_eq!(h.total(), 4);
+        assert_eq!(h.total(), 6);
         assert_eq!(h.count("masked"), 2);
         assert_eq!(h.count("sdc"), 1);
         assert_eq!(h.detected(), 1);
+        assert_eq!(h.confined(), 2);
         let table = coverage_table(&records);
         assert!(table.contains("alu_loop"), "{table}");
         assert!(table.contains("TOTAL"), "{table}");
+        assert!(table.contains("confined"), "{table}");
     }
 
     #[test]

@@ -26,6 +26,21 @@ pub enum Harness {
     DdtOs,
 }
 
+impl Harness {
+    /// The harness's primary module — the target of the module-directed
+    /// fault models (`None` for bare workloads). The non-bare harnesses
+    /// also install the MLR and AHBM as bystander modules so per-module
+    /// containment is observable: one quarantined module stays below the
+    /// half-installed escalation threshold.
+    pub fn target_module(self) -> Option<rse_isa::ModuleId> {
+        match self {
+            Harness::Bare => None,
+            Harness::Icm => Some(rse_isa::ModuleId::ICM),
+            Harness::DdtOs => Some(rse_isa::ModuleId::DDT),
+        }
+    }
+}
+
 /// One guest program in the campaign corpus.
 #[derive(Debug, Clone, Copy)]
 pub struct Workload {

@@ -449,7 +449,7 @@ fn emit_pass(
                 Item::Label(_) => {}
                 Item::Section(kind) => section = *kind,
                 Item::Word(vs) => {
-                    while e.data.len() % 4 != 0 {
+                    while !e.data.len().is_multiple_of(4) {
                         e.data.push(0);
                     }
                     for v in vs {
@@ -458,7 +458,7 @@ fn emit_pass(
                     }
                 }
                 Item::Half(vs) => {
-                    while e.data.len() % 2 != 0 {
+                    while !e.data.len().is_multiple_of(2) {
                         e.data.push(0);
                     }
                     for v in vs {
@@ -471,7 +471,7 @@ fn emit_pass(
                         e.data.push(e.resolve(v, line.no)? as u8);
                     }
                 }
-                Item::Space(n) => e.data.extend(std::iter::repeat(0).take(*n as usize)),
+                Item::Space(n) => e.data.extend(std::iter::repeat_n(0, *n as usize)),
                 Item::Align(n) if *n > 0 => match section {
                     SectionKind::Data => {
                         let target = align_to(data_base + e.data.len() as u32, *n);
@@ -706,7 +706,7 @@ fn emit_inst(
                 no,
             )?;
             let addr = target as u32;
-            if addr % 4 != 0 {
+            if !addr.is_multiple_of(4) {
                 return Err(err(no, "jump target not word-aligned"));
             }
             let field = (addr >> 2) & 0x03FF_FFFF;

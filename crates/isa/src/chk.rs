@@ -103,6 +103,11 @@ pub mod ops {
     pub const ENABLE: u8 = 0;
     /// Disable the addressed module (common to all modules).
     pub const DISABLE: u8 = 1;
+    /// Self-test the addressed module (common to all modules): the
+    /// module verifies its internal invariants and reports the result
+    /// like any blocking check. Issued by the §3.4 watchdog as the
+    /// quarantine re-enable probe.
+    pub const SELFTEST: u8 = 31;
 
     /// ICM: check the next instruction in program order (`CHK INST_CHECK`).
     pub const ICM_CHECK_NEXT: u8 = 2;

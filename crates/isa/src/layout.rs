@@ -48,9 +48,11 @@ mod tests {
 
     #[test]
     fn segments_do_not_overlap_nominally() {
-        assert!(TEXT_BASE < SHLIB_BASE);
-        assert!(SHLIB_BASE < DATA_BASE);
-        assert!(DATA_BASE < HEAP_BASE);
-        assert!(HEAP_BASE < STACK_BASE);
+        const {
+            assert!(TEXT_BASE < SHLIB_BASE);
+            assert!(SHLIB_BASE < DATA_BASE);
+            assert!(DATA_BASE < HEAP_BASE);
+            assert!(HEAP_BASE < STACK_BASE);
+        }
     }
 }

@@ -16,7 +16,7 @@ fn icache_sweep_accounting() {
     // 8 sequential fetches per 32-byte line.
     for sweep in 0..2 {
         for addr in (0..lines * LINE).step_by(4) {
-            m.access(1000 * sweep as u64, addr, AccessKind::InstFetch);
+            m.access(1000 * sweep, addr, AccessKind::InstFetch);
         }
         let s = m.stats();
         let fetches = (sweep + 1) * (lines * LINE / 4) as u64;

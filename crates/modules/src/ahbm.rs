@@ -19,7 +19,7 @@
 //! averages, and `timeout = mean + k·dev` (with a floor). An entity whose
 //! counter does not advance for longer than its timeout is declared dead.
 
-use rse_core::{ChkDispatch, Module, ModuleCtx};
+use rse_core::{ChkDispatch, Module, ModuleCtx, Verdict};
 use rse_isa::chk::ops;
 use rse_isa::ModuleId;
 use rse_pipeline::RobId;
@@ -107,6 +107,10 @@ pub struct Ahbm {
     failed: Vec<EntityId>,
     next_sample: u64,
     stats: AhbmStats,
+    /// Duplicated running sum of all `COUNTER_RAM` values, maintained at
+    /// every legitimate counter update, so the §3.4 self-test can detect
+    /// a soft error upsetting a heartbeat counter.
+    counter_shadow: u64,
 }
 
 impl Ahbm {
@@ -119,6 +123,7 @@ impl Ahbm {
             failed: Vec::new(),
             next_sample: 0,
             stats: AhbmStats::default(),
+            counter_shadow: 0,
         }
     }
 
@@ -147,6 +152,11 @@ impl Ahbm {
     /// committed `AHBM_REGISTER` CHECK).
     pub fn register(&mut self, id: EntityId, now: u64) {
         self.stats.registrations += 1;
+        if let Some(old) = self.entities.get(&id) {
+            // Re-registration resets the counter: keep the shadow sum
+            // consistent.
+            self.counter_shadow -= old.counter;
+        }
         self.entities.insert(
             id,
             EntityState {
@@ -160,6 +170,14 @@ impl Ahbm {
         );
     }
 
+    /// Stops monitoring `id` (OS-side path; equivalent to a committed
+    /// `AHBM_DEREGISTER` CHECK).
+    pub fn deregister(&mut self, id: EntityId) {
+        if let Some(old) = self.entities.remove(&id) {
+            self.counter_shadow -= old.counter;
+        }
+    }
+
     /// Applies one heartbeat for `id` at cycle `now`.
     pub fn beat(&mut self, id: EntityId, now: u64) {
         let cfg = self.config;
@@ -168,6 +186,7 @@ impl Ahbm {
         };
         self.stats.beats += 1;
         e.counter += 1;
+        self.counter_shadow += 1;
         let measured = (now - e.last_beat) as f64;
         if e.mean_interval == 0.0 {
             e.mean_interval = measured;
@@ -216,7 +235,12 @@ impl Module for Ahbm {
         "adaptive-heartbeat-monitor"
     }
 
-    fn on_chk(&mut self, chk: &ChkDispatch, _ctx: &mut ModuleCtx<'_>) {
+    fn on_chk(&mut self, chk: &ChkDispatch, ctx: &mut ModuleCtx<'_>) {
+        if chk.spec.op == ops::SELFTEST {
+            let verdict = self.self_test();
+            ctx.complete_check(chk.rob, verdict);
+            return;
+        }
         let id = chk.spec.param;
         let op = match chk.spec.op {
             ops::AHBM_REGISTER => PendingOp::Register(id),
@@ -235,9 +259,7 @@ impl Module for Ahbm {
         match op {
             PendingOp::Register(id) => self.register(id, ctx.now),
             PendingOp::Beat(id) => self.beat(id, ctx.now),
-            PendingOp::Deregister(id) => {
-                self.entities.remove(&id);
-            }
+            PendingOp::Deregister(id) => self.deregister(id),
         }
     }
 
@@ -252,6 +274,35 @@ impl Module for Ahbm {
         }
     }
 
+    fn self_test(&mut self) -> Verdict {
+        // Recompute the COUNTER_RAM sum and compare it to the duplicated
+        // running total.
+        let sum: u64 = self.entities.values().map(|e| e.counter).sum();
+        if sum == self.counter_shadow {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+
+    fn corrupt_state(&mut self, seed: u64) -> bool {
+        // Upset one heartbeat counter (deterministically picked by the
+        // seed over the sorted entity ids) without touching the shadow.
+        let mut ids: Vec<EntityId> = self.entities.keys().copied().collect();
+        ids.sort_unstable();
+        if let Some(&id) = ids.get(seed as usize % ids.len().max(1)) {
+            let delta = 1 + (seed >> 8) % 7;
+            self.entities
+                .get_mut(&id)
+                .expect("picked from live keys")
+                .counter += delta;
+        } else {
+            // No monitored entities: upset the shadow register instead.
+            self.counter_shadow ^= 1 << (seed % 64);
+        }
+        true
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -264,6 +315,34 @@ impl Module for Ahbm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rse_core::Verdict;
+
+    #[test]
+    fn selftest_passes_until_counter_is_corrupted() {
+        let mut ahbm = Ahbm::new(AhbmConfig::default());
+        ahbm.register(7, 0);
+        ahbm.beat(7, 100);
+        ahbm.beat(7, 200);
+        assert_eq!(Module::self_test(&mut ahbm), Verdict::Pass);
+        assert!(Module::corrupt_state(&mut ahbm, 99));
+        assert_eq!(Module::self_test(&mut ahbm), Verdict::Fail);
+    }
+
+    #[test]
+    fn deregister_keeps_shadow_sum_consistent() {
+        let mut ahbm = Ahbm::new(AhbmConfig::default());
+        ahbm.register(1, 0);
+        ahbm.register(2, 0);
+        ahbm.beat(1, 10);
+        ahbm.beat(2, 10);
+        ahbm.beat(2, 20);
+        // Deregistration of entity 2 must subtract its beats.
+        ahbm.deregister(2);
+        assert_eq!(Module::self_test(&mut ahbm), Verdict::Pass);
+        // Re-registration resets the counter without breaking the sum.
+        ahbm.register(1, 30);
+        assert_eq!(Module::self_test(&mut ahbm), Verdict::Pass);
+    }
 
     fn cfg() -> AhbmConfig {
         AhbmConfig {

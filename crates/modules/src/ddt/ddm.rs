@@ -76,6 +76,7 @@ impl DependencyMatrix {
         let mut stack = vec![faulty];
         tainted[faulty] = true;
         while let Some(p) = stack.pop() {
+            #[allow(clippy::needless_range_loop)] // `tainted[c]` is also written
             for c in 0..self.n {
                 if !tainted[c] && self.depends(p, c) {
                     tainted[c] = true;

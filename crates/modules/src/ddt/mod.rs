@@ -108,6 +108,12 @@ pub struct Ddt {
     pst: PageStatusTable,
     ddm: DependencyMatrix,
     current_thread: Option<ThreadId>,
+    /// Duplicated copy of `current_thread` (a shadow register): every
+    /// legitimate thread switch writes both, so the §3.4 self-test can
+    /// detect a soft error upsetting the thread-id register — the DDT's
+    /// most safety-critical state, since a wrong thread id silently
+    /// mis-attributes every subsequent dependency.
+    thread_shadow: Option<ThreadId>,
     pending_mem: HashMap<RobId, PendingAccess>,
     pending_chk: HashMap<RobId, PendingChkAction>,
     saved_pages: Vec<SavedPage>,
@@ -125,6 +131,7 @@ impl Ddt {
             pst: PageStatusTable::new(config.pst_capacity),
             ddm: DependencyMatrix::new(config.max_threads),
             current_thread: None,
+            thread_shadow: None,
             pending_mem: HashMap::new(),
             pending_chk: HashMap::new(),
             saved_pages: Vec::new(),
@@ -163,6 +170,7 @@ impl Ddt {
             "thread id exceeds DDM capacity"
         );
         self.current_thread = Some(thread);
+        self.thread_shadow = Some(thread);
     }
 
     /// Drains the page checkpoints captured since the last call (the OS
@@ -223,6 +231,10 @@ impl Module for Ddt {
 
     fn on_chk(&mut self, chk: &ChkDispatch, ctx: &mut ModuleCtx<'_>) {
         match chk.spec.op {
+            ops::SELFTEST => {
+                let verdict = self.self_test();
+                ctx.complete_check(chk.rob, verdict);
+            }
             ops::DDT_SET_THREAD => {
                 // Becomes effective at commit (asynchronous logging).
                 self.pending_chk.insert(
@@ -294,6 +306,7 @@ impl Module for Ddt {
                 PendingChkAction::SetThread(tid) => {
                     if tid < self.config.max_threads {
                         self.current_thread = Some(tid);
+                        self.thread_shadow = Some(tid);
                     }
                 }
             }
@@ -365,6 +378,35 @@ impl Module for Ddt {
         }
     }
 
+    fn self_test(&mut self) -> Verdict {
+        // Compare the thread-id register against its shadow copy and
+        // check it is within DDM range: a flipped thread id would
+        // silently mis-attribute every dependency, so it is the state
+        // the probe must be able to see.
+        let in_range = self
+            .current_thread
+            .is_none_or(|t| t < self.config.max_threads);
+        if in_range && self.current_thread == self.thread_shadow {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+
+    fn corrupt_state(&mut self, seed: u64) -> bool {
+        // Upset the thread-id register (but not its shadow): pick a
+        // different in-range id so the module keeps running — and keeps
+        // mis-attributing — until a probe catches the mismatch.
+        let n = self.config.max_threads;
+        if n < 2 {
+            return false;
+        }
+        let cur = self.current_thread.unwrap_or(0);
+        let wrong = (cur + 1 + (seed as usize % (n - 1))) % n;
+        self.current_thread = Some(wrong);
+        true
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -381,6 +423,20 @@ mod tests {
     use rse_isa::asm::assemble;
     use rse_mem::{MemConfig, MemorySystem};
     use rse_pipeline::{Pipeline, PipelineConfig, StepEvent};
+
+    #[test]
+    fn selftest_passes_until_thread_register_is_corrupted() {
+        let mut ddt = Ddt::new(DdtConfig::default());
+        assert_eq!(Module::self_test(&mut ddt), Verdict::Pass);
+        ddt.set_current_thread(3);
+        assert_eq!(Module::self_test(&mut ddt), Verdict::Pass);
+        assert!(Module::corrupt_state(&mut ddt, 5));
+        assert_ne!(ddt.current_thread(), Some(3), "register upset");
+        assert_eq!(Module::self_test(&mut ddt), Verdict::Fail);
+        // A legitimate thread switch rewrites both copies (repair path).
+        ddt.set_current_thread(4);
+        assert_eq!(Module::self_test(&mut ddt), Verdict::Pass);
+    }
 
     fn run_with_ddt(src: &str) -> (Pipeline, Engine, Vec<rse_pipeline::CoprocException>) {
         let image = assemble(src).expect("assembles");

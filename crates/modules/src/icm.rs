@@ -157,6 +157,11 @@ pub struct Icm {
     cache: LruStack,
     pending: Vec<PendingCheck>,
     stats: IcmStats,
+    /// Integrity seal over the CheckerMemory layout, written whenever the
+    /// layout legitimately changes. The §3.4 self-test recomputes it, so
+    /// a soft error flipping a layout bit makes the quarantine probe
+    /// fail.
+    seal: u64,
 }
 
 impl Icm {
@@ -164,13 +169,26 @@ impl Icm {
     /// [`Icm::install_checker_memory`] (or the control-flow convenience
     /// wrapper) after loading the program.
     pub fn new(config: IcmConfig) -> Icm {
-        Icm {
+        let mut icm = Icm {
             config,
             layout: CheckerLayout::default(),
             cache: LruStack::new(config.cache_entries),
             pending: Vec::new(),
             stats: IcmStats::default(),
+            seal: 0,
+        };
+        icm.seal = icm.layout_seal();
+        icm
+    }
+
+    /// The integrity checksum over the static-parse layout.
+    fn layout_seal(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(4 + self.layout.pc_of_index.len() * 4);
+        bytes.extend_from_slice(&self.layout.base.to_le_bytes());
+        for pc in &self.layout.pc_of_index {
+            bytes.extend_from_slice(&pc.to_le_bytes());
         }
+        rse_support::rng::fnv1a64(&bytes)
     }
 
     /// Statically parses `image` and stores a redundant copy of every
@@ -200,6 +218,7 @@ impl Icm {
             }
         }
         self.layout = layout;
+        self.seal = self.layout_seal();
     }
 
     /// Installs redundant copies for all control-flow instructions — the
@@ -245,7 +264,12 @@ impl Module for Icm {
         "instruction-checker"
     }
 
-    fn on_chk(&mut self, chk: &ChkDispatch, _ctx: &mut ModuleCtx<'_>) {
+    fn on_chk(&mut self, chk: &ChkDispatch, ctx: &mut ModuleCtx<'_>) {
+        if chk.spec.op == rse_isa::chk::ops::SELFTEST {
+            let verdict = self.self_test();
+            ctx.complete_check(chk.rob, verdict);
+            return;
+        }
         if chk.spec.op != rse_isa::chk::ops::ICM_CHECK_NEXT {
             return;
         }
@@ -359,6 +383,37 @@ impl Module for Icm {
             ctx.complete_check(rob, if error { Verdict::Fail } else { Verdict::Pass });
             self.pending.remove(i);
         }
+    }
+
+    fn self_test(&mut self) -> Verdict {
+        // Recompute the layout seal and cross-check the two layout maps:
+        // a corrupted CheckerMemory index is exactly the kind of internal
+        // error the §3.4 probe must surface.
+        let consistent = self
+            .layout
+            .pc_of_index
+            .iter()
+            .enumerate()
+            .all(|(i, pc)| self.layout.index_of_pc.get(pc) == Some(&(i as u32)));
+        if consistent && self.layout_seal() == self.seal {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+
+    fn corrupt_state(&mut self, seed: u64) -> bool {
+        // Flip one bit in a deterministically-picked layout entry (the
+        // redundant-copy index RAM) without updating the seal.
+        if !self.layout.pc_of_index.is_empty() {
+            let idx = (seed as usize) % self.layout.pc_of_index.len();
+            let bit = ((seed >> 8) % 32) as u32;
+            self.layout.pc_of_index[idx] ^= 1 << bit;
+            return true;
+        }
+        // Empty layout: corrupt the seal itself (a register upset).
+        self.seal ^= 1 << (seed % 64);
+        true
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -480,6 +535,20 @@ mod tests {
         );
         // And the check result always arrived before the watchdog window.
         assert!(engine.safe_mode().is_none());
+    }
+
+    #[test]
+    fn selftest_passes_until_layout_is_corrupted() {
+        let image = assemble(LOOP_SRC).unwrap();
+        let mut mem = SparseMemory::new();
+        let mut icm = Icm::new(IcmConfig::default());
+        icm.install_for_control_flow(&image, &mut mem);
+        assert_eq!(Module::self_test(&mut icm), Verdict::Pass);
+        assert!(Module::corrupt_state(&mut icm, 42));
+        assert_eq!(Module::self_test(&mut icm), Verdict::Fail);
+        // Re-installing the layout reseals it (repair path).
+        icm.install_for_control_flow(&image, &mut mem);
+        assert_eq!(Module::self_test(&mut icm), Verdict::Pass);
     }
 
     #[test]

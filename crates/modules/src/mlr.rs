@@ -140,12 +140,17 @@ pub struct Mlr {
     stats: MlrStats,
     rng: u64,
     rng_seeded: bool,
+    /// Integrity seal over the Figure 3(B) latched registers, rewritten
+    /// at every legitimate latch. The §3.4 self-test recomputes it, so a
+    /// soft error flipping a latched address makes the quarantine probe
+    /// fail.
+    seal: u64,
 }
 
 impl Mlr {
     /// Creates an MLR module.
     pub fn new(config: MlrConfig) -> Mlr {
-        Mlr {
+        let mut mlr = Mlr {
             config,
             hdr_location: 0,
             hdr_size: 0,
@@ -162,12 +167,37 @@ impl Mlr {
             stats: MlrStats::default(),
             rng: 0,
             rng_seeded: false,
-        }
+            seal: 0,
+        };
+        mlr.reseal();
+        mlr
     }
 
     /// Module counters.
     pub fn stats(&self) -> MlrStats {
         self.stats
+    }
+
+    /// Recomputes the integrity seal over the latched registers.
+    fn register_seal(&self) -> u64 {
+        let regs = [
+            self.hdr_location,
+            self.hdr_size,
+            self.got_old,
+            self.got_size,
+            self.got_new,
+            self.plt_location,
+            self.plt_size,
+        ];
+        let mut bytes = [0u8; 28];
+        for (i, r) in regs.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&r.to_le_bytes());
+        }
+        rse_support::rng::fnv1a64(&bytes)
+    }
+
+    fn reseal(&mut self) {
+        self.seal = self.register_seal();
     }
 
     fn next_offset(&mut self, now: u64) -> u32 {
@@ -199,9 +229,9 @@ impl Mlr {
         self.stats.rerandomizations += 1;
         loop {
             let candidate = old_base
-                .wrapping_sub(self.config.range_mask / 2 & !(PAGE_SIZE - 1))
+                .wrapping_sub((self.config.range_mask / 2) & !(PAGE_SIZE - 1))
                 .wrapping_add(self.next_offset(now));
-            if candidate != old_base && candidate % PAGE_SIZE == 0 {
+            if candidate != old_base && candidate.is_multiple_of(PAGE_SIZE) {
                 return candidate;
             }
         }
@@ -238,23 +268,31 @@ impl Module for Mlr {
     fn on_chk(&mut self, chk: &ChkDispatch, ctx: &mut ModuleCtx<'_>) {
         let [a0, a1] = chk.operands;
         match chk.spec.op {
+            ops::SELFTEST => {
+                let verdict = self.self_test();
+                ctx.complete_check(chk.rob, verdict);
+            }
             ops::MLR_EXEC_HDR => {
                 self.hdr_location = a0;
                 self.hdr_size = a1;
+                self.reseal();
                 ctx.complete_check(chk.rob, Verdict::Pass);
             }
             ops::MLR_GOT_OLD => {
                 self.got_old = a0;
                 self.got_size = a1;
+                self.reseal();
                 ctx.complete_check(chk.rob, Verdict::Pass);
             }
             ops::MLR_GOT_NEW => {
                 self.got_new = a0;
+                self.reseal();
                 ctx.complete_check(chk.rob, Verdict::Pass);
             }
             ops::MLR_PLT_INFO => {
                 self.plt_location = a0;
                 self.plt_size = a1;
+                self.reseal();
                 ctx.complete_check(chk.rob, Verdict::Pass);
             }
             ops::MLR_PI_RAND => {
@@ -477,6 +515,34 @@ impl Module for Mlr {
         }
     }
 
+    fn self_test(&mut self) -> Verdict {
+        if self.register_seal() == self.seal {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        }
+    }
+
+    fn corrupt_state(&mut self, seed: u64) -> bool {
+        // Flip one bit in a deterministically-picked latched register
+        // without resealing; also upset a GOT-buffer byte if one is held.
+        let bit = 1u32 << ((seed >> 4) % 32);
+        match seed % 7 {
+            0 => self.hdr_location ^= bit,
+            1 => self.hdr_size ^= bit,
+            2 => self.got_old ^= bit,
+            3 => self.got_size ^= bit,
+            4 => self.got_new ^= bit,
+            5 => self.plt_location ^= bit,
+            _ => self.plt_size ^= bit,
+        }
+        if !self.got_buffer.is_empty() {
+            let idx = (seed as usize >> 9) % self.got_buffer.len();
+            self.got_buffer[idx] ^= 1 << ((seed >> 16) % 8);
+        }
+        true
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -647,9 +713,10 @@ mod tests {
     }
 
     #[test]
-    fn bad_header_fails_check_and_recovers_via_watchdog() {
+    fn bad_header_fails_check_and_recovers_via_quarantine() {
         // Header magic is wrong: MLR_PI_RAND reports an error; the CHECK
-        // flush-loops until the watchdog decouples the framework.
+        // flush-loops until the watchdog's burst detector quarantines the
+        // MLR, whose CHECKs then commit as NOPs so the program finishes.
         let src = r#"
         main:   la  r4, header
                 li  r5, 64
@@ -674,7 +741,17 @@ mod tests {
         engine.install(Box::new(Mlr::new(MlrConfig::default())));
         engine.enable(ModuleId::MLR);
         assert_eq!(cpu.run(&mut engine, 5_000_000), StepEvent::Halted);
-        assert_eq!(cpu.regs()[8], 1, "program completes under safe mode");
-        assert!(engine.safe_mode().is_some());
+        assert_eq!(cpu.regs()[8], 1, "program completes under quarantine");
+        assert!(engine.module_health(ModuleId::MLR).is_down());
+        assert_eq!(engine.safe_mode(), None);
+        assert!(engine.stats().chk_nop_committed >= 1);
+    }
+
+    #[test]
+    fn selftest_passes_until_state_is_corrupted() {
+        let mut mlr = Mlr::new(MlrConfig::default());
+        assert_eq!(Module::self_test(&mut mlr), Verdict::Pass);
+        assert!(Module::corrupt_state(&mut mlr, 0x1234_5678_9ABC_DEF0));
+        assert_eq!(Module::self_test(&mut mlr), Verdict::Fail);
     }
 }

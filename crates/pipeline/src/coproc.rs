@@ -38,6 +38,12 @@ impl fmt::Display for RobId {
 pub enum CommitGate {
     /// `checkValid=1, check=0`: commit proceeds.
     Pass,
+    /// `checkValid=1, check=0` forced by the §3.4 output multiplexer:
+    /// the CHECK's module is quarantined/disabled, so the instruction
+    /// commits as a NOP (its check was never performed). Architecturally
+    /// identical to [`CommitGate::Pass`]; the distinct variant lets the
+    /// commit stage count coverage lost to containment.
+    PassNop,
     /// `checkValid=0`: the check has not completed; the commit stage
     /// stalls this cycle.
     Stall,

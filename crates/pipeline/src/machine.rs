@@ -260,6 +260,10 @@ impl Pipeline {
     }
 
     /// The architectural register file (valid while paused at a syscall).
+    // Intentionally exposes the *architectural* file, not the speculative
+    // `regs` working file — external observers must never see
+    // uncommitted state.
+    #[allow(clippy::misnamed_getters)]
     pub fn regs(&self) -> &[u32; 32] {
         &self.arch_regs
     }
@@ -418,9 +422,7 @@ impl Pipeline {
 
     fn commit_stage(&mut self, cp: &mut dyn CoProcessor) -> Option<StepEvent> {
         for _ in 0..self.config.commit_width {
-            let Some(head) = self.rob.front() else {
-                return None;
-            };
+            let head = self.rob.front()?;
             if head.state != EntryState::Done {
                 return None;
             }
@@ -438,6 +440,12 @@ impl Pipeline {
                     return None;
                 }
                 CommitGate::Pass => {}
+                CommitGate::PassNop => {
+                    // The §3.4 multiplexer forced `10` for a quarantined
+                    // module: the instruction commits, but its check was
+                    // never performed.
+                    self.stats.nop_commits += 1;
+                }
             }
             let entry = self.rob.pop_front().expect("head exists");
             if let Some(ev) = self.retire(cp, entry) {

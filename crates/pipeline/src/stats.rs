@@ -35,6 +35,9 @@ pub struct PipelineStats {
     pub syscalls: u64,
     /// Scheduled soft faults ([`crate::SoftFault`]) actually applied.
     pub soft_faults_applied: u64,
+    /// Instructions committed as NOPs because the co-processor's output
+    /// multiplexer decoupled their module ([`crate::CommitGate::PassNop`]).
+    pub nop_commits: u64,
 }
 
 impl PipelineStats {

@@ -207,7 +207,7 @@ fn freeze_mid_run_is_transparent() {
             break;
         }
         steps += 1;
-        if steps % 17 == 0 {
+        if steps.is_multiple_of(17) {
             cpu.freeze_for(5);
         }
         assert!(steps < 100_000, "wedged");

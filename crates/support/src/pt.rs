@@ -628,7 +628,7 @@ mod tests {
             a in 1u32..50,
             b in collection::vec(any::<bool>(), 0..8),
         ) {
-            prop_assert!(a >= 1 && a < 50);
+            prop_assert!((1..50).contains(&a));
             prop_assert!(b.len() < 8);
         }
     }

@@ -43,6 +43,18 @@ impl SplitMix64 {
     }
 }
 
+/// FNV-1a over a byte slice — a tiny, dependency-free integrity
+/// checksum used by the module self-tests (§3.4 quarantine probes) to
+/// seal critical internal state.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Advances a raw SplitMix64 state by one step and returns the output.
 ///
 /// Free-function form for call sites that store the state as a bare

@@ -94,9 +94,9 @@ pub fn reference(p: &KmeansParams) -> (u32, Vec<u32>) {
             }
         }
         for c in 0..k {
-            if counts[c] != 0 {
-                for j in 0..d {
-                    centroids[c * d + j] = sums[c * d + j] / counts[c];
+            for j in 0..d {
+                if let Some(mean) = sums[c * d + j].checked_div(counts[c]) {
+                    centroids[c * d + j] = mean;
                 }
             }
         }

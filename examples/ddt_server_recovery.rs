@@ -126,7 +126,11 @@ const SRC: &str = r#"
     unitsbuf: .space 4096
 "#;
 
-fn run(with_ddt: bool) -> (OsExit, Vec<i32>, Option<(Vec<usize>, Vec<u32>)>, Os) {
+/// Exit status, per-thread results, and (when DDT is armed) the
+/// `(terminated threads, recovered units)` pair, plus the final OS.
+type RunResult = (OsExit, Vec<i32>, Option<(Vec<usize>, Vec<u32>)>, Os);
+
+fn run(with_ddt: bool) -> RunResult {
     let image = assemble(SRC).expect("assembles");
     let mut cpu = Pipeline::new(
         PipelineConfig::default(),

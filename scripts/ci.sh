@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo clippy --workspace --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo build --release --offline"
 cargo build --release --offline
 
@@ -42,5 +45,22 @@ echo "smoke campaign: deterministic and matches golden (64 runs)"
 echo "== fault-injection control campaign (zero faults => 100% masked)"
 cargo run --release --offline -q -p rse-bench --bin campaign -- \
   --control --runs 2 --no-table >/dev/null
+
+echo "== quarantine campaign (module-targeted faults, fixed seed)"
+# Same double-replay + pinned-golden discipline as the smoke campaign.
+# Regenerate with:
+#   cargo run --release --offline -p rse-bench --bin campaign -- \
+#     --quarantine --runs 4 --no-table --out tests/golden/campaign_quarantine.jsonl
+QUAR_A="$(mktemp)"; QUAR_B="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B"' EXIT
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --quarantine --runs 4 --no-table --out "$QUAR_A" 2>/dev/null
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --quarantine --runs 4 --no-table --out "$QUAR_B" 2>/dev/null
+cmp "$QUAR_A" "$QUAR_B" \
+  || { echo "FAIL: quarantine campaign is nondeterministic"; exit 1; }
+diff -u tests/golden/campaign_quarantine.jsonl "$QUAR_A" \
+  || { echo "FAIL: quarantine campaign diverges from pinned golden"; exit 1; }
+echo "quarantine campaign: deterministic and matches golden (28 runs)"
 
 echo "CI OK"
