@@ -31,13 +31,16 @@
 //! JSONL there instead of stdout, `--no-table` suppress the coverage
 //! table.
 
-use std::io::Write as _;
 use std::process::ExitCode;
 
+use rse_bench::write_atomic;
 use rse_inject::{coverage_table, run_campaign, to_jsonl, CampaignSpec, Histogram};
 
 /// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
 const DEFAULT_SEED: u64 = 0xD5B;
+
+const USAGE: &str = "usage: campaign [--smoke | --control | --quarantine] [--seed N] [--runs N] \
+     [--out FILE] [--no-table]";
 
 enum Mode {
     Smoke,
@@ -54,15 +57,15 @@ struct Args {
     table: bool,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: campaign [--smoke | --control | --quarantine] [--seed N] [--runs N] \
-         [--out FILE] [--no-table]"
-    );
-    std::process::exit(2);
+/// Parses the value following `flag`, naming the flag (and the bad
+/// value) in the error instead of panicking or printing bare usage.
+fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+    let v = v.ok_or_else(|| format!("{flag} expects a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: '{v}' is not a valid unsigned integer"))
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         mode: Mode::Full,
         seed: DEFAULT_SEED,
@@ -70,31 +73,36 @@ fn parse_args() -> Args {
         out: None,
         table: true,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.mode = Mode::Smoke,
             "--control" => args.mode = Mode::Control,
             "--quarantine" => args.mode = Mode::Quarantine,
-            "--seed" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                args.seed = v.parse().unwrap_or_else(|_| usage());
+            "--seed" => args.seed = numeric("--seed", it.next())?,
+            "--runs" => args.runs = numeric("--runs", it.next())?,
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out expects a file path")?);
             }
-            "--runs" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                args.runs = v.parse().unwrap_or_else(|_| usage());
-            }
-            "--out" => args.out = Some(it.next().unwrap_or_else(|| usage())),
             "--no-table" => args.table = false,
-            "--help" | "-h" => usage(),
-            _ => usage(),
+            "--help" | "-h" => return Err(String::new()),
+            _ => return Err(format!("unknown flag '{a}'")),
         }
     }
-    args
+    Ok(args)
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("campaign: {e}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let spec = match args.mode {
         Mode::Smoke => CampaignSpec::smoke(args.seed),
         Mode::Control => CampaignSpec::control(args.seed, args.runs),
@@ -113,11 +121,11 @@ fn main() -> ExitCode {
 
     match &args.out {
         Some(path) => {
-            let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
-                eprintln!("campaign: cannot create {path}: {e}");
-                std::process::exit(1);
-            });
-            f.write_all(jsonl.as_bytes()).expect("write JSONL");
+            // Crash-safe: a killed run never leaves a truncated JSONL.
+            if let Err(e) = write_atomic(path, jsonl.as_bytes()) {
+                eprintln!("campaign: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
             eprintln!("campaign: wrote {} records to {path}", records.len());
         }
         None => {

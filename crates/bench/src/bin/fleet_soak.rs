@@ -1,0 +1,191 @@
+//! Deterministic fleet-scale soak-campaign runner.
+//!
+//! Drives the `rse-fleet` simulator over the node-level fault models
+//! (crash, early crash, hang, slow node, heartbeat-loss burst,
+//! partition), writes one JSON record per run (JSON lines), and prints
+//! the outcome-coverage table on stderr. The whole campaign is a pure
+//! function of the base seed: the same invocation twice yields
+//! byte-identical JSONL output (CI replays `--smoke` twice and diffs).
+//!
+//! ```text
+//! cargo run --release -p rse-bench --bin fleet_soak -- --smoke
+//! cargo run --release -p rse-bench --bin fleet_soak -- --control --runs 4
+//! cargo run --release -p rse-bench --bin fleet_soak -- --seed 7 --nodes 7 --runs 4
+//! cargo run --release -p rse-bench --bin fleet_soak -- --smoke --out fleet.jsonl
+//! ```
+//!
+//! Modes (mutually exclusive; default is the full sweep):
+//!
+//! * `--smoke` — the fixed 52-run, 5-node CI spec (`FleetSpec::smoke`),
+//! * `--control` — zero-fault fleets only; any failover or false
+//!   suspicion exits non-zero (the fleet self-check CI runs),
+//! * *default* — every node fault model with `--runs` runs each on a
+//!   `--nodes`-node fleet.
+//!
+//! Flags: `--seed <u64>` base seed (default 0xF1EE7), `--nodes <n>`
+//! fleet size for the full sweep (default 5), `--runs <n>` runs per
+//! cell for `--control`/full (default 8), `--out <path>` write the
+//! JSONL there (crash-safe tmp+rename) instead of stdout, `--no-table`
+//! suppress the coverage table.
+
+use std::process::ExitCode;
+
+use rse_bench::write_atomic;
+use rse_fleet::{run_soak, FleetSpec};
+use rse_inject::{coverage_table, to_jsonl, Histogram};
+
+/// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
+const DEFAULT_SEED: u64 = 0xF1EE7;
+
+const USAGE: &str = "usage: fleet_soak [--smoke | --control] [--seed N] [--nodes N] [--runs N] \
+     [--out FILE] [--no-table]";
+
+enum Mode {
+    Smoke,
+    Control,
+    Full,
+}
+
+struct Args {
+    mode: Mode,
+    seed: u64,
+    nodes: u16,
+    runs: u32,
+    out: Option<String>,
+    table: bool,
+}
+
+/// Parses the value following `flag`, naming the flag (and the bad
+/// value) in the error instead of panicking.
+fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+    let v = v.ok_or_else(|| format!("{flag} expects a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: '{v}' is not a valid unsigned integer"))
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Full,
+        seed: DEFAULT_SEED,
+        nodes: 5,
+        runs: 8,
+        out: None,
+        table: true,
+    };
+    let mut it = argv;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.mode = Mode::Smoke,
+            "--control" => args.mode = Mode::Control,
+            "--seed" => args.seed = numeric("--seed", it.next())?,
+            "--nodes" => args.nodes = numeric("--nodes", it.next())?,
+            "--runs" => args.runs = numeric("--runs", it.next())?,
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out expects a file path")?);
+            }
+            "--no-table" => args.table = false,
+            "--help" | "-h" => return Err(String::new()),
+            _ => return Err(format!("unknown flag '{a}'")),
+        }
+    }
+    if args.nodes < 3 {
+        return Err(format!(
+            "--nodes: a fleet needs at least 3 nodes for a coordinator election, got {}",
+            args.nodes
+        ));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("fleet_soak: {e}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match args.mode {
+        Mode::Smoke => FleetSpec::smoke(args.seed),
+        Mode::Control => FleetSpec::control(args.seed, args.runs),
+        Mode::Full => FleetSpec::full(args.seed, args.nodes, args.runs),
+    };
+    eprintln!(
+        "fleet_soak: {} nodes, {} cells, {} runs, base seed {:#x}",
+        spec.nodes,
+        spec.cells.len(),
+        spec.total_runs(),
+        spec.base_seed
+    );
+
+    let records = run_soak(&spec);
+    let jsonl = to_jsonl(&records);
+
+    match &args.out {
+        Some(path) => {
+            // Crash-safe: a killed run never leaves a truncated JSONL.
+            if let Err(e) = write_atomic(path, jsonl.as_bytes()) {
+                eprintln!("fleet_soak: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("fleet_soak: wrote {} records to {path}", records.len());
+        }
+        None => {
+            print!("{jsonl}");
+        }
+    }
+
+    let hist = Histogram::from_records(&records);
+    if args.table {
+        eprintln!();
+        eprint!("{}", coverage_table(&records));
+        eprintln!();
+        eprintln!(
+            "outcomes: {} total, {} failovers, {} split-brain, {} false-suspicion, {} unrecovered",
+            hist.total(),
+            hist.failovers(),
+            hist.count("split-brain"),
+            hist.count("false-suspicion"),
+            hist.count("unrecovered"),
+        );
+        for (tag, n) in hist.iter() {
+            eprintln!("  {tag:<24} {n}");
+        }
+    }
+
+    // The fencing protocol's invariant holds in *every* mode: no run
+    // may ever classify split-brain.
+    if hist.count("split-brain") != 0 {
+        eprintln!("fleet_soak: FENCING VIOLATED: split-brain observed");
+        return ExitCode::FAILURE;
+    }
+
+    // Control fleets are a self-check: any suspicion activity at all is
+    // a monitor bug (CI runs this).
+    if matches!(args.mode, Mode::Control) {
+        let clean = records
+            .iter()
+            .filter(|r| {
+                r.outcome.tag() == "masked"
+                    && r.recovery.tag() == "not-needed"
+                    && r.faults == "none"
+            })
+            .count();
+        let false_susp = hist.count("false-suspicion");
+        if clean != records.len() || hist.failovers() != 0 || false_susp != 0 {
+            eprintln!(
+                "fleet_soak: control FAILED: {}/{} masked, {} failovers, {} false suspicions",
+                clean,
+                records.len(),
+                hist.failovers(),
+                false_susp
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fleet_soak: control OK: {clean}/{} masked", records.len());
+    }
+    ExitCode::SUCCESS
+}

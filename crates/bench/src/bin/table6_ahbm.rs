@@ -168,9 +168,9 @@ fn main() {
             &w
         )
     );
-    for k in [1.0, 2.0, 4.0, 8.0] {
+    for k in [1u32, 2, 4, 8] {
         let cfg = AhbmConfig {
-            k,
+            k_q16: AhbmConfig::q16(k, 1),
             sample_interval: 64,
             min_timeout: 64,
             ..AhbmConfig::default()
@@ -192,9 +192,9 @@ fn main() {
     // as the fixed value.
     for fixed in [500u64, 2_000, 10_000, 40_000] {
         let cfg = AhbmConfig {
-            k: 0.0,
-            alpha: 0.0,
-            beta: 0.0,
+            k_q16: 0,
+            alpha_q16: 0,
+            beta_q16: 0,
             sample_interval: 64,
             min_timeout: fixed,
             initial_timeout: fixed,

@@ -101,6 +101,16 @@ pub fn assemble_or_die(source: &str) -> Image {
     }
 }
 
+/// Writes `contents` to `path` crash-safely: the bytes land in
+/// `<path>.tmp` first and are atomically renamed over `path`, so an
+/// interrupted or killed run never leaves a truncated artifact where a
+/// complete one is expected (CI diffs JSONL artifacts byte-for-byte).
+pub fn write_atomic(path: &str, contents: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Formats a row of a fixed-width table.
 pub fn row(cells: &[&str], widths: &[usize]) -> String {
     let mut out = String::new();

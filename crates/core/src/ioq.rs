@@ -244,17 +244,28 @@ impl Ioq {
     /// so an injected stuck-at fault is visible here too — that is
     /// exactly how §3.4 detects a stuck-at-0 `checkValid` (it looks like
     /// a module that never makes progress).
+    ///
+    /// Entries come out in ascending ROB order, not hash-map order: when
+    /// several modules time out in the same cycle, the anomaly charge
+    /// sequence (and hence the health state machine's event order) must
+    /// not depend on `HashMap` iteration.
     pub fn watchdog_view(
         &self,
     ) -> impl Iterator<Item = (RobId, IoqEntryKind, u64, bool, bool)> + '_ {
-        self.entries.iter().map(move |(rob, e)| {
-            let valid = match self.effective_fault(e.kind) {
-                Some(IoqFault::ValidStuck0) => false,
-                Some(IoqFault::ValidStuck1) => true,
-                _ => e.check_valid,
-            };
-            (*rob, e.kind, e.allocated_at, valid, e.module_wrote)
-        })
+        let mut view: Vec<_> = self
+            .entries
+            .iter()
+            .map(|(rob, e)| {
+                let valid = match self.effective_fault(e.kind) {
+                    Some(IoqFault::ValidStuck0) => false,
+                    Some(IoqFault::ValidStuck1) => true,
+                    _ => e.check_valid,
+                };
+                (*rob, e.kind, e.allocated_at, valid, e.module_wrote)
+            })
+            .collect();
+        view.sort_unstable_by_key(|&(rob, ..)| rob);
+        view.into_iter()
     }
 
     /// The kind of a live entry.

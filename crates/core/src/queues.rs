@@ -101,9 +101,13 @@ impl<T> InputQueue<T> {
         self.entries.is_empty()
     }
 
-    /// Iterates over `(rob, entry)` pairs (the modules' scan mechanism).
+    /// Iterates over `(rob, entry)` pairs (the modules' scan mechanism)
+    /// in ascending ROB order — module scans must behave identically
+    /// run to run, so hash-map iteration order never leaks out.
     pub fn iter(&self) -> impl Iterator<Item = (RobId, &T)> {
-        self.entries.iter().map(|(k, v)| (*k, v))
+        let mut view: Vec<_> = self.entries.iter().map(|(k, v)| (*k, v)).collect();
+        view.sort_unstable_by_key(|&(k, _)| k);
+        view.into_iter()
     }
 }
 

@@ -729,6 +729,89 @@ mod tests {
     }
 
     #[test]
+    fn same_cycle_multi_module_timeouts_charge_in_rob_order() {
+        // Satellite regression: when several modules' blocking CHECKs
+        // time out in the same cycle, the charge order is ascending ROB
+        // order — never HashMap iteration order. Allocate in descending
+        // ROB order to stress it.
+        let run = || {
+            let mut wd = wd();
+            wd.note_installed(MLR);
+            wd.note_installed(ModuleId::AHBM);
+            let mut ioq = Ioq::new(16);
+            ioq.allocate(0, RobId(30), IoqEntryKind::BlockingChk(ModuleId::AHBM));
+            ioq.allocate(0, RobId(20), IoqEntryKind::BlockingChk(MLR));
+            ioq.allocate(0, RobId(10), IoqEntryKind::BlockingChk(ICM));
+            // The watchdog's view of the IOQ is sorted by ROB id.
+            let robs: Vec<u64> = ioq.watchdog_view().map(|(r, ..)| r.0).collect();
+            assert_eq!(robs, vec![10, 20, 30]);
+            wd.tick(101, &ioq);
+            (
+                wd.module_state(ICM),
+                wd.module_state(MLR),
+                wd.module_state(ModuleId::AHBM),
+                wd.last_timeout_rob,
+            )
+        };
+        let (icm, mlr, ahbm, last) = run();
+        // All three faulted the same cycle: every transition is the
+        // legal Healthy -> Suspect edge, charged to the right module.
+        assert_eq!(icm, HealthState::Suspect);
+        assert_eq!(mlr, HealthState::Suspect);
+        assert_eq!(ahbm, HealthState::Suspect);
+        assert!(crate::health::legal_edge(HealthState::Healthy, icm));
+        assert_eq!(last[ICM.index()], Some(RobId(10)));
+        assert_eq!(last[MLR.index()], Some(RobId(20)));
+        assert_eq!(last[ModuleId::AHBM.index()], Some(RobId(30)));
+        // And the whole thing replays identically.
+        assert_eq!((icm, mlr, ahbm, last), run());
+    }
+
+    #[test]
+    fn same_cycle_escalations_stay_on_legal_edges() {
+        // Two modules escalate Suspect -> Quarantined in the same tick;
+        // the health machine's debug assertions verify each edge, and
+        // both land down without tripping global safe mode.
+        let mut wd = wd();
+        wd.note_installed(MLR);
+        let mut ioq = Ioq::new(16);
+        ioq.allocate(0, RobId(2), IoqEntryKind::BlockingChk(MLR));
+        ioq.allocate(0, RobId(1), IoqEntryKind::BlockingChk(ICM));
+        wd.tick(101, &ioq); // both Suspect
+        wd.tick(201, &ioq); // timers re-arm
+        wd.tick(202, &ioq); // both Quarantined, same cycle
+        assert_eq!(wd.module_state(ICM), HealthState::Quarantined);
+        assert_eq!(wd.module_state(MLR), HealthState::Quarantined);
+        assert!(crate::health::legal_edge(
+            HealthState::Suspect,
+            HealthState::Quarantined
+        ));
+        assert!(!wd.is_decoupled(), "per-module containment, not safe mode");
+    }
+
+    #[test]
+    fn poll_hang_budget_is_exactly_one_shot_at_boundary() {
+        // Satellite regression: the budget boundary is inclusive, the
+        // firing is one-shot, and a disabled budget (u64::MAX) never
+        // fires no matter how far the clock runs.
+        let mut wd = Watchdog::new(WatchdogConfig {
+            cycle_budget: 500,
+            ..cfg()
+        });
+        assert!(!wd.poll_hang(499));
+        assert!(wd.poll_hang(500), "fires exactly at the budget");
+        assert!(!wd.poll_hang(500), "same-cycle re-poll stays silent");
+        assert!(!wd.poll_hang(501));
+        assert_eq!(wd.hangs, 1);
+        let mut off = Watchdog::new(WatchdogConfig {
+            cycle_budget: u64::MAX,
+            ..cfg()
+        });
+        assert!(!off.poll_hang(u64::MAX - 1));
+        assert_eq!(off.hangs, 0);
+    }
+
+    #[test]
     fn first_global_cause_wins() {
         let mut wd = wd();
         for i in 0..5 {

@@ -1,0 +1,311 @@
+//! Node-level fault models for fleet soak campaigns.
+//!
+//! Mirrors `rse_inject::fault`'s discipline one level up: a single `u64`
+//! seed, expanded through the in-repo splitmix64, fully determines *which
+//! node*, *when*, and *how long* — so the JSONL `seed` field replays the
+//! exact node fault forever. Sampling windows are scaled to a measured
+//! zero-fault [`FleetProfile`], the same way the single-node sampler
+//! scales to a `RunProfile`.
+
+use crate::NodeId;
+use rse_support::rng::splitmix64;
+
+/// Zero-fault fleet measurements the sampler scales to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetProfile {
+    /// Cycle at which every workload had completed in the control run.
+    pub run_cycles: u64,
+    /// Cycle of the first checkpoint-replication send in the control run.
+    pub first_snap_sent_at: u64,
+    /// Golden result digest of the (identical) per-node workload.
+    pub golden_digest: u64,
+}
+
+/// The node-level fault models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultModel {
+    /// No fault: the fleet control group.
+    Control,
+    /// Whole-node fail-stop crash after checkpoint replication began.
+    Crash,
+    /// Whole-node fail-stop crash *before* any checkpoint left the node —
+    /// failover is impossible (`unrecovered` coverage).
+    CrashEarly,
+    /// Whole-node hang: the node freezes (guest, heartbeat daemon, and
+    /// monitor) but is not removed.
+    Hang,
+    /// The node's guest slows down by an integer factor; heartbeats
+    /// stretch accordingly (the adaptive-timeout tolerance test).
+    SlowNode,
+    /// A burst of outgoing-heartbeat loss (inbound traffic unaffected).
+    HbLoss,
+    /// A one-shot bidirectional partition isolating the node, healing
+    /// after a sampled duration.
+    Partition,
+}
+
+impl NodeFaultModel {
+    /// Every model, in a stable order.
+    pub const ALL: [NodeFaultModel; 7] = [
+        NodeFaultModel::Control,
+        NodeFaultModel::Crash,
+        NodeFaultModel::CrashEarly,
+        NodeFaultModel::Hang,
+        NodeFaultModel::SlowNode,
+        NodeFaultModel::HbLoss,
+        NodeFaultModel::Partition,
+    ];
+
+    /// Stable model name (JSONL field, seed derivation).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeFaultModel::Control => "fleet-control",
+            NodeFaultModel::Crash => "node-crash",
+            NodeFaultModel::CrashEarly => "node-crash-early",
+            NodeFaultModel::Hang => "node-hang",
+            NodeFaultModel::SlowNode => "node-slow",
+            NodeFaultModel::HbLoss => "hb-loss-burst",
+            NodeFaultModel::Partition => "partition",
+        }
+    }
+
+    /// Stable index for seed derivation.
+    pub fn index(self) -> u64 {
+        Self::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("model is in ALL") as u64
+    }
+}
+
+impl std::fmt::Display for NodeFaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete, fully-sampled node fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// No fault.
+    None,
+    /// Fail-stop at `at`.
+    Crash {
+        /// Victim node.
+        node: NodeId,
+        /// Crash cycle.
+        at: u64,
+    },
+    /// Whole-node freeze at `at`.
+    Hang {
+        /// Victim node.
+        node: NodeId,
+        /// Hang cycle.
+        at: u64,
+    },
+    /// Guest slowdown by `factor` from `from`.
+    Slow {
+        /// Victim node.
+        node: NodeId,
+        /// Start cycle.
+        from: u64,
+        /// Integer slowdown factor (≥ 2).
+        factor: u64,
+    },
+    /// Outgoing-heartbeat loss during `[from, from + dur)`.
+    BeatLoss {
+        /// Victim node.
+        node: NodeId,
+        /// Burst start.
+        from: u64,
+        /// Burst duration.
+        dur: u64,
+    },
+    /// Bidirectional isolation during `[from, from + dur)`.
+    Partition {
+        /// Victim node.
+        node: NodeId,
+        /// Partition start.
+        from: u64,
+        /// Partition duration.
+        dur: u64,
+    },
+}
+
+impl NodeFault {
+    /// The victim node, if any.
+    pub fn victim(&self) -> Option<NodeId> {
+        match *self {
+            NodeFault::None => None,
+            NodeFault::Crash { node, .. }
+            | NodeFault::Hang { node, .. }
+            | NodeFault::Slow { node, .. }
+            | NodeFault::BeatLoss { node, .. }
+            | NodeFault::Partition { node, .. } => Some(node),
+        }
+    }
+}
+
+/// A sampled fleet fault plan (one fault per soak run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFaultPlan {
+    /// The model this plan was sampled from.
+    pub model: NodeFaultModel,
+    /// The concrete fault.
+    pub fault: NodeFault,
+}
+
+impl NodeFaultPlan {
+    /// Expands `seed` into a concrete fault for an `nodes`-node fleet,
+    /// scaled to the control-run profile. Pure: same inputs → same plan.
+    pub fn sample(model: NodeFaultModel, seed: u64, profile: &FleetProfile, nodes: u16) -> Self {
+        let mut s = seed;
+        let mut next = move || splitmix64(&mut s);
+        let pick_node = |draw: u64| (draw % u64::from(nodes.max(1))) as NodeId;
+        // Window helpers. `late` is well after the first replication so a
+        // snapshot exists; capped below the run's tail so the fault lands
+        // while workloads are in flight.
+        let late_from = profile.first_snap_sent_at + 600;
+        let late_to = (profile.run_cycles * 3 / 4).max(late_from + 1);
+        let in_window = |draw: u64| late_from + draw % (late_to - late_from);
+        let fault = match model {
+            NodeFaultModel::Control => NodeFault::None,
+            NodeFaultModel::Crash => NodeFault::Crash {
+                node: pick_node(next()),
+                at: in_window(next()),
+            },
+            NodeFaultModel::CrashEarly => NodeFault::Crash {
+                node: pick_node(next()),
+                // Strictly before the first replication send: no
+                // checkpoint ever leaves the node.
+                at: next() % profile.first_snap_sent_at.max(1),
+            },
+            NodeFaultModel::Hang => NodeFault::Hang {
+                node: pick_node(next()),
+                at: in_window(next()),
+            },
+            NodeFaultModel::SlowNode => NodeFault::Slow {
+                node: pick_node(next()),
+                from: in_window(next()),
+                factor: 2 + next() % 3,
+            },
+            NodeFaultModel::HbLoss => NodeFault::BeatLoss {
+                node: pick_node(next()),
+                from: in_window(next()),
+                dur: 600 + next() % 8_000,
+            },
+            NodeFaultModel::Partition => NodeFault::Partition {
+                node: pick_node(next()),
+                from: in_window(next()),
+                dur: 800 + next() % 12_000,
+            },
+        };
+        NodeFaultPlan { model, fault }
+    }
+
+    /// Compact human-readable description (JSONL `faults` field).
+    pub fn describe(&self) -> String {
+        match self.fault {
+            NodeFault::None => "none".into(),
+            NodeFault::Crash { node, at } => format!("crash[n{node}]@c{at}"),
+            NodeFault::Hang { node, at } => format!("hang[n{node}]@c{at}"),
+            NodeFault::Slow { node, from, factor } => {
+                format!("slow[n{node}]x{factor}@c{from}")
+            }
+            NodeFault::BeatLoss { node, from, dur } => {
+                format!("hb-loss[n{node}]@c{from}+{dur}")
+            }
+            NodeFault::Partition { node, from, dur } => {
+                format!("partition[n{node}]@c{from}+{dur}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> FleetProfile {
+        FleetProfile {
+            run_cycles: 60_000,
+            first_snap_sent_at: 700,
+            golden_digest: 0xDEAD,
+        }
+    }
+
+    #[test]
+    fn sampling_is_pure_and_seed_sensitive() {
+        let p = profile();
+        for model in NodeFaultModel::ALL {
+            let a = NodeFaultPlan::sample(model, 42, &p, 5);
+            let b = NodeFaultPlan::sample(model, 42, &p, 5);
+            assert_eq!(a, b, "{model}");
+            if model != NodeFaultModel::Control {
+                let c = NodeFaultPlan::sample(model, 43, &p, 5);
+                assert_ne!(a, c, "{model}: seed must matter");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_early_precedes_first_replication() {
+        let p = profile();
+        for seed in 0..64 {
+            let plan = NodeFaultPlan::sample(NodeFaultModel::CrashEarly, seed, &p, 5);
+            let NodeFault::Crash { at, .. } = plan.fault else {
+                panic!("crash-early samples a crash");
+            };
+            assert!(at < p.first_snap_sent_at);
+        }
+    }
+
+    #[test]
+    fn late_faults_land_after_first_replication() {
+        let p = profile();
+        for seed in 0..64 {
+            for model in [
+                NodeFaultModel::Crash,
+                NodeFaultModel::Hang,
+                NodeFaultModel::Partition,
+            ] {
+                let plan = NodeFaultPlan::sample(model, seed, &p, 5);
+                let at = match plan.fault {
+                    NodeFault::Crash { at, .. } | NodeFault::Hang { at, .. } => at,
+                    NodeFault::Partition { from, .. } => from,
+                    other => panic!("unexpected fault {other:?}"),
+                };
+                assert!(at > p.first_snap_sent_at, "{model} at {at}");
+                assert!(at < p.run_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn victims_stay_in_range_and_names_are_stable() {
+        let p = profile();
+        for seed in 0..32 {
+            for model in NodeFaultModel::ALL {
+                let plan = NodeFaultPlan::sample(model, seed, &p, 5);
+                if let Some(v) = plan.fault.victim() {
+                    assert!(v < 5);
+                }
+            }
+        }
+        assert_eq!(NodeFaultModel::Crash.name(), "node-crash");
+        assert_eq!(NodeFaultModel::Partition.to_string(), "partition");
+        assert_eq!(NodeFaultModel::Control.index(), 0);
+    }
+
+    #[test]
+    fn descriptions_are_compact() {
+        let p = profile();
+        let plan = NodeFaultPlan::sample(NodeFaultModel::Crash, 9, &p, 5);
+        let d = plan.describe();
+        assert!(d.starts_with("crash[n"), "{d}");
+        assert_eq!(
+            NodeFaultPlan::sample(NodeFaultModel::Control, 9, &p, 5).describe(),
+            "none"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Fleet-scale AHBM: a deterministic multi-node heartbeat fabric.
+//!
+//! Each fleet node is a *full* pipeline+RSE instance (the same harness
+//! the single-node fault-injection campaigns use) hosting a guest
+//! workload that emits heartbeats at its safe-point syscalls. Nodes are
+//! connected by a simulated lossy network ([`net::Network`]): per-link
+//! delay + jitter, random loss, one-shot partitions, and heartbeat-loss
+//! bursts — every draw from the in-repo splitmix64, so a `(seed,
+//! config)` pair replays the exact same fleet history on any host.
+//!
+//! The AHBM is extended from local-entity to remote-peer monitoring
+//! ([`rse_modules::PeerMonitor`]): incoming heartbeats feed a Q16.16
+//! Jacobson/Karn adaptive-timeout estimator per peer, driving a
+//! three-level suspicion ladder (Alive → Suspect → Dead) with
+//! probe-before-declare retries and exponential backoff.
+//!
+//! On a Dead declaration the recovery coordinator (lowest unfenced
+//! live node) performs checkpoint failover: it adopts the dead node's
+//! workload from the newest replicated [`rse_inject::ArchSnapshot`],
+//! broadcasts the ownership change under a new fencing epoch, and
+//! orders the dead node fenced so a partitioned-but-alive node that
+//! later heals is quarantined rather than split-brained.
+//!
+//! [`sim::FleetSim`] runs one fleet instance to completion and
+//! classifies the outcome (`failover:<node>`, `false-suspicion`,
+//! `split-brain`, `unrecovered`, ...); [`soak`] drives seeded
+//! multi-run soak campaigns over the node-level fault models in
+//! [`fault`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod net;
+pub mod node;
+pub mod sim;
+pub mod soak;
+
+/// Fleet node identifier (0-based, dense).
+pub type NodeId = u16;
+
+pub use fault::{FleetProfile, NodeFault, NodeFaultModel, NodeFaultPlan};
+pub use net::{Message, NetConfig, NetStats, Network, Payload};
+pub use node::{FenceKind, Guest, Node, NodeStatus};
+pub use sim::{FleetConfig, FleetOutcome, FleetSim};
+pub use soak::{run_soak, FleetCell, FleetSpec};

@@ -1,0 +1,338 @@
+//! The simulated lossy network connecting fleet nodes.
+//!
+//! Messages are delayed by a per-link distribution (base + uniform
+//! jitter), dropped with a configurable probability, and blocked by
+//! one-shot node partitions and heartbeat-loss bursts — all driven by the
+//! in-repo splitmix64 PRNG so a `(seed, config)` pair replays the exact
+//! same message history on any host.
+//!
+//! Determinism: the in-flight queue is a `BTreeMap` keyed by
+//! `(deliver_at, seq)` where `seq` is a global send counter, so
+//! same-cycle deliveries come out in send order; every random draw
+//! (drop sampling, delay jitter) happens at `send` time in the caller's
+//! deterministic send order.
+
+use crate::NodeId;
+use rse_inject::ArchSnapshot;
+use rse_support::rng::splitmix64;
+use std::collections::BTreeMap;
+
+/// What a fleet message carries.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A heartbeat (also serves as the reply to a [`Payload::Probe`]).
+    Beat,
+    /// A probe-before-declare liveness query.
+    Probe,
+    /// Checkpoint replication: the sender's primary-guest architectural
+    /// snapshot, tagged with its safe-point sequence number.
+    Snap {
+        /// Safe-point sequence number of the capture (monotonic).
+        seq: u32,
+        /// The replicated snapshot.
+        snap: ArchSnapshot,
+    },
+    /// Ownership broadcast: `dead`'s workload moved to `successor` under
+    /// a new fencing epoch.
+    Announce {
+        /// The node declared dead.
+        dead: NodeId,
+        /// The new ownership epoch of the dead node's workload.
+        epoch: u32,
+        /// The node that adopted the workload.
+        successor: NodeId,
+    },
+    /// Fencing order: the receiver must stop executing workloads and
+    /// stop declaring peer failures.
+    Fence,
+    /// A self-fenced node regained contact and petitions the coordinator
+    /// to rejoin the fleet.
+    Rejoin,
+    /// Coordinator-approved rejoin: the receiver may lift a self-imposed
+    /// lease fence (its workload ownership was never reassigned).
+    Reinstate,
+}
+
+impl Payload {
+    /// Short tag for traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Payload::Beat => "beat",
+            Payload::Probe => "probe",
+            Payload::Snap { .. } => "snap",
+            Payload::Announce { .. } => "announce",
+            Payload::Fence => "fence",
+            Payload::Rejoin => "rejoin",
+            Payload::Reinstate => "reinstate",
+        }
+    }
+}
+
+/// One message in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender node.
+    pub src: NodeId,
+    /// Receiver node.
+    pub dst: NodeId,
+    /// Content.
+    pub payload: Payload,
+}
+
+/// Network timing/loss parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Fixed per-link delay, cycles.
+    pub base_delay: u64,
+    /// Uniform jitter added to the delay: `[0, jitter)` cycles.
+    pub jitter: u64,
+    /// Background random-loss probability, per mille (0 = lossless).
+    pub drop_permille: u16,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            base_delay: 40,
+            jitter: 24,
+            drop_permille: 0,
+        }
+    }
+}
+
+/// Network loss/delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted into the in-flight queue.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages lost to background random loss.
+    pub dropped_random: u64,
+    /// Messages blocked by an active partition.
+    pub dropped_partition: u64,
+    /// Heartbeats blocked by a heartbeat-loss burst.
+    pub dropped_burst: u64,
+}
+
+/// The simulated lossy network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetConfig,
+    rng: u64,
+    seq: u64,
+    queue: BTreeMap<(u64, u64), Message>,
+    /// One-shot partitions: `(node, from, to)` — the node is bidirectionally
+    /// isolated during `[from, to)`.
+    partitions: Vec<(NodeId, u64, u64)>,
+    /// Heartbeat-loss bursts: `(node, from, to)` — `Beat` payloads *from*
+    /// the node are dropped during `[from, to)`.
+    beat_loss: Vec<(NodeId, u64, u64)>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Creates a network with its own PRNG stream.
+    pub fn new(cfg: NetConfig, seed: u64) -> Network {
+        Network {
+            cfg,
+            rng: seed,
+            seq: 0,
+            queue: BTreeMap::new(),
+            partitions: Vec::new(),
+            beat_loss: Vec::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Installs a one-shot partition isolating `node` during `[from, to)`.
+    pub fn add_partition(&mut self, node: NodeId, from: u64, to: u64) {
+        self.partitions.push((node, from, to));
+    }
+
+    /// Installs a heartbeat-loss burst dropping `node`'s outgoing beats
+    /// during `[from, to)`.
+    pub fn add_beat_loss(&mut self, node: NodeId, from: u64, to: u64) {
+        self.beat_loss.push((node, from, to));
+    }
+
+    /// Whether `node` is inside an active partition window at `now`.
+    pub fn partitioned(&self, node: NodeId, now: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(n, from, to)| n == node && now >= from && now < to)
+    }
+
+    /// Whether `node`'s outgoing beats are inside a loss burst at `now`.
+    pub fn in_beat_loss(&self, node: NodeId, now: u64) -> bool {
+        self.beat_loss
+            .iter()
+            .any(|&(n, from, to)| n == node && now >= from && now < to)
+    }
+
+    /// Sends a message at cycle `now`: samples loss and delay, then
+    /// queues it. Partition checks re-run at delivery time, so a message
+    /// in flight when the partition starts is also lost.
+    pub fn send(&mut self, now: u64, msg: Message) {
+        if self.partitioned(msg.src, now) || self.partitioned(msg.dst, now) {
+            self.stats.dropped_partition += 1;
+            return;
+        }
+        if matches!(msg.payload, Payload::Beat) && self.in_beat_loss(msg.src, now) {
+            self.stats.dropped_burst += 1;
+            return;
+        }
+        if self.cfg.drop_permille > 0
+            && splitmix64(&mut self.rng) % 1000 < u64::from(self.cfg.drop_permille)
+        {
+            self.stats.dropped_random += 1;
+            return;
+        }
+        let jitter = if self.cfg.jitter == 0 {
+            0
+        } else {
+            splitmix64(&mut self.rng) % self.cfg.jitter
+        };
+        let at = now + self.cfg.base_delay + jitter;
+        self.queue.insert((at, self.seq), msg);
+        self.seq += 1;
+        self.stats.sent += 1;
+    }
+
+    /// Pops every message due at or before `now`, re-checking partitions
+    /// at delivery time. Delivery order: `(deliver_at, send seq)`.
+    pub fn deliver_due(&mut self, now: u64) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some((&key, _)) = self.queue.iter().next() {
+            if key.0 > now {
+                break;
+            }
+            let msg = self.queue.remove(&key).expect("key just observed");
+            if self.partitioned(msg.src, now) || self.partitioned(msg.dst, now) {
+                self.stats.dropped_partition += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            out.push(msg);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beat(src: NodeId, dst: NodeId) -> Message {
+        Message {
+            src,
+            dst,
+            payload: Payload::Beat,
+        }
+    }
+
+    #[test]
+    fn delivery_respects_delay_and_order() {
+        let mut net = Network::new(
+            NetConfig {
+                base_delay: 10,
+                jitter: 0,
+                drop_permille: 0,
+            },
+            7,
+        );
+        net.send(0, beat(0, 1));
+        net.send(0, beat(0, 2));
+        assert!(net.deliver_due(9).is_empty());
+        let got = net.deliver_due(10);
+        assert_eq!(got.len(), 2);
+        // Same deliver cycle: send order preserved.
+        assert_eq!(got[0].dst, 1);
+        assert_eq!(got[1].dst, 2);
+    }
+
+    #[test]
+    fn partitions_block_both_directions_and_in_flight() {
+        let mut net = Network::new(
+            NetConfig {
+                base_delay: 10,
+                jitter: 0,
+                drop_permille: 0,
+            },
+            7,
+        );
+        net.add_partition(1, 5, 100);
+        net.send(6, beat(1, 0)); // from the partitioned node: dropped at send
+        net.send(6, beat(0, 1)); // to the partitioned node: dropped at send
+        assert!(net.deliver_due(50).is_empty());
+        // In flight when the partition begins: dropped at delivery.
+        let mut net = Network::new(
+            NetConfig {
+                base_delay: 10,
+                jitter: 0,
+                drop_permille: 0,
+            },
+            7,
+        );
+        net.add_partition(1, 5, 100);
+        net.send(0, beat(0, 1)); // due at 10, partition starts at 5
+        assert!(net.deliver_due(20).is_empty());
+        assert_eq!(net.stats().dropped_partition, 1);
+    }
+
+    #[test]
+    fn beat_loss_drops_only_beats() {
+        let mut net = Network::new(
+            NetConfig {
+                base_delay: 1,
+                jitter: 0,
+                drop_permille: 0,
+            },
+            7,
+        );
+        net.add_beat_loss(2, 0, 100);
+        net.send(10, beat(2, 0));
+        net.send(10, beat(0, 2)); // inbound beats unaffected
+        net.send(
+            10,
+            Message {
+                src: 2,
+                dst: 0,
+                payload: Payload::Probe,
+            },
+        );
+        let got = net.deliver_due(50);
+        assert_eq!(got.len(), 2);
+        assert_eq!(net.stats().dropped_burst, 1);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = |seed: u64| {
+            let mut net = Network::new(
+                NetConfig {
+                    base_delay: 5,
+                    jitter: 16,
+                    drop_permille: 200,
+                },
+                seed,
+            );
+            for t in 0..200u64 {
+                net.send(t, beat((t % 3) as NodeId, ((t + 1) % 3) as NodeId));
+            }
+            let got = net.deliver_due(1000);
+            (
+                got.iter().map(|m| (m.src, m.dst)).collect::<Vec<_>>(),
+                net.stats(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1.delivered, 0);
+        assert_ne!(run(42).1.dropped_random, 0);
+    }
+}

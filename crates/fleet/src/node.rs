@@ -1,0 +1,191 @@
+//! One fleet node: a full pipeline+RSE instance hosting guest workloads,
+//! a remote-peer AHBM monitor, replicated peer checkpoints, and the
+//! fencing state of the failover protocol.
+
+use crate::NodeId;
+use rse_inject::{build_harness, ArchSnapshot, Workload};
+use rse_isa::asm::assemble;
+use rse_isa::Image;
+use rse_modules::{PeerConfig, PeerMonitor};
+use rse_pipeline::{CpuContext, Pipeline};
+use std::collections::BTreeMap;
+
+/// Whether the node process is alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Executing normally.
+    Running,
+    /// Fail-stopped: no execution, no messages in or out.
+    Crashed,
+    /// Frozen whole-node hang: guest, heartbeat daemon, and monitor all
+    /// stopped; inbound messages are lost.
+    Hung,
+}
+
+/// Why (and whether) a node is fenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceKind {
+    /// Not fenced.
+    None,
+    /// Self-imposed: the contact lease expired (probable partition). A
+    /// self-fence can be lifted by a coordinator [`crate::net::Payload::Reinstate`].
+    SelfLease,
+    /// Ordered by the recovery coordinator (the node was declared dead
+    /// and failed over); permanent for the rest of the run.
+    Ordered,
+}
+
+/// One guest workload instance hosted on a node: a private pipeline+RSE
+/// engine pair, exactly the single-node campaign harness.
+pub struct Guest {
+    /// The node whose workload this is (workload ids coincide with their
+    /// original owner's node id).
+    pub owner: NodeId,
+    /// The simulated processor.
+    pub cpu: Pipeline,
+    /// The RSE engine driving the processor's co-processor interface.
+    pub engine: rse_core::Engine,
+    /// The assembled program image (symbol lookups for result digests).
+    pub image: Image,
+    /// Whether the guest has halted (or died).
+    pub done: bool,
+    /// Result digest at halt ([`rse_inject::result_digest`]).
+    pub digest: Option<u64>,
+    /// Safe-point syscalls taken so far (doubles as the checkpoint
+    /// sequence number).
+    pub safe_points: u32,
+    /// Global cycle before which the guest must not execute (failover
+    /// fence grace for adopted guests).
+    pub start_at: u64,
+}
+
+impl Guest {
+    /// A fresh guest starting the workload from its entry point.
+    pub fn fresh(owner: NodeId, w: &Workload) -> Guest {
+        let image = assemble(w.source).expect("fleet workload assembles");
+        let b = build_harness(w, &image, u64::MAX);
+        Guest {
+            owner,
+            cpu: b.cpu,
+            engine: b.engine,
+            image,
+            done: false,
+            digest: None,
+            safe_points: 0,
+            start_at: 0,
+        }
+    }
+
+    /// A guest resumed from a replicated [`ArchSnapshot`] (checkpoint
+    /// failover): memory restored, caches invalidated, context installed
+    /// at the snapshot's safe-point resume PC.
+    pub fn from_snapshot(
+        owner: NodeId,
+        w: &Workload,
+        snap: &ArchSnapshot,
+        seq: u32,
+        start_at: u64,
+    ) -> Guest {
+        let image = assemble(w.source).expect("fleet workload assembles");
+        let mut b = build_harness(w, &image, u64::MAX);
+        snap.restore_memory(&mut b.cpu.mem_mut().memory);
+        b.cpu.mem_mut().invalidate_caches();
+        b.cpu.set_context(&CpuContext {
+            regs: snap.regs,
+            pc: snap.pc,
+        });
+        Guest {
+            owner,
+            cpu: b.cpu,
+            engine: b.engine,
+            image,
+            done: false,
+            digest: None,
+            safe_points: seq,
+            start_at,
+        }
+    }
+}
+
+/// One node of the fleet.
+pub struct Node {
+    /// Node id (0-based; doubles as its workload id).
+    pub id: NodeId,
+    /// Liveness ground truth (set by the fault injector).
+    pub status: NodeStatus,
+    /// Fencing state.
+    pub fence: FenceKind,
+    /// Cycle the current fence was imposed (meaningful unless `None`).
+    pub fenced_at: u64,
+    /// The remote-peer AHBM: adaptive-timeout suspicion over incoming
+    /// heartbeats, keyed by peer id.
+    pub monitor: PeerMonitor,
+    /// Hosted guests: the node's own workload first, adopted workloads
+    /// appended at failover.
+    pub guests: Vec<Guest>,
+    /// Replicated peer checkpoints: newest `(seq, snapshot)` per peer.
+    pub snapshots: BTreeMap<NodeId, (u32, ArchSnapshot)>,
+    /// This node's view of workload ownership (`owners_view[w]` = node
+    /// currently owning workload `w`).
+    pub owners_view: Vec<NodeId>,
+    /// This node's view of workload fencing epochs.
+    pub epochs_view: Vec<u32>,
+    /// Cycle of the last inbound message (contact-lease basis).
+    pub last_inbound: u64,
+    /// Next idle-daemon heartbeat cycle.
+    pub next_idle_beat: u64,
+    /// Earliest cycle the next rejoin petition may be sent.
+    pub next_rejoin_at: u64,
+    /// Guest slowdown factor currently in force (1 = nominal).
+    pub slow_factor: u64,
+    /// Probes to answer with a beat on the next action phase.
+    pub pending_probe_replies: Vec<NodeId>,
+    /// Rejoin petitions to adjudicate on the next action phase.
+    pub pending_rejoins: Vec<NodeId>,
+}
+
+impl Node {
+    /// Creates node `id` of an `n`-node fleet running workload `w`.
+    pub fn new(id: NodeId, n: u16, w: &Workload, peer: PeerConfig) -> Node {
+        let mut monitor = PeerMonitor::new(peer);
+        for p in 0..n {
+            if p != id {
+                monitor.register(p, 0);
+            }
+        }
+        Node {
+            id,
+            status: NodeStatus::Running,
+            fence: FenceKind::None,
+            fenced_at: 0,
+            monitor,
+            guests: vec![Guest::fresh(id, w)],
+            snapshots: BTreeMap::new(),
+            owners_view: (0..n).collect(),
+            epochs_view: vec![0; usize::from(n)],
+            last_inbound: 0,
+            next_idle_beat: 0,
+            next_rejoin_at: 0,
+            slow_factor: 1,
+            pending_probe_replies: Vec::new(),
+            pending_rejoins: Vec::new(),
+        }
+    }
+
+    /// Whether the node is fenced (either kind).
+    pub fn fenced(&self) -> bool {
+        self.fence != FenceKind::None
+    }
+
+    /// Whether this node believes it is the recovery coordinator: it is
+    /// unfenced and every lower-id node is Dead in its own monitor.
+    pub fn believes_coordinator(&self) -> bool {
+        !self.fenced()
+            && (0..self.id).all(|p| self.monitor.state(p) == rse_modules::PeerState::Dead)
+    }
+
+    /// The hosted guest for workload `w`, if any.
+    pub fn guest_for(&self, w: NodeId) -> Option<&Guest> {
+        self.guests.iter().find(|g| g.owner == w)
+    }
+}

@@ -71,12 +71,20 @@ pub fn derive_seed(base_seed: u64, workload: &str, model: FaultModel, run: u32) 
     splitmix64(&mut s)
 }
 
-struct Built {
-    cpu: Pipeline,
-    engine: Engine,
+/// A ready-to-run simulation harness: pipeline + RSE engine, built per
+/// the workload's [`Harness`] flavor (with the harness's primary module
+/// and the MLR/AHBM bystanders installed for non-bare flavors). Public so
+/// the fleet simulator (`rse-fleet`) can stamp out one full
+/// pipeline+RSE instance per node from the same corpus machinery.
+pub struct BuiltHarness {
+    /// The simulated processor, image loaded.
+    pub cpu: Pipeline,
+    /// The RSE engine (empty for bare workloads).
+    pub engine: Engine,
 }
 
-fn build(w: &Workload, image: &Image, cycle_budget: u64) -> Built {
+/// Builds the harness for `w` with the given watchdog cycle budget.
+pub fn build_harness(w: &Workload, image: &Image, cycle_budget: u64) -> BuiltHarness {
     let rse_cfg = RseConfig {
         watchdog: WatchdogConfig {
             cycle_budget,
@@ -91,7 +99,7 @@ fn build(w: &Workload, image: &Image, cycle_budget: u64) -> Built {
                 MemorySystem::new(MemConfig::with_framework()),
             );
             cpu.load_image(image);
-            Built {
+            BuiltHarness {
                 cpu,
                 engine: Engine::new(rse_cfg),
             }
@@ -111,7 +119,7 @@ fn build(w: &Workload, image: &Image, cycle_budget: u64) -> Built {
             engine.install(Box::new(icm));
             engine.enable(ModuleId::ICM);
             install_bystanders(&mut engine);
-            Built { cpu, engine }
+            BuiltHarness { cpu, engine }
         }
         Harness::DdtOs => {
             let mut cpu = Pipeline::new(
@@ -125,7 +133,7 @@ fn build(w: &Workload, image: &Image, cycle_budget: u64) -> Built {
             engine.install(Box::new(ddt));
             engine.enable(ModuleId::DDT);
             install_bystanders(&mut engine);
-            Built { cpu, engine }
+            BuiltHarness { cpu, engine }
         }
     }
 }
@@ -164,8 +172,9 @@ fn drive(cpu: &mut Pipeline, engine: &mut Engine, deadline: u64) -> RawEnd {
 }
 
 /// Digest of the workload-declared result set: the named registers plus
-/// the result buffer bytes.
-fn result_digest(w: &Workload, cpu: &Pipeline, image: &Image) -> u64 {
+/// the result buffer bytes. Public so the fleet simulator can judge a
+/// failed-over workload's completion against the same golden digest.
+pub fn result_digest(w: &Workload, cpu: &Pipeline, image: &Image) -> u64 {
     let mut h = Fnv::new();
     for &r in w.result_regs {
         h.write_u32(cpu.regs()[r]);
@@ -205,7 +214,7 @@ fn sampler_profile(w: &Workload, image: &Image, cpu: &Pipeline, engine: &Engine)
 /// a corpus bug, not a campaign outcome.
 pub fn reference(w: &Workload) -> RefState {
     let image = assemble(w.source).expect("corpus workload assembles");
-    let mut b = build(w, &image, u64::MAX);
+    let mut b = build_harness(w, &image, u64::MAX);
     match w.harness {
         Harness::Bare | Harness::Icm => {
             let end = drive(&mut b.cpu, &mut b.engine, REF_BUDGET);
@@ -274,7 +283,7 @@ fn rollback_and_rerun(
     pre: &PreRunCheckpoints,
     budget: u64,
 ) -> Result<u64, String> {
-    let mut b = build(w, image, budget);
+    let mut b = build_harness(w, image, budget);
     // Memory is repopulated *strictly from the checkpoint store*: a
     // missing page means recovery has insufficient information, exactly
     // the §4.2.2 whole-process-termination case.
@@ -313,7 +322,7 @@ pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefStat
     let budget = fault_budget(r);
     let (outcome, recovery, cycles) = match w.harness {
         Harness::Bare | Harness::Icm => {
-            let mut b = build(w, &image, budget);
+            let mut b = build_harness(w, &image, budget);
             let pre = capture_checkpoints(&b.cpu.mem().memory);
             plan.arm(&mut b.cpu, &mut b.engine);
             let end = drive(&mut b.cpu, &mut b.engine, budget);
@@ -383,7 +392,7 @@ pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefStat
             (outcome, recovery, b.cpu.now())
         }
         Harness::DdtOs => {
-            let mut b = build(w, &image, budget);
+            let mut b = build_harness(w, &image, budget);
             plan.arm(&mut b.cpu, &mut b.engine);
             let mut os = Os::new(OsConfig::default());
             let exit = os.run(&mut b.cpu, &mut b.engine, budget);

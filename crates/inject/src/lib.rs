@@ -53,10 +53,10 @@ pub mod snapshot;
 pub mod workload;
 
 pub use campaign::{
-    derive_seed, run_campaign, run_one, run_one_by_name, to_jsonl, CampaignCell, CampaignSpec,
-    RefState,
+    build_harness, derive_seed, result_digest, run_campaign, run_one, run_one_by_name, to_jsonl,
+    BuiltHarness, CampaignCell, CampaignSpec, RefState,
 };
 pub use fault::{FaultModel, FaultPlan, PlannedFault, RunProfile};
 pub use outcome::{coverage_table, Histogram, Outcome, RecoveryStatus, RunRecord};
 pub use snapshot::ArchSnapshot;
-pub use workload::{by_name, corpus, Harness, Workload};
+pub use workload::{by_name, corpus, fleet_workload, Harness, Workload};

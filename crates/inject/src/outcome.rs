@@ -56,6 +56,20 @@ pub enum Outcome {
     CrashTrap,
     /// The cycle-budget hang detector fired.
     Hang,
+    /// Fleet outcome: the named node was declared dead and its workload
+    /// completed correctly on a successor node restored from the dead
+    /// node's last replicated checkpoint.
+    Failover(u16),
+    /// Fleet outcome: a peer monitor declared a node dead while it was in
+    /// fact running and reachable (no crash, hang, partition, or
+    /// heartbeat-loss burst explains the declaration).
+    FalseSuspicion,
+    /// Fleet outcome: two unfenced nodes both executed the same workload
+    /// past its failover point — the fencing protocol failed.
+    SplitBrain,
+    /// Fleet outcome: a node died but its workload could not be completed
+    /// anywhere (e.g. it crashed before replicating any checkpoint).
+    Unrecovered,
 }
 
 impl Outcome {
@@ -70,6 +84,10 @@ impl Outcome {
             Outcome::Contained => "contained".into(),
             Outcome::CrashTrap => "crash-trap".into(),
             Outcome::Hang => "hang".into(),
+            Outcome::Failover(node) => format!("failover:n{node}"),
+            Outcome::FalseSuspicion => "false-suspicion".into(),
+            Outcome::SplitBrain => "split-brain".into(),
+            Outcome::Unrecovered => "unrecovered".into(),
         }
     }
 
@@ -243,6 +261,15 @@ impl Histogram {
             .sum()
     }
 
+    /// Fleet runs that ended in checkpoint failover (every `failover:*`).
+    pub fn failovers(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.starts_with("failover:"))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
     /// Runs confined by the per-module health machine (every
     /// `degraded:*` plus `contained`).
     pub fn confined(&self) -> u64 {
@@ -362,6 +389,10 @@ mod tests {
         assert!(!Outcome::WatchdogTimeout.is_confined());
         assert_eq!(Outcome::CrashTrap.tag(), "crash-trap");
         assert_eq!(Outcome::Hang.tag(), "hang");
+        assert_eq!(Outcome::Failover(3).tag(), "failover:n3");
+        assert_eq!(Outcome::FalseSuspicion.tag(), "false-suspicion");
+        assert_eq!(Outcome::SplitBrain.tag(), "split-brain");
+        assert_eq!(Outcome::Unrecovered.tag(), "unrecovered");
         assert_eq!(RecoveryStatus::NotNeeded.tag(), "not-needed");
         assert_eq!(
             RecoveryStatus::Succeeded {
@@ -423,13 +454,21 @@ mod tests {
                     mechanism: "probe-re-enable",
                 },
             ),
+            record(
+                Outcome::Failover(2),
+                RecoveryStatus::Succeeded {
+                    mechanism: "fleet-checkpoint-failover",
+                },
+            ),
         ];
         let h = Histogram::from_records(&records);
-        assert_eq!(h.total(), 6);
+        assert_eq!(h.total(), 7);
         assert_eq!(h.count("masked"), 2);
         assert_eq!(h.count("sdc"), 1);
         assert_eq!(h.detected(), 1);
         assert_eq!(h.confined(), 2);
+        assert_eq!(h.failovers(), 1);
+        assert_eq!(h.count("failover:n2"), 1);
         let table = coverage_table(&records);
         assert!(table.contains("alu_loop"), "{table}");
         assert!(table.contains("TOTAL"), "{table}");

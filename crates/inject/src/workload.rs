@@ -220,6 +220,57 @@ const DDT_RECOVER_SRC: &str = r#"
     canary: .space 4096
 "#;
 
+/// The fleet heartbeat guest: compute units interleaved with safe-point
+/// syscalls. Every unit ends in `syscall` with `r2 = 99` — the fleet node
+/// driver interprets the pause as a heartbeat-plus-checkpoint safe point
+/// (the pipeline's architectural context is exact only while paused at a
+/// syscall, so this is where `ArchSnapshot`s are captured and heartbeats
+/// are emitted), then resumes the guest. Results land in `r8`/`r9`/`r11`
+/// and the `out` buffer, exactly like `alu_loop`.
+const BEAT_LOOP_SRC: &str = r#"
+    main:   li   r8, 0
+            li   r9, 1
+            li   r11, 0
+            li   r14, 96
+    unit:   li   r10, 24
+    inner:  add  r8, r8, r9
+            addi r9, r9, 3
+            xor  r11, r11, r8
+            addi r10, r10, -1
+            bne  r10, r0, inner
+            li   r2, 99
+            syscall
+            addi r14, r14, -1
+            bne  r14, r0, unit
+            la   r12, out
+            sw   r8, 0(r12)
+            sw   r9, 4(r12)
+            sw   r11, 8(r12)
+            halt
+
+            .data
+            .align 4
+    out:    .space 16
+"#;
+
+/// The heartbeat-emitting guest every fleet node runs. Deliberately *not*
+/// part of [`corpus`]: its safe-point syscalls require the fleet node
+/// driver (the bare campaign harness treats an unexpected syscall as a
+/// crash), and adding it to the corpus would change the pinned
+/// single-node campaign goldens.
+pub fn fleet_workload() -> &'static Workload {
+    &FLEET_WORKLOAD
+}
+
+static FLEET_WORKLOAD: Workload = Workload {
+    name: "beat_loop",
+    source: BEAT_LOOP_SRC,
+    harness: Harness::Bare,
+    result_regs: &[8, 9, 11],
+    result_buf: Some(("out", 16)),
+    data_fault_buf: None,
+};
+
 const CORPUS: [Workload; 4] = [
     Workload {
         name: "alu_loop",
@@ -281,6 +332,15 @@ mod tests {
                 assert!(image.symbol(sym).is_some(), "{}: missing {sym}", w.name);
             }
         }
+    }
+
+    #[test]
+    fn fleet_workload_assembles_and_stays_out_of_the_corpus() {
+        let w = fleet_workload();
+        let image = rse_isa::asm::assemble(w.source).expect("beat_loop assembles");
+        assert!(image.symbol("out").is_some());
+        assert!(by_name(w.name).is_none(), "beat_loop must not join CORPUS");
+        assert_eq!(w.harness, Harness::Bare);
     }
 
     #[test]

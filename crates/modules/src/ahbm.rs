@@ -18,29 +18,56 @@
 //! absolute deviation are tracked with exponentially weighted moving
 //! averages, and `timeout = mean + k·dev` (with a floor). An entity whose
 //! counter does not advance for longer than its timeout is declared dead.
+//!
+//! ## Fixed-point arithmetic
+//!
+//! The estimator state is kept in **Q16.16 fixed point** (integer cycles
+//! scaled by 2^16) rather than `f64`. The EWMA gains are Q16.16 constants
+//! and every update is pure integer arithmetic (shifts, adds, widening
+//! multiplies), so the adaptive timeouts are bit-identical across
+//! platforms, compilers, and optimization levels — a requirement for the
+//! replayable fleet goldens (`fleet_soak`), and an accurate model of what
+//! the hardware Adaptive Timeout Monitor would actually implement.
+//!
+//! ## Remote-peer monitoring
+//!
+//! [`PeerMonitor`] extends the block from *local-entity* monitoring to
+//! *remote-peer* monitoring for the fleet heartbeat fabric: incoming
+//! heartbeat messages from peer nodes increment `COUNTER_RAM` entries
+//! keyed by peer id, the same adaptive estimator drives a three-level
+//! suspicion state (Alive → Suspect → Dead) with probe-before-declare
+//! retry and exponential backoff mirroring the per-module health machine
+//! in `rse_core::health`.
 
 use rse_core::{ChkDispatch, Module, ModuleCtx, Verdict};
 use rse_isa::chk::ops;
 use rse_isa::ModuleId;
 use rse_pipeline::RobId;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// An identifier of a monitored entity (process/thread/OS), as carried in
 /// the CHECK instruction's 16-bit parameter.
 pub type EntityId = u16;
 
+/// One in Q16.16 fixed point.
+pub const Q16_ONE: u32 = 1 << 16;
+
 /// AHBM configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The EWMA gains are expressed in Q16.16 fixed point (see [`q16`]); the
+/// defaults correspond to the classic Jacobson/Karn constants
+/// `alpha = 1/8`, `beta = 1/4`, `k = 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AhbmConfig {
     /// Sampling interval of the Adaptive Timeout Monitor, in cycles.
     pub sample_interval: u64,
-    /// EWMA gain for the mean inter-beat interval (0 < alpha ≤ 1).
-    pub alpha: f64,
-    /// EWMA gain for the mean absolute deviation.
-    pub beta: f64,
-    /// Deviation multiplier `k` in `timeout = mean + k·dev`.
-    pub k: f64,
+    /// EWMA gain for the mean inter-beat interval, Q16.16 (0 < alpha ≤ 1).
+    pub alpha_q16: u32,
+    /// EWMA gain for the mean absolute deviation, Q16.16.
+    pub beta_q16: u32,
+    /// Deviation multiplier `k` in `timeout = mean + k·dev`, Q16.16.
+    pub k_q16: u32,
     /// Lower bound on the timeout, in cycles (guards against a timeout
     /// collapsing to ~0 for perfectly regular heartbeats).
     pub min_timeout: u64,
@@ -48,28 +75,122 @@ pub struct AhbmConfig {
     pub initial_timeout: u64,
 }
 
+/// Converts the rational `num/den` to Q16.16 fixed point (truncating).
+///
+/// `q16(1, 8)` is the Jacobson `alpha`, `q16(4, 1)` the classic `k`.
+pub const fn q16(num: u32, den: u32) -> u32 {
+    (((num as u64) << 16) / den as u64) as u32
+}
+
+impl AhbmConfig {
+    /// Converts the rational `num/den` to Q16.16 fixed point.
+    pub const fn q16(num: u32, den: u32) -> u32 {
+        q16(num, den)
+    }
+}
+
 impl Default for AhbmConfig {
     fn default() -> AhbmConfig {
         AhbmConfig {
             sample_interval: 256,
-            alpha: 0.125,
-            beta: 0.25,
-            k: 4.0,
+            alpha_q16: q16(1, 8),
+            beta_q16: q16(1, 4),
+            k_q16: q16(4, 1),
             min_timeout: 512,
             initial_timeout: 100_000,
         }
     }
 }
 
+/// The Jacobson/Karn mean-plus-deviation interval estimator in Q16.16
+/// fixed point.
+///
+/// All state and arithmetic are integer-only, so a sequence of
+/// `observe()` calls produces bit-identical `timeout()` values on every
+/// platform and optimization level. Intermediate products are widened to
+/// 128 bits so even pathological intervals (up to 2^47 cycles) cannot
+/// overflow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalEstimator {
+    /// Estimated mean inter-beat interval, Q16.16 cycles.
+    mean_q16: u64,
+    /// Estimated mean absolute deviation of the interval, Q16.16 cycles.
+    dev_q16: u64,
+    /// Whether at least one interval has been observed.
+    primed: bool,
+}
+
+impl IntervalEstimator {
+    /// A fresh estimator with no observations.
+    pub fn new() -> IntervalEstimator {
+        IntervalEstimator::default()
+    }
+
+    /// Whether at least one interval has been observed.
+    pub fn primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Feeds one measured inter-beat interval (in cycles).
+    pub fn observe(&mut self, measured: u64, alpha_q16: u32, beta_q16: u32) {
+        // Clamp into the range representable without overflow (2^47
+        // cycles is ~4 days at 1 GHz — far beyond any simulated run).
+        let m_q16 = measured.min(1 << 47) << 16;
+        if !self.primed {
+            self.mean_q16 = m_q16;
+            self.dev_q16 = m_q16 / 2;
+            self.primed = true;
+            return;
+        }
+        // err = measured - mean (signed, Q16.16)
+        let err: i128 = m_q16 as i128 - self.mean_q16 as i128;
+        // mean += alpha * err
+        let mean = self.mean_q16 as i128 + ((alpha_q16 as i128 * err) >> 16);
+        self.mean_q16 = mean.clamp(0, u64::MAX as i128) as u64;
+        // dev += beta * (|err| - dev)
+        let derr: i128 = err.abs() - self.dev_q16 as i128;
+        let dev = self.dev_q16 as i128 + ((beta_q16 as i128 * derr) >> 16);
+        self.dev_q16 = dev.clamp(0, u64::MAX as i128) as u64;
+    }
+
+    /// The adaptive timeout `mean + k·dev` in whole cycles, floored at
+    /// `min_timeout`; before any observation, `initial_timeout`.
+    pub fn timeout(&self, k_q16: u32, min_timeout: u64, initial_timeout: u64) -> u64 {
+        if !self.primed {
+            return initial_timeout;
+        }
+        let kdev = ((k_q16 as u128 * self.dev_q16 as u128) >> 16) as u64;
+        (self.mean_q16.saturating_add(kdev) >> 16).max(min_timeout)
+    }
+
+    /// The mean interval estimate, truncated to whole cycles.
+    pub fn mean_cycles(&self) -> u64 {
+        self.mean_q16 >> 16
+    }
+
+    /// The deviation estimate, truncated to whole cycles.
+    pub fn deviation_cycles(&self) -> u64 {
+        self.dev_q16 >> 16
+    }
+
+    /// The raw Q16.16 mean (for tests asserting bit-exactness).
+    pub fn mean_q16(&self) -> u64 {
+        self.mean_q16
+    }
+
+    /// The raw Q16.16 deviation (for tests asserting bit-exactness).
+    pub fn dev_q16(&self) -> u64 {
+        self.dev_q16
+    }
+}
+
 /// Liveness state of one monitored entity.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EntityState {
     /// Heartbeat counter (`COUNTER_RAM` value).
     pub counter: u64,
-    /// Estimated mean inter-beat interval, cycles.
-    pub mean_interval: f64,
-    /// Estimated mean absolute deviation of the interval.
-    pub deviation: f64,
+    /// The fixed-point Jacobson/Karn interval estimator.
+    pub est: IntervalEstimator,
     /// Current dynamic timeout (`TIMEOUT_MEM` value), cycles.
     pub timeout: u64,
     /// Cycle of the last observed counter change.
@@ -99,10 +220,15 @@ enum PendingOp {
 }
 
 /// The Adaptive Heartbeat Monitor module.
+///
+/// Entities are kept in a `BTreeMap` so sampling visits them in sorted id
+/// order: the order in which same-cycle failures are declared (and thus
+/// the order of [`Ahbm::take_failed`]) is deterministic across processes
+/// and platforms.
 #[derive(Debug)]
 pub struct Ahbm {
     config: AhbmConfig,
-    entities: HashMap<EntityId, EntityState>,
+    entities: BTreeMap<EntityId, EntityState>,
     pending: HashMap<RobId, PendingOp>,
     failed: Vec<EntityId>,
     next_sample: u64,
@@ -118,7 +244,7 @@ impl Ahbm {
     pub fn new(config: AhbmConfig) -> Ahbm {
         Ahbm {
             config,
-            entities: HashMap::new(),
+            entities: BTreeMap::new(),
             pending: HashMap::new(),
             failed: Vec::new(),
             next_sample: 0,
@@ -143,7 +269,8 @@ impl Ahbm {
         self.entities.get(&id).is_some_and(|e| e.alive)
     }
 
-    /// Entities declared dead since the last call.
+    /// Entities declared dead since the last call (in declaration order,
+    /// which is deterministic: sorted by id within one sampling pass).
     pub fn take_failed(&mut self) -> Vec<EntityId> {
         std::mem::take(&mut self.failed)
     }
@@ -161,8 +288,7 @@ impl Ahbm {
             id,
             EntityState {
                 counter: 0,
-                mean_interval: 0.0,
-                deviation: 0.0,
+                est: IntervalEstimator::new(),
                 timeout: self.config.initial_timeout,
                 last_beat: now,
                 alive: true,
@@ -187,16 +313,11 @@ impl Ahbm {
         self.stats.beats += 1;
         e.counter += 1;
         self.counter_shadow += 1;
-        let measured = (now - e.last_beat) as f64;
-        if e.mean_interval == 0.0 {
-            e.mean_interval = measured;
-            e.deviation = measured / 2.0;
-        } else {
-            let err = measured - e.mean_interval;
-            e.mean_interval += cfg.alpha * err;
-            e.deviation += cfg.beta * (err.abs() - e.deviation);
-        }
-        e.timeout = ((e.mean_interval + cfg.k * e.deviation) as u64).max(cfg.min_timeout);
+        let measured = now.saturating_sub(e.last_beat);
+        e.est.observe(measured, cfg.alpha_q16, cfg.beta_q16);
+        e.timeout = e
+            .est
+            .timeout(cfg.k_q16, cfg.min_timeout, cfg.initial_timeout);
         e.last_beat = now;
         // A heartbeat resurrects a previously-declared-dead entity (e.g.
         // a stalled thread that resumed).
@@ -216,6 +337,8 @@ impl Ahbm {
 
     fn sample(&mut self, now: u64) {
         self.stats.samples += 1;
+        // BTreeMap iteration: sorted by entity id, so same-cycle failures
+        // are declared in a platform-independent order.
         for (id, e) in self.entities.iter_mut() {
             if e.alive && now.saturating_sub(e.last_beat) > e.timeout {
                 e.alive = false;
@@ -288,8 +411,7 @@ impl Module for Ahbm {
     fn corrupt_state(&mut self, seed: u64) -> bool {
         // Upset one heartbeat counter (deterministically picked by the
         // seed over the sorted entity ids) without touching the shadow.
-        let mut ids: Vec<EntityId> = self.entities.keys().copied().collect();
-        ids.sort_unstable();
+        let ids: Vec<EntityId> = self.entities.keys().copied().collect();
         if let Some(&id) = ids.get(seed as usize % ids.len().max(1)) {
             let delta = 1 + (seed >> 8) % 7;
             self.entities
@@ -312,10 +434,294 @@ impl Module for Ahbm {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Remote-peer monitoring (fleet heartbeat fabric)
+// ---------------------------------------------------------------------------
+
+/// An identifier of a remote peer node.
+pub type PeerId = u16;
+
+/// Suspicion level of one remote peer.
+///
+/// Mirrors the per-module health machine (`rse_core::health`): a missed
+/// timeout does not immediately declare the peer dead; the monitor first
+/// *suspects* it and sends probes with exponential backoff
+/// (`probe_base << probes_sent`). Only after `max_probes` unanswered
+/// probes is the peer declared dead — a terminal state until the recovery
+/// coordinator explicitly [`PeerMonitor::reinstate`]s it (fencing: a
+/// partitioned-but-alive node that rejoins must be quarantined, not
+/// silently resurrected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PeerState {
+    /// Heartbeats arriving within the adaptive timeout.
+    Alive,
+    /// Timeout exceeded; probing before declaring death.
+    Suspect,
+    /// Declared dead after probe exhaustion (absorbing until reinstated).
+    Dead,
+}
+
+impl std::fmt::Display for PeerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PeerState::Alive => "alive",
+            PeerState::Suspect => "suspect",
+            PeerState::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of a [`PeerMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerConfig {
+    /// The adaptive-timeout estimator parameters (shared with the local
+    /// AHBM block).
+    pub ahbm: AhbmConfig,
+    /// Base probe backoff: probe `n` is scheduled `probe_base << n` cycles
+    /// after suspicion (mirrors `HealthConfig::probe_base`).
+    pub probe_base: u64,
+    /// Unanswered probes before a Suspect peer is declared Dead.
+    pub max_probes: u32,
+}
+
+impl Default for PeerConfig {
+    fn default() -> PeerConfig {
+        PeerConfig {
+            ahbm: AhbmConfig::default(),
+            probe_base: 512,
+            max_probes: 3,
+        }
+    }
+}
+
+/// Monitoring state for one remote peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// Heartbeat counter for this peer (`COUNTER_RAM` keyed by peer id).
+    pub counter: u64,
+    /// The fixed-point interval estimator.
+    pub est: IntervalEstimator,
+    /// Current adaptive timeout, cycles.
+    pub timeout: u64,
+    /// Cycle of the last accepted heartbeat (or probe reply).
+    pub last_beat: u64,
+    /// Suspicion state.
+    pub state: PeerState,
+    /// Probes sent since entering Suspect.
+    pub probes_sent: u32,
+    /// Cycle at which the next probe fires (valid while Suspect).
+    pub next_probe_at: u64,
+}
+
+/// An event produced by the peer monitor, in deterministic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerEvent {
+    /// The peer's adaptive timeout elapsed; it is now Suspect.
+    Suspected(PeerId),
+    /// A probe should be sent to the peer (probe-before-declare retry).
+    ProbeRequest(PeerId),
+    /// Probe budget exhausted; the peer is declared Dead.
+    DeclaredDead(PeerId),
+    /// A heartbeat arrived from a Suspect peer: suspicion refuted.
+    Refuted(PeerId),
+}
+
+/// The remote-peer extension of the AHBM: adaptive-timeout failure
+/// *suspicion* over heartbeat messages from other nodes.
+#[derive(Debug, Clone)]
+pub struct PeerMonitor {
+    config: PeerConfig,
+    peers: BTreeMap<PeerId, PeerEntry>,
+    events: Vec<PeerEvent>,
+    next_sample: u64,
+}
+
+impl PeerMonitor {
+    /// Creates a peer monitor.
+    pub fn new(config: PeerConfig) -> PeerMonitor {
+        PeerMonitor {
+            config,
+            peers: BTreeMap::new(),
+            events: Vec::new(),
+            next_sample: 0,
+        }
+    }
+
+    /// Begins monitoring `peer` (its first timeout is
+    /// `initial_timeout`, so slow-starting peers are not suspected).
+    pub fn register(&mut self, peer: PeerId, now: u64) {
+        self.peers.insert(
+            peer,
+            PeerEntry {
+                counter: 0,
+                est: IntervalEstimator::new(),
+                timeout: self.config.ahbm.initial_timeout,
+                last_beat: now,
+                state: PeerState::Alive,
+                probes_sent: 0,
+                next_probe_at: 0,
+            },
+        );
+    }
+
+    /// The monitoring entry for `peer`.
+    pub fn peer(&self, peer: PeerId) -> Option<&PeerEntry> {
+        self.peers.get(&peer)
+    }
+
+    /// The suspicion state of `peer` (unknown peers are Dead).
+    pub fn state(&self, peer: PeerId) -> PeerState {
+        self.peers.get(&peer).map_or(PeerState::Dead, |p| p.state)
+    }
+
+    /// All monitored peer ids, sorted.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Applies a heartbeat (or probe reply) from `peer` at cycle `now`.
+    ///
+    /// A Dead peer's beats are **ignored** (fencing: resurrection is the
+    /// recovery coordinator's decision via [`PeerMonitor::reinstate`]).
+    pub fn beat(&mut self, peer: PeerId, now: u64) {
+        let cfg = self.config.ahbm;
+        let Some(e) = self.peers.get_mut(&peer) else {
+            return;
+        };
+        if e.state == PeerState::Dead {
+            return;
+        }
+        e.counter += 1;
+        let measured = now.saturating_sub(e.last_beat);
+        e.est.observe(measured, cfg.alpha_q16, cfg.beta_q16);
+        e.timeout = e
+            .est
+            .timeout(cfg.k_q16, cfg.min_timeout, cfg.initial_timeout);
+        e.last_beat = now;
+        if e.state == PeerState::Suspect {
+            e.state = PeerState::Alive;
+            e.probes_sent = 0;
+            self.events.push(PeerEvent::Refuted(peer));
+        }
+    }
+
+    /// Runs one suspicion pass if the sampling interval elapsed.
+    ///
+    /// Peers are visited in sorted id order, so same-cycle transitions
+    /// produce a deterministic event sequence.
+    pub fn sample(&mut self, now: u64) {
+        if now < self.next_sample {
+            return;
+        }
+        self.next_sample = now + self.config.ahbm.sample_interval;
+        let probe_base = self.config.probe_base;
+        let max_probes = self.config.max_probes;
+        for (id, e) in self.peers.iter_mut() {
+            match e.state {
+                PeerState::Alive => {
+                    if now.saturating_sub(e.last_beat) > e.timeout {
+                        e.state = PeerState::Suspect;
+                        e.probes_sent = 0;
+                        e.next_probe_at = now;
+                        self.events.push(PeerEvent::Suspected(*id));
+                    }
+                }
+                PeerState::Suspect => {
+                    if now >= e.next_probe_at {
+                        if e.probes_sent >= max_probes {
+                            e.state = PeerState::Dead;
+                            self.events.push(PeerEvent::DeclaredDead(*id));
+                        } else {
+                            // Exponential backoff, mirroring
+                            // `HealthConfig::probe_base << attempts`.
+                            e.next_probe_at = now + (probe_base << e.probes_sent);
+                            e.probes_sent += 1;
+                            self.events.push(PeerEvent::ProbeRequest(*id));
+                        }
+                    }
+                }
+                PeerState::Dead => {}
+            }
+        }
+    }
+
+    /// Drains the pending events (in generation order).
+    pub fn take_events(&mut self) -> Vec<PeerEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Coordinator-approved resurrection of a Dead (or Suspect) peer:
+    /// resets the estimator and returns the peer to Alive with a fresh
+    /// `initial_timeout` grace period.
+    pub fn reinstate(&mut self, peer: PeerId, now: u64) {
+        if let Some(e) = self.peers.get_mut(&peer) {
+            e.est = IntervalEstimator::new();
+            e.timeout = self.config.ahbm.initial_timeout;
+            e.last_beat = now;
+            e.state = PeerState::Alive;
+            e.probes_sent = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rse_core::Verdict;
+
+    #[test]
+    fn q16_constants() {
+        assert_eq!(q16(1, 8), 8192);
+        assert_eq!(q16(1, 4), 16384);
+        assert_eq!(q16(4, 1), 4 << 16);
+        assert_eq!(q16(1, 1), Q16_ONE);
+    }
+
+    #[test]
+    fn estimator_is_integer_exact() {
+        // First observation primes mean = m, dev = m/2.
+        let mut est = IntervalEstimator::new();
+        est.observe(20, q16(1, 8), q16(1, 4));
+        assert_eq!(est.mean_q16(), 20 << 16);
+        assert_eq!(est.dev_q16(), 10 << 16);
+        // timeout = mean + 4*dev = 20 + 40 = 60 (exact).
+        assert_eq!(est.timeout(q16(4, 1), 0, 999), 60);
+        // A second identical observation: err = 0, dev decays by beta.
+        est.observe(20, q16(1, 8), q16(1, 4));
+        assert_eq!(est.mean_q16(), 20 << 16);
+        // dev += 1/4 * (0 - dev) => dev = 3/4 * 10 = 7.5 cycles.
+        assert_eq!(est.dev_q16(), (10 << 16) * 3 / 4);
+        assert_eq!(est.timeout(q16(4, 1), 0, 999), 50);
+    }
+
+    #[test]
+    fn estimator_replays_bit_identically() {
+        // Two estimators fed the same jittered sequence must agree in
+        // every bit — the property the fleet goldens rely on.
+        let seq: Vec<u64> = (0..200).map(|i| 20 + (i * 7) % 13).collect();
+        let mut a = IntervalEstimator::new();
+        let mut b = IntervalEstimator::new();
+        for &m in &seq {
+            a.observe(m, q16(1, 8), q16(1, 4));
+        }
+        for &m in &seq {
+            b.observe(m, q16(1, 8), q16(1, 4));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.mean_q16(), b.mean_q16());
+        assert_eq!(a.timeout(q16(4, 1), 50, 999), b.timeout(q16(4, 1), 50, 999));
+    }
+
+    #[test]
+    fn estimator_huge_intervals_do_not_overflow() {
+        let mut est = IntervalEstimator::new();
+        est.observe(u64::MAX, q16(1, 1), q16(1, 1));
+        est.observe(u64::MAX, q16(1, 1), q16(1, 1));
+        // Clamped at 2^47 cycles; timeout saturates without panicking.
+        let t = est.timeout(q16(4, 1), 0, 0);
+        assert!(t >= 1 << 47);
+    }
 
     #[test]
     fn selftest_passes_until_counter_is_corrupted() {
@@ -377,13 +783,10 @@ mod tests {
         drive(&mut a, &beats, 1000);
         assert!(a.is_alive(1));
         assert!(a.take_failed().is_empty());
-        // The adaptive timeout converged near the beat interval.
+        // The adaptive timeout converged to the exact beat interval (the
+        // fixed-point estimator is exact for a constant input).
         let e = a.entity(1).unwrap();
-        assert!(
-            (e.mean_interval - 20.0).abs() < 1.0,
-            "mean={}",
-            e.mean_interval
-        );
+        assert_eq!(e.est.mean_cycles(), 20, "mean={}", e.est.mean_cycles());
         assert_eq!(e.timeout, 50, "floored at min_timeout");
     }
 
@@ -474,5 +877,136 @@ mod tests {
         a.beat(9, 100);
         assert_eq!(a.stats().beats, 0);
         assert!(!a.is_alive(9));
+    }
+
+    #[test]
+    fn same_cycle_failures_are_declared_in_sorted_order() {
+        // Register ids in scrambled order; all time out at the same
+        // sampling pass. take_failed() must come back sorted regardless.
+        let mut a = Ahbm::new(cfg());
+        for id in [9, 2, 7, 1, 5] {
+            a.register(id, 0);
+            // Two beats at identical intervals so every entity shares the
+            // same tight timeout.
+            a.beat(id, 20);
+            a.beat(id, 40);
+        }
+        a.sample(5000);
+        assert_eq!(a.take_failed(), vec![1, 2, 5, 7, 9]);
+    }
+
+    // ---- PeerMonitor -----------------------------------------------------
+
+    fn peer_cfg() -> PeerConfig {
+        PeerConfig {
+            ahbm: AhbmConfig {
+                sample_interval: 10,
+                min_timeout: 50,
+                initial_timeout: 1000,
+                ..AhbmConfig::default()
+            },
+            probe_base: 20,
+            max_probes: 2,
+        }
+    }
+
+    #[test]
+    fn peer_suspicion_escalates_through_probes_to_dead() {
+        let mut pm = PeerMonitor::new(peer_cfg());
+        pm.register(3, 0);
+        for t in (20..=200).step_by(20) {
+            pm.beat(3, t);
+        }
+        assert_eq!(pm.state(3), PeerState::Alive);
+        // Silence. First sample past the timeout suspects the peer.
+        pm.sample(300);
+        assert_eq!(pm.state(3), PeerState::Suspect);
+        let ev = pm.take_events();
+        assert_eq!(ev, vec![PeerEvent::Suspected(3)]);
+        // Probes with exponential backoff, then death.
+        let mut probes = 0;
+        let mut dead_at = None;
+        for now in (310..2000).step_by(10) {
+            pm.sample(now);
+            for e in pm.take_events() {
+                match e {
+                    PeerEvent::ProbeRequest(3) => probes += 1,
+                    PeerEvent::DeclaredDead(3) => dead_at = Some(now),
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            if dead_at.is_some() {
+                break;
+            }
+        }
+        assert_eq!(probes, 2, "max_probes probes before declaring");
+        assert!(dead_at.is_some());
+        assert_eq!(pm.state(3), PeerState::Dead);
+    }
+
+    #[test]
+    fn probe_reply_refutes_suspicion() {
+        let mut pm = PeerMonitor::new(peer_cfg());
+        pm.register(1, 0);
+        for t in (20..=200).step_by(20) {
+            pm.beat(1, t);
+        }
+        pm.sample(300);
+        assert_eq!(pm.state(1), PeerState::Suspect);
+        pm.take_events();
+        // The probe reply arrives: suspicion refuted, peer Alive again.
+        pm.beat(1, 310);
+        assert_eq!(pm.state(1), PeerState::Alive);
+        assert_eq!(pm.take_events(), vec![PeerEvent::Refuted(1)]);
+        // And the counter kept counting.
+        assert_eq!(pm.peer(1).unwrap().counter, 11);
+    }
+
+    #[test]
+    fn dead_peer_beats_are_fenced_until_reinstated() {
+        let mut pm = PeerMonitor::new(peer_cfg());
+        pm.register(2, 0);
+        for t in (20..=100).step_by(20) {
+            pm.beat(2, t);
+        }
+        // Drive to Dead.
+        for now in (200..3000).step_by(10) {
+            pm.sample(now);
+            if pm.state(2) == PeerState::Dead {
+                break;
+            }
+        }
+        assert_eq!(pm.state(2), PeerState::Dead);
+        let counter = pm.peer(2).unwrap().counter;
+        // A zombie beat from the partitioned node is ignored.
+        pm.beat(2, 3100);
+        assert_eq!(pm.state(2), PeerState::Dead);
+        assert_eq!(pm.peer(2).unwrap().counter, counter);
+        // Coordinator-approved reinstatement restores monitoring.
+        pm.reinstate(2, 3200);
+        assert_eq!(pm.state(2), PeerState::Alive);
+        assert_eq!(pm.peer(2).unwrap().timeout, 1000, "fresh grace period");
+        pm.beat(2, 3300);
+        assert_eq!(pm.peer(2).unwrap().counter, counter + 1);
+    }
+
+    #[test]
+    fn peer_events_are_sorted_within_a_pass() {
+        let mut pm = PeerMonitor::new(peer_cfg());
+        for id in [8, 1, 5] {
+            pm.register(id, 0);
+            for t in (20..=100).step_by(20) {
+                pm.beat(id, t);
+            }
+        }
+        pm.sample(500);
+        assert_eq!(
+            pm.take_events(),
+            vec![
+                PeerEvent::Suspected(1),
+                PeerEvent::Suspected(5),
+                PeerEvent::Suspected(8)
+            ]
+        );
     }
 }

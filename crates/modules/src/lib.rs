@@ -31,7 +31,10 @@ pub mod ddt;
 pub mod icm;
 pub mod mlr;
 
-pub use ahbm::{Ahbm, AhbmConfig};
+pub use ahbm::{
+    q16, Ahbm, AhbmConfig, IntervalEstimator, PeerConfig, PeerEvent, PeerId, PeerMonitor,
+    PeerState, Q16_ONE,
+};
 pub use ddt::{Ddt, DdtConfig, SavedPage, ThreadId, SAVE_PAGE_EXCEPTION};
 pub use icm::{Icm, IcmConfig};
 pub use mlr::{Mlr, MlrConfig, RandomizedBases};

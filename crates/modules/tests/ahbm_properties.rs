@@ -1,0 +1,156 @@
+//! Property-based tests of the AHBM adaptive-timeout estimator and the
+//! remote-peer suspicion monitor (in-repo harness, no external deps).
+
+use rse_modules::{q16, Ahbm, AhbmConfig, IntervalEstimator, PeerConfig, PeerMonitor, PeerState};
+use rse_support::prelude::*;
+
+/// Feeds `n` intervals of `base ± jitter` (jitter pattern derived from
+/// `noise`) into a fresh estimator and returns it.
+fn converge(base: u64, jitter: u64, noise: u64, n: u32, cfg: &AhbmConfig) -> IntervalEstimator {
+    let mut est = IntervalEstimator::new();
+    let mut s = noise;
+    for _ in 0..n {
+        let wobble = rse_support::rng::splitmix64(&mut s) % (2 * jitter + 1);
+        let interval = base + wobble - jitter.min(base);
+        est.observe(interval, cfg.alpha_q16, cfg.beta_q16);
+    }
+    est
+}
+
+proptest! {
+    /// Jacobson/Karn convergence: under jittered-but-bounded intervals
+    /// (`base ± jitter`), the adaptive timeout settles inside
+    /// `[base - jitter, base + jitter + k·(2·jitter) + slack]` — i.e. it
+    /// tracks `mean + k·dev` where the mean is within the jitter band
+    /// and the deviation is bounded by the jitter amplitude.
+    #[test]
+    fn timeout_converges_to_mean_plus_k_dev(
+        base in 200u64..20_000,
+        jitter_pct in 0u64..30,
+        noise in any::<u64>(),
+    ) {
+        let cfg = AhbmConfig { min_timeout: 1, initial_timeout: 1, ..AhbmConfig::default() };
+        let jitter = base * jitter_pct / 100;
+        let est = converge(base, jitter, noise, 400, &cfg);
+        let mean = est.mean_cycles();
+        prop_assert!(mean >= base.saturating_sub(jitter), "mean {mean} below band {base}-{jitter}");
+        prop_assert!(mean <= base + jitter, "mean {mean} above band {base}+{jitter}");
+        // dev is an EWMA of |err| ≤ 2·jitter; allow integer-truncation slack.
+        prop_assert!(
+            est.deviation_cycles() <= 2 * jitter + 1,
+            "dev {} exceeds jitter bound {}", est.deviation_cycles(), 2 * jitter + 1
+        );
+        let timeout = est.timeout(cfg.k_q16, cfg.min_timeout, cfg.initial_timeout);
+        // timeout = mean + 4·dev ≤ (base + jitter) + 4·(2·jitter) + slack.
+        let upper = base + jitter + 8 * jitter + 8;
+        prop_assert!(timeout >= mean, "timeout {timeout} below mean {mean}");
+        prop_assert!(timeout <= upper, "timeout {timeout} above bound {upper}");
+    }
+
+    /// The configured floor holds: however regular the heartbeat (zero
+    /// deviation drives `mean + k·dev` toward `mean`), the effective
+    /// timeout never collapses below `min_timeout`.
+    #[test]
+    fn timeout_never_collapses_below_the_floor(
+        interval in 1u64..500,
+        min_timeout in 1u64..10_000,
+        beats in 1u32..300,
+    ) {
+        let cfg = AhbmConfig { min_timeout, ..AhbmConfig::default() };
+        let mut est = IntervalEstimator::new();
+        for _ in 0..beats {
+            est.observe(interval, cfg.alpha_q16, cfg.beta_q16);
+        }
+        let t = est.timeout(cfg.k_q16, cfg.min_timeout, cfg.initial_timeout);
+        prop_assert!(t >= min_timeout, "timeout {t} below floor {min_timeout}");
+    }
+
+    /// Q16.16 gains keep the estimator exact under replay: two
+    /// estimators fed the same intervals agree bit-for-bit, whatever
+    /// the (nonzero) gains.
+    #[test]
+    fn estimator_is_replay_exact_for_any_gains(
+        intervals in rse_support::collection::vec(1u64..1_000_000, 1..100),
+        a_den in 1u32..64,
+        b_den in 1u32..64,
+    ) {
+        let (alpha, beta) = (q16(1, a_den), q16(1, b_den));
+        let mut x = IntervalEstimator::new();
+        let mut y = IntervalEstimator::new();
+        for &i in &intervals {
+            x.observe(i, alpha, beta);
+            y.observe(i, alpha, beta);
+        }
+        prop_assert_eq!(x.mean_q16(), y.mean_q16());
+        prop_assert_eq!(x.dev_q16(), y.dev_q16());
+    }
+
+    /// Losing a single heartbeat — the next one arriving before the
+    /// adaptive timeout expires — must never flip a local entity to
+    /// failed: the AHBM tolerates isolated loss by construction.
+    #[test]
+    fn one_lost_beat_below_timeout_is_tolerated(
+        interval in 64u64..2_000,
+        warmup in 8u32..64,
+        lost_at in 0u32..8,
+    ) {
+        let cfg = AhbmConfig {
+            sample_interval: 16,
+            min_timeout: 4 * interval, // timeout comfortably above one gap
+            initial_timeout: 8 * interval,
+            ..AhbmConfig::default()
+        };
+        let mut ahbm = Ahbm::new(cfg);
+        ahbm.register(1, 0);
+        let mut now = 0;
+        for _ in 0..warmup {
+            now += interval;
+            ahbm.beat(1, now);
+            ahbm.host_sample(now);
+        }
+        // One beat lost: double gap, but 2·interval < 4·interval floor.
+        let lost = warmup + lost_at;
+        let _ = lost;
+        now += 2 * interval;
+        ahbm.host_sample(now - interval); // sampler runs during the gap
+        ahbm.beat(1, now);
+        ahbm.host_sample(now);
+        prop_assert!(ahbm.is_alive(1), "single lost beat declared entity failed");
+        prop_assert!(ahbm.take_failed().is_empty());
+    }
+
+    /// The same tolerance at fleet level: a suspicion raised by one
+    /// lost beat is refuted by the following beat (probe reply), and
+    /// the peer is never declared Dead while gaps stay below the probe
+    /// budget's reach.
+    #[test]
+    fn peer_survives_one_lost_beat(
+        interval in 64u64..1_500,
+        warmup in 8u32..48,
+    ) {
+        let cfg = PeerConfig {
+            ahbm: AhbmConfig {
+                sample_interval: 16,
+                min_timeout: 3 * interval,
+                initial_timeout: 8 * interval,
+                ..AhbmConfig::default()
+            },
+            probe_base: 4 * interval,
+            max_probes: 3,
+        };
+        let mut mon = PeerMonitor::new(cfg);
+        mon.register(7, 0);
+        let mut now = 0;
+        for _ in 0..warmup {
+            now += interval;
+            mon.beat(7, now);
+            mon.sample(now);
+        }
+        now += 2 * interval; // one beat lost
+        mon.sample(now - interval);
+        mon.beat(7, now);
+        mon.sample(now);
+        let _ = mon.take_events();
+        prop_assert_eq!(mon.state(7), PeerState::Alive);
+    }
+}

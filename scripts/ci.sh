@@ -63,4 +63,34 @@ diff -u tests/golden/campaign_quarantine.jsonl "$QUAR_A" \
   || { echo "FAIL: quarantine campaign diverges from pinned golden"; exit 1; }
 echo "quarantine campaign: deterministic and matches golden (28 runs)"
 
+echo "== fleet soak smoke campaign (52 runs, 5 nodes, fixed seed)"
+# The fleet history is a pure function of (config, seed, fault): two
+# invocations must be byte-identical and match the pinned golden.
+# Regenerate with:
+#   cargo run --release --offline -p rse-bench --bin fleet_soak -- \
+#     --smoke --no-table --out tests/golden/fleet_soak_smoke.jsonl
+FLEET_A="$(mktemp)"; FLEET_B="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B"' EXIT
+cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
+  --smoke --no-table --out "$FLEET_A" 2>/dev/null
+cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
+  --smoke --no-table --out "$FLEET_B" 2>/dev/null
+cmp "$FLEET_A" "$FLEET_B" \
+  || { echo "FAIL: fleet soak is nondeterministic"; exit 1; }
+diff -u tests/golden/fleet_soak_smoke.jsonl "$FLEET_A" \
+  || { echo "FAIL: fleet soak diverges from pinned golden"; exit 1; }
+if grep -q '"outcome":"split-brain"' "$FLEET_A"; then
+  echo "FAIL: fleet soak observed split-brain"; exit 1
+fi
+if grep -q '"outcome":"false-suspicion"' "$FLEET_A"; then
+  echo "FAIL: fleet soak observed false suspicion"; exit 1
+fi
+echo "fleet soak: deterministic, matches golden, no split-brain/false-suspicion (52 runs)"
+
+echo "== fleet control soak (zero faults => 0 failovers, 0 false suspicions)"
+# The fleet_soak binary itself exits non-zero unless every control run
+# is masked with zero failovers and zero false suspicions.
+cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
+  --control --runs 2 --no-table >/dev/null
+
 echo "CI OK"

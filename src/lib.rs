@@ -14,6 +14,8 @@
 //!   Output Queue, the Memory Access Unit, module hosting, and the
 //!   self-checking watchdog,
 //! * [`modules`] — the four paper modules (MLR, DDT, ICM, AHBM),
+//! * [`fleet`] — the multi-node heartbeat fabric: remote-peer AHBM
+//!   suspicion, checkpoint failover, fencing, and soak campaigns,
 //! * [`sys`] — the guest OS layer: loader, threads, syscalls, recovery,
 //! * [`workloads`] — the evaluation workload generators.
 //!
@@ -21,6 +23,7 @@
 //! `EXPERIMENTS.md` for the experiment inventory.
 
 pub use rse_core as core;
+pub use rse_fleet as fleet;
 pub use rse_isa as isa;
 pub use rse_mem as mem;
 pub use rse_modules as modules;
