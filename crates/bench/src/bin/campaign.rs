@@ -29,18 +29,23 @@
 //! Flags: `--seed <u64>` base seed (default 0xD5B), `--runs <n>` runs
 //! per cell for `--control`/full (default 8), `--out <path>` write the
 //! JSONL there instead of stdout, `--no-table` suppress the coverage
-//! table.
+//! table, `--tiered` run deterministic fault-free segments on the
+//! functional tier, `--threads <n>` shard runs across worker threads.
+//! Neither execution flag changes a single output byte — CI diffs the
+//! tiered and sharded smoke output against the same pinned golden.
 
 use std::process::ExitCode;
 
-use rse_bench::write_atomic;
-use rse_inject::{coverage_table, run_campaign, to_jsonl, CampaignSpec, Histogram};
+use rse_bench::{numeric, write_atomic};
+use rse_inject::{
+    coverage_table, run_campaign_with, to_jsonl, CampaignOptions, CampaignSpec, Histogram,
+};
 
 /// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
 const DEFAULT_SEED: u64 = 0xD5B;
 
 const USAGE: &str = "usage: campaign [--smoke | --control | --quarantine] [--seed N] [--runs N] \
-     [--out FILE] [--no-table]";
+     [--out FILE] [--no-table] [--tiered] [--threads N]";
 
 enum Mode {
     Smoke,
@@ -55,14 +60,7 @@ struct Args {
     runs: u32,
     out: Option<String>,
     table: bool,
-}
-
-/// Parses the value following `flag`, naming the flag (and the bad
-/// value) in the error instead of panicking or printing bare usage.
-fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
-    let v = v.ok_or_else(|| format!("{flag} expects a value"))?;
-    v.parse()
-        .map_err(|_| format!("{flag}: '{v}' is not a valid unsigned integer"))
+    opts: CampaignOptions,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -72,6 +70,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         runs: 8,
         out: None,
         table: true,
+        opts: CampaignOptions::default(),
     };
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -85,6 +84,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.out = Some(it.next().ok_or("--out expects a file path")?);
             }
             "--no-table" => args.table = false,
+            "--tiered" => args.opts.tiered = true,
+            "--threads" => args.opts.threads = numeric("--threads", it.next())?,
             "--help" | "-h" => return Err(String::new()),
             _ => return Err(format!("unknown flag '{a}'")),
         }
@@ -116,7 +117,7 @@ fn main() -> ExitCode {
         spec.base_seed
     );
 
-    let records = run_campaign(&spec);
+    let records = run_campaign_with(&spec, &args.opts);
     let jsonl = to_jsonl(&records);
 
     match &args.out {

@@ -26,19 +26,20 @@
 //! fleet size for the full sweep (default 5), `--runs <n>` runs per
 //! cell for `--control`/full (default 8), `--out <path>` write the
 //! JSONL there (crash-safe tmp+rename) instead of stdout, `--no-table`
-//! suppress the coverage table.
+//! suppress the coverage table, `--tiered` cross-check the fleet's
+//! golden digest on the functional tier first (output bytes unchanged).
 
 use std::process::ExitCode;
 
-use rse_bench::write_atomic;
-use rse_fleet::{run_soak, FleetSpec};
+use rse_bench::{numeric, write_atomic};
+use rse_fleet::{run_soak_with, FleetSpec, SoakOptions};
 use rse_inject::{coverage_table, to_jsonl, Histogram};
 
 /// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
 const DEFAULT_SEED: u64 = 0xF1EE7;
 
 const USAGE: &str = "usage: fleet_soak [--smoke | --control] [--seed N] [--nodes N] [--runs N] \
-     [--out FILE] [--no-table]";
+     [--out FILE] [--no-table] [--tiered]";
 
 enum Mode {
     Smoke,
@@ -53,14 +54,7 @@ struct Args {
     runs: u32,
     out: Option<String>,
     table: bool,
-}
-
-/// Parses the value following `flag`, naming the flag (and the bad
-/// value) in the error instead of panicking.
-fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
-    let v = v.ok_or_else(|| format!("{flag} expects a value"))?;
-    v.parse()
-        .map_err(|_| format!("{flag}: '{v}' is not a valid unsigned integer"))
+    opts: SoakOptions,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -71,6 +65,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         runs: 8,
         out: None,
         table: true,
+        opts: SoakOptions::default(),
     };
     let mut it = argv;
     while let Some(a) = it.next() {
@@ -84,6 +79,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.out = Some(it.next().ok_or("--out expects a file path")?);
             }
             "--no-table" => args.table = false,
+            "--tiered" => args.opts.tiered = true,
             "--help" | "-h" => return Err(String::new()),
             _ => return Err(format!("unknown flag '{a}'")),
         }
@@ -121,7 +117,7 @@ fn main() -> ExitCode {
         spec.base_seed
     );
 
-    let records = run_soak(&spec);
+    let records = run_soak_with(&spec, &args.opts);
     let jsonl = to_jsonl(&records);
 
     match &args.out {

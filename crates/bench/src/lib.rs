@@ -111,6 +111,16 @@ pub fn write_atomic(path: &str, contents: &[u8]) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Parses the value following `flag`, naming the flag (and the bad
+/// value) in the error instead of panicking or printing bare usage.
+/// Shared by the `campaign` and `fleet_soak` binaries so both report
+/// identical diagnostics.
+pub fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+    let v = v.ok_or_else(|| format!("{flag} expects a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: '{v}' is not a valid unsigned integer"))
+}
+
 /// Formats a row of a fixed-width table.
 pub fn row(cells: &[&str], widths: &[usize]) -> String {
     let mut out = String::new();
@@ -160,5 +170,18 @@ mod tests {
     #[test]
     fn row_formatting() {
         assert_eq!(row(&["a", "bb"], &[3, 4]), "  a    bb");
+    }
+
+    #[test]
+    fn numeric_names_the_offending_flag() {
+        assert_eq!(numeric::<u64>("--seed", Some("7".into())), Ok(7));
+        assert_eq!(
+            numeric::<u64>("--seed", None),
+            Err("--seed expects a value".into())
+        );
+        assert_eq!(
+            numeric::<u32>("--runs", Some("x".into())),
+            Err("--runs: 'x' is not a valid unsigned integer".into())
+        );
     }
 }

@@ -43,4 +43,4 @@ pub use fault::{FleetProfile, NodeFault, NodeFaultModel, NodeFaultPlan};
 pub use net::{Message, NetConfig, NetStats, Network, Payload};
 pub use node::{FenceKind, Guest, Node, NodeStatus};
 pub use sim::{FleetConfig, FleetOutcome, FleetSim};
-pub use soak::{run_soak, FleetCell, FleetSpec};
+pub use soak::{run_soak, run_soak_with, FleetCell, FleetSpec, SoakOptions};

@@ -34,9 +34,12 @@ use rse_modules::ahbm::{Ahbm, AhbmConfig};
 use rse_modules::ddt::{Ddt, DdtConfig};
 use rse_modules::icm::{Icm, IcmConfig};
 use rse_modules::mlr::{Mlr, MlrConfig};
-use rse_pipeline::{CheckPolicy, CpuContext, Pipeline, PipelineConfig, StepEvent};
+use rse_pipeline::{
+    CheckPolicy, CpuContext, ExecEvent, NullCoProcessor, Pipeline, PipelineConfig, StepEvent,
+};
 use rse_support::rng::splitmix64;
 use rse_sys::checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore};
+use rse_sys::tiered::{TieredDriver, Window};
 use rse_sys::{loader, Os, OsConfig, OsExit};
 use std::collections::BTreeMap;
 
@@ -175,14 +178,26 @@ fn drive(cpu: &mut Pipeline, engine: &mut Engine, deadline: u64) -> RawEnd {
 /// the result buffer bytes. Public so the fleet simulator can judge a
 /// failed-over workload's completion against the same golden digest.
 pub fn result_digest(w: &Workload, cpu: &Pipeline, image: &Image) -> u64 {
+    result_digest_parts(w, cpu.regs(), &cpu.mem().memory, image)
+}
+
+/// [`result_digest`] over raw architectural state: works against either
+/// execution tier (the functional interpreter exposes the same register
+/// file and [`SparseMemory`] as the pipeline).
+pub fn result_digest_parts(
+    w: &Workload,
+    regs: &[u32; 32],
+    mem: &SparseMemory,
+    image: &Image,
+) -> u64 {
     let mut h = Fnv::new();
     for &r in w.result_regs {
-        h.write_u32(cpu.regs()[r]);
+        h.write_u32(regs[r]);
     }
     if let Some((sym, len)) = w.result_buf {
         let addr = image.symbol(sym).expect("result_buf symbol exists");
         for i in 0..len {
-            h.write_bytes(&[cpu.mem().memory.read_u8(addr + i)]);
+            h.write_bytes(&[mem.read_u8(addr + i)]);
         }
     }
     h.finish()
@@ -311,12 +326,78 @@ fn rollback_and_rerun(
     }
 }
 
+/// Tiered variant of [`rollback_and_rerun`]: the re-execution is
+/// fault-free and architecturally deterministic, judged only by its
+/// result digest — exactly the case where the functional tier is exact
+/// by the differential invariant (golden ≡ pipeline). The
+/// [`TieredDriver`] runs it under [`Window::none`], never entering the
+/// cycle-accurate tier, which is where the tiered campaign's speedup
+/// comes from while leaving every JSONL byte (outcomes, cycle counts,
+/// error strings) identical.
+fn rollback_and_rerun_tiered(
+    w: &Workload,
+    image: &Image,
+    pre: &PreRunCheckpoints,
+    budget: u64,
+) -> Result<u64, String> {
+    let mut d = TieredDriver::new(
+        image,
+        PipelineConfig::default(),
+        MemConfig::with_framework(),
+    );
+    for &page in &pre.pages {
+        let cp = pre
+            .store
+            .earliest_for(page)
+            .ok_or_else(|| format!("missing checkpoint for page {page:#x}"))?;
+        d.memory_mut().restore_page(page_base(page), &cp.data);
+    }
+    let mut regs = [0u32; 32];
+    regs[Reg::SP.index()] = STACK_BASE - 16;
+    d.install_context(&CpuContext {
+        regs,
+        pc: image.entry,
+    });
+    // `budget` is a cycle budget (4×ref cycles + slack); with a 4-wide
+    // commit the same number safely over-covers the run's instruction
+    // count, so it doubles as functional fuel.
+    match d.run(&mut NullCoProcessor, &Window::none(), budget) {
+        ExecEvent::Halted => Ok(result_digest_parts(w, d.regs(), d.memory(), image)),
+        ExecEvent::OutOfFuel => Err("re-execution after rollback did not complete".into()),
+        ExecEvent::Syscall => {
+            Err("re-execution after rollback crashed: unexpected syscall trap".into())
+        }
+        ExecEvent::Exception(_) => {
+            Err("re-execution after rollback crashed: unexpected coprocessor exception".into())
+        }
+    }
+}
+
 fn fault_budget(r: &RefState) -> u64 {
     r.profile.cycles.saturating_mul(4) + 200_000
 }
 
-/// Executes one fault-injection run and classifies it.
+/// Executes one fault-injection run and classifies it. Equivalent to
+/// [`run_one_with`] with default (untiered) options.
 pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefState) -> RunRecord {
+    run_one_with(w, model, run, seed, r, &CampaignOptions::default())
+}
+
+/// Executes one fault-injection run and classifies it.
+///
+/// With [`CampaignOptions::tiered`] set, the checkpoint-rollback
+/// re-execution (the only deterministic, fault-free segment of a run)
+/// executes on the functional tier via the [`TieredDriver`]; the faulty
+/// run itself stays fully cycle-accurate so classification and the
+/// recorded cycle counts are bit-for-bit unchanged.
+pub fn run_one_with(
+    w: &Workload,
+    model: FaultModel,
+    run: u32,
+    seed: u64,
+    r: &RefState,
+    opts: &CampaignOptions,
+) -> RunRecord {
     let image = assemble(w.source).expect("corpus workload assembles");
     let plan = FaultPlan::sample(model, seed, &r.profile);
     let budget = fault_budget(r);
@@ -379,7 +460,11 @@ pub fn run_one(w: &Workload, model: FaultModel, run: u32, seed: u64, r: &RefStat
                         "safe-mode-decouple"
                     },
                 },
-                _ => match rollback_and_rerun(w, &image, &pre, budget) {
+                _ => match if opts.tiered {
+                    rollback_and_rerun_tiered(w, &image, &pre, budget)
+                } else {
+                    rollback_and_rerun(w, &image, &pre, budget)
+                } {
                     Ok(d) if d == r.digest => RecoveryStatus::Succeeded {
                         mechanism: "checkpoint-rollback",
                     },
@@ -587,14 +672,55 @@ impl CampaignSpec {
     }
 }
 
+/// Execution options for a campaign: tiering and sharding. Neither
+/// changes a single output byte — they only change how fast the same
+/// records are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignOptions {
+    /// Run deterministic fault-free segments (checkpoint-rollback
+    /// re-execution) on the functional tier.
+    pub tiered: bool,
+    /// Worker threads for run-level sharding; `0` or `1` runs
+    /// sequentially.
+    pub threads: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions {
+            tiered: false,
+            threads: 1,
+        }
+    }
+}
+
 /// Executes a campaign: golden references are computed once per
-/// workload, then every cell's runs execute in order.
+/// workload, then every cell's runs execute in order. Equivalent to
+/// [`run_campaign_with`] with default (sequential, untiered) options.
 ///
 /// # Panics
 ///
 /// Panics if a cell names an unknown workload or an inapplicable fault
 /// model — specs are validated eagerly so a bad campaign never half-runs.
 pub fn run_campaign(spec: &CampaignSpec) -> Vec<RunRecord> {
+    run_campaign_with(spec, &CampaignOptions::default())
+}
+
+/// Executes a campaign under [`CampaignOptions`].
+///
+/// Sharding is run-level and embarrassingly parallel: every `(cell,
+/// run)` job's seed is precomputed from the spec alone, the golden
+/// references are computed once up front, worker `t` of `T` takes jobs
+/// `t, t+T, t+2T, …` (round-robin, so long cells spread across
+/// workers), and the results are merged back by global run index. The
+/// merged record vector — and therefore [`to_jsonl`] — is byte-for-byte
+/// identical for every thread count.
+///
+/// # Panics
+///
+/// Panics as [`run_campaign`] does on an invalid spec, and propagates
+/// any worker panic.
+pub fn run_campaign_with(spec: &CampaignSpec, opts: &CampaignOptions) -> Vec<RunRecord> {
     for cell in &spec.cells {
         let w = by_name(cell.workload)
             .unwrap_or_else(|| panic!("unknown workload {:?}", cell.workload));
@@ -606,16 +732,60 @@ pub fn run_campaign(spec: &CampaignSpec) -> Vec<RunRecord> {
         );
     }
     let mut refs: BTreeMap<&str, RefState> = BTreeMap::new();
-    let mut records = Vec::with_capacity(spec.total_runs() as usize);
     for cell in &spec.cells {
         let w = by_name(cell.workload).expect("validated above");
-        let r = refs.entry(w.name).or_insert_with(|| reference(w));
-        for run in 0..cell.runs {
-            let seed = derive_seed(spec.base_seed, w.name, cell.model, run);
-            records.push(run_one(w, cell.model, run, seed, r));
-        }
+        refs.entry(w.name).or_insert_with(|| reference(w));
     }
-    records
+    let jobs: Vec<(&'static Workload, FaultModel, u32, u64)> = spec
+        .cells
+        .iter()
+        .flat_map(|cell| {
+            let w = by_name(cell.workload).expect("validated above");
+            (0..cell.runs).map(move |run| {
+                (
+                    w,
+                    cell.model,
+                    run,
+                    derive_seed(spec.base_seed, w.name, cell.model, run),
+                )
+            })
+        })
+        .collect();
+    let threads = opts.threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs
+            .iter()
+            .map(|&(w, model, run, seed)| run_one_with(w, model, run, seed, &refs[w.name], opts))
+            .collect();
+    }
+    let mut slots: Vec<Option<RunRecord>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let jobs = &jobs;
+            let refs = &refs;
+            handles.push(scope.spawn(move || {
+                jobs.iter()
+                    .enumerate()
+                    .skip(t)
+                    .step_by(threads)
+                    .map(|(i, &(w, model, run, seed))| {
+                        (i, run_one_with(w, model, run, seed, &refs[w.name], opts))
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (i, rec) in handle.join().expect("campaign worker panicked") {
+                slots[i] = Some(rec);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job produced a record"))
+        .collect()
 }
 
 /// Serializes records as JSON lines (one record per line, trailing
@@ -717,6 +887,73 @@ mod tests {
             "expected containment, got {}",
             rec.to_json()
         );
+    }
+
+    /// A mixed mini-campaign (injections across the three harness
+    /// flavors) whose outputs the tiered and sharded paths must
+    /// reproduce byte-for-byte.
+    fn mini_spec() -> CampaignSpec {
+        CampaignSpec {
+            base_seed: 0xD5B,
+            cells: vec![
+                CampaignCell {
+                    workload: "alu_loop",
+                    model: FaultModel::RegSingle,
+                    runs: 3,
+                },
+                // With base seed 0xD5B, mem-text run 1 classifies as a
+                // hang that recovers via checkpoint-rollback — the exact
+                // segment the tiered path moves to the functional tier
+                // (see the pinned smoke golden).
+                CampaignCell {
+                    workload: "icm_loop",
+                    model: FaultModel::MemText,
+                    runs: 2,
+                },
+                CampaignCell {
+                    workload: "ddt_recover",
+                    model: FaultModel::MemData,
+                    runs: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tiered_campaign_is_byte_identical() {
+        let spec = mini_spec();
+        let records = run_campaign(&spec);
+        assert!(
+            records
+                .iter()
+                .any(|r| r.to_json().contains("recovered:checkpoint-rollback")),
+            "mini spec must exercise the rollback re-run the tiered path replaces"
+        );
+        let base = to_jsonl(&records);
+        let tiered = to_jsonl(&run_campaign_with(
+            &spec,
+            &CampaignOptions {
+                tiered: true,
+                threads: 1,
+            },
+        ));
+        assert_eq!(base, tiered);
+    }
+
+    #[test]
+    fn sharded_campaign_is_byte_identical() {
+        let spec = mini_spec();
+        let base = to_jsonl(&run_campaign(&spec));
+        for threads in [3, 16] {
+            let sharded = to_jsonl(&run_campaign_with(
+                &spec,
+                &CampaignOptions {
+                    tiered: true,
+                    threads,
+                },
+            ));
+            assert_eq!(base, sharded, "threads={threads}");
+        }
     }
 
     #[test]

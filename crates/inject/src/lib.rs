@@ -53,8 +53,9 @@ pub mod snapshot;
 pub mod workload;
 
 pub use campaign::{
-    build_harness, derive_seed, result_digest, run_campaign, run_one, run_one_by_name, to_jsonl,
-    BuiltHarness, CampaignCell, CampaignSpec, RefState,
+    build_harness, derive_seed, result_digest, result_digest_parts, run_campaign,
+    run_campaign_with, run_one, run_one_by_name, run_one_with, to_jsonl, BuiltHarness,
+    CampaignCell, CampaignOptions, CampaignSpec, RefState,
 };
 pub use fault::{FaultModel, FaultPlan, PlannedFault, RunProfile};
 pub use outcome::{coverage_table, Histogram, Outcome, RecoveryStatus, RunRecord};

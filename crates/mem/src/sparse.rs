@@ -1,11 +1,42 @@
 //! Sparse byte-addressable physical memory.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Size of a backing page of the sparse memory, in bytes. Matches the
 /// guest page size so the DDT's SavePage operation maps 1:1 onto a
 /// backing page.
 pub const PAGE_BYTES: usize = 4096;
+
+/// A fast, fixed (non-randomized) hasher for page ids. Page lookups sit
+/// on the hottest path of both execution tiers — every instruction
+/// fetch, load, and store resolves one — and SipHash with a random key
+/// is both slow and needlessly nondeterministic here: page ids are
+/// guest-controlled `u32`s, not attacker-controlled map keys. One
+/// multiply by an odd 64-bit constant plus a fold of the high bits
+/// (Fibonacci hashing) spreads sequential ids well.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageIdHasher(u64);
+
+impl Hasher for PageIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); page-id hashing uses `write_u32`.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, id: u32) {
+        let h = u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type PageMap = HashMap<u32, Box<[u8; PAGE_BYTES]>, BuildHasherDefault<PageIdHasher>>;
 
 /// Byte-addressable memory with page-granular lazy allocation.
 ///
@@ -13,9 +44,14 @@ pub const PAGE_BYTES: usize = 4096;
 /// demand); writes allocate. Whole-page snapshot and restore support the
 /// DDT module's checkpointing, and word-granular accessors serve the
 /// pipeline and the RSE's Memory Access Unit.
+///
+/// The halfword/word accessors take a single page lookup when the access
+/// lies inside one page (the overwhelmingly common case; the guest ABI
+/// aligns words) and fall back to per-byte access when it straddles a
+/// page boundary, preserving the no-alignment-requirement contract.
 #[derive(Debug, Clone, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u32, Box<[u8; PAGE_BYTES]>>,
+    pages: PageMap,
 }
 
 impl SparseMemory {
@@ -51,29 +87,53 @@ impl SparseMemory {
 
     /// Reads a little-endian 16-bit value (no alignment requirement).
     pub fn read_u16(&self, addr: u32) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        let (id, off) = Self::page_of(addr);
+        if off + 2 <= PAGE_BYTES {
+            self.pages.get(&id).map_or(0, |p| {
+                u16::from_le_bytes(p[off..off + 2].try_into().expect("2 bytes"))
+            })
+        } else {
+            u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        }
     }
 
     /// Writes a little-endian 16-bit value.
     pub fn write_u16(&mut self, addr: u32, value: u16) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b);
+        let (id, off) = Self::page_of(addr);
+        if off + 2 <= PAGE_BYTES {
+            self.page_mut(id)[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
         }
     }
 
     /// Reads a little-endian 32-bit value (no alignment requirement).
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32));
+        let (id, off) = Self::page_of(addr);
+        if off + 4 <= PAGE_BYTES {
+            self.pages.get(&id).map_or(0, |p| {
+                u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes"))
+            })
+        } else {
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
+            u32::from_le_bytes(bytes)
         }
-        u32::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian 32-bit value.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b);
+        let (id, off) = Self::page_of(addr);
+        if off + 4 <= PAGE_BYTES {
+            self.page_mut(id)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
         }
     }
 

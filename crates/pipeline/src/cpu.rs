@@ -1,0 +1,196 @@
+//! The shared executor surface over the two simulation tiers.
+//!
+//! Both backends execute the same guest ISA over the same
+//! [`SparseMemory`] but at very different cost/fidelity points:
+//!
+//! * [`Golden`] — the functional tier: in-order, one instruction per
+//!   unit of progress, no timing model, no co-processor taps. Orders of
+//!   magnitude faster than the pipeline.
+//! * [`Pipeline`] — the cycle-accurate tier: the full superscalar
+//!   out-of-order machine with the RSE co-processor interface.
+//!
+//! The [`Cpu`] trait is the seam the tiered driver (in `rse-sys`)
+//! switches across: each backend exposes its architectural state as a
+//! [`CpuContext`] plus raw memory, a monotone *progress* clock
+//! (instructions for the functional tier, cycles for the pipeline), and
+//! an absolute-deadline run loop. The dual-backend split follows the
+//! standard emulated-vs-cycle-accurate simulator layering.
+
+use crate::coproc::{CoProcessor, CoprocException};
+use crate::golden::{Golden, GoldenEvent};
+use crate::machine::{CpuContext, Pipeline, StepEvent};
+use rse_isa::Reg;
+use rse_mem::SparseMemory;
+
+/// Why a [`Cpu`] run loop stopped. The common subset of [`GoldenEvent`]
+/// and [`StepEvent`]: the functional tier never raises co-processor
+/// exceptions (it has no co-processor), so [`ExecEvent::Exception`] can
+/// only come from the cycle-accurate tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEvent {
+    /// A `halt` executed/committed; the run is finished.
+    Halted,
+    /// A `syscall` executed/committed; service it and call
+    /// [`Cpu::resume_after_syscall`].
+    Syscall,
+    /// A co-processor module raised an exception (cycle-accurate tier
+    /// only).
+    Exception(CoprocException),
+    /// The progress deadline was reached.
+    OutOfFuel,
+}
+
+/// A guest-ISA executor: the trait implemented by both the functional
+/// interpreter and the cycle-accurate pipeline.
+///
+/// # Contract
+///
+/// * `arch_context` is exact whenever the executor is at an
+///   architectural boundary: always for [`Golden`]; at reset, after a
+///   syscall/halt event, or after [`Pipeline::drain`] for [`Pipeline`].
+/// * `progress` is monotone and never rewinds; `run_for(cp, fuel)` runs
+///   until `progress` has advanced by at most `fuel` (functional:
+///   instructions; pipeline: cycles) or an event fires first.
+/// * `install_context` + writes into `memory_mut` constitute a warm
+///   start; the pipeline additionally requires its caches invalidated
+///   by the caller (the tiered driver does this).
+pub trait Cpu {
+    /// Architectural registers + next PC (see the exactness contract).
+    fn arch_context(&self) -> CpuContext;
+    /// Installs registers + PC (warm-state handoff / context switch).
+    fn install_context(&mut self, ctx: &CpuContext);
+    /// The backing physical memory.
+    fn memory(&self) -> &SparseMemory;
+    /// Mutable backing memory (for page restores during handoff).
+    fn memory_mut(&mut self) -> &mut SparseMemory;
+    /// Executes until an event or until progress advances by `fuel`.
+    fn run_for(&mut self, cp: &mut dyn CoProcessor, fuel: u64) -> ExecEvent;
+    /// Resumes after [`ExecEvent::Syscall`], optionally redirecting.
+    fn resume_after_syscall(&mut self, pc: Option<u32>);
+    /// Writes a register (e.g. a syscall result), honoring the zero wire.
+    fn write_reg(&mut self, reg: Reg, value: u32);
+    /// Whether a `halt` has executed/committed.
+    fn halted(&self) -> bool;
+    /// The progress clock: instructions executed (functional tier) or
+    /// cycles elapsed (cycle-accurate tier).
+    fn progress(&self) -> u64;
+}
+
+impl Cpu for Golden {
+    fn arch_context(&self) -> CpuContext {
+        CpuContext {
+            regs: self.regs,
+            pc: self.pc,
+        }
+    }
+
+    fn install_context(&mut self, ctx: &CpuContext) {
+        self.regs = ctx.regs;
+        self.pc = ctx.pc;
+    }
+
+    fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    fn run_for(&mut self, _cp: &mut dyn CoProcessor, fuel: u64) -> ExecEvent {
+        match self.run(fuel) {
+            GoldenEvent::Halted => ExecEvent::Halted,
+            GoldenEvent::Syscall => ExecEvent::Syscall,
+            GoldenEvent::OutOfFuel => ExecEvent::OutOfFuel,
+        }
+    }
+
+    fn resume_after_syscall(&mut self, pc: Option<u32>) {
+        self.resume(pc);
+    }
+
+    fn write_reg(&mut self, reg: Reg, value: u32) {
+        self.set_reg(reg, value);
+    }
+
+    fn halted(&self) -> bool {
+        self.is_halted()
+    }
+
+    fn progress(&self) -> u64 {
+        self.executed
+    }
+}
+
+impl Cpu for Pipeline {
+    fn arch_context(&self) -> CpuContext {
+        self.context()
+    }
+
+    fn install_context(&mut self, ctx: &CpuContext) {
+        self.set_context(ctx);
+    }
+
+    fn memory(&self) -> &SparseMemory {
+        &self.mem().memory
+    }
+
+    fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem_mut().memory
+    }
+
+    fn run_for(&mut self, cp: &mut dyn CoProcessor, fuel: u64) -> ExecEvent {
+        match self.run(cp, fuel) {
+            StepEvent::Halted => ExecEvent::Halted,
+            StepEvent::Syscall => ExecEvent::Syscall,
+            StepEvent::Exception(e) => ExecEvent::Exception(e),
+            StepEvent::Timeout => ExecEvent::OutOfFuel,
+        }
+    }
+
+    fn resume_after_syscall(&mut self, pc: Option<u32>) {
+        self.resume(pc);
+    }
+
+    fn write_reg(&mut self, reg: Reg, value: u32) {
+        self.set_reg(reg, value);
+    }
+
+    fn halted(&self) -> bool {
+        self.is_halted()
+    }
+
+    fn progress(&self) -> u64 {
+        self.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coproc::NullCoProcessor;
+    use rse_isa::asm::assemble;
+
+    #[test]
+    fn both_backends_agree_through_the_trait() {
+        let image =
+            assemble("main: li r8, 0\nli r9, 25\nloop: addi r8, r8, 1\nbne r8, r9, loop\nhalt")
+                .unwrap();
+        let mut cp = NullCoProcessor;
+        let mut golden = Golden::new(&image);
+        let mut pipe = Pipeline::new(
+            crate::config::PipelineConfig::default(),
+            rse_mem::MemorySystem::new(rse_mem::MemConfig::baseline()),
+        );
+        pipe.load_image(&image);
+        let backends: [&mut dyn Cpu; 2] = [&mut golden, &mut pipe];
+        let mut contexts = Vec::new();
+        for cpu in backends {
+            assert_eq!(cpu.run_for(&mut cp, 1_000_000), ExecEvent::Halted);
+            assert!(cpu.halted());
+            assert!(cpu.progress() > 0);
+            contexts.push(cpu.arch_context().regs);
+        }
+        assert_eq!(contexts[0], contexts[1]);
+    }
+}

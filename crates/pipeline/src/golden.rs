@@ -32,6 +32,15 @@ pub struct Golden {
     /// Instructions executed.
     pub executed: u64,
     halted: bool,
+    text_base: u32,
+    /// Decode cache over the text segment: `(raw word, decoded)` per
+    /// word slot. Validated against the actual memory word on every
+    /// fetch, so it can never serve stale decodes — it only skips the
+    /// `decode` call, which dominates the interpreter loop otherwise.
+    /// Memory mutated behind the interpreter's back (checkpoint
+    /// restores, injected text faults) is therefore still fetched
+    /// correctly.
+    icache: Vec<(u32, Inst)>,
 }
 
 impl Golden {
@@ -51,6 +60,12 @@ impl Golden {
             mem,
             executed: 0,
             halted: false,
+            text_base: image.text_base,
+            icache: image
+                .text
+                .iter()
+                .map(|&w| (w, decode(w).unwrap_or(Inst::Nop)))
+                .collect(),
         }
     }
 
@@ -77,15 +92,46 @@ impl Golden {
         reg.map_or(0, |r| self.regs[r.index()])
     }
 
-    /// Executes until halt, syscall, or `fuel` instructions.
-    pub fn run(&mut self, mut fuel: u64) -> GoldenEvent {
+    /// Executes until halt, syscall, or `fuel` more instructions.
+    ///
+    /// Equivalent to [`Golden::run_until`]`(self.executed + fuel)`: the
+    /// budget is anchored to the cumulative instruction counter, so a
+    /// run paused at a syscall and resumed with the *remaining* fuel
+    /// stops at exactly the same instruction as an uninterrupted run.
+    /// Callers that pause and resume should prefer `run_until` with an
+    /// absolute deadline — it makes the bookkeeping impossible to get
+    /// wrong, which is what the tiered driver's deterministic switch
+    /// points rely on.
+    pub fn run(&mut self, fuel: u64) -> GoldenEvent {
+        self.run_until(self.executed.saturating_add(fuel))
+    }
+
+    /// Executes until halt, syscall, or until the cumulative executed
+    /// instruction count reaches `deadline` (an *absolute* point on the
+    /// [`Golden::executed`] clock, mirroring how `Pipeline::run`'s
+    /// deadline is absolute on the cycle clock). Pausing at a syscall
+    /// consumes no budget beyond the syscall instruction itself:
+    /// resuming and calling `run_until` with the same deadline lands on
+    /// exactly the same final instruction as a never-paused run.
+    pub fn run_until(&mut self, deadline: u64) -> GoldenEvent {
         if self.halted {
             return GoldenEvent::Halted;
         }
-        while fuel > 0 {
-            fuel -= 1;
+        while self.executed < deadline {
             let word = self.mem.read_u32(self.pc);
-            let inst = decode(word).unwrap_or(Inst::Nop);
+            // Fetch through the decode cache when the PC lands on a text
+            // slot; the word comparison keeps it exact under any memory
+            // mutation (and any slot aliasing from unaligned PCs).
+            let slot = (self.pc.wrapping_sub(self.text_base) / 4) as usize;
+            let inst = match self.icache.get_mut(slot) {
+                Some(entry) if self.pc.wrapping_sub(self.text_base).is_multiple_of(4) => {
+                    if entry.0 != word {
+                        *entry = (word, decode(word).unwrap_or(Inst::Nop));
+                    }
+                    entry.1
+                }
+                _ => decode(word).unwrap_or(Inst::Nop),
+            };
             self.executed += 1;
             let mut next = self.pc.wrapping_add(4);
             let [s0, s1] = inst.sources();
@@ -195,6 +241,60 @@ mod tests {
         g.resume(None);
         assert_eq!(g.run(100), GoldenEvent::Halted);
         assert_eq!(g.regs[10], 55);
+    }
+
+    /// A paused-and-resumed run must consume exactly the same fuel as an
+    /// uninterrupted one: `run_until` anchors the budget to the absolute
+    /// `executed` clock, so syscall pauses grant no extra instructions.
+    /// This is what makes tiered switch points deterministic.
+    #[test]
+    fn fuel_accounting_is_exact_across_syscall_pauses() {
+        // Three syscalls interleaved with ALU work, then a loop.
+        let src = "main: li r8, 1\nsyscall\naddi r8, r8, 1\nsyscall\naddi r8, r8, 1\nsyscall\n\
+                   li r9, 6\nloop: addi r8, r8, 1\nbne r8, r9, loop\nhalt";
+        let image = assemble(src).unwrap();
+        // Uninterrupted equivalent: count every instruction to the halt.
+        let mut free = Golden::new(&image);
+        while free.run(u64::MAX) == GoldenEvent::Syscall {
+            free.resume(None);
+        }
+        let total = free.executed;
+        assert!(free.is_halted());
+        // For every absolute deadline, the paused-and-resumed run must
+        // stop at exactly the same instruction count as the free run.
+        for deadline in 0..=total {
+            let mut g = Golden::new(&image);
+            loop {
+                match g.run_until(deadline) {
+                    GoldenEvent::Syscall => g.resume(None),
+                    GoldenEvent::Halted => break,
+                    GoldenEvent::OutOfFuel => break,
+                }
+            }
+            let expected = deadline.min(total);
+            assert_eq!(
+                g.executed, expected,
+                "deadline {deadline}: paused run consumed {} instructions, want {expected}",
+                g.executed
+            );
+            assert_eq!(g.is_halted(), deadline >= total);
+        }
+        // Relative fuel stays exact too when the caller deducts what a
+        // paused segment consumed (run delegates to run_until).
+        let mut g = Golden::new(&image);
+        let mut fuel = total;
+        loop {
+            let before = g.executed;
+            match g.run(fuel) {
+                GoldenEvent::Syscall => {
+                    fuel -= g.executed - before;
+                    g.resume(None);
+                }
+                _ => break,
+            }
+        }
+        assert_eq!(g.executed, total);
+        assert!(g.is_halted());
     }
 
     #[test]

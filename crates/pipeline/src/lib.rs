@@ -44,6 +44,7 @@
 
 mod config;
 mod coproc;
+pub mod cpu;
 mod exec;
 pub mod golden;
 mod machine;
@@ -54,6 +55,7 @@ pub use config::{CheckPolicy, PipelineConfig};
 pub use coproc::{
     CoProcessor, CommitGate, CoprocException, DispatchInfo, ExecuteInfo, NullCoProcessor, RobId,
 };
+pub use cpu::{Cpu, ExecEvent};
 pub use exec::exec_alu;
 pub use golden::{Golden, GoldenEvent};
 pub use machine::{CpuContext, FetchFault, Pipeline, SoftFault, StepEvent};

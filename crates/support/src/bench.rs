@@ -248,6 +248,19 @@ impl Harness {
         &self.results
     }
 
+    /// Median-time speedup of `contender` over `baseline` (how many
+    /// times faster the contender ran). `None` until both benchmarks
+    /// have been recorded.
+    pub fn speedup(&self, baseline: &str, contender: &str) -> Option<f64> {
+        let median = |n: &str| {
+            self.results
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, s)| s.median_ns)
+        };
+        Some(median(baseline)? / median(contender)?)
+    }
+
     /// Finishes the run (prints a terse footer).
     pub fn finish(self) {
         println!("\n{} benchmark(s) complete", self.results.len());
@@ -342,5 +355,8 @@ mod tests {
         for (_, s) in h.results() {
             assert!(s.median_ns > 0.0 && s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
         }
+        let ratio = h.speedup("tiny/add", "grp/mul").unwrap();
+        assert!(ratio > 0.0 && ratio.is_finite());
+        assert!(h.speedup("tiny/add", "missing").is_none());
     }
 }

@@ -32,7 +32,9 @@ pub mod loader;
 pub mod os;
 pub mod recovery;
 pub mod rerand;
+pub mod tiered;
 
 pub use checkpoint::{CheckpointConfig, CheckpointStore};
 pub use os::{Os, OsConfig, OsExit, ThreadState};
 pub use recovery::{recover, RecoveryOutcome};
+pub use tiered::{Tier, TieredDriver, TieredStats, Window};

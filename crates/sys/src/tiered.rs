@@ -1,0 +1,492 @@
+//! Tiered execution: a functional fast-path with cycle-accurate fault
+//! windows.
+//!
+//! Injection campaigns and fleet soaks only need cycle accuracy *inside*
+//! the window where something microarchitectural happens — a scheduled
+//! fault, a heartbeat deadline, an attack probe. Everywhere else the
+//! guest is just architecturally marching forward, and the functional
+//! interpreter reproduces that march orders of magnitude faster. The
+//! [`TieredDriver`] runs the [`Golden`](rse_pipeline::Golden) tier until
+//! `margin` progress units before the window opens, performs a
+//! **warm-state handoff** (architectural snapshot through the
+//! [`CheckpointStore`] page plumbing → pipeline state install), runs the
+//! [`Pipeline`](rse_pipeline::Pipeline) tier through the window, and
+//! hands back out after it closes (draining the pipeline to an exact
+//! commit boundary first).
+//!
+//! # Handoff invariants
+//!
+//! * **Architectural equality.** A handoff copies the full architectural
+//!   state — registers, PC, and every mapped memory page — between
+//!   backends. Pages travel through a [`CheckpointStore`] in sorted page
+//!   order (the same plumbing the OS SavePage handler uses), so the
+//!   transfer is canonical and deterministic. Pipeline caches are
+//!   invalidated after a page install, exactly as `load_image` does.
+//! * **Boundary exactness.** Functional→pipeline handoffs can happen at
+//!   any instruction (the interpreter is always at a boundary);
+//!   pipeline→functional handoffs first [`Pipeline::drain`] the machine
+//!   so no speculative or in-flight state is lost.
+//! * **Clock continuity.** The driver keeps one unified progress clock:
+//!   functional instructions count one unit each, pipeline cycles count
+//!   one unit each, and the pipeline's cycle counter is advanced to the
+//!   unified clock at handoff ([`Pipeline::advance_clock`]). The clock
+//!   never rewinds, so faults and deadlines scheduled on it stay
+//!   meaningful. The functional tier's one-instruction-per-unit rate is
+//!   *not* the pipeline's real IPC — see the window policy below.
+//!
+//! # Window policy
+//!
+//! A [`Window`] declares where cycle accuracy must already be live
+//! (`open`), where it may lapse again (`close`), and how many units of
+//! cycle-accurate warm-up the switch must allow (`margin`). The driver
+//! guarantees the pipeline tier is running from unified-clock
+//! `open − margin` through `close`. Two consequences:
+//!
+//! * `Window::whole_run()` (open = 0) means the driver never leaves the
+//!   pipeline: classification-exact mode. The injection campaigns use
+//!   this for *faulty* runs, whose JSONL records pin exact cycle counts
+//!   — tiering there would change the record bytes. Their fault-free
+//!   segments (golden re-execution after checkpoint rollback) use
+//!   [`Window::none`] instead, which is where the campaign speedup
+//!   comes from.
+//! * Because the functional tier undercounts (high-IPC code) or
+//!   overcounts (stall-heavy code) real pipeline time, a window placed
+//!   at unified-clock `c` does not land at the same *architectural*
+//!   point as cycle `c` of a pure pipeline run. Tiered mode trades that
+//!   placement fidelity for speed; anything byte-pinned must use
+//!   `whole_run` (or stay off the tiered path entirely).
+
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore};
+use rse_isa::layout::{page_base, PAGE_SIZE};
+use rse_isa::{Image, Reg};
+use rse_mem::{MemConfig, MemorySystem, SparseMemory};
+use rse_pipeline::{
+    CoProcessor, Cpu, CpuContext, ExecEvent, Golden, Pipeline, PipelineConfig, StepEvent,
+};
+
+/// Where cycle accuracy must be live on the driver's unified clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First unified-clock point that must execute cycle-accurately.
+    pub open: u64,
+    /// Point after which the driver may hand back to the functional
+    /// tier (`None`: stay cycle-accurate to the end).
+    pub close: Option<u64>,
+    /// Cycle-accurate warm-up units executed before `open`: the driver
+    /// switches at `open.saturating_sub(margin)`.
+    pub margin: u64,
+}
+
+impl Window {
+    /// Cycle-accurate from the first cycle to the end:
+    /// classification-exact mode, byte-identical to an untiered run.
+    pub fn whole_run() -> Window {
+        Window {
+            open: 0,
+            close: None,
+            margin: 0,
+        }
+    }
+
+    /// No cycle-accurate window at all: the run is architecturally
+    /// deterministic (fault-free), so the functional tier's result is
+    /// exact and the pipeline is never entered.
+    pub fn none() -> Window {
+        Window {
+            open: u64::MAX,
+            close: None,
+            margin: 0,
+        }
+    }
+
+    /// A window opening at `open` (with `margin` warm-up units) and
+    /// closing at `close`.
+    pub fn around(open: u64, close: u64, margin: u64) -> Window {
+        Window {
+            open,
+            close: Some(close),
+            margin,
+        }
+    }
+
+    /// The unified-clock point where the driver switches tiers.
+    pub fn switch_at(&self) -> u64 {
+        self.open.saturating_sub(self.margin)
+    }
+}
+
+/// Which backend is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The golden in-order interpreter.
+    Functional,
+    /// The out-of-order pipeline.
+    CycleAccurate,
+}
+
+/// Handoff and progress counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieredStats {
+    /// Functional→pipeline handoffs performed.
+    pub handoffs_in: u64,
+    /// Pipeline→functional handoffs performed.
+    pub handoffs_out: u64,
+    /// Unified-clock units spent in the functional tier.
+    pub functional_units: u64,
+    /// Unified-clock units spent in the cycle-accurate tier (including
+    /// drain cycles).
+    pub cycle_accurate_units: u64,
+}
+
+/// The tiered execution driver: one guest, two backends, a unified
+/// progress clock, and warm-state handoffs between them.
+#[derive(Debug)]
+pub struct TieredDriver {
+    golden: Golden,
+    pipeline: Pipeline,
+    tier: Tier,
+    clock: u64,
+    stats: TieredStats,
+    store: CheckpointStore,
+}
+
+impl TieredDriver {
+    /// Creates a driver with `image` loaded into both backends. The
+    /// pipeline tier is built from `(pipe, mem)` exactly as the
+    /// untiered harness would build it.
+    pub fn new(image: &Image, pipe: PipelineConfig, mem: MemConfig) -> TieredDriver {
+        let golden = Golden::new(image);
+        let mut pipeline = Pipeline::new(pipe, MemorySystem::new(mem));
+        pipeline.load_image(image);
+        TieredDriver {
+            golden,
+            pipeline,
+            tier: Tier::Functional,
+            clock: 0,
+            stats: TieredStats::default(),
+            // Never garbage-collect mid-handoff: a collected page would
+            // make the transfer lossy. The capacity bound is per-handoff
+            // (the store is cleared each time), so this is just "large
+            // enough for any mapped guest".
+            store: CheckpointStore::new(CheckpointConfig {
+                capacity: usize::MAX / 2,
+                gc_age_threshold: u64::MAX,
+            }),
+        }
+    }
+
+    /// The active tier.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// The unified progress clock (functional instructions + pipeline
+    /// cycles, monotone).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Handoff and tier-residency counters.
+    pub fn stats(&self) -> TieredStats {
+        self.stats
+    }
+
+    /// The active tier's architectural registers.
+    pub fn regs(&self) -> &[u32; 32] {
+        match self.tier {
+            Tier::Functional => &self.golden.regs,
+            Tier::CycleAccurate => self.pipeline.regs(),
+        }
+    }
+
+    /// The active tier's memory.
+    pub fn memory(&self) -> &SparseMemory {
+        match self.tier {
+            Tier::Functional => &self.golden.mem,
+            Tier::CycleAccurate => &self.pipeline.mem().memory,
+        }
+    }
+
+    /// Mutable memory of the active tier (pre-run page restores).
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        match self.tier {
+            Tier::Functional => &mut self.golden.mem,
+            Tier::CycleAccurate => &mut self.pipeline.mem_mut().memory,
+        }
+    }
+
+    /// Installs registers + PC into the active tier.
+    pub fn install_context(&mut self, ctx: &CpuContext) {
+        match self.tier {
+            Tier::Functional => Cpu::install_context(&mut self.golden, ctx),
+            Tier::CycleAccurate => self.pipeline.set_context(ctx),
+        }
+    }
+
+    /// Resumes the active tier after an [`ExecEvent::Syscall`].
+    pub fn resume(&mut self, pc: Option<u32>) {
+        match self.tier {
+            Tier::Functional => self.golden.resume(pc),
+            Tier::CycleAccurate => self.pipeline.resume(pc),
+        }
+    }
+
+    /// Writes a register in the active tier (syscall results), honoring
+    /// the zero wire.
+    pub fn set_reg(&mut self, reg: Reg, value: u32) {
+        match self.tier {
+            Tier::Functional => self.golden.set_reg(reg, value),
+            Tier::CycleAccurate => self.pipeline.set_reg(reg, value),
+        }
+    }
+
+    /// Whether a `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        match self.tier {
+            Tier::Functional => self.golden.is_halted(),
+            Tier::CycleAccurate => self.pipeline.is_halted(),
+        }
+    }
+
+    /// Runs under `window` until halt, syscall, co-processor exception,
+    /// or until the unified clock reaches `deadline`. May be called
+    /// repeatedly (after servicing a syscall, or with a later window to
+    /// schedule another cycle-accurate interval).
+    pub fn run(&mut self, cp: &mut dyn CoProcessor, window: &Window, deadline: u64) -> ExecEvent {
+        loop {
+            if self.clock >= deadline {
+                return ExecEvent::OutOfFuel;
+            }
+            match self.tier {
+                Tier::Functional => {
+                    // Inside a still-open window the functional tier may
+                    // not run at all: switch first.
+                    let stop = deadline.min(window.switch_at());
+                    if self.clock < stop || self.window_passed(window) {
+                        let run_to = if self.window_passed(window) {
+                            deadline
+                        } else {
+                            stop
+                        };
+                        let before = self.golden.executed;
+                        let ev = self
+                            .golden
+                            .run_until(self.golden.executed + (run_to - self.clock));
+                        let used = self.golden.executed - before;
+                        self.clock += used;
+                        self.stats.functional_units += used;
+                        match ev {
+                            rse_pipeline::GoldenEvent::Halted => return ExecEvent::Halted,
+                            rse_pipeline::GoldenEvent::Syscall => return ExecEvent::Syscall,
+                            rse_pipeline::GoldenEvent::OutOfFuel => {}
+                        }
+                        continue;
+                    }
+                    self.handoff_to_pipeline();
+                }
+                Tier::CycleAccurate => {
+                    if self.window_passed(window) {
+                        // The window closed behind us: drain out and hand
+                        // back to the functional tier.
+                        if let Some(ev) = self.handoff_to_functional(cp) {
+                            return ev;
+                        }
+                        continue;
+                    }
+                    let stop = deadline.min(window.close.unwrap_or(u64::MAX));
+                    let before = self.pipeline.now();
+                    let ev = self.pipeline.run(cp, stop - self.clock);
+                    self.clock = self.pipeline.now();
+                    self.stats.cycle_accurate_units += self.pipeline.now() - before;
+                    match ev {
+                        StepEvent::Halted => return ExecEvent::Halted,
+                        StepEvent::Syscall => return ExecEvent::Syscall,
+                        StepEvent::Exception(e) => return ExecEvent::Exception(e),
+                        StepEvent::Timeout => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `window` has closed at or before the current clock.
+    fn window_passed(&self, window: &Window) -> bool {
+        window.close.is_some_and(|c| self.clock >= c)
+    }
+
+    /// Functional → cycle-accurate: snapshot the golden tier's
+    /// architectural state through the checkpoint store and install it
+    /// into the pipeline.
+    fn handoff_to_pipeline(&mut self) {
+        debug_assert_eq!(self.tier, Tier::Functional);
+        let ctx = Cpu::arch_context(&self.golden);
+        transfer_pages(
+            self.clock,
+            &mut self.store,
+            &self.golden.mem,
+            &mut self.pipeline.mem_mut().memory,
+        );
+        self.pipeline.mem_mut().invalidate_caches();
+        self.pipeline.set_context(&ctx);
+        self.pipeline.advance_clock(self.clock);
+        self.tier = Tier::CycleAccurate;
+        self.stats.handoffs_in += 1;
+    }
+
+    /// Cycle-accurate → functional: drain the pipeline to an exact
+    /// commit boundary, then copy its architectural state back. If the
+    /// drain itself surfaces an event, the driver stays cycle-accurate
+    /// and returns it (mapped); `None` means the handoff completed.
+    fn handoff_to_functional(&mut self, cp: &mut dyn CoProcessor) -> Option<ExecEvent> {
+        debug_assert_eq!(self.tier, Tier::CycleAccurate);
+        let before = self.pipeline.now();
+        let drained = self.pipeline.drain(cp);
+        self.clock = self.pipeline.now();
+        self.stats.cycle_accurate_units += self.pipeline.now() - before;
+        match drained {
+            Some(StepEvent::Halted) => return Some(ExecEvent::Halted),
+            Some(StepEvent::Syscall) => return Some(ExecEvent::Syscall),
+            Some(StepEvent::Exception(e)) => return Some(ExecEvent::Exception(e)),
+            Some(StepEvent::Timeout) | None => {}
+        }
+        let ctx = self.pipeline.context();
+        transfer_pages(
+            self.clock,
+            &mut self.store,
+            &self.pipeline.mem().memory,
+            &mut self.golden.mem,
+        );
+        Cpu::install_context(&mut self.golden, &ctx);
+        // The golden instruction counter keeps its own total; the
+        // driver's unified clock is authoritative.
+        self.tier = Tier::Functional;
+        self.stats.handoffs_out += 1;
+        None
+    }
+}
+
+/// Copies every mapped page of `src` into `dst` through a
+/// [`CheckpointStore`] (sorted page order, canonical), and zeroes pages
+/// mapped only in `dst` so the destination holds exactly the source
+/// image afterwards.
+fn transfer_pages(
+    now: u64,
+    store: &mut CheckpointStore,
+    src: &SparseMemory,
+    dst: &mut SparseMemory,
+) {
+    store.clear();
+    let src_pages = src.mapped_page_ids_sorted();
+    for &page in &src_pages {
+        store.store(Checkpoint {
+            page,
+            data: src.snapshot_page(page_base(page)),
+            saved_at: now,
+            writer: 0,
+        });
+    }
+    for page in dst.mapped_page_ids_sorted() {
+        if src_pages.binary_search(&page).is_err() {
+            dst.restore_page(page_base(page), &[0u8; PAGE_SIZE as usize]);
+        }
+    }
+    for &page in &src_pages {
+        let cp = store.earliest_for(page).expect("just stored");
+        dst.restore_page(page_base(page), &cp.data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rse_isa::asm::assemble;
+    use rse_pipeline::NullCoProcessor;
+
+    const LOOP_SRC: &str = "main: li r8, 0\nli r9, 200\nli r11, 0\n\
+         loop: addi r8, r8, 1\nxor r11, r11, r8\nsw r11, 0(r29)\nbne r8, r9, loop\nhalt";
+
+    fn golden_only(src: &str) -> ([u32; 32], u64) {
+        let image = assemble(src).unwrap();
+        let mut g = Golden::new(&image);
+        assert_eq!(g.run(u64::MAX), rse_pipeline::GoldenEvent::Halted);
+        (g.regs, g.executed)
+    }
+
+    #[test]
+    fn whole_run_window_is_pure_pipeline() {
+        let image = assemble(LOOP_SRC).unwrap();
+        let mut d = TieredDriver::new(&image, PipelineConfig::default(), MemConfig::baseline());
+        let ev = d.run(&mut NullCoProcessor, &Window::whole_run(), u64::MAX / 2);
+        assert_eq!(ev, ExecEvent::Halted);
+        assert_eq!(d.stats().functional_units, 0);
+        assert_eq!(d.stats().handoffs_in, 1, "one switch, at clock 0");
+        let (gold, _) = golden_only(LOOP_SRC);
+        assert_eq!(d.regs(), &gold);
+    }
+
+    #[test]
+    fn no_window_is_pure_functional() {
+        let image = assemble(LOOP_SRC).unwrap();
+        let mut d = TieredDriver::new(&image, PipelineConfig::default(), MemConfig::baseline());
+        let ev = d.run(&mut NullCoProcessor, &Window::none(), u64::MAX / 2);
+        assert_eq!(ev, ExecEvent::Halted);
+        assert_eq!(d.stats().cycle_accurate_units, 0);
+        assert_eq!(d.stats().handoffs_in, 0);
+        let (gold, _) = golden_only(LOOP_SRC);
+        assert_eq!(d.regs(), &gold);
+    }
+
+    #[test]
+    fn windowed_run_matches_golden_state() {
+        let (gold, total) = golden_only(LOOP_SRC);
+        // Open a cycle-accurate window in the middle of the run, close
+        // it before the end: functional → pipeline → functional.
+        for (open, close) in [(50u64, 120u64), (1, 2), (total - 5, total + 50)] {
+            let image = assemble(LOOP_SRC).unwrap();
+            let mut d = TieredDriver::new(&image, PipelineConfig::default(), MemConfig::baseline());
+            let ev = d.run(
+                &mut NullCoProcessor,
+                &Window::around(open, close, 10),
+                u64::MAX / 2,
+            );
+            assert_eq!(ev, ExecEvent::Halted, "window {open}..{close}");
+            assert_eq!(d.regs(), &gold, "window {open}..{close} diverged");
+            assert!(d.stats().handoffs_in >= 1);
+        }
+    }
+
+    #[test]
+    fn repeated_windows_hand_off_both_ways() {
+        let (gold, _) = golden_only(LOOP_SRC);
+        let image = assemble(LOOP_SRC).unwrap();
+        let mut d = TieredDriver::new(&image, PipelineConfig::default(), MemConfig::baseline());
+        // March several disjoint windows across the run.
+        let mut ev = ExecEvent::OutOfFuel;
+        for k in 0..6u64 {
+            let w = Window::around(40 + 80 * k, 80 + 80 * k, 8);
+            ev = d.run(&mut NullCoProcessor, &w, u64::MAX / 2);
+            if ev == ExecEvent::Halted {
+                break;
+            }
+            // OutOfFuel cannot happen with this deadline; syscalls are
+            // not part of the program.
+            assert_eq!(ev, ExecEvent::Halted);
+        }
+        assert_eq!(ev, ExecEvent::Halted);
+        assert_eq!(d.regs(), &gold);
+        assert!(d.stats().handoffs_out >= 1, "{:?}", d.stats());
+    }
+
+    #[test]
+    fn deadline_is_honored_across_tiers() {
+        let image = assemble(LOOP_SRC).unwrap();
+        let mut d = TieredDriver::new(&image, PipelineConfig::default(), MemConfig::baseline());
+        let ev = d.run(&mut NullCoProcessor, &Window::around(30, 60, 5), 40);
+        assert_eq!(ev, ExecEvent::OutOfFuel);
+        assert!(
+            d.clock() >= 40,
+            "clock {} must reach the deadline",
+            d.clock()
+        );
+    }
+}

@@ -93,4 +93,50 @@ echo "== fleet control soak (zero faults => 0 failovers, 0 false suspicions)"
 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
   --control --runs 2 --no-table >/dev/null
 
+echo "== tiered + sharded smoke campaigns (must be byte-identical to golden)"
+# Neither the functional fast-path (--tiered) nor run-level sharding
+# (--threads) may change a single output byte: faulted runs stay fully
+# cycle-accurate and the sharded merge is ordered by run index. All
+# three variants must match the same pinned golden as the sequential
+# smoke campaign above.
+TIER_A="$(mktemp)"; SHARD_A="$(mktemp)"; BOTH_A="$(mktemp)"; FLEET_T="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T"' EXIT
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --smoke --no-table --tiered --out "$TIER_A" 2>/dev/null
+diff -u tests/golden/campaign_smoke.jsonl "$TIER_A" \
+  || { echo "FAIL: --tiered smoke campaign diverges from pinned golden"; exit 1; }
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --smoke --no-table --threads 4 --out "$SHARD_A" 2>/dev/null
+diff -u tests/golden/campaign_smoke.jsonl "$SHARD_A" \
+  || { echo "FAIL: 4-thread smoke campaign diverges from pinned golden"; exit 1; }
+cargo run --release --offline -q -p rse-bench --bin campaign -- \
+  --smoke --no-table --tiered --threads 4 --out "$BOTH_A" 2>/dev/null
+diff -u tests/golden/campaign_smoke.jsonl "$BOTH_A" \
+  || { echo "FAIL: tiered+sharded smoke campaign diverges from pinned golden"; exit 1; }
+echo "tiered/sharded smoke campaigns: byte-identical to pinned golden"
+
+echo "== tiered fleet soak (cross-tier verification, same golden)"
+cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
+  --smoke --no-table --tiered --out "$FLEET_T" 2>/dev/null
+diff -u tests/golden/fleet_soak_smoke.jsonl "$FLEET_T" \
+  || { echo "FAIL: --tiered fleet soak diverges from pinned golden"; exit 1; }
+echo "tiered fleet soak: byte-identical to pinned golden"
+
+echo "== tiered execution speed curve (BENCH_tiered.json, gate >= 5x)"
+# Regenerates the committed perf-trajectory artifact and gates the
+# smoke_baseline/smoke_tiered median speedup at 5x (measured ~8x; the
+# margin absorbs noisy CI hosts).
+rm -f BENCH_tiered.json
+RSE_BENCH_SAMPLES=5 RSE_BENCH_JSON="$PWD/BENCH_tiered.json" \
+  cargo bench -q --offline -p rse-bench --bench tiered
+awk -F'"median_ns":' '
+  /"name":"tiered\/smoke_baseline"/ { split($2, a, ","); base = a[1] }
+  /"name":"tiered\/smoke_tiered"/   { split($2, a, ","); tier = a[1] }
+  END {
+    if (base == "" || tier == "" || tier <= 0) { print "FAIL: bench JSON incomplete"; exit 1 }
+    x = base / tier
+    printf "tiered smoke speedup: %.1fx\n", x
+    if (x < 5) { print "FAIL: tiered speedup below 5x gate"; exit 1 }
+  }' BENCH_tiered.json || exit 1
+
 echo "CI OK"

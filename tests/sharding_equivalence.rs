@@ -1,0 +1,85 @@
+//! Sharded campaign equivalence: the run-level `--threads` sharding in
+//! `rse_inject::run_campaign_with` must produce byte-identical JSONL
+//! for every thread count, and the records must match the pinned smoke
+//! golden line-for-line.
+//!
+//! The spec here is two complete cells of the CI smoke campaign
+//! (`CampaignSpec::smoke(0xD5B)`): because per-run seeds depend only on
+//! `(base seed, workload, model, run index)`, those cells' records are
+//! exactly the corresponding lines of `tests/golden/campaign_smoke.jsonl`
+//! — so this test cross-checks the sharded merge order against the
+//! pinned artifact without paying for all 64 runs in debug mode. CI
+//! additionally runs the full `--smoke --threads 4` binary against the
+//! same golden in release mode.
+
+use rse_inject::{
+    run_campaign_with, to_jsonl, CampaignCell, CampaignOptions, CampaignSpec, FaultModel,
+};
+
+/// The smoke base seed pinned by `scripts/ci.sh` and the golden JSONL.
+const SMOKE_SEED: u64 = 0xD5B;
+
+fn subset_spec() -> CampaignSpec {
+    CampaignSpec {
+        base_seed: SMOKE_SEED,
+        cells: vec![
+            // Smoke cell 0 → pinned lines 0..8.
+            CampaignCell {
+                workload: "alu_loop",
+                model: FaultModel::RegSingle,
+                runs: 8,
+            },
+            // Smoke cell 2 → pinned lines 16..24.
+            CampaignCell {
+                workload: "mem_checksum",
+                model: FaultModel::RegDouble,
+                runs: 8,
+            },
+        ],
+    }
+}
+
+/// The pinned golden lines this subset must reproduce.
+fn pinned_subset() -> Vec<String> {
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/campaign_smoke.jsonl"
+    ))
+    .expect("pinned smoke golden exists");
+    let lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(lines.len(), 64, "pinned smoke golden is 64 runs");
+    lines[0..8]
+        .iter()
+        .chain(&lines[16..24])
+        .map(|l| l.to_string())
+        .collect()
+}
+
+#[test]
+fn sharded_output_is_byte_identical_across_thread_counts_and_matches_golden() {
+    let spec = subset_spec();
+    let sequential = to_jsonl(&run_campaign_with(
+        &spec,
+        &CampaignOptions {
+            tiered: false,
+            threads: 1,
+        },
+    ));
+    let expected: String = pinned_subset().into_iter().map(|l| l + "\n").collect();
+    assert_eq!(
+        sequential, expected,
+        "sequential subset diverged from the pinned smoke golden"
+    );
+    for threads in [2, 4, 16] {
+        for tiered in [false, true] {
+            let sharded = to_jsonl(&run_campaign_with(
+                &spec,
+                &CampaignOptions { tiered, threads },
+            ));
+            assert_eq!(
+                sharded, sequential,
+                "threads={threads} tiered={tiered} diverged from sequential output"
+            );
+        }
+    }
+}

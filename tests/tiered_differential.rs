@@ -1,0 +1,120 @@
+//! Three-way differential test for the tiered execution engine: every
+//! program runs golden-only, pipeline-only, and tiered with randomized
+//! switch points — the final architectural digests (registers + scratch
+//! buffer) must be identical regardless of where the driver switched
+//! tiers, because tier handoffs transfer the complete architectural
+//! state at an exact instruction/commit boundary.
+//!
+//! Two sources of programs and switch points:
+//!
+//! * the 32 pinned corpus programs with switch points derived from each
+//!   program's seed (deterministic, replayable),
+//! * freshly generated programs with proptest-drawn (and therefore
+//!   *shrinkable*) window positions — a failure shrinks to the smallest
+//!   op sequence and window that still diverges.
+
+mod common;
+
+use common::{emit, generate_program, op_strategy, run_golden, run_pipeline, state_digest};
+use rse::isa::asm::assemble;
+use rse::isa::Image;
+use rse::mem::MemConfig;
+use rse::pipeline::{ExecEvent, Golden, GoldenEvent, NullCoProcessor, PipelineConfig};
+use rse::sys::{TieredDriver, Window};
+use rse_support::prelude::*;
+use rse_support::rng::splitmix64;
+
+/// Instruction count of a full golden run (the unified-clock horizon
+/// tiered windows are placed against).
+fn golden_horizon(image: &Image) -> u64 {
+    let mut g = Golden::new(image);
+    assert_eq!(g.run(5_000_000), GoldenEvent::Halted, "golden must halt");
+    g.executed
+}
+
+/// Runs `image` under the tiered driver and returns the final
+/// architectural state in `run_golden`/`run_pipeline` shape.
+fn run_tiered(image: &Image, window: &Window) -> ([u32; 32], Vec<u8>, u32) {
+    let mut d = TieredDriver::new(image, PipelineConfig::default(), MemConfig::baseline());
+    let ev = d.run(&mut NullCoProcessor, window, 100_000_000);
+    assert_eq!(ev, ExecEvent::Halted, "tiered run must halt");
+    let base = image.symbol("scratch").unwrap();
+    let mut scratch = vec![0u8; 256];
+    d.memory().read_bytes(base, &mut scratch);
+    (*d.regs(), scratch, base)
+}
+
+/// A window placed from three draws: open point, width, and margin, all
+/// relative to the golden horizon. Degenerate draws intentionally cover
+/// the edges (window before the first or after the last instruction,
+/// zero-width, whole-run).
+fn window_from(horizon: u64, open_pick: u64, width_pick: u64, margin_pick: u64) -> Window {
+    let open = (open_pick % (horizon + 8)).saturating_sub(4);
+    let close = open + width_pick % (horizon + 4);
+    Window::around(open, close, margin_pick % 64)
+}
+
+#[test]
+fn corpus_programs_agree_across_tiers_at_seeded_switch_points() {
+    // The same seed schedule as `tests/golden_corpus.rs`.
+    let mut s = 0xC0FFEE_u64;
+    let seeds: Vec<u64> = (0..32).map(|_| splitmix64(&mut s)).collect();
+    for seed in seeds {
+        let image = assemble(&generate_program(seed)).expect("corpus program assembles");
+        let (gr, gs, _) = run_golden(&image);
+        let want = state_digest(&gr, &gs);
+        let horizon = golden_horizon(&image);
+        let mut w = seed;
+        for k in 0..3 {
+            let window = window_from(
+                horizon,
+                splitmix64(&mut w),
+                splitmix64(&mut w),
+                splitmix64(&mut w),
+            );
+            let (tr, ts, _) = run_tiered(&image, &window);
+            assert_eq!(
+                state_digest(&tr, &ts),
+                want,
+                "program {seed:#018x} window {k} ({window:?}, horizon {horizon}) diverged"
+            );
+        }
+        // Pure-functional and whole-run-cycle-accurate endpoints too.
+        let (fr, fs, _) = run_tiered(&image, &Window::none());
+        assert_eq!(
+            state_digest(&fr, &fs),
+            want,
+            "program {seed:#018x} functional"
+        );
+        let (cr, cs, _) = run_tiered(&image, &Window::whole_run());
+        assert_eq!(
+            state_digest(&cr, &cs),
+            want,
+            "program {seed:#018x} whole-run"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shrinkable three-way differential: op sequence AND window
+    /// position both shrink on failure.
+    #[test]
+    fn tiered_matches_golden_and_pipeline(
+        ops in rse_support::collection::vec(op_strategy(), 1..40),
+        open_pick in any::<u64>(),
+        width_pick in any::<u64>(),
+        margin_pick in any::<u64>(),
+    ) {
+        let image = assemble(&emit(&ops)).unwrap();
+        let (gr, gs, _) = run_golden(&image);
+        let want = state_digest(&gr, &gs);
+        let (pr, ps, _) = run_pipeline(&image, false);
+        prop_assert_eq!(state_digest(&pr, &ps), want, "pipeline vs golden");
+        let horizon = golden_horizon(&image);
+        let window = window_from(horizon, open_pick, width_pick, margin_pick);
+        let (tr, ts, _) = run_tiered(&image, &window);
+        prop_assert_eq!(state_digest(&tr, &ts), want, "tiered {:?} vs golden", window);
+    }
+}
