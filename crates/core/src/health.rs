@@ -34,7 +34,7 @@
 //!   installed modules are `Disabled`.
 
 /// Health of one module slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HealthState {
     /// Operating normally.
     Healthy,
@@ -67,7 +67,7 @@ impl HealthState {
 
 /// Why an anomaly was attributed to a module (the Table 2 symptom that
 /// the watchdog observed on the module's IOQ output bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AnomalyKind {
     /// A blocking CHECK of the module made no progress within the
     /// watchdog timeout (module stuck, or `checkValid` stuck at 0).
@@ -91,7 +91,7 @@ impl std::fmt::Display for AnomalyKind {
 }
 
 /// An input to the health state machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HealthEvent {
     /// A watchdog anomaly attributed to the module.
     Anomaly(AnomalyKind),
@@ -141,7 +141,7 @@ impl Default for HealthConfig {
 /// bookkeeping. Pure: transitions happen only through
 /// [`ModuleHealth::apply`], so the legal-edge set is a checkable
 /// property (see `crates/core/tests/health_properties.rs`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModuleHealth {
     state: HealthState,
     /// Anomalies in the current suspect episode.
@@ -199,6 +199,20 @@ impl ModuleHealth {
     /// Failed probes in the current quarantine episode.
     pub fn probe_attempts(&self) -> u32 {
         self.probe_attempts
+    }
+
+    /// Anomalies attributed in the current suspect episode (the counter
+    /// compared against [`HealthConfig::quarantine_threshold`]). Exposed
+    /// so external exhaustive explorers (`rse-mc`) can canonicalize the
+    /// machine's state through the public API.
+    pub fn anomaly_count(&self) -> u32 {
+        self.anomalies
+    }
+
+    /// Cycle of the most recent attributed anomaly (the reference point
+    /// of the `Suspect → Healthy` quiet-window decay).
+    pub fn last_anomaly_at(&self) -> Option<u64> {
+        self.last_anomaly_at
     }
 
     /// Cycle at which the next self-test probe may launch, if the module
@@ -441,22 +455,68 @@ mod tests {
     #[test]
     fn legal_edges_are_closed_over_random_events() {
         // Cheap in-module sanity; the full property test drives this via
-        // the rse-support harness.
-        let mut h = ModuleHealth::new();
-        let mut s: u64 = 0x1234;
-        for i in 0..10_000u64 {
-            s = s
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let ev = match s >> 60 {
-                0..=5 => HealthEvent::Anomaly(AnomalyKind::Timeout),
-                6..=9 => HealthEvent::Anomaly(AnomalyKind::ErrorBurst),
-                10..=11 => HealthEvent::ProbeSuccess,
-                12..=13 => HealthEvent::ProbeFailure,
-                _ => HealthEvent::Quiet,
+        // the rse-support harness, and the exhaustive proof lives in
+        // `rse-mc`. Both inclusion directions are asserted: every taken
+        // edge is legal (closure) AND every legal edge is taken
+        // (reverse completeness) — a silently-unreachable legal edge
+        // fails here too.
+        use std::collections::HashSet;
+        let mut observed: HashSet<(HealthState, HealthState)> = HashSet::new();
+        // Threshold 2 covers everything except the threshold-1 shortcut
+        // edge `Healthy → Quarantined`; a second pass covers that.
+        for threshold in [2u32, 1] {
+            let config = HealthConfig {
+                quarantine_threshold: threshold,
+                probe_base: 100,
+                probe_timeout: 50,
+                max_probe_attempts: 3,
+                suspect_decay: 50,
             };
-            let (from, to) = h.apply(&cfg(), i * 7, ev);
-            assert!(legal_edge(from, to), "illegal edge {from} -> {to}");
+            let mut h = ModuleHealth::new();
+            let mut now = 0u64;
+            let mut s: u64 = 0x1234 ^ u64::from(threshold);
+            for _ in 0..10_000u64 {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let ev = match s >> 60 {
+                    0..=5 => HealthEvent::Anomaly(AnomalyKind::Timeout),
+                    6..=9 => HealthEvent::Anomaly(AnomalyKind::ErrorBurst),
+                    10..=11 => HealthEvent::ProbeSuccess,
+                    12..=13 => HealthEvent::ProbeFailure,
+                    _ => HealthEvent::Quiet,
+                };
+                // Mostly small steps; an occasional jump past the decay
+                // window so the `Suspect → Healthy` back-edge is hit.
+                now += if (s >> 32) & 0xF == 0 {
+                    config.suspect_decay + 1
+                } else {
+                    1 + ((s >> 16) & 7)
+                };
+                let (from, to) = h.apply(&config, now, ev);
+                assert!(legal_edge(from, to), "illegal edge {from} -> {to}");
+                observed.insert((from, to));
+                // Disabled is absorbing: restart the machine so the
+                // sampler keeps visiting the live part of the graph.
+                if to == HealthState::Disabled && from == HealthState::Disabled {
+                    h = ModuleHealth::new();
+                }
+            }
+        }
+        let all = [
+            HealthState::Healthy,
+            HealthState::Suspect,
+            HealthState::Quarantined,
+            HealthState::Disabled,
+        ];
+        for from in all {
+            for to in all {
+                assert_eq!(
+                    observed.contains(&(from, to)),
+                    legal_edge(from, to),
+                    "edge {from} -> {to}: observed-set and legal_edge disagree"
+                );
+            }
         }
     }
 }

@@ -20,7 +20,7 @@ use rse_pipeline::{CommitGate, RobId};
 use std::collections::HashMap;
 
 /// What kind of instruction an IOQ entry was allocated for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IoqEntryKind {
     /// A non-CHECK instruction: bits initialized to `10` (commit freely).
     Plain,
@@ -33,7 +33,7 @@ pub enum IoqEntryKind {
 
 /// Injectable stuck-at faults on the IOQ output bits (the §3.4 / Table 2
 /// error scenarios).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IoqFault {
     /// `checkValid` stuck at 0: blocking CHECKs stall forever.
     ValidStuck0,
@@ -83,7 +83,7 @@ struct IoqEntry {
 }
 
 /// The Instruction Output Queue.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Ioq {
     entries: HashMap<RobId, IoqEntry>,
     capacity: usize,

@@ -33,6 +33,7 @@
 pub mod fault;
 pub mod net;
 pub mod node;
+pub mod protocol;
 pub mod sim;
 pub mod soak;
 
@@ -42,5 +43,6 @@ pub type NodeId = u16;
 pub use fault::{FleetProfile, NodeFault, NodeFaultModel, NodeFaultPlan};
 pub use net::{Message, NetConfig, NetStats, Network, Payload};
 pub use node::{FenceKind, Guest, Node, NodeStatus};
+pub use protocol::{FailoverOrder, NodeProtocol, ProtoMsg};
 pub use sim::{FleetConfig, FleetOutcome, FleetSim};
 pub use soak::{run_soak, run_soak_with, FleetCell, FleetSpec, SoakOptions};

@@ -2,6 +2,7 @@
 //! a remote-peer AHBM monitor, replicated peer checkpoints, and the
 //! fencing state of the failover protocol.
 
+use crate::protocol::NodeProtocol;
 use crate::NodeId;
 use rse_inject::{build_harness, ArchSnapshot, Workload};
 use rse_isa::asm::assemble;
@@ -9,6 +10,8 @@ use rse_isa::Image;
 use rse_modules::{PeerConfig, PeerMonitor};
 use rse_pipeline::{CpuContext, Pipeline};
 use std::collections::BTreeMap;
+
+pub use crate::protocol::FenceKind;
 
 /// Whether the node process is alive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,19 +23,6 @@ pub enum NodeStatus {
     /// Frozen whole-node hang: guest, heartbeat daemon, and monitor all
     /// stopped; inbound messages are lost.
     Hung,
-}
-
-/// Why (and whether) a node is fenced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FenceKind {
-    /// Not fenced.
-    None,
-    /// Self-imposed: the contact lease expired (probable partition). A
-    /// self-fence can be lifted by a coordinator [`crate::net::Payload::Reinstate`].
-    SelfLease,
-    /// Ordered by the recovery coordinator (the node was declared dead
-    /// and failed over); permanent for the rest of the run.
-    Ordered,
 }
 
 /// One guest workload instance hosted on a node: a private pipeline+RSE
@@ -113,10 +103,9 @@ pub struct Node {
     pub id: NodeId,
     /// Liveness ground truth (set by the fault injector).
     pub status: NodeStatus,
-    /// Fencing state.
-    pub fence: FenceKind,
-    /// Cycle the current fence was imposed (meaningful unless `None`).
-    pub fenced_at: u64,
+    /// The pure fencing/ownership protocol core (see
+    /// [`crate::protocol`]); the simulator materializes its decisions.
+    pub proto: NodeProtocol,
     /// The remote-peer AHBM: adaptive-timeout suspicion over incoming
     /// heartbeats, keyed by peer id.
     pub monitor: PeerMonitor,
@@ -125,17 +114,8 @@ pub struct Node {
     pub guests: Vec<Guest>,
     /// Replicated peer checkpoints: newest `(seq, snapshot)` per peer.
     pub snapshots: BTreeMap<NodeId, (u32, ArchSnapshot)>,
-    /// This node's view of workload ownership (`owners_view[w]` = node
-    /// currently owning workload `w`).
-    pub owners_view: Vec<NodeId>,
-    /// This node's view of workload fencing epochs.
-    pub epochs_view: Vec<u32>,
-    /// Cycle of the last inbound message (contact-lease basis).
-    pub last_inbound: u64,
     /// Next idle-daemon heartbeat cycle.
     pub next_idle_beat: u64,
-    /// Earliest cycle the next rejoin petition may be sent.
-    pub next_rejoin_at: u64,
     /// Guest slowdown factor currently in force (1 = nominal).
     pub slow_factor: u64,
     /// Probes to answer with a beat on the next action phase.
@@ -156,16 +136,11 @@ impl Node {
         Node {
             id,
             status: NodeStatus::Running,
-            fence: FenceKind::None,
-            fenced_at: 0,
+            proto: NodeProtocol::new(id, n),
             monitor,
             guests: vec![Guest::fresh(id, w)],
             snapshots: BTreeMap::new(),
-            owners_view: (0..n).collect(),
-            epochs_view: vec![0; usize::from(n)],
-            last_inbound: 0,
             next_idle_beat: 0,
-            next_rejoin_at: 0,
             slow_factor: 1,
             pending_probe_replies: Vec::new(),
             pending_rejoins: Vec::new(),
@@ -174,14 +149,14 @@ impl Node {
 
     /// Whether the node is fenced (either kind).
     pub fn fenced(&self) -> bool {
-        self.fence != FenceKind::None
+        self.proto.fenced()
     }
 
     /// Whether this node believes it is the recovery coordinator: it is
     /// unfenced and every lower-id node is Dead in its own monitor.
     pub fn believes_coordinator(&self) -> bool {
-        !self.fenced()
-            && (0..self.id).all(|p| self.monitor.state(p) == rse_modules::PeerState::Dead)
+        self.proto
+            .believes_coordinator(|p| self.monitor.state(p) == rse_modules::PeerState::Dead)
     }
 
     /// The hosted guest for workload `w`, if any.

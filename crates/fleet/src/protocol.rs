@@ -1,0 +1,306 @@
+//! The suspicion/fencing failover protocol, separated from simulation
+//! plumbing.
+//!
+//! [`NodeProtocol`] is the *decision core* of one fleet node: fencing
+//! state, workload-ownership and fencing-epoch views, the contact lease,
+//! rejoin petitioning, coordinator election, and failover ordering. It
+//! owns no pipeline, no network, no monitor — the node simulator
+//! ([`crate::sim`]) feeds it message arrivals and monitor verdicts and
+//! materializes its decisions as network sends and guest adoptions.
+//!
+//! The separation is what makes the protocol *small enough to prove
+//! things about*: the bounded model checker (`rse-mc`) explores exactly
+//! this type under an abstracted network/monitor environment, so the
+//! split-brain and reinstatement theorems it proves are theorems about
+//! the same code the fleet simulator executes, not about a re-modelled
+//! copy.
+//!
+//! Every handler is pure state + returned decision; none of them touch
+//! the clock, the PRNG, or any I/O.
+
+use crate::NodeId;
+
+/// Why (and whether) a node is fenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FenceKind {
+    /// Not fenced.
+    None,
+    /// Self-imposed: the contact lease expired (probable partition). A
+    /// self-fence can be lifted by a coordinator
+    /// [`crate::net::Payload::Reinstate`].
+    SelfLease,
+    /// Ordered by the recovery coordinator (the node was declared dead
+    /// and failed over); permanent for the rest of the run.
+    Ordered,
+}
+
+/// A protocol-level message, the network-free mirror of the
+/// non-dataplane [`crate::net::Payload`] variants. The simulator maps
+/// these 1:1 onto real payloads; the model checker delivers them
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtoMsg {
+    /// Ownership broadcast: `dead`'s workload moved to `successor` under
+    /// a new fencing epoch.
+    Announce {
+        /// The node declared dead.
+        dead: NodeId,
+        /// The new ownership epoch of the dead node's workload.
+        epoch: u32,
+        /// The node that adopted the workload.
+        successor: NodeId,
+    },
+    /// Fencing order: stop executing workloads, stop declaring failures.
+    Fence,
+    /// Petition to rejoin after a self-fence.
+    Rejoin,
+    /// Coordinator-approved rejoin (ownership never reassigned).
+    Reinstate,
+}
+
+/// A coordinator's failover decision for one dead peer: fence the
+/// victim, announce the new epoch, adopt the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverOrder {
+    /// The declared-dead node whose workload moves.
+    pub victim: NodeId,
+    /// The fencing epoch the move happens under.
+    pub epoch: u32,
+}
+
+/// The pure protocol state of one fleet node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeProtocol {
+    /// This node's id.
+    pub id: NodeId,
+    /// Fencing state.
+    pub fence: FenceKind,
+    /// Cycle the current fence was imposed (meaningful unless `None`).
+    pub fenced_at: u64,
+    /// This node's view of workload ownership (`owners_view[w]` = node
+    /// currently owning workload `w`).
+    pub owners_view: Vec<NodeId>,
+    /// This node's view of workload fencing epochs.
+    pub epochs_view: Vec<u32>,
+    /// Cycle of the last inbound message (contact-lease basis).
+    pub last_inbound: u64,
+    /// Earliest cycle the next rejoin petition may be sent.
+    pub next_rejoin_at: u64,
+}
+
+impl NodeProtocol {
+    /// Protocol state of node `id` in an `n`-node fleet: unfenced, every
+    /// workload owned by its namesake node, all epochs zero.
+    pub fn new(id: NodeId, n: u16) -> NodeProtocol {
+        NodeProtocol {
+            id,
+            fence: FenceKind::None,
+            fenced_at: 0,
+            owners_view: (0..n).collect(),
+            epochs_view: vec![0; usize::from(n)],
+            last_inbound: 0,
+            next_rejoin_at: 0,
+        }
+    }
+
+    /// Whether the node is fenced (either kind).
+    pub fn fenced(&self) -> bool {
+        self.fence != FenceKind::None
+    }
+
+    /// Whether this node believes it is the recovery coordinator: it is
+    /// unfenced and every lower-id node is dead according to
+    /// `peer_dead` (the caller's failure-suspicion verdicts).
+    pub fn believes_coordinator(&self, peer_dead: impl Fn(NodeId) -> bool) -> bool {
+        !self.fenced() && (0..self.id).all(peer_dead)
+    }
+
+    /// Records an inbound message at `now` (refreshes the contact
+    /// lease).
+    pub fn note_inbound(&mut self, now: u64) {
+        self.last_inbound = now;
+    }
+
+    /// Handles an ownership broadcast. Stale epochs are ignored; a fresh
+    /// epoch updates the view, and learning of *our own* declared death
+    /// self-quarantines the node (equivalent to the fence order, which
+    /// may have been lost).
+    pub fn on_announce(&mut self, now: u64, dead: NodeId, epoch: u32, successor: NodeId) {
+        let d = usize::from(dead);
+        if epoch > self.epochs_view[d] {
+            self.epochs_view[d] = epoch;
+            self.owners_view[d] = successor;
+            if dead == self.id && self.fence != FenceKind::Ordered {
+                // We were declared dead: quarantine ourselves.
+                self.fence = FenceKind::Ordered;
+                self.fenced_at = now;
+            }
+        }
+    }
+
+    /// Handles a coordinator fence order: permanent for the run.
+    pub fn on_fence(&mut self, now: u64) {
+        self.fence = FenceKind::Ordered;
+        self.fenced_at = now;
+    }
+
+    /// Handles a coordinator reinstatement. Only a self-imposed lease
+    /// fence may be lifted; returns whether it was (the caller must then
+    /// grant its failure monitor a fresh suspicion grace period).
+    pub fn on_reinstate(&mut self) -> bool {
+        if self.fence == FenceKind::SelfLease {
+            self.fence = FenceKind::None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Contact-lease check: an unfenced node with no inbound traffic for
+    /// more than `lease_timeout` cycles self-fences (probable
+    /// partition). Returns whether the fence was newly imposed.
+    pub fn check_lease(&mut self, now: u64, lease_timeout: u64) -> bool {
+        if self.fence == FenceKind::None && now.saturating_sub(self.last_inbound) > lease_timeout {
+            self.fence = FenceKind::SelfLease;
+            self.fenced_at = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a self-fenced node that regained contact should petition
+    /// to rejoin now. A `true` return arms the petition backoff: the
+    /// caller must broadcast [`ProtoMsg::Rejoin`] to every peer.
+    pub fn should_petition(&mut self, now: u64, rejoin_backoff: u64) -> bool {
+        if self.fence == FenceKind::SelfLease
+            && self.last_inbound > self.fenced_at
+            && now >= self.next_rejoin_at
+        {
+            self.next_rejoin_at = now + rejoin_backoff;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adjudicates a rejoin petition (coordinator only — the caller must
+    /// have checked [`NodeProtocol::believes_coordinator`]): reinstate
+    /// if the petitioner's workload was never reassigned, a permanent
+    /// fence otherwise.
+    pub fn adjudicate_rejoin(&self, petitioner: NodeId) -> ProtoMsg {
+        if self.owners_view[usize::from(petitioner)] == petitioner {
+            // Workload never reassigned: safe to reinstate.
+            ProtoMsg::Reinstate
+        } else {
+            // Already failed over: the petitioner stays fenced.
+            ProtoMsg::Fence
+        }
+    }
+
+    /// Coordinator failover on a Dead declaration (the caller must have
+    /// checked [`NodeProtocol::believes_coordinator`]): if `dead`'s
+    /// workload has not already been reassigned, bump its fencing epoch
+    /// and adopt it. The returned order obliges the caller to fence the
+    /// victim, broadcast [`ProtoMsg::Announce`] to everyone else, and
+    /// start the adopted guest only after the fence grace.
+    pub fn failover(&mut self, dead: NodeId) -> Option<FailoverOrder> {
+        let d = usize::from(dead);
+        if self.owners_view[d] != dead {
+            return None; // already failed over by someone
+        }
+        let epoch = self.epochs_view[d] + 1;
+        self.epochs_view[d] = epoch;
+        self.owners_view[d] = self.id;
+        Some(FailoverOrder {
+            victim: dead,
+            epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_expiry_self_fences_once() {
+        let mut p = NodeProtocol::new(1, 3);
+        assert!(!p.check_lease(10, 20));
+        assert!(p.check_lease(31, 20));
+        assert_eq!(p.fence, FenceKind::SelfLease);
+        assert_eq!(p.fenced_at, 31);
+        // Already fenced: no re-trigger.
+        assert!(!p.check_lease(99, 20));
+    }
+
+    #[test]
+    fn petition_requires_fresh_contact_and_backoff() {
+        let mut p = NodeProtocol::new(2, 3);
+        p.check_lease(50, 20);
+        // No contact since the fence: no petition.
+        assert!(!p.should_petition(60, 30));
+        p.note_inbound(70);
+        assert!(p.should_petition(71, 30));
+        // Backoff armed.
+        assert!(!p.should_petition(72, 30));
+        assert!(p.should_petition(101, 30));
+    }
+
+    #[test]
+    fn stale_announce_is_ignored_and_own_death_self_quarantines() {
+        let mut p = NodeProtocol::new(1, 3);
+        p.on_announce(5, 2, 1, 0);
+        assert_eq!(p.owners_view[2], 0);
+        assert_eq!(p.epochs_view[2], 1);
+        // Stale epoch: no change.
+        p.on_announce(6, 2, 1, 1);
+        assert_eq!(p.owners_view[2], 0);
+        // Learning of our own death fences us.
+        p.on_announce(7, 1, 3, 0);
+        assert_eq!(p.fence, FenceKind::Ordered);
+        assert_eq!(p.fenced_at, 7);
+    }
+
+    #[test]
+    fn reinstate_lifts_only_self_fences() {
+        let mut p = NodeProtocol::new(1, 2);
+        p.check_lease(100, 10);
+        assert!(p.on_reinstate());
+        assert_eq!(p.fence, FenceKind::None);
+        p.on_fence(200);
+        assert!(!p.on_reinstate());
+        assert_eq!(p.fence, FenceKind::Ordered);
+    }
+
+    #[test]
+    fn failover_bumps_epoch_and_adopts_once() {
+        let mut p = NodeProtocol::new(0, 3);
+        assert!(p.believes_coordinator(|_| true));
+        let order = p.failover(2).expect("first failover");
+        assert_eq!(
+            order,
+            FailoverOrder {
+                victim: 2,
+                epoch: 1
+            }
+        );
+        assert_eq!(p.owners_view[2], 0);
+        // Already reassigned: a second declaration is a no-op.
+        assert!(p.failover(2).is_none());
+        assert_eq!(p.adjudicate_rejoin(2), ProtoMsg::Fence);
+        assert_eq!(p.adjudicate_rejoin(1), ProtoMsg::Reinstate);
+    }
+
+    #[test]
+    fn coordinator_election_is_lowest_unfenced_believing_lower_dead() {
+        let mut p = NodeProtocol::new(2, 4);
+        assert!(!p.believes_coordinator(|q| q == 0));
+        assert!(p.believes_coordinator(|q| q <= 1));
+        p.on_fence(1);
+        assert!(!p.believes_coordinator(|_| true));
+        // Node 0 is coordinator whenever unfenced (no lower ids).
+        let z = NodeProtocol::new(0, 4);
+        assert!(z.believes_coordinator(|_| false));
+    }
+}

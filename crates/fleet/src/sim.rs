@@ -46,7 +46,8 @@
 
 use crate::fault::{FleetProfile, NodeFault};
 use crate::net::{Message, NetConfig, NetStats, Network, Payload};
-use crate::node::{FenceKind, Guest, Node, NodeStatus};
+use crate::node::{Guest, Node, NodeStatus};
+use crate::protocol::ProtoMsg;
 use crate::NodeId;
 use rse_inject::{fleet_workload, result_digest, ArchSnapshot, Outcome, RecoveryStatus, Workload};
 use rse_modules::{AhbmConfig, PeerConfig, PeerEvent};
@@ -236,7 +237,7 @@ impl FleetSim {
             if node.status != NodeStatus::Running {
                 continue; // crashed / hung: inbound is lost
             }
-            node.last_inbound = now;
+            node.proto.note_inbound(now);
             match msg.payload {
                 Payload::Beat => node.monitor.beat(msg.src, now),
                 Payload::Probe => node.pending_probe_replies.push(msg.src),
@@ -253,26 +254,11 @@ impl FleetSim {
                     dead,
                     epoch,
                     successor,
-                } => {
-                    let d = usize::from(dead);
-                    if epoch > node.epochs_view[d] {
-                        node.epochs_view[d] = epoch;
-                        node.owners_view[d] = successor;
-                        if dead == node.id && node.fence != FenceKind::Ordered {
-                            // We were declared dead: quarantine ourselves.
-                            node.fence = FenceKind::Ordered;
-                            node.fenced_at = now;
-                        }
-                    }
-                }
-                Payload::Fence => {
-                    node.fence = FenceKind::Ordered;
-                    node.fenced_at = now;
-                }
+                } => node.proto.on_announce(now, dead, epoch, successor),
+                Payload::Fence => node.proto.on_fence(now),
                 Payload::Rejoin => node.pending_rejoins.push(msg.src),
                 Payload::Reinstate => {
-                    if node.fence == FenceKind::SelfLease {
-                        node.fence = FenceKind::None;
+                    if node.proto.on_reinstate() {
                         // Fresh suspicion grace for every peer: last-beat
                         // state from before the fence is stale.
                         for p in node.monitor.peer_ids() {
@@ -299,18 +285,11 @@ impl FleetSim {
             let id = node.id;
 
             // (a) Contact lease: no inbound for too long ⇒ self-fence.
-            if node.fence == FenceKind::None
-                && now.saturating_sub(node.last_inbound) > cfg.lease_timeout
-            {
-                node.fence = FenceKind::SelfLease;
-                node.fenced_at = now;
-            }
+            node.proto.check_lease(now, cfg.lease_timeout);
 
-            // (b) Regained contact while self-fenced ⇒ petition to rejoin.
-            if node.fence == FenceKind::SelfLease
-                && node.last_inbound > node.fenced_at
-                && now >= node.next_rejoin_at
-            {
+            // (b) Regained contact while self-fenced ⇒ petition to rejoin
+            // (the petition backoff reuses the lease timeout).
+            if node.proto.should_petition(now, cfg.lease_timeout) {
                 for p in 0..n {
                     if p != id {
                         outbox.push(Message {
@@ -320,25 +299,32 @@ impl FleetSim {
                         });
                     }
                 }
-                node.next_rejoin_at = now + cfg.lease_timeout;
             }
 
             // (c) Adjudicate rejoin petitions (coordinator only).
             let petitions = std::mem::take(&mut node.pending_rejoins);
             if node.believes_coordinator() {
-                for req in petitions {
-                    let payload = if node.owners_view[usize::from(req)] == req {
-                        // Workload never reassigned: safe to reinstate.
-                        Payload::Reinstate
-                    } else {
-                        // Already failed over: the petitioner stays fenced.
-                        Payload::Fence
+                for &req in &petitions {
+                    let payload = match node.proto.adjudicate_rejoin(req) {
+                        ProtoMsg::Reinstate => Payload::Reinstate,
+                        _ => Payload::Fence,
                     };
                     outbox.push(Message {
                         src: id,
                         dst: req,
                         payload,
                     });
+                }
+            }
+            // A rejoin petition is direct evidence the petitioner's
+            // process is alive, so refresh a sticky Dead verdict for
+            // it. Without this, a node that missed a reinstatement
+            // keeps a stale Dead verdict, later promotes itself to a
+            // second coordinator, and a concurrent failover
+            // split-brains the fleet (found by the rse-mc checker).
+            for req in petitions {
+                if node.monitor.state(req) == rse_modules::PeerState::Dead {
+                    node.monitor.reinstate(req, now);
                 }
             }
 
@@ -352,7 +338,7 @@ impl FleetSim {
             }
 
             // (e) Advance hosted guests (fenced nodes execute nothing).
-            if node.fence == FenceKind::None {
+            if !node.proto.fenced() {
                 let quantum = (cfg.tick / node.slow_factor.max(1)).max(1);
                 for g in node.guests.iter_mut() {
                     if g.done || now < g.start_at {
@@ -438,7 +424,7 @@ impl FleetSim {
             }
 
             // (g) Failure suspicion (fenced nodes must not declare).
-            if node.fence == FenceKind::None {
+            if !node.proto.fenced() {
                 node.monitor.sample(now);
                 for ev in node.monitor.take_events() {
                     match ev {
@@ -450,13 +436,15 @@ impl FleetSim {
                         }),
                         PeerEvent::DeclaredDead(p) => {
                             self.declarations.push((id, p, now));
-                            let pw = usize::from(p);
-                            if node.believes_coordinator() && node.owners_view[pw] == p {
+                            let order = if node.believes_coordinator() {
                                 // Coordinator failover: fence the victim,
                                 // bump the epoch, adopt the workload.
-                                let epoch = node.epochs_view[pw] + 1;
-                                node.epochs_view[pw] = epoch;
-                                node.owners_view[pw] = id;
+                                node.proto.failover(p)
+                            } else {
+                                None
+                            };
+                            if let Some(order) = order {
+                                let pw = usize::from(p);
                                 self.owners[pw] = id;
                                 self.moved_at[pw] = now;
                                 if self.failover_victim.is_none() {
@@ -474,7 +462,7 @@ impl FleetSim {
                                             dst: q,
                                             payload: Payload::Announce {
                                                 dead: p,
-                                                epoch,
+                                                epoch: order.epoch,
                                                 successor: id,
                                             },
                                         });

@@ -1,0 +1,137 @@
+//! Theorem group 3 — for 2-, 3-, and 4-node fleets under single-node
+//! partition schedules:
+//!
+//! * **Safety (exhaustive)**: with the fault model's window budget
+//!   (at most two isolation windows per run — one more than the fleet
+//!   fault plans inject), the reachable space is finite and the
+//!   checker closes it completely: no split-brain on any schedule of
+//!   any length.
+//! * **Safety (bounded sweep)**: with *unbounded* windows the space
+//!   is infinite, so the checker sweeps all schedules up to a fixed
+//!   depth — the corollary that the rejoin-refresh fix holds beyond
+//!   the budget as far as the horizon reaches.
+//! * **Liveness**: from every reachable state with a self-fenced node
+//!   and a live coordinator, a sustained heal reinstates (or
+//!   permanently fences) it within a pinned number of ticks.
+//!
+//! `RSE_MC_DEPTH` overrides the exhaustive run's depth ceiling;
+//! `RSE_MC_SWEEP_DEPTH` overrides the unbounded sweep's horizon.
+//! `RSE_MC_MUTATE=no-self-fence` deliberately removes the contact
+//! lease; the checker must then print a split-brain counterexample and
+//! exit non-zero — the standing self-test that the theorem has teeth.
+
+use rse_fleet::FenceKind;
+use rse_mc::models::fleet::{FleetModel, HealedFleet};
+use rse_mc::{check_leads_to, explore_with, Options};
+use std::time::Instant;
+
+fn main() {
+    let mutate = std::env::var("RSE_MC_MUTATE").ok();
+    let no_self_fence = mutate.as_deref() == Some("no-self-fence");
+    let mut pass = true;
+
+    for (n, sweep_default) in [(2u16, 24u32), (3, 20), (4, 16)] {
+        let depth = rse_mc::depth_override(64);
+        let t0 = Instant::now();
+        let mut model = FleetModel::standard(n);
+        model.no_self_fence = no_self_fence;
+
+        let (report, reachable) = explore_with(
+            &model,
+            &Options {
+                max_depth: depth,
+                max_states: 1 << 22,
+            },
+            |_, _, _| {},
+        );
+        let mut n_pass = true;
+        if let Some(v) = &report.violation {
+            print!("{}", v.render());
+            n_pass = false;
+        }
+        println!(
+            "{}",
+            rse_mc::summary_line(
+                &format!("fleet-splitbrain-n{n}"),
+                &report.stats,
+                t0.elapsed().as_millis(),
+                n_pass
+            )
+        );
+        pass &= n_pass;
+        if !n_pass {
+            continue; // liveness over a broken safety run is noise
+        }
+
+        // Unbounded-window sweep: same protocol, no budget, bounded
+        // horizon (the space is infinite, so exhaustive=false here is
+        // expected and honest).
+        let sweep_depth = std::env::var("RSE_MC_SWEEP_DEPTH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(sweep_default) as usize;
+        let t1 = Instant::now();
+        let mut open = FleetModel::standard(n);
+        open.no_self_fence = no_self_fence;
+        open.max_windows = u32::MAX;
+        let (sweep, _) = explore_with(
+            &open,
+            &Options {
+                max_depth: sweep_depth,
+                max_states: 1 << 23,
+            },
+            |_, _, _| {},
+        );
+        let mut s_pass = true;
+        if let Some(v) = &sweep.violation {
+            print!("{}", v.render());
+            s_pass = false;
+        }
+        println!(
+            "{}",
+            rse_mc::summary_line(
+                &format!("fleet-splitbrain-openwin-n{n}"),
+                &sweep.stats,
+                t1.elapsed().as_millis(),
+                s_pass
+            )
+        );
+        pass &= s_pass;
+
+        // Liveness: sources are reachable states with a self-fenced
+        // node and at least one unfenced node that believes itself
+        // coordinator (without one there is nobody to adjudicate a
+        // rejoin — the honest scope boundary, mirroring the
+        // simulator's `unrecovered` outcome).
+        let t2 = Instant::now();
+        let sources: Vec<_> = reachable
+            .into_iter()
+            .filter(|s| {
+                s.protos.iter().any(|p| p.fence == FenceKind::SelfLease)
+                    && (0..n).any(|j| s.believes_coordinator(j))
+            })
+            .collect();
+        let within = (model.rejoin_backoff + 4) as usize;
+        let verdict = check_leads_to(
+            &HealedFleet(&model),
+            &sources,
+            |s| s.protos.iter().all(|p| p.fence != FenceKind::SelfLease),
+            within,
+        );
+        println!(
+            "[mc] theorem=fleet-reinstate-n{n} sources={} states={} worst={:?} within={within} wall_ms={} result={}",
+            sources.len(),
+            verdict.states,
+            verdict.worst,
+            t2.elapsed().as_millis(),
+            if verdict.pass { "PASS" } else { "FAIL" }
+        );
+        if !verdict.pass {
+            if let Some(bad) = &verdict.offender {
+                println!("[mc] offending state: {bad:?}");
+            }
+            pass = false;
+        }
+    }
+    std::process::exit(i32::from(!pass));
+}

@@ -1,0 +1,74 @@
+//! Theorem group 1 — the health state machine's reachable edge set
+//! equals `legal_edge` **exactly** (both inclusion directions), and
+//! `Disabled` is absorbing, under all interleavings of anomalies,
+//! quiet ticks, and probe outcomes, for thresholds 2 and 1.
+//!
+//! Exits non-zero (printing the shrunk counterexample) on violation.
+
+use rse_core::health::legal_edge;
+use rse_core::HealthState;
+use rse_mc::models::health::HealthModel;
+use rse_mc::{explore_with, Options, Stats};
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let depth = rse_mc::depth_override(64);
+    let t0 = Instant::now();
+    let mut edges: HashSet<(HealthState, HealthState)> = HashSet::new();
+    let mut agg = Stats::default();
+    let mut pass = true;
+
+    for threshold in [2u32, 1] {
+        let model = HealthModel::with_threshold(threshold);
+        let (report, _) = explore_with(
+            &model,
+            &Options {
+                max_depth: depth,
+                max_states: 1 << 22,
+            },
+            |from, _, to| {
+                edges.insert((from.h.state(), to.h.state()));
+            },
+        );
+        agg.states += report.stats.states;
+        agg.transitions += report.stats.transitions;
+        agg.max_depth_reached = agg.max_depth_reached.max(report.stats.max_depth_reached);
+        agg.truncated |= report.stats.truncated;
+        if let Some(v) = report.violation {
+            println!("[mc] threshold={threshold}");
+            print!("{}", v.render());
+            pass = false;
+        }
+    }
+    // The run is only a proof if the state space closed under the
+    // bound.
+    if agg.truncated {
+        println!("[mc] health exploration truncated: raise RSE_MC_DEPTH");
+        pass = false;
+    }
+    // Reverse completeness: every legal edge must actually be taken.
+    let all = [
+        HealthState::Healthy,
+        HealthState::Suspect,
+        HealthState::Quarantined,
+        HealthState::Disabled,
+    ];
+    for from in all {
+        for to in all {
+            if edges.contains(&(from, to)) != legal_edge(from, to) {
+                println!(
+                    "[mc] edge {from} -> {to}: reachable={} legal={}",
+                    edges.contains(&(from, to)),
+                    legal_edge(from, to)
+                );
+                pass = false;
+            }
+        }
+    }
+    println!(
+        "{}",
+        rse_mc::summary_line("health-edges", &agg, t0.elapsed().as_millis(), pass)
+    );
+    std::process::exit(i32::from(!pass));
+}

@@ -1,0 +1,92 @@
+//! Theorem group 4 — every watchdog anomaly attribution resolves in
+//! bounded time, on **all** adversarial schedules of the health model:
+//!
+//! * A `Suspect` module leaves `Suspect` (quarantine on the threshold
+//!   anomaly, or decay back to `Healthy`) within `suspect_decay`
+//!   steps.
+//! * A `Quarantined` module with no probe in flight launches a probe
+//!   or is permanently `Disabled` within `probe_base << (k-1) + 1`
+//!   steps (the worst probe backoff).
+//!
+//! Both bounds are *exact* worst cases: the checker computes the true
+//! maximum over all paths and the theorem pins it.
+
+use rse_core::HealthState;
+use rse_mc::models::health::HealthModel;
+use rse_mc::{check_leads_to, explore_with, Options};
+use std::time::Instant;
+
+fn main() {
+    let depth = rse_mc::depth_override(64);
+    let t0 = Instant::now();
+    let model = HealthModel::with_threshold(2);
+    let (report, reachable) = explore_with(
+        &model,
+        &Options {
+            max_depth: depth,
+            max_states: 1 << 22,
+        },
+        |_, _, _| {},
+    );
+    let mut pass = true;
+    if report.violation.is_some() || report.stats.truncated {
+        println!("[mc] health model failed to close; run mc_health for details");
+        pass = false;
+    }
+    let cfg = &model.config;
+
+    // (a) Suspect resolves within the decay window.
+    let suspects: Vec<_> = reachable
+        .iter()
+        .filter(|s| s.h.state() == HealthState::Suspect)
+        .cloned()
+        .collect();
+    let within_a = cfg.suspect_decay as usize;
+    let a = check_leads_to(
+        &model,
+        &suspects,
+        |s| s.h.state() != HealthState::Suspect,
+        within_a,
+    );
+    println!(
+        "[mc] theorem=anomaly-resolves sources={} worst={:?} within={within_a} result={}",
+        suspects.len(),
+        a.worst,
+        if a.pass { "PASS" } else { "FAIL" }
+    );
+    pass &= a.pass;
+
+    // (b) Quarantine probes or disables within the worst backoff.
+    let quarantined: Vec<_> = reachable
+        .iter()
+        .filter(|s| s.h.state() == HealthState::Quarantined && !s.probe_in_flight)
+        .cloned()
+        .collect();
+    let within_b = ((cfg.probe_base << (cfg.max_probe_attempts - 1)) + 1) as usize;
+    let b = check_leads_to(
+        &model,
+        &quarantined,
+        |s| {
+            s.probe_in_flight || matches!(s.h.state(), HealthState::Healthy | HealthState::Disabled)
+        },
+        within_b,
+    );
+    println!(
+        "[mc] theorem=quarantine-probes sources={} worst={:?} within={within_b} result={}",
+        quarantined.len(),
+        b.worst,
+        if b.pass { "PASS" } else { "FAIL" }
+    );
+    pass &= b.pass;
+
+    println!(
+        "{}",
+        rse_mc::summary_line(
+            "health-liveness",
+            &report.stats,
+            t0.elapsed().as_millis(),
+            pass
+        )
+    );
+    std::process::exit(i32::from(!pass));
+}

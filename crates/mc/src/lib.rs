@@ -1,0 +1,604 @@
+//! `rse-mc`: a dependency-free bounded explicit-state model checker.
+//!
+//! The third verification tier (after unit tests and the seeded
+//! property-test harness): small *models* drive the **real** production
+//! state machines — [`rse_core::ModuleHealth`], [`rse_core::Ioq`],
+//! [`rse_fleet::NodeProtocol`] — through every interleaving of an
+//! abstracted environment, up to a depth bound, and check safety
+//! invariants on every reachable state.
+//!
+//! The checker itself is deliberately small:
+//!
+//! * [`explore`] — breadth-first search over the state graph of a
+//!   [`Model`], with a canonical-state visited set (states implement
+//!   `Eq + Hash` over a *bisimilar projection* of the production type,
+//!   so e.g. absolute cycle counts collapse into saturated deltas).
+//! * On an invariant violation the BFS parent chain yields an event
+//!   trace from an initial state, which is then *shrunk* (greedy
+//!   delta-debugging with replay) before being reported — see
+//!   [`Violation`].
+//! * [`check_leads_to`] — a bounded liveness checker: from each given
+//!   source state, **every** path must reach a goal state within a step
+//!   bound. It computes the exact worst-case distance (the `AF` bound),
+//!   so theorems can pin it.
+//!
+//! Everything is deterministic: no randomness, no clocks, no I/O —
+//! a failing theorem replays identically on any host.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod models;
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A finite-branching transition system over the real production types.
+///
+/// `State` equality/hashing must be a *bisimilar projection*: two states
+/// that compare equal must have equivalent futures (same enabled events
+/// leading to equal states, same invariant verdicts). The checker keeps
+/// one representative per equivalence class.
+pub trait Model {
+    /// A node of the state graph (carries the real production value).
+    type State: Clone + Eq + Hash + Debug;
+    /// An edge label; replayable (matched by equality during shrinking).
+    type Event: Clone + PartialEq + Debug;
+
+    /// The initial states.
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// All successors of `state`, labelled with the event taken.
+    fn step(&self, state: &Self::State) -> Vec<(Self::Event, Self::State)>;
+
+    /// The safety invariants checked on every reachable state.
+    fn invariants(&self) -> Vec<Invariant<Self::State>>;
+}
+
+/// A named safety predicate over states.
+pub struct Invariant<S> {
+    /// Short name, printed on violation.
+    pub name: &'static str,
+    /// The predicate; `false` on any reachable state is a violation.
+    pub check: Box<dyn Fn(&S) -> bool>,
+}
+
+impl<S> Invariant<S> {
+    /// A named invariant from any predicate.
+    pub fn new(name: &'static str, check: impl Fn(&S) -> bool + 'static) -> Invariant<S> {
+        Invariant {
+            name,
+            check: Box::new(check),
+        }
+    }
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Maximum BFS depth (events from an initial state).
+    pub max_depth: usize,
+    /// Hard cap on distinct states (memory guard).
+    pub max_states: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            max_depth: 64,
+            max_states: 4_000_000,
+        }
+    }
+}
+
+/// Exploration statistics (the numbers the CI gate prints).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Distinct canonical states visited.
+    pub states: usize,
+    /// Transitions taken (including ones into already-visited states).
+    pub transitions: u64,
+    /// Deepest BFS layer reached.
+    pub max_depth_reached: usize,
+    /// Whether a bound cut the search (`false` ⇒ the reachable state
+    /// space was explored **exhaustively**: the run is a proof, not a
+    /// sample).
+    pub truncated: bool,
+}
+
+/// A failed invariant, with a shrunk replayable counterexample.
+#[derive(Debug, Clone)]
+pub struct Violation<M: Model> {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Index into [`Model::initial_states`] the trace starts from.
+    pub initial: usize,
+    /// Shrunk event trace from that initial state to the bad state.
+    pub trace: Vec<M::Event>,
+    /// The violating state.
+    pub state: M::State,
+}
+
+impl<M: Model> Violation<M> {
+    /// Renders the counterexample for humans (one event per line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "counterexample: invariant '{}' violated after {} event(s) from initial state #{}\n",
+            self.invariant,
+            self.trace.len(),
+            self.initial
+        ));
+        for (i, ev) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  {:>3}. {ev:?}\n", i + 1));
+        }
+        out.push_str(&format!("  bad state: {:?}\n", self.state));
+        out
+    }
+}
+
+/// The result of one [`explore`] run.
+pub struct Report<M: Model> {
+    /// Exploration statistics.
+    pub stats: Stats,
+    /// The first invariant violation found, if any (search stops there).
+    pub violation: Option<Violation<M>>,
+}
+
+/// Breadth-first exploration of `model` under `opts`, checking every
+/// invariant on every visited state. Stops at the first violation.
+pub fn explore<M: Model>(model: &M, opts: &Options) -> Report<M> {
+    explore_with(model, opts, |_, _, _| {}).0
+}
+
+/// [`explore`] that also returns every visited state (for seeding
+/// liveness checks) and calls `on_edge(from, event, to)` for every
+/// transition taken — the hook the edge-coverage theorems use.
+pub fn explore_with<M: Model>(
+    model: &M,
+    opts: &Options,
+    mut on_edge: impl FnMut(&M::State, &M::Event, &M::State),
+) -> (Report<M>, Vec<M::State>) {
+    let invariants = model.invariants();
+    let mut stats = Stats::default();
+
+    // Arena of representative states + parent pointers for traces.
+    let mut arena: Vec<M::State> = Vec::new();
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut parent: Vec<Option<(usize, M::Event)>> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut initial_of: Vec<usize> = Vec::new();
+
+    let mut frontier: Vec<usize> = Vec::new();
+    for (k, s) in model.initial_states().into_iter().enumerate() {
+        if index.contains_key(&s) {
+            continue;
+        }
+        let id = arena.len();
+        index.insert(s.clone(), id);
+        arena.push(s);
+        parent.push(None);
+        depth.push(0);
+        initial_of.push(k);
+        frontier.push(id);
+    }
+    stats.states = arena.len();
+
+    // Invariants on the initial states themselves.
+    for &id in &frontier {
+        if let Some(v) = first_violation(&invariants, &arena[id]) {
+            stats.truncated = true;
+            let violation = build_violation(model, &arena, &parent, &initial_of, id, v);
+            return (
+                Report {
+                    stats,
+                    violation: Some(violation),
+                },
+                arena,
+            );
+        }
+    }
+
+    while !frontier.is_empty() {
+        let layer_depth = depth[frontier[0]] + 1;
+        if layer_depth > opts.max_depth {
+            stats.truncated = true;
+            break;
+        }
+        let mut next: Vec<usize> = Vec::new();
+        for &id in &frontier {
+            let succs = model.step(&arena[id]);
+            for (ev, s) in succs {
+                stats.transitions += 1;
+                on_edge(&arena[id], &ev, &s);
+                if index.contains_key(&s) {
+                    continue;
+                }
+                if arena.len() >= opts.max_states {
+                    stats.truncated = true;
+                    continue;
+                }
+                let sid = arena.len();
+                index.insert(s.clone(), sid);
+                arena.push(s);
+                parent.push(Some((id, ev)));
+                depth.push(layer_depth);
+                initial_of.push(initial_of[id]);
+                stats.max_depth_reached = stats.max_depth_reached.max(layer_depth);
+                if let Some(v) = first_violation(&invariants, &arena[sid]) {
+                    stats.states = arena.len();
+                    let violation = build_violation(model, &arena, &parent, &initial_of, sid, v);
+                    return (
+                        Report {
+                            stats,
+                            violation: Some(violation),
+                        },
+                        arena,
+                    );
+                }
+                next.push(sid);
+            }
+        }
+        frontier = next;
+    }
+    stats.states = arena.len();
+    (
+        Report {
+            stats,
+            violation: None,
+        },
+        arena,
+    )
+}
+
+fn first_violation<S>(invariants: &[Invariant<S>], s: &S) -> Option<&'static str> {
+    invariants
+        .iter()
+        .find(|inv| !(inv.check)(s))
+        .map(|inv| inv.name)
+}
+
+fn build_violation<M: Model>(
+    model: &M,
+    arena: &[M::State],
+    parent: &[Option<(usize, M::Event)>],
+    initial_of: &[usize],
+    bad: usize,
+    invariant: &'static str,
+) -> Violation<M> {
+    // Walk the parent chain back to an initial state.
+    let mut trace: Vec<M::Event> = Vec::new();
+    let mut cursor = bad;
+    while let Some((p, ev)) = &parent[cursor] {
+        trace.push(ev.clone());
+        cursor = *p;
+    }
+    trace.reverse();
+    let initial = initial_of[bad];
+    let trace = shrink(model, initial, trace, invariant);
+    let state = replay(model, initial, &trace).unwrap_or_else(|| arena[bad].clone());
+    Violation {
+        invariant,
+        initial,
+        trace,
+        state,
+    }
+}
+
+/// Replays `events` from initial state `initial` by matching each event
+/// (by equality) against the enabled transitions. Returns the final
+/// state, or `None` if some event is not enabled along the way.
+pub fn replay<M: Model>(model: &M, initial: usize, events: &[M::Event]) -> Option<M::State> {
+    let mut s = model.initial_states().into_iter().nth(initial)?;
+    for ev in events {
+        let (_, next) = model.step(&s).into_iter().find(|(e, _)| e == ev)?;
+        s = next;
+    }
+    Some(s)
+}
+
+/// Greedy delta-debugging: repeatedly drops single events while the
+/// shortened trace still replays to a state violating `invariant`.
+/// The result is 1-minimal (no single event can be removed).
+fn shrink<M: Model>(
+    model: &M,
+    initial: usize,
+    mut trace: Vec<M::Event>,
+    invariant: &'static str,
+) -> Vec<M::Event> {
+    let invariants = model.invariants();
+    let still_bad = |events: &[M::Event]| -> bool {
+        replay(model, initial, events)
+            .map(|s| {
+                invariants
+                    .iter()
+                    .any(|inv| inv.name == invariant && !(inv.check)(&s))
+            })
+            .unwrap_or(false)
+    };
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < trace.len() {
+            let mut candidate = trace.clone();
+            candidate.remove(i);
+            if still_bad(&candidate) {
+                trace = candidate;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            return trace;
+        }
+    }
+}
+
+/// The verdict of a [`check_leads_to`] run.
+#[derive(Debug, Clone)]
+pub struct LeadsToReport<S> {
+    /// Whether every source state reaches the goal on all paths within
+    /// the bound.
+    pub pass: bool,
+    /// The worst-case number of steps needed over all sources (`None`
+    /// if some source has a goal-avoiding cycle or dead end — i.e. the
+    /// property fails outright, not just the bound).
+    pub worst: Option<usize>,
+    /// A state that misses the bound (or diverges), if any.
+    pub offender: Option<S>,
+    /// Distinct states examined by the distance computation.
+    pub states: usize,
+}
+
+/// Bounded liveness: from every state in `sources`, **all** paths of
+/// `model` must reach a state satisfying `goal` within `within` steps.
+///
+/// Computes, per state, the exact worst-case distance `f(s)`:
+/// `f(s) = 0` if `goal(s)`, else `1 + max over successors f(s')`; a
+/// goal-avoiding cycle or a goal-less dead end makes `f(s) = ∞`.
+pub fn check_leads_to<M: Model>(
+    model: &M,
+    sources: &[M::State],
+    goal: impl Fn(&M::State) -> bool,
+    within: usize,
+) -> LeadsToReport<M::State> {
+    // Iterative DFS with tri-color marking; memoized distances.
+    // `None` in `dist` = ∞ (diverges).
+    let mut dist: HashMap<M::State, Option<usize>> = HashMap::new();
+    let mut on_stack: HashMap<M::State, bool> = HashMap::new();
+    let mut worst: Option<usize> = Some(0);
+    let mut offender: Option<M::State> = None;
+    let mut pass = true;
+
+    for src in sources {
+        let d = af_distance(model, src, &goal, &mut dist, &mut on_stack);
+        match d {
+            None => {
+                pass = false;
+                worst = None;
+                if offender.is_none() {
+                    offender = Some(src.clone());
+                }
+            }
+            Some(d) => {
+                if let Some(w) = worst {
+                    worst = Some(w.max(d));
+                }
+                if d > within {
+                    pass = false;
+                    if offender.is_none() {
+                        offender = Some(src.clone());
+                    }
+                }
+            }
+        }
+    }
+    LeadsToReport {
+        pass,
+        worst,
+        offender,
+        states: dist.len(),
+    }
+}
+
+fn af_distance<M: Model>(
+    model: &M,
+    root: &M::State,
+    goal: &impl Fn(&M::State) -> bool,
+    dist: &mut HashMap<M::State, Option<usize>>,
+    on_stack: &mut HashMap<M::State, bool>,
+) -> Option<usize> {
+    // Explicit stack machine: (state, successor list, next successor
+    // index, running max). Post-order computes the distance.
+    enum Phase<S> {
+        Enter(S),
+        Exit(S, Vec<S>),
+    }
+    let mut stack: Vec<Phase<M::State>> = vec![Phase::Enter(root.clone())];
+    while let Some(phase) = stack.pop() {
+        match phase {
+            Phase::Enter(s) => {
+                if dist.contains_key(&s) {
+                    continue;
+                }
+                if *on_stack.get(&s).unwrap_or(&false) {
+                    // Goal-avoiding cycle: every state on it diverges.
+                    dist.insert(s, None);
+                    continue;
+                }
+                if goal(&s) {
+                    dist.insert(s, Some(0));
+                    continue;
+                }
+                on_stack.insert(s.clone(), true);
+                let succs: Vec<M::State> =
+                    model.step(&s).into_iter().map(|(_, next)| next).collect();
+                stack.push(Phase::Exit(s, succs.clone()));
+                for next in succs {
+                    stack.push(Phase::Enter(next));
+                }
+            }
+            Phase::Exit(s, succs) => {
+                on_stack.insert(s.clone(), false);
+                if dist.contains_key(&s) {
+                    continue;
+                }
+                let mut worst: Option<usize> = Some(0);
+                if succs.is_empty() {
+                    worst = None; // dead end short of the goal
+                }
+                for next in &succs {
+                    match dist.get(next) {
+                        Some(Some(d)) => {
+                            if let Some(w) = worst {
+                                worst = Some(w.max(*d));
+                            }
+                        }
+                        // Unresolved successor = back edge into the
+                        // current DFS path = goal-avoiding cycle.
+                        Some(None) | None => worst = None,
+                    }
+                }
+                dist.insert(s, worst.map(|w| w + 1));
+            }
+        }
+    }
+    dist.get(root).copied().flatten()
+}
+
+/// Reads the `RSE_MC_DEPTH` depth-bound override (the CI knob).
+pub fn depth_override(default: usize) -> usize {
+    std::env::var("RSE_MC_DEPTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats the one-line per-theorem summary the CI gate prints.
+pub fn summary_line(theorem: &str, stats: &Stats, wall_ms: u128, pass: bool) -> String {
+    format!(
+        "[mc] theorem={theorem} states={} transitions={} depth={} exhaustive={} wall_ms={wall_ms} result={}",
+        stats.states,
+        stats.transitions,
+        stats.max_depth_reached,
+        !stats.truncated,
+        if pass { "PASS" } else { "FAIL" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter mod `n` with a poison value: increment or reset.
+    struct Counter {
+        n: u32,
+        poison: Option<u32>,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+        type Event = &'static str;
+
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn step(&self, s: &u32) -> Vec<(&'static str, u32)> {
+            vec![("inc", (s + 1) % self.n), ("reset", 0)]
+        }
+
+        fn invariants(&self) -> Vec<Invariant<u32>> {
+            let poison = self.poison;
+            vec![Invariant::new("not-poison", move |s: &u32| {
+                Some(*s) != poison
+            })]
+        }
+    }
+
+    #[test]
+    fn explores_exhaustively_and_counts() {
+        let m = Counter { n: 8, poison: None };
+        let r = explore(&m, &Options::default());
+        assert!(r.violation.is_none());
+        assert_eq!(r.stats.states, 8);
+        assert!(!r.stats.truncated);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let m = Counter {
+            n: 100,
+            poison: None,
+        };
+        let r = explore(
+            &m,
+            &Options {
+                max_depth: 3,
+                max_states: 1 << 20,
+            },
+        );
+        assert!(r.stats.truncated);
+        assert_eq!(r.stats.states, 4); // 0..=3
+    }
+
+    #[test]
+    fn violation_trace_is_shrunk_to_minimum() {
+        let m = Counter {
+            n: 16,
+            poison: Some(5),
+        };
+        let r = explore(&m, &Options::default());
+        let v = r.violation.expect("poison is reachable");
+        assert_eq!(v.invariant, "not-poison");
+        // Shortest path to 5 is five increments; shrinking cannot drop
+        // any of them (a reset-free prefix is already minimal).
+        assert_eq!(v.trace, vec!["inc"; 5]);
+        assert_eq!(v.state, 5);
+        assert!(v.render().contains("not-poison"));
+    }
+
+    #[test]
+    fn leads_to_measures_exact_worst_case() {
+        // From any state, "reach 0" happens within n-1 incs... but the
+        // inc path can avoid 0 only until the wrap, and reset jumps
+        // straight there; worst case is the longest inc chain.
+        let m = Counter { n: 6, poison: None };
+        let (_, all) = explore_with(&m, &Options::default(), |_, _, _| {});
+        let r = check_leads_to(&m, &all, |s| *s == 0, 5);
+        assert!(r.pass, "worst={:?}", r.worst);
+        assert_eq!(r.worst, Some(5));
+        let tight = check_leads_to(&m, &all, |s| *s == 0, 4);
+        assert!(!tight.pass);
+        assert!(tight.offender.is_some());
+    }
+
+    #[test]
+    fn leads_to_detects_goal_avoiding_cycles() {
+        struct Spin;
+        impl Model for Spin {
+            type State = u32;
+            type Event = &'static str;
+            fn initial_states(&self) -> Vec<u32> {
+                vec![0]
+            }
+            fn step(&self, s: &u32) -> Vec<(&'static str, u32)> {
+                // 0 -> 1 <-> 2, goal 3 never reached from the cycle.
+                match s {
+                    0 => vec![("a", 1), ("g", 3)],
+                    1 => vec![("b", 2)],
+                    2 => vec![("c", 1)],
+                    _ => vec![("h", 3)],
+                }
+            }
+            fn invariants(&self) -> Vec<Invariant<u32>> {
+                Vec::new()
+            }
+        }
+        let r = check_leads_to(&Spin, &[0], |s| *s == 3, 10);
+        assert!(!r.pass);
+        assert_eq!(r.worst, None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Model of the per-module health state machine (theorem groups 1
+//! and 4): the real [`ModuleHealth`] driven through every interleaving
+//! of anomalies, quiet ticks, and probe launches/resolutions.
+//!
+//! Environment abstraction:
+//!
+//! * Time advances with every event (1 cycle, or a `suspect_decay`
+//!   jump so the quiet-window back-edge is reachable at small depth).
+//! * Probe launch is **forced** when due — the watchdog launches due
+//!   probes deterministically on its tick, so an adversary that simply
+//!   refuses to probe is not a real schedule. Probe *outcomes* stay
+//!   adversarial (both success and failure branch).
+//! * Anomaly kinds all branch; they only differ in the recorded cause,
+//!   which cannot influence any transition, so the canonical projection
+//!   merges them — the checker verifies kind-independence for free.
+
+use crate::{Invariant, Model};
+use rse_core::{AnomalyKind, HealthConfig, HealthEvent, HealthState, ModuleHealth};
+use std::hash::{Hash, Hasher};
+
+/// One state of the health model: the real machine plus the model
+/// clock and the probe-in-flight flag the engine keeps alongside it.
+#[derive(Clone, Debug)]
+pub struct HState {
+    /// The real production machine under test.
+    pub h: ModuleHealth,
+    /// Absolute model time (canonicalized into saturated deltas).
+    pub now: u64,
+    /// A launched, not-yet-resolved self-test probe.
+    pub probe_in_flight: bool,
+    /// The `(from, to)` pair returned by the most recent `apply`.
+    pub last_edge: (HealthState, HealthState),
+    canon: HCanon,
+}
+
+/// The bisimilar projection `Eq`/`Hash` run over.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct HCanon {
+    state: HealthState,
+    /// Episode anomaly count, capped at the quarantine threshold (the
+    /// machine only ever compares it against the threshold).
+    anomalies: u32,
+    /// Cycles since the last anomaly, saturated at the decay window;
+    /// only meaningful (and only kept) while `Suspect`.
+    since_anomaly: Option<u64>,
+    probe_attempts: u32,
+    /// Cycles until the next probe may launch (`next_probe_at - now`).
+    probe_wait: Option<u64>,
+    probe_in_flight: bool,
+    last_edge: (HealthState, HealthState),
+}
+
+impl PartialEq for HState {
+    fn eq(&self, other: &HState) -> bool {
+        self.canon == other.canon
+    }
+}
+
+impl Eq for HState {}
+
+impl Hash for HState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.canon.hash(state);
+    }
+}
+
+/// An input to the health model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum HEvent {
+    /// The watchdog attributes an anomaly to the module (advances 1
+    /// cycle).
+    Anomaly(AnomalyKind),
+    /// `dt` quiet cycles pass; the watchdog tick delivers `Quiet`.
+    Quiet {
+        /// Cycles elapsed.
+        dt: u64,
+    },
+    /// The watchdog launches the due self-test probe (forced).
+    ProbeLaunch,
+    /// The in-flight probe resolves (advances 1 cycle).
+    ProbeResolve {
+        /// Whether the probe verdict was correct (re-enable) or not.
+        success: bool,
+    },
+}
+
+/// The health model: drives [`ModuleHealth::apply`] under `config`.
+pub struct HealthModel {
+    /// Containment parameters (use small values so the canonical state
+    /// space closes; the machine's logic only compares against them).
+    pub config: HealthConfig,
+}
+
+impl HealthModel {
+    /// Small-constant config with the given quarantine threshold.
+    pub fn with_threshold(threshold: u32) -> HealthModel {
+        HealthModel {
+            config: HealthConfig {
+                quarantine_threshold: threshold,
+                probe_base: 2,
+                probe_timeout: 1,
+                max_probe_attempts: 3,
+                suspect_decay: 3,
+            },
+        }
+    }
+
+    fn mk(
+        &self,
+        h: ModuleHealth,
+        now: u64,
+        probe_in_flight: bool,
+        last_edge: (HealthState, HealthState),
+    ) -> HState {
+        let canon = HCanon {
+            state: h.state(),
+            anomalies: h.anomaly_count().min(self.config.quarantine_threshold),
+            since_anomaly: (h.state() == HealthState::Suspect)
+                .then(|| {
+                    h.last_anomaly_at()
+                        .map(|at| now.saturating_sub(at).min(self.config.suspect_decay))
+                })
+                .flatten(),
+            probe_attempts: h.probe_attempts(),
+            probe_wait: h.next_probe_at().map(|at| at.saturating_sub(now)),
+            probe_in_flight,
+            last_edge,
+        };
+        HState {
+            h,
+            now,
+            probe_in_flight,
+            last_edge,
+            canon,
+        }
+    }
+
+    fn apply(&self, s: &HState, now: u64, ev: HealthEvent, probe_in_flight: bool) -> HState {
+        let mut h = s.h;
+        let edge = h.apply(&self.config, now, ev);
+        self.mk(h, now, probe_in_flight, edge)
+    }
+}
+
+impl Model for HealthModel {
+    type State = HState;
+    type Event = HEvent;
+
+    fn initial_states(&self) -> Vec<HState> {
+        vec![self.mk(
+            ModuleHealth::new(),
+            0,
+            false,
+            (HealthState::Healthy, HealthState::Healthy),
+        )]
+    }
+
+    fn step(&self, s: &HState) -> Vec<(HEvent, HState)> {
+        // Forced: the watchdog launches a due probe on its next tick.
+        if s.h.probe_due(s.now) && !s.probe_in_flight {
+            let mut h = s.h;
+            h.note_probe_launched();
+            return vec![(HEvent::ProbeLaunch, self.mk(h, s.now, true, s.last_edge))];
+        }
+        let mut out = Vec::new();
+        for kind in [
+            AnomalyKind::Timeout,
+            AnomalyKind::ErrorBurst,
+            AnomalyKind::PrematurePass,
+        ] {
+            out.push((
+                HEvent::Anomaly(kind),
+                self.apply(s, s.now + 1, HealthEvent::Anomaly(kind), s.probe_in_flight),
+            ));
+        }
+        for dt in [1, self.config.suspect_decay] {
+            out.push((
+                HEvent::Quiet { dt },
+                self.apply(s, s.now + dt, HealthEvent::Quiet, s.probe_in_flight),
+            ));
+        }
+        if s.probe_in_flight {
+            for success in [true, false] {
+                let ev = if success {
+                    HealthEvent::ProbeSuccess
+                } else {
+                    HealthEvent::ProbeFailure
+                };
+                out.push((
+                    HEvent::ProbeResolve { success },
+                    self.apply(s, s.now + 1, ev, false),
+                ));
+            }
+        }
+        out
+    }
+
+    fn invariants(&self) -> Vec<Invariant<HState>> {
+        vec![
+            Invariant::new("legal-edge", |s: &HState| {
+                rse_core::health::legal_edge(s.last_edge.0, s.last_edge.1)
+            }),
+            Invariant::new("disabled-absorbing", |s: &HState| {
+                s.last_edge.0 != HealthState::Disabled || s.last_edge.1 == HealthState::Disabled
+            }),
+        ]
+    }
+}

@@ -1,0 +1,16 @@
+//! The models: thin adapters that drive the **real** production state
+//! machines through an abstracted environment.
+//!
+//! Each model's `State` carries the actual production value (a
+//! [`rse_core::ModuleHealth`], [`rse_core::Ioq`], or a vector of
+//! [`rse_fleet::NodeProtocol`]s) and implements `Eq`/`Hash` over a
+//! canonical projection built from public accessors: absolute cycle
+//! counts become saturated deltas, statistics counters are excluded,
+//! and anything that cannot influence a future transition or invariant
+//! verdict is dropped. The projection is a bisimulation, so collapsing
+//! a class to one representative is sound — and it is what makes the
+//! reachable state spaces finite and small enough to close exhaustively.
+
+pub mod fleet;
+pub mod health;
+pub mod ioq;

@@ -1,0 +1,157 @@
+//! The checker's own self-test: a deliberately broken protocol must
+//! yield a concrete, shrunk, replayable counterexample — otherwise the
+//! theorems prove nothing.
+
+use rse_mc::models::fleet::{FleetModel, PartitionClass};
+use rse_mc::{explore, replay, Options};
+
+#[test]
+fn removing_the_contact_lease_produces_a_split_brain_counterexample() {
+    let mut model = FleetModel::standard(3);
+    model.no_self_fence = true; // the seeded bug
+    let report = explore(
+        &model,
+        &Options {
+            max_depth: 10,
+            max_states: 1 << 22,
+        },
+    );
+    let v = report
+        .violation
+        .expect("a lease-less protocol must split-brain under isolation");
+    assert_eq!(v.invariant, "split-brain");
+    assert!(
+        !v.trace.is_empty(),
+        "counterexample must carry a replayable trace"
+    );
+    // The shrunk trace replays to a violating state through the
+    // public event alphabet.
+    let end = replay(&model, v.initial, &v.trace).expect("shrunk trace replays");
+    let n = 3usize;
+    let bad = (0..n).any(|w| {
+        (0..n)
+            .filter(|&i| end.hosted[i * n + w] && !end.protos[i].fenced())
+            .count()
+            > 1
+    });
+    assert!(bad, "replayed end state is split-brained");
+    let text = v.render();
+    assert!(text.contains("split-brain"), "render names the invariant");
+}
+
+#[test]
+fn intact_protocol_survives_single_node_partitions() {
+    let model = FleetModel::standard(3);
+    let report = explore(
+        &model,
+        &Options {
+            max_depth: 8,
+            max_states: 1 << 22,
+        },
+    );
+    assert!(
+        report.violation.is_none(),
+        "unexpected: {:?}",
+        report.violation.map(|v| v.render())
+    );
+}
+
+#[test]
+fn switching_isolation_targets_defeats_the_contact_lease() {
+    // Checker-found scope boundary: if the adversary may retarget the
+    // isolation every tick, a node accrues Dead-level silence toward
+    // one peer while its own lease keeps being refreshed by the other
+    // — failover then races a still-unfenced owner. The fleet fault
+    // model cannot produce such schedules (its partitions are one-shot
+    // windows), which is why the safety theorem is scoped to
+    // IsolateOne.
+    let mut model = FleetModel::standard(3);
+    model.partitions = PartitionClass::SwitchingIsolation;
+    let report = explore(
+        &model,
+        &Options {
+            max_depth: 8,
+            max_states: 1 << 22,
+        },
+    );
+    let v = report
+        .violation
+        .expect("switching isolation must split-brain the lease protocol");
+    assert_eq!(v.invariant, "split-brain");
+    assert!(v.trace.len() >= 3, "needs at least detection-window ticks");
+}
+
+#[test]
+fn reverting_the_rejoin_refresh_resurrects_the_stale_verdict_split_brain() {
+    // The checker's own trophy, kept under glass: sticky Dead verdicts
+    // that survive a third party's reinstatement let sequential
+    // isolation windows manufacture a second, stale coordinator — two
+    // unfenced nodes then adopt the same victim's workload. The
+    // production fix (a rejoin petition refreshes the petitioner's
+    // Dead verdict everywhere it is heard) closed it; reverting the
+    // fix must bring the counterexample back, or the theorem has
+    // quietly stopped testing anything.
+    let mut model = FleetModel::standard(4);
+    model.max_windows = 4;
+    model.no_rejoin_refresh = true; // revert the fix
+    let report = explore(
+        &model,
+        &Options {
+            max_depth: 16,
+            max_states: 1 << 23,
+        },
+    );
+    let v = report
+        .violation
+        .expect("stale Dead verdicts must produce the dual-coordinator split-brain");
+    assert_eq!(v.invariant, "split-brain");
+    // The attack inherently needs several windows: declare-dead,
+    // reinstate-elsewhere, then a third victim both coordinators race
+    // to adopt.
+    assert!(v.trace.len() >= 8, "trace: {:?}", v.trace);
+    let end = replay(&model, v.initial, &v.trace).expect("shrunk trace replays");
+    let n = 4usize;
+    let bad = (0..n).any(|w| {
+        (0..n)
+            .filter(|&i| end.hosted[i * n + w] && !end.protos[i].fenced())
+            .count()
+            > 1
+    });
+    assert!(bad, "replayed end state is split-brained");
+
+    // And with the fix in place, the same adversary finds nothing.
+    model.no_rejoin_refresh = false;
+    let fixed = explore(
+        &model,
+        &Options {
+            max_depth: 16,
+            max_states: 1 << 23,
+        },
+    );
+    assert!(
+        fixed.violation.is_none(),
+        "unexpected: {:?}",
+        fixed.violation.map(|v| v.render())
+    );
+}
+
+#[test]
+fn even_splits_are_outside_the_lease_protocol_safety_envelope() {
+    // Documented scope boundary (DESIGN.md): with two groups of >= 2,
+    // both sides keep their leases alive and the majority coordinator
+    // fails over a still-running minority node. The checker exhibits
+    // the counterexample rather than sweeping it under the rug.
+    let mut model = FleetModel::standard(4);
+    model.partitions = PartitionClass::AllBipartitions;
+    let report = explore(
+        &model,
+        &Options {
+            max_depth: 6,
+            max_states: 1 << 22,
+        },
+    );
+    let v = report
+        .violation
+        .expect("an even split must split-brain the lease protocol");
+    assert_eq!(v.invariant, "split-brain");
+}

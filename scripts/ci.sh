@@ -122,6 +122,32 @@ diff -u tests/golden/fleet_soak_smoke.jsonl "$FLEET_T" \
   || { echo "FAIL: --tiered fleet soak diverges from pinned golden"; exit 1; }
 echo "tiered fleet soak: byte-identical to pinned golden"
 
+echo "== tier 3: bounded model checking (rse-mc)"
+# Four theorem binaries drive the REAL production types (ModuleHealth,
+# Ioq, NodeProtocol) through every schedule of a bounded adversary and
+# exit non-zero on any counterexample, printing the shrunk event trace.
+# Depth bounds are fixed here for CI; RSE_MC_DEPTH overrides the
+# exhaustive runs and RSE_MC_SWEEP_DEPTH the unbounded-window fleet
+# sweep for deeper offline sessions. Each line reports the explored
+# state count and whether the run closed the full reachable space
+# (exhaustive=true).
+cargo test -q --offline --release -p rse-mc
+cargo run --release --offline -q -p rse-mc --bin mc_health
+cargo run --release --offline -q -p rse-mc --bin mc_ioq
+cargo run --release --offline -q -p rse-mc --bin mc_liveness
+cargo run --release --offline -q -p rse-mc --bin mc_fleet
+# The standing self-test that the theorems have teeth: removing the
+# contact lease must produce a printed split-brain counterexample and
+# a non-zero exit.
+if RSE_MC_MUTATE=no-self-fence cargo run --release --offline -q \
+    -p rse-mc --bin mc_fleet >"${TMPDIR:-/tmp}/mc_mutate.out" 2>&1; then
+  echo "FAIL: seeded no-self-fence mutation was not caught"; exit 1
+fi
+grep -q "counterexample: invariant 'split-brain'" "${TMPDIR:-/tmp}/mc_mutate.out" \
+  || { echo "FAIL: mutation run printed no counterexample trace"; exit 1; }
+rm -f "${TMPDIR:-/tmp}/mc_mutate.out"
+echo "model checking: four theorem groups verified; seeded mutation caught"
+
 echo "== tiered execution speed curve (BENCH_tiered.json, gate >= 5x)"
 # Regenerates the committed perf-trajectory artifact and gates the
 # smoke_baseline/smoke_tiered median speedup at 5x (measured ~8x; the

@@ -71,6 +71,61 @@ fn stall_window_bounded_by_module_latency() {
     }
 }
 
+/// The stuck-at fault vocabulary is load-bearing: the Display strings
+/// appear in diagnostics, the model names are JSONL fields and CLI
+/// arguments of recorded campaigns, and the plan descriptions are
+/// pinned in golden files. None of them may drift.
+#[test]
+fn stuck_at_fault_strings_are_pinned() {
+    use rse::core::ioq::IoqFault;
+    use rse_inject::{FaultModel, FaultPlan, PlannedFault};
+
+    // Table 2 diagnostic strings (IoqFault Display).
+    assert_eq!(
+        IoqFault::ValidStuck0.to_string(),
+        "checkValid stuck at 0 (blocking CHECKs stall forever)"
+    );
+    assert_eq!(
+        IoqFault::ValidStuck1.to_string(),
+        "checkValid stuck at 1 (results pass before modules finish)"
+    );
+    assert_eq!(
+        IoqFault::CheckStuck0.to_string(),
+        "check stuck at 0 (errors never reported: false negative)"
+    );
+    assert_eq!(
+        IoqFault::CheckStuck1.to_string(),
+        "check stuck at 1 (pipeline flushed repeatedly)"
+    );
+
+    // Campaign model tokens (JSONL `model` field / CLI argument) and
+    // their round-trip through the parser.
+    for (model, name) in [
+        (FaultModel::ModValidStuck0, "mod-valid-stuck0"),
+        (FaultModel::ModValidStuck1, "mod-valid-stuck1"),
+    ] {
+        assert_eq!(model.name(), name);
+        assert_eq!(FaultModel::from_name(name), Some(model));
+    }
+
+    // Plan descriptions (JSONL `fault` field of recorded campaigns).
+    for (fault, line) in [
+        (IoqFault::ValidStuck0, "ioq[icm]=valid-stuck0"),
+        (IoqFault::ValidStuck1, "ioq[icm]=valid-stuck1"),
+        (IoqFault::CheckStuck0, "ioq[icm]=check-stuck0"),
+        (IoqFault::CheckStuck1, "ioq[icm]=check-stuck1"),
+    ] {
+        let plan = FaultPlan {
+            faults: vec![PlannedFault::ModuleIoq {
+                module: ModuleId::ICM,
+                fault,
+            }],
+        };
+        assert_eq!(plan.describe(), line);
+    }
+    assert_eq!(FaultPlan { faults: vec![] }.describe(), "none");
+}
+
 proptest! {
     /// Arbitrary allocate/complete/free sequences keep the IOQ's gate
     /// consistent with the Table 1 truth table at every step.

@@ -95,6 +95,61 @@ fn corpus_programs_agree_across_tiers_at_seeded_switch_points() {
     }
 }
 
+/// Degenerate window geometry, pinned explicitly: zero-width windows
+/// (open == close), windows opening at the very first unified-clock
+/// point, margins that reach back past cycle 0, and windows (or
+/// margins) placed beyond the program's end. The randomized draws in
+/// `window_from` *can* produce each of these, but an explicit table
+/// keeps every edge exercised on every run — these are exactly the
+/// off-by-one boundaries where a tier handoff would slice an
+/// instruction in half.
+#[test]
+fn degenerate_windows_preserve_architectural_state() {
+    let mut s = 0xED6E_u64;
+    for seed in (0..4).map(|_| splitmix64(&mut s)) {
+        let image = assemble(&generate_program(seed)).expect("program assembles");
+        let (gr, gs, _) = run_golden(&image);
+        let want = state_digest(&gr, &gs);
+        let horizon = golden_horizon(&image);
+        let cases: Vec<(&str, Window)> = vec![
+            ("zero-width at cycle 0", Window::around(0, 0, 0)),
+            (
+                "zero-width mid-run",
+                Window::around(horizon / 2, horizon / 2, 0),
+            ),
+            (
+                "zero-width at the horizon",
+                Window::around(horizon, horizon, 0),
+            ),
+            (
+                "opens at cycle 0 with margin",
+                Window::around(0, horizon / 2, 32),
+            ),
+            ("margin reaches past cycle 0", Window::around(3, 5, 64)),
+            (
+                "margin past the program end",
+                Window::around(horizon, horizon, horizon + 64),
+            ),
+            (
+                "window beyond the program end",
+                Window::around(horizon + 7, horizon + 9, 2),
+            ),
+            (
+                "closes exactly at the horizon",
+                Window::around(horizon / 3, horizon, 1),
+            ),
+        ];
+        for (label, window) in cases {
+            let (tr, ts, _) = run_tiered(&image, &window);
+            assert_eq!(
+                state_digest(&tr, &ts),
+                want,
+                "program {seed:#018x}, {label} ({window:?}, horizon {horizon}) diverged"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
