@@ -27,25 +27,28 @@
 //!   `--runs` runs each.
 //!
 //! Flags: `--seed <u64>` base seed (default 0xD5B), `--runs <n>` runs
-//! per cell for `--control`/full (default 8), `--out <path>` write the
-//! JSONL there instead of stdout, `--no-table` suppress the coverage
-//! table, `--tiered` run deterministic fault-free segments on the
-//! functional tier, `--threads <n>` shard runs across worker threads.
-//! Neither execution flag changes a single output byte — CI diffs the
-//! tiered and sharded smoke output against the same pinned golden.
+//! per cell for `--control`/full (default 8), `--model <name>` restrict
+//! the full campaign to one fault model, `--list-models` print the
+//! model catalog and exit, `--out <path>` write the JSONL there instead
+//! of stdout, `--no-table` suppress the coverage table, `--tiered` run
+//! deterministic fault-free segments on the functional tier,
+//! `--threads <n>` shard runs across worker threads. Neither execution
+//! flag changes a single output byte — CI diffs the tiered and sharded
+//! smoke output against the same pinned golden.
 
 use std::process::ExitCode;
 
-use rse_bench::{numeric, write_atomic};
+use rse_bench::{numeric, suggest, write_atomic};
 use rse_inject::{
-    coverage_table, run_campaign_with, to_jsonl, CampaignOptions, CampaignSpec, Histogram,
+    coverage_table, run_campaign_with, to_jsonl, CampaignOptions, CampaignSpec, FaultModel,
+    Histogram,
 };
 
 /// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
 const DEFAULT_SEED: u64 = 0xD5B;
 
 const USAGE: &str = "usage: campaign [--smoke | --control | --quarantine] [--seed N] [--runs N] \
-     [--out FILE] [--no-table] [--tiered] [--threads N]";
+     [--model NAME] [--list-models] [--out FILE] [--no-table] [--tiered] [--threads N]";
 
 enum Mode {
     Smoke,
@@ -58,6 +61,8 @@ struct Args {
     mode: Mode,
     seed: u64,
     runs: u32,
+    model: Option<FaultModel>,
+    list_models: bool,
     out: Option<String>,
     table: bool,
     opts: CampaignOptions,
@@ -68,6 +73,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         mode: Mode::Full,
         seed: DEFAULT_SEED,
         runs: 8,
+        model: None,
+        list_models: false,
         out: None,
         table: true,
         opts: CampaignOptions::default(),
@@ -80,6 +87,20 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--quarantine" => args.mode = Mode::Quarantine,
             "--seed" => args.seed = numeric("--seed", it.next())?,
             "--runs" => args.runs = numeric("--runs", it.next())?,
+            "--model" => {
+                let name = it.next().ok_or("--model expects a model name")?;
+                let Some(model) = FaultModel::from_name(&name) else {
+                    let candidates = FaultModel::ALL.iter().map(|m| m.name());
+                    return Err(match suggest(&name, candidates) {
+                        Some(s) => format!(
+                            "unknown model '{name}' (did you mean '{s}'? see --list-models)"
+                        ),
+                        None => format!("unknown model '{name}' (see --list-models)"),
+                    });
+                };
+                args.model = Some(model);
+            }
+            "--list-models" => args.list_models = true,
             "--out" => {
                 args.out = Some(it.next().ok_or("--out expects a file path")?);
             }
@@ -89,6 +110,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--help" | "-h" => return Err(String::new()),
             _ => return Err(format!("unknown flag '{a}'")),
         }
+    }
+    if args.model.is_some() && !matches!(args.mode, Mode::Full) {
+        return Err("--model applies to the full campaign only".into());
     }
     Ok(args)
 }
@@ -104,12 +128,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let spec = match args.mode {
+    if args.list_models {
+        println!("fault models:");
+        for m in FaultModel::ALL {
+            println!("  {:<18} {}", m.name(), m.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut spec = match args.mode {
         Mode::Smoke => CampaignSpec::smoke(args.seed),
         Mode::Control => CampaignSpec::control(args.seed, args.runs),
         Mode::Quarantine => CampaignSpec::quarantine(args.seed, args.runs),
         Mode::Full => CampaignSpec::full(args.seed, args.runs),
     };
+    if let Some(model) = args.model {
+        spec.cells.retain(|c| c.model == model);
+        if spec.cells.is_empty() {
+            eprintln!(
+                "campaign: no workload accepts model '{}' (it may be module-targeted; \
+                 try --quarantine)",
+                model.name()
+            );
+            return ExitCode::from(2);
+        }
+    }
     eprintln!(
         "campaign: {} cells, {} runs, base seed {:#x}",
         spec.cells.len(),

@@ -121,6 +121,40 @@ pub fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T,
         .map_err(|_| format!("{flag}: '{v}' is not a valid unsigned integer"))
 }
 
+/// Edit (Levenshtein) distance between two ASCII-ish strings; used to
+/// suggest the nearest valid model name on a typo.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `input` by edit distance, provided it is
+/// close enough to plausibly be a typo (distance at most half the
+/// input's length, and never more than 4). Ties go to the earliest
+/// candidate, so the suggestion is stable across runs.
+pub fn suggest<'a>(input: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        let d = edit_distance(input, c);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    let (d, name) = best?;
+    let budget = (input.chars().count() / 2).clamp(1, 4);
+    (d <= budget).then_some(name)
+}
+
 /// Formats a row of a fixed-width table.
 pub fn row(cells: &[&str], widths: &[usize]) -> String {
     let mut out = String::new();
@@ -170,6 +204,16 @@ mod tests {
     #[test]
     fn row_formatting() {
         assert_eq!(row(&["a", "bb"], &[3, 4]), "  a    bb");
+    }
+
+    #[test]
+    fn suggest_finds_the_nearest_plausible_name() {
+        let models = ["node-crash", "node-hang", "partition", "hb-loss-burst"];
+        assert_eq!(suggest("node-crsh", models), Some("node-crash"));
+        assert_eq!(suggest("partitoin", models), Some("partition"));
+        assert_eq!(suggest("hb-loss", models), None); // 6 edits: too far
+        assert_eq!(suggest("zzzzz", models), None);
+        assert_eq!(suggest("x", []), None);
     }
 
     #[test]

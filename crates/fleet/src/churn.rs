@@ -1,0 +1,465 @@
+//! Declarative churn models for chaos campaigns: fleet-scale weather.
+//!
+//! A [`ChurnModel`] is to the chaos engine what `NodeFaultModel` is to
+//! the 5-node soak: a named, seed-replayable family of disturbances.
+//! Where a soak fault touches *one* node, a churn plan schedules
+//! fleet-scale weather — rolling-restart waves, correlated rack
+//! partitions, permanent crash storms, load ramps, and cascading
+//! failures triggered by the fleet's own failover activity. The plan is
+//! fully expanded from `(model, seed)` by the in-repo splitmix64, so the
+//! JSONL `seed` field replays the exact 1k-node history forever.
+
+use crate::NodeId;
+use rse_support::rng::splitmix64;
+
+/// The churn (fleet-weather) models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnModel {
+    /// No faults: pure load ramp (the availability control group).
+    Steady,
+    /// Staggered rolling-restart waves (planned maintenance).
+    RollingRestart,
+    /// Correlated rack partitions: whole racks cut off, then healed.
+    RackPartition,
+    /// A storm of permanent, uncorrelated node crashes.
+    CrashStorm,
+    /// A few seed crashes plus a failover-triggered cascading kill.
+    Cascade,
+    /// Everything at once: restarts, a rack cut, crashes, and a cascade.
+    FullWeather,
+}
+
+impl ChurnModel {
+    /// Every model, in a stable order.
+    pub const ALL: [ChurnModel; 6] = [
+        ChurnModel::Steady,
+        ChurnModel::RollingRestart,
+        ChurnModel::RackPartition,
+        ChurnModel::CrashStorm,
+        ChurnModel::Cascade,
+        ChurnModel::FullWeather,
+    ];
+
+    /// Stable model name (JSONL field, seed derivation, CLI flag).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnModel::Steady => "steady",
+            ChurnModel::RollingRestart => "rolling-restart",
+            ChurnModel::RackPartition => "rack-partition",
+            ChurnModel::CrashStorm => "crash-storm",
+            ChurnModel::Cascade => "cascade",
+            ChurnModel::FullWeather => "full-weather",
+        }
+    }
+
+    /// One-line human description (`--list-models` output).
+    pub fn describe(self) -> &'static str {
+        match self {
+            ChurnModel::Steady => "no faults: load ramp only (availability control)",
+            ChurnModel::RollingRestart => "staggered restart waves across the fleet",
+            ChurnModel::RackPartition => "correlated rack partitions, then heal",
+            ChurnModel::CrashStorm => "uncorrelated permanent node crashes",
+            ChurnModel::Cascade => "seed crashes plus failover-triggered cascade",
+            ChurnModel::FullWeather => "restarts + rack cut + crashes + cascade",
+        }
+    }
+
+    /// Parses a model name (the inverse of [`ChurnModel::name`]).
+    pub fn from_name(name: &str) -> Option<ChurnModel> {
+        Self::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// Stable index for seed derivation.
+    pub fn index(self) -> u64 {
+        Self::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("model is in ALL") as u64
+    }
+}
+
+impl std::fmt::Display for ChurnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A staggered restart wave: nodes `first..first+count` (mod fleet size)
+/// go down one `stagger` apart, each for `down_for` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartWave {
+    /// First node of the wave goes down at this cycle.
+    pub start: u64,
+    /// First node id restarted.
+    pub first: NodeId,
+    /// Nodes restarted by the wave.
+    pub count: u16,
+    /// Gap between consecutive restarts in the wave.
+    pub stagger: u64,
+    /// Downtime of each restarted node.
+    pub down_for: u64,
+}
+
+/// A correlated rack partition: every link crossing the rack boundary is
+/// cut during `[from, from + dur)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackCut {
+    /// The rack cut off.
+    pub rack: u16,
+    /// Cut start.
+    pub from: u64,
+    /// Cut duration.
+    pub dur: u64,
+}
+
+/// A permanent fail-stop crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// Victim node.
+    pub node: NodeId,
+    /// Crash cycle.
+    pub at: u64,
+}
+
+/// A cascading-failure trigger: once the fleet has executed
+/// `after_failovers` failovers, `kills` additional still-up nodes crash
+/// permanently `lag` cycles later (recovery load begets more failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CascadeCfg {
+    /// Failover count that arms the cascade.
+    pub after_failovers: u64,
+    /// Nodes killed when it fires.
+    pub kills: u16,
+    /// Delay between the trigger and the kills.
+    pub lag: u64,
+}
+
+/// One phase of the request-load ramp: mean inter-arrival gap
+/// `mean_gap` until cycle `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPhase {
+    /// Phase end (exclusive).
+    pub until: u64,
+    /// Mean request inter-arrival gap, cycles.
+    pub mean_gap: u64,
+}
+
+/// A fully-sampled churn plan: everything the chaos engine schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// The model this plan was sampled from.
+    pub model: ChurnModel,
+    /// Service nodes in the fleet.
+    pub nodes: u16,
+    /// Racks the nodes are striped across.
+    pub racks: u16,
+    /// Cycle after which no new requests arrive.
+    pub duration: u64,
+    /// The request-load ramp, in phase order.
+    pub phases: Vec<LoadPhase>,
+    /// Rolling-restart waves.
+    pub waves: Vec<RestartWave>,
+    /// Correlated rack cuts.
+    pub cuts: Vec<RackCut>,
+    /// Permanent crashes.
+    pub crashes: Vec<Crash>,
+    /// Cascading-failure trigger, if armed.
+    pub cascade: Option<CascadeCfg>,
+}
+
+impl ChurnPlan {
+    /// Expands `(model, seed)` into a concrete plan for a fleet of
+    /// `nodes` service nodes striped over `racks` racks, with request
+    /// arrivals over `duration` cycles. Pure: same inputs → same plan.
+    pub fn sample(
+        model: ChurnModel,
+        seed: u64,
+        nodes: u16,
+        racks: u16,
+        duration: u64,
+    ) -> ChurnPlan {
+        assert!(nodes >= 3, "at least 3 service nodes");
+        assert!(racks >= 1 && racks <= nodes, "1..=nodes racks");
+        let mut s = seed ^ model.index().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || splitmix64(&mut s);
+        let d = duration;
+        let pick_node = |draw: u64| (draw % u64::from(nodes)) as NodeId;
+        // The default ramp: three phases, each doubling the load.
+        let phases = vec![
+            LoadPhase {
+                until: d / 3,
+                mean_gap: 160,
+            },
+            LoadPhase {
+                until: 2 * d / 3,
+                mean_gap: 80,
+            },
+            LoadPhase {
+                until: d,
+                mean_gap: 40,
+            },
+        ];
+        let sample_wave = |next: &mut dyn FnMut() -> u64, start_lo: u64| RestartWave {
+            start: start_lo + next() % (d / 10).max(1),
+            first: pick_node(next()),
+            count: (nodes / 8).max(1),
+            stagger: 400 + next() % 400,
+            down_for: 4_000 + next() % 4_000,
+        };
+        let sample_cut = |next: &mut dyn FnMut() -> u64| RackCut {
+            rack: (next() % u64::from(racks)) as u16,
+            from: d / 4 + next() % (d / 4).max(1),
+            dur: 15_000 + next() % 10_000,
+        };
+        let mut waves = Vec::new();
+        let mut cuts = Vec::new();
+        let mut crashes = Vec::new();
+        let mut cascade = None;
+        match model {
+            ChurnModel::Steady => {}
+            ChurnModel::RollingRestart => {
+                waves.push(sample_wave(&mut next, d / 5));
+                waves.push(sample_wave(&mut next, d / 2));
+            }
+            ChurnModel::RackPartition => {
+                let n = 1 + next() % 2;
+                for _ in 0..n {
+                    cuts.push(sample_cut(&mut next));
+                }
+            }
+            ChurnModel::CrashStorm => {
+                let n = 4 + next() % 6;
+                for _ in 0..n {
+                    crashes.push(Crash {
+                        node: pick_node(next()),
+                        at: d / 5 + next() % (d / 2).max(1),
+                    });
+                }
+            }
+            ChurnModel::Cascade => {
+                for _ in 0..2 {
+                    crashes.push(Crash {
+                        node: pick_node(next()),
+                        at: d / 4 + next() % (d / 8).max(1),
+                    });
+                }
+                cascade = Some(CascadeCfg {
+                    after_failovers: 2,
+                    kills: (nodes / 50).max(2),
+                    lag: 3_000,
+                });
+            }
+            ChurnModel::FullWeather => {
+                waves.push(sample_wave(&mut next, d / 5));
+                cuts.push(sample_cut(&mut next));
+                crashes.push(Crash {
+                    node: pick_node(next()),
+                    at: d / 3 + next() % (d / 6).max(1),
+                });
+                cascade = Some(CascadeCfg {
+                    after_failovers: 4,
+                    kills: (nodes / 50).max(2),
+                    lag: 2_500,
+                });
+            }
+        }
+        ChurnPlan {
+            model,
+            nodes,
+            racks,
+            duration,
+            phases,
+            waves,
+            cuts,
+            crashes,
+            cascade,
+        }
+    }
+
+    /// The rack of each service node: contiguous stripes of
+    /// `ceil(nodes / racks)` nodes (the `set_racks` vector).
+    pub fn rack_vector(&self) -> Vec<u16> {
+        let per = u16::try_from(u32::from(self.nodes).div_ceil(u32::from(self.racks)))
+            .expect("per-rack count fits");
+        (0..self.nodes).map(|i| i / per).collect()
+    }
+
+    /// The mean inter-arrival gap in force at `now` (`None` once
+    /// arrivals have ended).
+    pub fn gap_at(&self, now: u64) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|p| now < p.until)
+            .map(|p| p.mean_gap.max(1))
+    }
+}
+
+/// One churn run's SLO-graded outcome (a JSONL line). All fields are
+/// integers so records diff byte-for-byte across platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnRecord {
+    /// Churn model name.
+    pub model: &'static str,
+    /// Service nodes.
+    pub nodes: u16,
+    /// Racks.
+    pub racks: u16,
+    /// Replay seed (expands to the plan *and* the run history).
+    pub seed: u64,
+    /// Requests generated.
+    pub requests: u64,
+    /// Requests served within their deadline (first try or retried).
+    pub served: u64,
+    /// Served requests that needed at least one retry (degraded-but-served).
+    pub degraded: u64,
+    /// Requests lost (deadline exhausted).
+    pub lost: u64,
+    /// Availability in parts-per-million: `served / requests`.
+    pub availability_ppm: u64,
+    /// Node failovers executed (shards adopted away from a node).
+    pub failovers: u64,
+    /// Suspicions raised against nodes that were actually up and
+    /// reachable (the false-suspicion SLO numerator).
+    pub false_suspicions: u64,
+    /// Total suspicions raised (the false-suspicion SLO denominator).
+    pub suspicions: u64,
+    /// Median failure→failover latency, cycles (0 when no failovers).
+    pub failover_p50: u64,
+    /// 99th-percentile failure→failover latency, cycles.
+    pub failover_p99: u64,
+    /// Requests served by a node that no longer owned the shard at
+    /// completion time (split-brain audit; must be 0).
+    pub split_brain: u64,
+    /// Discrete events processed by the engine (throughput accounting).
+    pub events: u64,
+    /// Simulated cycles covered (horizon).
+    pub cycles: u64,
+}
+
+impl ChurnRecord {
+    /// Serializes the record as one JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"model\":\"{}\",\"nodes\":{},\"racks\":{},\"seed\":{},",
+                "\"requests\":{},\"served\":{},\"degraded\":{},\"lost\":{},",
+                "\"availability_ppm\":{},\"failovers\":{},",
+                "\"false_suspicions\":{},\"suspicions\":{},",
+                "\"failover_p50\":{},\"failover_p99\":{},\"split_brain\":{},",
+                "\"events\":{},\"cycles\":{}}}"
+            ),
+            self.model,
+            self.nodes,
+            self.racks,
+            self.seed,
+            self.requests,
+            self.served,
+            self.degraded,
+            self.lost,
+            self.availability_ppm,
+            self.failovers,
+            self.false_suspicions,
+            self.suspicions,
+            self.failover_p50,
+            self.failover_p99,
+            self.split_brain,
+            self.events,
+            self.cycles,
+        )
+    }
+}
+
+/// Serializes records as JSONL (one record per line, trailing newline).
+pub fn churn_to_jsonl(records: &[ChurnRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_pure_and_seed_sensitive() {
+        for model in ChurnModel::ALL {
+            let a = ChurnPlan::sample(model, 42, 100, 4, 100_000);
+            let b = ChurnPlan::sample(model, 42, 100, 4, 100_000);
+            assert_eq!(a, b, "{model}");
+            if model != ChurnModel::Steady {
+                let c = ChurnPlan::sample(model, 43, 100, 4, 100_000);
+                assert_ne!(a, c, "{model}: seed must matter");
+            }
+        }
+    }
+
+    #[test]
+    fn full_weather_covers_the_acceptance_triple() {
+        let p = ChurnPlan::sample(ChurnModel::FullWeather, 7, 1000, 20, 200_000);
+        assert!(!p.waves.is_empty(), "rolling restarts");
+        assert!(!p.cuts.is_empty(), "correlated rack partition");
+        assert!(p.cascade.is_some(), "cascading failure");
+        assert!(!p.crashes.is_empty());
+        for c in &p.cuts {
+            assert!(c.rack < 20);
+        }
+        for w in &p.waves {
+            assert!(w.count >= 1 && w.start < 200_000);
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_descriptions_exist() {
+        for m in ChurnModel::ALL {
+            assert_eq!(ChurnModel::from_name(m.name()), Some(m));
+            assert!(!m.describe().is_empty());
+        }
+        assert_eq!(ChurnModel::from_name("steady"), Some(ChurnModel::Steady));
+        assert_eq!(ChurnModel::from_name("stedy"), None);
+    }
+
+    #[test]
+    fn rack_vector_stripes_contiguously() {
+        let p = ChurnPlan::sample(ChurnModel::Steady, 1, 10, 3, 10_000);
+        assert_eq!(p.rack_vector(), vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn load_ramp_is_monotone_and_bounded() {
+        let p = ChurnPlan::sample(ChurnModel::Steady, 1, 100, 4, 90_000);
+        assert_eq!(p.gap_at(0), Some(160));
+        assert_eq!(p.gap_at(40_000), Some(80));
+        assert_eq!(p.gap_at(80_000), Some(40));
+        assert_eq!(p.gap_at(90_000), None);
+    }
+
+    #[test]
+    fn record_json_has_stable_keys() {
+        let r = ChurnRecord {
+            model: "steady",
+            nodes: 10,
+            racks: 2,
+            seed: 7,
+            requests: 100,
+            served: 99,
+            degraded: 3,
+            lost: 1,
+            availability_ppm: 990_000,
+            failovers: 0,
+            false_suspicions: 0,
+            suspicions: 0,
+            failover_p50: 0,
+            failover_p99: 0,
+            split_brain: 0,
+            events: 1234,
+            cycles: 50_000,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\"model\":\"steady\",\"nodes\":10,"));
+        assert!(j.ends_with("\"events\":1234,\"cycles\":50000}"));
+        assert_eq!(churn_to_jsonl(&[r.clone(), r]).lines().count(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! The discrete-event backbone of the fleet simulators.
+//!
+//! [`EventQueue`] is a deterministic binary-heap priority queue: events
+//! pop in `(time, insertion order)` — ties broken by a global push
+//! counter, so two runs that push the same events in the same order pop
+//! them in the same order, with no dependence on heap internals or
+//! payload values.
+//!
+//! The 5-node protocol simulator ([`crate::sim`]) and the 1k-node chaos
+//! engine ([`crate::chaos`]) both schedule on this queue; the former
+//! additionally aligns every event to its lockstep tick grid
+//! ([`align_up`]) so the event-driven run is provably equivalent to the
+//! per-cycle loop it replaced (see `DESIGN.md`, "Event-driven fleet").
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The smallest multiple of `tick` at or after `t` — the lockstep tick
+/// on which a per-cycle loop would first observe a deadline at `t`.
+///
+/// `align_up(t, 0)` is `t` (no grid).
+pub fn align_up(t: u64, tick: u64) -> u64 {
+    if tick == 0 {
+        return t;
+    }
+    t.div_ceil(tick).saturating_mul(tick)
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, E)>>,
+    pushed: u64,
+}
+
+impl<E: Ord> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Schedules `ev` at time `at`.
+    pub fn push(&mut self, at: u64, ev: E) {
+        self.heap.push(Reverse((at, self.pushed, ev)));
+        self.pushed += 1;
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_at(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((at, _, ev))| (at, ev))
+    }
+
+    /// Pops every event scheduled at or before `now`, in `(time,
+    /// insertion)` order — the whole batch one simulation step
+    /// processes.
+    pub fn pop_due(&mut self, now: u64) -> Vec<E> {
+        let mut due = Vec::new();
+        while self.peek_at().is_some_and(|at| at <= now) {
+            due.push(self.pop().expect("peeked").1);
+        }
+        due
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_snaps_to_the_next_grid_point() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+        assert_eq!(align_up(127, 64), 128);
+        assert_eq!(align_up(9, 0), 9);
+        // Saturates instead of overflowing near the end of time.
+        assert_eq!(align_up(u64::MAX - 1, 64), u64::MAX);
+    }
+
+    #[test]
+    fn events_pop_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(10, "b");
+        q.push(20, "z"); // payload order must NOT matter: insertion wins
+        q.push(20, "y");
+        assert_eq!(q.peek_at(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((20, "z")));
+        assert_eq!(q.pop(), Some((20, "y")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_due_drains_exactly_the_elapsed_prefix() {
+        let mut q = EventQueue::new();
+        for (at, ev) in [(5u64, 1u32), (64, 2), (64, 3), (65, 4)] {
+            q.push(at, ev);
+        }
+        assert!(q.pop_due(4).is_empty());
+        assert_eq!(q.pop_due(64), vec![1, 2, 3]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(u64::MAX), vec![4]);
+        assert!(q.is_empty());
+    }
+}

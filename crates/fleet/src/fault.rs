@@ -69,6 +69,24 @@ impl NodeFaultModel {
         }
     }
 
+    /// One-line human description (`--list-models` output).
+    pub fn describe(self) -> &'static str {
+        match self {
+            NodeFaultModel::Control => "no fault: the fleet control group",
+            NodeFaultModel::Crash => "whole-node fail-stop after replication began",
+            NodeFaultModel::CrashEarly => "fail-stop before any checkpoint left the node",
+            NodeFaultModel::Hang => "whole-node freeze (guest, daemon, and monitor)",
+            NodeFaultModel::SlowNode => "guest slowdown; heartbeats stretch with it",
+            NodeFaultModel::HbLoss => "burst of outgoing-heartbeat loss",
+            NodeFaultModel::Partition => "one-shot bidirectional isolation, then heal",
+        }
+    }
+
+    /// Parses a model name (the inverse of [`NodeFaultModel::name`]).
+    pub fn from_name(name: &str) -> Option<NodeFaultModel> {
+        Self::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
     /// Stable index for seed derivation.
     pub fn index(self) -> u64 {
         Self::ALL
@@ -295,6 +313,15 @@ mod tests {
         assert_eq!(NodeFaultModel::Crash.name(), "node-crash");
         assert_eq!(NodeFaultModel::Partition.to_string(), "partition");
         assert_eq!(NodeFaultModel::Control.index(), 0);
+    }
+
+    #[test]
+    fn names_round_trip_and_descriptions_exist() {
+        for m in NodeFaultModel::ALL {
+            assert_eq!(NodeFaultModel::from_name(m.name()), Some(m));
+            assert!(!m.describe().is_empty());
+        }
+        assert_eq!(NodeFaultModel::from_name("node-crsh"), None);
     }
 
     #[test]

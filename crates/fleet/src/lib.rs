@@ -30,6 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod churn;
+pub mod event;
 pub mod fault;
 pub mod net;
 pub mod node;
@@ -40,9 +43,15 @@ pub mod soak;
 /// Fleet node identifier (0-based, dense).
 pub type NodeId = u16;
 
+pub use chaos::{
+    derive_churn_seed, run_churn, witness_quanta, ChaosConfig, ChaosOutcome, ChaosPayload,
+    ChaosSim, ChurnCell, ChurnSpec,
+};
+pub use churn::{churn_to_jsonl, ChurnModel, ChurnPlan, ChurnRecord};
+pub use event::{align_up, EventQueue};
 pub use fault::{FleetProfile, NodeFault, NodeFaultModel, NodeFaultPlan};
-pub use net::{Message, NetConfig, NetStats, Network, Payload};
+pub use net::{Message, NetConfig, NetPayload, NetStats, Network, Payload, NO_RACK};
 pub use node::{FenceKind, Guest, Node, NodeStatus};
 pub use protocol::{FailoverOrder, NodeProtocol, ProtoMsg};
-pub use sim::{FleetConfig, FleetOutcome, FleetSim};
+pub use sim::{FleetConfig, FleetOutcome, FleetSim, Scheduler};
 pub use soak::{run_soak, run_soak_with, FleetCell, FleetSpec, SoakOptions};

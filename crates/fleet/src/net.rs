@@ -2,22 +2,53 @@
 //!
 //! Messages are delayed by a per-link distribution (base + uniform
 //! jitter), dropped with a configurable probability, and blocked by
-//! one-shot node partitions and heartbeat-loss bursts — all driven by the
-//! in-repo splitmix64 PRNG so a `(seed, config)` pair replays the exact
-//! same message history on any host.
+//! one-shot node partitions, rack-correlated cuts, and heartbeat-loss
+//! bursts — all driven by the in-repo splitmix64 PRNG so a `(seed,
+//! config)` pair replays the exact same message history on any host.
+//!
+//! The network is generic over its payload type ([`NetPayload`]): the
+//! 5-node protocol fabric ships [`Payload`] (heartbeats, snapshots,
+//! fencing orders), while the 1k-node chaos layer ships its own
+//! control-plane payloads over the identical delay/loss machinery.
 //!
 //! Determinism: the in-flight queue is a `BTreeMap` keyed by
 //! `(deliver_at, seq)` where `seq` is a global send counter, so
 //! same-cycle deliveries come out in send order; every random draw
 //! (drop sampling, delay jitter) happens at `send` time in the caller's
 //! deterministic send order.
+//!
+//! # Partition-crossing semantics
+//!
+//! A partition (or rack cut) kills a message if its flight **touches**
+//! the blocked window at any point: blocked at send time ⇒ dropped at
+//! send; entering, inside, or *spanning* the window in flight ⇒ dropped
+//! at delivery. The spanning case matters once windows can be shorter
+//! than a flight: a message queued across the partition boundary must
+//! not be delivered stale after the heal, as if the partition never
+//! happened (a healed TCP connection does not resurrect segments the
+//! partition timed out).
 
 use crate::NodeId;
 use rse_inject::ArchSnapshot;
 use rse_support::rng::splitmix64;
 use std::collections::BTreeMap;
 
-/// What a fleet message carries.
+/// Rack id meaning "not in any rack" (never hit by a rack cut); used by
+/// control-plane endpoints that model an out-of-band supervisory link.
+pub const NO_RACK: u16 = u16::MAX;
+
+/// A payload type the network can carry.
+///
+/// `is_beat` marks heartbeat-class messages, the only class a
+/// heartbeat-loss burst filters.
+pub trait NetPayload {
+    /// Whether a heartbeat-loss burst applies to this message.
+    fn is_beat(&self) -> bool {
+        false
+    }
+}
+
+/// What a fleet protocol message carries.
 #[derive(Debug, Clone)]
 pub enum Payload {
     /// A heartbeat (also serves as the reply to a [`Payload::Probe`]).
@@ -53,6 +84,12 @@ pub enum Payload {
     Reinstate,
 }
 
+impl NetPayload for Payload {
+    fn is_beat(&self) -> bool {
+        matches!(self, Payload::Beat)
+    }
+}
+
 impl Payload {
     /// Short tag for traces.
     pub fn tag(&self) -> &'static str {
@@ -70,13 +107,13 @@ impl Payload {
 
 /// One message in flight.
 #[derive(Debug, Clone)]
-pub struct Message {
+pub struct Message<P = Payload> {
     /// Sender node.
     pub src: NodeId,
     /// Receiver node.
     pub dst: NodeId,
     /// Content.
-    pub payload: Payload,
+    pub payload: P,
 }
 
 /// Network timing/loss parameters.
@@ -88,6 +125,13 @@ pub struct NetConfig {
     pub jitter: u64,
     /// Background random-loss probability, per mille (0 = lossless).
     pub drop_permille: u16,
+}
+
+impl NetConfig {
+    /// The largest delay this configuration can sample.
+    pub fn max_delay(&self) -> u64 {
+        self.base_delay + self.jitter.saturating_sub(1)
+    }
 }
 
 impl Default for NetConfig {
@@ -109,37 +153,68 @@ pub struct NetStats {
     pub delivered: u64,
     /// Messages lost to background random loss.
     pub dropped_random: u64,
-    /// Messages blocked by an active partition.
+    /// Messages whose flight touched an active node partition.
     pub dropped_partition: u64,
+    /// Messages whose flight crossed a rack-correlated cut.
+    pub dropped_rack: u64,
     /// Heartbeats blocked by a heartbeat-loss burst.
     pub dropped_burst: u64,
 }
 
+/// A blocked window `[from, to)` — shared shape for node partitions,
+/// rack cuts, and heartbeat-loss bursts.
+#[derive(Debug, Clone, Copy)]
+struct WindowOn {
+    key: u16,
+    from: u64,
+    to: u64,
+}
+
+impl WindowOn {
+    /// Whether the window is active at a single instant.
+    fn active_at(&self, t: u64) -> bool {
+        t >= self.from && t < self.to
+    }
+
+    /// Whether the window overlaps the closed flight interval
+    /// `[sent, now]`.
+    fn touches(&self, sent: u64, now: u64) -> bool {
+        self.from <= now && sent < self.to
+    }
+}
+
 /// The simulated lossy network.
 #[derive(Debug, Clone)]
-pub struct Network {
+pub struct Network<P = Payload> {
     cfg: NetConfig,
     rng: u64,
     seq: u64,
-    queue: BTreeMap<(u64, u64), Message>,
-    /// One-shot partitions: `(node, from, to)` — the node is bidirectionally
-    /// isolated during `[from, to)`.
-    partitions: Vec<(NodeId, u64, u64)>,
-    /// Heartbeat-loss bursts: `(node, from, to)` — `Beat` payloads *from*
-    /// the node are dropped during `[from, to)`.
-    beat_loss: Vec<(NodeId, u64, u64)>,
+    /// In flight: `(deliver_at, seq) -> (sent_at, message)`.
+    queue: BTreeMap<(u64, u64), (u64, Message<P>)>,
+    /// One-shot partitions: the node is bidirectionally isolated.
+    partitions: Vec<WindowOn>,
+    /// Rack cuts: every link with exactly one endpoint inside the rack
+    /// is blocked (intra-rack connectivity survives).
+    rack_cuts: Vec<WindowOn>,
+    /// Node → rack map (`NO_RACK` = outside every rack).
+    racks: Vec<u16>,
+    /// Heartbeat-loss bursts: `is_beat` payloads *from* the node are
+    /// dropped.
+    beat_loss: Vec<WindowOn>,
     stats: NetStats,
 }
 
-impl Network {
+impl<P: NetPayload> Network<P> {
     /// Creates a network with its own PRNG stream.
-    pub fn new(cfg: NetConfig, seed: u64) -> Network {
+    pub fn new(cfg: NetConfig, seed: u64) -> Network<P> {
         Network {
             cfg,
             rng: seed,
             seq: 0,
             queue: BTreeMap::new(),
             partitions: Vec::new(),
+            rack_cuts: Vec::new(),
+            racks: Vec::new(),
             beat_loss: Vec::new(),
             stats: NetStats::default(),
         }
@@ -152,46 +227,115 @@ impl Network {
 
     /// Installs a one-shot partition isolating `node` during `[from, to)`.
     pub fn add_partition(&mut self, node: NodeId, from: u64, to: u64) {
-        self.partitions.push((node, from, to));
+        self.partitions.push(WindowOn {
+            key: node,
+            from,
+            to,
+        });
+    }
+
+    /// Assigns every node its rack (`racks[node]`; nodes beyond the map
+    /// and `NO_RACK` entries are outside every rack).
+    pub fn set_racks(&mut self, racks: Vec<u16>) {
+        self.racks = racks;
+    }
+
+    /// Installs a rack cut: during `[from, to)` every link **crossing**
+    /// the boundary of `rack` is blocked, while intra-rack links keep
+    /// working — the correlated failure a top-of-rack switch loss
+    /// causes.
+    pub fn add_rack_cut(&mut self, rack: u16, from: u64, to: u64) {
+        self.rack_cuts.push(WindowOn {
+            key: rack,
+            from,
+            to,
+        });
     }
 
     /// Installs a heartbeat-loss burst dropping `node`'s outgoing beats
     /// during `[from, to)`.
     pub fn add_beat_loss(&mut self, node: NodeId, from: u64, to: u64) {
-        self.beat_loss.push((node, from, to));
+        self.beat_loss.push(WindowOn {
+            key: node,
+            from,
+            to,
+        });
+    }
+
+    /// The rack `node` belongs to (`NO_RACK` if unassigned).
+    pub fn rack_of(&self, node: NodeId) -> u16 {
+        self.racks
+            .get(usize::from(node))
+            .copied()
+            .unwrap_or(NO_RACK)
     }
 
     /// Whether `node` is inside an active partition window at `now`.
     pub fn partitioned(&self, node: NodeId, now: u64) -> bool {
         self.partitions
             .iter()
-            .any(|&(n, from, to)| n == node && now >= from && now < to)
+            .any(|w| w.key == node && w.active_at(now))
+    }
+
+    /// Whether the `src → dst` link is blocked by a rack cut at `now`.
+    pub fn rack_cut(&self, src: NodeId, dst: NodeId, now: u64) -> bool {
+        self.rack_cuts
+            .iter()
+            .any(|w| w.active_at(now) && self.link_crosses_rack(src, dst, w.key))
     }
 
     /// Whether `node`'s outgoing beats are inside a loss burst at `now`.
     pub fn in_beat_loss(&self, node: NodeId, now: u64) -> bool {
         self.beat_loss
             .iter()
-            .any(|&(n, from, to)| n == node && now >= from && now < to)
+            .any(|w| w.key == node && w.active_at(now))
+    }
+
+    /// A link crosses a rack boundary iff exactly one endpoint is inside.
+    fn link_crosses_rack(&self, src: NodeId, dst: NodeId, rack: u16) -> bool {
+        (self.rack_of(src) == rack) != (self.rack_of(dst) == rack)
+    }
+
+    /// Whether any node partition on either endpoint touched the flight
+    /// interval `[sent, now]`.
+    fn partition_touched(&self, src: NodeId, dst: NodeId, sent: u64, now: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|w| (w.key == src || w.key == dst) && w.touches(sent, now))
+    }
+
+    /// Whether any rack cut on the link touched the flight interval.
+    fn rack_touched(&self, src: NodeId, dst: NodeId, sent: u64, now: u64) -> bool {
+        self.rack_cuts
+            .iter()
+            .any(|w| w.touches(sent, now) && self.link_crosses_rack(src, dst, w.key))
     }
 
     /// Sends a message at cycle `now`: samples loss and delay, then
-    /// queues it. Partition checks re-run at delivery time, so a message
-    /// in flight when the partition starts is also lost.
-    pub fn send(&mut self, now: u64, msg: Message) {
+    /// queues it. Returns the delivery cycle if the message was queued
+    /// (event-driven callers schedule their delivery wake from it), or
+    /// `None` if it was dropped at send time. Partition checks re-run at
+    /// delivery time against the whole flight interval, so a message in
+    /// flight when a partition starts — or whose flight spans a short
+    /// partition entirely — is also lost.
+    pub fn send(&mut self, now: u64, msg: Message<P>) -> Option<u64> {
         if self.partitioned(msg.src, now) || self.partitioned(msg.dst, now) {
             self.stats.dropped_partition += 1;
-            return;
+            return None;
         }
-        if matches!(msg.payload, Payload::Beat) && self.in_beat_loss(msg.src, now) {
+        if self.rack_cut(msg.src, msg.dst, now) {
+            self.stats.dropped_rack += 1;
+            return None;
+        }
+        if msg.payload.is_beat() && self.in_beat_loss(msg.src, now) {
             self.stats.dropped_burst += 1;
-            return;
+            return None;
         }
         if self.cfg.drop_permille > 0
             && splitmix64(&mut self.rng) % 1000 < u64::from(self.cfg.drop_permille)
         {
             self.stats.dropped_random += 1;
-            return;
+            return None;
         }
         let jitter = if self.cfg.jitter == 0 {
             0
@@ -199,22 +343,28 @@ impl Network {
             splitmix64(&mut self.rng) % self.cfg.jitter
         };
         let at = now + self.cfg.base_delay + jitter;
-        self.queue.insert((at, self.seq), msg);
+        self.queue.insert((at, self.seq), (now, msg));
         self.seq += 1;
         self.stats.sent += 1;
+        Some(at)
     }
 
     /// Pops every message due at or before `now`, re-checking partitions
-    /// at delivery time. Delivery order: `(deliver_at, send seq)`.
-    pub fn deliver_due(&mut self, now: u64) -> Vec<Message> {
+    /// and rack cuts against each message's full flight interval
+    /// `[sent_at, now]`. Delivery order: `(deliver_at, send seq)`.
+    pub fn deliver_due(&mut self, now: u64) -> Vec<Message<P>> {
         let mut out = Vec::new();
         while let Some((&key, _)) = self.queue.iter().next() {
             if key.0 > now {
                 break;
             }
-            let msg = self.queue.remove(&key).expect("key just observed");
-            if self.partitioned(msg.src, now) || self.partitioned(msg.dst, now) {
+            let (sent_at, msg) = self.queue.remove(&key).expect("key just observed");
+            if self.partition_touched(msg.src, msg.dst, sent_at, now) {
                 self.stats.dropped_partition += 1;
+                continue;
+            }
+            if self.rack_touched(msg.src, msg.dst, sent_at, now) {
+                self.stats.dropped_rack += 1;
                 continue;
             }
             self.stats.delivered += 1;
@@ -236,18 +386,19 @@ mod tests {
         }
     }
 
+    fn lossless(base_delay: u64) -> NetConfig {
+        NetConfig {
+            base_delay,
+            jitter: 0,
+            drop_permille: 0,
+        }
+    }
+
     #[test]
     fn delivery_respects_delay_and_order() {
-        let mut net = Network::new(
-            NetConfig {
-                base_delay: 10,
-                jitter: 0,
-                drop_permille: 0,
-            },
-            7,
-        );
-        net.send(0, beat(0, 1));
-        net.send(0, beat(0, 2));
+        let mut net = Network::new(lossless(10), 7);
+        assert_eq!(net.send(0, beat(0, 1)), Some(10));
+        assert_eq!(net.send(0, beat(0, 2)), Some(10));
         assert!(net.deliver_due(9).is_empty());
         let got = net.deliver_due(10);
         assert_eq!(got.len(), 2);
@@ -258,27 +409,13 @@ mod tests {
 
     #[test]
     fn partitions_block_both_directions_and_in_flight() {
-        let mut net = Network::new(
-            NetConfig {
-                base_delay: 10,
-                jitter: 0,
-                drop_permille: 0,
-            },
-            7,
-        );
+        let mut net = Network::new(lossless(10), 7);
         net.add_partition(1, 5, 100);
-        net.send(6, beat(1, 0)); // from the partitioned node: dropped at send
-        net.send(6, beat(0, 1)); // to the partitioned node: dropped at send
+        assert_eq!(net.send(6, beat(1, 0)), None); // from: dropped at send
+        assert_eq!(net.send(6, beat(0, 1)), None); // to: dropped at send
         assert!(net.deliver_due(50).is_empty());
         // In flight when the partition begins: dropped at delivery.
-        let mut net = Network::new(
-            NetConfig {
-                base_delay: 10,
-                jitter: 0,
-                drop_permille: 0,
-            },
-            7,
-        );
+        let mut net = Network::new(lossless(10), 7);
         net.add_partition(1, 5, 100);
         net.send(0, beat(0, 1)); // due at 10, partition starts at 5
         assert!(net.deliver_due(20).is_empty());
@@ -286,15 +423,71 @@ mod tests {
     }
 
     #[test]
+    fn partition_healing_drops_in_flight_messages_not_delivers_them_stale() {
+        // A message queued across a partition boundary whose delivery is
+        // polled only AFTER the heal must be dropped, not delivered as
+        // if the partition never happened. (The flight interval
+        // [2, 150] spans the whole [5, 100) window.)
+        let mut net = Network::new(lossless(10), 7);
+        net.add_partition(1, 5, 100);
+        assert_eq!(net.send(2, beat(0, 1)), Some(12)); // queued pre-partition
+        let got = net.deliver_due(150); // first poll is post-heal
+        assert!(got.is_empty(), "stale pre-partition message delivered");
+        assert_eq!(net.stats().dropped_partition, 1);
+        assert_eq!(net.stats().delivered, 0);
+        // Traffic sent after the heal flows again.
+        assert_eq!(net.send(150, beat(0, 1)), Some(160));
+        assert_eq!(net.deliver_due(160).len(), 1);
+    }
+
+    #[test]
+    fn flights_entirely_outside_the_window_are_unaffected() {
+        let mut net = Network::new(lossless(10), 7);
+        net.add_partition(1, 50, 60);
+        // Flight [0, 10]: completes before the window opens.
+        net.send(0, beat(0, 1));
+        assert_eq!(net.deliver_due(10).len(), 1);
+        // Flight [60, 70]: starts at the instant the window closes.
+        net.send(60, beat(0, 1));
+        assert_eq!(net.deliver_due(70).len(), 1);
+        assert_eq!(net.stats().dropped_partition, 0);
+    }
+
+    #[test]
+    fn rack_cut_blocks_only_boundary_crossing_links() {
+        // Nodes 0,1 in rack 0; nodes 2,3 in rack 1; node 4 rackless.
+        let mut net = Network::new(lossless(10), 7);
+        net.set_racks(vec![0, 0, 1, 1]);
+        net.add_rack_cut(0, 5, 100);
+        assert_eq!(net.send(10, beat(0, 2)), None); // crosses out of rack 0
+        assert_eq!(net.send(10, beat(3, 1)), None); // crosses into rack 0
+        assert_eq!(net.send(10, beat(4, 0)), None); // rackless → rack 0
+        assert!(net.send(10, beat(0, 1)).is_some()); // intra-rack survives
+        assert!(net.send(10, beat(2, 3)).is_some()); // other rack untouched
+        assert!(net.send(10, beat(2, 4)).is_some()); // fully outside
+        assert_eq!(net.deliver_due(50).len(), 3);
+        assert_eq!(net.stats().dropped_rack, 3);
+        // After the cut heals, cross-boundary links work again.
+        assert!(net.send(100, beat(0, 2)).is_some());
+        assert_eq!(net.deliver_due(120).len(), 1);
+    }
+
+    #[test]
+    fn rack_cut_drops_in_flight_crossing_messages() {
+        let mut net = Network::new(lossless(10), 7);
+        net.set_racks(vec![0, 0, 1]);
+        net.add_rack_cut(1, 5, 100);
+        net.send(0, beat(0, 2)); // in flight when the cut starts
+        net.send(0, beat(0, 1)); // intra-rack flight unaffected
+        let got = net.deliver_due(150);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].dst, 1);
+        assert_eq!(net.stats().dropped_rack, 1);
+    }
+
+    #[test]
     fn beat_loss_drops_only_beats() {
-        let mut net = Network::new(
-            NetConfig {
-                base_delay: 1,
-                jitter: 0,
-                drop_permille: 0,
-            },
-            7,
-        );
+        let mut net = Network::new(lossless(1), 7);
         net.add_beat_loss(2, 0, 100);
         net.send(10, beat(2, 0));
         net.send(10, beat(0, 2)); // inbound beats unaffected
@@ -309,6 +502,22 @@ mod tests {
         let got = net.deliver_due(50);
         assert_eq!(got.len(), 2);
         assert_eq!(net.stats().dropped_burst, 1);
+    }
+
+    #[test]
+    fn max_delay_bounds_every_sampled_delivery() {
+        let cfg = NetConfig {
+            base_delay: 5,
+            jitter: 16,
+            drop_permille: 0,
+        };
+        assert_eq!(cfg.max_delay(), 20);
+        let mut net: Network = Network::new(cfg, 99);
+        for t in 0..200u64 {
+            let at = net.send(t, beat(0, 1)).expect("lossless");
+            assert!(at >= t + 5 && at <= t + cfg.max_delay());
+        }
+        assert_eq!(NetConfig { jitter: 0, ..cfg }.max_delay(), 5);
     }
 
     #[test]

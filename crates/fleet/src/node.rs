@@ -163,4 +163,50 @@ impl Node {
     pub fn guest_for(&self, w: NodeId) -> Option<&Guest> {
         self.guests.iter().find(|g| g.owner == w)
     }
+
+    /// The earliest cycle at which this node can next change state or
+    /// send a message — the event-driven scheduler's wake deadline.
+    /// `None` for dead nodes (every further turn is a no-op) and for
+    /// nodes with no pending deadline at all.
+    ///
+    /// The deadline sources mirror the turn phases of
+    /// [`crate::FleetSim`]: lease expiry, the suspicion ladder, guest
+    /// quanta (a runnable guest advances every `tick`), the armed
+    /// rejoin-petition backoff, and the idle-beat timer. Deliveries are
+    /// not represented here — the scheduler grants a same-tick turn for
+    /// those separately.
+    pub fn wake_deadline(&self, now: u64, tick: u64, lease_timeout: u64) -> Option<u64> {
+        if self.status != NodeStatus::Running {
+            return None;
+        }
+        let mut next: Option<u64> = None;
+        let mut consider = |d: u64| next = Some(next.map_or(d, |n| d.min(n)));
+        if !self.proto.fenced() {
+            // (a) Lease expiry: the first tick check_lease can fence.
+            consider(self.proto.lease_deadline(lease_timeout));
+            // (g) Earliest suspicion-ladder transition or probe.
+            if let Some(d) = self.monitor.next_deadline() {
+                consider(d);
+            }
+            // (e) A runnable guest advances every tick; a pending
+            // adoption starts at its fence-grace boundary.
+            for g in &self.guests {
+                if g.done {
+                    continue;
+                }
+                consider(if now >= g.start_at {
+                    now + tick
+                } else {
+                    g.start_at
+                });
+            }
+        }
+        // (b) Armed rejoin-petition backoff (self-fenced nodes only).
+        if let Some(d) = self.proto.petition_deadline() {
+            consider(d);
+        }
+        // (f) Idle-daemon heartbeat (beats even while fenced).
+        consider(self.next_idle_beat);
+        next
+    }
 }

@@ -159,6 +159,13 @@ impl NodeProtocol {
     /// Contact-lease check: an unfenced node with no inbound traffic for
     /// more than `lease_timeout` cycles self-fences (probable
     /// partition). Returns whether the fence was newly imposed.
+    ///
+    /// Boundary semantics (pinned by `lease_boundary_is_exclusive`): the
+    /// comparison is strict, so the lease is still **valid at exactly
+    /// its expiry cycle** `last_inbound + lease_timeout` and fences one
+    /// cycle later. [`NodeProtocol::lease_deadline`] is that first
+    /// fencing cycle; event-driven schedulers must wake the node there,
+    /// not one cycle early.
     pub fn check_lease(&mut self, now: u64, lease_timeout: u64) -> bool {
         if self.fence == FenceKind::None && now.saturating_sub(self.last_inbound) > lease_timeout {
             self.fence = FenceKind::SelfLease;
@@ -166,6 +173,34 @@ impl NodeProtocol {
             true
         } else {
             false
+        }
+    }
+
+    /// The earliest cycle at which [`NodeProtocol::check_lease`] can
+    /// fence: one past the inclusive expiry cycle. This is the single
+    /// source of truth for the lease wake-up deadline — the event-driven
+    /// fleet scheduler derives its lease wake from this function, so the
+    /// boundary cannot drift between the checker and the scheduler.
+    pub fn lease_deadline(&self, lease_timeout: u64) -> u64 {
+        self.last_inbound
+            .saturating_add(lease_timeout)
+            .saturating_add(1)
+    }
+
+    /// The next cycle at which [`NodeProtocol::should_petition`] could
+    /// fire, or `None` while the node is not petition-eligible (not
+    /// self-fenced, or no contact since the fence). Like
+    /// [`NodeProtocol::lease_deadline`] this is the scheduler-facing
+    /// mirror of the checking predicate: the event-driven fleet wakes a
+    /// petition-eligible node exactly at the armed backoff cycle.
+    /// Eligibility itself only changes on an inbound delivery (which
+    /// earns the node a same-tick turn), so a `None` is stable between
+    /// turns.
+    pub fn petition_deadline(&self) -> Option<u64> {
+        if self.fence == FenceKind::SelfLease && self.last_inbound > self.fenced_at {
+            Some(self.next_rejoin_at)
+        } else {
+            None
         }
     }
 
@@ -235,16 +270,50 @@ mod tests {
     }
 
     #[test]
+    fn lease_boundary_is_exclusive() {
+        // Regression pin for the expiry boundary, made observable by the
+        // event-driven scheduler (a wake one cycle early would fence a
+        // node the lockstep simulator kept alive). The lease is VALID at
+        // exactly `last_inbound + lease_timeout` and fences at +1.
+        let timeout = 1_800;
+        let mut p = NodeProtocol::new(1, 3);
+        p.note_inbound(1_000);
+        let expiry = 1_000 + timeout;
+        assert!(!p.check_lease(expiry, timeout), "valid at exact expiry");
+        assert_eq!(p.fence, FenceKind::None);
+        assert_eq!(p.lease_deadline(timeout), expiry + 1);
+        assert!(p.check_lease(expiry + 1, timeout), "fences one past expiry");
+        assert_eq!(p.fence, FenceKind::SelfLease);
+        // The deadline is exact in both directions: a fresh protocol
+        // checked one cycle before its own deadline must not fence.
+        let mut q = NodeProtocol::new(2, 3);
+        q.note_inbound(500);
+        let d = q.lease_deadline(timeout);
+        assert!(!q.check_lease(d - 1, timeout));
+        assert!(q.check_lease(d, timeout));
+        // Saturating at the far end of time instead of wrapping.
+        let mut r = NodeProtocol::new(0, 3);
+        r.note_inbound(u64::MAX - 2);
+        assert_eq!(r.lease_deadline(u64::MAX), u64::MAX);
+        assert!(!r.check_lease(u64::MAX, u64::MAX));
+    }
+
+    #[test]
     fn petition_requires_fresh_contact_and_backoff() {
         let mut p = NodeProtocol::new(2, 3);
         p.check_lease(50, 20);
-        // No contact since the fence: no petition.
+        // No contact since the fence: no petition, no deadline.
         assert!(!p.should_petition(60, 30));
+        assert_eq!(p.petition_deadline(), None);
         p.note_inbound(70);
         assert!(p.should_petition(71, 30));
-        // Backoff armed.
+        // Backoff armed; the deadline mirrors it exactly.
         assert!(!p.should_petition(72, 30));
+        assert_eq!(p.petition_deadline(), Some(101));
         assert!(p.should_petition(101, 30));
+        // Reinstatement clears eligibility.
+        assert!(p.on_reinstate());
+        assert_eq!(p.petition_deadline(), None);
     }
 
     #[test]

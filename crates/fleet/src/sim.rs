@@ -43,7 +43,33 @@
 //! sorted peer order; every random draw happens inside
 //! [`crate::Network::send`] in that deterministic send order. Hence the
 //! whole fleet history is a pure function of `(config, seed, fault)`.
+//!
+//! # Event-driven scheduling
+//!
+//! The default [`Scheduler::Event`] engine replaces the per-cycle
+//! lockstep loop with a discrete-event queue while producing the exact
+//! same history (the `--smoke` golden is byte-identical across both
+//! engines, and CI diffs them). Every lockstep observable lives on the
+//! tick grid (`now = 0, tick, 2·tick, …`), so the event engine only
+//! processes *grid ticks that can change state*:
+//!
+//! * a **delivery** event at the grid tick covering each queued
+//!   message's arrival (receivers get a same-tick turn, exactly as the
+//!   lockstep turn after a delivery reacted the same tick),
+//! * a **fault** event at the injected fault's activation tick,
+//! * per-node **wake** events at the earliest of the node's deadlines —
+//!   lease expiry ([`crate::NodeProtocol::lease_deadline`]), rejoin
+//!   backoff ([`crate::NodeProtocol::petition_deadline`]), suspicion
+//!   ladder ([`rse_modules::PeerMonitor::next_deadline`]), idle-beat
+//!   timer, and next guest quantum while a guest is runnable.
+//!
+//! Every tick the event engine skips is a tick on which the lockstep
+//! loop's turn provably does nothing: no due message, no expired
+//! deadline, no runnable guest ⇒ no state change and no send. Stale or
+//! extra wakes are harmless for the same reason. The lockstep loop is
+//! kept as [`Scheduler::Lockstep`], the equivalence shim CI replays.
 
+use crate::event::{align_up, EventQueue};
 use crate::fault::{FleetProfile, NodeFault};
 use crate::net::{Message, NetConfig, NetStats, Network, Payload};
 use crate::node::{Guest, Node, NodeStatus};
@@ -52,6 +78,30 @@ use crate::NodeId;
 use rse_inject::{fleet_workload, result_digest, ArchSnapshot, Outcome, RecoveryStatus, Workload};
 use rse_modules::{AhbmConfig, PeerConfig, PeerEvent};
 use rse_support::rng::splitmix64;
+
+/// Which execution engine drives the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Discrete-event engine: nodes wake only for deliveries, deadlines,
+    /// and guest quanta. The default; byte-identical to lockstep.
+    #[default]
+    Event,
+    /// The original per-cycle loop: every node gets a turn every tick.
+    /// Kept as the equivalence shim CI diffs the event engine against.
+    Lockstep,
+}
+
+/// One simulation event on the tick grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SimEvent {
+    /// The injected fault activates this tick.
+    Fault,
+    /// At least one queued message is due this tick.
+    Deliver,
+    /// A node deadline (lease, backoff, suspicion, idle beat, guest
+    /// quantum) falls on this tick.
+    Wake(NodeId),
+}
 
 /// Fleet topology, timing, and protocol parameters.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +134,8 @@ pub struct FleetConfig {
     pub peer: PeerConfig,
     /// Network timing/loss parameters.
     pub net: NetConfig,
+    /// Execution engine (event-driven by default).
+    pub scheduler: Scheduler,
 }
 
 impl Default for FleetConfig {
@@ -109,6 +161,7 @@ impl Default for FleetConfig {
                 max_probes: 3,
             },
             net: NetConfig::default(),
+            scheduler: Scheduler::Event,
         }
     }
 }
@@ -229,10 +282,16 @@ impl FleetSim {
     }
 
     /// Delivers every due message to its destination node's protocol
-    /// handlers. Messages to non-Running nodes are lost.
-    fn deliver(&mut self) {
+    /// handlers. Messages to non-Running nodes are lost. Returns the
+    /// destination of every delivered message — the event engine owes
+    /// each a same-tick turn, because the lockstep loop's receiver
+    /// reacted (probe replies, rejoin adjudication, refreshed deadlines)
+    /// on the delivery tick itself.
+    fn deliver(&mut self) -> Vec<NodeId> {
         let now = self.now;
+        let mut touched = Vec::new();
         for msg in self.net.deliver_due(now) {
+            touched.push(msg.dst);
             let node = &mut self.nodes[usize::from(msg.dst)];
             if node.status != NodeStatus::Running {
                 continue; // crashed / hung: inbound is lost
@@ -268,10 +327,13 @@ impl FleetSim {
                 }
             }
         }
+        touched
     }
 
-    /// One node's protocol + guest-execution turn.
-    fn node_turn(&mut self, i: usize) {
+    /// One node's protocol + guest-execution turn. Returns the delivery
+    /// cycle of every message the turn put on the wire (the event engine
+    /// schedules a delivery event for each).
+    fn node_turn(&mut self, i: usize) -> Vec<u64> {
         let now = self.now;
         let cfg = self.cfg;
         let n = cfg.nodes;
@@ -280,7 +342,7 @@ impl FleetSim {
         {
             let node = &mut self.nodes[i];
             if node.status != NodeStatus::Running {
-                return;
+                return Vec::new();
             }
             let id = node.id;
 
@@ -493,9 +555,13 @@ impl FleetSim {
                 }
             }
         }
+        let mut deliveries = Vec::new();
         for m in outbox {
-            self.net.send(now, m);
+            if let Some(at) = self.net.send(now, m) {
+                deliveries.push(at);
+            }
         }
+        deliveries
     }
 
     /// Whether workload `w` has reached its terminal state.
@@ -509,9 +575,17 @@ impl FleetSim {
             .is_some_and(|g| g.done)
     }
 
-    /// Runs the tick loop until every workload resolved (plus the
-    /// settle window) or the budget is exhausted.
+    /// Runs the fleet until every workload resolved (plus the settle
+    /// window) or the budget is exhausted, on the configured engine.
     fn run_raw(&mut self) {
+        match self.cfg.scheduler {
+            Scheduler::Event => self.run_event(),
+            Scheduler::Lockstep => self.run_lockstep(),
+        }
+    }
+
+    /// The original per-cycle loop: every node gets a turn every tick.
+    fn run_lockstep(&mut self) {
         loop {
             self.apply_fault();
             self.deliver();
@@ -531,6 +605,100 @@ impl FleetSim {
             if self.now >= self.cfg.budget {
                 break;
             }
+        }
+    }
+
+    /// The discrete-event engine. Processes exactly the grid ticks on
+    /// which the lockstep loop could change state (see the module docs
+    /// for the equivalence argument); produces a byte-identical history.
+    fn run_event(&mut self) {
+        let tick = self.cfg.tick;
+        assert!(tick > 0, "tick must be positive");
+        // The monitor's internal sample gate passes on every grid tick
+        // only when its interval fits in a tick; a coarser interval
+        // would make skipped samples observable.
+        assert!(
+            self.cfg.peer.ahbm.sample_interval <= tick,
+            "event engine requires sample_interval <= tick"
+        );
+        let mut q: EventQueue<SimEvent> = EventQueue::new();
+        // Lockstep's first iteration gives every node a turn at tick 0.
+        for id in 0..self.cfg.nodes {
+            q.push(0, SimEvent::Wake(id));
+        }
+        match self.fault {
+            NodeFault::Crash { at, .. } | NodeFault::Hang { at, .. } => {
+                q.push(align_up(at, tick), SimEvent::Fault);
+            }
+            NodeFault::Slow { from, .. } => q.push(align_up(from, tick), SimEvent::Fault),
+            // Network faults were installed at construction.
+            NodeFault::Partition { .. } | NodeFault::BeatLoss { .. } | NodeFault::None => {}
+        }
+        while let Some(t) = q.peek_at() {
+            // Lockstep processes tick t iff its break check at now = t
+            // failed: t under budget and (still unresolved or) inside
+            // the settle window.
+            if t >= self.cfg.budget {
+                break;
+            }
+            if self.resolved_at.is_some_and(|r| t >= r + self.cfg.settle) {
+                break;
+            }
+            self.now = t;
+            let mut turns: Vec<NodeId> = q
+                .pop_due(t)
+                .into_iter()
+                .filter_map(|ev| match ev {
+                    SimEvent::Wake(id) => Some(id),
+                    SimEvent::Fault | SimEvent::Deliver => None,
+                })
+                .collect();
+            self.apply_fault();
+            turns.extend(self.deliver());
+            turns.sort_unstable();
+            turns.dedup();
+            let ran_turns = !turns.is_empty();
+            for id in turns {
+                let i = usize::from(id);
+                for at in self.node_turn(i) {
+                    q.push(align_up(at, tick), SimEvent::Deliver);
+                }
+                self.schedule_wake(i, &mut q);
+            }
+            // The resolution predicate only changes inside a turn, so
+            // checking on turn ticks finds the same first-true tick the
+            // per-tick lockstep check finds.
+            if ran_turns
+                && self.resolved_at.is_none()
+                && (0..self.cfg.nodes).all(|w| self.workload_resolved(w))
+            {
+                self.resolved_at = Some(t);
+            }
+        }
+        // Land the clock where the lockstep loop's break left it (it
+        // idles through event-free ticks; only hung-run classification
+        // reads this).
+        let limit = match self.resolved_at {
+            Some(r) => (r + self.cfg.settle).min(self.cfg.budget),
+            None => self.cfg.budget,
+        };
+        self.now = align_up(limit, tick);
+    }
+
+    /// Schedules node `i`'s next wake: the earliest of its deadlines
+    /// ([`Node::wake_deadline`]), snapped to the tick grid. One wake per
+    /// turn suffices — deadlines only move during the node's own turns
+    /// (each reschedules) or on a delivery (which earns a same-tick
+    /// turn), so the minimum scheduled here stays a lower bound on the
+    /// node's next state change.
+    fn schedule_wake(&mut self, i: usize, q: &mut EventQueue<SimEvent>) {
+        let now = self.now;
+        let tick = self.cfg.tick;
+        let node = &self.nodes[i];
+        if let Some(d) = node.wake_deadline(now, tick, self.cfg.lease_timeout) {
+            // Post-turn deadlines are strictly future; the clamp only
+            // guards against a same-tick self-wake loop.
+            q.push(align_up(d, tick).max(now + tick), SimEvent::Wake(node.id));
         }
     }
 
@@ -758,6 +926,50 @@ mod tests {
                 matches!(out.outcome, Outcome::Masked | Outcome::Failover(1)),
                 "dur={dur}: {out:?}"
             );
+        }
+    }
+
+    #[test]
+    fn event_engine_matches_lockstep_bit_for_bit() {
+        // The equivalence shim: same seed, same fault, both engines —
+        // FleetOutcome equality covers classification, resolution
+        // cycle, every network counter, and the declaration count.
+        let ec = cfg();
+        assert_eq!(ec.scheduler, Scheduler::Event);
+        let lc = FleetConfig {
+            scheduler: Scheduler::Lockstep,
+            ..cfg()
+        };
+        let pe = FleetSim::profile(&ec, 37);
+        assert_eq!(pe, FleetSim::profile(&lc, 37));
+        let faults = [
+            NodeFault::None,
+            NodeFault::Crash {
+                node: 2,
+                at: pe.first_snap_sent_at + 2_000,
+            },
+            // Long enough to drive the self-fence → petition →
+            // reinstate path both engines must time identically.
+            NodeFault::Partition {
+                node: 1,
+                from: pe.first_snap_sent_at + 2_000,
+                dur: 9_000,
+            },
+            NodeFault::BeatLoss {
+                node: 0,
+                from: pe.first_snap_sent_at + 2_000,
+                dur: 6_000,
+            },
+            NodeFault::Slow {
+                node: 3,
+                from: pe.first_snap_sent_at + 1_000,
+                factor: 3,
+            },
+        ];
+        for fault in faults {
+            let a = FleetSim::run(&ec, 37, fault, &pe);
+            let b = FleetSim::run(&lc, 37, fault, &pe);
+            assert_eq!(a, b, "engines diverged on {fault:?}");
         }
     }
 

@@ -7,7 +7,7 @@
 //! the JSONL `seed` field replays the exact fleet history forever.
 
 use crate::fault::{FleetProfile, NodeFaultModel, NodeFaultPlan};
-use crate::sim::{FleetConfig, FleetSim};
+use crate::sim::{FleetConfig, FleetSim, Scheduler};
 use rse_inject::{fleet_workload, result_digest_parts, RunRecord};
 use rse_isa::asm::assemble;
 use rse_mem::MemConfig;
@@ -127,6 +127,11 @@ pub struct SoakOptions {
     /// counts are all on the fleet's cycle clock, so records are
     /// byte-identical with or without this flag.
     pub tiered: bool,
+    /// Execution engine. [`Scheduler::Event`] (default) and
+    /// [`Scheduler::Lockstep`] produce byte-identical records; CI
+    /// replays the smoke soak on both and diffs them against the same
+    /// pinned golden.
+    pub scheduler: Scheduler,
 }
 
 /// Verifies the zero-fault profile digest cross-tier: the `beat_loop`
@@ -173,6 +178,7 @@ pub fn run_soak(spec: &FleetSpec) -> Vec<RunRecord> {
 pub fn run_soak_with(spec: &FleetSpec, opts: &SoakOptions) -> Vec<RunRecord> {
     let cfg = FleetConfig {
         nodes: spec.nodes,
+        scheduler: opts.scheduler,
         ..FleetConfig::default()
     };
     let mut p = spec.base_seed ^ fnv1a64(b"fleet-profile");
@@ -251,8 +257,30 @@ mod tests {
     fn tiered_soak_is_byte_identical_and_cross_verified() {
         let spec = FleetSpec::control(0xC0FFEE, 2);
         let base = run_soak(&spec);
-        let tiered = run_soak_with(&spec, &SoakOptions { tiered: true });
+        let tiered = run_soak_with(
+            &spec,
+            &SoakOptions {
+                tiered: true,
+                ..SoakOptions::default()
+            },
+        );
         assert_eq!(base, tiered);
+    }
+
+    #[test]
+    fn lockstep_soak_is_byte_identical() {
+        // The CLI-level face of the equivalence shim: the same spec on
+        // both engines yields identical records.
+        let spec = FleetSpec::control(0xE417, 1);
+        let event = run_soak(&spec);
+        let lockstep = run_soak_with(
+            &spec,
+            &SoakOptions {
+                scheduler: Scheduler::Lockstep,
+                ..SoakOptions::default()
+            },
+        );
+        assert_eq!(event, lockstep);
     }
 
     #[test]

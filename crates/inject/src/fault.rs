@@ -96,6 +96,24 @@ impl FaultModel {
         FaultModel::ALL.iter().copied().find(|m| m.name() == name)
     }
 
+    /// One-line human description (`--list-models` output).
+    pub fn describe(self) -> &'static str {
+        match self {
+            FaultModel::Control => "no fault: the golden-reference control group",
+            FaultModel::RegSingle => "single bit flip in one architectural register",
+            FaultModel::RegDouble => "double bit flip in one architectural register",
+            FaultModel::MemData => "bit flip in a declared data buffer word",
+            FaultModel::MemText => "bit flip in a program-text word",
+            FaultModel::FetchWord => "one fetched instruction word corrupted in flight",
+            FaultModel::ChkDrop => "one CHECK dispatch silently dropped",
+            FaultModel::ChkGarble => "one CHECK dispatch payload garbled",
+            FaultModel::ModValidStuck0 => "module IOQ valid line stuck at 0",
+            FaultModel::ModValidStuck1 => "module IOQ valid line stuck at 1",
+            FaultModel::ModStateCorrupt => "module-private state corrupted at a cycle",
+            FaultModel::MauDrop => "one MAU response to a module dropped",
+        }
+    }
+
     /// Position in [`FaultModel::ALL`] (seed-derivation index).
     pub fn index(self) -> u64 {
         FaultModel::ALL

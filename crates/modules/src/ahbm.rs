@@ -651,6 +651,40 @@ impl PeerMonitor {
         std::mem::take(&mut self.events)
     }
 
+    /// Whether any events are pending (without draining them).
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The configured sampling interval (event schedulers assert it
+    /// against their grid).
+    pub fn sample_interval(&self) -> u64 {
+        self.config.ahbm.sample_interval
+    }
+
+    /// The earliest future cycle at which a [`PeerMonitor::sample`] call
+    /// can change any peer's state — the monitor's *wake deadline* for
+    /// event-driven hosts. `None` means no sample will ever transition
+    /// anything (every peer Dead): the host need not schedule a wake.
+    ///
+    /// Per peer: an Alive peer becomes Suspect at `last_beat + timeout +
+    /// 1` (the suspicion test is strict), a Suspect peer acts at
+    /// `next_probe_at`, a Dead peer never acts. A sample at the returned
+    /// cycle (or any later cycle) observes the transition; samples
+    /// strictly before every returned deadline are guaranteed no-ops, so
+    /// an event-driven host that only samples at these deadlines (plus
+    /// on beat arrivals) is equivalent to one sampling every cycle.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.peers
+            .values()
+            .filter_map(|e| match e.state {
+                PeerState::Alive => Some(e.last_beat + e.timeout + 1),
+                PeerState::Suspect => Some(e.next_probe_at),
+                PeerState::Dead => None,
+            })
+            .min()
+    }
+
     /// Coordinator-approved resurrection of a Dead (or Suspect) peer:
     /// resets the estimator and returns the peer to Alive with a fresh
     /// `initial_timeout` grace period.
@@ -988,6 +1022,54 @@ mod tests {
         assert_eq!(pm.peer(2).unwrap().timeout, 1000, "fresh grace period");
         pm.beat(2, 3300);
         assert_eq!(pm.peer(2).unwrap().counter, counter + 1);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_state_change() {
+        let mut pm = PeerMonitor::new(peer_cfg());
+        pm.register(1, 0);
+        pm.register(2, 0);
+        // Both fresh: deadline = last_beat + initial_timeout + 1.
+        assert_eq!(pm.next_deadline(), Some(1001));
+        // Beats tighten peer 1's adaptive timeout; peer 2 stays on the
+        // initial grace, so peer 1 now bounds the deadline.
+        for t in (20..=200).step_by(20) {
+            pm.beat(1, t);
+        }
+        let e1 = *pm.peer(1).unwrap();
+        let d = pm.next_deadline().unwrap();
+        assert_eq!(d, e1.last_beat + e1.timeout + 1);
+        // A sample strictly before the deadline is a no-op...
+        let mut early = pm.clone();
+        early.sample(d - 1);
+        assert_eq!(early.state(1), PeerState::Alive);
+        assert!(early.take_events().is_empty());
+        assert_eq!(early.peer(1), pm.peer(1));
+        // ...and a sample exactly at it transitions to Suspect, whose
+        // deadline is the probe schedule.
+        pm.sample(d);
+        assert_eq!(pm.state(1), PeerState::Suspect);
+        assert_eq!(pm.next_deadline(), Some(pm.peer(1).unwrap().next_probe_at));
+    }
+
+    #[test]
+    fn next_deadline_is_none_once_every_peer_is_dead() {
+        let mut pm = PeerMonitor::new(peer_cfg());
+        pm.register(4, 0);
+        for t in (20..=100).step_by(20) {
+            pm.beat(4, t);
+        }
+        for now in (200..3000).step_by(10) {
+            pm.sample(now);
+            if pm.state(4) == PeerState::Dead {
+                break;
+            }
+        }
+        assert_eq!(pm.state(4), PeerState::Dead);
+        assert_eq!(pm.next_deadline(), None);
+        // Reinstatement restores a deadline (fresh grace period).
+        pm.reinstate(4, 5000);
+        assert_eq!(pm.next_deadline(), Some(5000 + 1000 + 1));
     }
 
     #[test]

@@ -365,6 +365,43 @@ impl TieredDriver {
     }
 }
 
+/// Measures the guest-progress cost of each syscall-delimited span of
+/// `image` on the functional tier: runs with no cycle-accurate window,
+/// resumes every syscall with no register writes, and returns the
+/// unified-clock delta preceding each syscall event, in order, until the
+/// guest halts or `max_events` syscalls have fired.
+///
+/// For a guest that issues one marker syscall per unit of work (the
+/// fleet chaos campaigns' request-loop witness), entry *i* is the
+/// measured progress quantum of work item *i*. Deterministic: same
+/// image, same quanta.
+pub fn syscall_quanta(
+    image: &Image,
+    pipe: PipelineConfig,
+    mem: MemConfig,
+    max_events: usize,
+) -> Vec<u64> {
+    let mut d = TieredDriver::new(image, pipe, mem);
+    let mut quanta = Vec::new();
+    let mut last = 0u64;
+    while quanta.len() < max_events {
+        match d.run(
+            &mut rse_pipeline::NullCoProcessor,
+            &Window::none(),
+            u64::MAX / 2,
+        ) {
+            ExecEvent::Halted => break,
+            ExecEvent::Syscall => {
+                quanta.push(d.clock() - last);
+                last = d.clock();
+                d.resume(None);
+            }
+            ev => panic!("functional quantum probe raised {ev:?}"),
+        }
+    }
+    quanta
+}
+
 /// Copies every mapped page of `src` into `dst` through a
 /// [`CheckpointStore`] (sorted page order, canonical), and zeroes pages
 /// mapped only in `dst` so the destination holds exactly the source
@@ -475,6 +512,27 @@ mod tests {
         assert_eq!(ev, ExecEvent::Halted);
         assert_eq!(d.regs(), &gold);
         assert!(d.stats().handoffs_out >= 1, "{:?}", d.stats());
+    }
+
+    #[test]
+    fn syscall_quanta_measures_each_span() {
+        // Three fixed-length compute spans, each closed by a syscall,
+        // then a tail the probe never charges to a quantum.
+        let src = "main: li r8, 0\nli r9, 3\n\
+             outer: li r10, 0\nli r12, 40\n\
+             inner: addi r10, r10, 1\nbne r10, r12, inner\n\
+             li r2, 18\nsyscall\naddi r8, r8, 1\nbne r8, r9, outer\nhalt";
+        let image = assemble(src).unwrap();
+        let q = syscall_quanta(&image, PipelineConfig::default(), MemConfig::baseline(), 64);
+        assert_eq!(q.len(), 3);
+        assert!(q[0] > 0);
+        // Spans 1 and 2 are identical instruction sequences; span 0 adds
+        // the one-time prologue.
+        assert_eq!(q[1], q[2]);
+        assert!(q[0] >= q[1]);
+        // Replays are deterministic, and max_events truncates.
+        let again = syscall_quanta(&image, PipelineConfig::default(), MemConfig::baseline(), 2);
+        assert_eq!(again, q[..2]);
     }
 
     #[test]

@@ -171,6 +171,59 @@ privbuf: .space {priv_bytes}
     )
 }
 
+/// Generates a single-threaded request-serving loop distilled from the
+/// server worker: the same per-request LCG compute kernel over a private
+/// buffer, with one marker syscall (YIELD, harmless under the OS) per
+/// completed request and a final processed-count print.
+///
+/// This is the *witness guest* of the fleet chaos campaigns: it runs on
+/// the tiered driver's functional tier with no OS underneath (every
+/// syscall surfaces as an `ExecEvent::Syscall` the host resumes), so the
+/// clock delta between consecutive syscalls is the measured
+/// guest-progress quantum one request costs — the unit the 1k-node
+/// traffic model charges per served request.
+pub fn request_loop_source(p: &ServerParams, max_requests: u32) -> String {
+    assert!(max_requests >= 1, "at least one request");
+    format!(
+        r#"
+# request loop: {max_requests} requests, work={work}
+main:   li   s0, {max_requests}
+        li   s1, 0              # requests served
+        la   s4, buf
+rloop:  la   t0, config
+        lw   t1, 0(t0)          # work amount
+        move t2, s1             # request id seeds the LCG
+        li   t3, 0
+comp:   li   t4, 1664525
+        mul  t2, t2, t4
+        li   t4, 1013904223
+        add  t2, t2, t4
+        add  t3, t3, t2
+        andi t5, t3, 0xFC
+        add  t6, s4, t5
+        sw   t2, 0(t6)
+        addi t1, t1, -1
+        bne  t1, r0, comp
+        addi s1, s1, 1
+        li   r2, 18             # YIELD: the request-boundary safe point
+        syscall
+        bne  s1, s0, rloop
+        move r4, s1
+        li   r2, 2              # print processed count
+        syscall
+        halt
+
+        .data
+        .align 4
+config: .word {work}
+        .space 4092             # keep config on its own page
+buf:    .space 4096
+"#,
+        max_requests = max_requests,
+        work = p.work,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +306,56 @@ mod tests {
         assert!(ddt.stats().dependencies_logged > 0);
         assert_eq!(os.stats().pages_checkpointed, ddt.stats().pages_saved);
         assert!(!os.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn request_loop_serves_and_prints_the_count() {
+        let p = ServerParams {
+            work: 60,
+            ..ServerParams::default()
+        };
+        let image = assemble(&request_loop_source(&p, 7)).expect("request loop assembles");
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::with_framework()),
+        );
+        rse_sys::loader::load_process(&mut cpu, &image);
+        let mut engine = Engine::new(RseConfig::default());
+        let mut os = Os::new(OsConfig::default());
+        let exit = os.run(&mut cpu, &mut engine, 1_000_000_000);
+        assert_eq!(exit, OsExit::Exited { code: 0 });
+        assert_eq!(os.output, vec![7]);
+    }
+
+    #[test]
+    fn request_loop_quanta_are_uniform_per_request() {
+        let p = ServerParams {
+            work: 60,
+            ..ServerParams::default()
+        };
+        let image = assemble(&request_loop_source(&p, 5)).expect("request loop assembles");
+        let q = rse_sys::tiered::syscall_quanta(
+            &image,
+            PipelineConfig::default(),
+            MemConfig::with_framework(),
+            64,
+        );
+        // One YIELD per request plus the final print.
+        assert_eq!(q.len(), 6);
+        // Requests 1..n are byte-identical spans; request 0 adds the
+        // prologue. Heavier work must cost more progress.
+        assert!(q[1] > 0);
+        assert_eq!(q[1..5], [q[1], q[1], q[1], q[1]]);
+        assert!(q[0] >= q[1]);
+        let heavy = ServerParams { work: 120, ..p };
+        let heavy_image = assemble(&request_loop_source(&heavy, 5)).unwrap();
+        let hq = rse_sys::tiered::syscall_quanta(
+            &heavy_image,
+            PipelineConfig::default(),
+            MemConfig::with_framework(),
+            64,
+        );
+        assert!(hq[1] > q[1], "work=120 ({}) vs work=60 ({})", hq[1], q[1]);
     }
 
     #[test]

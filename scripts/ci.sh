@@ -122,6 +122,51 @@ diff -u tests/golden/fleet_soak_smoke.jsonl "$FLEET_T" \
   || { echo "FAIL: --tiered fleet soak diverges from pinned golden"; exit 1; }
 echo "tiered fleet soak: byte-identical to pinned golden"
 
+echo "== lockstep fleet soak (equivalence shim, same golden)"
+# The event-driven scheduler is the default engine; --lockstep replays
+# the same smoke spec on the legacy per-cycle engine. Both must match
+# the SAME pinned golden byte-for-byte — the discrete-event refactor's
+# standing equivalence proof.
+FLEET_L="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L"' EXIT
+cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
+  --smoke --no-table --lockstep --out "$FLEET_L" 2>/dev/null
+diff -u tests/golden/fleet_soak_smoke.jsonl "$FLEET_L" \
+  || { echo "FAIL: lockstep engine diverges from the event-driven golden"; exit 1; }
+echo "lockstep fleet soak: byte-identical to the event-driven golden"
+
+echo "== 1k-node churn smoke campaign (chaos engine, fixed seed)"
+# Three 1,000-node runs: the availability control, a correlated rack
+# partition, and full weather (rolling restarts + rack cut + cascading
+# failure). Double-replayed and diffed against the pinned golden under
+# a wall-clock budget; any split-brain completion fails the gate, and
+# the weather runs must actually fail over. Regenerate with:
+#   cargo run --release --offline -p rse-bench --bin fleet_soak -- \
+#     --churn --no-table --out tests/golden/churn_smoke.jsonl
+CHURN_A="$(mktemp)"; CHURN_B="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L" "$CHURN_A" "$CHURN_B"' EXIT
+timeout 300 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
+  --churn --no-table --out "$CHURN_A" --bench-json BENCH_fleet.json 2>/dev/null \
+  || { echo "FAIL: churn smoke failed or blew the 300s wall-clock budget"; exit 1; }
+timeout 300 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
+  --churn --no-table --out "$CHURN_B" 2>/dev/null \
+  || { echo "FAIL: churn replay failed or blew the 300s wall-clock budget"; exit 1; }
+cmp "$CHURN_A" "$CHURN_B" \
+  || { echo "FAIL: churn campaign is nondeterministic"; exit 1; }
+diff -u tests/golden/churn_smoke.jsonl "$CHURN_A" \
+  || { echo "FAIL: churn campaign diverges from pinned golden"; exit 1; }
+if grep -Eq '"split_brain":[1-9]' "$CHURN_A"; then
+  echo "FAIL: churn campaign observed a split-brain completion"; exit 1
+fi
+grep -q '"model":"full-weather"' "$CHURN_A" \
+  || { echo "FAIL: churn smoke is missing the full-weather run"; exit 1; }
+if grep '"model":"full-weather"' "$CHURN_A" | grep -q '"failovers":0,'; then
+  echo "FAIL: full-weather run executed no failovers"; exit 1
+fi
+grep -q '"events_per_sec":' BENCH_fleet.json \
+  || { echo "FAIL: BENCH_fleet.json missing throughput numbers"; exit 1; }
+echo "churn smoke: deterministic 1k-node weather, matches golden, zero split-brain"
+
 echo "== tier 3: bounded model checking (rse-mc)"
 # Four theorem binaries drive the REAL production types (ModuleHealth,
 # Ioq, NodeProtocol) through every schedule of a bounded adversary and
