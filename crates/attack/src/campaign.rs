@@ -1,0 +1,510 @@
+//! The adversarial campaign runner: golden references, attacked runs,
+//! outcome classification, and the recovery path.
+//!
+//! The runner deliberately mirrors `rse_inject::campaign` — golden
+//! reference once per victim, seed-derived plan per run, classification
+//! against the golden result, checkpoint-rollback when a detection left
+//! divergent state — so an attack run replays exactly like an injection
+//! run and shares the same sharding/tiering machinery. What changes is
+//! the threat model: plans come from [`sample_attack`] instead of the
+//! soft-error sampler, victims come in defended/exposed twin pairs, and
+//! MLR-guarded victims re-randomize their layout **fresh every run** (a
+//! per-run layout seed derived from the attack seed), because a fixed
+//! layout would hand the diversity defense a constant the attacker
+//! never gets in the modeled system.
+
+use crate::model::AttackModel;
+use crate::outcome::{AttackOutcome, AttackRecord};
+use crate::surface::{map_surface, sample_attack};
+use crate::victim::{victim_by_name, victims, Harness, Victim, Workload};
+use rse_inject::{
+    build_harness_seeded, capture_checkpoints, drive, fault_budget, reference, result_digest,
+    rollback_and_rerun, rollback_and_rerun_tiered, run_sharded, PreRunCheckpoints, RawEnd,
+    RecoveryStatus, RefState,
+};
+use rse_isa::asm::assemble;
+use rse_isa::layout::{page_base, STACK_BASE};
+use rse_isa::{Image, ModuleId, Reg};
+use rse_modules::icm::Icm;
+use rse_pipeline::CpuContext;
+use rse_support::rng::{fnv1a64, splitmix64};
+use rse_sys::{Os, OsConfig, OsExit};
+use std::collections::BTreeMap;
+
+/// Re-exported so callers configure attack campaigns with the exact
+/// options type the injection campaigns use (tiering and sharding
+/// change wall-clock only, never a byte of output).
+pub use rse_inject::CampaignOptions;
+
+/// Domain separator folded into the attack seed to derive the per-run
+/// MLR layout seed, so layout entropy and attack-timing entropy are
+/// independent draws from one recorded seed.
+const MLR_LAYOUT_DOMAIN: u64 = 0x4D4C_525F_4C41_594F; // "MLR_LAYO"
+
+/// Derives the per-run seed from the campaign base seed, the victim
+/// name, the attack model, and the run index. Pure and stable: the
+/// JSONL `seed` field plus [`sample_attack`] replays the exact attack.
+pub fn derive_seed(base_seed: u64, victim: &str, model: AttackModel, run: u32) -> u64 {
+    let mut s = base_seed ^ fnv1a64(victim.as_bytes());
+    splitmix64(&mut s);
+    s ^= model.index().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s);
+    s ^= u64::from(run);
+    splitmix64(&mut s)
+}
+
+/// The per-run MLR layout seed for MLR-guarded victims: independent of
+/// the attack draws, derived from the same recorded seed.
+fn mlr_layout_seed(v: &Victim, seed: u64) -> Option<u64> {
+    (v.workload.harness == Harness::MlrOs).then(|| {
+        let mut s = seed ^ MLR_LAYOUT_DOMAIN;
+        splitmix64(&mut s)
+    })
+}
+
+/// Rolls an OS-harness victim back to its pre-run checkpoints and
+/// re-executes under a fresh guest OS (same MLR layout seed, so the
+/// re-run reproduces the attacked run's randomization decisions).
+/// Returns the re-executed guest output, or the failure cause.
+fn rollback_and_rerun_os(
+    w: &Workload,
+    image: &Image,
+    pre: &PreRunCheckpoints,
+    budget: u64,
+    mlr_seed: Option<u64>,
+) -> Result<Vec<i32>, String> {
+    let mut b = build_harness_seeded(w, image, budget, mlr_seed);
+    for &page in &pre.pages {
+        let cp = pre
+            .store
+            .earliest_for(page)
+            .ok_or_else(|| format!("missing checkpoint for page {page:#x}"))?;
+        b.cpu
+            .mem_mut()
+            .memory
+            .restore_page(page_base(page), &cp.data);
+    }
+    b.cpu.mem_mut().invalidate_caches();
+    let mut regs = [0u32; 32];
+    regs[Reg::SP.index()] = STACK_BASE - 16;
+    b.cpu.set_context(&CpuContext {
+        regs,
+        pc: image.entry,
+    });
+    let mut os = Os::new(OsConfig::default());
+    match os.run(&mut b.cpu, &mut b.engine, budget) {
+        OsExit::Exited { code: 0 } => Ok(os.output.clone()),
+        other => Err(format!("re-execution after rollback ended with {other:?}")),
+    }
+}
+
+/// Executes one attack run and classifies it. Equivalent to
+/// [`run_one_with`] with default (untiered, sequential) options.
+pub fn run_one(v: &Victim, model: AttackModel, run: u32, seed: u64, r: &RefState) -> AttackRecord {
+    run_one_with(v, model, run, seed, r, &CampaignOptions::default())
+}
+
+/// Executes one attack run and classifies it.
+///
+/// Classification priority (most attributable first): a downed
+/// defending module (`degraded:*`), a module detection (`detected:*` —
+/// ICM invariant mismatches on checked harnesses, the DDT's NX trap or
+/// crash-mediated recovery on OS harnesses), then the end state: a
+/// safe-mode trip, timeout, or kill is a `crash-trap`; a clean exit is
+/// `prevented` if the result matches golden and `compromised` if the
+/// attacker's tampering stuck. Detections and crashes with divergent
+/// state then exercise the checkpoint-rollback recovery path exactly as
+/// the injection engine does.
+pub fn run_one_with(
+    v: &Victim,
+    model: AttackModel,
+    run: u32,
+    seed: u64,
+    r: &RefState,
+    opts: &CampaignOptions,
+) -> AttackRecord {
+    let w = &v.workload;
+    let image = assemble(w.source).expect("victim workload assembles");
+    let surface = map_surface(v, &image);
+    let plan = sample_attack(model, seed, v, &surface, &r.profile);
+    let budget = fault_budget(r);
+    let (outcome, recovery, cycles) = match w.harness {
+        Harness::Bare | Harness::Icm => {
+            let mut b = build_harness_seeded(w, &image, budget, None);
+            let pre = capture_checkpoints(&b.cpu.mem().memory);
+            plan.arm(&mut b.cpu, &mut b.engine);
+            let end = drive(&mut b.cpu, &mut b.engine, budget);
+            if end == RawEnd::TimedOut {
+                b.engine.poll_hang(b.cpu.now());
+            }
+            let detected = b
+                .engine
+                .module_ref::<Icm>(ModuleId::ICM)
+                .is_some_and(|icm| icm.stats().mismatches > 0);
+            let digest = result_digest(w, &b.cpu, &image);
+            let clean = end == RawEnd::Halted && digest == r.digest;
+            let down_target = w
+                .harness
+                .target_module()
+                .filter(|&m| b.engine.module_health(m).is_down());
+            let outcome = if let Some(m) = down_target {
+                AttackOutcome::Degraded(m)
+            } else if detected {
+                AttackOutcome::Detected(ModuleId::ICM)
+            } else if b.engine.safe_mode().is_some() {
+                AttackOutcome::CrashTrap
+            } else {
+                match end {
+                    RawEnd::TimedOut | RawEnd::Crash(_) => AttackOutcome::CrashTrap,
+                    RawEnd::Halted => {
+                        if digest == r.digest {
+                            AttackOutcome::Prevented
+                        } else {
+                            AttackOutcome::Compromised
+                        }
+                    }
+                }
+            };
+            let recovery = match outcome {
+                AttackOutcome::Prevented | AttackOutcome::Compromised => RecoveryStatus::NotNeeded,
+                AttackOutcome::Degraded(_) if clean => RecoveryStatus::Succeeded {
+                    mechanism: "quarantine-nop-mux",
+                },
+                AttackOutcome::Detected(_) if clean => RecoveryStatus::Succeeded {
+                    mechanism: "flush-refetch",
+                },
+                _ => match if opts.tiered {
+                    rollback_and_rerun_tiered(w, &image, &pre, budget)
+                } else {
+                    rollback_and_rerun(w, &image, &pre, budget)
+                } {
+                    Ok(d) if d == r.digest => RecoveryStatus::Succeeded {
+                        mechanism: "checkpoint-rollback",
+                    },
+                    Ok(_) => RecoveryStatus::FailedSafeHalt {
+                        cause: "re-executed state diverged from golden".into(),
+                    },
+                    Err(cause) => RecoveryStatus::FailedSafeHalt { cause },
+                },
+            };
+            (outcome, recovery, b.cpu.now())
+        }
+        Harness::DdtOs | Harness::MlrOs | Harness::OsBare | Harness::NxOs => {
+            let mlr_seed = mlr_layout_seed(v, seed);
+            let mut b = build_harness_seeded(w, &image, budget, mlr_seed);
+            let pre = capture_checkpoints(&b.cpu.mem().memory);
+            plan.arm(&mut b.cpu, &mut b.engine);
+            let mut os = Os::new(OsConfig::default());
+            let exit = os.run(&mut b.cpu, &mut b.engine, budget);
+            if exit == OsExit::Timeout {
+                b.engine.poll_hang(b.cpu.now());
+            }
+            // The pipeline latches an NX violation when it traps a commit
+            // from a non-executable page; `OsExit` alone cannot tell that
+            // trap apart from a clean exit, so read the latch directly.
+            let detected = b.cpu.nx_violation().is_some() || os.stats().recoveries > 0;
+            let run_ok = exit == (OsExit::Exited { code: 0 }) && os.output == r.output;
+            let down_target = w
+                .harness
+                .target_module()
+                .filter(|&m| b.engine.module_health(m).is_down());
+            let outcome = if let Some(m) = down_target {
+                AttackOutcome::Degraded(m)
+            } else if detected {
+                AttackOutcome::Detected(ModuleId::DDT)
+            } else if b.engine.safe_mode().is_some() {
+                AttackOutcome::CrashTrap
+            } else {
+                match &exit {
+                    OsExit::Timeout | OsExit::ProcessKilled { .. } => AttackOutcome::CrashTrap,
+                    OsExit::Exited { code: 0 } if os.output == r.output => AttackOutcome::Prevented,
+                    _ => AttackOutcome::Compromised,
+                }
+            };
+            let recovery = match outcome {
+                AttackOutcome::Prevented | AttackOutcome::Compromised => RecoveryStatus::NotNeeded,
+                AttackOutcome::Degraded(_) if run_ok => RecoveryStatus::Succeeded {
+                    mechanism: "quarantine-nop-mux",
+                },
+                AttackOutcome::Detected(_) if run_ok => RecoveryStatus::Succeeded {
+                    mechanism: "flush-refetch",
+                },
+                _ => match rollback_and_rerun_os(w, &image, &pre, budget, mlr_seed) {
+                    Ok(out) if out == r.output => RecoveryStatus::Succeeded {
+                        mechanism: "checkpoint-rollback",
+                    },
+                    Ok(_) => RecoveryStatus::FailedSafeHalt {
+                        cause: "re-executed state diverged from golden".into(),
+                    },
+                    Err(cause) => RecoveryStatus::FailedSafeHalt { cause },
+                },
+            };
+            (outcome, recovery, b.cpu.now())
+        }
+    };
+    AttackRecord {
+        victim: w.name,
+        defended: v.defended,
+        model: model.name(),
+        run,
+        seed,
+        outcome,
+        recovery,
+        cycles,
+        attack: plan.describe(),
+    }
+}
+
+/// Convenience: reference + single run for a named victim. Returns
+/// `None` for an unknown victim name.
+pub fn run_one_by_name(name: &str, model: AttackModel, seed: u64) -> Option<AttackRecord> {
+    let v = victim_by_name(name)?;
+    let r = reference(&v.workload);
+    Some(run_one(v, model, 0, seed, &r))
+}
+
+/// One campaign cell: `runs` attacks of `model` against `victim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackCell {
+    /// Victim name (must resolve via [`victim_by_name`]).
+    pub victim: &'static str,
+    /// Attack model.
+    pub model: AttackModel,
+    /// Number of runs.
+    pub runs: u32,
+}
+
+/// A full adversarial campaign specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackSpec {
+    /// Base seed every per-run seed is derived from.
+    pub base_seed: u64,
+    /// The cells, executed in order.
+    pub cells: Vec<AttackCell>,
+}
+
+impl AttackSpec {
+    /// The pinned CI smoke campaign: every attack model against every
+    /// twin of its victim pair (plus a one-run control per victim), so
+    /// the coverage table shows each defense and each exposure class.
+    pub fn smoke(base_seed: u64) -> AttackSpec {
+        let cell = |victim, model, runs| AttackCell {
+            victim,
+            model,
+            runs,
+        };
+        let mut cells = Vec::new();
+        for v in victims() {
+            cells.push(cell(v.workload.name, AttackModel::Control, 1));
+        }
+        for victim in ["stack_guard", "stack_exposed"] {
+            cells.push(cell(victim, AttackModel::StackSmash, 6));
+        }
+        for victim in ["got_guard", "got_exposed"] {
+            cells.push(cell(victim, AttackModel::GotTamper, 6));
+        }
+        for victim in ["branch_guard", "branch_exposed"] {
+            cells.push(cell(victim, AttackModel::CodeInject, 5));
+            cells.push(cell(victim, AttackModel::CfhRedirect, 5));
+            cells.push(cell(victim, AttackModel::InstTamper, 6));
+            cells.push(cell(victim, AttackModel::InstSkip, 4));
+            cells.push(cell(victim, AttackModel::InstReplay, 4));
+        }
+        for victim in ["nx_guard", "nx_exposed"] {
+            cells.push(cell(victim, AttackModel::NxProbe, 6));
+        }
+        cells.push(cell("branch_guard", AttackModel::IcmTamper, 6));
+        AttackSpec { base_seed, cells }
+    }
+
+    /// The zero-attack control campaign: every victim under the
+    /// `control` model. All runs must classify as `prevented`.
+    pub fn control(base_seed: u64, runs: u32) -> AttackSpec {
+        AttackSpec {
+            base_seed,
+            cells: victims()
+                .iter()
+                .map(|v| AttackCell {
+                    victim: v.workload.name,
+                    model: AttackModel::Control,
+                    runs,
+                })
+                .collect(),
+        }
+    }
+
+    /// The full cross product: every applicable (victim, model) pair,
+    /// `runs` attacks each.
+    pub fn full(base_seed: u64, runs: u32) -> AttackSpec {
+        let mut cells = Vec::new();
+        for v in victims() {
+            for model in AttackModel::ALL {
+                if model.applicable(v) {
+                    cells.push(AttackCell {
+                        victim: v.workload.name,
+                        model,
+                        runs,
+                    });
+                }
+            }
+        }
+        AttackSpec { base_seed, cells }
+    }
+
+    /// Total runs in the spec.
+    pub fn total_runs(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.runs)).sum()
+    }
+}
+
+/// Executes an adversarial campaign. Equivalent to
+/// [`run_campaign_with`] with default (sequential, untiered) options.
+///
+/// # Panics
+///
+/// Panics if a cell names an unknown victim or an inapplicable attack
+/// model — specs are validated eagerly so a bad campaign never
+/// half-runs.
+pub fn run_campaign(spec: &AttackSpec) -> Vec<AttackRecord> {
+    run_campaign_with(spec, &CampaignOptions::default())
+}
+
+/// Executes an adversarial campaign under [`CampaignOptions`], sharding
+/// run-level jobs across threads exactly as the injection campaigns do:
+/// the merged record vector — and therefore
+/// [`crate::outcome::to_jsonl`] — is byte-for-byte identical for every
+/// thread count and tiering choice.
+///
+/// # Panics
+///
+/// Panics as [`run_campaign`] does on an invalid spec, and propagates
+/// any worker panic.
+pub fn run_campaign_with(spec: &AttackSpec, opts: &CampaignOptions) -> Vec<AttackRecord> {
+    for cell in &spec.cells {
+        let v = victim_by_name(cell.victim)
+            .unwrap_or_else(|| panic!("unknown victim {:?}", cell.victim));
+        assert!(
+            cell.model.applicable(v),
+            "model {} is not applicable to victim {}",
+            cell.model,
+            v.workload.name
+        );
+    }
+    let mut refs: BTreeMap<&str, RefState> = BTreeMap::new();
+    for cell in &spec.cells {
+        let v = victim_by_name(cell.victim).expect("validated above");
+        refs.entry(v.workload.name)
+            .or_insert_with(|| reference(&v.workload));
+    }
+    let jobs: Vec<(&'static Victim, AttackModel, u32, u64)> = spec
+        .cells
+        .iter()
+        .flat_map(|cell| {
+            let v = victim_by_name(cell.victim).expect("validated above");
+            (0..cell.runs).map(move |run| {
+                (
+                    v,
+                    cell.model,
+                    run,
+                    derive_seed(spec.base_seed, v.workload.name, cell.model, run),
+                )
+            })
+        })
+        .collect();
+    run_sharded(&jobs, opts.threads, |_, &(v, model, run, seed)| {
+        run_one_with(v, model, run, seed, &refs[v.workload.name], opts)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::to_jsonl;
+
+    #[test]
+    fn seeds_are_stable_and_well_spread() {
+        let a = derive_seed(1, "stack_guard", AttackModel::StackSmash, 0);
+        assert_eq!(a, derive_seed(1, "stack_guard", AttackModel::StackSmash, 0));
+        assert_ne!(a, derive_seed(2, "stack_guard", AttackModel::StackSmash, 0));
+        assert_ne!(
+            a,
+            derive_seed(1, "stack_exposed", AttackModel::StackSmash, 0)
+        );
+        assert_ne!(a, derive_seed(1, "stack_guard", AttackModel::GotTamper, 0));
+        assert_ne!(a, derive_seed(1, "stack_guard", AttackModel::StackSmash, 1));
+    }
+
+    #[test]
+    fn specs_are_valid_and_cover_every_model() {
+        for spec in [AttackSpec::smoke(0), AttackSpec::full(0, 1)] {
+            for cell in &spec.cells {
+                let v = victim_by_name(cell.victim).unwrap();
+                assert!(cell.model.applicable(v), "{:?}", cell);
+            }
+            for model in AttackModel::ALL {
+                assert!(
+                    spec.cells.iter().any(|c| c.model == model),
+                    "{model} missing from spec"
+                );
+            }
+        }
+        assert!(AttackSpec::smoke(0).total_runs() >= 80);
+    }
+
+    #[test]
+    fn control_runs_are_all_prevented() {
+        let records = run_campaign(&AttackSpec::control(7, 1));
+        assert_eq!(records.len(), 8);
+        for r in &records {
+            assert_eq!(r.outcome, AttackOutcome::Prevented, "{}", r.to_json());
+            assert_eq!(r.recovery, RecoveryStatus::NotNeeded);
+            assert_eq!(r.attack, "none");
+        }
+    }
+
+    #[test]
+    fn single_runs_replay_byte_identically() {
+        let rec = run_one_by_name("stack_exposed", AttackModel::StackSmash, 0xFEED).unwrap();
+        let again = run_one_by_name("stack_exposed", AttackModel::StackSmash, 0xFEED).unwrap();
+        assert_eq!(rec.to_json(), again.to_json());
+        assert!(!rec.defended);
+    }
+
+    /// A mixed mini-campaign across the harness flavors whose output the
+    /// tiered and sharded paths must reproduce byte-for-byte.
+    fn mini_spec() -> AttackSpec {
+        AttackSpec {
+            base_seed: 0xD5B,
+            cells: vec![
+                AttackCell {
+                    victim: "stack_guard",
+                    model: AttackModel::StackSmash,
+                    runs: 2,
+                },
+                AttackCell {
+                    victim: "branch_guard",
+                    model: AttackModel::CfhRedirect,
+                    runs: 2,
+                },
+                AttackCell {
+                    victim: "nx_guard",
+                    model: AttackModel::NxProbe,
+                    runs: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tiered_and_sharded_campaigns_are_byte_identical() {
+        let spec = mini_spec();
+        let base = to_jsonl(&run_campaign(&spec));
+        for (tiered, threads) in [(true, 1), (false, 3), (true, 16)] {
+            let alt = to_jsonl(&run_campaign_with(
+                &spec,
+                &CampaignOptions { tiered, threads },
+            ));
+            assert_eq!(base, alt, "tiered={tiered} threads={threads}");
+        }
+    }
+}

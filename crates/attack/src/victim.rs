@@ -1,0 +1,338 @@
+//! The victim corpus: four attack surfaces, each as a *guard/exposed*
+//! twin pair.
+//!
+//! Every pair shares one assembly source; the twins differ **only** in
+//! the harness ([`Harness`]) they run under, so each campaign cell
+//! measures exactly what the defending module buys:
+//!
+//! * `stack_guard` / `stack_exposed` — a function pointer planted near
+//!   the top of the stack region, called after a delay window. The
+//!   guard's `chk mlr` handshake randomizes the stack base at load
+//!   (`Harness::MlrOs`); the exposed twin's CHECKs pass through and it
+//!   falls back to the attacker-known nominal base (`Harness::OsBare`).
+//! * `got_guard` / `got_exposed` — a one-entry GOT relocated to the heap
+//!   base: by MLR hardware copy (`MLR_GOT_OLD/NEW/COPY_GOT`) to the
+//!   randomized base on the guard, by an explicit store to the nominal
+//!   base on the exposed twin.
+//! * `branch_guard` / `branch_exposed` — a branch-dense loop with an
+//!   unreferenced gadget (`evil:`) and a NOP code cave in text. The
+//!   guard runs under `CheckPolicy::ControlFlow` with the ICM's
+//!   redundant CheckerMemory copy installed (`Harness::Icm`); the
+//!   exposed twin is a bare pipeline.
+//! * `nx_guard` / `nx_exposed` — an indirect call through a data-page
+//!   function-pointer slot, with writable staging space next to it. The
+//!   guard arms the DDT's non-executable-page enforcement
+//!   (`Harness::NxOs`); the exposed twin executes whatever it jumps to.
+
+pub use rse_inject::{Harness, Workload};
+
+/// A campaign victim: a corpus workload plus whether the defending
+/// module is actually installed (the *guard* half of a twin pair).
+#[derive(Debug, Clone, Copy)]
+pub struct Victim {
+    /// The underlying workload (name, source, harness, result set).
+    pub workload: Workload,
+    /// `true` for the guard twin (defense installed), `false` for the
+    /// exposed twin (same guest, defense absent).
+    pub defended: bool,
+}
+
+/// Shared source of the `stack_*` twins. The guest reads the stack base
+/// the MLR published (or falls back to the nominal base), plants a
+/// function pointer at `base - 64`, burns a delay window — the attack
+/// surface in time — then calls through the slot and exits 0. Golden
+/// output: `[1]`.
+const STACK_SRC: &str = r#"
+    main:   li   r4, 0x0EFF0000    # a0 = special header (loader.HEADER_ADDR)
+            li   r5, 64
+            chk  mlr, blk, 2, 0    # MLR_EXEC_HDR
+            chk  mlr, blk, 3, 0    # MLR_PI_RAND
+            li   t0, 0x0EFF0040
+            lw   s1, 4(t0)         # randomized stack base (or 0)
+            bne  s1, r0, haveb
+            li   s1, 0x7FFFF000    # fall back to the nominal base
+    haveb:  la   t0, good
+            addi t1, s1, -64
+            sw   t0, 0(t1)         # plant the function pointer
+            li   s0, 400
+    dly:    addi s0, s0, -1
+            bne  s0, r0, dly       # the attacker's window
+            addi t1, s1, -64
+            lw   t2, 0(t1)
+            jalr r31, t2           # call through the slot
+            li   r2, 1
+            li   r4, 0
+            syscall                # exit(0)
+
+    good:   li   r2, 2
+            li   r4, 1             # 1 = legitimate path
+            syscall
+            jr   ra
+    evil:   li   r2, 2
+            li   r4, 666           # 666 = hijacked
+            syscall
+            jr   ra
+"#;
+
+/// Shared source of the `got_*` twins. The guest builds a one-entry GOT
+/// in its data segment, then relocates it to the heap base: the guard
+/// asks the MLR hardware to copy it to the *randomized* base
+/// (`MLR_GOT_OLD`/`MLR_GOT_NEW`/`MLR_COPY_GOT`); the exposed twin copies
+/// it to the *nominal* base itself. After the delay window it calls
+/// through the relocated entry. Golden output: `[1]`.
+const GOT_SRC: &str = r#"
+    main:   li   r4, 0x0EFF0000
+            li   r5, 64
+            chk  mlr, blk, 2, 0    # MLR_EXEC_HDR
+            chk  mlr, blk, 3, 0    # MLR_PI_RAND
+            li   t0, 0x0EFF0040
+            lw   s2, 8(t0)         # randomized heap base (or 0)
+            la   t0, good
+            la   t1, got
+            sw   t0, 0(t1)         # GOT[0] = good
+            bne  s2, r0, randp
+            li   s2, 0x18000000    # exposed: nominal heap base
+            lw   t2, 0(t1)
+            sw   t2, 0(s2)         # relocate the GOT by hand
+            b    moved
+    randp:  move r4, t1            # guard: MLR hardware copy
+            li   r5, 8
+            chk  mlr, blk, 4, 0    # MLR_GOT_OLD
+            move r4, s2
+            chk  mlr, blk, 5, 0    # MLR_GOT_NEW
+            chk  mlr, blk, 6, 0    # MLR_COPY_GOT
+    moved:  li   s0, 400
+    dly:    addi s0, s0, -1
+            bne  s0, r0, dly       # the attacker's window
+            lw   t2, 0(s2)
+            jalr r31, t2           # call through the relocated GOT
+            li   r2, 1
+            li   r4, 0
+            syscall                # exit(0)
+
+    good:   li   r2, 2
+            li   r4, 1
+            syscall
+            jr   ra
+    evil:   li   r2, 2
+            li   r4, 666
+            syscall
+            jr   ra
+
+            .data
+            .align 4
+    got:    .word 0, 0
+"#;
+
+/// Shared source of the `branch_*` twins: a branch-dense loop (three
+/// control-flow commits per iteration, all ICM-checked on the guard),
+/// an unreferenced gadget (`evil:` — sets `r13` so a hijack is visible
+/// in the result digest), and a 4-word NOP code cave the code-injection
+/// model patches its payload into. Golden: `r13 = 0`, `out = 420`.
+const BRANCH_SRC: &str = r#"
+    main:   li   r8, 0
+            li   r9, 0
+            li   r10, 120
+    loop:   addi r8, r8, 1
+            andi r11, r8, 1
+            beq  r11, r0, even
+            addi r9, r9, 5
+            b    next
+    even:   addi r9, r9, 2
+    next:   bne  r8, r10, loop
+            b    fin
+    evil:   li   r13, 6666         # the hijack gadget (never called)
+            b    fin
+    cave:   nop                    # code cave: patch target for
+            nop                    # the code-injection model
+            nop
+            nop
+    fin:    la   r12, out
+            sw   r9, 0(r12)
+            halt
+
+            .data
+            .align 4
+    out:    .space 8
+"#;
+
+/// Shared source of the `nx_*` twins: an indirect call through a
+/// data-page slot (`fnslot`), with a writable staging buffer (`stage`)
+/// right next to it for the shellcode probe. Golden output: `[1]`.
+const NX_SRC: &str = r#"
+    main:   la   t0, good
+            la   t1, fnslot
+            sw   t0, 0(t1)         # plant the function pointer
+            li   s0, 400
+    dly:    addi s0, s0, -1
+            bne  s0, r0, dly       # the attacker's window
+            la   t1, fnslot
+            lw   t2, 0(t1)
+            jalr r31, t2           # call through the slot
+            li   r2, 1
+            li   r4, 0
+            syscall                # exit(0)
+
+    good:   li   r2, 2
+            li   r4, 1
+            syscall
+            jr   ra
+
+            .data
+            .align 4
+    fnslot: .word 0
+    stage:  .space 32              # shellcode staging area
+"#;
+
+const VICTIMS: [Victim; 8] = [
+    Victim {
+        workload: Workload {
+            name: "stack_guard",
+            source: STACK_SRC,
+            harness: Harness::MlrOs,
+            result_regs: &[],
+            result_buf: None,
+            data_fault_buf: None,
+        },
+        defended: true,
+    },
+    Victim {
+        workload: Workload {
+            name: "stack_exposed",
+            source: STACK_SRC,
+            harness: Harness::OsBare,
+            result_regs: &[],
+            result_buf: None,
+            data_fault_buf: None,
+        },
+        defended: false,
+    },
+    Victim {
+        workload: Workload {
+            name: "got_guard",
+            source: GOT_SRC,
+            harness: Harness::MlrOs,
+            result_regs: &[],
+            result_buf: None,
+            data_fault_buf: None,
+        },
+        defended: true,
+    },
+    Victim {
+        workload: Workload {
+            name: "got_exposed",
+            source: GOT_SRC,
+            harness: Harness::OsBare,
+            result_regs: &[],
+            result_buf: None,
+            data_fault_buf: None,
+        },
+        defended: false,
+    },
+    Victim {
+        workload: Workload {
+            name: "branch_guard",
+            source: BRANCH_SRC,
+            harness: Harness::Icm,
+            result_regs: &[8, 9, 13],
+            result_buf: Some(("out", 4)),
+            data_fault_buf: None,
+        },
+        defended: true,
+    },
+    Victim {
+        workload: Workload {
+            name: "branch_exposed",
+            source: BRANCH_SRC,
+            harness: Harness::Bare,
+            result_regs: &[8, 9, 13],
+            result_buf: Some(("out", 4)),
+            data_fault_buf: None,
+        },
+        defended: false,
+    },
+    Victim {
+        workload: Workload {
+            name: "nx_guard",
+            source: NX_SRC,
+            harness: Harness::NxOs,
+            result_regs: &[],
+            result_buf: None,
+            data_fault_buf: None,
+        },
+        defended: true,
+    },
+    Victim {
+        workload: Workload {
+            name: "nx_exposed",
+            source: NX_SRC,
+            harness: Harness::OsBare,
+            result_regs: &[],
+            result_buf: None,
+            data_fault_buf: None,
+        },
+        defended: false,
+    },
+];
+
+/// The victim corpus, in stable order (guard before exposed per pair).
+pub fn victims() -> &'static [Victim] {
+    &VICTIMS
+}
+
+/// Looks a victim up by its stable name.
+pub fn victim_by_name(name: &str) -> Option<&'static Victim> {
+    VICTIMS.iter().find(|v| v.workload.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rse_isa::asm::assemble;
+
+    #[test]
+    fn victims_assemble_and_declare_their_surfaces() {
+        for v in victims() {
+            let image = assemble(v.workload.source)
+                .unwrap_or_else(|e| panic!("{} fails to assemble: {e:?}", v.workload.name));
+            if v.workload.name.starts_with("stack_") || v.workload.name.starts_with("got_") {
+                assert!(image.symbol("evil").is_some(), "{}", v.workload.name);
+            }
+            if v.workload.name.starts_with("branch_") {
+                for sym in ["evil", "cave", "fin", "out"] {
+                    assert!(image.symbol(sym).is_some(), "{}: {sym}", v.workload.name);
+                }
+            }
+            if v.workload.name.starts_with("nx_") {
+                for sym in ["fnslot", "stage"] {
+                    assert!(image.symbol(sym).is_some(), "{}: {sym}", v.workload.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn twins_share_sources_but_not_harnesses() {
+        for pair in ["stack", "got", "branch", "nx"] {
+            let guard = victim_by_name(&format!("{pair}_guard")).unwrap();
+            let exposed = victim_by_name(&format!("{pair}_exposed")).unwrap();
+            assert_eq!(guard.workload.source, exposed.workload.source, "{pair}");
+            assert_ne!(guard.workload.harness, exposed.workload.harness, "{pair}");
+            assert!(guard.defended && !exposed.defended, "{pair}");
+            assert!(guard.workload.harness.target_module().is_some(), "{pair}");
+            assert!(exposed.workload.harness.target_module().is_none(), "{pair}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for v in victims() {
+            assert_eq!(
+                victim_by_name(v.workload.name).unwrap().workload.name,
+                v.workload.name
+            );
+        }
+        assert!(victim_by_name("nope").is_none());
+        assert_eq!(victims().len(), 8);
+    }
+}

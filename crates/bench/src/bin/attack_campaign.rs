@@ -1,0 +1,280 @@
+//! Deterministic adversarial attack campaign runner.
+//!
+//! Drives the `rse-attack` campaign engine over the victim corpus,
+//! writes one JSON record per attack run (JSON lines), and prints the
+//! attack-coverage table on stderr. The whole campaign is a pure
+//! function of the base seed: running the same invocation twice — at
+//! any thread count, tiered or not — yields byte-identical JSONL.
+//!
+//! ```text
+//! cargo run --release -p rse-bench --bin attack_campaign -- --smoke
+//! cargo run --release -p rse-bench --bin attack_campaign -- --control --runs 4
+//! cargo run --release -p rse-bench --bin attack_campaign -- --entropy --out BENCH_attack.json
+//! cargo run --release -p rse-bench --bin attack_campaign -- --seed 7 --runs 16
+//! ```
+//!
+//! Modes (mutually exclusive; default is the full campaign):
+//!
+//! * `--smoke` — the pinned CI spec (`AttackSpec::smoke`): every attack
+//!   model against both twins of its victim pair,
+//! * `--control` — zero-attack control runs of every victim; every
+//!   outcome must be `prevented` (and every recovery `not-needed`) or
+//!   the binary exits non-zero,
+//! * `--entropy` — the §4.1 re-randomization study: leak-then-strike
+//!   attack success rate versus the MLR re-randomization period,
+//!   emitted as one JSON object; the binary exits non-zero unless the
+//!   success count falls strictly at every period step,
+//! * *default* — every applicable (victim, attack-model) pair with
+//!   `--runs` runs each.
+//!
+//! Flags: `--seed <u64>` base seed (default 0xD5B), `--runs <n>` runs
+//! per cell for `--control`/full (default 8), `--model <name>` restrict
+//! the full campaign to one attack model, `--list-models` print the
+//! model catalog and exit, `--out <path>` write the JSONL (or entropy
+//! JSON) there instead of stdout, `--no-table` suppress the coverage
+//! table, `--tiered` run deterministic attack-free segments on the
+//! functional tier, `--threads <n>` shard runs across worker threads,
+//! `--trials <n>` trials per entropy sweep point (default 48),
+//! `--rerand-period <cycles>` replace the default entropy sweep with a
+//! single nonzero period (plus the static baseline).
+
+use std::process::ExitCode;
+
+use rse_attack::{
+    attack_coverage_table, compromise_permille, entropy_study, run_campaign_with,
+    strictly_decreasing, study_json, to_jsonl, AttackModel, AttackSpec, CampaignOptions,
+    DEFAULT_PERIODS, DEFAULT_TRIALS,
+};
+use rse_bench::{numeric, suggest, write_atomic};
+use rse_sys::rerand::validate_period;
+
+/// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
+const DEFAULT_SEED: u64 = 0xD5B;
+
+const USAGE: &str = "usage: attack_campaign [--smoke | --control | --entropy] [--seed N] \
+     [--runs N] [--model NAME] [--list-models] [--out FILE] [--no-table] [--tiered] \
+     [--threads N] [--trials N] [--rerand-period N]";
+
+enum Mode {
+    Smoke,
+    Control,
+    Entropy,
+    Full,
+}
+
+struct Args {
+    mode: Mode,
+    seed: u64,
+    runs: u32,
+    model: Option<AttackModel>,
+    list_models: bool,
+    out: Option<String>,
+    table: bool,
+    opts: CampaignOptions,
+    trials: u32,
+    rerand_period: Option<u64>,
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Full,
+        seed: DEFAULT_SEED,
+        runs: 8,
+        model: None,
+        list_models: false,
+        out: None,
+        table: true,
+        opts: CampaignOptions::default(),
+        trials: DEFAULT_TRIALS,
+        rerand_period: None,
+    };
+    let mut it = argv;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.mode = Mode::Smoke,
+            "--control" => args.mode = Mode::Control,
+            "--entropy" => args.mode = Mode::Entropy,
+            "--seed" => args.seed = numeric("--seed", it.next())?,
+            "--runs" => args.runs = numeric("--runs", it.next())?,
+            "--model" => {
+                let name = it.next().ok_or("--model expects a model name")?;
+                let Some(model) = AttackModel::from_name(&name) else {
+                    let candidates = AttackModel::ALL.iter().map(|m| m.name());
+                    return Err(match suggest(&name, candidates) {
+                        Some(s) => format!(
+                            "unknown model '{name}' (did you mean '{s}'? see --list-models)"
+                        ),
+                        None => format!("unknown model '{name}' (see --list-models)"),
+                    });
+                };
+                args.model = Some(model);
+            }
+            "--list-models" => args.list_models = true,
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out expects a file path")?);
+            }
+            "--no-table" => args.table = false,
+            "--tiered" => args.opts.tiered = true,
+            "--threads" => args.opts.threads = numeric("--threads", it.next())?,
+            "--trials" => args.trials = numeric("--trials", it.next())?,
+            "--rerand-period" => {
+                let period = numeric("--rerand-period", it.next())?;
+                args.rerand_period = Some(validate_period("--rerand-period", period)?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            _ => return Err(format!("unknown flag '{a}'")),
+        }
+    }
+    if args.model.is_some() && !matches!(args.mode, Mode::Full) {
+        return Err("--model applies to the full campaign only".into());
+    }
+    if args.rerand_period.is_some() && !matches!(args.mode, Mode::Entropy) {
+        return Err("--rerand-period applies to the entropy study only".into());
+    }
+    Ok(args)
+}
+
+/// Runs the entropy study and writes/validates its JSON.
+fn run_entropy(args: &Args) -> ExitCode {
+    let periods: Vec<u64> = match args.rerand_period {
+        Some(p) => vec![p],
+        None => DEFAULT_PERIODS.to_vec(),
+    };
+    eprintln!(
+        "attack_campaign: entropy study, {} trials x {} points, base seed {:#x}",
+        args.trials,
+        periods.len() + 1,
+        args.seed
+    );
+    let points = entropy_study(args.seed, args.trials, &periods, args.opts.threads);
+    let json = study_json(args.seed, &points);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = write_atomic(path, json.as_bytes()) {
+                eprintln!("attack_campaign: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("attack_campaign: wrote entropy study to {path}");
+        }
+        None => print!("{json}"),
+    }
+    for p in &points {
+        eprintln!(
+            "  period {:>6} cycles: {:>3}/{} successes ({} permille)",
+            p.period,
+            p.successes,
+            p.trials,
+            p.permille()
+        );
+    }
+    // The study IS the claim: every shortening of the re-randomization
+    // period must measurably cut attack success. Anything else means
+    // the defense (or the study) regressed, so fail loudly (CI runs
+    // this against the committed BENCH_attack.json).
+    if !strictly_decreasing(&points) {
+        eprintln!("attack_campaign: entropy FAILED: success counts are not strictly decreasing");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("attack_campaign: entropy OK: success falls strictly across the sweep");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("attack_campaign: {e}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_models {
+        println!("attack models:");
+        for m in AttackModel::ALL {
+            println!("  {:<14} {}", m.name(), m.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if matches!(args.mode, Mode::Entropy) {
+        return run_entropy(&args);
+    }
+    let mut spec = match args.mode {
+        Mode::Smoke => AttackSpec::smoke(args.seed),
+        Mode::Control => AttackSpec::control(args.seed, args.runs),
+        Mode::Full => AttackSpec::full(args.seed, args.runs),
+        Mode::Entropy => unreachable!("handled above"),
+    };
+    if let Some(model) = args.model {
+        spec.cells.retain(|c| c.model == model);
+        if spec.cells.is_empty() {
+            eprintln!(
+                "attack_campaign: no victim accepts model '{}' (see --list-models)",
+                model.name()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    eprintln!(
+        "attack_campaign: {} cells, {} runs, base seed {:#x}",
+        spec.cells.len(),
+        spec.total_runs(),
+        spec.base_seed
+    );
+
+    let records = run_campaign_with(&spec, &args.opts);
+    let jsonl = to_jsonl(&records);
+
+    match &args.out {
+        Some(path) => {
+            // Crash-safe: a killed run never leaves a truncated JSONL.
+            if let Err(e) = write_atomic(path, jsonl.as_bytes()) {
+                eprintln!("attack_campaign: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("attack_campaign: wrote {} records to {path}", records.len());
+        }
+        None => {
+            print!("{jsonl}");
+        }
+    }
+
+    if args.table {
+        eprintln!();
+        eprint!("{}", attack_coverage_table(&records));
+        eprintln!();
+        eprintln!(
+            "compromised: {} permille of {} runs",
+            compromise_permille(&records),
+            records.len()
+        );
+    }
+
+    // Control campaigns are a self-check: anything but 100% prevented
+    // (with no recovery machinery engaged and no attack armed) is a
+    // harness bug, so fail loudly (CI runs this).
+    if matches!(args.mode, Mode::Control) {
+        let clean = records
+            .iter()
+            .filter(|r| {
+                r.outcome.tag() == "prevented"
+                    && r.recovery.tag() == "not-needed"
+                    && r.attack == "none"
+            })
+            .count();
+        if clean != records.len() {
+            eprintln!(
+                "attack_campaign: control FAILED: {}/{} prevented",
+                clean,
+                records.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "attack_campaign: control OK: {clean}/{} prevented",
+            records.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -92,7 +92,7 @@ fn parse_args() -> Options {
                 let index = idx.parse().unwrap_or_else(|_| usage());
                 let xor_mask = u32::from_str_radix(mask.trim_start_matches("0x"), 16)
                     .unwrap_or_else(|_| usage());
-                opts.fault = Some(FetchFault { index, xor_mask });
+                opts.fault = Some(FetchFault::xor(index, xor_mask));
             }
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') && opts.path.is_empty() => opts.path = path.into(),

@@ -87,7 +87,24 @@ pub struct BuiltHarness {
 }
 
 /// Builds the harness for `w` with the given watchdog cycle budget.
+/// Equivalent to [`build_harness_seeded`] with no per-run MLR seed —
+/// [`Harness::MlrOs`] workloads then randomize with a fixed seed derived
+/// from the workload name, so golden references stay reproducible.
 pub fn build_harness(w: &Workload, image: &Image, cycle_budget: u64) -> BuiltHarness {
+    build_harness_seeded(w, image, cycle_budget, None)
+}
+
+/// Builds the harness for `w`, threading a per-run MLR layout seed into
+/// [`Harness::MlrOs`] flavors (the adversarial campaigns randomize the
+/// victim's layout fresh every run; `None` falls back to the pinned
+/// per-workload seed the golden reference uses). The seed is ignored by
+/// every other harness flavor.
+pub fn build_harness_seeded(
+    w: &Workload,
+    image: &Image,
+    cycle_budget: u64,
+    mlr_seed: Option<u64>,
+) -> BuiltHarness {
     let rse_cfg = RseConfig {
         watchdog: WatchdogConfig {
             cycle_budget,
@@ -124,12 +141,17 @@ pub fn build_harness(w: &Workload, image: &Image, cycle_budget: u64) -> BuiltHar
             install_bystanders(&mut engine);
             BuiltHarness { cpu, engine }
         }
-        Harness::DdtOs => {
+        Harness::DdtOs | Harness::NxOs => {
             let mut cpu = Pipeline::new(
                 PipelineConfig::default(),
                 MemorySystem::new(MemConfig::with_framework()),
             );
             loader::load_process(&mut cpu, image);
+            if w.harness == Harness::NxOs {
+                // §4.2: the DDT marks non-code pages non-executable; the
+                // pipeline enforces the range at commit.
+                cpu.set_exec_range(Some((image.text_base, image.text_end())));
+            }
             let mut ddt = Ddt::new(DdtConfig::default());
             ddt.set_current_thread(0);
             let mut engine = Engine::new(rse_cfg);
@@ -137,6 +159,49 @@ pub fn build_harness(w: &Workload, image: &Image, cycle_budget: u64) -> BuiltHar
             engine.enable(ModuleId::DDT);
             install_bystanders(&mut engine);
             BuiltHarness { cpu, engine }
+        }
+        Harness::MlrOs => {
+            let mut cpu = Pipeline::new(
+                PipelineConfig {
+                    chk_serialize_mask: 1 << ModuleId::MLR.number(),
+                    ..PipelineConfig::default()
+                },
+                MemorySystem::new(MemConfig::with_framework()),
+            );
+            loader::load_process(&mut cpu, image);
+            // The golden reference pins the layout seed to the workload
+            // name; adversarial runs re-seed per run. `| 1` keeps the
+            // seed nonzero so `Some(0)` never aliases "no entropy".
+            let seed = mlr_seed.unwrap_or_else(|| fnv_str(w.name)) | 1;
+            let mut engine = Engine::new(rse_cfg);
+            engine.install(Box::new(Mlr::new(MlrConfig {
+                seed: Some(seed),
+                ..MlrConfig::default()
+            })));
+            engine.enable(ModuleId::MLR);
+            engine.install(Box::new(Ahbm::new(AhbmConfig::default())));
+            engine.enable(ModuleId::AHBM);
+            engine.install(Box::new(Icm::new(IcmConfig::default())));
+            engine.enable(ModuleId::ICM);
+            BuiltHarness { cpu, engine }
+        }
+        Harness::OsBare => {
+            let mut cpu = Pipeline::new(
+                PipelineConfig {
+                    // Same pipeline shape as `MlrOs` so the undefended
+                    // twin differs only in the installed modules; with no
+                    // MLR the blocking `chk mlr` ops pass straight
+                    // through and the result words stay zero.
+                    chk_serialize_mask: 1 << ModuleId::MLR.number(),
+                    ..PipelineConfig::default()
+                },
+                MemorySystem::new(MemConfig::with_framework()),
+            );
+            loader::load_process(&mut cpu, image);
+            BuiltHarness {
+                cpu,
+                engine: Engine::new(rse_cfg),
+            }
         }
     }
 }
@@ -153,15 +218,22 @@ fn install_bystanders(engine: &mut Engine) {
     engine.enable(ModuleId::AHBM);
 }
 
-/// How a bare/ICM drive loop ended.
+/// How a bare/ICM drive loop ended. Public so the adversarial campaign
+/// engine (`rse-attack`) drives its non-OS victims through the same
+/// loop the injection campaigns use.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum RawEnd {
+pub enum RawEnd {
+    /// The guest committed `halt`.
     Halted,
+    /// The guest trapped in a way a bare harness cannot service.
     Crash(&'static str),
+    /// The cycle budget ran out.
     TimedOut,
 }
 
-fn drive(cpu: &mut Pipeline, engine: &mut Engine, deadline: u64) -> RawEnd {
+/// Runs a bare/ICM harness until it halts, traps, or exhausts the
+/// absolute cycle `deadline`.
+pub fn drive(cpu: &mut Pipeline, engine: &mut Engine, deadline: u64) -> RawEnd {
     let remaining = deadline.saturating_sub(cpu.now());
     if remaining == 0 {
         return RawEnd::TimedOut;
@@ -245,7 +317,7 @@ pub fn reference(w: &Workload) -> RefState {
                 output: Vec::new(),
             }
         }
-        Harness::DdtOs => {
+        Harness::DdtOs | Harness::MlrOs | Harness::OsBare | Harness::NxOs => {
             let mut os = Os::new(OsConfig::default());
             let exit = os.run(&mut b.cpu, &mut b.engine, REF_BUDGET);
             assert_eq!(
@@ -270,13 +342,17 @@ pub fn reference(w: &Workload) -> RefState {
 }
 
 /// System-software pre-run checkpoint: every mapped page snapshotted
-/// into a [`CheckpointStore`], in sorted-page order.
-struct PreRunCheckpoints {
-    store: CheckpointStore,
-    pages: Vec<u32>,
+/// into a [`CheckpointStore`], in sorted-page order. Public so the
+/// adversarial campaign engine reuses the same rollback machinery.
+pub struct PreRunCheckpoints {
+    /// The checkpoint store holding every pre-run page image.
+    pub store: CheckpointStore,
+    /// The snapshotted page ids, sorted.
+    pub pages: Vec<u32>,
 }
 
-fn capture_checkpoints(mem: &SparseMemory) -> PreRunCheckpoints {
+/// Snapshots every mapped page of `mem` into a fresh checkpoint store.
+pub fn capture_checkpoints(mem: &SparseMemory) -> PreRunCheckpoints {
     let pages = mem.mapped_page_ids_sorted();
     let mut store = CheckpointStore::new(CheckpointConfig::default());
     for &page in &pages {
@@ -292,7 +368,7 @@ fn capture_checkpoints(mem: &SparseMemory) -> PreRunCheckpoints {
 
 /// Rolls the process back to its pre-run checkpoints and re-executes.
 /// Returns the re-executed result digest, or the failure cause.
-fn rollback_and_rerun(
+pub fn rollback_and_rerun(
     w: &Workload,
     image: &Image,
     pre: &PreRunCheckpoints,
@@ -334,7 +410,7 @@ fn rollback_and_rerun(
 /// cycle-accurate tier, which is where the tiered campaign's speedup
 /// comes from while leaving every JSONL byte (outcomes, cycle counts,
 /// error strings) identical.
-fn rollback_and_rerun_tiered(
+pub fn rollback_and_rerun_tiered(
     w: &Workload,
     image: &Image,
     pre: &PreRunCheckpoints,
@@ -373,7 +449,9 @@ fn rollback_and_rerun_tiered(
     }
 }
 
-fn fault_budget(r: &RefState) -> u64 {
+/// The cycle budget a faulted run gets: 4x the golden run plus slack,
+/// so hangs are detectable without ever truncating a legitimate run.
+pub fn fault_budget(r: &RefState) -> u64 {
     r.profile.cycles.saturating_mul(4) + 200_000
 }
 
@@ -476,7 +554,7 @@ pub fn run_one_with(
             };
             (outcome, recovery, b.cpu.now())
         }
-        Harness::DdtOs => {
+        Harness::DdtOs | Harness::MlrOs | Harness::OsBare | Harness::NxOs => {
             let mut b = build_harness(w, &image, budget);
             plan.arm(&mut b.cpu, &mut b.engine);
             let mut os = Os::new(OsConfig::default());
@@ -751,28 +829,43 @@ pub fn run_campaign_with(spec: &CampaignSpec, opts: &CampaignOptions) -> Vec<Run
             })
         })
         .collect();
-    let threads = opts.threads.max(1).min(jobs.len().max(1));
+    run_sharded(&jobs, opts.threads, |_, &(w, model, run, seed)| {
+        run_one_with(w, model, run, seed, &refs[w.name], opts)
+    })
+}
+
+/// Runs `jobs` through `f`, sharding across `threads` worker threads.
+///
+/// Sharding is run-level and embarrassingly parallel: worker `t` of `T`
+/// takes jobs `t, t+T, t+2T, …` (round-robin, so long cells spread
+/// across workers) and the results merge back by job index — the result
+/// vector is identical at every thread count. `0` or `1` threads runs
+/// inline. Shared by the injection and adversarial campaign runners.
+///
+/// # Panics
+///
+/// Propagates any worker panic.
+pub fn run_sharded<J: Sync, R: Send>(
+    jobs: &[J],
+    threads: usize,
+    f: impl Fn(usize, &J) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(jobs.len().max(1));
     if threads == 1 {
-        return jobs
-            .iter()
-            .map(|&(w, model, run, seed)| run_one_with(w, model, run, seed, &refs[w.name], opts))
-            .collect();
+        return jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect();
     }
-    let mut slots: Vec<Option<RunRecord>> = Vec::new();
+    let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            let jobs = &jobs;
-            let refs = &refs;
+            let f = &f;
             handles.push(scope.spawn(move || {
                 jobs.iter()
                     .enumerate()
                     .skip(t)
                     .step_by(threads)
-                    .map(|(i, &(w, model, run, seed))| {
-                        (i, run_one_with(w, model, run, seed, &refs[w.name], opts))
-                    })
+                    .map(|(i, j)| (i, f(i, j)))
                     .collect::<Vec<_>>()
             }));
         }

@@ -10,7 +10,7 @@
 use crate::workload::{Harness, Workload};
 use rse_core::{ChkFault, Engine, IoqFault};
 use rse_isa::ModuleId;
-use rse_pipeline::{FetchFault, Pipeline, SoftFault};
+use rse_pipeline::{FetchFault, FetchTamper, Pipeline, SoftFault};
 use rse_support::rng::splitmix64;
 
 /// The soft-error fault models of the campaign.
@@ -131,7 +131,7 @@ impl FaultModel {
             FaultModel::ChkDrop | FaultModel::ChkGarble => workload.harness == Harness::Icm,
             FaultModel::ModValidStuck0
             | FaultModel::ModValidStuck1
-            | FaultModel::ModStateCorrupt => workload.harness != Harness::Bare,
+            | FaultModel::ModStateCorrupt => workload.harness.target_module().is_some(),
             FaultModel::MauDrop => workload.harness == Harness::Icm,
             _ => true,
         }
@@ -262,7 +262,7 @@ impl FaultPlan {
                 if next() % 2 == 1 {
                     xor_mask |= 1u32 << ((b1 + 1 + (next() % 31) as u32) % 32);
                 }
-                vec![PlannedFault::Fetch(FetchFault { index, xor_mask })]
+                vec![PlannedFault::Fetch(FetchFault::xor(index, xor_mask))]
             }
             FaultModel::ChkDrop => {
                 if profile.chk_routed == 0 {
@@ -366,9 +366,16 @@ impl FaultPlan {
                     addr,
                     xor_mask,
                 }) => format!("mem[{addr:#010x}]^={xor_mask:#010x}@c{at_cycle}"),
-                PlannedFault::Fetch(FetchFault { index, xor_mask }) => {
-                    format!("fetch[{index}]^={xor_mask:#010x}")
-                }
+                PlannedFault::Soft(SoftFault::Write {
+                    at_cycle,
+                    addr,
+                    value,
+                }) => format!("mem[{addr:#010x}]:={value:#010x}@c{at_cycle}"),
+                PlannedFault::Fetch(FetchFault { index, tamper }) => match tamper {
+                    FetchTamper::Xor(xor_mask) => format!("fetch[{index}]^={xor_mask:#010x}"),
+                    FetchTamper::Nop => format!("fetch[{index}]=nop"),
+                    FetchTamper::Replay => format!("fetch[{index}]=replay"),
+                },
                 PlannedFault::Chk(ChkFault::Drop { index }) => format!("chk-drop[{index}]"),
                 PlannedFault::Chk(ChkFault::Garble { index, xor_mask }) => {
                     format!("chk-garble[{index}]^={xor_mask:#010x}")
@@ -485,10 +492,13 @@ mod tests {
             assert_eq!(xor_mask.count_ones(), 2, "double flip must be 2 bits");
 
             let p = FaultPlan::sample(FaultModel::FetchWord, seed, &profile());
-            let PlannedFault::Fetch(FetchFault { index, xor_mask }) = p.faults[0] else {
+            let PlannedFault::Fetch(FetchFault { index, tamper }) = p.faults[0] else {
                 panic!("wrong fault kind");
             };
             assert!(index < 2_500);
+            let FetchTamper::Xor(xor_mask) = tamper else {
+                panic!("FetchWord samples XOR tampers only");
+            };
             assert!((1..=2).contains(&xor_mask.count_ones()));
 
             let p = FaultPlan::sample(FaultModel::ChkDrop, seed, &profile());

@@ -14,8 +14,8 @@ use rse_isa::ModuleId;
 use std::collections::BTreeMap;
 
 /// Short stable tag for a module (used inside outcome tags and fault
-/// descriptions).
-pub(crate) fn module_tag(id: ModuleId) -> String {
+/// descriptions, here and in the adversarial campaign engine).
+pub fn module_tag(id: ModuleId) -> String {
     if id == ModuleId::ICM {
         "ICM".into()
     } else if id == ModuleId::MLR {

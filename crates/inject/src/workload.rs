@@ -24,20 +24,42 @@ pub enum Harness {
     Icm,
     /// Guest OS + DDT module: multithreaded, checkpointed, recoverable.
     DdtOs,
+    /// Guest OS + MLR module: the guest's explicit `chk mlr` handshake
+    /// randomizes its memory layout at load (seeded per run by the
+    /// adversarial campaigns). Judged by guest output like `DdtOs`.
+    MlrOs,
+    /// Guest OS + empty engine: the *undefended* twin of `MlrOs` and
+    /// `NxOs`. The guest's `chk mlr` ops pass through untouched, so it
+    /// falls back to the nominal (attacker-known) layout.
+    OsBare,
+    /// Guest OS + DDT with non-executable-page enforcement armed: the
+    /// pipeline's executable range is pinned to the text segment, so an
+    /// instruction committing from a data page trips the NX trap.
+    NxOs,
 }
 
 impl Harness {
     /// The harness's primary module — the target of the module-directed
-    /// fault models (`None` for bare workloads). The non-bare harnesses
-    /// also install the MLR and AHBM as bystander modules so per-module
+    /// fault models (`None` for undefended harnesses). The module-bearing
+    /// harnesses also install two bystander modules so per-module
     /// containment is observable: one quarantined module stays below the
     /// half-installed escalation threshold.
     pub fn target_module(self) -> Option<rse_isa::ModuleId> {
         match self {
-            Harness::Bare => None,
+            Harness::Bare | Harness::OsBare => None,
             Harness::Icm => Some(rse_isa::ModuleId::ICM),
-            Harness::DdtOs => Some(rse_isa::ModuleId::DDT),
+            Harness::DdtOs | Harness::NxOs => Some(rse_isa::ModuleId::DDT),
+            Harness::MlrOs => Some(rse_isa::ModuleId::MLR),
         }
+    }
+
+    /// Whether this harness runs under the guest OS (judged by guest
+    /// output) rather than by bare result-digest comparison.
+    pub fn is_os(self) -> bool {
+        matches!(
+            self,
+            Harness::DdtOs | Harness::MlrOs | Harness::OsBare | Harness::NxOs
+        )
     }
 }
 

@@ -477,10 +477,7 @@ mod tests {
         // hence checked). The redundant copy in CheckerMemory is clean, so
         // the ICM flags a mismatch, the pipeline flushes and refetches the
         // clean word, and the program still computes the right answer.
-        cpu.set_fetch_fault(Some(FetchFault {
-            index: 3,
-            xor_mask: 0x0000_0040,
-        }));
+        cpu.set_fetch_fault(Some(FetchFault::xor(3, 0x0000_0040)));
         assert_eq!(cpu.run(&mut engine, 2_000_000), StepEvent::Halted);
         assert_eq!(cpu.regs()[8], 20, "architectural result must be preserved");
         let icm: &Icm = engine.module_ref(ModuleId::ICM).unwrap();

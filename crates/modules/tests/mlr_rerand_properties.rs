@@ -1,0 +1,180 @@
+//! Property tests for the MLR's layout permutation (§4.1 runtime
+//! re-randomization).
+//!
+//! A re-randomization pass is a *permutation* of the address space:
+//! segment bytes move by a delta, registered pointers are redirected by
+//! the same delta, the vacated pages are scrubbed. Three properties pin
+//! that down:
+//!
+//! 1. **Invertibility** — applying the inverse delta by hand restores
+//!    the exact pre-move address-space image (digest equality), so a
+//!    pass destroys no information beyond the deliberate scrub,
+//! 2. **Logical-image preservation** — across many passes the
+//!    *relocated* view (segment bytes at the current base + pointer
+//!    offsets relative to it) keeps one digest while the raw layout
+//!    digest changes every move,
+//! 3. **Seed dispersion** — distinct seeds pick distinct, page-aligned
+//!    bases, with a collision bound matching the page-grid birthday
+//!    math.
+
+use rse_isa::asm::assemble;
+use rse_isa::layout::PAGE_SIZE;
+use rse_mem::{MemConfig, MemorySystem};
+use rse_modules::mlr::{Mlr, MlrConfig};
+use rse_pipeline::{Pipeline, PipelineConfig};
+use rse_support::rng::fnv1a64;
+use rse_sys::rerand::rerandomize_segment;
+
+/// Registered-pointer guest: `ptr` aims into the segment, `ptrtab` is
+/// the compiler's special data section, `seg` is page-aligned and
+/// carries a recognizable byte pattern.
+const SRC: &str = r#"
+    main:   halt
+
+            .data
+            .align 4
+    ptr:    .word seg
+    ptr2:   .word seg
+    ptrtab: .word 2, ptr, ptr2
+            .space 4000
+            .align 4096
+    seg:    .word 0x11223344, 0x55667788, 0x99aabbcc
+            .space 8180
+"#;
+
+const SEG_LEN: u32 = 8192;
+
+fn setup(seed: u64) -> (Pipeline, Mlr, u32, u32, [u32; 2]) {
+    let image = assemble(SRC).unwrap();
+    let seg = image.symbol("seg").unwrap();
+    let ptrtab = image.symbol("ptrtab").unwrap();
+    let slots = [image.symbol("ptr").unwrap(), image.symbol("ptr2").unwrap()];
+    assert_eq!(seg % PAGE_SIZE, 0);
+    let mut cpu = Pipeline::new(
+        PipelineConfig::default(),
+        MemorySystem::new(MemConfig::baseline()),
+    );
+    rse_sys::loader::load_process(&mut cpu, &image);
+    // Stamp a non-repeating pattern across the whole segment so a
+    // partial or misaligned copy cannot alias to a digest match.
+    for i in 0..SEG_LEN / 4 {
+        let prev = cpu.mem().memory.read_u32(seg + 4 * i);
+        cpu.mem_mut()
+            .memory
+            .write_u32(seg + 4 * i, prev ^ (0x9E37_79B9u32.wrapping_mul(i + 1)));
+    }
+    let mlr = Mlr::new(MlrConfig {
+        seed: Some(seed),
+        ..MlrConfig::default()
+    });
+    (cpu, mlr, seg, ptrtab, slots)
+}
+
+/// Digest of the raw address-space window every candidate base can land
+/// in (the default range mask walks ±8 MB around the current base).
+fn window_digest(cpu: &Pipeline, around: u32) -> u64 {
+    const HALF: u32 = 12 << 20;
+    let start = around - HALF;
+    let mut bytes = vec![0u8; (2 * HALF + SEG_LEN) as usize];
+    cpu.mem().memory.read_bytes(start, &mut bytes);
+    fnv1a64(&bytes)
+}
+
+/// Digest of the *logical* image: segment bytes read through the current
+/// base, plus each registered pointer as an offset relative to that
+/// base. Invariant under any correct re-randomization pass.
+fn logical_digest(cpu: &Pipeline, base: u32, ptrtab: u32) -> u64 {
+    let mut bytes = vec![0u8; SEG_LEN as usize];
+    cpu.mem().memory.read_bytes(base, &mut bytes);
+    let count = cpu.mem().memory.read_u32(ptrtab);
+    for i in 0..count {
+        let slot = cpu.mem().memory.read_u32(ptrtab + 4 + 4 * i);
+        let off = cpu.mem().memory.read_u32(slot).wrapping_sub(base);
+        bytes.extend_from_slice(&off.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+#[test]
+fn rerandomization_is_invertible() {
+    let (mut cpu, mut mlr, seg, ptrtab, slots) = setup(0xA11CE);
+    let before = window_digest(&cpu, seg);
+    let out = rerandomize_segment(&mut cpu, &mut mlr, ptrtab, seg, SEG_LEN);
+    assert_ne!(out.new_base, seg);
+    assert_eq!(out.pointers_rewritten, 2);
+    assert_ne!(window_digest(&cpu, seg), before, "the pass moved bytes");
+
+    // Apply the inverse permutation by hand: move the bytes back, scrub
+    // the vacated pages, undo the pointer redirection.
+    let delta = out.new_base.wrapping_sub(seg);
+    let mut bytes = vec![0u8; SEG_LEN as usize];
+    cpu.mem().memory.read_bytes(out.new_base, &mut bytes);
+    cpu.mem_mut().memory.write_bytes(seg, &bytes);
+    cpu.mem_mut()
+        .memory
+        .write_bytes(out.new_base, &vec![0u8; SEG_LEN as usize]);
+    for slot in slots {
+        let v = cpu.mem().memory.read_u32(slot);
+        cpu.mem_mut().memory.write_u32(slot, v.wrapping_sub(delta));
+    }
+    assert_eq!(
+        window_digest(&cpu, seg),
+        before,
+        "inverse delta restores the exact address-space image"
+    );
+}
+
+#[test]
+fn logical_image_digest_is_preserved_across_moves() {
+    let (mut cpu, mut mlr, seg, ptrtab, _) = setup(0xB0B);
+    let logical = logical_digest(&cpu, seg, ptrtab);
+    let mut base = seg;
+    let mut raw_digests = vec![window_digest(&cpu, seg)];
+    for pass in 0..5 {
+        let out = rerandomize_segment(&mut cpu, &mut mlr, ptrtab, base, SEG_LEN);
+        base = out.new_base;
+        assert_eq!(
+            logical_digest(&cpu, base, ptrtab),
+            logical,
+            "pass {pass}: the relocated view is unchanged"
+        );
+        raw_digests.push(window_digest(&cpu, seg));
+    }
+    // ... while the raw layout genuinely changed every single pass.
+    let distinct: std::collections::BTreeSet<u64> = raw_digests.iter().copied().collect();
+    assert_eq!(distinct.len(), raw_digests.len());
+}
+
+#[test]
+fn distinct_seeds_yield_distinct_layouts() {
+    const SEEDS: u64 = 64;
+    // The default range mask spreads bases over a 16 MB window: 4096
+    // page slots. Birthday math puts the expected collisions for 64
+    // draws at ~0.5; demanding ≥ 56 distinct bases leaves generous
+    // slack without ever flaking (the draws are deterministic anyway).
+    const MIN_DISTINCT: usize = 56;
+    let old_base = 0x1000_1000;
+    let mut bases = std::collections::BTreeSet::new();
+    for s in 0..SEEDS {
+        let mut mlr = Mlr::new(MlrConfig {
+            seed: Some(0xC0FFEE ^ (s << 8)),
+            ..MlrConfig::default()
+        });
+        let base = mlr.pick_rerandomized_base(old_base, SEG_LEN, 1_000);
+        assert_eq!(base % PAGE_SIZE, 0, "seed {s}: bases stay page-aligned");
+        assert_ne!(base, old_base, "seed {s}: a move never lands in place");
+        bases.insert(base);
+
+        // Same seed, same draw: the layout is a pure function of the seed.
+        let mut twin = Mlr::new(MlrConfig {
+            seed: Some(0xC0FFEE ^ (s << 8)),
+            ..MlrConfig::default()
+        });
+        assert_eq!(twin.pick_rerandomized_base(old_base, SEG_LEN, 1_000), base);
+    }
+    assert!(
+        bases.len() >= MIN_DISTINCT,
+        "{} distinct bases from {SEEDS} seeds (collision bound {MIN_DISTINCT})",
+        bases.len()
+    );
+}

@@ -58,6 +58,6 @@ pub use coproc::{
 pub use cpu::{Cpu, ExecEvent};
 pub use exec::exec_alu;
 pub use golden::{Golden, GoldenEvent};
-pub use machine::{CpuContext, FetchFault, Pipeline, SoftFault, StepEvent};
+pub use machine::{CpuContext, FetchFault, FetchTamper, Pipeline, SoftFault, StepEvent};
 pub use predictor::{Predictor, PredictorConfig};
 pub use stats::PipelineStats;

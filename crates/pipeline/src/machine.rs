@@ -43,16 +43,42 @@ impl Default for CpuContext {
     }
 }
 
+/// What a [`FetchFault`] does to the targeted instruction word as it
+/// leaves the I-cache. `Xor` models in-transit multi-bit errors; `Nop`
+/// and `Replay` model the instruction-skip and instruction-replay
+/// classes of instruction-stream tampering (a glitched fetch unit that
+/// swallows or double-issues a word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchTamper {
+    /// XOR the fetched word with the mask.
+    Xor(u32),
+    /// Replace the fetched word with a NOP (the instruction is skipped).
+    Nop,
+    /// Push the fetched word twice (the instruction executes twice).
+    Replay,
+}
+
 /// A one-shot transient fault injected into the fetch path: the `index`-th
-/// fetched instruction word (0-based, counting only real fetches) is XORed
-/// with `xor_mask` as it leaves the I-cache. This models the in-transit
-/// multi-bit errors the Instruction Checker Module detects (§4.3).
+/// fetched instruction word (0-based, counting only real fetches) is
+/// tampered with as it leaves the I-cache. This models the in-transit
+/// errors the Instruction Checker Module detects (§4.3) as well as the
+/// skip/replay tampering classes used by the adversarial campaigns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FetchFault {
     /// Which fetched word to corrupt.
     pub index: u64,
-    /// Bits to flip.
-    pub xor_mask: u32,
+    /// How the word is corrupted.
+    pub tamper: FetchTamper,
+}
+
+impl FetchFault {
+    /// The classic fetch fault: XOR `xor_mask` into the `index`-th word.
+    pub fn xor(index: u64, xor_mask: u32) -> FetchFault {
+        FetchFault {
+            index,
+            tamper: FetchTamper::Xor(xor_mask),
+        }
+    }
 }
 
 /// A scheduled transient soft error, applied once when the pipeline's
@@ -88,12 +114,27 @@ pub enum SoftFault {
         /// Bits to flip.
         xor_mask: u32,
     },
+    /// Overwrite the 32-bit memory word at `addr` with `value` at
+    /// `at_cycle`. Unlike the XOR models above this is not a transient
+    /// upset but an *arbitrary-write primitive* — the attacker capability
+    /// the adversarial campaigns (rse-attack) use to smash return
+    /// addresses, tamper with pointer tables, and plant payloads.
+    Write {
+        /// Cycle at which the write lands.
+        at_cycle: u64,
+        /// Byte address of the word.
+        addr: u32,
+        /// Value written.
+        value: u32,
+    },
 }
 
 impl SoftFault {
     fn at_cycle(&self) -> u64 {
         match *self {
-            SoftFault::Reg { at_cycle, .. } | SoftFault::Mem { at_cycle, .. } => at_cycle,
+            SoftFault::Reg { at_cycle, .. }
+            | SoftFault::Mem { at_cycle, .. }
+            | SoftFault::Write { at_cycle, .. } => at_cycle,
         }
     }
 }
@@ -196,6 +237,8 @@ pub struct Pipeline {
     fetch_count: u64,
     soft_faults: Vec<SoftFault>,
     mul_busy_until: u64,
+    exec_range: Option<(u32, u32)>,
+    nx_violation: Option<u32>,
 }
 
 impl Pipeline {
@@ -228,6 +271,8 @@ impl Pipeline {
             fetch_count: 0,
             soft_faults: Vec::new(),
             mul_busy_until: 0,
+            exec_range: None,
+            nx_violation: None,
         }
     }
 
@@ -248,6 +293,7 @@ impl Pipeline {
         self.regs[Reg::SP.index()] = layout::STACK_BASE - 16;
         self.arch_regs = self.regs;
         self.state = State::Running;
+        self.nx_violation = None;
     }
 
     /// The current cycle.
@@ -293,6 +339,25 @@ impl Pipeline {
         self.fetch_fault = fault;
     }
 
+    /// Restricts *committed* execution to `[lo, hi)`. This models the
+    /// DDT's non-executable-page enforcement (§4.2): the first program
+    /// instruction that reaches commit from outside the range is blocked
+    /// — the machine records the offending PC, squashes everything in
+    /// flight and halts, before the instruction can retire any
+    /// architectural effect. Wrong-path fetches from data pages are
+    /// deliberately tolerated (real front ends speculate into garbage all
+    /// the time); only *architectural* execution trips the trap. `None`
+    /// disables enforcement.
+    pub fn set_exec_range(&mut self, range: Option<(u32, u32)>) {
+        self.exec_range = range;
+    }
+
+    /// The PC that tripped non-executable enforcement, if any. Latched
+    /// once per program run; [`Pipeline::load_image`] clears it.
+    pub fn nx_violation(&self) -> Option<u32> {
+        self.nx_violation
+    }
+
     /// Schedules a one-shot [`SoftFault`]. Faults whose `at_cycle` is in
     /// the past fire on the next step; multiple faults may be armed at
     /// once (the double-bit-flip model schedules two).
@@ -327,6 +392,10 @@ impl Pipeline {
                 }
                 SoftFault::Mem { addr, xor_mask, .. } => {
                     self.mem.memory.flip_word(addr, xor_mask);
+                    self.stats.soft_faults_applied += 1;
+                }
+                SoftFault::Write { addr, value, .. } => {
+                    self.mem.memory.write_u32(addr, value);
                     self.stats.soft_faults_applied += 1;
                 }
             }
@@ -492,6 +561,18 @@ impl Pipeline {
                 return None;
             }
             debug_assert!(!head.wrong_path, "wrong-path instruction reached commit");
+            if let Some((lo, hi)) = self.exec_range {
+                // Non-executable enforcement fires at commit, not fetch:
+                // speculative wrong-path fetches from data pages must not
+                // kill the program, but no architectural effect may ever
+                // retire from outside the executable range.
+                if !head.injected && (head.pc < lo || head.pc >= hi) {
+                    self.nx_violation = Some(head.pc);
+                    self.flush_all(cp);
+                    self.state = State::Halted;
+                    return Some(StepEvent::Halted);
+                }
+            }
             match cp.commit_gate(self.now, head.id) {
                 CommitGate::Stall => {
                     self.stats.commit_stall_cycles += 1;
@@ -976,8 +1057,13 @@ impl Pipeline {
             let corrupting = self
                 .fetch_fault
                 .is_some_and(|f| f.index == self.fetch_count);
+            let mut replay = false;
             if corrupting {
-                word ^= self.fetch_fault.expect("checked").xor_mask;
+                match self.fetch_fault.expect("checked").tamper {
+                    FetchTamper::Xor(mask) => word ^= mask,
+                    FetchTamper::Nop => word = encode(&Inst::Nop),
+                    FetchTamper::Replay => replay = true,
+                }
             }
             let inst = decode(word).unwrap_or(Inst::Nop);
             // Runtime CHECK embedding (§5.1): inject a CHECK in front of
@@ -1014,6 +1100,22 @@ impl Pipeline {
             });
             self.stats.fetched += 1;
             fetched += 1;
+            if replay {
+                // The replay tamper double-issues the word: a second copy
+                // of the same fetched instruction enters the queue right
+                // behind the first, so the instruction commits twice.
+                // (Only program instructions count toward `fetch_count`
+                // and the duplicate is not one — the fetch index stream
+                // stays aligned with the untampered run.)
+                self.fetch_queue.push_back(FetchedInst {
+                    pc,
+                    word,
+                    inst,
+                    pred_next,
+                    injected: false,
+                });
+                self.stats.fetched += 1;
+            }
             self.fetch_pc = pred_next;
             if pred_next != pc.wrapping_add(4) {
                 // Predicted-taken control transfer: fetch bubble.
@@ -1291,10 +1393,7 @@ mod tests {
         cpu.load_image(&image);
         // Corrupt the add (3rd fetched word) into an undecodable word:
         // it executes as a NOP, so r10 stays 0.
-        cpu.set_fetch_fault(Some(FetchFault {
-            index: 2,
-            xor_mask: 0x7C00_0000,
-        }));
+        cpu.set_fetch_fault(Some(FetchFault::xor(2, 0x7C00_0000)));
         assert_eq!(cpu.run(&mut NullCoProcessor, 100_000), StepEvent::Halted);
         assert_eq!(cpu.regs()[10], 0);
         assert_eq!(cpu.regs()[8], 1);

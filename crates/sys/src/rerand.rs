@@ -114,13 +114,39 @@ pub fn rerandomize_segment(
     }
 }
 
+/// Validates a re-randomization period parsed from a CLI flag, naming
+/// the offending flag in the error (the campaign/fleet_soak arg-parsing
+/// convention, see `rse_bench::numeric`). A period of `0` would
+/// otherwise schedule the *next* pass at the current cycle forever — or,
+/// worse, be taken as "never re-randomize" and silently hand the
+/// attacker a static layout — so it is rejected outright.
+pub fn validate_period(flag: &str, period: u64) -> Result<u64, String> {
+    if period == 0 {
+        return Err(format!(
+            "{flag}: re-randomization period must be nonzero \
+             (0 would silently never re-randomize; omit the flag for a static layout)"
+        ));
+    }
+    Ok(period)
+}
+
 /// Convenience for plans: fires if due, updating the plan's base.
+///
+/// # Panics
+///
+/// Panics if the plan's `interval` is zero — a zero period would re-fire
+/// at every safe point while claiming to be periodic; callers must
+/// reject it up front (see [`validate_period`]).
 pub fn maybe_rerandomize(
     cpu: &mut Pipeline,
     mlr: &mut Mlr,
     plan: &mut RerandPlan,
     next_due: &mut u64,
 ) -> Option<RerandOutcome> {
+    assert_ne!(
+        plan.interval, 0,
+        "re-randomization period must be nonzero (see validate_period)"
+    );
     if cpu.now() < *next_due {
         return None;
     }
@@ -189,7 +215,7 @@ mod tests {
         // Drive manually: re-randomize at every other syscall pause.
         let mut bases = vec![seg];
         let mut plan = RerandPlan {
-            interval: 0,
+            interval: 2_000,
             ptr_table: ptrtab,
             base: seg,
             len: 8192,
@@ -239,6 +265,39 @@ mod tests {
         engine: &mut rse_core::Engine,
     ) -> Option<crate::OsExit> {
         os.dispatch_pending_syscall(cpu, engine)
+    }
+
+    #[test]
+    fn zero_period_is_rejected_with_the_flag_name() {
+        let err = validate_period("--rerand-period", 0).unwrap_err();
+        assert!(err.starts_with("--rerand-period:"), "{err}");
+        assert!(err.contains("nonzero"), "{err}");
+        assert_eq!(validate_period("--rerand-period", 4096), Ok(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-randomization period must be nonzero")]
+    fn maybe_rerandomize_panics_on_zero_interval() {
+        let image = assemble(SRC).unwrap();
+        let seg = image.symbol("seg").unwrap();
+        let ptrtab = image.symbol("ptrtab").unwrap();
+        let mut cpu = Pipeline::new(
+            PipelineConfig::default(),
+            MemorySystem::new(MemConfig::baseline()),
+        );
+        crate::loader::load_process(&mut cpu, &image);
+        let mut mlr = Mlr::new(MlrConfig {
+            seed: Some(5),
+            ..MlrConfig::default()
+        });
+        let mut plan = RerandPlan {
+            interval: 0,
+            ptr_table: ptrtab,
+            base: seg,
+            len: 8192,
+        };
+        let mut due = 0;
+        let _ = maybe_rerandomize(&mut cpu, &mut mlr, &mut plan, &mut due);
     }
 
     #[test]

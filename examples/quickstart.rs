@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Corrupt the branch in flight: flip a bit of the 6th fetched
     //    word (the bne) as it leaves the I-cache.
-    cpu.set_fetch_fault(Some(FetchFault {
-        index: 5,
-        xor_mask: 0x0000_0020,
-    }));
+    cpu.set_fetch_fault(Some(FetchFault::xor(5, 0x0000_0020)));
 
     // 5. Run. The ICM compares the corrupted word against its redundant
     //    copy, reports a mismatch, and the pipeline flushes and refetches

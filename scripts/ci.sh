@@ -63,6 +63,59 @@ diff -u tests/golden/campaign_quarantine.jsonl "$QUAR_A" \
   || { echo "FAIL: quarantine campaign diverges from pinned golden"; exit 1; }
 echo "quarantine campaign: deterministic and matches golden (28 runs)"
 
+echo "== adversarial attack smoke campaign (98 runs, fixed seed)"
+# Same double-replay + pinned-golden discipline as the fault campaigns,
+# and neither tiering nor sharding may change a byte. Regenerate with:
+#   cargo run --release --offline -p rse-bench --bin attack_campaign -- \
+#     --smoke --no-table --out tests/golden/attack_smoke.jsonl
+ATK_A="$(mktemp)"; ATK_B="$(mktemp)"; ATK_T="$(mktemp)"; ATK_S="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S"' EXIT
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --smoke --no-table --out "$ATK_A" 2>/dev/null
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --smoke --no-table --out "$ATK_B" 2>/dev/null
+cmp "$ATK_A" "$ATK_B" \
+  || { echo "FAIL: attack campaign is nondeterministic"; exit 1; }
+diff -u tests/golden/attack_smoke.jsonl "$ATK_A" \
+  || { echo "FAIL: attack campaign diverges from pinned golden"; exit 1; }
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --smoke --no-table --tiered --out "$ATK_T" 2>/dev/null
+diff -u tests/golden/attack_smoke.jsonl "$ATK_T" \
+  || { echo "FAIL: --tiered attack campaign diverges from pinned golden"; exit 1; }
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --smoke --no-table --threads 4 --out "$ATK_S" 2>/dev/null
+diff -u tests/golden/attack_smoke.jsonl "$ATK_S" \
+  || { echo "FAIL: 4-thread attack campaign diverges from pinned golden"; exit 1; }
+echo "attack campaign: deterministic (plain/tiered/sharded) and matches golden (98 runs)"
+
+echo "== attack control campaign (zero attacks => 100% prevented)"
+# The attack_campaign binary itself exits non-zero unless every control
+# record is prevented/not-needed/attack=none.
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --control --runs 2 --no-table >/dev/null
+
+echo "== randomization entropy study (success rate vs rerand period)"
+# Regenerates the committed BENCH_attack.json and gates the paper's
+# §4.1 claim two ways: the binary exits non-zero unless the success
+# count falls strictly at every period step, and an independent awk
+# pass re-checks the committed artifact for the monotone decrease.
+# Regenerate with:
+#   cargo run --release --offline -p rse-bench --bin attack_campaign -- \
+#     --entropy --out BENCH_attack.json
+ENT_A="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A"' EXIT
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --entropy --out "$ENT_A" 2>/dev/null \
+  || { echo "FAIL: entropy study failed its strict-decrease gate"; exit 1; }
+diff -u BENCH_attack.json "$ENT_A" \
+  || { echo "FAIL: entropy study diverges from committed BENCH_attack.json"; exit 1; }
+grep -o '"successes":[0-9]*' BENCH_attack.json | cut -d: -f2 | awk '
+  NR > 1 && $1 >= prev { bad = 1 } { prev = $1 } END {
+    if (NR < 2) { print "FAIL: entropy study has too few points"; exit 1 }
+    if (bad) { print "FAIL: attack success rate not strictly decreasing"; exit 1 }
+  }' || exit 1
+echo "entropy study: randomization strictly cuts attack success; artifact matches"
+
 echo "== fleet soak smoke campaign (52 runs, 5 nodes, fixed seed)"
 # The fleet history is a pure function of (config, seed, fault): two
 # invocations must be byte-identical and match the pinned golden.
@@ -70,7 +123,7 @@ echo "== fleet soak smoke campaign (52 runs, 5 nodes, fixed seed)"
 #   cargo run --release --offline -p rse-bench --bin fleet_soak -- \
 #     --smoke --no-table --out tests/golden/fleet_soak_smoke.jsonl
 FLEET_A="$(mktemp)"; FLEET_B="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B"' EXIT
 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
   --smoke --no-table --out "$FLEET_A" 2>/dev/null
 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
@@ -100,7 +153,7 @@ echo "== tiered + sharded smoke campaigns (must be byte-identical to golden)"
 # three variants must match the same pinned golden as the sequential
 # smoke campaign above.
 TIER_A="$(mktemp)"; SHARD_A="$(mktemp)"; BOTH_A="$(mktemp)"; FLEET_T="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T"' EXIT
 cargo run --release --offline -q -p rse-bench --bin campaign -- \
   --smoke --no-table --tiered --out "$TIER_A" 2>/dev/null
 diff -u tests/golden/campaign_smoke.jsonl "$TIER_A" \
@@ -128,7 +181,7 @@ echo "== lockstep fleet soak (equivalence shim, same golden)"
 # the SAME pinned golden byte-for-byte — the discrete-event refactor's
 # standing equivalence proof.
 FLEET_L="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L"' EXIT
 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
   --smoke --no-table --lockstep --out "$FLEET_L" 2>/dev/null
 diff -u tests/golden/fleet_soak_smoke.jsonl "$FLEET_L" \
@@ -144,7 +197,7 @@ echo "== 1k-node churn smoke campaign (chaos engine, fixed seed)"
 #   cargo run --release --offline -p rse-bench --bin fleet_soak -- \
 #     --churn --no-table --out tests/golden/churn_smoke.jsonl
 CHURN_A="$(mktemp)"; CHURN_B="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L" "$CHURN_A" "$CHURN_B"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L" "$CHURN_A" "$CHURN_B"' EXIT
 timeout 300 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
   --churn --no-table --out "$CHURN_A" --bench-json BENCH_fleet.json 2>/dev/null \
   || { echo "FAIL: churn smoke failed or blew the 300s wall-clock budget"; exit 1; }

@@ -1,0 +1,132 @@
+//! Pinned end-to-end attack containment scenarios.
+//!
+//! The promoted, engine-driven successor of `examples/attack_demo.rs`:
+//! where the demo walked one hand-built control-flow hijack through the
+//! MLR, these tests replay pinned scenarios from every guard/exposed
+//! twin pair through the `rse-attack` campaign engine and assert the
+//! *byte-exact* JSON record each seed expands to. The expected strings
+//! below are verbatim lines of `tests/golden/attack_smoke.jsonl`, so a
+//! drift in seed derivation, attack planning, classification, recovery
+//! tagging, or JSON shape fails here with a readable diff long before
+//! the golden-file comparison in CI does.
+
+use rse_attack::{derive_seed, run_one, victim_by_name, victims, AttackModel};
+use rse_inject::reference;
+
+/// Base seed shared with `attack_campaign --smoke` and `scripts/ci.sh`.
+const BASE_SEED: u64 = 0xD5B;
+
+/// Replays `(victim, model, run)` from the campaign base seed and
+/// asserts the record serializes byte-for-byte to the pinned golden
+/// line.
+fn assert_pinned(victim: &str, model: AttackModel, run: u32, golden: &str) {
+    let v = victim_by_name(victim).expect("victim exists");
+    let r = reference(&v.workload);
+    let seed = derive_seed(BASE_SEED, victim, model, run);
+    let rec = run_one(v, model, run, seed, &r);
+    assert_eq!(
+        rec.to_json(),
+        golden,
+        "{victim}/{}/run{run} drifted",
+        model.name()
+    );
+    // Seed-replayability is the engine's core contract: the same seed
+    // must expand to the same attack and the same outcome, always.
+    let again = run_one(v, model, run, seed, &r);
+    assert_eq!(rec.to_json(), again.to_json());
+}
+
+/// The control group end to end: with no attack armed, every victim —
+/// guarded or exposed — runs to its golden result, classifies
+/// `prevented`, and engages no recovery machinery.
+#[test]
+fn control_runs_are_prevented_on_every_victim() {
+    for v in victims() {
+        let name = v.workload.name;
+        let r = reference(&v.workload);
+        let seed = derive_seed(BASE_SEED, name, AttackModel::Control, 0);
+        let rec = run_one(v, AttackModel::Control, 0, seed, &r);
+        assert_eq!(rec.outcome.tag(), "prevented", "{name}: {}", rec.to_json());
+        assert_eq!(rec.recovery.tag(), "not-needed", "{name}");
+        assert_eq!(rec.attack, "none", "{name}");
+    }
+}
+
+/// The `attack_demo` scenario, engine-driven: a stack smash through the
+/// hard-coded nominal address misses the MLR-randomized slot (guard
+/// twin, `prevented`) and lands on the fixed layout (exposed twin,
+/// `compromised`).
+#[test]
+fn stack_smash_pinned_pair() {
+    assert_pinned(
+        "stack_guard",
+        AttackModel::StackSmash,
+        0,
+        r#"{"victim":"stack_guard","defended":true,"model":"stack-smash","run":0,"seed":7919462994826143190,"outcome":"prevented","recovery":"not-needed","cycles":635,"attack":"mem[0x7fffefc0]:=0x00400070@c476"}"#,
+    );
+    assert_pinned(
+        "stack_exposed",
+        AttackModel::StackSmash,
+        1,
+        r#"{"victim":"stack_exposed","defended":false,"model":"stack-smash","run":1,"seed":15054105865020624116,"outcome":"compromised","recovery":"not-needed","cycles":555,"attack":"mem[0x7fffefc0]:=0x00400070@c168"}"#,
+    );
+}
+
+/// GOT-style pointer-table tampering: the nominal-address write misses
+/// the randomized table under MLR and corrupts it on the fixed layout.
+#[test]
+fn got_tamper_pinned_pair() {
+    assert_pinned(
+        "got_guard",
+        AttackModel::GotTamper,
+        0,
+        r#"{"victim":"got_guard","defended":true,"model":"got-tamper","run":0,"seed":16684351585530023248,"outcome":"prevented","recovery":"not-needed","cycles":790,"attack":"mem[0x18000000]:=0x00400094@c466"}"#,
+    );
+    assert_pinned(
+        "got_exposed",
+        AttackModel::GotTamper,
+        0,
+        r#"{"victim":"got_exposed","defended":false,"model":"got-tamper","run":0,"seed":16001797290474241168,"outcome":"compromised","recovery":"not-needed","cycles":556,"attack":"mem[0x18000000]:=0x00400094@c403"}"#,
+    );
+}
+
+/// The NX case: shellcode staged in a writable data page trips the
+/// DDT's non-executable check on the guard twin — and the divergent
+/// state it left is repaired by checkpoint rollback — while the
+/// exposed twin executes the payload outright.
+#[test]
+fn nx_probe_pinned_pair() {
+    assert_pinned(
+        "nx_guard",
+        AttackModel::NxProbe,
+        0,
+        r#"{"victim":"nx_guard","defended":true,"model":"nx-probe","run":0,"seed":5002744442157867800,"outcome":"detected:DDT","recovery":"recovered:checkpoint-rollback","cycles":513,"attack":"mem[0x10000004]:=0x20020002@c175; mem[0x10000008]:=0x2004029a@c175; mem[0x1000000c]:=0x0000000c@c175; mem[0x10000010]:=0x20020001@c175; mem[0x10000014]:=0x20040000@c175; mem[0x10000018]:=0x0000000c@c175; mem[0x10000000]:=0x10000004@c175"}"#,
+    );
+    assert_pinned(
+        "nx_exposed",
+        AttackModel::NxProbe,
+        0,
+        r#"{"victim":"nx_exposed","defended":false,"model":"nx-probe","run":0,"seed":16835403033979038098,"outcome":"compromised","recovery":"not-needed","cycles":520,"attack":"mem[0x10000004]:=0x20020002@c62; mem[0x10000008]:=0x2004029a@c62; mem[0x1000000c]:=0x0000000c@c62; mem[0x10000010]:=0x20020001@c62; mem[0x10000014]:=0x20040000@c62; mem[0x10000018]:=0x0000000c@c62; mem[0x10000000]:=0x10000004@c62"}"#,
+    );
+}
+
+/// Control-flow hijack via branch redirection: the ICM's redundant
+/// invariant copy flags the rewritten branch word (the module reports
+/// `degraded` because the tampered text disagrees with its store), and
+/// rollback re-execution recovers the golden run; the exposed twin
+/// jumps straight into the gadget.
+#[test]
+fn cfh_redirect_pinned_pair() {
+    assert_pinned(
+        "branch_guard",
+        AttackModel::CfhRedirect,
+        0,
+        r#"{"victim":"branch_guard","defended":true,"model":"cfh-redirect","run":0,"seed":18267198131702743327,"outcome":"degraded:ICM","recovery":"recovered:checkpoint-rollback","cycles":627,"attack":"mem[0x00400014]:=0x0810000b@c543"}"#,
+    );
+    assert_pinned(
+        "branch_exposed",
+        AttackModel::CfhRedirect,
+        0,
+        r#"{"victim":"branch_exposed","defended":false,"model":"cfh-redirect","run":0,"seed":16880743320931427420,"outcome":"compromised","recovery":"not-needed","cycles":113,"attack":"mem[0x00400014]:=0x0810000b@c102"}"#,
+    );
+}

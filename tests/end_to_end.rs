@@ -168,10 +168,7 @@ fn icm_fault_injection_campaign() {
         let mut engine = Engine::new(RseConfig::default());
         engine.install(Box::new(icm));
         engine.enable(ModuleId::ICM);
-        cpu.set_fetch_fault(Some(rse::pipeline::FetchFault {
-            index,
-            xor_mask: bit,
-        }));
+        cpu.set_fetch_fault(Some(rse::pipeline::FetchFault::xor(index, bit)));
         let ev = cpu.run(&mut engine, 2_000_000);
         let icm: &Icm = engine.module_ref(ModuleId::ICM).unwrap();
         if icm.stats().mismatches > 0 {
