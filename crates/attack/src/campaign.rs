@@ -13,19 +13,19 @@
 //! layout would hand the diversity defense a constant the attacker
 //! never gets in the modeled system.
 
+use crate::chain::{is_chain_model, run_chain};
 use crate::model::AttackModel;
 use crate::outcome::{AttackOutcome, AttackRecord};
 use crate::surface::{map_surface, sample_attack};
 use crate::victim::{victim_by_name, victims, Harness, Victim, Workload};
 use rse_inject::{
-    build_harness_seeded, capture_checkpoints, drive, fault_budget, reference, result_digest,
-    rollback_and_rerun, rollback_and_rerun_tiered, run_sharded, PreRunCheckpoints, RawEnd,
-    RecoveryStatus, RefState,
+    build_harness_seeded, capture_checkpoints, detecting_module, drive, fault_budget, reference,
+    result_digest, rollback_and_rerun, rollback_and_rerun_tiered, run_sharded, PreRunCheckpoints,
+    RawEnd, RecoveryStatus, RefState,
 };
 use rse_isa::asm::assemble;
 use rse_isa::layout::{page_base, STACK_BASE};
 use rse_isa::{Image, ModuleId, Reg};
-use rse_modules::icm::Icm;
 use rse_pipeline::CpuContext;
 use rse_support::rng::{fnv1a64, splitmix64};
 use rse_sys::{Os, OsConfig, OsExit};
@@ -55,7 +55,7 @@ pub fn derive_seed(base_seed: u64, victim: &str, model: AttackModel, run: u32) -
 
 /// The per-run MLR layout seed for MLR-guarded victims: independent of
 /// the attack draws, derived from the same recorded seed.
-fn mlr_layout_seed(v: &Victim, seed: u64) -> Option<u64> {
+pub(crate) fn mlr_layout_seed(v: &Victim, seed: u64) -> Option<u64> {
     (v.workload.harness == Harness::MlrOs).then(|| {
         let mut s = seed ^ MLR_LAYOUT_DOMAIN;
         splitmix64(&mut s)
@@ -66,7 +66,7 @@ fn mlr_layout_seed(v: &Victim, seed: u64) -> Option<u64> {
 /// re-executes under a fresh guest OS (same MLR layout seed, so the
 /// re-run reproduces the attacked run's randomization decisions).
 /// Returns the re-executed guest output, or the failure cause.
-fn rollback_and_rerun_os(
+pub(crate) fn rollback_and_rerun_os(
     w: &Workload,
     image: &Image,
     pre: &PreRunCheckpoints,
@@ -123,13 +123,16 @@ pub fn run_one_with(
     r: &RefState,
     opts: &CampaignOptions,
 ) -> AttackRecord {
+    if is_chain_model(model) {
+        return run_chain(v, model, run, seed, r, opts);
+    }
     let w = &v.workload;
     let image = assemble(w.source).expect("victim workload assembles");
     let surface = map_surface(v, &image);
     let plan = sample_attack(model, seed, v, &surface, &r.profile);
     let budget = fault_budget(r);
     let (outcome, recovery, cycles) = match w.harness {
-        Harness::Bare | Harness::Icm => {
+        Harness::Bare | Harness::Icm | Harness::Dsm => {
             let mut b = build_harness_seeded(w, &image, budget, None);
             let pre = capture_checkpoints(&b.cpu.mem().memory);
             plan.arm(&mut b.cpu, &mut b.engine);
@@ -137,10 +140,7 @@ pub fn run_one_with(
             if end == RawEnd::TimedOut {
                 b.engine.poll_hang(b.cpu.now());
             }
-            let detected = b
-                .engine
-                .module_ref::<Icm>(ModuleId::ICM)
-                .is_some_and(|icm| icm.stats().mismatches > 0);
+            let detected_by = detecting_module(&b.engine);
             let digest = result_digest(w, &b.cpu, &image);
             let clean = end == RawEnd::Halted && digest == r.digest;
             let down_target = w
@@ -149,8 +149,8 @@ pub fn run_one_with(
                 .filter(|&m| b.engine.module_health(m).is_down());
             let outcome = if let Some(m) = down_target {
                 AttackOutcome::Degraded(m)
-            } else if detected {
-                AttackOutcome::Detected(ModuleId::ICM)
+            } else if let Some(m) = detected_by {
+                AttackOutcome::Detected(m)
             } else if b.engine.safe_mode().is_some() {
                 AttackOutcome::CrashTrap
             } else {
@@ -170,6 +170,9 @@ pub fn run_one_with(
                 AttackOutcome::Degraded(_) if clean => RecoveryStatus::Succeeded {
                     mechanism: "quarantine-nop-mux",
                 },
+                // The DSM is detect-only (no flush path): a clean result
+                // under a DSM detection needed no mechanism at all.
+                AttackOutcome::Detected(ModuleId::DSM) if clean => RecoveryStatus::NotNeeded,
                 AttackOutcome::Detected(_) if clean => RecoveryStatus::Succeeded {
                     mechanism: "flush-refetch",
                 },
@@ -317,6 +320,36 @@ impl AttackSpec {
         AttackSpec { base_seed, cells }
     }
 
+    /// The pinned adaptive campaign: the chain models plus the
+    /// instruction-stream models against the DSM twins — the coverage
+    /// the smoke campaign's single-shot cells cannot provide. The
+    /// headline cells are `inst-skip` on `seq_guard` (the DSM closing
+    /// the ICM's skip blind spot: zero compromises on the guard) and
+    /// `recovery-strike` (bounded retry with escalation, never a silent
+    /// wrong answer).
+    pub fn adaptive(base_seed: u64) -> AttackSpec {
+        let cell = |victim, model, runs| AttackCell {
+            victim,
+            model,
+            runs,
+        };
+        let mut cells = Vec::new();
+        for victim in ["seq_guard", "seq_exposed"] {
+            cells.push(cell(victim, AttackModel::Control, 1));
+            cells.push(cell(victim, AttackModel::InstSkip, 6));
+            cells.push(cell(victim, AttackModel::InstTamper, 4));
+            cells.push(cell(victim, AttackModel::InstReplay, 4));
+        }
+        for victim in ["stack_guard", "stack_exposed", "got_guard", "got_exposed"] {
+            cells.push(cell(victim, AttackModel::AdaptiveChain, 4));
+        }
+        for victim in ["branch_guard", "branch_exposed", "seq_guard", "seq_exposed"] {
+            cells.push(cell(victim, AttackModel::RecoveryStrike, 4));
+        }
+        cells.push(cell("branch_guard", AttackModel::QuarantineEvade, 4));
+        AttackSpec { base_seed, cells }
+    }
+
     /// The zero-attack control campaign: every victim under the
     /// `control` model. All runs must classify as `prevented`.
     pub fn control(base_seed: u64, runs: u32) -> AttackSpec {
@@ -436,25 +469,44 @@ mod tests {
 
     #[test]
     fn specs_are_valid_and_cover_every_model() {
-        for spec in [AttackSpec::smoke(0), AttackSpec::full(0, 1)] {
+        for spec in [
+            AttackSpec::smoke(0),
+            AttackSpec::adaptive(0),
+            AttackSpec::full(0, 1),
+        ] {
             for cell in &spec.cells {
                 let v = victim_by_name(cell.victim).unwrap();
                 assert!(cell.model.applicable(v), "{:?}", cell);
             }
-            for model in AttackModel::ALL {
-                assert!(
-                    spec.cells.iter().any(|c| c.model == model),
-                    "{model} missing from spec"
-                );
-            }
+        }
+        // The full cross product covers the whole model space on its
+        // own; the two pinned campaigns (smoke + adaptive) cover it
+        // together.
+        for model in AttackModel::ALL {
+            assert!(
+                AttackSpec::full(0, 1)
+                    .cells
+                    .iter()
+                    .any(|c| c.model == model),
+                "{model} missing from full spec"
+            );
+            assert!(
+                AttackSpec::smoke(0).cells.iter().any(|c| c.model == model)
+                    || AttackSpec::adaptive(0)
+                        .cells
+                        .iter()
+                        .any(|c| c.model == model),
+                "{model} missing from both pinned specs"
+            );
         }
         assert!(AttackSpec::smoke(0).total_runs() >= 80);
+        assert!(AttackSpec::adaptive(0).total_runs() >= 60);
     }
 
     #[test]
     fn control_runs_are_all_prevented() {
         let records = run_campaign(&AttackSpec::control(7, 1));
-        assert_eq!(records.len(), 8);
+        assert_eq!(records.len(), 10);
         for r in &records {
             assert_eq!(r.outcome, AttackOutcome::Prevented, "{}", r.to_json());
             assert_eq!(r.recovery, RecoveryStatus::NotNeeded);
@@ -502,7 +554,11 @@ mod tests {
         for (tiered, threads) in [(true, 1), (false, 3), (true, 16)] {
             let alt = to_jsonl(&run_campaign_with(
                 &spec,
-                &CampaignOptions { tiered, threads },
+                &CampaignOptions {
+                    tiered,
+                    threads,
+                    ..CampaignOptions::default()
+                },
             ));
             assert_eq!(base, alt, "tiered={tiered} threads={threads}");
         }

@@ -1,0 +1,508 @@
+//! Adaptive multi-stage attack chains.
+//!
+//! The single-shot models of [`crate::model`] fire one planned attack
+//! and observe the wreckage. The chain models here are *adaptive*: each
+//! stage's plan depends on what the previous stage's module verdict
+//! revealed, exactly like the leak-then-strike adversary of the paper's
+//! §4.1 entropy argument — but run inside the campaign engine, so one
+//! recorded `u64` seed still replays the whole chain byte-for-byte.
+//!
+//! Three chains are implemented:
+//!
+//! * [`AttackModel::AdaptiveChain`] — *probe → leak → strike*. Stage 1
+//!   fires the nominal-layout attack; if the defense made it miss, the
+//!   attacker re-runs the victim attack-free, reads the randomized base
+//!   the MLR published in the special header (the information leak),
+//!   and strikes again **through the leaked address**. A loss at that
+//!   point is classified `evaded:MLR`: the module was beaten around its
+//!   randomization, not through it.
+//! * [`AttackModel::RecoveryStrike`] — corrupt a live control-flow
+//!   word, then keep re-delivering the same corruption while the
+//!   checkpoint-rollback recovery re-executes. The rollback is bounded
+//!   by [`CampaignOptions::max_rerun`]: a clean re-execution records
+//!   `recovered:retry<k>`, an attacker who outlasts the budget forces
+//!   an escalation to a quarantined/degraded safe halt instead of a
+//!   rollback livelock — never a silent wrong answer.
+//! * [`AttackModel::QuarantineEvade`] — flip a bit in the ICM's own
+//!   CheckerMemory copy so every pass over the guarded site mismatches;
+//!   the watchdog's burst counter quarantines the checker, and the
+//!   late-window hijack then sails past the NOP-muxed CHKs. A divergent
+//!   result with the checker down is `evaded:ICM` — the containment
+//!   question the health machine must answer honestly.
+
+use crate::campaign::{mlr_layout_seed, rollback_and_rerun_os, CampaignOptions};
+use crate::model::AttackModel;
+use crate::outcome::{AttackOutcome, AttackRecord};
+use crate::surface::{map_surface, sample_attack, STACK_SLOT_OFFSET};
+use crate::victim::{Victim, Workload};
+use rse_inject::{
+    build_harness_seeded, capture_checkpoints, detecting_module, drive, fault_budget,
+    result_digest, retry_mechanism, rollback_and_rerun, rollback_and_rerun_bounded,
+    rollback_and_rerun_tiered, FaultPlan, PlannedFault, PreRunCheckpoints, RawEnd, RecoveryStatus,
+    RefState,
+};
+use rse_isa::asm::assemble;
+use rse_isa::layout::{HEAP_BASE, STACK_BASE};
+use rse_isa::{Image, ModuleId};
+use rse_pipeline::SoftFault;
+use rse_support::rng::splitmix64;
+use rse_sys::{Os, OsConfig, OsExit};
+
+/// Domain separator for the chain's *stage* draws (strike timing,
+/// attacker persistence), so they are independent of the stage-1 plan
+/// draws taken from the same recorded seed.
+const CHAIN_STAGE_DOMAIN: u64 = 0x4348_4149_4E53_5447; // "CHAINSTG"
+
+/// Address of the MLR's published-layout words in the special header:
+/// `+4` holds the randomized stack base, `+8` the randomized heap base
+/// (`0` when no MLR ran) — exactly what the victim guests read, and
+/// exactly what the leak stage steals.
+const MLR_HDR: u32 = 0x0EFF_0040;
+
+/// Whether `model` is a multi-stage chain handled by [`run_chain`]
+/// rather than the single-shot runner.
+pub fn is_chain_model(model: AttackModel) -> bool {
+    matches!(
+        model,
+        AttackModel::AdaptiveChain | AttackModel::RecoveryStrike | AttackModel::QuarantineEvade
+    )
+}
+
+/// Executes one adaptive-chain attack run. Dispatches on the chain
+/// model; panics if called with a single-shot model (the campaign
+/// runner routes only via [`is_chain_model`]).
+pub fn run_chain(
+    v: &Victim,
+    model: AttackModel,
+    run: u32,
+    seed: u64,
+    r: &RefState,
+    opts: &CampaignOptions,
+) -> AttackRecord {
+    match model {
+        AttackModel::AdaptiveChain => run_adaptive_chain(v, run, seed, r),
+        AttackModel::RecoveryStrike => run_recovery_strike(v, run, seed, r, opts),
+        AttackModel::QuarantineEvade => run_quarantine_evade(v, run, seed, r, opts),
+        other => panic!("{other} is not a chain model"),
+    }
+}
+
+/// One OS-harness chain stage, fully observed: the victim runs under a
+/// fresh guest OS with `plan` armed, and the stage records everything
+/// the adaptive attacker (and the classifier) needs — including the
+/// MLR's published layout words, which the leak stage reads.
+struct OsStage {
+    exit_ok: bool,
+    output: Vec<i32>,
+    detected: bool,
+    down: Option<ModuleId>,
+    trapped: bool,
+    cycles: u64,
+    pre: PreRunCheckpoints,
+    hdr_stack: u32,
+    hdr_heap: u32,
+}
+
+fn run_os_stage(
+    w: &Workload,
+    image: &Image,
+    budget: u64,
+    mlr_seed: Option<u64>,
+    plan: &FaultPlan,
+) -> OsStage {
+    let mut b = build_harness_seeded(w, image, budget, mlr_seed);
+    let pre = capture_checkpoints(&b.cpu.mem().memory);
+    plan.arm(&mut b.cpu, &mut b.engine);
+    let mut os = Os::new(OsConfig::default());
+    let exit = os.run(&mut b.cpu, &mut b.engine, budget);
+    if exit == OsExit::Timeout {
+        b.engine.poll_hang(b.cpu.now());
+    }
+    let detected = b.cpu.nx_violation().is_some() || os.stats().recoveries > 0;
+    let down = w
+        .harness
+        .target_module()
+        .filter(|&m| b.engine.module_health(m).is_down());
+    let trapped = b.engine.safe_mode().is_some()
+        || matches!(exit, OsExit::Timeout | OsExit::ProcessKilled { .. });
+    OsStage {
+        exit_ok: exit == (OsExit::Exited { code: 0 }),
+        output: os.output.clone(),
+        detected,
+        down,
+        trapped,
+        cycles: b.cpu.now(),
+        pre,
+        hdr_stack: b.cpu.mem().memory.read_u32(MLR_HDR + 4),
+        hdr_heap: b.cpu.mem().memory.read_u32(MLR_HDR + 8),
+    }
+}
+
+/// Classifies an OS stage plus its recovery, shared by the probe and
+/// strike stages (the same priority order as the single-shot runner).
+fn classify_os_stage(
+    st: &OsStage,
+    w: &Workload,
+    image: &Image,
+    budget: u64,
+    mlr_seed: Option<u64>,
+    r: &RefState,
+    loss: AttackOutcome,
+) -> (AttackOutcome, RecoveryStatus) {
+    let golden = st.exit_ok && st.output == r.output;
+    let rollback =
+        |pre: &PreRunCheckpoints| match rollback_and_rerun_os(w, image, pre, budget, mlr_seed) {
+            Ok(out) if out == r.output => RecoveryStatus::Succeeded {
+                mechanism: "checkpoint-rollback",
+            },
+            Ok(_) => RecoveryStatus::FailedSafeHalt {
+                cause: "re-executed state diverged from golden".into(),
+            },
+            Err(cause) => RecoveryStatus::FailedSafeHalt { cause },
+        };
+    if let Some(m) = st.down {
+        let recovery = if golden {
+            RecoveryStatus::Succeeded {
+                mechanism: "quarantine-nop-mux",
+            }
+        } else {
+            rollback(&st.pre)
+        };
+        return (AttackOutcome::Degraded(m), recovery);
+    }
+    if st.detected {
+        let recovery = if golden {
+            RecoveryStatus::Succeeded {
+                mechanism: "flush-refetch",
+            }
+        } else {
+            rollback(&st.pre)
+        };
+        return (AttackOutcome::Detected(ModuleId::DDT), recovery);
+    }
+    if st.trapped {
+        return (AttackOutcome::CrashTrap, rollback(&st.pre));
+    }
+    if golden {
+        return (AttackOutcome::Prevented, RecoveryStatus::NotNeeded);
+    }
+    (loss, RecoveryStatus::NotNeeded)
+}
+
+/// *Probe → leak → strike*: the adaptive chain against the MLR-guarded
+/// (`stack_*`, `got_*`) victims.
+fn run_adaptive_chain(v: &Victim, run: u32, seed: u64, r: &RefState) -> AttackRecord {
+    let w = &v.workload;
+    let image = assemble(w.source).expect("victim workload assembles");
+    let surface = map_surface(v, &image);
+    let plan = sample_attack(AttackModel::AdaptiveChain, seed, v, &surface, &r.profile);
+    let budget = fault_budget(r);
+    let mlr_seed = mlr_layout_seed(v, seed);
+    let mut cs = seed ^ CHAIN_STAGE_DOMAIN;
+
+    // Stage 1: the nominal-layout probe.
+    let probe = run_os_stage(w, &image, budget, mlr_seed, &plan);
+    let mut cycles = probe.cycles;
+    let probe_golden = probe.exit_ok && probe.output == r.output;
+    if !probe_golden || probe.down.is_some() || probe.detected || probe.trapped {
+        // The probe resolved the run on its own — a nominal-layout hit
+        // (the undefended loss), a detection, or a crash. No adaptation
+        // happened, so this is exactly the single-shot classification.
+        let (outcome, recovery) = classify_os_stage(
+            &probe,
+            w,
+            &image,
+            budget,
+            mlr_seed,
+            r,
+            AttackOutcome::Compromised,
+        );
+        return AttackRecord {
+            victim: w.name,
+            defended: v.defended,
+            model: AttackModel::AdaptiveChain.name(),
+            run,
+            seed,
+            outcome,
+            recovery,
+            cycles,
+            attack: format!("chain[probe:{};probe-hit]", plan.describe()),
+        };
+    }
+
+    // Stage 2: the probe missed — leak the published layout from an
+    // attack-free run under the same layout seed.
+    let leak = run_os_stage(
+        w,
+        &image,
+        budget,
+        mlr_seed,
+        &FaultPlan { faults: Vec::new() },
+    );
+    cycles += leak.cycles;
+    let evil = surface.evil.expect("chain victims declare evil");
+    let slot = if w.name.starts_with("stack_") {
+        let base = if leak.hdr_stack != 0 {
+            leak.hdr_stack
+        } else {
+            STACK_BASE
+        };
+        base - STACK_SLOT_OFFSET
+    } else if leak.hdr_heap != 0 {
+        leak.hdr_heap
+    } else {
+        HEAP_BASE
+    };
+
+    // Stage 3: strike through the leaked address.
+    let at_cycle = 1 + splitmix64(&mut cs) % r.profile.cycles.max(1);
+    let strike_plan = FaultPlan {
+        faults: vec![PlannedFault::Soft(SoftFault::Write {
+            at_cycle,
+            addr: slot,
+            value: evil,
+        })],
+    };
+    let strike = run_os_stage(w, &image, budget, mlr_seed, &strike_plan);
+    cycles += strike.cycles;
+    // A strike loss on the defended twin is attributed to the evaded
+    // randomizer: the MLR's diversity was beaten by the leak, not by
+    // luck at the nominal base.
+    let loss = if v.defended {
+        AttackOutcome::Evaded(ModuleId::MLR)
+    } else {
+        AttackOutcome::Compromised
+    };
+    let (outcome, recovery) = classify_os_stage(&strike, w, &image, budget, mlr_seed, r, loss);
+    AttackRecord {
+        victim: w.name,
+        defended: v.defended,
+        model: AttackModel::AdaptiveChain.name(),
+        run,
+        seed,
+        outcome,
+        recovery,
+        cycles,
+        attack: format!(
+            "chain[probe:{};leak:base={slot:#x};strike:mem[{slot:#x}]:={evil:#x}@c{at_cycle}]",
+            plan.describe()
+        ),
+    }
+}
+
+/// The recovery-window strike against the checked (`branch_*`, `seq_*`)
+/// victims: the primary corruption plus re-delivery into every bounded
+/// rollback re-execution the attacker's persistence covers.
+fn run_recovery_strike(
+    v: &Victim,
+    run: u32,
+    seed: u64,
+    r: &RefState,
+    opts: &CampaignOptions,
+) -> AttackRecord {
+    let w = &v.workload;
+    let image = assemble(w.source).expect("victim workload assembles");
+    let surface = map_surface(v, &image);
+    let plan = sample_attack(AttackModel::RecoveryStrike, seed, v, &surface, &r.profile);
+    let budget = fault_budget(r);
+    // Attacker persistence: how many rollback re-executions the strike
+    // still lands in (0 = the window clears immediately). Drawn past
+    // the retry budget often enough that the escalation path is real.
+    let mut cs = seed ^ CHAIN_STAGE_DOMAIN;
+    let persist = (splitmix64(&mut cs) % 5) as u32;
+
+    // Stage 1: the primary strike.
+    let mut b = build_harness_seeded(w, &image, budget, None);
+    let pre = capture_checkpoints(&b.cpu.mem().memory);
+    plan.arm(&mut b.cpu, &mut b.engine);
+    let end = drive(&mut b.cpu, &mut b.engine, budget);
+    if end == RawEnd::TimedOut {
+        b.engine.poll_hang(b.cpu.now());
+    }
+    let detected_by = detecting_module(&b.engine);
+    let digest = result_digest(w, &b.cpu, &image);
+    let clean = end == RawEnd::Halted && digest == r.digest;
+    let down = w
+        .harness
+        .target_module()
+        .filter(|&m| b.engine.module_health(m).is_down());
+    let cycles = b.cpu.now();
+    let pre_outcome = if let Some(m) = down {
+        AttackOutcome::Degraded(m)
+    } else if let Some(m) = detected_by {
+        AttackOutcome::Detected(m)
+    } else if b.engine.safe_mode().is_some() {
+        AttackOutcome::CrashTrap
+    } else {
+        match end {
+            RawEnd::TimedOut | RawEnd::Crash(_) => AttackOutcome::CrashTrap,
+            RawEnd::Halted => {
+                if digest == r.digest {
+                    AttackOutcome::Prevented
+                } else {
+                    AttackOutcome::Compromised
+                }
+            }
+        }
+    };
+
+    // Stage 2: recovery under fire. The strike closure re-delivers the
+    // exact same plan into each re-execution the persistence covers; a
+    // clean attempt records `recovered:retry<k>`, an exhausted budget
+    // escalates to a degraded safe halt (never a silent wrong answer).
+    let (outcome, recovery) = match pre_outcome {
+        AttackOutcome::Prevented | AttackOutcome::Compromised => {
+            (pre_outcome, RecoveryStatus::NotNeeded)
+        }
+        AttackOutcome::Detected(m) if clean => {
+            // The DSM is detect-only (no flush path), so a clean result
+            // needs no mechanism at all; the ICM's clean detections are
+            // its flush-refetch at work.
+            let recovery = if m == ModuleId::ICM {
+                RecoveryStatus::Succeeded {
+                    mechanism: "flush-refetch",
+                }
+            } else {
+                RecoveryStatus::NotNeeded
+            };
+            (pre_outcome, recovery)
+        }
+        AttackOutcome::Degraded(_) if clean => (
+            pre_outcome,
+            RecoveryStatus::Succeeded {
+                mechanism: "quarantine-nop-mux",
+            },
+        ),
+        _ => {
+            let strike = |attempt: u32, cpu: &mut _, engine: &mut _| {
+                if attempt <= persist {
+                    plan.arm(cpu, engine);
+                }
+            };
+            match rollback_and_rerun_bounded(
+                w,
+                &image,
+                &pre,
+                budget,
+                r.digest,
+                opts.max_rerun,
+                strike,
+            ) {
+                Ok(k) => (
+                    pre_outcome,
+                    RecoveryStatus::Succeeded {
+                        mechanism: retry_mechanism(k),
+                    },
+                ),
+                Err(cause) => {
+                    // Budget exhausted: quarantine the attacked surface
+                    // instead of livelocking in rollback.
+                    let escalated = match pre_outcome {
+                        AttackOutcome::Detected(m) => AttackOutcome::Degraded(m),
+                        other => other,
+                    };
+                    (escalated, RecoveryStatus::FailedSafeHalt { cause })
+                }
+            }
+        }
+    };
+    AttackRecord {
+        victim: w.name,
+        defended: v.defended,
+        model: AttackModel::RecoveryStrike.name(),
+        run,
+        seed,
+        outcome,
+        recovery,
+        cycles,
+        attack: format!("rw-strike[{};persist={persist}]", plan.describe()),
+    }
+}
+
+/// The cross-module evasion against `branch_guard`: forge a mismatch
+/// storm out of the ICM's own CheckerMemory until the health machine
+/// quarantines it, then hijack through the NOP-muxed blind spot.
+fn run_quarantine_evade(
+    v: &Victim,
+    run: u32,
+    seed: u64,
+    r: &RefState,
+    opts: &CampaignOptions,
+) -> AttackRecord {
+    let w = &v.workload;
+    let image = assemble(w.source).expect("victim workload assembles");
+    let surface = map_surface(v, &image);
+    let plan = sample_attack(AttackModel::QuarantineEvade, seed, v, &surface, &r.profile);
+    let budget = fault_budget(r);
+    let mut b = build_harness_seeded(w, &image, budget, None);
+    let pre = capture_checkpoints(&b.cpu.mem().memory);
+    plan.arm(&mut b.cpu, &mut b.engine);
+    let end = drive(&mut b.cpu, &mut b.engine, budget);
+    if end == RawEnd::TimedOut {
+        b.engine.poll_hang(b.cpu.now());
+    }
+    let detected_by = detecting_module(&b.engine);
+    let digest = result_digest(w, &b.cpu, &image);
+    let clean = end == RawEnd::Halted && digest == r.digest;
+    let down = w
+        .harness
+        .target_module()
+        .filter(|&m| b.engine.module_health(m).is_down());
+    let cycles = b.cpu.now();
+    let rollback = || match if opts.tiered {
+        rollback_and_rerun_tiered(w, &image, &pre, budget)
+    } else {
+        rollback_and_rerun(w, &image, &pre, budget)
+    } {
+        Ok(d) if d == r.digest => RecoveryStatus::Succeeded {
+            mechanism: "checkpoint-rollback",
+        },
+        Ok(_) => RecoveryStatus::FailedSafeHalt {
+            cause: "re-executed state diverged from golden".into(),
+        },
+        Err(cause) => RecoveryStatus::FailedSafeHalt { cause },
+    };
+    let (outcome, recovery) = if let Some(m) = down {
+        if clean {
+            // The checker went down but the output-mux containment held
+            // and the guest still computed the golden result.
+            (
+                AttackOutcome::Degraded(m),
+                RecoveryStatus::Succeeded {
+                    mechanism: "quarantine-nop-mux",
+                },
+            )
+        } else {
+            // Quarantined checker + divergent result: the forged burst
+            // bought the attacker a blind spot and the hijack landed
+            // in it. The loss is the evaded module's.
+            (AttackOutcome::Evaded(m), rollback())
+        }
+    } else if let Some(m) = detected_by {
+        let recovery = if clean {
+            RecoveryStatus::Succeeded {
+                mechanism: "flush-refetch",
+            }
+        } else {
+            rollback()
+        };
+        (AttackOutcome::Detected(m), recovery)
+    } else if b.engine.safe_mode().is_some() || matches!(end, RawEnd::TimedOut | RawEnd::Crash(_)) {
+        (AttackOutcome::CrashTrap, rollback())
+    } else if clean {
+        (AttackOutcome::Prevented, RecoveryStatus::NotNeeded)
+    } else {
+        (AttackOutcome::Compromised, RecoveryStatus::NotNeeded)
+    };
+    AttackRecord {
+        victim: w.name,
+        defended: v.defended,
+        model: AttackModel::QuarantineEvade.name(),
+        run,
+        seed,
+        outcome,
+        recovery,
+        cycles,
+        attack: format!("evade[{}]", plan.describe()),
+    }
+}

@@ -23,6 +23,14 @@
 //! contain a move, the stale write lands in the scrubbed old page, and
 //! the success rate falls — monotonically, which is exactly what the
 //! CI gate on the committed `BENCH_attack.json` asserts.
+//!
+//! The study runs over a small victim *corpus* ([`entropy_victims`]),
+//! one long-running guest per attack-surface kind — plain pointer
+//! chasing (`stack`), GOT-style double indirection (`got`), a
+//! branch-dense round (`branch`), and a store/load staging round
+//! (`nx`) — so the §4.1 claim is measured per surface, not just on one
+//! victim. Each victim carries its own tuned period sweep (round times
+//! differ), and the strict-decrease gate holds **per victim**.
 
 use rse_core::{Engine, RseConfig};
 use rse_inject::run_sharded;
@@ -93,6 +101,152 @@ const ENTROPY_SRC: &str = r#"
             .space 8188
 "#;
 
+/// GOT-kind victim: the secret pointer is reached through a second
+/// level of indirection (a GOT-style slot holding the address of the
+/// registered pointer variable), the MLR's §4.1 pointer-table contract
+/// exercised one hop deeper. Same window, same golden datum.
+const ENTROPY_GOT_SRC: &str = r#"
+    main:   li   s0, 40
+    round:  la   t0, ptr2
+            lw   t3, 0(t0)      # GOT-style slot: address of ptr
+            lw   t1, 0(t3)      # the (possibly moved) pointer
+            lw   t2, 0(t1)
+            addi t2, t2, 1
+            sw   t2, 0(t1)      # bump the secret datum
+            li   r2, 18         # YIELD: the safe point
+            syscall
+            addi s0, s0, -1
+            bne  s0, r0, round
+            la   t0, ptr2
+            lw   t3, 0(t0)
+            lw   t1, 0(t3)
+            lw   r4, 0(t1)
+            li   r2, 2          # print the datum
+            syscall
+            halt
+
+            .data
+            .align 4
+    ptr:    .word seg           # the registered pointer variable
+    ptr2:   .word ptr           # GOT-style second-level slot
+    ptrtab: .word 1, ptr        # the special data section
+            .space 4000
+            .align 4096
+    seg:    .word 100
+            .space 8188
+"#;
+
+/// Branch-kind victim: every round takes a parity-dependent branch arm
+/// before touching the secret, so the window is branch-dense like the
+/// `branch_*` campaign victims. Same golden datum.
+const ENTROPY_BRANCH_SRC: &str = r#"
+    main:   li   s0, 40
+            li   s1, 0
+    round:  addi s1, s1, 1
+            andi t4, s1, 1
+            beq  t4, r0, evn
+            la   t0, ptr        # odd rounds
+            b    cont
+    evn:    la   t0, ptr        # even rounds
+    cont:   lw   t1, 0(t0)
+            lw   t2, 0(t1)
+            addi t2, t2, 1
+            sw   t2, 0(t1)      # bump the secret datum
+            li   r2, 18         # YIELD: the safe point
+            syscall
+            addi s0, s0, -1
+            bne  s0, r0, round
+            la   t0, ptr
+            lw   t1, 0(t0)
+            lw   r4, 0(t1)
+            li   r2, 2          # print the datum
+            syscall
+            halt
+
+            .data
+            .align 4
+    ptr:    .word seg
+    ptrtab: .word 1, ptr
+            .space 4000
+            .align 4096
+    seg:    .word 100
+            .space 8188
+"#;
+
+/// NX-kind victim: every round stages a scratch word into the secret
+/// segment and reads it back (the writable-staging pattern of the
+/// `nx_*` campaign victims) before bumping the datum. Same golden
+/// datum.
+const ENTROPY_NX_SRC: &str = r#"
+    main:   li   s0, 40
+    round:  la   t0, ptr
+            lw   t1, 0(t0)      # reload the (possibly moved) pointer
+            lw   t2, 0(t1)
+            addi t2, t2, 1
+            sw   t2, 0(t1)      # bump the secret datum
+            sw   t2, 4(t1)      # stage a scratch copy ...
+            lw   t5, 4(t1)      # ... and read it back
+            li   r2, 18         # YIELD: the safe point
+            syscall
+            addi s0, s0, -1
+            bne  s0, r0, round
+            la   t0, ptr
+            lw   t1, 0(t0)
+            lw   r4, 0(t1)
+            li   r2, 2          # print the datum
+            syscall
+            halt
+
+            .data
+            .align 4
+    ptr:    .word seg
+    ptrtab: .word 1, ptr
+            .space 4000
+            .align 4096
+    seg:    .word 100
+            .space 8188
+"#;
+
+/// One victim of the entropy corpus: a surface kind, its guest source,
+/// and the period sweep tuned to its round time.
+#[derive(Debug, Clone, Copy)]
+pub struct EntropyVictim {
+    /// Surface kind (JSON `victim` field; stable).
+    pub kind: &'static str,
+    source: &'static str,
+    /// The tuned period sweep, largest first (`0` is prepended by the
+    /// study itself).
+    pub periods: [u64; 4],
+}
+
+const ENTROPY_VICTIMS: [EntropyVictim; 4] = [
+    EntropyVictim {
+        kind: "stack",
+        source: ENTROPY_SRC,
+        periods: DEFAULT_PERIODS,
+    },
+    EntropyVictim {
+        kind: "got",
+        source: ENTROPY_GOT_SRC,
+        periods: DEFAULT_PERIODS,
+    },
+    EntropyVictim {
+        kind: "branch",
+        source: ENTROPY_BRANCH_SRC,
+        periods: DEFAULT_PERIODS,
+    },
+    EntropyVictim {
+        kind: "nx",
+        source: ENTROPY_NX_SRC,
+        periods: DEFAULT_PERIODS,
+    },
+];
+
+/// The entropy victim corpus, in stable order.
+pub fn entropy_victims() -> &'static [EntropyVictim] {
+    &ENTROPY_VICTIMS
+}
+
 /// One point of the sweep: `successes` of `trials` leak-then-strike
 /// attacks corrupted the victim under re-randomization `period`
 /// (`period = 0` is the static-layout baseline, never re-randomized).
@@ -127,6 +281,13 @@ pub fn trial_seed(base_seed: u64, period: u64, trial: u32) -> u64 {
     splitmix64(&mut s)
 }
 
+/// [`trial_seed`] with the victim kind folded in, so every victim of
+/// the corpus study draws an independent attack schedule from the same
+/// base seed. Pure and stable.
+pub fn corpus_trial_seed(base_seed: u64, kind: &str, period: u64, trial: u32) -> u64 {
+    trial_seed(base_seed ^ fnv1a64(kind.as_bytes()), period, trial)
+}
+
 /// Everything one leak-then-strike trial observed (the full story
 /// behind the boolean verdict; used by tests and period tuning).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,16 +304,34 @@ pub struct TrialDetail {
     pub success: bool,
 }
 
-/// Runs one leak-then-strike trial. `period = None` is the static
-/// baseline (the segment never moves). Returns `true` when the
-/// attacker won: the victim completed but printed a corrupted datum.
+/// Runs one leak-then-strike trial against the `stack`-kind victim.
+/// `period = None` is the static baseline (the segment never moves).
+/// Returns `true` when the attacker won: the victim completed but
+/// printed a corrupted datum.
 pub fn run_trial(seed: u64, period: Option<u64>) -> bool {
     run_trial_detail(seed, period).success
 }
 
+/// Runs one leak-then-strike trial against the named corpus victim.
+///
+/// # Panics
+///
+/// Panics on an unknown victim kind.
+pub fn run_trial_kind(kind: &str, seed: u64, period: Option<u64>) -> bool {
+    let v = ENTROPY_VICTIMS
+        .iter()
+        .find(|v| v.kind == kind)
+        .unwrap_or_else(|| panic!("unknown entropy victim kind {kind:?}"));
+    run_trial_detail_src(v.source, seed, period).success
+}
+
 /// [`run_trial`] with the full trial story.
 pub fn run_trial_detail(seed: u64, period: Option<u64>) -> TrialDetail {
-    let image = assemble(ENTROPY_SRC).expect("entropy guest assembles");
+    run_trial_detail_src(ENTROPY_SRC, seed, period)
+}
+
+fn run_trial_detail_src(src: &str, seed: u64, period: Option<u64>) -> TrialDetail {
+    let image = assemble(src).expect("entropy guest assembles");
     let seg = image.symbol("seg").expect("seg symbol");
     let ptrtab = image.symbol("ptrtab").expect("ptrtab symbol");
     // The attacker's schedule: leak in the first half of the window,
@@ -257,6 +436,60 @@ pub fn entropy_study(
         .collect()
 }
 
+/// One victim's sweep in the corpus study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VictimStudy {
+    /// Surface kind (JSON `victim` field).
+    pub kind: &'static str,
+    /// The sweep points, static baseline first.
+    pub points: Vec<EntropyPoint>,
+}
+
+/// Runs the §4.1 study over the whole entropy corpus: for each victim
+/// kind, the static baseline followed by that victim's tuned period
+/// sweep, `trials` attacks per point. All (victim, period, trial) jobs
+/// are sharded flat across `threads` workers; the result is
+/// byte-identical at every thread count.
+pub fn entropy_study_corpus(base_seed: u64, trials: u32, threads: usize) -> Vec<VictimStudy> {
+    let jobs: Vec<(usize, u64, u32)> = ENTROPY_VICTIMS
+        .iter()
+        .enumerate()
+        .flat_map(|(vi, v)| {
+            let mut periods: Vec<u64> = vec![0];
+            periods.extend_from_slice(&v.periods);
+            periods
+                .into_iter()
+                .flat_map(move |p| (0..trials).map(move |t| (vi, p, t)))
+        })
+        .collect();
+    let wins = run_sharded(&jobs, threads, |_, &(vi, period, trial)| {
+        let v = &ENTROPY_VICTIMS[vi];
+        let seed = corpus_trial_seed(base_seed, v.kind, period, trial);
+        run_trial_detail_src(v.source, seed, (period != 0).then_some(period)).success
+    });
+    let mut studies = Vec::new();
+    let mut cursor = 0usize;
+    for v in &ENTROPY_VICTIMS {
+        let mut points = Vec::new();
+        let mut periods: Vec<u64> = vec![0];
+        periods.extend_from_slice(&v.periods);
+        for period in periods {
+            let slice = &wins[cursor..cursor + trials as usize];
+            cursor += trials as usize;
+            points.push(EntropyPoint {
+                period,
+                trials,
+                successes: slice.iter().filter(|&&w| w).count() as u32,
+            });
+        }
+        studies.push(VictimStudy {
+            kind: v.kind,
+            points,
+        });
+    }
+    studies
+}
+
 /// Whether success counts strictly decrease across the sweep — the CI
 /// gate: every shortening of the re-randomization period must buy a
 /// measurable drop in attack success.
@@ -284,6 +517,33 @@ pub fn study_json(base_seed: u64, points: &[EntropyPoint]) -> String {
         "{{\"name\":\"attack_entropy\",\"seed\":{},\"rounds\":{},\"points\":[{}]}}\n",
         base_seed, ROUNDS, body
     )
+}
+
+/// Serializes the corpus study as JSON lines, one line per victim kind
+/// (integers only — bit-stable, committed as `BENCH_attack.json`; the
+/// CI gate checks strict decrease on every line independently).
+pub fn corpus_study_json(base_seed: u64, studies: &[VictimStudy]) -> String {
+    let mut out = String::new();
+    for s in studies {
+        let mut body = String::new();
+        for (i, p) in s.points.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"period\":{},\"trials\":{},\"successes\":{},\"permille\":{}}}",
+                p.period,
+                p.trials,
+                p.successes,
+                p.permille()
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"attack_entropy\",\"victim\":\"{}\",\"seed\":{},\"rounds\":{},\"points\":[{}]}}\n",
+            s.kind, base_seed, ROUNDS, body
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -328,6 +588,65 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert_eq!(a[0].period, 0);
         assert_eq!(a[0].successes, 4, "static baseline must always lose");
+    }
+
+    #[test]
+    fn every_corpus_victim_assembles_and_loses_statically() {
+        // The static baseline is the corpus invariant: with no
+        // re-randomization the leaked base never goes stale, so every
+        // victim kind must lose every trial.
+        for v in entropy_victims() {
+            for trial in 0..2 {
+                let seed = corpus_trial_seed(0xD5B, v.kind, 0, trial);
+                assert!(
+                    run_trial_kind(v.kind, seed, None),
+                    "static trial {trial} on '{}' should succeed for the attacker",
+                    v.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_seeds_separate_victims() {
+        // Same (period, trial) on different kinds must draw different
+        // schedules, or the corpus is four copies of one experiment.
+        let kinds: Vec<u64> = entropy_victims()
+            .iter()
+            .map(|v| corpus_trial_seed(0xD5B, v.kind, 512, 0))
+            .collect();
+        for i in 0..kinds.len() {
+            for j in i + 1..kinds.len() {
+                assert_ne!(kinds[i], kinds[j], "victims {i} and {j} share a seed");
+            }
+        }
+        // And the stack victim's corpus seed is its own channel, not
+        // the legacy single-victim channel.
+        assert_ne!(
+            corpus_trial_seed(0xD5B, "stack", 512, 0),
+            trial_seed(0xD5B, 512, 0)
+        );
+    }
+
+    #[test]
+    fn corpus_study_shards_identically_and_serializes_per_victim() {
+        let a = entropy_study_corpus(7, 2, 1);
+        let b = entropy_study_corpus(7, 2, 8);
+        assert_eq!(a, b, "sharded corpus study diverged from sequential");
+        assert_eq!(a.len(), 4);
+        for s in &a {
+            assert_eq!(s.points.len(), DEFAULT_PERIODS.len() + 1);
+            assert_eq!(s.points[0].period, 0);
+            assert_eq!(s.points[0].successes, 2, "static baseline must always lose");
+        }
+        let json = corpus_study_json(7, &a);
+        assert_eq!(json.lines().count(), 4, "one JSON line per victim kind");
+        for (line, s) in json.lines().zip(&a) {
+            assert!(
+                line.contains(&format!("\"victim\":\"{}\"", s.kind)),
+                "line missing victim tag: {line}"
+            );
+        }
     }
 
     #[test]

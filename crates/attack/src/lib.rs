@@ -16,7 +16,7 @@
 //!
 //! * [`model`] — the attack models ([`AttackModel`]), each mapping to
 //!   a victim class that exposes the right surface,
-//! * [`victim`] — the victim corpus: four guest programs, each as a
+//! * [`victim`] — the victim corpus: five guest programs, each as a
 //!   *guard/exposed* twin pair sharing one source and differing only
 //!   in whether the defending module is installed,
 //! * [`surface`] — the attack-surface mapper (gadgets, code caves,
@@ -28,9 +28,13 @@
 //! * [`campaign`] — the runner: golden references, attacked runs,
 //!   classification, and the checkpoint-rollback recovery path, all
 //!   sharing the injection engine's machinery,
+//! * [`chain`] — the adaptive multi-stage chains: probe→leak→strike
+//!   against the MLR, recovery-window strikes against the bounded
+//!   rollback retry budget, and forged-burst quarantine evasion
+//!   against the ICM's health machine,
 //! * [`entropy`] — the §4.1 re-randomization study: leak-then-strike
 //!   attack success rate as a function of the MLR re-randomization
-//!   period.
+//!   period, across the whole victim corpus.
 //!
 //! Everything is deterministic: same spec + same base seed →
 //! byte-for-byte identical JSONL, on any host, at any thread count.
@@ -53,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod chain;
 pub mod entropy;
 pub mod model;
 pub mod outcome;
@@ -63,9 +68,11 @@ pub use campaign::{
     derive_seed, run_campaign, run_campaign_with, run_one, run_one_by_name, run_one_with,
     AttackCell, AttackSpec, CampaignOptions,
 };
+pub use chain::{is_chain_model, run_chain};
 pub use entropy::{
-    entropy_study, run_trial, strictly_decreasing, study_json, trial_seed, EntropyPoint,
-    DEFAULT_PERIODS, DEFAULT_TRIALS,
+    corpus_study_json, corpus_trial_seed, entropy_study, entropy_study_corpus, entropy_victims,
+    run_trial, run_trial_kind, strictly_decreasing, study_json, trial_seed, EntropyPoint,
+    EntropyVictim, VictimStudy, DEFAULT_PERIODS, DEFAULT_TRIALS,
 };
 pub use model::AttackModel;
 pub use outcome::{

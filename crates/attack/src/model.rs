@@ -52,12 +52,27 @@ pub enum AttackModel {
     /// ICM invariant tampering: flip a bit inside the ICM's redundant
     /// CheckerMemory copy so the module's own ground truth lies.
     IcmTamper,
+    /// Adaptive multi-stage chain: probe the nominal layout, observe
+    /// the module verdict, then leak the randomized layout and strike
+    /// through the leaked address (the §4.1 leak-then-strike game run
+    /// inside the campaign, stage by stage).
+    AdaptiveChain,
+    /// Recovery-window strike: corrupt a live control-flow word, then
+    /// keep re-injecting the same corruption while checkpoint-rollback
+    /// re-executes — the attacker that turns unbounded retry into a
+    /// rollback livelock unless the retry budget escalates.
+    RecoveryStrike,
+    /// Cross-module evasion: forge an anomaly burst against the
+    /// checker's own invariant store until the health machine
+    /// quarantines it, then attack the surface it guarded through the
+    /// NOP-muxed blind spot.
+    QuarantineEvade,
 }
 
 impl AttackModel {
     /// Every model, in stable order (the order is part of the seed
     /// derivation and must never change).
-    pub const ALL: [AttackModel; 10] = [
+    pub const ALL: [AttackModel; 13] = [
         AttackModel::Control,
         AttackModel::StackSmash,
         AttackModel::GotTamper,
@@ -68,6 +83,9 @@ impl AttackModel {
         AttackModel::InstReplay,
         AttackModel::NxProbe,
         AttackModel::IcmTamper,
+        AttackModel::AdaptiveChain,
+        AttackModel::RecoveryStrike,
+        AttackModel::QuarantineEvade,
     ];
 
     /// Stable model name (JSONL field, CLI argument).
@@ -83,6 +101,9 @@ impl AttackModel {
             AttackModel::InstReplay => "inst-replay",
             AttackModel::NxProbe => "nx-probe",
             AttackModel::IcmTamper => "icm-tamper",
+            AttackModel::AdaptiveChain => "chain-adaptive",
+            AttackModel::RecoveryStrike => "recovery-strike",
+            AttackModel::QuarantineEvade => "quarantine-evade",
         }
     }
 
@@ -104,6 +125,13 @@ impl AttackModel {
             AttackModel::InstReplay => "replay one fetched instruction in flight",
             AttackModel::NxProbe => "stage shellcode in a data page and jump to it",
             AttackModel::IcmTamper => "flip a bit in the ICM's redundant CheckerMemory copy",
+            AttackModel::AdaptiveChain => {
+                "probe nominal, then leak the layout and strike through it"
+            }
+            AttackModel::RecoveryStrike => {
+                "re-inject the corruption while checkpoint-rollback reruns"
+            }
+            AttackModel::QuarantineEvade => "forge a burst to quarantine the checker, then hijack",
         }
     }
 
@@ -124,13 +152,24 @@ impl AttackModel {
             AttackModel::Control => true,
             AttackModel::StackSmash => victim.workload.name.starts_with("stack_"),
             AttackModel::GotTamper => victim.workload.name.starts_with("got_"),
-            AttackModel::CodeInject
-            | AttackModel::CfhRedirect
-            | AttackModel::InstTamper
-            | AttackModel::InstSkip
-            | AttackModel::InstReplay => victim.workload.name.starts_with("branch_"),
+            AttackModel::CodeInject | AttackModel::CfhRedirect => {
+                victim.workload.name.starts_with("branch_")
+            }
+            AttackModel::InstTamper | AttackModel::InstSkip | AttackModel::InstReplay => {
+                victim.workload.name.starts_with("branch_")
+                    || victim.workload.name.starts_with("seq_")
+            }
             AttackModel::NxProbe => victim.workload.name.starts_with("nx_"),
             AttackModel::IcmTamper => victim.workload.name == "branch_guard",
+            AttackModel::AdaptiveChain => {
+                victim.workload.name.starts_with("stack_")
+                    || victim.workload.name.starts_with("got_")
+            }
+            AttackModel::RecoveryStrike => {
+                victim.workload.name.starts_with("branch_")
+                    || victim.workload.name.starts_with("seq_")
+            }
+            AttackModel::QuarantineEvade => victim.workload.name == "branch_guard",
         }
     }
 }

@@ -35,6 +35,11 @@ pub enum AttackOutcome {
     /// The victim crashed, hung, or was killed without a module
     /// attributing the attack — denial of service, not silent takeover.
     CrashTrap,
+    /// The attacker beat the named module *around* its check rather than
+    /// through it (a leaked layout, a quarantined checker): the payload
+    /// ran, and the loss is attributed to the evaded defense. A loss
+    /// class, like `Compromised`, but with the blame assigned.
+    Evaded(ModuleId),
 }
 
 impl AttackOutcome {
@@ -46,13 +51,17 @@ impl AttackOutcome {
             AttackOutcome::Degraded(id) => format!("degraded:{}", module_tag(*id)),
             AttackOutcome::Compromised => "compromised".into(),
             AttackOutcome::CrashTrap => "crash-trap".into(),
+            AttackOutcome::Evaded(id) => format!("evaded:{}", module_tag(*id)),
         }
     }
 
-    /// Whether the defense held: anything but a compromise or an
-    /// unattributed crash.
+    /// Whether the defense held: anything but a compromise, an evasion,
+    /// or an unattributed crash.
     pub fn defense_held(&self) -> bool {
-        !matches!(self, AttackOutcome::Compromised | AttackOutcome::CrashTrap)
+        !matches!(
+            self,
+            AttackOutcome::Compromised | AttackOutcome::CrashTrap | AttackOutcome::Evaded(_)
+        )
     }
 }
 
@@ -152,6 +161,7 @@ struct CellCounts {
     degraded: u64,
     compromised: u64,
     crash: u64,
+    evaded: u64,
     recovered: u64,
 }
 
@@ -164,6 +174,7 @@ impl CellCounts {
             AttackOutcome::Degraded(_) => self.degraded += 1,
             AttackOutcome::Compromised => self.compromised += 1,
             AttackOutcome::CrashTrap => self.crash += 1,
+            AttackOutcome::Evaded(_) => self.evaded += 1,
         }
         if matches!(r.recovery, RecoveryStatus::Succeeded { .. }) {
             self.recovered += 1;
@@ -172,7 +183,7 @@ impl CellCounts {
 
     fn row(&self, victim: &str, model: &str, out: &mut String) {
         out.push_str(&format!(
-            "{:<16} {:<14} {:>5} {:>10} {:>9} {:>9} {:>12} {:>6} {:>10}\n",
+            "{:<16} {:<16} {:>5} {:>10} {:>9} {:>9} {:>12} {:>6} {:>7} {:>10}\n",
             victim,
             model,
             self.runs,
@@ -181,6 +192,7 @@ impl CellCounts {
             self.degraded,
             self.compromised,
             self.crash,
+            self.evaded,
             self.recovered,
         ));
     }
@@ -197,7 +209,7 @@ pub fn attack_coverage_table(records: &[AttackRecord]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:<14} {:>5} {:>10} {:>9} {:>9} {:>12} {:>6} {:>10}\n",
+        "{:<16} {:<16} {:>5} {:>10} {:>9} {:>9} {:>12} {:>6} {:>7} {:>10}\n",
         "victim",
         "model",
         "runs",
@@ -206,6 +218,7 @@ pub fn attack_coverage_table(records: &[AttackRecord]) -> String {
         "degraded",
         "compromised",
         "crash",
+        "evaded",
         "recovered"
     ));
     for ((victim, model), counts) in &cells {
@@ -216,14 +229,20 @@ pub fn attack_coverage_table(records: &[AttackRecord]) -> String {
 }
 
 /// Fraction of runs where the attacker won outright, per mille (stable
-/// integer arithmetic — no floats anywhere near a golden file).
+/// integer arithmetic — no floats anywhere near a golden file). Evasions
+/// count: a loss blamed on a bypassed module is still a loss.
 pub fn compromise_permille(records: &[AttackRecord]) -> u64 {
     if records.is_empty() {
         return 0;
     }
     let lost = records
         .iter()
-        .filter(|r| r.outcome == AttackOutcome::Compromised)
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                AttackOutcome::Compromised | AttackOutcome::Evaded(_)
+            )
+        })
         .count() as u64;
     lost * 1000 / records.len() as u64
 }
@@ -254,10 +273,14 @@ mod tests {
         assert_eq!(AttackOutcome::Degraded(ModuleId::MLR).tag(), "degraded:MLR");
         assert_eq!(AttackOutcome::Compromised.tag(), "compromised");
         assert_eq!(AttackOutcome::CrashTrap.tag(), "crash-trap");
+        assert_eq!(AttackOutcome::Evaded(ModuleId::MLR).tag(), "evaded:MLR");
+        assert_eq!(AttackOutcome::Evaded(ModuleId::ICM).tag(), "evaded:ICM");
+        assert_eq!(AttackOutcome::Detected(ModuleId::DSM).tag(), "detected:DSM");
         assert!(AttackOutcome::Prevented.defense_held());
         assert!(AttackOutcome::Detected(ModuleId::ICM).defense_held());
         assert!(!AttackOutcome::Compromised.defense_held());
         assert!(!AttackOutcome::CrashTrap.defense_held());
+        assert!(!AttackOutcome::Evaded(ModuleId::ICM).defense_held());
     }
 
     #[test]
@@ -303,12 +326,17 @@ mod tests {
             ),
             record(AttackOutcome::Compromised, RecoveryStatus::NotNeeded),
             record(AttackOutcome::CrashTrap, RecoveryStatus::NotNeeded),
+            record(
+                AttackOutcome::Evaded(ModuleId::ICM),
+                RecoveryStatus::NotNeeded,
+            ),
         ];
         let table = attack_coverage_table(&records);
         assert!(table.contains("stack_guard"), "{table}");
         assert!(table.contains("TOTAL"), "{table}");
         assert!(table.contains("compromised"), "{table}");
-        assert_eq!(compromise_permille(&records), 200);
+        assert!(table.contains("evaded"), "{table}");
+        assert_eq!(compromise_permille(&records), 333);
         assert_eq!(compromise_permille(&[]), 0);
     }
 }

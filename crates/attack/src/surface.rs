@@ -139,7 +139,6 @@ pub fn sample_attack(
     surface: &AttackSurface,
     profile: &RunProfile,
 ) -> FaultPlan {
-    let _ = victim;
     let mut s = seed;
     let mut next = move || splitmix64(&mut s);
     let cycle = |r: u64| 1 + r % profile.cycles.max(1);
@@ -240,6 +239,56 @@ pub fn sample_attack(
                 addr: caddr,
                 xor_mask,
             })]
+        }
+        AttackModel::AdaptiveChain => {
+            // Stage 1 of the chain: the nominal-layout probe (identical
+            // surface to StackSmash/GotTamper). The later leak and
+            // strike stages are planned by the chain runner from the
+            // same seed stream, branching on this stage's verdict.
+            let at_cycle = cycle(next());
+            let evil = surface.evil.expect("chain victims declare evil");
+            if victim.workload.name.starts_with("stack_") {
+                vec![write(at_cycle, STACK_BASE - STACK_SLOT_OFFSET, evil)]
+            } else {
+                vec![write(at_cycle, HEAP_BASE, evil)]
+            }
+        }
+        AttackModel::RecoveryStrike => {
+            // One live control-flow word corrupted in text memory. The
+            // chain runner re-delivers this exact fault on every
+            // checkpoint-rollback re-execution while the attacker
+            // persists, so the draw order here is the whole contract.
+            let site = surface.cf_sites[(next() % surface.cf_sites.len() as u64) as usize];
+            let at_cycle = cycle(next());
+            let xor_mask = 1u32 << (next() % 32);
+            vec![PlannedFault::Soft(SoftFault::Mem {
+                at_cycle,
+                addr: site,
+                xor_mask,
+            })]
+        }
+        AttackModel::QuarantineEvade => {
+            // Stage 1: flip a bit in the ICM's redundant CheckerMemory
+            // copy early — every pass over the guarded site then
+            // mismatches, flushes, and feeds the watchdog's burst
+            // counter until the health machine quarantines the ICM.
+            let caddr =
+                surface.checker_sites[(next() % surface.checker_sites.len() as u64) as usize];
+            let early = 1 + next() % (profile.cycles / 2).max(1);
+            let xor_mask = 1u32 << (next() % 32);
+            // Stage 2: with the checker NOP-muxed, hijack a live site
+            // in the window after the quarantine has landed.
+            let site = surface.cf_sites[(next() % surface.cf_sites.len() as u64) as usize];
+            let late = profile.cycles / 2 + 1 + next() % (profile.cycles / 2).max(1);
+            let evil = surface.evil.expect("evade victims declare evil");
+            vec![
+                PlannedFault::Soft(SoftFault::Mem {
+                    at_cycle: early,
+                    addr: caddr,
+                    xor_mask,
+                }),
+                write(late, site, encode(&Inst::J { target: evil >> 2 })),
+            ]
         }
     };
     FaultPlan { faults }

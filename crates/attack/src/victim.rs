@@ -1,4 +1,4 @@
-//! The victim corpus: four attack surfaces, each as a *guard/exposed*
+//! The victim corpus: five attack surfaces, each as a *guard/exposed*
 //! twin pair.
 //!
 //! Every pair shares one assembly source; the twins differ **only** in
@@ -23,6 +23,12 @@
 //!   function-pointer slot, with writable staging space next to it. The
 //!   guard arms the DDT's non-executable-page enforcement
 //!   (`Harness::NxOs`); the exposed twin executes whatever it jumps to.
+//! * `seq_guard` / `seq_exposed` — a branch-dense accumulator loop with
+//!   no gadget and no code cave: the only way to tamper it is the
+//!   in-flight instruction stream. The guard runs under the DSM's
+//!   basic-block word counting (`Harness::Dsm`), which catches the
+//!   NOP-in-flight skip the ICM's word check is blind to; the exposed
+//!   twin is a bare pipeline.
 
 pub use rse_inject::{Harness, Workload};
 
@@ -184,7 +190,35 @@ const NX_SRC: &str = r#"
     stage:  .space 32              # shellcode staging area
 "#;
 
-const VICTIMS: [Victim; 8] = [
+/// Shared source of the `seq_*` twins: a branch-dense accumulator loop
+/// whose every fourth iteration takes the `quad` arm. Unlike the
+/// `branch_*` twins there is no gadget and no code cave — the only
+/// attack surface is the fetched instruction stream itself, which makes
+/// the pair the clean probe for the inst-skip blind spot: a skipped
+/// word changes a basic block's committed word count, which the DSM's
+/// signature check sees and the ICM's per-word check does not. Golden:
+/// `r9 = 562`, `out = 562`.
+const SEQ_SRC: &str = r#"
+    main:   li   r8, 0
+            li   r9, 0
+            li   r10, 150
+    loop:   addi r8, r8, 1
+            andi r11, r8, 3
+            beq  r11, r0, quad
+            addi r9, r9, 3
+            b    next
+    quad:   addi r9, r9, 7
+    next:   bne  r8, r10, loop
+            la   r12, out
+            sw   r9, 0(r12)
+            halt
+
+            .data
+            .align 4
+    out:    .space 8
+"#;
+
+const VICTIMS: [Victim; 10] = [
     Victim {
         workload: Workload {
             name: "stack_guard",
@@ -273,6 +307,28 @@ const VICTIMS: [Victim; 8] = [
         },
         defended: false,
     },
+    Victim {
+        workload: Workload {
+            name: "seq_guard",
+            source: SEQ_SRC,
+            harness: Harness::Dsm,
+            result_regs: &[8, 9],
+            result_buf: Some(("out", 4)),
+            data_fault_buf: None,
+        },
+        defended: true,
+    },
+    Victim {
+        workload: Workload {
+            name: "seq_exposed",
+            source: SEQ_SRC,
+            harness: Harness::Bare,
+            result_regs: &[8, 9],
+            result_buf: Some(("out", 4)),
+            data_fault_buf: None,
+        },
+        defended: false,
+    },
 ];
 
 /// The victim corpus, in stable order (guard before exposed per pair).
@@ -308,12 +364,21 @@ mod tests {
                     assert!(image.symbol(sym).is_some(), "{}: {sym}", v.workload.name);
                 }
             }
+            if v.workload.name.starts_with("seq_") {
+                for sym in ["loop", "quad", "next", "out"] {
+                    assert!(image.symbol(sym).is_some(), "{}: {sym}", v.workload.name);
+                }
+                // The seq pair must stay gadget- and cave-free: its only
+                // surface is the fetched instruction stream.
+                assert!(image.symbol("evil").is_none(), "{}", v.workload.name);
+                assert!(image.symbol("cave").is_none(), "{}", v.workload.name);
+            }
         }
     }
 
     #[test]
     fn twins_share_sources_but_not_harnesses() {
-        for pair in ["stack", "got", "branch", "nx"] {
+        for pair in ["stack", "got", "branch", "nx", "seq"] {
             let guard = victim_by_name(&format!("{pair}_guard")).unwrap();
             let exposed = victim_by_name(&format!("{pair}_exposed")).unwrap();
             assert_eq!(guard.workload.source, exposed.workload.source, "{pair}");
@@ -333,6 +398,6 @@ mod tests {
             );
         }
         assert!(victim_by_name("nope").is_none());
-        assert_eq!(victims().len(), 8);
+        assert_eq!(victims().len(), 10);
     }
 }

@@ -17,13 +17,17 @@
 //!
 //! * `--smoke` — the pinned CI spec (`AttackSpec::smoke`): every attack
 //!   model against both twins of its victim pair,
+//! * `--adaptive` — the pinned adaptive spec (`AttackSpec::adaptive`):
+//!   the multi-stage chain models (probe→leak→strike, recovery-window
+//!   strikes, quarantine evasion) plus the instruction-stream models
+//!   against the DSM twins,
 //! * `--control` — zero-attack control runs of every victim; every
 //!   outcome must be `prevented` (and every recovery `not-needed`) or
 //!   the binary exits non-zero,
 //! * `--entropy` — the §4.1 re-randomization study: leak-then-strike
-//!   attack success rate versus the MLR re-randomization period,
-//!   emitted as one JSON object; the binary exits non-zero unless the
-//!   success count falls strictly at every period step,
+//!   attack success rate versus the MLR re-randomization period, one
+//!   JSON line per victim kind; the binary exits non-zero unless the
+//!   success count falls strictly at every period step for every victim,
 //! * *default* — every applicable (victim, attack-model) pair with
 //!   `--runs` runs each.
 //!
@@ -34,29 +38,34 @@
 //! JSON) there instead of stdout, `--no-table` suppress the coverage
 //! table, `--tiered` run deterministic attack-free segments on the
 //! functional tier, `--threads <n>` shard runs across worker threads,
-//! `--trials <n>` trials per entropy sweep point (default 48),
-//! `--rerand-period <cycles>` replace the default entropy sweep with a
-//! single nonzero period (plus the static baseline).
+//! `--max-rerun <n>` rollback retry budget against recovery-window
+//! strikes (default 3, max 8), `--trials <n>` trials per entropy sweep
+//! point (default 48), `--rerand-period <cycles>` replace the default
+//! entropy sweep with a single nonzero period (plus the static
+//! baseline).
 
 use std::process::ExitCode;
 
 use rse_attack::{
-    attack_coverage_table, compromise_permille, entropy_study, run_campaign_with,
-    strictly_decreasing, study_json, to_jsonl, AttackModel, AttackSpec, CampaignOptions,
-    DEFAULT_PERIODS, DEFAULT_TRIALS,
+    attack_coverage_table, compromise_permille, corpus_study_json, entropy_study_corpus,
+    run_campaign_with, run_trial_kind, strictly_decreasing, to_jsonl, AttackModel, AttackSpec,
+    CampaignOptions, EntropyPoint, VictimStudy, DEFAULT_TRIALS,
 };
 use rse_bench::{numeric, suggest, write_atomic};
+use rse_inject::FaultModel;
 use rse_sys::rerand::validate_period;
+use rse_sys::validate_max_rerun;
 
 /// Default base seed (arbitrary but fixed; also used by `scripts/ci.sh`).
 const DEFAULT_SEED: u64 = 0xD5B;
 
-const USAGE: &str = "usage: attack_campaign [--smoke | --control | --entropy] [--seed N] \
-     [--runs N] [--model NAME] [--list-models] [--out FILE] [--no-table] [--tiered] \
-     [--threads N] [--trials N] [--rerand-period N]";
+const USAGE: &str = "usage: attack_campaign [--smoke | --adaptive | --control | --entropy] \
+     [--seed N] [--runs N] [--model NAME] [--list-models] [--out FILE] [--no-table] [--tiered] \
+     [--threads N] [--max-rerun N] [--trials N] [--rerand-period N]";
 
 enum Mode {
     Smoke,
+    Adaptive,
     Control,
     Entropy,
     Full,
@@ -92,6 +101,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.mode = Mode::Smoke,
+            "--adaptive" => args.mode = Mode::Adaptive,
             "--control" => args.mode = Mode::Control,
             "--entropy" => args.mode = Mode::Entropy,
             "--seed" => args.seed = numeric("--seed", it.next())?,
@@ -99,6 +109,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--model" => {
                 let name = it.next().ok_or("--model expects a model name")?;
                 let Some(model) = AttackModel::from_name(&name) else {
+                    // A fault-model name here is the most common slip:
+                    // point straight at the injection-campaign binary.
+                    if FaultModel::ALL.iter().any(|m| m.name() == name) {
+                        return Err(format!(
+                            "'{name}' is a fault-injection model, not an attack model \
+                             (run the `campaign` binary for injection campaigns)"
+                        ));
+                    }
                     let candidates = AttackModel::ALL.iter().map(|m| m.name());
                     return Err(match suggest(&name, candidates) {
                         Some(s) => format!(
@@ -116,6 +134,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--no-table" => args.table = false,
             "--tiered" => args.opts.tiered = true,
             "--threads" => args.opts.threads = numeric("--threads", it.next())?,
+            "--max-rerun" => {
+                let budget = numeric("--max-rerun", it.next())?;
+                args.opts.max_rerun = validate_max_rerun("--max-rerun", budget)?;
+            }
             "--trials" => args.trials = numeric("--trials", it.next())?,
             "--rerand-period" => {
                 let period = numeric("--rerand-period", it.next())?;
@@ -134,20 +156,44 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Runs the entropy study and writes/validates its JSON.
+/// Runs the entropy study over the victim corpus and writes/validates
+/// its JSON (one line per victim kind).
 fn run_entropy(args: &Args) -> ExitCode {
-    let periods: Vec<u64> = match args.rerand_period {
-        Some(p) => vec![p],
-        None => DEFAULT_PERIODS.to_vec(),
+    let studies: Vec<VictimStudy> = match args.rerand_period {
+        // A single explicit period replaces every victim's tuned sweep:
+        // baseline + that one point, per victim.
+        Some(p) => rse_attack::entropy_victims()
+            .iter()
+            .map(|v| VictimStudy {
+                kind: v.kind,
+                points: [0, p]
+                    .iter()
+                    .map(|&period| {
+                        let successes = (0..args.trials)
+                            .filter(|&t| {
+                                let seed =
+                                    rse_attack::corpus_trial_seed(args.seed, v.kind, period, t);
+                                run_trial_kind(v.kind, seed, (period != 0).then_some(period))
+                            })
+                            .count() as u32;
+                        EntropyPoint {
+                            period,
+                            trials: args.trials,
+                            successes,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect(),
+        None => entropy_study_corpus(args.seed, args.trials, args.opts.threads),
     };
     eprintln!(
-        "attack_campaign: entropy study, {} trials x {} points, base seed {:#x}",
+        "attack_campaign: entropy study, {} victims x {} trials/point, base seed {:#x}",
+        studies.len(),
         args.trials,
-        periods.len() + 1,
         args.seed
     );
-    let points = entropy_study(args.seed, args.trials, &periods, args.opts.threads);
-    let json = study_json(args.seed, &points);
+    let json = corpus_study_json(args.seed, &studies);
     match &args.out {
         Some(path) => {
             if let Err(e) = write_atomic(path, json.as_bytes()) {
@@ -158,24 +204,36 @@ fn run_entropy(args: &Args) -> ExitCode {
         }
         None => print!("{json}"),
     }
-    for p in &points {
-        eprintln!(
-            "  period {:>6} cycles: {:>3}/{} successes ({} permille)",
-            p.period,
-            p.successes,
-            p.trials,
-            p.permille()
-        );
+    let mut ok = true;
+    for s in &studies {
+        for p in &s.points {
+            eprintln!(
+                "  {:<6} period {:>6} cycles: {:>3}/{} successes ({} permille)",
+                s.kind,
+                p.period,
+                p.successes,
+                p.trials,
+                p.permille()
+            );
+        }
+        // The study IS the claim: every shortening of the
+        // re-randomization period must measurably cut attack success,
+        // on every victim surface. Anything else means the defense (or
+        // the study) regressed, so fail loudly (CI runs this against
+        // the committed BENCH_attack.json).
+        if !strictly_decreasing(&s.points) {
+            eprintln!(
+                "attack_campaign: entropy FAILED: success counts are not strictly \
+                 decreasing for victim '{}'",
+                s.kind
+            );
+            ok = false;
+        }
     }
-    // The study IS the claim: every shortening of the re-randomization
-    // period must measurably cut attack success. Anything else means
-    // the defense (or the study) regressed, so fail loudly (CI runs
-    // this against the committed BENCH_attack.json).
-    if !strictly_decreasing(&points) {
-        eprintln!("attack_campaign: entropy FAILED: success counts are not strictly decreasing");
+    if !ok {
         return ExitCode::FAILURE;
     }
-    eprintln!("attack_campaign: entropy OK: success falls strictly across the sweep");
+    eprintln!("attack_campaign: entropy OK: success falls strictly across every victim's sweep");
     ExitCode::SUCCESS
 }
 
@@ -193,7 +251,7 @@ fn main() -> ExitCode {
     if args.list_models {
         println!("attack models:");
         for m in AttackModel::ALL {
-            println!("  {:<14} {}", m.name(), m.describe());
+            println!("  {:<16} {}", m.name(), m.describe());
         }
         return ExitCode::SUCCESS;
     }
@@ -202,6 +260,7 @@ fn main() -> ExitCode {
     }
     let mut spec = match args.mode {
         Mode::Smoke => AttackSpec::smoke(args.seed),
+        Mode::Adaptive => AttackSpec::adaptive(args.seed),
         Mode::Control => AttackSpec::control(args.seed, args.runs),
         Mode::Full => AttackSpec::full(args.seed, args.runs),
         Mode::Entropy => unreachable!("handled above"),

@@ -38,6 +38,7 @@
 
 use std::process::ExitCode;
 
+use rse_attack::AttackModel;
 use rse_bench::{numeric, suggest, write_atomic};
 use rse_inject::{
     coverage_table, run_campaign_with, to_jsonl, CampaignOptions, CampaignSpec, FaultModel,
@@ -90,6 +91,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--model" => {
                 let name = it.next().ok_or("--model expects a model name")?;
                 let Some(model) = FaultModel::from_name(&name) else {
+                    // An attack-model name here is the most common slip:
+                    // point straight at the adversarial binary.
+                    if AttackModel::ALL.iter().any(|m| m.name() == name) {
+                        return Err(format!(
+                            "'{name}' is an attack model, not a fault-injection model \
+                             (run the `attack_campaign` binary for adversarial campaigns)"
+                        ));
+                    }
                     let candidates = FaultModel::ALL.iter().map(|m| m.name());
                     return Err(match suggest(&name, candidates) {
                         Some(s) => format!(

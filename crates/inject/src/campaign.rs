@@ -32,6 +32,7 @@ use rse_isa::{Image, ModuleId, Reg};
 use rse_mem::{MemConfig, MemorySystem, SparseMemory};
 use rse_modules::ahbm::{Ahbm, AhbmConfig};
 use rse_modules::ddt::{Ddt, DdtConfig};
+use rse_modules::dsm::Dsm;
 use rse_modules::icm::{Icm, IcmConfig};
 use rse_modules::mlr::{Mlr, MlrConfig};
 use rse_pipeline::{
@@ -123,6 +124,20 @@ pub fn build_harness_seeded(
                 cpu,
                 engine: Engine::new(rse_cfg),
             }
+        }
+        Harness::Dsm => {
+            let mut cpu = Pipeline::new(
+                PipelineConfig::default(),
+                MemorySystem::new(MemConfig::with_framework()),
+            );
+            cpu.load_image(image);
+            let mut dsm = Dsm::new();
+            dsm.install_signatures(image);
+            let mut engine = Engine::new(rse_cfg);
+            engine.install(Box::new(dsm));
+            engine.enable(ModuleId::DSM);
+            install_bystanders(&mut engine);
+            BuiltHarness { cpu, engine }
         }
         Harness::Icm => {
             let mut cpu = Pipeline::new(
@@ -246,6 +261,26 @@ pub fn drive(cpu: &mut Pipeline, engine: &mut Engine, deadline: u64) -> RawEnd {
     }
 }
 
+/// Which checker module, if any, flagged a mismatch this run: the ICM's
+/// per-word comparison first, then the DSM's basic-block signature
+/// check. Public so the adversarial campaign engine classifies
+/// detections with the same priority order.
+pub fn detecting_module(engine: &Engine) -> Option<ModuleId> {
+    if engine
+        .module_ref::<Icm>(ModuleId::ICM)
+        .is_some_and(|icm| icm.stats().mismatches > 0)
+    {
+        return Some(ModuleId::ICM);
+    }
+    if engine
+        .module_ref::<Dsm>(ModuleId::DSM)
+        .is_some_and(|dsm| dsm.stats().mismatches > 0)
+    {
+        return Some(ModuleId::DSM);
+    }
+    None
+}
+
 /// Digest of the workload-declared result set: the named registers plus
 /// the result buffer bytes. Public so the fleet simulator can judge a
 /// failed-over workload's completion against the same golden digest.
@@ -303,7 +338,7 @@ pub fn reference(w: &Workload) -> RefState {
     let image = assemble(w.source).expect("corpus workload assembles");
     let mut b = build_harness(w, &image, u64::MAX);
     match w.harness {
-        Harness::Bare | Harness::Icm => {
+        Harness::Bare | Harness::Icm | Harness::Dsm => {
             let end = drive(&mut b.cpu, &mut b.engine, REF_BUDGET);
             assert_eq!(end, RawEnd::Halted, "golden run of {} must halt", w.name);
             assert!(
@@ -449,6 +484,61 @@ pub fn rollback_and_rerun_tiered(
     }
 }
 
+/// Bounded checkpoint-rollback with an adversary in the recovery
+/// window: re-executes from the pre-run checkpoints up to `max_rerun`
+/// times, letting `strike` re-arm an attack into each attempt (the
+/// recovery-window strike of the adversarial campaigns). An attempt
+/// succeeds when the guest halts with the `golden` digest — the strike
+/// either missed or was absorbed — and the 1-based attempt number is
+/// returned so the caller can record `recovered:retry<k>`. When every
+/// attempt diverges, crashes, or times out, the rollback escalates to a
+/// safe halt instead of retrying forever; the cause names `--max-rerun`
+/// the way the re-randomization CLI names `--validate-period`, so the
+/// operator knows which budget tripped.
+pub fn rollback_and_rerun_bounded(
+    w: &Workload,
+    image: &Image,
+    pre: &PreRunCheckpoints,
+    budget: u64,
+    golden: u64,
+    max_rerun: u32,
+    mut strike: impl FnMut(u32, &mut Pipeline, &mut Engine),
+) -> Result<u32, String> {
+    let mut last = String::from("rollback never attempted");
+    for attempt in 1..=max_rerun.max(1) {
+        let mut b = build_harness(w, image, budget);
+        for &page in &pre.pages {
+            let cp = pre
+                .store
+                .earliest_for(page)
+                .ok_or_else(|| format!("missing checkpoint for page {page:#x}"))?;
+            b.cpu
+                .mem_mut()
+                .memory
+                .restore_page(page_base(page), &cp.data);
+        }
+        b.cpu.mem_mut().invalidate_caches();
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.index()] = STACK_BASE - 16;
+        b.cpu.set_context(&CpuContext {
+            regs,
+            pc: image.entry,
+        });
+        strike(attempt, &mut b.cpu, &mut b.engine);
+        last = match drive(&mut b.cpu, &mut b.engine, budget) {
+            RawEnd::Halted if result_digest(w, &b.cpu, image) == golden => return Ok(attempt),
+            RawEnd::Halted => "re-executed state diverged from golden".into(),
+            RawEnd::TimedOut => "re-execution after rollback did not complete".into(),
+            RawEnd::Crash(why) => format!("re-execution after rollback crashed: {why}"),
+        };
+    }
+    Err(format!(
+        "retry budget exhausted after {} rollback attempts (last: {last}); \
+         raise --max-rerun only if the recovery window is known to clear",
+        max_rerun.max(1)
+    ))
+}
+
 /// The cycle budget a faulted run gets: 4x the golden run plus slack,
 /// so hangs are detectable without ever truncating a legitimate run.
 pub fn fault_budget(r: &RefState) -> u64 {
@@ -480,7 +570,7 @@ pub fn run_one_with(
     let plan = FaultPlan::sample(model, seed, &r.profile);
     let budget = fault_budget(r);
     let (outcome, recovery, cycles) = match w.harness {
-        Harness::Bare | Harness::Icm => {
+        Harness::Bare | Harness::Icm | Harness::Dsm => {
             let mut b = build_harness(w, &image, budget);
             let pre = capture_checkpoints(&b.cpu.mem().memory);
             plan.arm(&mut b.cpu, &mut b.engine);
@@ -489,10 +579,8 @@ pub fn run_one_with(
                 // Latch the watchdog's one-shot hang detector.
                 b.engine.poll_hang(b.cpu.now());
             }
-            let detected = b
-                .engine
-                .module_ref::<Icm>(ModuleId::ICM)
-                .is_some_and(|icm| icm.stats().mismatches > 0);
+            let detected_by = detecting_module(&b.engine);
+            let detected = detected_by.is_some();
             let digest = result_digest(w, &b.cpu, &image);
             let down_target = w
                 .harness
@@ -500,8 +588,8 @@ pub fn run_one_with(
                 .filter(|&m| b.engine.module_health(m).is_down());
             let outcome = if let Some(m) = down_target {
                 Outcome::Degraded(m)
-            } else if detected {
-                Outcome::DetectedByModule(ModuleId::ICM)
+            } else if let Some(m) = detected_by {
+                Outcome::DetectedByModule(m)
             } else if b.engine.safe_mode().is_some() {
                 Outcome::WatchdogTimeout
             } else if b.engine.stats().quarantines > 0 {
@@ -750,9 +838,11 @@ impl CampaignSpec {
     }
 }
 
-/// Execution options for a campaign: tiering and sharding. Neither
-/// changes a single output byte — they only change how fast the same
-/// records are produced.
+/// Execution options for a campaign. Tiering and sharding never change
+/// a single output byte — they only change how fast the same records
+/// are produced. The rollback retry budget *is* part of the replay
+/// contract: it bounds how many re-executions a recovery-window
+/// adversary can force before the run escalates to a safe halt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignOptions {
     /// Run deterministic fault-free segments (checkpoint-rollback
@@ -761,6 +851,9 @@ pub struct CampaignOptions {
     /// Worker threads for run-level sharding; `0` or `1` runs
     /// sequentially.
     pub threads: usize,
+    /// Rollback retry budget for recovery-window strikes (the
+    /// `--max-rerun` flag; see [`rse_sys::recovery::validate_max_rerun`]).
+    pub max_rerun: u32,
 }
 
 impl Default for CampaignOptions {
@@ -768,6 +861,7 @@ impl Default for CampaignOptions {
         CampaignOptions {
             tiered: false,
             threads: 1,
+            max_rerun: rse_sys::DEFAULT_MAX_RERUN,
         }
     }
 }
@@ -1027,7 +1121,7 @@ mod tests {
             &spec,
             &CampaignOptions {
                 tiered: true,
-                threads: 1,
+                ..CampaignOptions::default()
             },
         ));
         assert_eq!(base, tiered);
@@ -1043,6 +1137,7 @@ mod tests {
                 &CampaignOptions {
                     tiered: true,
                     threads,
+                    ..CampaignOptions::default()
                 },
             ));
             assert_eq!(base, sharded, "threads={threads}");

@@ -53,12 +53,15 @@ pub mod snapshot;
 pub mod workload;
 
 pub use campaign::{
-    build_harness, build_harness_seeded, capture_checkpoints, derive_seed, drive, fault_budget,
-    reference, result_digest, result_digest_parts, rollback_and_rerun, rollback_and_rerun_tiered,
-    run_campaign, run_campaign_with, run_one, run_one_by_name, run_one_with, run_sharded, to_jsonl,
-    BuiltHarness, CampaignCell, CampaignOptions, CampaignSpec, PreRunCheckpoints, RawEnd, RefState,
+    build_harness, build_harness_seeded, capture_checkpoints, derive_seed, detecting_module, drive,
+    fault_budget, reference, result_digest, result_digest_parts, rollback_and_rerun,
+    rollback_and_rerun_bounded, rollback_and_rerun_tiered, run_campaign, run_campaign_with,
+    run_one, run_one_by_name, run_one_with, run_sharded, to_jsonl, BuiltHarness, CampaignCell,
+    CampaignOptions, CampaignSpec, PreRunCheckpoints, RawEnd, RefState,
 };
 pub use fault::{FaultModel, FaultPlan, PlannedFault, RunProfile};
-pub use outcome::{coverage_table, module_tag, Histogram, Outcome, RecoveryStatus, RunRecord};
+pub use outcome::{
+    coverage_table, module_tag, retry_mechanism, Histogram, Outcome, RecoveryStatus, RunRecord,
+};
 pub use snapshot::ArchSnapshot;
 pub use workload::{by_name, corpus, fleet_workload, Harness, Workload};

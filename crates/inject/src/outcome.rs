@@ -24,9 +24,24 @@ pub fn module_tag(id: ModuleId) -> String {
         "DDT".into()
     } else if id == ModuleId::AHBM {
         "AHBM".into()
+    } else if id == ModuleId::DSM {
+        "DSM".into()
     } else {
         format!("M{}", id.number())
     }
+}
+
+/// Static mechanism name for a bounded rollback retry that succeeded on
+/// the `k`-th re-execution attempt (1-based): `recovered:retry<k>`.
+/// [`RecoveryStatus::Succeeded`] carries a `&'static str`, so the names
+/// come from a fixed table; budgets beyond the table saturate at the
+/// last entry (budgets that large are rejected by the CLI validator
+/// anyway).
+pub fn retry_mechanism(k: u32) -> &'static str {
+    const RETRIES: [&str; 8] = [
+        "retry1", "retry2", "retry3", "retry4", "retry5", "retry6", "retry7", "retry8",
+    ];
+    RETRIES[(k as usize).clamp(1, RETRIES.len()) - 1]
 }
 
 /// How one fault-injection run ended.

@@ -36,6 +36,10 @@ pub enum Harness {
     /// pipeline's executable range is pinned to the text segment, so an
     /// instruction committing from a data page trips the NX trap.
     NxOs,
+    /// Pipeline + DSM module installed and enabled: basic-block
+    /// signatures checked along committed control flow, closing the
+    /// in-flight instruction-skip blind spot of the per-word ICM check.
+    Dsm,
 }
 
 impl Harness {
@@ -50,6 +54,7 @@ impl Harness {
             Harness::Icm => Some(rse_isa::ModuleId::ICM),
             Harness::DdtOs | Harness::NxOs => Some(rse_isa::ModuleId::DDT),
             Harness::MlrOs => Some(rse_isa::ModuleId::MLR),
+            Harness::Dsm => Some(rse_isa::ModuleId::DSM),
         }
     }
 

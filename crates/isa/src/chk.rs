@@ -30,6 +30,8 @@ impl ModuleId {
     pub const DDT: ModuleId = ModuleId(2);
     /// The Adaptive Heartbeat Monitor module.
     pub const AHBM: ModuleId = ModuleId(3);
+    /// The Dynamic Sequence Monitor module.
+    pub const DSM: ModuleId = ModuleId(4);
 
     /// Number of module slots in the RSE (the module field is 4 bits).
     pub const SLOTS: usize = 16;
@@ -66,6 +68,7 @@ impl ModuleId {
             ModuleId::MLR => "mlr".into(),
             ModuleId::DDT => "ddt".into(),
             ModuleId::AHBM => "ahbm".into(),
+            ModuleId::DSM => "dsm".into(),
             ModuleId(n) => format!("m{n}"),
         }
     }
@@ -78,6 +81,7 @@ impl ModuleId {
             "mlr" => Some(ModuleId::MLR),
             "ddt" => Some(ModuleId::DDT),
             "ahbm" => Some(ModuleId::AHBM),
+            "dsm" => Some(ModuleId::DSM),
             other => {
                 let body = other.strip_prefix('m').unwrap_or(other);
                 body.parse::<u8>().ok().and_then(ModuleId::try_new)
@@ -222,6 +226,7 @@ mod tests {
             ModuleId::MLR,
             ModuleId::DDT,
             ModuleId::AHBM,
+            ModuleId::DSM,
             ModuleId::new(9),
         ] {
             assert_eq!(ModuleId::parse(&m.mnemonic()), Some(m));

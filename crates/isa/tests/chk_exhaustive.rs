@@ -98,8 +98,12 @@ fn module_operand_spellings_agree() {
         canon("main: chk ahbm, nblk, 3, 1\n"),
         canon("main: chk m3, nblk, 3, 1\n")
     );
+    assert_eq!(
+        canon("main: chk dsm, blk, 1, 4\n"),
+        canon("main: chk m4, blk, 1, 4\n")
+    );
     // Non-well-known slots render as mN and parse back.
-    for module in 4..16u8 {
+    for module in 5..16u8 {
         let spec = ChkSpec::new(ModuleId::new(module), true, 0, 0);
         let text = disasm::format_inst(&Inst::Chk(spec));
         assert!(

@@ -4,6 +4,12 @@
 //! quiet ticks, and probe outcomes, for thresholds 2 and 1.
 //!
 //! Exits non-zero (printing the shrunk counterexample) on violation.
+//!
+//! `RSE_MC_MUTATE=forged-burst-disable` seeds the quarantine-evade
+//! mutation: a forged `ErrorBurst` storm that jumps the health ladder
+//! straight to `Disabled`. The checker must then print a `legal-edge`
+//! counterexample and exit non-zero — the standing self-test that the
+//! edge theorem has teeth against the attack campaign's forged bursts.
 
 use rse_core::health::legal_edge;
 use rse_core::HealthState;
@@ -13,6 +19,8 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 fn main() {
+    let mutate = std::env::var("RSE_MC_MUTATE").ok();
+    let forged_burst_disable = mutate.as_deref() == Some("forged-burst-disable");
     let depth = rse_mc::depth_override(64);
     let t0 = Instant::now();
     let mut edges: HashSet<(HealthState, HealthState)> = HashSet::new();
@@ -20,7 +28,8 @@ fn main() {
     let mut pass = true;
 
     for threshold in [2u32, 1] {
-        let model = HealthModel::with_threshold(threshold);
+        let mut model = HealthModel::with_threshold(threshold);
+        model.forged_burst_disable = forged_burst_disable;
         let (report, _) = explore_with(
             &model,
             &Options {

@@ -89,6 +89,15 @@ pub struct HealthModel {
     /// Containment parameters (use small values so the canonical state
     /// space closes; the machine's logic only compares against them).
     pub config: HealthConfig,
+    /// Seeded mutation (`RSE_MC_MUTATE=forged-burst-disable`): model a
+    /// quarantine logic that, under a forged `ErrorBurst` storm (the
+    /// `quarantine-evade` attack's stage 1), skips `Quarantined` and
+    /// jumps straight to `Disabled`. That edge is illegal — the §3.4
+    /// ladder demotes one rung at a time — so the checker must print a
+    /// `legal-edge` counterexample and exit non-zero. The standing
+    /// self-test that the theorem would catch an attacker-reachable
+    /// shortcut through the health ladder.
+    pub forged_burst_disable: bool,
 }
 
 impl HealthModel {
@@ -102,6 +111,7 @@ impl HealthModel {
                 max_probe_attempts: 3,
                 suspect_decay: 3,
             },
+            forged_burst_disable: false,
         }
     }
 
@@ -168,10 +178,17 @@ impl Model for HealthModel {
             AnomalyKind::ErrorBurst,
             AnomalyKind::PrematurePass,
         ] {
-            out.push((
-                HEvent::Anomaly(kind),
-                self.apply(s, s.now + 1, HealthEvent::Anomaly(kind), s.probe_in_flight),
-            ));
+            let mut next = self.apply(s, s.now + 1, HealthEvent::Anomaly(kind), s.probe_in_flight);
+            if self.forged_burst_disable
+                && kind == AnomalyKind::ErrorBurst
+                && next.last_edge.1 == HealthState::Quarantined
+            {
+                // Mutation: the forged burst "overclocks" quarantine
+                // into an immediate disable — an edge legal_edge bans.
+                let edge = (next.last_edge.0, HealthState::Disabled);
+                next = self.mk(next.h, s.now + 1, s.probe_in_flight, edge);
+            }
+            out.push((HEvent::Anomaly(kind), next));
         }
         for dt in [1, self.config.suspect_decay] {
             out.push((

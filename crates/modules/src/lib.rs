@@ -22,12 +22,22 @@
 //! * [`ahbm::Ahbm`] — the **Adaptive Heartbeat Monitor** (§4.4): a CAM of
 //!   monitored entities, per-entity counters, and a Jacobson-style
 //!   adaptive-timeout estimator.
+//!
+//! A fifth module extends the paper's set for the adversarial
+//! arms-race campaigns:
+//!
+//! * [`dsm::Dsm`] — the **Dynamic Sequence Monitor**: basic-block
+//!   signatures (word count + XOR) checked along committed control
+//!   flow, closing the in-flight instruction-skip blind spot the ICM's
+//!   per-word comparison cannot see (R5Detect's signature-monitoring
+//!   idea recast onto the Commit_Out tap).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ahbm;
 pub mod ddt;
+pub mod dsm;
 pub mod icm;
 pub mod mlr;
 
@@ -36,5 +46,6 @@ pub use ahbm::{
     PeerState, Q16_ONE,
 };
 pub use ddt::{Ddt, DdtConfig, SavedPage, ThreadId, SAVE_PAGE_EXCEPTION};
+pub use dsm::{BlockSig, Dsm, DsmStats};
 pub use icm::{Icm, IcmConfig};
 pub use mlr::{Mlr, MlrConfig, RandomizedBases};

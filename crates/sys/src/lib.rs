@@ -36,5 +36,5 @@ pub mod tiered;
 
 pub use checkpoint::{CheckpointConfig, CheckpointStore};
 pub use os::{Os, OsConfig, OsExit, ThreadState};
-pub use recovery::{recover, RecoveryOutcome};
+pub use recovery::{recover, validate_max_rerun, RecoveryOutcome, DEFAULT_MAX_RERUN};
 pub use tiered::{Tier, TieredDriver, TieredStats, Window};

@@ -19,6 +19,35 @@ use rse_isa::layout::page_base;
 use rse_mem::MemorySystem;
 use rse_modules::ddt::{Ddt, ThreadId};
 
+/// The default rollback retry budget: how many checkpoint-rollback
+/// re-executions a run may consume before the recovery escalates to a
+/// safe halt. Small on purpose — a persistent recovery-window attacker
+/// turns unbounded retry into a rollback livelock, which is strictly
+/// worse than a clean degraded halt the operator can see.
+pub const DEFAULT_MAX_RERUN: u32 = 3;
+
+/// Validates a rollback retry budget parsed from a CLI flag, naming the
+/// offending flag in the error (the same convention as
+/// [`crate::rerand::validate_period`]). A budget of `0` would mean
+/// "never attempt recovery" while still reporting the rollback path as
+/// armed, and a huge budget reintroduces the livelock the bound exists
+/// to prevent, so both are rejected outright.
+pub fn validate_max_rerun(flag: &str, max_rerun: u32) -> Result<u32, String> {
+    if max_rerun == 0 {
+        return Err(format!(
+            "{flag}: rollback retry budget must be nonzero \
+             (0 would skip recovery entirely; omit the flag for the default of {DEFAULT_MAX_RERUN})"
+        ));
+    }
+    if max_rerun > 8 {
+        return Err(format!(
+            "{flag}: rollback retry budget must be at most 8 \
+             (a persistent recovery-window attacker turns a large budget into a rollback livelock)"
+        ));
+    }
+    Ok(max_rerun)
+}
+
 /// Result of a recovery attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryOutcome {
@@ -132,6 +161,18 @@ mod tests {
             });
         }
         (ddt, store, mem)
+    }
+
+    #[test]
+    fn bad_rerun_budgets_are_rejected_with_the_flag_name() {
+        let err = validate_max_rerun("--max-rerun", 0).unwrap_err();
+        assert!(err.starts_with("--max-rerun:"), "{err}");
+        assert!(err.contains("nonzero"), "{err}");
+        let err = validate_max_rerun("--max-rerun", 99).unwrap_err();
+        assert!(err.starts_with("--max-rerun:"), "{err}");
+        assert!(err.contains("livelock"), "{err}");
+        assert_eq!(validate_max_rerun("--max-rerun", 3), Ok(3));
+        assert_eq!(validate_max_rerun("--max-rerun", 8), Ok(8));
     }
 
     #[test]

@@ -63,7 +63,7 @@ diff -u tests/golden/campaign_quarantine.jsonl "$QUAR_A" \
   || { echo "FAIL: quarantine campaign diverges from pinned golden"; exit 1; }
 echo "quarantine campaign: deterministic and matches golden (28 runs)"
 
-echo "== adversarial attack smoke campaign (98 runs, fixed seed)"
+echo "== adversarial attack smoke campaign (100 runs, fixed seed)"
 # Same double-replay + pinned-golden discipline as the fault campaigns,
 # and neither tiering nor sharding may change a byte. Regenerate with:
 #   cargo run --release --offline -p rse-bench --bin attack_campaign -- \
@@ -86,35 +86,91 @@ cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
   --smoke --no-table --threads 4 --out "$ATK_S" 2>/dev/null
 diff -u tests/golden/attack_smoke.jsonl "$ATK_S" \
   || { echo "FAIL: 4-thread attack campaign diverges from pinned golden"; exit 1; }
-echo "attack campaign: deterministic (plain/tiered/sharded) and matches golden (98 runs)"
+echo "attack campaign: deterministic (plain/tiered/sharded) and matches golden (100 runs)"
+
+echo "== adaptive attack campaign (66 runs: chains, recovery strikes, DSM)"
+# The adaptive spec (multi-stage chains + the instruction-stream models
+# against the DSM twins) gets the same double-replay + pinned-golden
+# discipline: strike-bearing rollback re-executions always run
+# cycle-accurate, so neither tiering nor sharding may change a byte.
+# Regenerate with:
+#   cargo run --release --offline -p rse-bench --bin attack_campaign -- \
+#     --adaptive --no-table --out tests/golden/attack_adaptive.jsonl
+ADP_A="$(mktemp)"; ADP_B="$(mktemp)"; ADP_T="$(mktemp)"; ADP_S="$(mktemp)"
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ADP_A" "$ADP_B" "$ADP_T" "$ADP_S"' EXIT
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --adaptive --no-table --out "$ADP_A" 2>/dev/null
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --adaptive --no-table --out "$ADP_B" 2>/dev/null
+cmp "$ADP_A" "$ADP_B" \
+  || { echo "FAIL: adaptive campaign is nondeterministic"; exit 1; }
+diff -u tests/golden/attack_adaptive.jsonl "$ADP_A" \
+  || { echo "FAIL: adaptive campaign diverges from pinned golden"; exit 1; }
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --adaptive --no-table --tiered --out "$ADP_T" 2>/dev/null
+diff -u tests/golden/attack_adaptive.jsonl "$ADP_T" \
+  || { echo "FAIL: --tiered adaptive campaign diverges from pinned golden"; exit 1; }
+cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
+  --adaptive --no-table --threads 4 --out "$ADP_S" 2>/dev/null
+diff -u tests/golden/attack_adaptive.jsonl "$ADP_S" \
+  || { echo "FAIL: 4-thread adaptive campaign diverges from pinned golden"; exit 1; }
+# The tentpole claim, gated directly on the artifact: the DSM-guarded
+# twin never loses an inst-skip run (the ICM-only blind spot), and no
+# defended adaptive run ends in a silent compromise.
+if grep '"victim":"seq_guard"' "$ADP_A" | grep '"model":"inst-skip"' \
+    | grep -qv '"outcome":"detected:DSM"'; then
+  echo "FAIL: a seq_guard inst-skip run was not detected by the DSM"; exit 1
+fi
+if grep '"defended":true' "$ADP_A" | grep -q '"outcome":"compromised"'; then
+  echo "FAIL: a defended adaptive run was silently compromised"; exit 1
+fi
+grep -q '"recovery":"recovered:retry' "$ADP_A" \
+  || { echo "FAIL: no adaptive run exercised the bounded retry path"; exit 1; }
+grep -q '"recovery":"failed-safe-halt"' "$ADP_A" \
+  || { echo "FAIL: no adaptive run escalated past the retry budget"; exit 1; }
+echo "adaptive campaign: deterministic (plain/tiered/sharded), DSM closes inst-skip (66 runs)"
 
 echo "== attack control campaign (zero attacks => 100% prevented)"
 # The attack_campaign binary itself exits non-zero unless every control
-# record is prevented/not-needed/attack=none.
+# record is prevented/not-needed/attack=none — including the DSM twins,
+# whose sequence monitor must stay silent on a fault-free run.
 cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
   --control --runs 2 --no-table >/dev/null
 
-echo "== randomization entropy study (success rate vs rerand period)"
-# Regenerates the committed BENCH_attack.json and gates the paper's
-# §4.1 claim two ways: the binary exits non-zero unless the success
-# count falls strictly at every period step, and an independent awk
-# pass re-checks the committed artifact for the monotone decrease.
+echo "== randomization entropy study (4-victim corpus, success vs rerand period)"
+# Regenerates the committed BENCH_attack.json (one JSON line per victim
+# kind) and gates the paper's §4.1 claim two ways: the binary exits
+# non-zero unless the success count falls strictly at every period step
+# of every victim's sweep, and an independent awk pass re-checks the
+# committed artifact for the per-victim monotone decrease.
 # Regenerate with:
 #   cargo run --release --offline -p rse-bench --bin attack_campaign -- \
 #     --entropy --out BENCH_attack.json
 ENT_A="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ADP_A" "$ADP_B" "$ADP_T" "$ADP_S" "$ENT_A"' EXIT
 cargo run --release --offline -q -p rse-bench --bin attack_campaign -- \
   --entropy --out "$ENT_A" 2>/dev/null \
   || { echo "FAIL: entropy study failed its strict-decrease gate"; exit 1; }
 diff -u BENCH_attack.json "$ENT_A" \
   || { echo "FAIL: entropy study diverges from committed BENCH_attack.json"; exit 1; }
-grep -o '"successes":[0-9]*' BENCH_attack.json | cut -d: -f2 | awk '
-  NR > 1 && $1 >= prev { bad = 1 } { prev = $1 } END {
-    if (NR < 2) { print "FAIL: entropy study has too few points"; exit 1 }
-    if (bad) { print "FAIL: attack success rate not strictly decreasing"; exit 1 }
-  }' || exit 1
-echo "entropy study: randomization strictly cuts attack success; artifact matches"
+# Each line is one victim's sweep; the strict decrease must hold within
+# every line independently (the count resets to the static baseline at
+# the start of the next victim).
+awk '{
+    n = 0; line = $0
+    while (match(line, /"successes":[0-9]+/)) {
+      v = substr(line, RSTART + 12, RLENGTH - 12) + 0
+      if (n > 0 && v >= prev) bad = 1
+      prev = v; n++
+      line = substr(line, RSTART + RLENGTH)
+    }
+    if (n < 2) short = 1
+  } END {
+    if (NR < 4) { print "FAIL: entropy study is missing victim kinds"; exit 1 }
+    if (short) { print "FAIL: an entropy sweep has too few points"; exit 1 }
+    if (bad) { print "FAIL: attack success not strictly decreasing for every victim"; exit 1 }
+  }' BENCH_attack.json || exit 1
+echo "entropy study: randomization strictly cuts attack success on all 4 victims; artifact matches"
 
 echo "== fleet soak smoke campaign (52 runs, 5 nodes, fixed seed)"
 # The fleet history is a pure function of (config, seed, fault): two
@@ -123,7 +179,7 @@ echo "== fleet soak smoke campaign (52 runs, 5 nodes, fixed seed)"
 #   cargo run --release --offline -p rse-bench --bin fleet_soak -- \
 #     --smoke --no-table --out tests/golden/fleet_soak_smoke.jsonl
 FLEET_A="$(mktemp)"; FLEET_B="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ADP_A" "$ADP_B" "$ADP_T" "$ADP_S" "$ENT_A" "$FLEET_A" "$FLEET_B"' EXIT
 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
   --smoke --no-table --out "$FLEET_A" 2>/dev/null
 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
@@ -153,7 +209,7 @@ echo "== tiered + sharded smoke campaigns (must be byte-identical to golden)"
 # three variants must match the same pinned golden as the sequential
 # smoke campaign above.
 TIER_A="$(mktemp)"; SHARD_A="$(mktemp)"; BOTH_A="$(mktemp)"; FLEET_T="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ADP_A" "$ADP_B" "$ADP_T" "$ADP_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T"' EXIT
 cargo run --release --offline -q -p rse-bench --bin campaign -- \
   --smoke --no-table --tiered --out "$TIER_A" 2>/dev/null
 diff -u tests/golden/campaign_smoke.jsonl "$TIER_A" \
@@ -181,7 +237,7 @@ echo "== lockstep fleet soak (equivalence shim, same golden)"
 # the SAME pinned golden byte-for-byte — the discrete-event refactor's
 # standing equivalence proof.
 FLEET_L="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ADP_A" "$ADP_B" "$ADP_T" "$ADP_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L"' EXIT
 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
   --smoke --no-table --lockstep --out "$FLEET_L" 2>/dev/null
 diff -u tests/golden/fleet_soak_smoke.jsonl "$FLEET_L" \
@@ -197,7 +253,7 @@ echo "== 1k-node churn smoke campaign (chaos engine, fixed seed)"
 #   cargo run --release --offline -p rse-bench --bin fleet_soak -- \
 #     --churn --no-table --out tests/golden/churn_smoke.jsonl
 CHURN_A="$(mktemp)"; CHURN_B="$(mktemp)"
-trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L" "$CHURN_A" "$CHURN_B"' EXIT
+trap 'rm -f "$SMOKE_A" "$SMOKE_B" "$QUAR_A" "$QUAR_B" "$ATK_A" "$ATK_B" "$ATK_T" "$ATK_S" "$ADP_A" "$ADP_B" "$ADP_T" "$ADP_S" "$ENT_A" "$FLEET_A" "$FLEET_B" "$TIER_A" "$SHARD_A" "$BOTH_A" "$FLEET_T" "$FLEET_L" "$CHURN_A" "$CHURN_B"' EXIT
 timeout 300 cargo run --release --offline -q -p rse-bench --bin fleet_soak -- \
   --churn --no-table --out "$CHURN_A" --bench-json BENCH_fleet.json 2>/dev/null \
   || { echo "FAIL: churn smoke failed or blew the 300s wall-clock budget"; exit 1; }
@@ -244,7 +300,17 @@ fi
 grep -q "counterexample: invariant 'split-brain'" "${TMPDIR:-/tmp}/mc_mutate.out" \
   || { echo "FAIL: mutation run printed no counterexample trace"; exit 1; }
 rm -f "${TMPDIR:-/tmp}/mc_mutate.out"
-echo "model checking: four theorem groups verified; seeded mutation caught"
+# Likewise for the health ladder the quarantine-evade attack leans on: a
+# forged ErrorBurst storm that could jump straight to Disabled must be a
+# printed legal-edge counterexample, not a pass.
+if RSE_MC_MUTATE=forged-burst-disable cargo run --release --offline -q \
+    -p rse-mc --bin mc_health >"${TMPDIR:-/tmp}/mc_mutate.out" 2>&1; then
+  echo "FAIL: seeded forged-burst-disable mutation was not caught"; exit 1
+fi
+grep -q "counterexample: invariant 'legal-edge'" "${TMPDIR:-/tmp}/mc_mutate.out" \
+  || { echo "FAIL: health mutation run printed no counterexample trace"; exit 1; }
+rm -f "${TMPDIR:-/tmp}/mc_mutate.out"
+echo "model checking: four theorem groups verified; seeded mutations caught"
 
 echo "== tiered execution speed curve (BENCH_tiered.json, gate >= 5x)"
 # Regenerates the committed perf-trajectory artifact and gates the

@@ -10,8 +10,10 @@
 //! tagging, or JSON shape fails here with a readable diff long before
 //! the golden-file comparison in CI does.
 
-use rse_attack::{derive_seed, run_one, victim_by_name, victims, AttackModel};
-use rse_inject::reference;
+use rse_attack::{derive_seed, run_one, victim_by_name, victims, AttackModel, AttackOutcome};
+use rse_inject::{reference, retry_mechanism, RecoveryStatus};
+use rse_isa::ModuleId;
+use rse_sys::DEFAULT_MAX_RERUN;
 
 /// Base seed shared with `attack_campaign --smoke` and `scripts/ci.sh`.
 const BASE_SEED: u64 = 0xD5B;
@@ -108,6 +110,127 @@ fn nx_probe_pinned_pair() {
         0,
         r#"{"victim":"nx_exposed","defended":false,"model":"nx-probe","run":0,"seed":16835403033979038098,"outcome":"compromised","recovery":"not-needed","cycles":520,"attack":"mem[0x10000004]:=0x20020002@c62; mem[0x10000008]:=0x2004029a@c62; mem[0x1000000c]:=0x0000000c@c62; mem[0x10000010]:=0x20020001@c62; mem[0x10000014]:=0x20040000@c62; mem[0x10000018]:=0x0000000c@c62; mem[0x10000000]:=0x10000004@c62"}"#,
     );
+}
+
+/// The outcome vocabulary is an external contract: golden JSONL files,
+/// `scripts/ci.sh` greps, and downstream consumers all match on these
+/// exact spellings. Pin every token the adaptive work added (plus the
+/// load-bearing old ones) so a rename fails here with a readable diff
+/// instead of as a cryptic golden mismatch.
+#[test]
+fn outcome_and_model_token_spellings_are_pinned() {
+    assert_eq!(AttackModel::AdaptiveChain.name(), "chain-adaptive");
+    assert_eq!(AttackModel::RecoveryStrike.name(), "recovery-strike");
+    assert_eq!(AttackModel::QuarantineEvade.name(), "quarantine-evade");
+    assert_eq!(AttackModel::InstSkip.name(), "inst-skip");
+
+    assert_eq!(AttackOutcome::Detected(ModuleId::DSM).tag(), "detected:DSM");
+    assert_eq!(AttackOutcome::Evaded(ModuleId::ICM).tag(), "evaded:ICM");
+    assert_eq!(AttackOutcome::Evaded(ModuleId::MLR).tag(), "evaded:MLR");
+    assert_eq!(AttackOutcome::Degraded(ModuleId::DSM).tag(), "degraded:DSM");
+
+    assert_eq!(RecoveryStatus::NotNeeded.tag(), "not-needed");
+    assert_eq!(retry_mechanism(1), "retry1");
+    assert_eq!(retry_mechanism(8), "retry8");
+    assert_eq!(retry_mechanism(99), "retry8", "retry mechanism is clamped");
+    assert_eq!(
+        RecoveryStatus::Succeeded {
+            mechanism: retry_mechanism(2)
+        }
+        .tag(),
+        "recovered:retry2"
+    );
+    let halt = RecoveryStatus::FailedSafeHalt {
+        cause: "retry budget exhausted after 3 rollback attempts (last: x); \
+                raise --max-rerun only if the recovery window is known to clear"
+            .into(),
+    };
+    assert_eq!(halt.tag(), "failed-safe-halt");
+    match &halt {
+        RecoveryStatus::FailedSafeHalt { cause } => {
+            assert!(cause.contains("--max-rerun"), "cause must name the flag")
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// The DSM closing the inst-skip gap: a NOP-muxed fetch preserves every
+/// ICM invariant (no word changed in memory) yet shortens the committed
+/// basic block, so the sequence monitor's executed-word count diverges
+/// from the static signature — `detected:DSM` on the guard twin where
+/// the bare twin silently computes the wrong sum. Pinned lines are
+/// verbatim from `tests/golden/attack_adaptive.jsonl`.
+#[test]
+fn inst_skip_dsm_pinned_pair() {
+    assert_pinned(
+        "seq_guard",
+        AttackModel::InstSkip,
+        0,
+        r#"{"victim":"seq_guard","defended":true,"model":"inst-skip","run":0,"seed":17125397809732441317,"outcome":"detected:DSM","recovery":"recovered:checkpoint-rollback","cycles":618,"attack":"fetch[412]=nop"}"#,
+    );
+    assert_pinned(
+        "seq_exposed",
+        AttackModel::InstSkip,
+        0,
+        r#"{"victim":"seq_exposed","defended":false,"model":"inst-skip","run":0,"seed":5012233008048169099,"outcome":"compromised","recovery":"not-needed","cycles":612,"attack":"fetch[1069]=nop"}"#,
+    );
+}
+
+/// The recovery-window property: a strike re-armed during rollback
+/// re-execution either yields a *clean* recovery (`recovered:retry<k>`
+/// within the budget — the engine only reports success when the re-run
+/// digest matches golden) or escalates out of the retry loop
+/// (`failed-safe-halt` naming the `--max-rerun` budget, or quarantine).
+/// A defended victim never ends `compromised`, and no record ever pairs
+/// a divergent end state with silent `not-needed` recovery — silent SDC
+/// under attack is the one forbidden square.
+#[test]
+fn recovery_window_strikes_recover_cleanly_or_escalate() {
+    let mut escalations = 0;
+    let mut retries = 0;
+    for victim in ["seq_guard", "branch_guard"] {
+        let v = victim_by_name(victim).expect("victim exists");
+        let r = reference(&v.workload);
+        for run in 0..8 {
+            let seed = derive_seed(BASE_SEED, victim, AttackModel::RecoveryStrike, run);
+            let rec = run_one(v, AttackModel::RecoveryStrike, run, seed, &r);
+            let outcome = rec.outcome.tag();
+            let recovery = rec.recovery.tag();
+            assert_ne!(
+                outcome,
+                "compromised",
+                "{victim}/run{run}: defended victim lost silently: {}",
+                rec.to_json()
+            );
+            match recovery.as_str() {
+                s if s.starts_with("recovered:retry") => {
+                    let k: u32 = s["recovered:retry".len()..].parse().expect("retry count");
+                    assert!(
+                        (1..=DEFAULT_MAX_RERUN).contains(&k),
+                        "{victim}/run{run}: retry count {k} outside budget"
+                    );
+                    retries += 1;
+                }
+                "recovered:checkpoint-rollback"
+                | "recovered:flush-refetch"
+                | "recovered:quarantine-nop-mux"
+                | "not-needed" => {}
+                "failed-safe-halt" => {
+                    assert!(
+                        rec.to_json().contains("--max-rerun"),
+                        "{victim}/run{run}: escalation cause must name the flag: {}",
+                        rec.to_json()
+                    );
+                    escalations += 1;
+                }
+                other => panic!("{victim}/run{run}: unexpected recovery tag {other}"),
+            }
+        }
+    }
+    // The pinned seeds must actually exercise both halves of the
+    // property, or this test is vacuous.
+    assert!(retries > 0, "no run recovered through the retry budget");
+    assert!(escalations > 0, "no run escalated past the retry budget");
 }
 
 /// Control-flow hijack via branch redirection: the ICM's redundant

@@ -63,6 +63,7 @@ fn sharded_output_is_byte_identical_across_thread_counts_and_matches_golden() {
         &CampaignOptions {
             tiered: false,
             threads: 1,
+            ..CampaignOptions::default()
         },
     ));
     let expected: String = pinned_subset().into_iter().map(|l| l + "\n").collect();
@@ -74,7 +75,11 @@ fn sharded_output_is_byte_identical_across_thread_counts_and_matches_golden() {
         for tiered in [false, true] {
             let sharded = to_jsonl(&run_campaign_with(
                 &spec,
-                &CampaignOptions { tiered, threads },
+                &CampaignOptions {
+                    tiered,
+                    threads,
+                    ..CampaignOptions::default()
+                },
             ));
             assert_eq!(
                 sharded, sequential,
